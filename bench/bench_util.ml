@@ -1,0 +1,72 @@
+(* Timing, curve fitting and table printing shared by all experiments. *)
+
+let time_once f =
+  let t0 = Sys.time () in
+  let r = f () in
+  let t1 = Sys.time () in
+  (t1 -. t0, r)
+
+(* median-of-repeats cpu time in seconds; slow operations (>100ms) are
+   measured once, fast ones repeat until ~20ms total *)
+let time ?(min_total = 0.02) f =
+  let first, _ = time_once f in
+  if first > 0.1 then first
+  else begin
+    let samples = ref [ first ] in
+    let total = ref first in
+    let runs = ref 1 in
+    while !total < min_total || !runs < 3 do
+      let dt, _ = time_once f in
+      samples := dt :: !samples;
+      total := !total +. dt;
+      incr runs
+    done;
+    let sorted = List.sort compare !samples in
+    List.nth sorted (List.length sorted / 2)
+  end
+
+let ms t = t *. 1000.0
+
+(* least-squares slope of log t against log n — the empirical complexity
+   exponent of a (n, t) series *)
+let fitted_exponent series =
+  let pts =
+    List.filter_map
+      (fun (n, t) ->
+        if t > 0.0 then Some (log (float_of_int n), log t) else None)
+      series
+  in
+  match pts with
+  | [] | [ _ ] -> nan
+  | _ ->
+    let k = float_of_int (List.length pts) in
+    let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 pts in
+    let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 pts in
+    let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 pts in
+    let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 pts in
+    ((k *. sxy) -. (sx *. sy)) /. ((k *. sxx) -. (sx *. sx))
+
+let header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let subheader title = Printf.printf "\n-- %s --\n" title
+
+let row fmt = Printf.printf fmt
+
+let verdict name ok =
+  Printf.printf "[%s] %s\n" (if ok then "MATCH" else "MISMATCH") name
+
+(* global tally so the harness can end with a summary *)
+let checks : (string * bool) list ref = ref []
+
+let record name ok =
+  checks := (name, ok) :: !checks;
+  verdict name ok
+
+let summary () =
+  let total = List.length !checks in
+  let bad = List.filter (fun (_, ok) -> not ok) !checks in
+  Printf.printf "\n%s\n" (String.make 66 '=');
+  Printf.printf "Reproduction summary: %d/%d checks match the paper.\n"
+    (total - List.length bad) total;
+  List.iter (fun (name, _) -> Printf.printf "  MISMATCH: %s\n" name) bad

@@ -1,0 +1,133 @@
+(* Experiments: MSO/tree automata (Sections 3, 4, 7) and positive FO
+   (Corollary 5.2). *)
+open Treekit
+open Bench_util
+module A = Automata.Automaton
+
+let mso_automata () =
+  header "MSO via tree automata — linear data complexity (Thm 4.4 special case)";
+  let auto =
+    A.conj
+      (A.every_a_has_b_descendant "a" "b")
+      (A.disj (A.count_label_mod "c" ~modulus:3 ~residue:1) (A.adjacent_children "b" "c"))
+  in
+  row "automaton: %s (%d states, %d monoid elements)\n" auto.A.name auto.A.states
+    auto.A.monoid_size;
+  row "%10s %14s %16s %14s\n" "n" "bottom-up(ms)" "streaming(ms)" "agree";
+  let series = ref [] in
+  let all_agree = ref true in
+  List.iter
+    (fun n ->
+      let t = Generator.random ~seed:(n + 5) ~n ~labels:Generator.labels_abc () in
+      let t_mem = time (fun () -> A.run auto t) in
+      let t_str = time (fun () -> A.run_events auto (Event.to_seq t)) in
+      let agree = A.run auto t = A.run_events auto (Event.to_seq t) in
+      if not agree then all_agree := false;
+      series := (n, t_mem) :: !series;
+      row "%10d %14.3f %16.3f %14b\n" n (ms t_mem) (ms t_str) agree)
+    [ 4_000; 8_000; 16_000; 32_000 ];
+  let e = fitted_exponent !series in
+  row "fitted exponent: %.2f (theory: 1.00)\n" e;
+  record "MSO automaton evaluation is linear (exponent < 1.45)" (e < 1.45);
+  record "streaming automaton run = bottom-up run" !all_agree;
+
+  subheader "streaming MSO with O(depth) memory ([60, 70], Section 7)";
+  row "%10s %10s %14s\n" "depth" "n" "peak frames";
+  List.iter
+    (fun mk ->
+      let t = mk () in
+      let _, peak = A.run_events_stats auto (Event.to_seq t) in
+      row "%10d %10d %14d\n" (Tree.height t + 1) (Tree.size t) peak)
+    [
+      (fun () -> Generator.full ~fanout:2 ~depth:12 ());
+      (fun () -> Generator.random_deep ~seed:3 ~n:8191 ~labels:Generator.labels_abc ~descend_bias:0.9 ());
+      (fun () -> Generator.path ~n:8191 ());
+    ];
+  let t = Generator.full ~fanout:2 ~depth:12 () in
+  let _, peak = A.run_events_stats auto (Event.to_seq t) in
+  record "automaton streaming memory = depth" (peak = Tree.height t + 1)
+
+let corollary52 () =
+  header "Corollary 5.2 — fixed positive Boolean FO queries in O(||A||)";
+  let u =
+    Cqtree.Positive.of_strings
+      [
+        {| q :- lab(X, "a"), descendant(X, Y), lab(Y, "b"), descendant(Z, Y), lab(Z, "c"). |};
+        {| q :- lab(X, "b"), following(X, Y), lab(Y, "c"), child(Z, Y). |};
+      ]
+  in
+  Format.printf "%a@." Cqtree.Positive.pp u;
+  row "%10s %18s %14s\n" "n" "rewrite-union(ms)" "naive(ms)";
+  let series = ref [] in
+  let agree = ref true in
+  List.iter
+    (fun n ->
+      let t = Generator.random ~seed:(n * 7 + 2) ~n ~labels:Generator.labels_abc () in
+      let t_u = time (fun () -> Cqtree.Positive.boolean u t) in
+      let t_naive =
+        if n <= 2_000 then begin
+          if Cqtree.Positive.boolean u t <> Cqtree.Positive.boolean_naive u t then
+            agree := false;
+          ms (time (fun () -> Cqtree.Positive.boolean_naive u t))
+        end
+        else nan
+      in
+      series := (n, t_u) :: !series;
+      row "%10d %18.3f %14.3f\n" n (ms t_u) t_naive)
+    [ 2_000; 4_000; 8_000; 16_000 ];
+  let e = fitted_exponent !series in
+  row "fitted exponent: %.2f (theory: 1.00 for fixed queries)\n" e;
+  record "Corollary 5.2: positive union agrees with naive" !agree;
+  record "Corollary 5.2: linear data complexity (exponent < 1.45)" (e < 1.45)
+
+let fo2 () =
+  header "Core XPath -> FO2 (Marx [57]) — the O(||A||^2 * |Q|) route";
+  let p = Xpath.Parser.parse "//a[b and not(descendant::c)]/following-sibling::*" in
+  let phi = Folang.Of_xpath.unary p in
+  row "query:   %s\n" (Xpath.Ast.to_string p);
+  row "formula: %d nodes, %d variable names (must be <= 2)\n"
+    (Folang.Formula.size phi) (Folang.Formula.variable_count phi);
+  row "%10s %14s %18s %14s\n" "n" "fo2 eval(ms)" "bottom-up(ms)" "agree";
+  let series = ref [] in
+  let ok = ref (Folang.Formula.variable_count phi <= 2) in
+  List.iter
+    (fun n ->
+      let t = Generator.random ~seed:(n + 11) ~n ~labels:Generator.labels_abc () in
+      let t_fo = time (fun () -> Folang.Eval.unary t phi) in
+      let t_bu = time (fun () -> Xpath.Eval.query t p) in
+      let agree = Nodeset.equal (Folang.Eval.unary t phi) (Xpath.Eval.query t p) in
+      if not agree then ok := false;
+      series := (n, t_fo) :: !series;
+      row "%10d %14.2f %18.3f %14b\n" n (ms t_fo) (ms t_bu) agree)
+    [ 100; 200; 400; 800 ];
+  let e = fitted_exponent !series in
+  row "fitted FO2 exponent: %.2f (theory: <= 2; the bottom-up engine is linear)\n" e;
+  record "FO2 translation agrees with the XPath engines, 2 variables" !ok;
+  record "FO2 evaluation within the quadratic bound (exponent < 2.4)" (e < 2.4)
+
+let qualified_streaming () =
+  header "Streaming XPath with qualifiers ([61]) — one pass, O(depth) memory";
+  let queries =
+    [ "//open_auction[bidder]/annotation";
+      "//person[profile[interest]]//emailaddress";
+      "//item[mailbox//mail[from]]" ]
+  in
+  row "%-44s %8s %12s %12s\n" "query" "match" "stream(ms)" "eval(ms)";
+  let ok = ref true in
+  let t = Generator.xmark ~seed:11 ~scale:120 () in
+  row "document: xmark, n = %d, depth = %d\n" (Tree.size t) (Tree.height t);
+  List.iter
+    (fun qs ->
+      let p = Xpath.Parser.parse qs in
+      match Streamq.Xpath_filter.matches t p with
+      | None ->
+        ok := false;
+        row "%-44s %8s\n" qs "UNSUPPORTED"
+      | Some got ->
+        let want = not (Nodeset.is_empty (Xpath.Eval.query t p)) in
+        if got <> want then ok := false;
+        let t_s = time (fun () -> Streamq.Xpath_filter.matches t p) in
+        let t_e = time (fun () -> Xpath.Eval.query t p) in
+        row "%-44s %8b %12.3f %12.3f\n" qs got (ms t_s) (ms t_e))
+    queries;
+  record "qualified streaming filter = in-memory evaluation" !ok

@@ -1,0 +1,171 @@
+(* The `treequery` command-line interface.
+
+   Subcommands:
+     eval      parse a query (XPath / CQ / datalog) and evaluate it on a
+               document (XML file, inline XML, or a generated workload)
+     explain   show the engine's plan and the paper's complexity bound
+     filter    stream a document through forward path subscriptions
+     generate  emit a synthetic XML document *)
+
+open Cmdliner
+module Engine = Treequery.Engine
+module Tree = Treekit.Tree
+module Nodeset = Treekit.Nodeset
+
+(* ------------------------------------------------------------------ *)
+(* document sources *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_document ~xml_file ~xml ~random ~xmark ~seed =
+  match xml_file, xml, random, xmark with
+  | Some path, None, None, None -> Treekit.Xml.parse (read_file path)
+  | None, Some text, None, None -> Treekit.Xml.parse text
+  | None, None, Some n, None ->
+    Treekit.Generator.random ~seed ~n ~labels:Treekit.Generator.labels_abc ()
+  | None, None, None, Some scale -> Treekit.Generator.xmark ~seed ~scale ()
+  | None, None, None, None ->
+    failwith "no document: use --xml-file, --xml, --random or --xmark"
+  | _ -> failwith "give exactly one of --xml-file, --xml, --random, --xmark"
+
+let xml_file_arg =
+  Arg.(value & opt (some file) None & info [ "xml-file" ] ~docv:"FILE" ~doc:"XML document to query.")
+
+let xml_arg =
+  Arg.(value & opt (some string) None & info [ "xml" ] ~docv:"XML" ~doc:"Inline XML document.")
+
+let random_arg =
+  Arg.(value & opt (some int) None & info [ "random" ] ~docv:"N" ~doc:"Random tree with $(docv) nodes.")
+
+let xmark_arg =
+  Arg.(value & opt (some int) None & info [ "xmark" ] ~docv:"SCALE" ~doc:"XMark-like document at scale $(docv).")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Generator seed.")
+
+(* query in one of the five languages *)
+let parse_query ~xpath ~cq ~datalog ~positive ~axis_datalog =
+  match xpath, cq, datalog, positive, axis_datalog with
+  | Some q, None, None, [], None -> Engine.parse_xpath q
+  | None, Some q, None, [], None -> Engine.parse_cq q
+  | None, None, Some q, [], None -> Engine.parse_datalog q
+  | None, None, None, (_ :: _ as qs), None -> Engine.parse_positive qs
+  | None, None, None, [], Some q -> Engine.parse_axis_datalog q
+  | _ ->
+    failwith
+      "give exactly one of --xpath, --cq, --datalog, --positive (repeatable),        --axis-datalog"
+
+let xpath_arg =
+  Arg.(value & opt (some string) None & info [ "xpath" ] ~docv:"QUERY" ~doc:"Core XPath query.")
+
+let cq_arg =
+  Arg.(value & opt (some string) None & info [ "cq" ] ~docv:"QUERY" ~doc:"Conjunctive query (datalog-rule notation).")
+
+let datalog_arg =
+  Arg.(value & opt (some string) None & info [ "datalog" ] ~docv:"PROGRAM" ~doc:"Monadic datalog program with a ?- query directive.")
+
+let positive_arg =
+  Arg.(value & opt_all string [] & info [ "positive" ] ~docv:"QUERY" ~doc:"Disjunct of a positive FO query (repeatable; the union is evaluated).")
+
+let axis_datalog_arg =
+  Arg.(value & opt (some string) None & info [ "axis-datalog" ] ~docv:"PROGRAM" ~doc:"Monadic datalog over axis relations with a ?- query directive.")
+
+(* ------------------------------------------------------------------ *)
+
+let eval_cmd =
+  let run xpath cq datalog positive axis_datalog xml_file xml random xmark seed show_labels =
+    try
+      let doc = load_document ~xml_file ~xml ~random ~xmark ~seed in
+      let q = parse_query ~xpath ~cq ~datalog ~positive ~axis_datalog in
+      let answer = Engine.solutions q doc in
+      Printf.printf "document: %d nodes, depth %d\n" (Tree.size doc) (Tree.height doc);
+      Printf.printf "strategy: %s\n" (Engine.strategy_name (Engine.plan q));
+      Printf.printf "answers:  %d\n" (List.length answer);
+      List.iter
+        (fun tuple ->
+          let cell v =
+            if show_labels then Printf.sprintf "%d:%s" v (Tree.label doc v)
+            else string_of_int v
+          in
+          print_endline
+            ("  (" ^ String.concat ", " (List.map cell (Array.to_list tuple)) ^ ")"))
+        answer;
+      `Ok ()
+    with
+    | Failure m | Invalid_argument m -> `Error (false, m)
+    | Treekit.Xml.Parse_error m -> `Error (false, "XML: " ^ m)
+    | Xpath.Parser.Syntax_error m -> `Error (false, "XPath: " ^ m)
+    | Mdatalog.Parser.Syntax_error m -> `Error (false, "datalog: " ^ m)
+  in
+  let labels_arg =
+    Arg.(value & flag & info [ "labels" ] ~doc:"Show node labels next to node ids.")
+  in
+  Cmd.v (Cmd.info "eval" ~doc:"Evaluate a query on a document")
+    Term.(
+      ret
+        (const run $ xpath_arg $ cq_arg $ datalog_arg $ positive_arg
+       $ axis_datalog_arg $ xml_file_arg $ xml_arg $ random_arg $ xmark_arg
+       $ seed_arg $ labels_arg))
+
+let explain_cmd =
+  let run xpath cq datalog positive axis_datalog =
+    try
+      let q = parse_query ~xpath ~cq ~datalog ~positive ~axis_datalog in
+      print_string (Engine.explain q);
+      `Ok ()
+    with
+    | Failure m | Invalid_argument m -> `Error (false, m)
+    | Xpath.Parser.Syntax_error m -> `Error (false, "XPath: " ^ m)
+    | Mdatalog.Parser.Syntax_error m -> `Error (false, "datalog: " ^ m)
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Show the evaluation plan and complexity bound")
+    Term.(
+      ret (const run $ xpath_arg $ cq_arg $ datalog_arg $ positive_arg $ axis_datalog_arg))
+
+let filter_cmd =
+  let run patterns xml_file xml random xmark seed =
+    try
+      let doc = load_document ~xml_file ~xml ~random ~xmark ~seed in
+      let engine = Streamq.Filter_engine.create () in
+      List.iter
+        (fun p -> ignore (Streamq.Filter_engine.subscribe engine (Streamq.Path_pattern.of_string p)))
+        patterns;
+      let matched = Streamq.Filter_engine.match_document engine doc in
+      Printf.printf "document: %d nodes, depth %d\n" (Tree.size doc) (Tree.height doc);
+      List.iteri
+        (fun i p ->
+          Printf.printf "%-6s %s\n" (if List.mem i matched then "MATCH" else "-") p)
+        patterns;
+      `Ok ()
+    with Failure m | Invalid_argument m -> `Error (false, m)
+  in
+  let patterns_arg =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"PATTERN" ~doc:"Forward path patterns, e.g. //a/b.")
+  in
+  Cmd.v
+    (Cmd.info "filter" ~doc:"Stream a document through path subscriptions")
+    Term.(
+      ret (const run $ patterns_arg $ xml_file_arg $ xml_arg $ random_arg $ xmark_arg $ seed_arg))
+
+let generate_cmd =
+  let run random xmark seed =
+    try
+      let doc = load_document ~xml_file:None ~xml:None ~random ~xmark ~seed in
+      print_endline (Treekit.Xml.to_string doc);
+      `Ok ()
+    with Failure m | Invalid_argument m -> `Error (false, m)
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Emit a synthetic XML document")
+    Term.(ret (const run $ random_arg $ xmark_arg $ seed_arg))
+
+let () =
+  let doc = "process queries on tree-structured data efficiently" in
+  let info = Cmd.info "treequery" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ eval_cmd; explain_cmd; filter_cmd; generate_cmd ]))

@@ -1,0 +1,75 @@
+(* Querying a document that is being edited — the update side of Section 2's
+   labeling schemes.  A feed of auction events (new items, new bids) grows a
+   document through Treekit.Dynlabel; structural tests stay O(1) under the
+   maintained order labels, and periodic snapshots are queried with the
+   static engines.
+
+   Run with:  dune exec examples/editing.exe *)
+
+open Treekit
+module D = Dynlabel
+
+let () =
+  let rng = Random.State.make [| 2026 |] in
+  (* skeleton: site(regions(africa, asia), open_auctions) *)
+  let doc = D.create "site" in
+  let site = D.root doc in
+  let regions = D.insert_last_child doc site "regions" in
+  let region_nodes =
+    Array.map (D.insert_last_child doc regions) [| "africa"; "asia" |]
+  in
+  let auctions = D.insert_last_child doc site "open_auctions" in
+  let items = ref [] in
+
+  (* replay a feed of 50 000 events *)
+  let t0 = Sys.time () in
+  let n_events = 50_000 in
+  for _ = 1 to n_events do
+    if !items = [] || Random.State.int rng 3 = 0 then begin
+      let region = region_nodes.(Random.State.int rng 2) in
+      let item = D.insert_last_child doc region "item" in
+      ignore (D.insert_last_child doc item "name");
+      let auction = D.insert_last_child doc auctions "open_auction" in
+      ignore (D.insert_last_child doc auction "initial");
+      items := item :: !items
+    end
+    else begin
+      let item = List.nth !items (Random.State.int rng (List.length !items)) in
+      ignore (D.insert_last_child doc item "bid")
+    end
+  done;
+  let dt = (Sys.time () -. t0) *. 1000.0 in
+  Printf.printf "replayed %d feed events -> document of %d nodes in %.1f ms\n"
+    n_events (D.size doc) dt;
+  Printf.printf "order-maintenance relabelings: %d positions total (%.4f per event)\n"
+    (D.relabel_count doc)
+    (float_of_int (D.relabel_count doc) /. float_of_int n_events);
+
+  (* O(1) structural tests on the live document *)
+  let some_item = List.hd !items in
+  Printf.printf "\nlive tests (no traversal, label comparisons only):\n";
+  Printf.printf "  regions is an ancestor of the last item: %b\n"
+    (D.is_ancestor doc regions some_item);
+  Printf.printf "  the auctions section follows the regions section: %b\n"
+    (D.is_following doc regions auctions);
+
+  (* freeze and query with the full engines *)
+  let tree, _ = D.snapshot doc in
+  let busy = Xpath.Parser.parse "//item[bid][bid/following-sibling::bid]" in
+  let t0 = Sys.time () in
+  let answer = Xpath.Eval.query tree busy in
+  let dt = (Sys.time () -. t0) *. 1000.0 in
+  Printf.printf
+    "\nsnapshot query //item[bid][bid/following-sibling::bid] (items with >= 2 bids):\n";
+  Printf.printf "  %d of %d items, evaluated in %.2f ms on %d nodes\n"
+    (Nodeset.cardinal answer)
+    (List.length !items) dt (Tree.size tree);
+
+  (* the same snapshot through the planner *)
+  let q =
+    Treequery.Engine.parse_cq
+      {| q(I) :- lab(I, "item"), child(I, B), lab(B, "bid"), next-sibling(B, C), lab(C, "bid"). |}
+  in
+  Printf.printf "  cross-check via the CQ engine: %d answers (%s)\n"
+    (List.length (Treequery.Engine.solutions q tree))
+    (Treequery.Engine.strategy_name (Treequery.Engine.plan q))

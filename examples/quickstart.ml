@@ -1,0 +1,64 @@
+(* Quickstart: build a document, run the same query in the three languages,
+   and ask the engine to explain its plan.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Treekit
+module Engine = Treequery.Engine
+
+let () =
+  (* 1. A document.  Trees can be built from XML text, from a recursive
+     builder value, or with the random generators. *)
+  let doc =
+    Xml.parse
+      {|<library>
+          <shelf>
+            <book><title/><author/></book>
+            <book><title/></book>
+          </shelf>
+          <shelf>
+            <journal><title/></journal>
+            <book><title/><author/><author/></book>
+          </shelf>
+        </library>|}
+  in
+  Format.printf "document (%d nodes): %a@.@." (Tree.size doc) Tree.pp doc;
+
+  (* 2. Core XPath: books having an author, anywhere in the document. *)
+  let xq = Engine.parse_xpath "//book[author]" in
+  Format.printf "XPath    //book[author]          -> %a@." Nodeset.pp
+    (Engine.eval xq doc);
+
+  (* 3. The same query as a conjunctive query (datalog-rule notation). *)
+  let cq = Engine.parse_cq {| q(B) :- lab(B, "book"), child(B, A), lab(A, "author"). |} in
+  Format.printf "CQ       q(B) :- book, author    -> %a@." Nodeset.pp
+    (Engine.eval cq doc);
+
+  (* 4. And as a monadic datalog program over τ⁺. *)
+  let dq =
+    Engine.parse_datalog
+      {| haschild_author(B) :- child(B, A), lab(A, "author").
+         answer(B) :- lab(B, "book"), haschild_author(B).
+         ?- answer. |}
+  in
+  Format.printf "datalog  answer(B)               -> %a@.@." Nodeset.pp
+    (Engine.eval dq doc);
+
+  (* 5. Every engine reports how it will evaluate a query and which
+     complexity bound from the paper applies. *)
+  print_endline (Engine.explain cq);
+
+  (* a cyclic query over the descendant axis: Yannakakis does not apply,
+     but the X-property does (Section 6 of the paper) *)
+  let cyclic =
+    Engine.parse_cq
+      {| q(X) :- descendant(X, Y), descendant(Y, Z), descendant(X, Z), lab(Z, "title"). |}
+  in
+  print_endline (Engine.explain cyclic);
+  Format.printf "cyclic query answer -> %a@." Nodeset.pp (Engine.eval cyclic doc);
+
+  (* 6. Node labels of an answer, for display *)
+  let names =
+    List.map (Tree.label doc) (Nodeset.elements (Engine.eval xq doc))
+  in
+  Format.printf "labels of the XPath answer: %s@." (String.concat ", " names)

@@ -1,0 +1,30 @@
+(** Computing the subset-maximal arc-consistent pre-valuation
+    (Proposition 6.2).
+
+    Two implementations, tested to agree:
+
+    - {!via_hornsat} is the paper's construction verbatim: the problem
+      "decide, for each (x,v), whether v ∉ Θ(x)" is phrased as a
+      propositional Horn program (one proposition per variable/node pair,
+      support clauses per binary atom) and solved with Minoux's algorithm.
+      Its cost is linear in the size of the {e materialised} relations,
+      which for transitive axes is quadratic in the tree — exactly the
+      O(‖A‖·|Q|) bound the paper states.
+    - {!direct} is a worklist (AC-3 style) algorithm over node-set
+      domains, revising both endpoints of each binary atom with
+      set-at-a-time axis images; each pass is O(n·|Q|) and at most
+      O(n·|Q|) revisions fire, so it is the fast engine.
+
+    Both return [None] when no arc-consistent pre-valuation exists (some
+    domain becomes empty) — in which case the query is unsatisfiable. *)
+
+val direct :
+  ?env:Cqtree.Query.env -> Cqtree.Query.t -> Treekit.Tree.t -> Prevaluation.t option
+
+val via_hornsat :
+  ?env:Cqtree.Query.env -> Cqtree.Query.t -> Treekit.Tree.t -> Prevaluation.t option
+
+val hornsat_program_size :
+  ?env:Cqtree.Query.env -> Cqtree.Query.t -> Treekit.Tree.t -> int
+(** Size (atom occurrences) of the Horn program built by {!via_hornsat} —
+    the ‖A‖·|Q| measure, reported by benchmarks. *)

@@ -1,0 +1,126 @@
+module Tree = Treekit.Tree
+module Axis = Treekit.Axis
+module Nodeset = Treekit.Nodeset
+module Join_tree = Cqtree.Join_tree
+open Cqtree.Query
+
+(* Flatten a join-tree component into the pre-order variable numbering of
+   Figure 6: for each variable (except the first) we record its parent's
+   position and the atoms connecting it to the parent. *)
+type slot = {
+  var : var;
+  parent : int;  (** index into the slot array; -1 for the component root *)
+  atoms : (Axis.t * Join_tree.dir) list;  (** atoms towards the parent *)
+}
+
+let slots_of_component root =
+  let out = ref [] in
+  let counter = ref 0 in
+  let rec visit parent_idx atoms (node : Join_tree.node) =
+    let idx = !counter in
+    incr counter;
+    out := { var = node.var; parent = parent_idx; atoms } :: !out;
+    List.iter (fun (edge_atoms, child) -> visit idx edge_atoms child) node.edges
+  in
+  visit (-1) [] root;
+  Array.of_list (List.rev !out)
+
+(* the literal enumerate_satisfactions of Figure 6, with [on_solution]
+   instead of "output θ" *)
+let enumerate_satisfactions tree pv slots ~on_solution =
+  let k = Array.length slots in
+  let theta = Array.make k (-1) in
+  let rec at i =
+    if i = k then on_solution theta
+    else begin
+      let { var = x; parent; atoms } = slots.(i) in
+      let domain = Prevaluation.find pv x in
+      Nodeset.iter
+        (fun v ->
+          let consistent =
+            i = 0 || parent = -1
+            || List.for_all
+                 (fun (a, dir) ->
+                   match (dir : Join_tree.dir) with
+                   | Down -> Axis.mem tree a theta.(parent) v
+                   | Up -> Axis.mem tree a v theta.(parent))
+                 atoms
+          in
+          if consistent then begin
+            theta.(i) <- v;
+            at (i + 1)
+          end)
+        domain;
+      theta.(i) <- -1
+    end
+  in
+  at 0
+
+let prepare ?env q tree =
+  match Join_tree.build q with
+  | Error _ -> None
+  | Ok jt -> (
+    match Arc_consistency.direct ?env jt.query tree with
+    | None -> Some (jt, None)
+    | Some pv -> Some (jt, Some pv))
+
+let satisfactions ?env q tree =
+  match prepare ?env q tree with
+  | None -> None
+  | Some (_, None) -> Some []
+  | Some (jt, Some pv) ->
+    (* enumerate each component, combine by cartesian product *)
+    let comp_sols =
+      List.map
+        (fun root ->
+          let slots = slots_of_component root in
+          let acc = ref [] in
+          enumerate_satisfactions tree pv slots ~on_solution:(fun theta ->
+              acc :=
+                Array.to_list (Array.mapi (fun i v -> (slots.(i).var, v)) theta) :: !acc);
+          List.rev !acc)
+        jt.components
+    in
+    if List.exists (fun sols -> sols = []) comp_sols then Some []
+    else begin
+      let rec cross = function
+        | [] -> [ [] ]
+        | sols :: rest ->
+          let tails = cross rest in
+          List.concat_map (fun s -> List.map (fun t -> s @ t) tails) sols
+      in
+      Some (cross comp_sols)
+    end
+
+let solutions ?env q tree =
+  (* normalisation inside the join tree may rename head variables (Self
+     unification), so resolve the head against the normalised query *)
+  match Join_tree.build q with
+  | Error _ -> None
+  | Ok jt -> (
+    match satisfactions ?env q tree with
+    | None -> None
+    | Some sats ->
+      let tuples =
+        List.map
+          (fun theta ->
+            Array.of_list (List.map (fun h -> List.assoc h theta) jt.query.head))
+          sats
+      in
+      Some (List.sort_uniq compare tuples))
+
+let count ?env q tree =
+  match prepare ?env q tree with
+  | None -> None
+  | Some (_, None) -> Some 0
+  | Some (jt, Some pv) ->
+    let comp_counts =
+      List.map
+        (fun root ->
+          let slots = slots_of_component root in
+          let c = ref 0 in
+          enumerate_satisfactions tree pv slots ~on_solution:(fun _ -> incr c);
+          !c)
+        jt.components
+    in
+    Some (List.fold_left ( * ) 1 comp_counts)

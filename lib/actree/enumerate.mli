@@ -1,0 +1,30 @@
+(** Backtracking-free enumeration of the solutions of an acyclic
+    conjunctive query from its maximal arc-consistent pre-valuation
+    (Figure 6 and Propositions 6.9/6.10).
+
+    Proposition 6.9: for acyclic queries, {e every} node in the maximal
+    arc-consistent pre-valuation participates in a solution, so the
+    pre-valuation is a compact representation of the full answer set and
+    the recursive algorithm of Figure 6 reads the answers out without ever
+    failing below a consistent parent choice.  Its cost is
+    O(|A| · ‖Q(A)‖): per query-tree node it scans Θ(xᵢ) and keeps the
+    values consistent with the parent's assigned value.
+
+    This is the paper's point about holistic twig joins: computing the
+    pre-valuation is applying a full reducer, and the stack-based twig
+    algorithms ({!Twigjoin}) are a pointer-optimised special case. *)
+
+val satisfactions :
+  ?env:Cqtree.Query.env ->
+  Cqtree.Query.t ->
+  Treekit.Tree.t ->
+  (Cqtree.Query.var * int) list list option
+(** All consistent valuations (full assignments), enumerated per Figure 6.
+    [None] if the query is cyclic (the algorithm requires a join tree). *)
+
+val solutions :
+  ?env:Cqtree.Query.env -> Cqtree.Query.t -> Treekit.Tree.t -> int array list option
+(** {!satisfactions} projected onto the head, sorted and deduplicated. *)
+
+val count : ?env:Cqtree.Query.env -> Cqtree.Query.t -> Treekit.Tree.t -> int option
+(** Number of consistent valuations, without materialising them. *)

@@ -1,0 +1,250 @@
+module Nodeset = Treekit.Nodeset
+
+type var = string
+
+type atom = U of string * var | B of string * var * var
+
+type query = { head : var list; atoms : atom list }
+
+let atom_vars = function U (_, x) -> [ x ] | B (_, x, y) -> [ x; y ]
+
+let vars q =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let visit x =
+    if not (Hashtbl.mem seen x) then begin
+      Hashtbl.add seen x ();
+      out := x :: !out
+    end
+  in
+  List.iter visit q.head;
+  List.iter (fun a -> List.iter visit (atom_vars a)) q.atoms;
+  List.rev !out
+
+(* reuse the cursor-parser structure of Cqtree.Query, with free-form names *)
+let of_string input =
+  let fail fmt = Format.kasprintf failwith fmt in
+  let n = String.length input in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let skip_ws () =
+    while (match peek () with Some (' ' | '\t' | '\n' | '\r') -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let is_word = function
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | ':' -> true
+    | _ -> false
+  in
+  let word () =
+    skip_ws ();
+    let start = !pos in
+    while (match peek () with Some c when is_word c -> true | _ -> false) do
+      incr pos
+    done;
+    if !pos = start then fail "expected a name at offset %d" start;
+    String.sub input start (!pos - start)
+  in
+  let eat c =
+    skip_ws ();
+    match peek () with
+    | Some c' when c' = c -> incr pos
+    | _ -> fail "expected %C at offset %d" c !pos
+  in
+  let is_var w = w <> "" && (match w.[0] with 'A' .. 'Z' | '_' -> true | _ -> false) in
+  let _ = word () in
+  skip_ws ();
+  let head =
+    match peek () with
+    | Some '(' ->
+      incr pos;
+      let rec go acc =
+        let w = word () in
+        if not (is_var w) then fail "head arguments must be variables";
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          incr pos;
+          go (w :: acc)
+        | Some ')' ->
+          incr pos;
+          List.rev (w :: acc)
+        | _ -> fail "expected ',' or ')'"
+      in
+      go []
+    | _ -> []
+  in
+  eat ':';
+  eat '-';
+  let parse_atom () =
+    let name = word () in
+    eat '(';
+    let first = word () in
+    if not (is_var first) then fail "atom arguments must be variables";
+    skip_ws ();
+    match peek () with
+    | Some ')' ->
+      incr pos;
+      U (name, first)
+    | Some ',' ->
+      incr pos;
+      let second = word () in
+      if not (is_var second) then fail "expected a variable";
+      eat ')';
+      B (name, first, second)
+    | _ -> fail "expected ',' or ')'"
+  in
+  let rec atoms acc =
+    let a = parse_atom () in
+    skip_ws ();
+    match peek () with
+    | Some ',' ->
+      incr pos;
+      atoms (a :: acc)
+    | Some '.' ->
+      incr pos;
+      List.rev (a :: acc)
+    | None -> List.rev (a :: acc)
+    | _ -> fail "expected ',' or '.' at offset %d" !pos
+  in
+  let q = { head; atoms = atoms [] } in
+  let body_vars = List.concat_map atom_vars q.atoms in
+  List.iter
+    (fun h -> if not (List.mem h body_vars) then fail "unsafe head variable %s" h)
+    q.head;
+  q
+
+let holds s q theta =
+  List.for_all
+    (function
+      | U (p, x) -> Structure.mem_unary s p (theta x)
+      | B (r, x, y) -> Structure.mem_binary s r (theta x) (theta y))
+    q.atoms
+
+let naive_enumerate s q ~on_solution =
+  let vs = Array.of_list (vars q) in
+  let k = Array.length vs in
+  let index = Hashtbl.create 8 in
+  Array.iteri (fun i x -> Hashtbl.add index x i) vs;
+  let n = Structure.size s in
+  let assignment = Array.make k (-1) in
+  let checks_at = Array.make k [] in
+  let unary_at = Array.make k [] in
+  List.iter
+    (function
+      | U (p, x) ->
+        let i = Hashtbl.find index x in
+        unary_at.(i) <- p :: unary_at.(i)
+      | B (r, x, y) ->
+        let ix = Hashtbl.find index x and iy = Hashtbl.find index y in
+        checks_at.(max ix iy) <- (r, ix, iy) :: checks_at.(max ix iy))
+    q.atoms;
+  let rec go i =
+    if i = k then on_solution assignment
+    else
+      for v = 0 to n - 1 do
+        if List.for_all (fun p -> Structure.mem_unary s p v) unary_at.(i) then begin
+          assignment.(i) <- v;
+          if
+            List.for_all
+              (fun (r, ix, iy) -> Structure.mem_binary s r assignment.(ix) assignment.(iy))
+              checks_at.(i)
+          then go (i + 1);
+          assignment.(i) <- -1
+        end
+      done
+  in
+  go 0
+
+let naive_solutions s q =
+  let vs = vars q in
+  let positions =
+    List.map
+      (fun h ->
+        let rec find i = function
+          | [] -> assert false
+          | x :: _ when x = h -> i
+          | _ :: rest -> find (i + 1) rest
+        in
+        find 0 vs)
+      q.head
+  in
+  let seen = Hashtbl.create 64 in
+  naive_enumerate s q ~on_solution:(fun a ->
+      Hashtbl.replace seen (Array.of_list (List.map (fun i -> a.(i)) positions)) ());
+  List.sort compare (Hashtbl.fold (fun t () acc -> t :: acc) seen [])
+
+exception Found
+
+let naive_boolean s q =
+  try
+    naive_enumerate s q ~on_solution:(fun _ -> raise Found);
+    false
+  with Found -> true
+
+let arc_consistency s q =
+  let n = Structure.size s in
+  let domains = Hashtbl.create 8 in
+  List.iter (fun x -> Hashtbl.replace domains x (Nodeset.universe n)) (vars q);
+  List.iter
+    (function
+      | U (p, x) -> Nodeset.inter_into (Hashtbl.find domains x) (Structure.unary_set s p)
+      | B _ -> ())
+    q.atoms;
+  let binary = List.filter_map (function B (r, x, y) -> Some (r, x, y) | U _ -> None) q.atoms in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (r, x, y) ->
+        let dx = Hashtbl.find domains x and dy = Hashtbl.find domains y in
+        let cx = Nodeset.cardinal dx and cy = Nodeset.cardinal dy in
+        (* v stays in dx iff some R-successor is in dy; w stays in dy iff
+           some R-predecessor is in dx *)
+        Nodeset.iter
+          (fun v ->
+            if not (List.exists (Nodeset.mem dy) (Structure.successors s r v)) then
+              Nodeset.remove dx v)
+          (Nodeset.copy dx);
+        Nodeset.iter
+          (fun w ->
+            if not (List.exists (Nodeset.mem dx) (Structure.predecessors s r w)) then
+              Nodeset.remove dy w)
+          (Nodeset.copy dy);
+        if Nodeset.cardinal dx <> cx || Nodeset.cardinal dy <> cy then changed := true)
+      binary
+  done;
+  let pv = List.map (fun x -> (x, Hashtbl.find domains x)) (vars q) in
+  if List.exists (fun (_, s) -> Nodeset.is_empty s) pv then None else Some pv
+
+let minimum_valuation ~order pv =
+  List.map
+    (fun (x, s) ->
+      let best =
+        Nodeset.fold
+          (fun v best ->
+            match best with
+            | None -> Some v
+            | Some b -> if order.(v) < order.(b) then Some v else best)
+          s None
+      in
+      match best with
+      | Some v -> (x, v)
+      | None -> invalid_arg "Gcsp.minimum_valuation: empty set")
+    pv
+
+let boolean_via_x_property s q ~order =
+  match arc_consistency s q with
+  | None -> (false, None)
+  | Some pv -> (true, Some (minimum_valuation ~order pv))
+
+let homomorphism_query g ~edge_rel =
+  let var i = Printf.sprintf "V%d" i in
+  let atoms =
+    List.concat_map
+      (fun (u, v) -> [ B (edge_rel, var u, var v); B (edge_rel, var v, var u) ])
+      (Treewidth.Graph.edges g)
+  in
+  (* a homomorphism into a symmetric edge relation; for directed targets
+     callers can build the query directly *)
+  { head = []; atoms }

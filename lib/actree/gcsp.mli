@@ -1,0 +1,55 @@
+(** Conjunctive queries over arbitrary structures of unary and binary
+    relations — Section 6 in its full generality.
+
+    The tree engines elsewhere in the repository specialise this machinery
+    to axis relations; here the statements are implemented over explicit
+    {!Structure}s, which is the setting of Example 6.1, of the
+    H-colouring/CSP connection ([45, 21, 46, 54]) and of Lemma 6.4's
+    proof.  Evaluating a Boolean conjunctive query is exactly deciding
+    homomorphism (CSP): NP-complete in general, polynomial under the
+    X-property (Theorem 6.5). *)
+
+type var = string
+
+type atom =
+  | U of string * var  (** [P(x)] for a unary relation name [P] *)
+  | B of string * var * var  (** [R(x, y)] for a binary relation name [R] *)
+
+type query = { head : var list; atoms : atom list }
+
+val vars : query -> var list
+
+val of_string : string -> query
+(** Same concrete syntax as {!Cqtree.Query.of_string} except that relation
+    names are free-form: [q(X) :- p(X), r(X, Y), s(Y, X).]
+    @raise Failure *)
+
+val holds : Structure.t -> query -> (var -> int) -> bool
+(** Is the valuation consistent (satisfies every atom)? *)
+
+val naive_solutions : Structure.t -> query -> int array list
+(** Backtracking over all assignments; exponential.  Ground truth. *)
+
+val naive_boolean : Structure.t -> query -> bool
+
+val arc_consistency : Structure.t -> query -> Prevaluation.t option
+(** The subset-maximal arc-consistent pre-valuation (worklist AC over the
+    explicit relations), or [None] if none exists.  O(‖A‖·|Q|). *)
+
+val minimum_valuation : order:int array -> Prevaluation.t -> (var * int) list
+(** Smallest element of each set w.r.t. the order (Lemma 6.4: consistent
+    whenever the structure has the X-property w.r.t. that order). *)
+
+val boolean_via_x_property :
+  Structure.t -> query -> order:int array -> bool * (var * int) list option
+(** Theorem 6.5: satisfiability via arc-consistency, plus the minimum
+    valuation as a witness when satisfiable.  {e The caller is responsible
+    for the structure having the X-property w.r.t. the order} (check with
+    {!Structure.has_x_property}); without it the answer may be wrong —
+    which is precisely Example 6.1, and is what the tests demonstrate. *)
+
+val homomorphism_query : Treewidth.Graph.t -> edge_rel:string -> query
+(** The H-colouring bridge: the Boolean query asking for a homomorphism
+    from the given pattern graph into the structure's [edge_rel] relation
+    (each pattern edge becomes one atom; pattern vertices become
+    variables). *)

@@ -1,0 +1,73 @@
+module Nodeset = Treekit.Nodeset
+module Order = Treekit.Order
+open Cqtree.Query
+
+type t = (var * Nodeset.t) list
+
+let find pv x =
+  match List.assoc_opt x pv with Some s -> s | None -> raise Not_found
+
+let is_arc_consistent ?(env = []) q tree pv =
+  let module Axis = Treekit.Axis in
+  let module Tree = Treekit.Tree in
+  let dom x = find pv x in
+  List.for_all (fun (_, s) -> not (Nodeset.is_empty s)) pv
+  && List.for_all
+       (function
+         | U (u, x) ->
+           Nodeset.fold
+             (fun v acc ->
+               acc
+               &&
+               (match u with
+               | Lab a -> Tree.label tree v = a
+               | Root -> Tree.is_root tree v
+               | Leaf -> Tree.is_leaf tree v
+               | First_sibling -> Tree.is_first_sibling tree v
+               | Last_sibling -> Tree.is_last_sibling tree v
+               | Named p -> (
+                 match List.assoc_opt p env with
+                 | Some s -> Nodeset.mem s v
+                 | None -> invalid_arg ("unbound named predicate " ^ p))
+               | False -> false
+               | True -> true))
+             (dom x) true
+         | A (a, x, y) ->
+           let dx = dom x and dy = dom y in
+           Nodeset.fold
+             (fun v acc ->
+               acc && Nodeset.fold (fun w found -> found || Axis.mem tree a v w) dy false)
+             dx true
+           && Nodeset.fold
+                (fun w acc ->
+                  acc && Nodeset.fold (fun v found -> found || Axis.mem tree a v w) dx false)
+                dy true)
+       q.atoms
+
+let minimum_valuation tree kind pv =
+  List.map
+    (fun (x, s) ->
+      let best =
+        Nodeset.fold
+          (fun v best ->
+            match best with
+            | None -> Some v
+            | Some b -> if Order.lt tree kind v b then Some v else best)
+          s None
+      in
+      match best with
+      | Some v -> (x, v)
+      | None -> invalid_arg "Prevaluation.minimum_valuation: empty set")
+    pv
+
+let equal a b =
+  List.length a = List.length b
+  && List.for_all
+       (fun (x, s) ->
+         match List.assoc_opt x b with Some s' -> Nodeset.equal s s' | None -> false)
+       a
+
+let pp fmt pv =
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun (x, s) -> Format.fprintf fmt "%s -> %a@," x Nodeset.pp s) pv;
+  Format.fprintf fmt "@]"

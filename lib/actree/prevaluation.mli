@@ -1,0 +1,31 @@
+(** Pre-valuations (Section 6).
+
+    A pre-valuation for a query [Q] on a structure with domain [A] assigns
+    to each variable of [Q] a nonempty subset of [A]; it is arc-consistent
+    if every unary atom holds on every assigned node and every binary atom
+    [R(x,y)] is supported in both directions.  The subset-maximal
+    arc-consistent pre-valuation is what {!Arc_consistency} computes. *)
+
+type t = (Cqtree.Query.var * Treekit.Nodeset.t) list
+(** One entry per query variable, in order of first appearance. *)
+
+val find : t -> Cqtree.Query.var -> Treekit.Nodeset.t
+(** @raise Not_found *)
+
+val is_arc_consistent :
+  ?env:Cqtree.Query.env -> Cqtree.Query.t -> Treekit.Tree.t -> t -> bool
+(** Check the definition directly (every domain nonempty, unary atoms hold,
+    binary atoms supported both ways).  O(‖A‖·|Q|) worst case; used by
+    tests. *)
+
+val minimum_valuation :
+  Treekit.Tree.t -> Treekit.Order.kind -> t -> (Cqtree.Query.var * int) list
+(** The minimum valuation w.r.t. the given order: each variable is mapped
+    to the smallest node of its set (Lemma 6.4 proves it consistent when
+    the structure has the X-property w.r.t. that order).
+    @raise Invalid_argument if some set is empty. *)
+
+val equal : t -> t -> bool
+(** Same variables (any order) with equal sets. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,179 @@
+module Nodeset = Treekit.Nodeset
+module Tree = Treekit.Tree
+module Axis = Treekit.Axis
+
+type binary_rel = {
+  mutable pairs : (int * int) list;  (** reverse insertion order, deduplicated *)
+  succ : int list array;  (** kept sorted *)
+  pred : int list array;
+  member : (int * int, unit) Hashtbl.t;
+}
+
+type t = {
+  size : int;
+  unaries : (string, Nodeset.t) Hashtbl.t;
+  binaries : (string, binary_rel) Hashtbl.t;
+}
+
+let create ~size =
+  if size < 0 then invalid_arg "Structure.create: negative size";
+  { size; unaries = Hashtbl.create 8; binaries = Hashtbl.create 8 }
+
+let size s = s.size
+
+let check s v = if v < 0 || v >= s.size then invalid_arg "Structure: element out of range"
+
+let add_unary s name elems =
+  let set =
+    match Hashtbl.find_opt s.unaries name with
+    | Some set -> set
+    | None ->
+      let set = Nodeset.create s.size in
+      Hashtbl.add s.unaries name set;
+      set
+  in
+  List.iter
+    (fun v ->
+      check s v;
+      Nodeset.add set v)
+    elems
+
+let get_binary s name =
+  match Hashtbl.find_opt s.binaries name with
+  | Some r -> r
+  | None ->
+    let r =
+      {
+        pairs = [];
+        succ = Array.make s.size [];
+        pred = Array.make s.size [];
+        member = Hashtbl.create 64;
+      }
+    in
+    Hashtbl.add s.binaries name r;
+    r
+
+let insert_sorted x xs =
+  let rec go = function
+    | [] -> [ x ]
+    | y :: rest as l -> if x < y then x :: l else if x = y then l else y :: go rest
+  in
+  go xs
+
+let add_binary s name pairs =
+  let r = get_binary s name in
+  List.iter
+    (fun (v, w) ->
+      check s v;
+      check s w;
+      if not (Hashtbl.mem r.member (v, w)) then begin
+        Hashtbl.add r.member (v, w) ();
+        r.pairs <- (v, w) :: r.pairs;
+        r.succ.(v) <- insert_sorted w r.succ.(v);
+        r.pred.(w) <- insert_sorted v r.pred.(w)
+      end)
+    pairs
+
+let unary_names s = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) s.unaries [])
+
+let binary_names s =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) s.binaries [])
+
+let mem_unary s name v =
+  match Hashtbl.find_opt s.unaries name with
+  | Some set -> Nodeset.mem set v
+  | None -> false
+
+let mem_binary s name v w =
+  match Hashtbl.find_opt s.binaries name with
+  | Some r -> Hashtbl.mem r.member (v, w)
+  | None -> false
+
+let successors s name v =
+  match Hashtbl.find_opt s.binaries name with Some r -> r.succ.(v) | None -> []
+
+let predecessors s name v =
+  match Hashtbl.find_opt s.binaries name with Some r -> r.pred.(v) | None -> []
+
+let unary_set s name =
+  match Hashtbl.find_opt s.unaries name with
+  | Some set -> Nodeset.copy set
+  | None -> Nodeset.create s.size
+
+let relation_size s name =
+  match Hashtbl.find_opt s.binaries name with
+  | Some r -> List.length r.pairs
+  | None -> 0
+
+let of_tree tree axes =
+  let n = Tree.size tree in
+  let s = create ~size:n in
+  List.iter
+    (fun axis ->
+      let pairs = ref [] in
+      for v = 0 to n - 1 do
+        Axis.fold tree axis v (fun w () -> pairs := (v, w) :: !pairs) ()
+      done;
+      add_binary s (Axis.name axis) !pairs)
+    axes;
+  for v = 0 to n - 1 do
+    add_unary s ("lab:" ^ Tree.label tree v) [ v ]
+  done;
+  s
+
+let has_x_property s name ~order =
+  if Array.length order <> s.size then invalid_arg "Structure.has_x_property: bad order";
+  match Hashtbl.find_opt s.binaries name with
+  | None -> true
+  | Some r ->
+    let lt a b = order.(a) < order.(b) in
+    List.for_all
+      (fun (n1, n2) ->
+        List.for_all
+          (fun (n0, n3) ->
+            if lt n0 n1 && lt n2 n3 then Hashtbl.mem r.member (n0, n2) else true)
+          r.pairs)
+      r.pairs
+
+let x_closure s name ~order =
+  let lt a b = order.(a) < order.(b) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let r = get_binary s name in
+    let additions = ref [] in
+    List.iter
+      (fun (n1, n2) ->
+        List.iter
+          (fun (n0, n3) ->
+            if lt n0 n1 && lt n2 n3 && not (Hashtbl.mem r.member (n0, n2)) then
+              additions := (n0, n2) :: !additions)
+          r.pairs)
+      r.pairs;
+    if !additions <> [] then begin
+      changed := true;
+      add_binary s name !additions
+    end
+  done
+
+let example_61 () =
+  let s = create ~size:4 in
+  add_binary s "R" [ (0, 1); (2, 3) ];
+  add_binary s "S" [ (2, 1); (0, 3) ];
+  s
+
+let pp fmt s =
+  Format.fprintf fmt "@[<v>structure (domain %d)" s.size;
+  List.iter
+    (fun name -> Format.fprintf fmt "@,%s = %a" name Nodeset.pp (unary_set s name))
+    (unary_names s);
+  List.iter
+    (fun name ->
+      let r = Hashtbl.find s.binaries name in
+      Format.fprintf fmt "@,%s = {%s}" name
+        (String.concat ", "
+           (List.map
+              (fun (v, w) -> Printf.sprintf "(%d,%d)" v w)
+              (List.sort compare r.pairs))))
+    (binary_names s);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,65 @@
+(** Finite relational structures of unary and binary relations.
+
+    Section 6 of the paper states its results (arc-consistency,
+    Prop. 6.2; the X-property, Def. 6.3; minimum valuations, Lemma 6.4;
+    Theorem 6.5) over {e arbitrary} structures of unary and binary
+    relations — trees are the special case the rest of the survey needs.
+    This module provides such structures explicitly, so the general
+    statements can be implemented and tested verbatim (including the
+    paper's Example 6.1), and so the Gutjahr–Welzl–Woeginger H-colouring
+    connection can be exercised on non-tree data. *)
+
+type t
+
+val create : size:int -> t
+(** A structure with domain [{0, …, size-1}] and no relations. *)
+
+val size : t -> int
+
+val add_unary : t -> string -> int list -> unit
+(** Define (or extend) a unary relation.
+    @raise Invalid_argument on out-of-range elements. *)
+
+val add_binary : t -> string -> (int * int) list -> unit
+(** Define (or extend) a binary relation. *)
+
+val unary_names : t -> string list
+val binary_names : t -> string list
+
+val mem_unary : t -> string -> int -> bool
+(** False for unknown relation names. *)
+
+val mem_binary : t -> string -> int -> int -> bool
+
+val successors : t -> string -> int -> int list
+(** [{ w | R(v, w) }], sorted.  [[]] for unknown names. *)
+
+val predecessors : t -> string -> int -> int list
+
+val unary_set : t -> string -> Treekit.Nodeset.t
+
+val relation_size : t -> string -> int
+(** Number of pairs in a binary relation. *)
+
+val of_tree : Treekit.Tree.t -> Treekit.Axis.t list -> t
+(** Materialise the given axes (named by {!Treekit.Axis.name}) and the
+    label relations ([lab:a] for label [a]) of a tree — the bridge between
+    the general machinery and the tree case.  Quadratic for transitive
+    axes, by design (this is the ‖A‖ the paper's bounds charge). *)
+
+val has_x_property : t -> string -> order:int array -> bool
+(** Definition 6.3, checked exhaustively: for all [R(n1,n2)], [R(n0,n3)]
+    with [n0 < n1] and [n2 < n3] in the given order (a permutation's rank
+    array), [R(n0,n2)] must hold.  O(|R|²). *)
+
+val x_closure : t -> string -> order:int array -> unit
+(** Add the arcs forced by the X-property until a fixpoint is reached —
+    a convenient way to {e make} relations with the X-property for tests
+    and benchmarks. *)
+
+val example_61 : unit -> t
+(** The paper's Example 6.1 database over domain {1,…,4} (internally
+    0-based: the paper's element k is [k-1]):
+    [R = {(1,2), (3,4)}], [S = {(3,2), (1,4)}]. *)
+
+val pp : Format.formatter -> t -> unit

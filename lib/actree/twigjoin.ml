@@ -1,0 +1,237 @@
+module Tree = Treekit.Tree
+module Axis = Treekit.Axis
+open Cqtree.Query
+
+type edge = Child_edge | Descendant_edge
+
+type node = { label : string option; children : (edge * node) list }
+
+let path specs =
+  match List.rev specs with
+  | [] -> invalid_arg "Twigjoin.path: empty pattern"
+  | (l_last, e_last) :: rest ->
+    (* the edge stored with a node connects it to its parent, so when
+       wrapping a parent around the accumulated child we use the child's
+       edge *)
+    let rec wrap child child_edge = function
+      | [] -> child
+      | (l, e) :: more -> wrap { label = l; children = [ (child_edge, child) ] } e more
+    in
+    wrap { label = l_last; children = [] } e_last rest
+
+let rec pattern_size n = 1 + List.fold_left (fun s (_, c) -> s + pattern_size c) 0 n.children
+
+(* ------------------------------------------------------------------ *)
+(* Conversion to/from conjunctive queries *)
+
+let to_query pattern =
+  let counter = ref 0 in
+  let atoms = ref [] and head = ref [] in
+  let rec visit parent_var edge n =
+    let v = Printf.sprintf "V%d" !counter in
+    incr counter;
+    head := v :: !head;
+    (match n.label with Some l -> atoms := U (Lab l, v) :: !atoms | None -> ());
+    (match parent_var, edge with
+    | Some p, Some Child_edge -> atoms := A (Axis.Child, p, v) :: !atoms
+    | Some p, Some Descendant_edge -> atoms := A (Axis.Descendant, p, v) :: !atoms
+    | None, _ -> ()
+    | Some _, None -> assert false);
+    (* a wildcard root with no label still needs an atom for safety *)
+    if n.label = None && parent_var = None && n.children = [] then
+      atoms := U (True, v) :: !atoms;
+    List.iter (fun (e, c) -> visit (Some v) (Some e) c) n.children
+  in
+  visit None None pattern;
+  { head = List.rev !head; atoms = List.rev !atoms }
+
+let of_query q =
+  match Cqtree.Join_tree.build q with
+  | Error _ -> None
+  | Ok jt -> (
+    match jt.components with
+    | [ root ] ->
+      let exception Not_twig in
+      let rec conv (n : Cqtree.Join_tree.node) =
+        let label =
+          match n.unaries with
+          | [] -> None
+          | [ Lab l ] -> Some l
+          | [ True ] -> None
+          | _ -> raise Not_twig
+        in
+        let children =
+          List.map
+            (fun (atoms, child) ->
+              match atoms with
+              | [ (Axis.Child, Cqtree.Join_tree.Down) ] -> (Child_edge, conv child)
+              | [ (Axis.Descendant, Cqtree.Join_tree.Down) ] ->
+                (Descendant_edge, conv child)
+              | _ -> raise Not_twig)
+            n.edges
+        in
+        { label; children }
+      in
+      (try Some (conv root) with Not_twig -> None)
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* PathStack *)
+
+type stack_entry = { node : int; ptr : int  (** top index of the previous stack *) }
+
+let stream_of tree = function
+  | Some l -> Tree.nodes_with_label tree l
+  | None -> List.init (Tree.size tree) Fun.id
+
+let path_stack tree specs =
+  let k = List.length specs in
+  if k = 0 then invalid_arg "Twigjoin.path_stack: empty pattern";
+  let labels = Array.of_list (List.map fst specs)
+  and edges = Array.of_list (List.map snd specs) in
+  (* streams as arrays with a cursor *)
+  let streams = Array.map (stream_of tree) labels in
+  let streams = Array.map Array.of_list streams in
+  let cursor = Array.make k 0 in
+  let stacks : stack_entry array array = Array.map (fun s -> Array.make (Array.length s) { node = 0; ptr = 0 }) streams in
+  let top = Array.make k (-1) in
+  (* closed(u) = first pre-order rank after u's subtree *)
+  let closed u = u + Tree.subtree_size tree u in
+  let results = ref [] in
+  let expand_leaf v prev_top =
+    let tuple = Array.make k (-1) in
+    tuple.(k - 1) <- v;
+    let rec level i max_idx =
+      if i < 0 then results := Array.copy tuple :: !results
+      else
+        for j = 0 to max_idx do
+          let entry = stacks.(i).(j) in
+          let ok =
+            match edges.(i + 1) with
+            | Descendant_edge ->
+              (* stack entries are ancestors-or-self of the current node;
+                 Child+ is strict *)
+              entry.node <> tuple.(i + 1)
+            | Child_edge -> Tree.parent tree tuple.(i + 1) = entry.node
+          in
+          if ok then begin
+            tuple.(i) <- entry.node;
+            level (i - 1) entry.ptr
+          end
+        done
+    in
+    level (k - 2) prev_top
+  in
+  let exhausted i = cursor.(i) >= Array.length streams.(i) in
+  let continue = ref true in
+  while !continue do
+    (* qmin: stream with the smallest next pre rank *)
+    let qmin = ref (-1) in
+    for i = 0 to k - 1 do
+      if not (exhausted i) then
+        if !qmin = -1 || streams.(i).(cursor.(i)) < streams.(!qmin).(cursor.(!qmin)) then
+          qmin := i
+    done;
+    if !qmin = -1 then continue := false
+    else begin
+      let i = !qmin in
+      let v = streams.(i).(cursor.(i)) in
+      cursor.(i) <- cursor.(i) + 1;
+      (* pop entries whose subtree closed before v *)
+      for j = 0 to k - 1 do
+        while top.(j) >= 0 && closed stacks.(j).(top.(j)).node <= v do
+          top.(j) <- top.(j) - 1
+        done
+      done;
+      if i = 0 || top.(i - 1) >= 0 then begin
+        if i < k - 1 then begin
+          top.(i) <- top.(i) + 1;
+          stacks.(i).(top.(i)) <- { node = v; ptr = (if i = 0 then -1 else top.(i - 1)) }
+        end
+        else if k = 1 then results := [| v |] :: !results
+        else expand_leaf v top.(k - 2)
+      end
+    end
+  done;
+  List.sort_uniq compare !results
+
+(* ------------------------------------------------------------------ *)
+(* Twigs: decompose into root-to-leaf paths, PathStack each, merge on the
+   shared prefix variables. *)
+
+let solutions tree pattern =
+  (* assign pre-order ids to pattern nodes and collect root-to-leaf paths
+     as lists of (id, label, edge-from-parent) *)
+  let counter = ref 0 in
+  let paths = ref [] in
+  let rec visit prefix edge n =
+    let id = !counter in
+    incr counter;
+    let prefix = (id, n.label, edge) :: prefix in
+    if n.children = [] then paths := List.rev prefix :: !paths
+    else List.iter (fun (e, c) -> visit prefix (Some e) c) n.children
+  in
+  visit [] None pattern;
+  let paths = List.rev !paths in
+  let total = !counter in
+  (* solve each path with PathStack *)
+  let solved =
+    List.map
+      (fun p ->
+        let specs =
+          List.map
+            (fun (_, l, e) ->
+              (l, match e with Some e -> e | None -> Descendant_edge))
+            p
+        in
+        let ids = List.map (fun (id, _, _) -> id) p in
+        (ids, path_stack tree specs))
+      paths
+  in
+  (* merge: join successive path solution sets on their shared id prefix *)
+  let merge (ids1, sols1) (ids2, sols2) =
+    let shared = List.filter (fun id -> List.mem id ids1) ids2 in
+    let proj ids sol = List.map (fun id ->
+        let rec pos i = function
+          | [] -> assert false
+          | x :: _ when x = id -> i
+          | _ :: r -> pos (i + 1) r
+        in
+        sol.(pos 0 ids)) shared
+    in
+    let index = Hashtbl.create 64 in
+    List.iter (fun s -> Hashtbl.add index (proj ids2 s) s) sols2;
+    let new_ids = ids1 @ List.filter (fun id -> not (List.mem id ids1)) ids2 in
+    let extra_positions =
+      List.filter_map
+        (fun id ->
+          if List.mem id ids1 then None
+          else
+            let rec pos i = function
+              | [] -> assert false
+              | x :: _ when x = id -> i
+              | _ :: r -> pos (i + 1) r
+            in
+            Some (pos 0 ids2))
+        ids2
+    in
+    let merged =
+      List.concat_map
+        (fun s1 ->
+          List.map
+            (fun s2 ->
+              Array.append s1 (Array.of_list (List.map (fun p -> s2.(p)) extra_positions)))
+            (Hashtbl.find_all index (proj ids1 s1)))
+        sols1
+    in
+    (new_ids, merged)
+  in
+  match solved with
+  | [] -> []
+  | first :: rest ->
+    let ids, sols = List.fold_left merge first rest in
+    (* reorder columns to pattern pre-order 0..total-1 *)
+    let position = Array.make total 0 in
+    List.iteri (fun i id -> position.(id) <- i) ids;
+    List.sort_uniq compare
+      (List.map (fun s -> Array.init total (fun id -> s.(position.(id)))) sols)

@@ -1,0 +1,50 @@
+(** Holistic twig joins (Section 6, "Holistic Processing of Acyclic
+    Queries"; Bruno–Koudas–Srivastava's PathStack/TwigStack).
+
+    A twig is a tree pattern whose edges are [/] (Child) or [//]
+    (Descendant) and whose nodes carry optional label tests.  PathStack
+    processes a {e path} pattern against label-sorted node streams with one
+    stack per pattern node; stack entries point into the stack above, so
+    the stacks compactly encode all partial solutions — the same
+    compact-representation idea as the arc-consistent pre-valuation, which
+    is the paper's point.  Twigs are processed by decomposing into
+    root-to-leaf paths and merge-joining the path solutions on the shared
+    branch variables.
+
+    Streams are consumed in document order, each node enters and leaves its
+    stack at most once, so PathStack runs in time O(input + output) for
+    descendant edges. *)
+
+type edge =
+  | Child_edge  (** [/] *)
+  | Descendant_edge  (** [//] *)
+
+type node = {
+  label : string option;  (** [None] = wildcard *)
+  children : (edge * node) list;
+}
+(** A twig pattern; the pattern root may match any tree node. *)
+
+val path : (string option * edge) list -> node
+(** [path [(l0, _); (l1, e1); …]] is the path pattern
+    [l0 e1 l1 e2 l2 …]; the first pair's edge is ignored. *)
+
+val of_query : Cqtree.Query.t -> node option
+(** Convert a conjunctive query if it is a twig: connected, tree-shaped
+    with all binary atoms [Child]/[Descendant] oriented away from one root
+    variable, and only label unaries.  Returns [None] otherwise. *)
+
+val to_query : node -> Cqtree.Query.t
+(** The twig as a conjunctive query with head = all pattern variables in
+    pattern pre-order (variables [V0], [V1], …) — the ground-truth bridge
+    used by tests. *)
+
+val pattern_size : node -> int
+
+val solutions : Treekit.Tree.t -> node -> int array list
+(** All matches as tuples over the pattern nodes in pattern pre-order,
+    sorted and deduplicated. *)
+
+val path_stack : Treekit.Tree.t -> (string option * edge) list -> int array list
+(** The PathStack algorithm proper, for path patterns (exposed for the
+    Figure 6 / Proposition 6.10 benchmarks). *)

@@ -1,0 +1,69 @@
+module Tree = Treekit.Tree
+module Nodeset = Treekit.Nodeset
+open Cqtree.Query
+
+let supported q = Xproperty.order_for_signature (signature q)
+
+let boolean ?env q tree =
+  match supported q with
+  | None -> None
+  | Some _ ->
+    let q = normalize_forward q in
+    Some (Arc_consistency.direct ?env q tree <> None)
+
+let witness ?env q tree =
+  match supported q with
+  | None -> None
+  | Some kind -> (
+    let q' = normalize_forward q in
+    match Arc_consistency.direct ?env q' tree with
+    | None -> Some None
+    | Some pv -> Some (Some (Prevaluation.minimum_valuation tree kind pv)))
+
+let check_tuple ?(env = []) q tree tuple =
+  if List.length tuple <> List.length q.head then
+    invalid_arg "Xeval.check_tuple: arity mismatch";
+  let n = Tree.size tree in
+  (* adjoin singleton relations X_i = {a_i} *)
+  let extra_atoms, extra_env =
+    List.mapi
+      (fun i (h, a) ->
+        let name = Printf.sprintf "__singleton_%d" i in
+        let s = Nodeset.create n in
+        Nodeset.add s a;
+        (U (Named name, h), (name, s)))
+      (List.combine q.head tuple)
+    |> List.split
+  in
+  boolean ~env:(extra_env @ env) { head = []; atoms = extra_atoms @ q.atoms } tree
+
+let solutions ?(env = []) q tree =
+  match supported q with
+  | None -> None
+  | Some _ -> (
+    let q' = normalize_forward q in
+    match Arc_consistency.direct ~env q' tree with
+    | None -> Some []
+    | Some pv ->
+      (* candidate head tuples come from the pre-valuation domains (every
+         solution is contained in the maximal arc-consistent
+         pre-valuation) *)
+      let head_domains =
+        List.map (fun h -> Nodeset.elements (Prevaluation.find pv h)) q'.head
+      in
+      let rec cartesian = function
+        | [] -> [ [] ]
+        | d :: rest ->
+          let tails = cartesian rest in
+          List.concat_map (fun v -> List.map (fun t -> v :: t) tails) d
+      in
+      let candidates = cartesian head_domains in
+      let sols =
+        List.filter_map
+          (fun tuple ->
+            match check_tuple ~env q' tree tuple with
+            | Some true -> Some (Array.of_list tuple)
+            | Some false | None -> None)
+          candidates
+      in
+      Some (List.sort_uniq compare sols))

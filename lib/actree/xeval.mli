@@ -1,0 +1,39 @@
+(** Conjunctive-query evaluation through the X-property
+    (Theorem 6.5, Lemma 6.4, and the k-ary extension after Theorem 6.5).
+
+    For queries over a signature that has the X-property w.r.t. one of the
+    three orders (the tractable side of the Theorem 6.8 dichotomy), a
+    Boolean query is satisfied iff the maximal arc-consistent
+    pre-valuation exists; a witness is then the minimum valuation w.r.t.
+    that order.  Crucially this works for {e cyclic} queries too — where
+    {!Cqtree.Yannakakis} does not apply.
+
+    k-ary queries reduce to Boolean ones by adjoining singleton unary
+    relations [Xᵢ = {aᵢ}] (which never break the X-property), giving the
+    paper's O(|A|ᵏ · ‖A‖ · |Q|) bound. *)
+
+val supported : Cqtree.Query.t -> Treekit.Order.kind option
+(** The order (if any) under which all axes of the forward-normalised
+    query have the X-property. *)
+
+val boolean : ?env:Cqtree.Query.env -> Cqtree.Query.t -> Treekit.Tree.t -> bool option
+(** [None] if the signature is outside the tractable classes. *)
+
+val witness :
+  ?env:Cqtree.Query.env ->
+  Cqtree.Query.t ->
+  Treekit.Tree.t ->
+  (Cqtree.Query.var * int) list option option
+(** [Some (Some θ)]: satisfiable, with θ the minimum valuation (consistent
+    by Lemma 6.4); [Some None]: unsatisfiable; [None]: unsupported
+    signature. *)
+
+val check_tuple :
+  ?env:Cqtree.Query.env -> Cqtree.Query.t -> Treekit.Tree.t -> int list -> bool option
+(** Membership of one head tuple, via the singleton-relation reduction. *)
+
+val solutions :
+  ?env:Cqtree.Query.env -> Cqtree.Query.t -> Treekit.Tree.t -> int array list option
+(** All head tuples by candidate enumeration over the pre-valuation's head
+    domains and per-tuple {!check_tuple} — the paper's
+    O(|A|ᵏ · ‖A‖ · |Q|) algorithm.  Sorted, deduplicated. *)

@@ -1,0 +1,52 @@
+module Tree = Treekit.Tree
+module Axis = Treekit.Axis
+module Order = Treekit.Order
+
+let check tree axis kind =
+  let n = Tree.size tree in
+  (* materialise the arcs *)
+  let arcs = ref [] in
+  for u = 0 to n - 1 do
+    arcs := Axis.fold tree axis u (fun v acc -> (u, v) :: acc) !arcs
+  done;
+  let arcs = !arcs in
+  let rank v = Order.rank tree kind v in
+  List.for_all
+    (fun (n1, n2) ->
+      List.for_all
+        (fun (n0, n3) ->
+          if rank n0 < rank n1 && rank n2 < rank n3 then Axis.mem tree axis n0 n2
+          else true)
+        arcs)
+    arcs
+
+let proposition_66 =
+  [
+    (Axis.Descendant, Order.Pre);
+    (Axis.Descendant_or_self, Order.Pre);
+    (Axis.Following, Order.Post);
+    (Axis.Child, Order.Bflr);
+    (Axis.Next_sibling, Order.Bflr);
+    (Axis.Following_sibling_or_self, Order.Bflr);
+    (Axis.Following_sibling, Order.Bflr);
+  ]
+
+let signatures =
+  [
+    ("tau1", [ Axis.Descendant; Axis.Descendant_or_self ], Order.Pre);
+    ("tau2", [ Axis.Following ], Order.Post);
+    ( "tau3",
+      [
+        Axis.Child;
+        Axis.Next_sibling;
+        Axis.Following_sibling_or_self;
+        Axis.Following_sibling;
+      ],
+      Order.Bflr );
+  ]
+
+let order_for_signature axes =
+  let fits (_, allowed, _) = List.for_all (fun a -> List.mem a allowed) axes in
+  match List.find_opt fits signatures with
+  | Some (_, _, kind) -> Some kind
+  | None -> None

@@ -1,0 +1,36 @@
+(** The X-underbar property (Definition 6.3, Proposition 6.6, Theorem 6.8).
+
+    A binary relation R has the X-property w.r.t. a total order < iff for
+    all [n0 < n1] and [n2 < n3]: [R(n1,n2) ∧ R(n0,n3) ⇒ R(n0,n2)]
+    (crossing arcs force the "underbar" arc).  On structures with the
+    X-property, arc-consistency implies global consistency via minimum
+    valuations (Lemma 6.4), giving O(‖A‖·|Q|) conjunctive query
+    evaluation (Theorem 6.5).
+
+    Proposition 6.6 lists the axis/order combinations where the property
+    holds; Theorem 6.8 (the dichotomy) says these are {e exactly} the
+    tractable signatures.  {!check} verifies the property by brute force
+    (used to validate Proposition 6.6 and to map the frontier empirically),
+    {!order_for_signature} is the planner's side of the dichotomy. *)
+
+val check : Treekit.Tree.t -> Treekit.Axis.t -> Treekit.Order.kind -> bool
+(** Exhaustive check of Definition 6.3 over all pairs of arcs of the axis
+    relation on the given tree.  O(r²) for r arcs — use small trees. *)
+
+val proposition_66 : (Treekit.Axis.t * Treekit.Order.kind) list
+(** The paper's positive cases:
+    - [Child⁺], [Child*] w.r.t. [<pre];
+    - [Following] w.r.t. [<post];
+    - [Child], [NextSibling], [NextSibling*], [NextSibling⁺] w.r.t. [<bflr]. *)
+
+val signatures : (string * Treekit.Axis.t list * Treekit.Order.kind) list
+(** The three maximal tractable signatures of Corollary 6.7:
+    τ₁ (descendant axes, [<pre]), τ₂ ([Following], [<post]),
+    τ₃ (child/sibling axes, [<bflr]). *)
+
+val order_for_signature : Treekit.Axis.t list -> Treekit.Order.kind option
+(** [order_for_signature axes] returns an order under which {e all} the
+    given (forward) axes have the X-property, if one of the three orders
+    works — the tractable side of the Theorem 6.8 dichotomy.  [None] means
+    the signature is NP-hard (for conjunctive queries) unless it is
+    acyclic. *)

@@ -1,0 +1,298 @@
+module Tree = Treekit.Tree
+module Event = Treekit.Event
+module Nodeset = Treekit.Nodeset
+
+type t = {
+  name : string;
+  states : int;
+  monoid_size : int;
+  one : int;
+  mul : int -> int -> int;
+  embed : int -> int;
+  up : string -> int -> int;
+  accept : int -> bool;
+}
+
+let state_at a tree =
+  let n = Tree.size tree in
+  let state = Array.make n 0 in
+  (* children have larger pre-order ranks, so a downward sweep sees every
+     child before its parent *)
+  for v = n - 1 downto 0 do
+    let m =
+      Tree.fold_children tree v (fun acc c -> a.mul acc (a.embed state.(c))) a.one
+    in
+    state.(v) <- a.up (Tree.label tree v) m
+  done;
+  state
+
+let run a tree = a.accept (state_at a tree).(0)
+
+let run_events_stats a events =
+  let stack = ref [] in
+  let depth = ref 0 and peak = ref 0 in
+  let result = ref None in
+  Seq.iter
+    (fun ev ->
+      match ev with
+      | Event.Open _ ->
+        stack := ref a.one :: !stack;
+        incr depth;
+        if !depth > !peak then peak := !depth
+      | Event.Close { label; _ } -> (
+        match !stack with
+        | [] -> invalid_arg "Automaton.run_events: unbalanced stream"
+        | acc :: rest ->
+          let s = a.up label !acc in
+          decr depth;
+          stack := rest;
+          (match rest with
+          | [] -> result := Some (a.accept s)
+          | parent :: _ -> parent := a.mul !parent (a.embed s))))
+    events;
+  match !result with
+  | Some b when !stack = [] -> (b, !peak)
+  | _ -> invalid_arg "Automaton.run_events: unbalanced stream"
+
+let run_events a events = fst (run_events_stats a events)
+
+let check_monoid a ~labels =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let m = a.monoid_size in
+  let result = ref (Ok ()) in
+  let fail e = if !result = Ok () then result := e in
+  if a.one < 0 || a.one >= m then fail (err "one out of range");
+  for x = 0 to m - 1 do
+    let xy1 = a.mul x a.one and x1y = a.mul a.one x in
+    if xy1 <> x || x1y <> x then fail (err "one is not neutral at %d" x);
+    for y = 0 to m - 1 do
+      let p = a.mul x y in
+      if p < 0 || p >= m then fail (err "mul out of range at (%d,%d)" x y);
+      for z = 0 to m - 1 do
+        if a.mul (a.mul x y) z <> a.mul x (a.mul y z) then
+          fail (err "mul not associative at (%d,%d,%d)" x y z)
+      done
+    done
+  done;
+  for s = 0 to a.states - 1 do
+    let e = a.embed s in
+    if e < 0 || e >= m then fail (err "embed out of range at state %d" s)
+  done;
+  List.iter
+    (fun l ->
+      for x = 0 to m - 1 do
+        let s = a.up l x in
+        if s < 0 || s >= a.states then fail (err "up out of range at (%s,%d)" l x)
+      done)
+    labels;
+  !result
+
+(* ------------------------------------------------------------------ *)
+(* combinators *)
+
+let product ?name f a b =
+  let pack sa sb = (sa * b.states) + sb in
+  let mpack ma mb = (ma * b.monoid_size) + mb in
+  {
+    name =
+      (match name with
+      | Some n -> n
+      | None -> Printf.sprintf "(%s x %s)" a.name b.name);
+    states = a.states * b.states;
+    monoid_size = a.monoid_size * b.monoid_size;
+    one = mpack a.one b.one;
+    mul =
+      (fun x y ->
+        mpack
+          (a.mul (x / b.monoid_size) (y / b.monoid_size))
+          (b.mul (x mod b.monoid_size) (y mod b.monoid_size)));
+    embed = (fun s -> mpack (a.embed (s / b.states)) (b.embed (s mod b.states)));
+    up =
+      (fun l m ->
+        pack (a.up l (m / b.monoid_size)) (b.up l (m mod b.monoid_size)));
+    accept = (fun s -> f (a.accept (s / b.states)) (b.accept (s mod b.states)));
+  }
+
+let complement a =
+  { a with name = "not " ^ a.name; accept = (fun s -> not (a.accept s)) }
+
+let conj a b = product ( && ) a b
+let disj a b = product ( || ) a b
+
+(* ------------------------------------------------------------------ *)
+(* example automata *)
+
+let exists_label l =
+  {
+    name = Printf.sprintf "exists-%s" l;
+    states = 2;
+    monoid_size = 2;
+    one = 0;
+    mul = ( lor );
+    embed = Fun.id;
+    up = (fun lbl m -> if lbl = l then 1 else m);
+    accept = (fun s -> s = 1);
+  }
+
+let root_label l =
+  {
+    name = Printf.sprintf "root-%s" l;
+    states = 2;
+    monoid_size = 1;
+    one = 0;
+    mul = (fun _ _ -> 0);
+    embed = (fun _ -> 0);
+    up = (fun lbl _ -> if lbl = l then 1 else 0);
+    accept = (fun s -> s = 1);
+  }
+
+let all_leaves_labeled l =
+  (* monoid: 0 = empty forest, 1 = all leaves good, 2 = some leaf bad;
+     tree states: 1 = all leaves in the subtree labeled l, 0 = not *)
+  {
+    name = Printf.sprintf "all-leaves-%s" l;
+    states = 2;
+    monoid_size = 3;
+    one = 0;
+    mul =
+      (fun x y ->
+        if x = 2 || y = 2 then 2 else if x = 0 then y else if y = 0 then x else 1);
+    embed = (fun s -> if s = 1 then 1 else 2);
+    up =
+      (fun lbl m ->
+        if m = 0 then if lbl = l then 1 else 0 (* a leaf *)
+        else if m = 1 then 1
+        else 0);
+    accept = (fun s -> s = 1);
+  }
+
+let count_label_mod l ~modulus ~residue =
+  if modulus <= 0 then invalid_arg "Automaton.count_label_mod";
+  {
+    name = Printf.sprintf "count-%s-mod-%d" l modulus;
+    states = modulus;
+    monoid_size = modulus;
+    one = 0;
+    mul = (fun x y -> (x + y) mod modulus);
+    embed = Fun.id;
+    up = (fun lbl m -> (m + if lbl = l then 1 else 0) mod modulus);
+    accept = (fun s -> s = residue mod modulus);
+  }
+
+let every_a_has_b_descendant a b =
+  (* tree state bits: 1 = subtree contains b, 2 = subtree contains a bad a
+     (an a-node without a proper b descendant); monoid = bitwise or *)
+  {
+    name = Printf.sprintf "every-%s-has-%s-descendant" a b;
+    states = 4;
+    monoid_size = 4;
+    one = 0;
+    mul = ( lor );
+    embed = Fun.id;
+    up =
+      (fun lbl m ->
+        let has_b_below = m land 1 = 1 in
+        let bad_below = m land 2 = 2 in
+        let bad = bad_below || (lbl = a && not has_b_below) in
+        let has_b = has_b_below || lbl = b in
+        (if has_b then 1 else 0) lor if bad then 2 else 0);
+    accept = (fun s -> s land 2 = 0);
+  }
+
+let adjacent_children a b =
+  (* tree state: class (0 = a, 1 = b, 2 = other) + 3 * found.
+     monoid: 0 = empty; otherwise 1 + ((first*3 + last)*2 + found) where
+     first/last are the classes of the forest's end trees and found records
+     an adjacent (a,b) pair or a nested match. *)
+  let cls lbl = if lbl = a then 0 else if lbl = b then 1 else 2 in
+  let elem f l d = 1 + ((((f * 3) + l) * 2) + d) in
+  let decode x =
+    let x = x - 1 in
+    let d = x mod 2 and fl = x / 2 in
+    (fl / 3, fl mod 3, d)
+  in
+  {
+    name = Printf.sprintf "adjacent-%s-%s-children" a b;
+    states = 6;
+    monoid_size = 19;
+    one = 0;
+    mul =
+      (fun x y ->
+        if x = 0 then y
+        else if y = 0 then x
+        else begin
+          let f1, l1, d1 = decode x and f2, l2, d2 = decode y in
+          let found =
+            if d1 = 1 || d2 = 1 || (l1 = 0 && f2 = 1) then 1 else 0
+          in
+          elem f1 l2 found
+        end);
+    embed =
+      (fun s ->
+        let c = s mod 3 and d = s / 3 in
+        elem c c d);
+    up =
+      (fun lbl m ->
+        let found = if m = 0 then 0 else (let _, _, d = decode m in d) in
+        cls lbl + (3 * found));
+    accept = (fun s -> s >= 3);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* two-pass unary queries *)
+
+type 'ctx context = {
+  initial : 'ctx;
+  down : 'ctx -> string -> int -> int -> 'ctx;
+}
+
+let select a ctx ~pred tree =
+  let n = Tree.size tree in
+  let state = state_at a tree in
+  (* per-node products of the embeds of left and right sibling lists *)
+  let left = Array.make n a.one and right = Array.make n a.one in
+  for v = 0 to n - 1 do
+    if Tree.first_child tree v <> -1 then begin
+      let kids = Tree.children tree v in
+      let acc = ref a.one in
+      List.iter
+        (fun c ->
+          left.(c) <- !acc;
+          acc := a.mul !acc (a.embed state.(c)))
+        kids;
+      let racc = ref a.one in
+      List.iter
+        (fun c ->
+          right.(c) <- !racc;
+          racc := a.mul (a.embed state.(c)) !racc)
+        (List.rev kids)
+    end
+  done;
+  let contexts = Array.make n ctx.initial in
+  for v = 1 to n - 1 do
+    let p = Tree.parent tree v in
+    contexts.(v) <- ctx.down contexts.(p) (Tree.label tree p) left.(v) right.(v)
+  done;
+  let out = Nodeset.create n in
+  for v = 0 to n - 1 do
+    if pred contexts.(v) state.(v) then Nodeset.add out v
+  done;
+  out
+
+let has_ancestor_labeled l tree =
+  (* the automaton's states are irrelevant here; the context carries "some
+     proper ancestor is labeled l" *)
+  let trivial =
+    {
+      name = "trivial";
+      states = 1;
+      monoid_size = 1;
+      one = 0;
+      mul = (fun _ _ -> 0);
+      embed = (fun _ -> 0);
+      up = (fun _ _ -> 0);
+      accept = (fun _ -> true);
+    }
+  in
+  let ctx = { initial = false; down = (fun c plbl _ _ -> c || plbl = l) } in
+  select trivial ctx ~pred:(fun c _ -> c) tree

@@ -1,0 +1,100 @@
+(** Deterministic automata on unranked trees — the MSO technique
+    (Sections 3, 4 and 7 of the paper).
+
+    "Boolean MSO queries on trees correspond to tree automata and have
+    linear-time data complexity" (Thatcher–Wright/Doner, quoted in
+    Section 4); the TMNF evaluation technique of [29, 51] and the
+    streaming bound of [60, 70] (an MSO-definable tree language is
+    recognisable by a streaming algorithm with memory O(depth)) are both
+    automata-theoretic.  This module implements the {e stepwise} flavour
+    of deterministic unranked tree automata, equivalent to bottom-up
+    automata on the FirstChild/NextSibling encoding:
+
+    - every node gets a {e tree state} in [0 .. states-1], computed by
+      [up label m] from its label and the product [m] of its children's
+      images in a {e horizontal monoid} ([one]/[mul]/[embed]);
+    - the automaton accepts iff the root's tree state satisfies [accept].
+
+    Because the horizontal structure is a monoid (not just a left fold),
+    prefix and suffix products of sibling lists are well-defined, which
+    gives both the O(depth)-memory streaming run ({!run_events}) and the
+    two-pass unary query evaluation ({!select}) — the technique behind
+    evaluating TMNF in time O(f(|Q|) + ‖A‖). *)
+
+type t = {
+  name : string;
+  states : int;  (** number of tree states *)
+  monoid_size : int;  (** number of forest-monoid elements *)
+  one : int;  (** the neutral element (the empty forest) *)
+  mul : int -> int -> int;  (** monoid operation; must be associative *)
+  embed : int -> int;  (** tree state → monoid element *)
+  up : string -> int -> int;  (** label, children product → tree state *)
+  accept : int -> bool;
+}
+
+val run : t -> Treekit.Tree.t -> bool
+(** Bottom-up evaluation in time O(n). *)
+
+val state_at : t -> Treekit.Tree.t -> int array
+(** The tree state of every node (index = pre-order rank). *)
+
+val run_events : t -> Treekit.Event.t Seq.t -> bool
+(** Streaming run over a SAX event stream: one monoid accumulator per open
+    element — memory O(depth), the tight bound of Section 7.
+    @raise Invalid_argument on an unbalanced stream. *)
+
+val run_events_stats : t -> Treekit.Event.t Seq.t -> bool * int
+(** Like {!run_events} but also reports the peak stack depth. *)
+
+val check_monoid : t -> labels:string list -> (unit, string) result
+(** Sanity check used by tests: associativity of [mul], neutrality of
+    [one], and range checks of [embed]/[up] over the given labels. *)
+
+(** {1 Combinators} *)
+
+val product : ?name:string -> (bool -> bool -> bool) -> t -> t -> t
+(** Synchronous product; acceptance combines the components with the given
+    boolean function.  States/monoid multiply. *)
+
+val complement : t -> t
+val conj : t -> t -> t
+val disj : t -> t -> t
+
+(** {1 Example automata (each an MSO/FO property from the survey's space)} *)
+
+val exists_label : string -> t
+(** Some node is labeled [l]. *)
+
+val root_label : string -> t
+
+val all_leaves_labeled : string -> t
+
+val count_label_mod : string -> modulus:int -> residue:int -> t
+(** The number of [l]-labeled nodes is ≡ residue (mod modulus) — a
+    properly MSO (not FO-definable) property. *)
+
+val every_a_has_b_descendant : string -> string -> t
+(** Every [a]-labeled node has a proper [b]-labeled descendant. *)
+
+val adjacent_children : string -> string -> t
+(** Some node has an [a]-labeled child immediately followed by a
+    [b]-labeled child — exercises the horizontal order. *)
+
+(** {1 Unary queries: the two-pass technique of [29, 51]} *)
+
+type 'ctx context = {
+  initial : 'ctx;  (** context of the root *)
+  down : 'ctx -> string -> int -> int -> 'ctx;
+      (** [down parent_ctx parent_label left_product right_product] is the
+          context of a child given the monoid products of its left and
+          right sibling lists *)
+}
+
+val select :
+  t -> 'ctx context -> pred:('ctx -> int -> bool) -> Treekit.Tree.t -> Treekit.Nodeset.t
+(** Two passes (bottom-up states, then top-down contexts with prefix/suffix
+    sibling products): the nodes [v] with [pred ctx(v) state(v)].  O(n). *)
+
+val has_ancestor_labeled : string -> Treekit.Tree.t -> Treekit.Nodeset.t
+(** Example 3.1 via automata: the nodes with a proper ancestor labeled [l]
+    (tested against the monadic-datalog evaluation of the same query). *)

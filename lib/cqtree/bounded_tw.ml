@@ -1,0 +1,72 @@
+module Nodeset = Treekit.Nodeset
+open Query
+
+let decomposition q =
+  let g, vars = Qgraph.graph q in
+  (Treewidth.Decomposition.min_fill_heuristic g, vars)
+
+let decomposition_width q =
+  let d, _ = decomposition (normalize_forward q) in
+  Treewidth.Decomposition.width d
+
+let solutions ?env q tree =
+  (match check q with Ok () -> () | Error m -> invalid_arg ("Bounded_tw: " ^ m));
+  let q = normalize_forward q in
+  let d, vars = decomposition q in
+  let bag_of_var v =
+    (* first bag containing every variable of [v] (a list of var indices) *)
+    let rec find b =
+      if b >= Array.length d.Treewidth.Decomposition.bags then None
+      else if List.for_all (fun x -> List.mem x d.Treewidth.Decomposition.bags.(b)) v
+      then Some b
+      else find (b + 1)
+    in
+    find 0
+  in
+  let index = Hashtbl.create 8 in
+  Array.iteri (fun i x -> Hashtbl.add index x i) vars;
+  let nbags = Array.length d.Treewidth.Decomposition.bags in
+  let bag_atoms = Array.make nbags [] in
+  List.iter
+    (fun atom ->
+      let wanted =
+        match atom with
+        | U (_, x) -> [ Hashtbl.find index x ]
+        | A (_, x, y) -> [ Hashtbl.find index x; Hashtbl.find index y ]
+      in
+      match bag_of_var wanted with
+      | Some b -> bag_atoms.(b) <- atom :: bag_atoms.(b)
+      | None ->
+        (* every query-graph edge is covered by some bag of a valid
+           decomposition; self-loop-free normalised atoms always land *)
+        invalid_arg "Bounded_tw: atom not covered by the decomposition")
+    q.atoms;
+  (* one materialised relation per bag: the satisfying assignments of the
+     bag's atoms over the bag's variables — at most n^(w+1) tuples *)
+  let body =
+    List.init nbags (fun b ->
+        let bag_vars = List.map (fun i -> vars.(i)) d.Treewidth.Decomposition.bags.(b) in
+        let atoms =
+          List.map (fun v -> U (True, v)) bag_vars @ List.rev bag_atoms.(b)
+        in
+        let bag_query = { head = bag_vars; atoms } in
+        let rows = Naive.solutions ?env bag_query tree in
+        Relkit.Acyclic.make_atom
+          ~name:(Printf.sprintf "bag%d" b)
+          (Relkit.Relation.of_rows ~arity:(List.length bag_vars) rows)
+          bag_vars)
+  in
+  let relational = { Relkit.Acyclic.head = q.head; body } in
+  match Relkit.Acyclic.solutions relational with
+  | Some rel -> List.sort compare (Relkit.Relation.rows rel)
+  | None ->
+    (* tree decompositions always induce acyclic bag hypergraphs *)
+    assert false
+
+let boolean ?env q tree = solutions ?env { q with head = [] } tree <> []
+
+let unary ?env q tree =
+  if not (is_unary q) then invalid_arg "Bounded_tw.unary: query is not unary";
+  let out = Nodeset.create (Treekit.Tree.size tree) in
+  List.iter (fun t -> Nodeset.add out t.(0)) (solutions ?env q tree);
+  out

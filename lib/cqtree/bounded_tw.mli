@@ -1,0 +1,28 @@
+(** Conjunctive-query evaluation through query tree decompositions —
+    Theorem 4.1 ([17] Chekuri–Rajaraman):
+
+    "A Boolean conjunctive query Q of tree-width k can be evaluated on a
+    database A with domain A in time O((|A|^(k+1) + ‖A‖) · |Q|)."
+
+    The algorithm: take a tree decomposition of the query graph (here the
+    min-fill heuristic of {!Treewidth}), materialise one relation per bag —
+    all assignments of the bag's ≤ k+1 variables satisfying the atoms
+    covered by that bag (at most |A|^(k+1) tuples) — and evaluate the
+    resulting {e acyclic} query over those relations with the relational
+    Yannakakis algorithm ({!Relkit.Acyclic}).  This subsumes the acyclic
+    case (k = 1) and handles arbitrary cyclic queries in polynomial time
+    for fixed k, which is how FOᵏ⁺¹-expressible conjunctive queries stay
+    tractable (Section 4). *)
+
+val decomposition_width : Query.t -> int
+(** The width of the decomposition that {!solutions} will use (min-fill
+    upper bound on the query's tree-width). *)
+
+val solutions : ?env:Query.env -> Query.t -> Treekit.Tree.t -> int array list
+(** All head tuples, sorted, deduplicated.  Works for any conjunctive
+    query; cost O(n^(w+1)·|Q|) for decomposition width w. *)
+
+val boolean : ?env:Query.env -> Query.t -> Treekit.Tree.t -> bool
+
+val unary : ?env:Query.env -> Query.t -> Treekit.Tree.t -> Treekit.Nodeset.t
+(** @raise Invalid_argument if the query is not unary. *)

@@ -1,0 +1,82 @@
+open Query
+
+let var i = Printf.sprintf "V%d" i
+
+let pick rng xs = List.nth xs (Random.State.int rng (List.length xs))
+
+let label_atoms rng ~labels ~nvars =
+  List.filter_map
+    (fun i ->
+      if Random.State.bool rng then
+        Some (U (Lab labels.(Random.State.int rng (Array.length labels)), var i))
+      else None)
+    (List.init nvars Fun.id)
+
+let head_of ?(head_arity = 1) nvars =
+  List.init (min head_arity nvars) var
+
+let acyclic ?(seed = 7) ~nvars ~axes ~labels ?(extra_atom_prob = 0.0) ?head_arity () =
+  if nvars < 1 then invalid_arg "Generator.acyclic: need at least one variable";
+  let rng = Random.State.make [| seed |] in
+  let bin = ref [] in
+  for i = 1 to nvars - 1 do
+    let j = Random.State.int rng i in
+    let a = pick rng axes in
+    (* random orientation of the atom along the spanning-tree edge *)
+    let atom =
+      if Random.State.bool rng then A (a, var j, var i) else A (a, var i, var j)
+    in
+    bin := atom :: !bin;
+    if Random.State.float rng 1.0 < extra_atom_prob then begin
+      let a' = pick rng axes in
+      let atom' =
+        if Random.State.bool rng then A (a', var j, var i) else A (a', var i, var j)
+      in
+      bin := atom' :: !bin
+    end
+  done;
+  let unaries = label_atoms rng ~labels ~nvars in
+  let atoms =
+    if nvars = 1 && unaries = [] then
+      [ U (Lab labels.(0), var 0) ]
+    else unaries @ List.rev !bin
+  in
+  (* a 1-variable query needs at least one atom for safety *)
+  let atoms = if atoms = [] then [ U (True, var 0) ] else atoms in
+  { head = head_of ?head_arity nvars; atoms }
+
+let arbitrary ?(seed = 7) ~nvars ~natoms ~axes ~labels ?head_arity () =
+  if nvars < 1 then invalid_arg "Generator.arbitrary: need at least one variable";
+  let rng = Random.State.make [| seed |] in
+  let bin =
+    List.init natoms (fun _ ->
+        let i = Random.State.int rng nvars in
+        let j = Random.State.int rng nvars in
+        let j = if i = j then (j + 1) mod nvars else j in
+        if i = j then None
+        else Some (A (pick rng axes, var i, var j)))
+    |> List.filter_map Fun.id
+  in
+  let unaries = label_atoms rng ~labels ~nvars in
+  let touched =
+    List.concat_map (function A (_, x, y) -> [ x; y ] | U (_, x) -> [ x ]) (bin @ unaries)
+  in
+  let safety =
+    List.filter_map
+      (fun i ->
+        if List.mem (var i) touched then None
+        else Some (U (Lab labels.(Random.State.int rng (Array.length labels)), var i)))
+      (List.init nvars Fun.id)
+  in
+  { head = head_of ?head_arity nvars; atoms = safety @ unaries @ bin }
+
+let path_query ~axis ~labels =
+  match labels with
+  | [] -> invalid_arg "Generator.path_query: empty label list"
+  | l0 :: rest ->
+    let atoms = ref [ U (Lab l0, var 0) ] in
+    List.iteri
+      (fun i l ->
+        atoms := U (Lab l, var (i + 1)) :: A (axis, var i, var (i + 1)) :: !atoms)
+      rest;
+    { head = [ var 0 ]; atoms = List.rev !atoms }

@@ -1,0 +1,40 @@
+(** Random conjunctive-query workloads for tests and benchmarks.
+
+    All generators are deterministic given their [seed] and draw axes from
+    a configurable pool so that the signature-restricted experiments
+    (Corollary 6.7's τ₁/τ₂/τ₃ classes, the Table 1 fragment, forward-only
+    queries) can be generated directly. *)
+
+val acyclic :
+  ?seed:int ->
+  nvars:int ->
+  axes:Treekit.Axis.t list ->
+  labels:string array ->
+  ?extra_atom_prob:float ->
+  ?head_arity:int ->
+  unit ->
+  Query.t
+(** A random tree-shaped query: variables [V0 … V(nvars-1)], a random
+    spanning tree of binary atoms with axes drawn from [axes], each
+    variable labeled with probability 1/2, plus (with probability
+    [extra_atom_prob] per edge, default 0) a parallel atom on an existing
+    edge.  [head_arity] (default 1) picks the first variables as head. *)
+
+val arbitrary :
+  ?seed:int ->
+  nvars:int ->
+  natoms:int ->
+  axes:Treekit.Axis.t list ->
+  labels:string array ->
+  ?head_arity:int ->
+  unit ->
+  Query.t
+(** A random, possibly cyclic query: [natoms] binary atoms over random
+    variable pairs (loops avoided), unary label atoms with probability 1/2
+    per variable.  Variables not touched by any atom get a label atom so
+    the query stays safe. *)
+
+val path_query : axis:Treekit.Axis.t -> labels:string list -> Query.t
+(** The path (twig spine) query
+    [q(X0) ← Lab_{l0}(X0), axis(X0,X1), Lab_{l1}(X1), …] — the shape of the
+    holistic-path-join workloads of Section 6. *)

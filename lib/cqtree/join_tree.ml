@@ -1,0 +1,113 @@
+open Query
+
+type dir = Down | Up
+
+type node = {
+  var : var;
+  unaries : unary list;
+  edges : ((Treekit.Axis.t * dir) list * node) list;
+}
+
+type t = { components : node list; query : Query.t }
+
+let adjacency q =
+  (* merged edges: map unordered var pair -> atoms *)
+  let unaries : (var, unary) Hashtbl.t = Hashtbl.create 8 in
+  let edges : (var * var, (Treekit.Axis.t * dir) list) Hashtbl.t = Hashtbl.create 8 in
+  let neighbours : (var, var) Hashtbl.t = Hashtbl.create 8 in
+  let add_neighbour x y =
+    if not (List.mem y (Hashtbl.find_all neighbours x)) then Hashtbl.add neighbours x y
+  in
+  List.iter
+    (function
+      | U (u, x) -> Hashtbl.add unaries x u
+      | A (a, x, y) ->
+        if x = y then begin
+          (* a self-loop: reflexive-closure axes hold on every (v, v), so
+             the atom is trivially true and is dropped; all other axes are
+             irreflexive, so the variable has no possible value *)
+          match a with
+          | Treekit.Axis.Descendant_or_self | Treekit.Axis.Following_sibling_or_self
+          | Treekit.Axis.Ancestor_or_self | Treekit.Axis.Preceding_sibling_or_self
+          | Treekit.Axis.Self ->
+            ()
+          | _ -> Hashtbl.add unaries x False
+        end
+        else begin
+          let key = if x < y then (x, y) else (y, x) in
+          let d = if x < y then Down else Up in
+          (* record orientation relative to the pair (smaller, larger):
+             Down = atom is axis(smaller, larger) *)
+          let prev = Option.value ~default:[] (Hashtbl.find_opt edges key) in
+          Hashtbl.replace edges key ((a, d) :: prev);
+          add_neighbour x y;
+          add_neighbour y x
+        end)
+    q.atoms;
+  (unaries, edges, neighbours)
+
+let build ?root q =
+  match check q with
+  | Error m -> Error m
+  | Ok () ->
+    let q = normalize_forward q in
+    let unaries, edges, neighbours = adjacency q in
+    begin
+      let vs = vars q in
+      let visited = Hashtbl.create 8 in
+      let cyclic = ref false in
+      (* DFS building a rooted tree per component *)
+      let rec grow parent x =
+        Hashtbl.replace visited x ();
+        let kids =
+          List.filter_map
+            (fun y ->
+              if Some y = parent then None
+              else if Hashtbl.mem visited y then begin
+                cyclic := true;
+                None
+              end
+              else begin
+                let key = if x < y then (x, y) else (y, x) in
+                let atoms = Hashtbl.find edges key in
+                (* orientations were recorded relative to (smaller, larger);
+                   re-express relative to (x = parent, y = child) *)
+                let atoms =
+                  List.map
+                    (fun (a, d) ->
+                      let d' =
+                        if x < y then d
+                        else match d with Down -> Up | Up -> Down
+                      in
+                      (a, d'))
+                    atoms
+                in
+                Some (atoms, grow (Some x) y)
+              end)
+            (Hashtbl.find_all neighbours x)
+        in
+        { var = x; unaries = Hashtbl.find_all unaries x; edges = kids }
+      in
+      let preferred_root =
+        match root with
+        | Some r -> Some r
+        | None -> ( match q.head with h :: _ -> Some h | [] -> None)
+      in
+      let components = ref [] in
+      (match preferred_root with
+      | Some r when List.mem r vs -> components := [ grow None r ]
+      | _ -> ());
+      List.iter
+        (fun x -> if not (Hashtbl.mem visited x) then components := grow None x :: !components)
+        vs;
+      if !cyclic then Error "query graph is cyclic"
+      else Ok { components = List.rev !components; query = q }
+    end
+
+let is_acyclic q = match build q with Ok _ -> true | Error _ -> false
+
+let rec node_vars node = node.var :: List.concat_map (fun (_, c) -> node_vars c) node.edges
+
+let rec fold_bottom_up f node =
+  let child_results = List.map (fun (_, c) -> fold_bottom_up f c) node.edges in
+  f child_results node

@@ -1,0 +1,43 @@
+(** Join trees of acyclic conjunctive queries (Section 4).
+
+    For queries over unary and binary (axis) relations, the hypergraph
+    acyclicity of the paper coincides with forest-ness of the query graph
+    once parallel atoms between the same variable pair are merged into one
+    edge.  A join tree here is that forest: one rooted variable-tree per
+    connected component, edges carrying all the axis atoms that connect the
+    two variables.
+
+    Yannakakis' algorithm ({!Yannakakis}) and the enumeration algorithm of
+    Figure 6 ({!Actree.Enumerate}) both run over this structure. *)
+
+type dir =
+  | Down  (** the atom reads [axis(parent_var, child_var)] *)
+  | Up  (** the atom reads [axis(child_var, parent_var)] *)
+
+type node = {
+  var : Query.var;
+  unaries : Query.unary list;  (** unary atoms on this variable *)
+  edges : ((Treekit.Axis.t * dir) list * node) list;
+      (** children with the atoms labelling the connecting edge *)
+}
+
+type t = {
+  components : node list;  (** one rooted tree per connected component *)
+  query : Query.t;
+}
+
+val build : ?root:Query.var -> Query.t -> (t, string) result
+(** Build the join forest, rooting the component containing [root] (default:
+    the first head variable, if any) at that variable.  Fails with a
+    message if the query graph is cyclic.  The query is forward-normalised
+    first. *)
+
+val is_acyclic : Query.t -> bool
+(** True iff the query graph (parallel edges merged) is a forest — the
+    acyclic conjunctive queries of hypertree-width 1. *)
+
+val node_vars : node -> Query.var list
+(** Variables of a component in pre-order. *)
+
+val fold_bottom_up : ('a list -> node -> 'a) -> node -> 'a
+(** [fold_bottom_up f root] computes [f] at every node, children first. *)

@@ -1,0 +1,110 @@
+module Tree = Treekit.Tree
+module Axis = Treekit.Axis
+module Nodeset = Treekit.Nodeset
+open Query
+
+let check_unary tree env u v =
+  match u with
+  | Lab a -> Tree.label tree v = a
+  | Root -> Tree.is_root tree v
+  | Leaf -> Tree.is_leaf tree v
+  | First_sibling -> Tree.is_first_sibling tree v
+  | Last_sibling -> Tree.is_last_sibling tree v
+  | Named p -> (
+    match List.assoc_opt p env with
+    | Some s -> Nodeset.mem s v
+    | None -> invalid_arg ("unbound named predicate " ^ p))
+  | False -> false
+  | True -> true
+
+let holds ?(env = []) q tree theta =
+  List.for_all
+    (function
+      | U (u, x) -> check_unary tree env u (theta x)
+      | A (a, x, y) -> Axis.mem tree a (theta x) (theta y))
+    q.atoms
+
+let enumerate ?(env = []) q tree ~on_solution =
+  (match check q with Ok () -> () | Error m -> invalid_arg ("Naive: " ^ m));
+  let vs = Array.of_list (vars q) in
+  let k = Array.length vs in
+  let index = Hashtbl.create 8 in
+  Array.iteri (fun i x -> Hashtbl.add index x i) vs;
+  let n = Tree.size tree in
+  (* per-variable candidate filters from unary atoms *)
+  let unary_ok = Array.make k [] in
+  let binary = ref [] in
+  List.iter
+    (function
+      | U (u, x) ->
+        let i = Hashtbl.find index x in
+        unary_ok.(i) <- u :: unary_ok.(i)
+      | A (a, x, y) -> binary := (a, Hashtbl.find index x, Hashtbl.find index y) :: !binary)
+    q.atoms;
+  let binary = !binary in
+  let assignment = Array.make k (-1) in
+  (* check the binary atoms whose endpoints are both ≤ i *)
+  let checks_at = Array.make k [] in
+  List.iter
+    (fun (a, ix, iy) ->
+      let last = max ix iy in
+      checks_at.(last) <- (a, ix, iy) :: checks_at.(last))
+    binary;
+  let rec go i =
+    if i = k then on_solution assignment
+    else
+      for v = 0 to n - 1 do
+        if List.for_all (fun u -> check_unary tree env u v) unary_ok.(i) then begin
+          assignment.(i) <- v;
+          if
+            List.for_all
+              (fun (a, ix, iy) -> Axis.mem tree a assignment.(ix) assignment.(iy))
+              checks_at.(i)
+          then go (i + 1);
+          assignment.(i) <- -1
+        end
+      done
+  in
+  go 0
+
+exception Found
+
+let boolean ?env q tree =
+  try
+    enumerate ?env q tree ~on_solution:(fun _ -> raise Found);
+    false
+  with Found -> true
+
+let unary ?env q tree =
+  if not (is_unary q) then invalid_arg "Naive.unary: query is not unary";
+  let out = Nodeset.create (Tree.size tree) in
+  let head = List.hd q.head in
+  let pos =
+    let rec find i = function
+      | [] -> assert false
+      | x :: _ when x = head -> i
+      | _ :: rest -> find (i + 1) rest
+    in
+    find 0 (vars q)
+  in
+  enumerate ?env q tree ~on_solution:(fun a -> Nodeset.add out a.(pos));
+  out
+
+let solutions ?env q tree =
+  let vs = vars q in
+  let positions =
+    List.map
+      (fun h ->
+        let rec find i = function
+          | [] -> assert false
+          | x :: _ when x = h -> i
+          | _ :: rest -> find (i + 1) rest
+        in
+        find 0 vs)
+      q.head
+  in
+  let seen = Hashtbl.create 64 in
+  enumerate ?env q tree ~on_solution:(fun a ->
+      let tuple = Array.of_list (List.map (fun i -> a.(i)) positions) in
+      Hashtbl.replace seen tuple ());
+  List.sort compare (Hashtbl.fold (fun t () acc -> t :: acc) seen [])

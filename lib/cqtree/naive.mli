@@ -1,0 +1,24 @@
+(** Naive backtracking evaluation of conjunctive queries.
+
+    The brute-force baseline: try all assignments of variables to nodes,
+    pruning with unary predicates and checking binary atoms as soon as both
+    endpoints are bound.  Worst-case O(nᵏ) for k variables — this is the
+    NP-hard general case (Theorem 6.8's intractable side) and the baseline
+    every efficient technique in the paper is measured against.
+
+    Used as ground truth in tests (on small inputs) and in the Figure 7
+    benchmarks. *)
+
+val boolean : ?env:Query.env -> Query.t -> Treekit.Tree.t -> bool
+
+val unary : ?env:Query.env -> Query.t -> Treekit.Tree.t -> Treekit.Nodeset.t
+(** All witnesses of the (single) head variable.
+    @raise Invalid_argument if the query is not unary. *)
+
+val solutions : ?env:Query.env -> Query.t -> Treekit.Tree.t -> int array list
+(** All head tuples, sorted lexicographically, without duplicates. *)
+
+val holds :
+  ?env:Query.env -> Query.t -> Treekit.Tree.t -> (Query.var -> int) -> bool
+(** [holds q t θ] checks whether the total valuation [θ] satisfies every
+    atom of [q] — the paper's notion of a consistent valuation. *)

@@ -1,0 +1,22 @@
+open Query
+
+let graph q =
+  let vs = Array.of_list (vars q) in
+  let index = Hashtbl.create 8 in
+  Array.iteri (fun i x -> Hashtbl.add index x i) vs;
+  let g = Treewidth.Graph.create (Array.length vs) in
+  List.iter
+    (function
+      | A (_, x, y) when x <> y ->
+        Treewidth.Graph.add_edge g (Hashtbl.find index x) (Hashtbl.find index y)
+      | A _ | U _ -> ())
+    q.atoms;
+  (g, vs)
+
+let treewidth_upper q =
+  let g, _ = graph q in
+  Treewidth.Decomposition.width (Treewidth.Decomposition.min_fill_heuristic g)
+
+let treewidth_exact q =
+  let g, _ = graph q in
+  Treewidth.Decomposition.exact_treewidth g

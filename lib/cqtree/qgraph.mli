@@ -1,0 +1,17 @@
+(** Query graphs and their tree-width (Section 4, Theorem 4.1).
+
+    The tree-width of a conjunctive query over (at most) binary relations
+    is the tree-width of the graph on its variables with an edge per binary
+    atom.  Queries of tree-width k are evaluable in time
+    O((|A|^(k+1) + ‖A‖)·|Q|); the acyclic queries are exactly those of
+    tree-width 1 (when connected), and conjunctive FO^(k+1) queries have
+    tree-width ≤ k. *)
+
+val graph : Query.t -> Treewidth.Graph.t * Query.var array
+(** The query graph plus the variable numbering used for its vertices. *)
+
+val treewidth_upper : Query.t -> int
+(** Upper bound from the min-fill elimination heuristic. *)
+
+val treewidth_exact : Query.t -> int
+(** Exact tree-width (queries with at most 24 variables). *)

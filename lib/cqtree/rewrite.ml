@@ -1,0 +1,250 @@
+module Axis = Treekit.Axis
+module Nodeset = Treekit.Nodeset
+open Query
+
+type result = { queries : Query.t list; branches_explored : int }
+
+(* A branch state of the rewriting.  [pre] records the explicit
+   [x <pre y] choices made so far; the binary atoms themselves also imply
+   source <pre target (all four remaining axes are pre-order-increasing). *)
+type state = {
+  bin : (Axis.t * var * var) list;
+  un : (unary * var) list;
+  pre : (var * var) list;
+  head : var list;
+}
+
+let child_family = function Axis.Child | Axis.Descendant -> true | _ -> false
+
+let sibling_family = function
+  | Axis.Next_sibling | Axis.Following_sibling -> true
+  | _ -> false
+
+let plus_of = function
+  | Axis.Descendant_or_self -> Axis.Descendant
+  | Axis.Following_sibling_or_self -> Axis.Following_sibling
+  | a -> a
+
+let is_star = function
+  | Axis.Descendant_or_self | Axis.Following_sibling_or_self -> true
+  | _ -> false
+
+(* x <pre y derivable from the state's constraints?  Reachability by at
+   least one edge, so [lt_pre st v v] detects a directed cycle through v. *)
+let lt_pre st x y =
+  (* only non-star atoms imply a strict pre-order edge; reflexive-closure
+     atoms imply x ≤pre y and contribute nothing strict *)
+  let edges =
+    st.pre
+    @ List.filter_map (fun (a, u, v) -> if is_star a then None else Some (u, v)) st.bin
+  in
+  let succs v = List.filter_map (fun (a, b) -> if a = v then Some b else None) edges in
+  let rec reach seen frontier =
+    match frontier with
+    | [] -> false
+    | v :: rest ->
+      if v = y then true
+      else if List.mem v seen then reach seen rest
+      else reach (v :: seen) (succs v @ rest)
+  in
+  reach [] (succs x)
+
+let has_cycle st =
+  let vars =
+    List.sort_uniq compare
+      (List.concat_map (fun (_, a, b) -> [ a; b ]) st.bin
+      @ List.concat_map (fun (a, b) -> [ a; b ]) st.pre)
+  in
+  List.exists (fun v -> lt_pre st v v) vars
+
+(* substitute y := x everywhere *)
+let substitute st ~keep:x ~drop:y =
+  let s v = if v = y then x else v in
+  {
+    bin = List.map (fun (a, u, v) -> (a, s u, s v)) st.bin;
+    un = List.map (fun (u, v) -> (u, s v)) st.un;
+    pre = List.map (fun (u, v) -> (s u, s v)) st.pre;
+    head = List.map s st.head;
+  }
+
+let unify st x y =
+  (* prefer to keep a head variable as the representative *)
+  if List.mem y st.head && not (List.mem x st.head) then substitute st ~keep:y ~drop:x
+  else substitute st ~keep:x ~drop:y
+
+(* one pass of the cheap simplifications; [None] = state is unsatisfiable *)
+let simplify st =
+  let exception Unsat in
+  try
+    (* drop trivially-true reflexive-closure self-loops; other self-loops
+       are unsatisfiable *)
+    let bin =
+      List.filter
+        (fun (a, x, y) ->
+          if x <> y then true
+          else if is_star a then false
+          else raise Unsat)
+        st.bin
+    in
+    let bin = List.sort_uniq compare bin in
+    (* R ∧ R⁺ on the same pair: drop the transitive atom *)
+    let bin =
+      List.filter
+        (fun (a, x, y) ->
+          not
+            ((a = Axis.Descendant && List.mem (Axis.Child, x, y) bin)
+            || (a = Axis.Following_sibling && List.mem (Axis.Next_sibling, x, y) bin)
+            || (a = Axis.Descendant_or_self
+               && (List.mem (Axis.Child, x, y) bin
+                  || List.mem (Axis.Descendant, x, y) bin))
+            || (a = Axis.Following_sibling_or_self
+               && (List.mem (Axis.Next_sibling, x, y) bin
+                  || List.mem (Axis.Following_sibling, x, y) bin))))
+        bin
+    in
+    (* child-family ∧ sibling-family on the same ordered pair: unsat *)
+    List.iter
+      (fun (a, x, y) ->
+        if
+          child_family a
+          && List.exists (fun (b, u, v) -> sibling_family b && u = x && v = y) bin
+        then raise Unsat
+        else ignore (a, x, y))
+      bin;
+    let st = { st with bin; pre = List.sort_uniq compare st.pre } in
+    if has_cycle st then None else Some st
+  with Unsat -> None
+
+let find_star st =
+  List.find_opt (fun (a, x, y) -> is_star a && x <> y) st.bin
+
+(* a shared-target pair R(x,z), S(y,z) with x ≠ y, both axes in the
+   Table 1 fragment.  Choose z maximal and x minimal w.r.t. the derivable
+   order, as in the proof. *)
+let find_conflict st =
+  let candidates =
+    List.concat_map
+      (fun ((r, x, z) as a1) ->
+        List.filter_map
+          (fun ((s, y, z') as a2) ->
+            if z = z' && x <> y && a1 <> a2 && not (is_star r) && not (is_star s)
+            then Some ((r, x, z), (s, y, z))
+            else None)
+          st.bin)
+      st.bin
+  in
+  match candidates with
+  | [] -> None
+  | first :: _ ->
+    (* prefer a candidate whose z is not below any other candidate's z and
+       whose x is not above any other candidate's x for the same z *)
+    let better ((_, x1, z1), _) ((_, x2, z2), _) =
+      if z1 <> z2 then if lt_pre st z2 z1 then -1 else if lt_pre st z1 z2 then 1 else 0
+      else if lt_pre st x1 x2 then -1
+      else if lt_pre st x2 x1 then 1
+      else 0
+    in
+    Some (List.fold_left (fun acc c -> if better c acc < 0 then c else acc) first candidates)
+
+exception Too_many_branches
+
+let max_branches = 200_000
+
+let rewrite q =
+  (match check q with Ok () -> () | Error m -> invalid_arg ("Rewrite: " ^ m));
+  let q = normalize_forward q in
+  let counter = ref 0 in
+  let fresh prefix =
+    incr counter;
+    Printf.sprintf "%s__%d" prefix !counter
+  in
+  (* eliminate Following atoms *)
+  let bin, extra =
+    List.fold_left
+      (fun (bin, extra) atom ->
+        match atom with
+        | A (Axis.Following, x, y) ->
+          let x0 = fresh "F" and y0 = fresh "F" in
+          ( (Axis.Following_sibling, x0, y0)
+            :: (Axis.Descendant_or_self, x0, x)
+            :: (Axis.Descendant_or_self, y0, y)
+            :: bin,
+            extra )
+        | A (a, x, y) -> ((a, x, y) :: bin, extra)
+        | U (u, x) -> (bin, (u, x) :: extra))
+      ([], []) q.atoms
+  in
+  let initial = { bin; un = extra; pre = []; head = q.head } in
+  let branches = ref 0 in
+  let rec process st acc =
+    incr branches;
+    if !branches > max_branches then raise Too_many_branches;
+    match simplify st with
+    | None -> acc
+    | Some st -> (
+      match find_star st with
+      | Some (a, x, y) ->
+        (* branch: x = y, or x ≠ y and the atom strengthens to R⁺ *)
+        let eq_branch = unify st x y in
+        let neq_branch =
+          {
+            st with
+            bin = (plus_of a, x, y) :: List.filter (fun b -> b <> (a, x, y)) st.bin;
+          }
+        in
+        process neq_branch (process eq_branch acc)
+      | None -> (
+        match find_conflict st with
+        | None -> st :: acc
+        | Some ((r, x, z), (s, y, _)) ->
+          let replace_atom st old_atom new_atom =
+            { st with bin = new_atom :: List.filter (fun b -> b <> old_atom) st.bin }
+          in
+          let resolve_with_order st ~small:(r1, x1) ~large:(r2, x2) =
+            (* x1 <pre x2; Table 1 row r1 column r2 *)
+            if Sat_table.sat r1 r2 then
+              process (replace_atom st (r1, x1, z) (r1, x1, x2)) acc
+            else acc
+          in
+          if lt_pre st x y then resolve_with_order st ~small:(r, x) ~large:(s, y)
+          else if lt_pre st y x then resolve_with_order st ~small:(s, y) ~large:(r, x)
+          else begin
+            (* order unknown: branch x = y / x < y / y < x *)
+            let acc = process (unify st x y) acc in
+            let acc =
+              process { st with pre = (x, y) :: st.pre } acc
+            in
+            process { st with pre = (y, x) :: st.pre } acc
+          end))
+  in
+  let finals = process initial [] in
+  let to_query st =
+    let atom_vars =
+      List.concat_map (fun (_, a, b) -> [ a; b ]) st.bin
+      @ List.map snd st.un
+    in
+    let missing = List.filter (fun h -> not (List.mem h atom_vars)) st.head in
+    {
+      head = st.head;
+      atoms =
+        List.map (fun (u, x) -> U (u, x)) st.un
+        @ List.map (fun h -> U (True, h)) (List.sort_uniq compare missing)
+        @ List.map (fun (a, x, y) -> A (a, x, y)) st.bin;
+    }
+  in
+  { queries = List.rev_map to_query finals; branches_explored = !branches }
+
+let solutions ?env q tree =
+  let { queries; _ } = rewrite q in
+  let all = List.concat_map (fun q' -> Yannakakis.solutions ?env q' tree) queries in
+  List.sort_uniq compare all
+
+let boolean ?env q tree =
+  let { queries; _ } = rewrite q in
+  List.exists (fun q' -> Yannakakis.boolean ?env q' tree) queries
+
+let unary ?env q tree =
+  let { queries; _ } = rewrite q in
+  let out = Nodeset.create (Treekit.Tree.size tree) in
+  List.iter (fun q' -> Nodeset.union_into out (Yannakakis.unary ?env q' tree)) queries;
+  out

@@ -1,0 +1,47 @@
+(** Theorem 5.1: every conjunctive query over trees rewrites into an
+    equivalent union of acyclic positive queries.
+
+    The proof's algorithm, with the "Discussion" improvements from [35]:
+    instead of materialising the full disjunctive normal form of
+    [⋀ᵢ<ⱼ (xᵢ = xⱼ ∨ xᵢ <pre xⱼ ∨ xⱼ <pre xᵢ)] (3^(k choose 2) branches),
+    we branch on the order of a variable pair {e only} when a pair of atoms
+    [R(x,z), S(y,z)] with a shared target actually needs resolving.
+
+    Pipeline per branch state:
+    + [Following(x,y)] atoms are eliminated first via fresh variables
+      ([∃x₀ y₀. NextSibling⁺(x₀,y₀) ∧ Child*(x₀,x) ∧ Child*(y₀,y)],
+      Section 2);
+    + [R*(x,y)] atoms branch into [x = y] (unification) or [R⁺(x,y)]
+      (proof step 2);
+    + [R(x,y) ∧ R⁺(x,y)] drops the transitive atom (proof step 3);
+    + [R(x,y) ∧ S(x,y)] with [R] a child-family and [S] a sibling-family
+      axis is unsatisfiable, as is any cycle in the constraint digraph;
+    + a shared-target pair [R(x,z), S(y,z)] consults {!Sat_table} under the
+      branch's order of [x, y] and either kills the branch or replaces the
+      earlier atom's target by the later source.
+
+    The output queries use only the axes
+    [{Child, Child⁺, NextSibling, NextSibling⁺}], have at most one binary
+    atom into each variable (forest-shaped), and their union is equivalent
+    to the input (property-tested against {!Naive} on random queries and
+    trees).  The rewriting is worst-case exponential — necessarily so
+    ([35]): there are queries over [Child⁺] with no polynomial acyclic
+    equivalent. *)
+
+type result = {
+  queries : Query.t list;  (** the union of acyclic queries; [[]] means the
+                               input is unsatisfiable on every tree *)
+  branches_explored : int;  (** number of branch states processed *)
+}
+
+val rewrite : Query.t -> result
+(** Rewrite a (possibly cyclic) conjunctive query.  The input is
+    forward-normalised first; inverse axes are allowed. *)
+
+val solutions : ?env:Query.env -> Query.t -> Treekit.Tree.t -> int array list
+(** Evaluate by rewriting and unioning {!Yannakakis.solutions} over the
+    acyclic queries.  Sorted, deduplicated. *)
+
+val boolean : ?env:Query.env -> Query.t -> Treekit.Tree.t -> bool
+
+val unary : ?env:Query.env -> Query.t -> Treekit.Tree.t -> Treekit.Nodeset.t

@@ -1,0 +1,40 @@
+module Axis = Treekit.Axis
+module Tree = Treekit.Tree
+
+let axes = [ Axis.Child; Axis.Descendant; Axis.Next_sibling; Axis.Following_sibling ]
+
+let sat r s =
+  let check a =
+    if not (List.mem a axes) then
+      invalid_arg ("Sat_table.sat: axis outside the table: " ^ Axis.name a)
+  in
+  check r;
+  check s;
+  match r with
+  | Axis.Child -> ( match s with Axis.Child | Axis.Descendant -> false | _ -> true)
+  | Axis.Descendant -> true
+  | Axis.Next_sibling -> false
+  | Axis.Following_sibling -> (
+    match s with Axis.Child | Axis.Descendant -> false | _ -> true)
+  | _ -> assert false
+
+let brute_force r s ~max_size =
+  let witness_in tree =
+    let n = Tree.size tree in
+    let found = ref false in
+    for z = 0 to n - 1 do
+      for x = 0 to n - 1 do
+        if Axis.mem tree r x z then
+          for y = x + 1 to n - 1 do
+            (* x <pre y is x < y since nodes are pre-order ranks *)
+            if Axis.mem tree s y z then found := true
+          done
+      done
+    done;
+    !found
+  in
+  let rec sizes k =
+    if k > max_size then false
+    else List.exists witness_in (Treekit.Generator.all_shapes ~n:k) || sizes (k + 1)
+  in
+  sizes 1

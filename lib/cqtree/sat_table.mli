@@ -1,0 +1,36 @@
+(** Table 1 of the paper: satisfiability of
+    [R(x,z) ∧ S(y,z) ∧ x <pre y] for pairs of axes
+    [R, S ∈ {Child, Child⁺, NextSibling, NextSibling⁺}].
+
+    This table drives the rewriting step of Theorem 5.1 ({!Rewrite}): when
+    two atoms share a target variable [z] and the order of their sources is
+    known, an unsatisfiable cell kills the branch and a satisfiable cell
+    licenses replacing [R(x,z)] by [R(x,y)].
+
+    The paper's table:
+
+    {v
+    R \ S          Child   Child⁺  NextSib  NextSib⁺
+    Child          unsat   unsat   sat      sat
+    Child⁺         sat     sat     sat      sat
+    NextSibling    unsat   unsat   unsat    unsat
+    NextSibling⁺   unsat   unsat   sat      sat
+    v}
+
+    {!brute_force} recomputes each cell by exhaustive search over all
+    ordered trees up to a given size, which is how the benchmark
+    [table1] verifies the table empirically. *)
+
+val axes : Treekit.Axis.t list
+(** The four axes of the table, in the paper's order:
+    [Child; Descendant; Next_sibling; Following_sibling]. *)
+
+val sat : Treekit.Axis.t -> Treekit.Axis.t -> bool
+(** [sat r s] is the table cell for row [r], column [s].
+    @raise Invalid_argument if either axis is outside {!axes}. *)
+
+val brute_force : Treekit.Axis.t -> Treekit.Axis.t -> max_size:int -> bool
+(** True iff some tree with at most [max_size] nodes contains nodes
+    [x, y, z] with [r(x,z)], [s(y,z)] and [x <pre y].  A witness for every
+    satisfiable cell exists already at size 4, so [max_size = 5] settles
+    the whole table. *)

@@ -1,0 +1,211 @@
+module Tree = Treekit.Tree
+module Axis = Treekit.Axis
+module Nodeset = Treekit.Nodeset
+open Query
+
+exception Cyclic of string
+
+let initial_domain tree env unaries =
+  let n = Tree.size tree in
+  let d = Nodeset.universe n in
+  List.iter
+    (fun u ->
+      match u with
+      | Lab a -> Nodeset.inter_into d (Tree.label_set tree a)
+      | Root ->
+        let s = Nodeset.create n in
+        Nodeset.add s (Tree.root tree);
+        Nodeset.inter_into d s
+      | Leaf ->
+        let s = Nodeset.create n in
+        for v = 0 to n - 1 do
+          if Tree.is_leaf tree v then Nodeset.add s v
+        done;
+        Nodeset.inter_into d s
+      | First_sibling ->
+        let s = Nodeset.create n in
+        for v = 0 to n - 1 do
+          if Tree.is_first_sibling tree v then Nodeset.add s v
+        done;
+        Nodeset.inter_into d s
+      | Last_sibling ->
+        let s = Nodeset.create n in
+        for v = 0 to n - 1 do
+          if Tree.is_last_sibling tree v then Nodeset.add s v
+        done;
+        Nodeset.inter_into d s
+      | Named p -> (
+        match List.assoc_opt p env with
+        | Some s -> Nodeset.inter_into d s
+        | None -> invalid_arg ("Yannakakis: unbound named predicate " ^ p))
+      | False -> Nodeset.clear d
+      | True -> ())
+    unaries;
+  d
+
+(* the axis relating a parent-variable value to a child-variable value,
+   read in the parent→child direction *)
+let toward_child (axis, dir) =
+  match (dir : Join_tree.dir) with Down -> axis | Up -> Axis.inverse axis
+
+let toward_parent (axis, dir) =
+  match (dir : Join_tree.dir) with Down -> Axis.inverse axis | Up -> axis
+
+let build_tree ?root q =
+  match Join_tree.build ?root q with Ok jt -> jt | Error m -> raise (Cyclic m)
+
+(* Image of a source set under the conjunction of the edge's atoms, read in
+   the given direction.  A single atom is a plain O(n) axis image; parallel
+   atoms must be witnessed by the SAME source node, so we enumerate one
+   atom's relation and filter with the rest. *)
+let edge_image tree axes src =
+  match axes with
+  | [] -> assert false
+  | [ a ] -> Axis.image tree a src
+  | first :: others ->
+    let out = Nodeset.create (Tree.size tree) in
+    Nodeset.iter
+      (fun w ->
+        Axis.fold tree first w
+          (fun u () ->
+            if List.for_all (fun a -> Axis.mem tree a w u) others then Nodeset.add out u)
+          ())
+      src;
+    out
+
+(* bottom-up semijoin pass; fills [domains] for every variable of the
+   component and returns the root's domain *)
+let rec bottom_up tree env domains (node : Join_tree.node) =
+  let d = initial_domain tree env node.unaries in
+  List.iter
+    (fun (atoms, child) ->
+      let dc = bottom_up tree env domains child in
+      Nodeset.inter_into d (edge_image tree (List.map toward_parent atoms) dc))
+    node.edges;
+  Hashtbl.replace domains node.var d;
+  d
+
+let rec top_down tree domains (node : Join_tree.node) =
+  let d = Hashtbl.find domains node.var in
+  List.iter
+    (fun (atoms, (child : Join_tree.node)) ->
+      let dc = Hashtbl.find domains child.var in
+      Nodeset.inter_into dc (edge_image tree (List.map toward_child atoms) d);
+      top_down tree domains child)
+    node.edges
+
+let domains ?(env = []) q tree =
+  let jt = build_tree q in
+  let tbl = Hashtbl.create 16 in
+  let unsat =
+    List.exists
+      (fun root -> Nodeset.is_empty (bottom_up tree env tbl root))
+      jt.components
+  in
+  List.iter (fun root -> top_down tree tbl root) jt.components;
+  let all_vars = List.concat_map Join_tree.node_vars jt.components in
+  if unsat then
+    List.map (fun v -> (v, Nodeset.create (Tree.size tree))) all_vars
+  else List.map (fun v -> (v, Hashtbl.find tbl v)) all_vars
+
+let boolean ?(env = []) q tree =
+  let jt = build_tree q in
+  let tbl = Hashtbl.create 16 in
+  List.for_all
+    (fun root -> not (Nodeset.is_empty (bottom_up tree env tbl root)))
+    jt.components
+
+let unary ?(env = []) q tree =
+  if not (is_unary q) then invalid_arg "Yannakakis.unary: query is not unary";
+  (* normalisation may unify the head variable away (Self atoms), so take
+     the head name from the normalised query *)
+  let q = normalize_forward q in
+  let head = List.hd q.head in
+  let jt = build_tree ~root:head q in
+  let tbl = Hashtbl.create 16 in
+  let results = List.map (fun root -> bottom_up tree env tbl root) jt.components in
+  (* the component rooted at the head variable yields the answer; the other
+     components act as a Boolean filter *)
+  match jt.components, results with
+  | first :: _, answer :: others when first.var = head ->
+    if List.exists Nodeset.is_empty others then Nodeset.create (Tree.size tree)
+    else answer
+  | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Enumeration over fully reduced domains (backtracking-free,
+   Proposition 6.9). *)
+
+let enumerate_component tree domains (root : Join_tree.node) ~on_assignment =
+  (* Depth-first assignment with continuations; with fully reduced domains
+     no branch dies (Proposition 6.9), so this never backtracks on failure. *)
+  let assignment : (var, int) Hashtbl.t = Hashtbl.create 8 in
+  let rec assigned (node : Join_tree.node) v cont =
+    Hashtbl.replace assignment node.var v;
+    edges_from v node.edges cont
+  and edges_from v edges cont =
+    match edges with
+    | [] -> cont ()
+    | (atoms, child) :: rest ->
+      let dc = Hashtbl.find domains child.Join_tree.var in
+      (match atoms with
+      | [] -> assert false (* join-tree edges always carry at least one atom *)
+      | first :: others ->
+        (* candidates for the child come from folding the first atom's
+           relation from v; the remaining atoms and the reduced domain act
+           as filters *)
+        Axis.fold tree (toward_child first) v
+          (fun w () ->
+            if
+              Nodeset.mem dc w
+              && List.for_all (fun e -> Axis.mem tree (toward_child e) v w) others
+            then assigned child w (fun () -> edges_from v rest cont))
+          ())
+  in
+  Nodeset.iter
+    (fun v -> assigned root v (fun () -> on_assignment assignment))
+    (Hashtbl.find domains root.Join_tree.var)
+
+let solutions ?(env = []) q tree =
+  let jt = build_tree q in
+  let q = jt.query in
+  let tbl = Hashtbl.create 16 in
+  let unsat =
+    List.exists
+      (fun root -> Nodeset.is_empty (bottom_up tree env tbl root))
+      jt.components
+  in
+  if unsat then []
+  else begin
+    List.iter (fun root -> top_down tree tbl root) jt.components;
+    (* enumerate per component, projecting onto the head variables that
+       live in it; combine components by cartesian product (they share no
+       variables) *)
+    let comp_results =
+      List.map
+        (fun root ->
+          let cvars = Join_tree.node_vars root in
+          let head_here = List.filter (fun h -> List.mem h cvars) q.head in
+          let seen = Hashtbl.create 64 in
+          enumerate_component tree tbl root ~on_assignment:(fun asg ->
+              let tuple = List.map (fun h -> Hashtbl.find asg h) head_here in
+              Hashtbl.replace seen tuple ());
+          (head_here, Hashtbl.fold (fun tpl () acc -> tpl :: acc) seen []))
+        jt.components
+    in
+    if List.exists (fun (_, tuples) -> tuples = []) comp_results then []
+    else begin
+      let rec cross acc = function
+        | [] -> [ acc ]
+        | (hvars, tuples) :: rest ->
+          List.concat_map (fun tpl -> cross (List.combine hvars tpl @ acc) rest) tuples
+      in
+      let assignments = cross [] comp_results in
+      let tuples =
+        List.map
+          (fun asg -> Array.of_list (List.map (fun h -> List.assoc h asg) q.head))
+          assignments
+      in
+      List.sort_uniq compare tuples
+    end
+  end

@@ -1,0 +1,45 @@
+(** Yannakakis' algorithm for acyclic conjunctive queries on trees
+    (Section 4, Proposition 4.2; full reduction, Section 6).
+
+    The join tree of an acyclic query over axis relations is its variable
+    tree ({!Join_tree}); a semijoin step against an axis relation is a
+    set-at-a-time axis image ({!Treekit.Axis.image}), which costs O(n) —
+    so the whole bottom-up pass costs O(‖A‖ · |Q|), the bound of
+    Proposition 4.2, {e without materialising any (possibly quadratic)
+    axis relation}.
+
+    - {!boolean}: one bottom-up semijoin pass per component;
+    - {!unary}: the join tree is rooted at the head variable, so the root
+      domain after the bottom-up pass {e is} the answer (the paper: "the
+      join tree has to be oriented such that the output is a subset of a
+      column of the input relation at the root");
+    - {!domains}: bottom-up + top-down = a {e full reducer}; the reduced
+      domains are exactly the maximal arc-consistent pre-valuation of
+      Section 6 (tested against {!Actree.Arc_consistency});
+    - {!solutions}: backtracking-free enumeration over the reduced
+      domains (Proposition 6.9 guarantees no dead ends). *)
+
+exception Cyclic of string
+(** Raised when the query graph is cyclic (use {!Rewrite} or
+    {!Actree} instead). *)
+
+val domains :
+  ?env:Query.env -> Query.t -> Treekit.Tree.t -> (Query.var * Treekit.Nodeset.t) list
+(** Fully reduced per-variable domains (the maximal arc-consistent
+    pre-valuation restricted to the join forest).  All domains are empty
+    iff the query is unsatisfiable on the tree.
+    @raise Cyclic *)
+
+val boolean : ?env:Query.env -> Query.t -> Treekit.Tree.t -> bool
+(** @raise Cyclic *)
+
+val unary : ?env:Query.env -> Query.t -> Treekit.Tree.t -> Treekit.Nodeset.t
+(** @raise Cyclic
+    @raise Invalid_argument if the query is not unary *)
+
+val solutions : ?env:Query.env -> Query.t -> Treekit.Tree.t -> int array list
+(** All head tuples, sorted, deduplicated.  Enumeration is
+    backtracking-free over the reduced domains; note the cost is
+    output-sensitive in the number of {e full} assignments when the head
+    projects variables away.
+    @raise Cyclic *)

@@ -1,0 +1,132 @@
+module Tree = Treekit.Tree
+module Axis = Treekit.Axis
+module Nodeset = Treekit.Nodeset
+module R = Relkit.Relation
+module Ops = Relkit.Ops
+open Formula
+
+(* tables: satisfying assignments with named columns *)
+type table = { cols : var list; rel : R.t }
+
+let position cols v =
+  let rec go i = function
+    | [] -> None
+    | w :: _ when w = v -> Some i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 cols
+
+let domain_rel n =
+  let r = R.create ~name:"dom" ~arity:1 () in
+  for v = 0 to n - 1 do
+    R.add r [| v |]
+  done;
+  r
+
+(* natural join of two tables *)
+let join t1 t2 =
+  let on =
+    List.filteri (fun _ _ -> true) t1.cols
+    |> List.mapi (fun i v -> (i, position t2.cols v))
+    |> List.filter_map (fun (i, j) -> Option.map (fun j -> (i, j)) j)
+  in
+  let joined = if on = [] then Ops.product t1.rel t2.rel else Ops.equijoin ~on t1.rel t2.rel in
+  let n1 = List.length t1.cols in
+  let fresh_positions =
+    List.filteri
+      (fun j _ -> not (List.exists (fun (_, j') -> j' = j) on))
+      (List.init (List.length t2.cols) Fun.id)
+  in
+  let cols = t1.cols @ List.map (List.nth t2.cols) fresh_positions in
+  let keep = List.init n1 Fun.id @ List.map (fun j -> n1 + j) fresh_positions in
+  { cols; rel = Ops.project keep joined }
+
+(* extend a table with the missing columns, each ranging over the domain *)
+let cylindrify n target_cols t =
+  let missing = List.filter (fun v -> position t.cols v = None) target_cols in
+  let extended =
+    List.fold_left (fun acc v -> join acc { cols = [ v ]; rel = domain_rel n }) t missing
+  in
+  (* reorder to target_cols *)
+  let positions = List.filter_map (position extended.cols) target_cols in
+  { cols = target_cols; rel = Ops.project positions extended.rel }
+
+let full_table n cols =
+  cylindrify n cols { cols = []; rel = R.of_rows ~arity:0 [ [||] ] }
+
+let rec eval_table tree phi =
+  let n = Tree.size tree in
+  match phi with
+  | True_ -> { cols = []; rel = R.of_rows ~arity:0 [ [||] ] }
+  | False_ -> { cols = []; rel = R.create ~arity:0 () }
+  | Lab (l, x) ->
+    let r = R.create ~arity:1 () in
+    List.iter (fun v -> R.add r [| v |]) (Tree.nodes_with_label tree l);
+    { cols = [ x ]; rel = r }
+  | Eq (x, y) when x = y -> { cols = [ x ]; rel = domain_rel n }
+  | Eq (x, y) ->
+    let r = R.create ~arity:2 () in
+    for v = 0 to n - 1 do
+      R.add r [| v; v |]
+    done;
+    { cols = [ x; y ]; rel = r }
+  | Axis (a, x, y) when x = y ->
+    let r = R.create ~arity:1 () in
+    for v = 0 to n - 1 do
+      if Axis.mem tree a v v then R.add r [| v |]
+    done;
+    { cols = [ x ]; rel = r }
+  | Axis (a, x, y) ->
+    let r = R.create ~arity:2 () in
+    for u = 0 to n - 1 do
+      Axis.fold tree a u (fun v () -> R.add r [| u; v |]) ()
+    done;
+    { cols = [ x; y ]; rel = r }
+  | And (f, g) -> join (eval_table tree f) (eval_table tree g)
+  | Or (f, g) ->
+    let tf = eval_table tree f and tg = eval_table tree g in
+    let cols = free_vars phi in
+    let tf = cylindrify n cols tf and tg = cylindrify n cols tg in
+    { cols; rel = Ops.union tf.rel tg.rel }
+  | Not f ->
+    let tf = eval_table tree f in
+    let cols = free_vars f in
+    let tf = cylindrify n cols tf in
+    let full = full_table n cols in
+    { cols; rel = Ops.diff full.rel tf.rel }
+  | Exists (x, f) ->
+    let tf = eval_table tree f in
+    (match position tf.cols x with
+    | None ->
+      (* x does not occur free below: ∃x φ ≡ φ (nonempty domain) *)
+      tf
+    | Some i ->
+      let keep =
+        List.filteri (fun j _ -> j <> i) (List.init (List.length tf.cols) Fun.id)
+      in
+      {
+        cols = List.filteri (fun j _ -> j <> i) tf.cols;
+        rel = Ops.project keep tf.rel;
+      })
+  | Forall (x, f) -> eval_table tree (Not (Exists (x, Not f)))
+
+let eval tree phi =
+  let t = eval_table tree phi in
+  (* align with the canonical free-variable order *)
+  let cols = free_vars phi in
+  let t = cylindrify (Tree.size tree) cols t in
+  (cols, t.rel)
+
+let holds tree phi =
+  if not (is_sentence phi) then invalid_arg "Folang.Eval.holds: free variables";
+  let _, rel = eval tree phi in
+  R.cardinality rel > 0
+
+let unary tree phi =
+  match free_vars phi with
+  | [ _ ] ->
+    let _, rel = eval tree phi in
+    let out = Nodeset.create (Tree.size tree) in
+    R.iter (fun row -> Nodeset.add out row.(0)) rel;
+    out
+  | _ -> invalid_arg "Folang.Eval.unary: expected exactly one free variable"

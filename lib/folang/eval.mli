@@ -1,0 +1,21 @@
+(** Naive FO evaluation over trees: O(‖A‖ᵏ · |φ|) for FOᵏ.
+
+    A formula with free variables [x₁ … x_j] denotes the relation of its
+    satisfying assignments; connectives map to relational algebra
+    (∧ = natural join, ∨ = aligned union, ¬ = complement against the
+    cylinder, ∃ = projection, ∀ = ¬∃¬).  Intermediate relations are
+    bounded by n^k for k distinct variables — exactly the FOᵏ bound the
+    paper quotes ("FOᵏ is in time O(‖A‖ᵏ · |Q|)", Section 4), and the
+    reason FO² matters for Core XPath. *)
+
+val eval :
+  Treekit.Tree.t -> Formula.t -> Formula.var list * Relkit.Relation.t
+(** The satisfying assignments, with the column order of the relation. *)
+
+val holds : Treekit.Tree.t -> Formula.t -> bool
+(** Truth of a sentence.
+    @raise Invalid_argument if the formula has free variables. *)
+
+val unary : Treekit.Tree.t -> Formula.t -> Treekit.Nodeset.t
+(** The set defined by a formula with exactly one free variable.
+    @raise Invalid_argument otherwise. *)

@@ -1,0 +1,85 @@
+type var = string
+
+type t =
+  | Axis of Treekit.Axis.t * var * var
+  | Lab of string * var
+  | Eq of var * var
+  | True_
+  | False_
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Exists of var * t
+  | Forall of var * t
+
+let free_vars phi =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let visit bound x =
+    if (not (List.mem x bound)) && not (Hashtbl.mem seen x) then begin
+      Hashtbl.add seen x ();
+      out := x :: !out
+    end
+  in
+  let rec go bound = function
+    | Axis (_, x, y) ->
+      visit bound x;
+      visit bound y
+    | Lab (_, x) -> visit bound x
+    | Eq (x, y) ->
+      visit bound x;
+      visit bound y
+    | True_ | False_ -> ()
+    | Not f -> go bound f
+    | And (a, b) | Or (a, b) ->
+      go bound a;
+      go bound b
+    | Exists (x, f) | Forall (x, f) -> go (x :: bound) f
+  in
+  go [] phi;
+  List.rev !out
+
+let variable_count phi =
+  let names = Hashtbl.create 8 in
+  let rec go = function
+    | Axis (_, x, y) | Eq (x, y) ->
+      Hashtbl.replace names x ();
+      Hashtbl.replace names y ()
+    | Lab (_, x) -> Hashtbl.replace names x ()
+    | True_ | False_ -> ()
+    | Not f -> go f
+    | And (a, b) | Or (a, b) ->
+      go a;
+      go b
+    | Exists (x, f) | Forall (x, f) ->
+      Hashtbl.replace names x ();
+      go f
+  in
+  go phi;
+  Hashtbl.length names
+
+let rec size = function
+  | Axis _ | Lab _ | Eq _ | True_ | False_ -> 1
+  | Not f -> 1 + size f
+  | And (a, b) | Or (a, b) -> 1 + size a + size b
+  | Exists (_, f) | Forall (_, f) -> 1 + size f
+
+let is_sentence phi = free_vars phi = []
+
+let conj = function [] -> True_ | f :: rest -> List.fold_left (fun a b -> And (a, b)) f rest
+
+let disj = function [] -> False_ | f :: rest -> List.fold_left (fun a b -> Or (a, b)) f rest
+
+let exists vars body = List.fold_right (fun v f -> Exists (v, f)) vars body
+
+let rec pp fmt = function
+  | Axis (a, x, y) -> Format.fprintf fmt "%s(%s, %s)" (Treekit.Axis.name a) x y
+  | Lab (l, x) -> Format.fprintf fmt "Lab_%s(%s)" l x
+  | Eq (x, y) -> Format.fprintf fmt "%s = %s" x y
+  | True_ -> Format.fprintf fmt "true"
+  | False_ -> Format.fprintf fmt "false"
+  | Not f -> Format.fprintf fmt "not(%a)" pp f
+  | And (a, b) -> Format.fprintf fmt "(%a and %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf fmt "(%a or %a)" pp a pp b
+  | Exists (x, f) -> Format.fprintf fmt "(exists %s. %a)" x pp f
+  | Forall (x, f) -> Format.fprintf fmt "(forall %s. %a)" x pp f

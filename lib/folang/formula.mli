@@ -1,0 +1,41 @@
+(** First-order logic over tree structures (Sections 3, 4 and 7).
+
+    The paper's Figure 7 places FO, FO² and FO³ in the expressiveness map:
+    Core XPath translates in linear time into FO² [57, 9], FOᵏ queries
+    evaluate in time O(‖A‖ᵏ·|Q|), and conjunctive FOᵏ⁺¹ queries have
+    tree-width ≤ k.  This module gives FO formulas over the tree signature
+    (axis relations, label predicates, equality) with named variables,
+    plus the syntactic measures those results are stated in. *)
+
+type var = string
+
+type t =
+  | Axis of Treekit.Axis.t * var * var  (** [axis(x, y)] *)
+  | Lab of string * var  (** [Lab_a(x)] *)
+  | Eq of var * var
+  | True_
+  | False_
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Exists of var * t
+  | Forall of var * t
+
+val free_vars : t -> var list
+(** Free variables, in order of first occurrence. *)
+
+val variable_count : t -> int
+(** Number of {e distinct variable names} in the formula — the k of FOᵏ
+    (reused names count once; this is the point of the FOᵏ fragments). *)
+
+val size : t -> int
+
+val is_sentence : t -> bool
+
+val conj : t list -> t
+val disj : t list -> t
+val exists : var list -> t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Conventional syntax, e.g.
+    [∃y (child(x, y) ∧ Lab_a(y))] printed with ASCII connectives. *)

@@ -1,0 +1,57 @@
+module A = Xpath.Ast
+module Axis = Treekit.Axis
+open Formula
+
+let flip v = if v = "x" then "y" else "x"
+
+(* root(v) := ¬∃w Child(w, v), written with the flipped name *)
+let is_root v = Not (Exists (flip v, Axis (Axis.Child, flip v, v)))
+
+(* φ(target): target ∈ F(path, {root}).  The path is consumed from the
+   right: the last step relates a quantified predecessor (the flipped
+   name) to the target. *)
+let rec fwd path target =
+  match path with
+  | A.Union (p1, p2) -> Or (fwd p1 target, fwd p2 target)
+  | A.Seq (p1, A.Union (a, b)) -> Or (fwd (A.Seq (p1, a)) target, fwd (A.Seq (p1, b)) target)
+  | A.Seq (p1, A.Seq (a, b)) -> fwd (A.Seq (A.Seq (p1, a), b)) target
+  | A.Seq (p1, A.Step { axis; quals }) ->
+    let prev = flip target in
+    conj
+      (Exists (prev, And (fwd p1 prev, Axis (axis, prev, target)))
+      :: List.map (fun q -> qual q target) quals)
+  | A.Step { axis; quals } ->
+    let prev = flip target in
+    conj
+      (Exists (prev, And (is_root prev, Axis (axis, prev, target)))
+      :: List.map (fun q -> qual q target) quals)
+
+(* ψ(src): the qualifier holds at src *)
+and qual q src =
+  match q with
+  | A.Lab l -> Lab (l, src)
+  | A.And (a, b) -> And (qual a src, qual b src)
+  | A.Or (a, b) -> Or (qual a src, qual b src)
+  | A.Not a -> Not (qual a src)
+  | A.Exists p -> succeeds p src
+
+(* ψ(src): the path succeeds starting at src (consumed from the left) *)
+and succeeds path src =
+  match path with
+  | A.Union (p1, p2) -> Or (succeeds p1 src, succeeds p2 src)
+  | A.Seq (A.Union (a, b), p2) -> Or (succeeds (A.Seq (a, p2)) src, succeeds (A.Seq (b, p2)) src)
+  | A.Seq (A.Seq (a, b), c) -> succeeds (A.Seq (a, A.Seq (b, c))) src
+  | A.Seq (A.Step { axis; quals }, rest) ->
+    let next = flip src in
+    Exists
+      ( next,
+        conj
+          ((Axis (axis, src, next) :: List.map (fun q -> qual q next) quals)
+          @ [ succeeds rest next ]) )
+  | A.Step { axis; quals } ->
+    let next = flip src in
+    Exists (next, conj (Axis (axis, src, next) :: List.map (fun q -> qual q next) quals))
+
+let unary p = fwd p "x"
+
+let boolean p = Exists ("x", fwd p "x")

@@ -1,0 +1,18 @@
+(** Core XPath → two-variable first-order logic (Marx [57]; Sections 4
+    and 7).
+
+    "Core XPath queries can be translated efficiently, in linear time,
+    into equivalent FO² queries; thus Boolean Core XPath is in time
+    O(‖A‖² · |Q|)."  The translation produces a unary formula over the
+    two variable names [x] and [y], alternating them along path
+    composition so each quantifier rebinds the name not currently in
+    use.  Output size is linear in the query (property-tested), the
+    formula uses exactly ≤ 2 distinct names, and evaluating it with
+    {!Eval} (intermediates bounded by n²) agrees with the XPath
+    engines. *)
+
+val unary : Xpath.Ast.path -> Formula.t
+(** The FO² formula [φ(x)] defining the unary query [[p]](root). *)
+
+val boolean : Xpath.Ast.path -> Formula.t
+(** The FO² sentence "[[p]](root) ≠ ∅". *)

@@ -1,0 +1,129 @@
+type rule_id = int
+
+type t = {
+  nvars : int;
+  mutable heads : int list;  (** reverse order of rule heads *)
+  mutable bodies : int list list;  (** reverse order of rule bodies *)
+  mutable goals : int list list;
+  mutable nrules : int;
+  mutable atom_occurrences : int;
+}
+
+let create ~nvars =
+  if nvars < 0 then invalid_arg "Hornsat.create: negative nvars";
+  { nvars; heads = []; bodies = []; goals = []; nrules = 0; atom_occurrences = 0 }
+
+let nvars f = f.nvars
+
+let check_var f p =
+  if p < 0 || p >= f.nvars then invalid_arg "Hornsat: variable out of range"
+
+let add_rule f ~head ~body =
+  check_var f head;
+  List.iter (check_var f) body;
+  f.heads <- head :: f.heads;
+  f.bodies <- body :: f.bodies;
+  f.nrules <- f.nrules + 1;
+  f.atom_occurrences <- f.atom_occurrences + 1 + List.length body;
+  f.nrules
+
+let add_goal f ~body =
+  List.iter (check_var f) body;
+  f.goals <- body :: f.goals;
+  f.atom_occurrences <- f.atom_occurrences + List.length body
+
+let rule_count f = f.nrules
+
+let size_of_formula f = f.atom_occurrences
+
+(* The data structures of Figure 3, built from the recorded rules. *)
+type arrays = {
+  arr_head : int array;  (** head[i], 1-based rule ids (slot 0 unused) *)
+  arr_size : int array;  (** size[i] = number of body atoms *)
+  arr_rules : rule_id list array;  (** rules[p] = rules with p in the body *)
+  initial_queue : int list;
+}
+
+let build_arrays f =
+  let l = f.nrules in
+  let arr_head = Array.make (l + 1) (-1)
+  and arr_size = Array.make (l + 1) 0
+  and arr_rules = Array.make f.nvars [] in
+  let q = ref [] in
+  let heads = Array.of_list (List.rev f.heads)
+  and bodies = Array.of_list (List.rev f.bodies) in
+  for i0 = 0 to l - 1 do
+    let i = i0 + 1 in
+    arr_head.(i) <- heads.(i0);
+    arr_size.(i) <- List.length bodies.(i0);
+    List.iter (fun p -> arr_rules.(p) <- i :: arr_rules.(p)) bodies.(i0);
+    if arr_size.(i) = 0 then q := heads.(i0) :: !q
+  done;
+  (* occurrence lists were built backwards; restore insertion order *)
+  Array.iteri (fun p rs -> arr_rules.(p) <- List.rev rs) arr_rules;
+  { arr_head; arr_size; arr_rules; initial_queue = List.rev !q }
+
+type state = {
+  size : (rule_id * int) list;
+  head : (rule_id * int) list;
+  rules : (int * rule_id list) list;
+  queue : int list;
+}
+
+let init_state f =
+  let a = build_arrays f in
+  let size = List.init f.nrules (fun i0 -> (i0 + 1, a.arr_size.(i0 + 1)))
+  and head = List.init f.nrules (fun i0 -> (i0 + 1, a.arr_head.(i0 + 1)))
+  and rules =
+    List.filteri (fun _ (_, rs) -> rs <> [])
+      (List.init f.nvars (fun p -> (p, a.arr_rules.(p))))
+  in
+  { size; head; rules; queue = a.initial_queue }
+
+(* The main loop of Figure 3. *)
+let run f =
+  let a = build_arrays f in
+  let truth = Array.make f.nvars false in
+  let order = ref [] in
+  let q = Queue.create () in
+  let enqueue p =
+    if not truth.(p) then begin
+      truth.(p) <- true;
+      Queue.add p q
+    end
+  in
+  List.iter enqueue a.initial_queue;
+  while not (Queue.is_empty q) do
+    let p = Queue.take q in
+    order := p :: !order;
+    List.iter
+      (fun i ->
+        a.arr_size.(i) <- a.arr_size.(i) - 1;
+        if a.arr_size.(i) = 0 then enqueue a.arr_head.(i))
+      a.arr_rules.(p)
+  done;
+  (truth, List.rev !order)
+
+let solve f = fst (run f)
+
+let solve_order f = snd (run f)
+
+let satisfiable f =
+  let m = solve f in
+  not (List.exists (fun body -> List.for_all (fun p -> m.(p)) body) f.goals)
+
+let solve_brute f =
+  let heads = Array.of_list (List.rev f.heads)
+  and bodies = Array.of_list (List.rev f.bodies) in
+  let truth = Array.make f.nvars false in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to f.nrules - 1 do
+      if (not truth.(heads.(i))) && List.for_all (fun p -> truth.(p)) bodies.(i) then begin
+        truth.(heads.(i)) <- true;
+        changed := true
+      end
+    done
+  done;
+  truth

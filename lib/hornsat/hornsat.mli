@@ -1,0 +1,75 @@
+(** Propositional Horn-SAT and Minoux's linear-time algorithm
+    (Figure 3 of the paper; Minoux's LTUR, Information Processing Letters
+    1988).
+
+    A definite Horn formula is a conjunction of rules
+    [p ← q₁, …, q_k] over propositional variables [0 … nvars-1]; a rule
+    with an empty body is a fact.  {!solve} computes the least model — the
+    set of derivable variables — in time linear in the total size of the
+    formula, by unit resolution driven by a queue, exactly as in Figure 3:
+    each rule keeps a count [size] of its not-yet-derived body atoms, each
+    variable an occurrence list [rules] of the rules it appears in the body
+    of, and deriving a variable decrements the counts of those rules.
+
+    Goal clauses [← q₁, …, q_k] (headless) make the formula a general Horn
+    formula; it is satisfiable iff no goal clause has all its body atoms in
+    the least model.
+
+    The module exposes the algorithm's initial data-structure state
+    ({!init_state}) and the derivation order ({!solve_order}) so that the
+    paper's worked Example 3.3 can be checked step by step. *)
+
+type t
+(** A mutable Horn formula under construction. *)
+
+type rule_id = int
+(** Rules are numbered 1, 2, … in insertion order (1-based, to match the
+    paper's r₁, r₂, …). *)
+
+val create : nvars:int -> t
+(** A formula over variables [0 … nvars-1] with no rules yet. *)
+
+val nvars : t -> int
+
+val add_rule : t -> head:int -> body:int list -> rule_id
+(** [add_rule f ~head ~body] adds the definite clause [head ← body] and
+    returns its 1-based id.
+    @raise Invalid_argument on out-of-range variables. *)
+
+val add_goal : t -> body:int list -> unit
+(** Add the goal (negative) clause [← body]. *)
+
+val rule_count : t -> int
+
+val size_of_formula : t -> int
+(** Total number of atom occurrences — the input-size measure ‖Φ‖ in which
+    the algorithm is linear. *)
+
+val solve : t -> bool array
+(** The least model: [m.(p)] is true iff [p] is derivable.  Time
+    O(‖Φ‖).  (Goal clauses are ignored here.) *)
+
+val solve_order : t -> int list
+(** The variables in the order Minoux's algorithm outputs
+    ["p is true"] — the queue-processing order of Figure 3. *)
+
+val satisfiable : t -> bool
+(** True iff the formula including its goal clauses is satisfiable, i.e.
+    no goal clause is fully contained in the least model. *)
+
+(** The initialisation state of Figure 3, for inspection. *)
+type state = {
+  size : (rule_id * int) list;  (** per rule: number of body atoms *)
+  head : (rule_id * int) list;  (** per rule: head variable *)
+  rules : (int * rule_id list) list;
+      (** per variable occurring in some body: the rules it occurs in *)
+  queue : int list;  (** heads of facts, in insertion order *)
+}
+
+val init_state : t -> state
+(** The data structures exactly as built by the initialisation phase of
+    Figure 3 (before the main loop runs). *)
+
+val solve_brute : t -> bool array
+(** Reference implementation: naive fixpoint iteration, O(‖Φ‖²).
+    Used by tests to validate {!solve}. *)

@@ -1,0 +1,137 @@
+type var = string
+
+type unary =
+  | Dom
+  | Root
+  | Leaf
+  | First_sibling
+  | Last_sibling
+  | Lab of string
+  | Pred of string
+
+type binary = First_child | Next_sibling | Child
+
+type atom = U of unary * var | B of binary * var * var
+
+type rule = { head : string; head_var : var; body : atom list }
+
+type program = { rules : rule list; query : string }
+
+let atom_vars = function U (_, x) -> [ x ] | B (_, x, y) -> [ x; y ]
+
+let rule_vars r =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let visit x =
+    if not (Hashtbl.mem seen x) then begin
+      Hashtbl.add seen x ();
+      out := x :: !out
+    end
+  in
+  visit r.head_var;
+  List.iter (fun a -> List.iter visit (atom_vars a)) r.body;
+  List.rev !out
+
+let intensional p =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  List.iter
+    (fun r ->
+      if not (Hashtbl.mem seen r.head) then begin
+        Hashtbl.add seen r.head ();
+        out := r.head :: !out
+      end)
+    p.rules;
+  List.rev !out
+
+type shape = Tree_shaped | Cyclic | Disconnected
+
+let rule_shape r =
+  let vars = rule_vars r in
+  let n = List.length vars in
+  let idx = Hashtbl.create 8 in
+  List.iteri (fun i x -> Hashtbl.add idx x i) vars;
+  let edges =
+    List.filter_map
+      (function
+        | B (_, x, y) -> Some (Hashtbl.find idx x, Hashtbl.find idx y)
+        | U _ -> None)
+      r.body
+  in
+  let nedges = List.length edges in
+  (* union-find connectivity; a connected graph on n vertices with n-1 edges
+     and no self-loop multi-edge cycle is a tree *)
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let cyclic = ref false in
+  List.iter
+    (fun (a, b) ->
+      let ra = find a and rb = find b in
+      if ra = rb then cyclic := true else parent.(ra) <- rb)
+    edges;
+  let roots = ref 0 in
+  for i = 0 to n - 1 do
+    if find i = i then incr roots
+  done;
+  if !cyclic then Cyclic
+  else if !roots > 1 then Disconnected
+  else if nedges = n - 1 then Tree_shaped
+  else Cyclic
+
+let check p =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  if p.rules = [] then err "program has no rules"
+  else if not (List.mem p.query (intensional p)) then
+    err "query predicate %s has no rule" p.query
+  else
+    let rec go = function
+      | [] -> Ok ()
+      | r :: rest ->
+        let body_vars = List.concat_map atom_vars r.body in
+        if not (List.mem r.head_var body_vars) then
+          err "rule for %s is unsafe: head variable %s not in body" r.head r.head_var
+        else begin
+          match rule_shape r with
+          | Tree_shaped -> go rest
+          | Cyclic -> err "rule for %s has a cyclic variable graph" r.head
+          | Disconnected -> err "rule for %s has a disconnected variable graph" r.head
+        end
+    in
+    go p.rules
+
+let unary_name = function
+  | Dom -> "dom"
+  | Root -> "root"
+  | Leaf -> "leaf"
+  | First_sibling -> "firstsibling"
+  | Last_sibling -> "lastsibling"
+  | Lab _ -> "lab"
+  | Pred s -> s
+
+let binary_name = function
+  | First_child -> "firstchild"
+  | Next_sibling -> "nextsibling"
+  | Child -> "child"
+
+let pp_atom fmt = function
+  | U (Lab a, x) -> Format.fprintf fmt "lab(%s, %S)" x a
+  | U (u, x) -> Format.fprintf fmt "%s(%s)" (unary_name u) x
+  | B (b, x, y) -> Format.fprintf fmt "%s(%s, %s)" (binary_name b) x y
+
+let pp_rule fmt r =
+  Format.fprintf fmt "%s(%s)" r.head r.head_var;
+  (match r.body with
+  | [] -> ()
+  | atoms ->
+    Format.fprintf fmt " :- ";
+    List.iteri
+      (fun i a ->
+        if i > 0 then Format.fprintf fmt ", ";
+        pp_atom fmt a)
+      atoms);
+  Format.fprintf fmt "."
+
+let pp_program fmt p =
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun r -> Format.fprintf fmt "%a@," pp_rule r) p.rules;
+  Format.fprintf fmt "?- %s.@]" p.query

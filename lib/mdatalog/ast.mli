@@ -1,0 +1,75 @@
+(** Monadic datalog over the tree signature τ⁺ (Section 3).
+
+    The signature is
+    [τ⁺ = ⟨Dom, Root, Leaf, (Lab_a), FirstChild, NextSibling, LastSibling⟩]
+    (plus [FirstSibling], derivable, and [Child] as convenience — the paper
+    notes monadic datalog over τ⁺ ∪ {Child} translates to TMNF over τ⁺,
+    see {!Tmnf}).  All intensional predicates are unary; a program
+    distinguishes one intensional predicate as the query predicate.
+
+    Example 3.1 (nodes with an ancestor labeled L) in this AST's concrete
+    syntax (see {!Parser}):
+
+    {v
+    p0(X) :- lab(X, "l").
+    p0(X0) :- nextsibling(X0, X), p0(X).
+    p(X0) :- firstchild(X0, X), p0(X).
+    p0(X) :- p(X).
+    ?- p.
+    v} *)
+
+type var = string
+(** Rule variables ([x], [x0], …). *)
+
+(** Extensional unary predicates of τ⁺, plus intensional predicates. *)
+type unary =
+  | Dom  (** true of every node *)
+  | Root
+  | Leaf
+  | First_sibling
+  | Last_sibling
+  | Lab of string  (** [Lab_a(x)] — the node labeling relations *)
+  | Pred of string  (** an intensional predicate (or an externally
+                        supplied node set, see {!Eval.run}) *)
+
+(** Extensional binary predicates. *)
+type binary =
+  | First_child
+  | Next_sibling
+  | Child
+      (** convenience beyond τ⁺; eliminated by the TMNF translation *)
+
+type atom =
+  | U of unary * var
+  | B of binary * var * var
+
+type rule = { head : string; head_var : var; body : atom list }
+(** [head(head_var) ← body].  Safety requires [head_var] to occur in
+    [body]. *)
+
+type program = { rules : rule list; query : string }
+
+val atom_vars : atom -> var list
+
+val rule_vars : rule -> var list
+(** All distinct variables of the rule, head variable first. *)
+
+val intensional : program -> string list
+(** Names appearing in some rule head, without duplicates. *)
+
+(** The shape of a rule's variable graph (vertices: variables; edges:
+    binary atoms). *)
+type shape =
+  | Tree_shaped  (** connected and acyclic — the fragment the linear
+                     grounding and the TMNF translation cover *)
+  | Cyclic
+  | Disconnected
+
+val rule_shape : rule -> shape
+
+val check : program -> (unit, string) result
+(** Well-formedness: safety, nonempty rule set, query predicate
+    intensional, every rule tree-shaped. *)
+
+val pp_rule : Format.formatter -> rule -> unit
+val pp_program : Format.formatter -> program -> unit

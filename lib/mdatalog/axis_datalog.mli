@@ -1,0 +1,55 @@
+(** Monadic datalog over arbitrary axis relations — the [mon.datalog\[X\]]
+    node of Figure 7 and the Section 7 remark: "in the case that all
+    individual rules are acyclic (conjunctive queries), monadic datalog
+    over arbitrary axes can be evaluated in linear time".
+
+    A program is a set of rules [p(x) ← body] where the body is a
+    conjunctive query over the axes (any of the fifteen), label tests, τ⁺
+    unary predicates, and intensional unary predicates.  Every rule body
+    must be acyclic as a conjunctive query; evaluation is then a
+    semi-naive fixpoint where each rule application is one Yannakakis
+    pass with the current intensional sets supplied as external unary
+    predicates — O(‖A‖·|rule|) per application, and every application
+    adds at least one node to some predicate, so O(‖A‖·|P|·|preds·n|)
+    overall with the per-pass linearity the paper's remark is about.
+
+    Example 3.1 in this language is a single non-recursive rule
+    [p(x) ← Child⁺(x, y), Lab_l(y)] — recursion is only needed when the
+    signature lacks transitive axes. *)
+
+type rule = {
+  head : string;
+  head_var : Cqtree.Query.var;
+  body : Cqtree.Query.atom list;
+      (** may use [Named p] for intensional predicates *)
+}
+
+type program = { rules : rule list; query : string }
+
+val parse : string -> program
+(** Same rule syntax as {!Cqtree.Query.of_string} with named heads and the
+    final [?- pred.] directive of {!Parser}:
+
+    {v
+    reach(X) :- root(X).
+    reach(Y) :- reach(X), child(X, Y), lab(Y, "a").
+    ?- reach.
+    v}
+    @raise Failure *)
+
+val check : program -> (unit, string) result
+(** Safety, query predicate defined, and every rule body acyclic. *)
+
+val run : ?env:Cqtree.Query.env -> program -> Treekit.Tree.t -> Treekit.Nodeset.t
+(** Fixpoint evaluation; the answer of the query predicate.
+    @raise Invalid_argument on ill-formed programs
+    @raise Failure on cyclic rule bodies *)
+
+val run_naive : ?env:Cqtree.Query.env -> program -> Treekit.Tree.t -> Treekit.Nodeset.t
+(** Reference: naive fixpoint with backtracking rule bodies; for tests. *)
+
+val of_tau_program : Ast.program -> program
+(** Embed a τ⁺ monadic datalog program (τ⁺ binary relations become the
+    corresponding axes: [FirstChild(x,y) ↦ Child(x,y) ∧ FirstSibling(y)],
+    [NextSibling ↦ Next_sibling], [Child ↦ Child]).  Used by tests to
+    cross-check the two engines. *)

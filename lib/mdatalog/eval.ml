@@ -1,0 +1,186 @@
+open Ast
+module Tree = Treekit.Tree
+module Nodeset = Treekit.Nodeset
+
+type env = (string * Nodeset.t) list
+
+exception Unbound_predicate of string
+
+(* ------------------------------------------------------------------ *)
+(* Embedding enumeration.
+
+   For a tree-shaped rule, enumerate all assignments of the rule variables
+   to tree nodes that satisfy the body's extensional atoms.  Binary atoms
+   over FirstChild/NextSibling are bidirectional partial bijections, so the
+   assignment propagates deterministically; Child(x,y) with x known branches
+   over the children of x.  Intensional (and env) unary atoms are collected
+   and handed to [accept] for the caller to interpret. *)
+
+let enumerate rule tree ~is_extensional ~test_env ~accept =
+  let vars = rule_vars rule in
+  let idx = Hashtbl.create 8 in
+  List.iteri (fun i x -> Hashtbl.add idx x i) vars;
+  let nvars = List.length vars in
+  let assignment = Array.make nvars (-1) in
+  (* adjacency: per variable index, the binary atoms touching it *)
+  let adj = Array.make nvars [] in
+  let unary_atoms = Array.make nvars [] in
+  List.iter
+    (function
+      | B (b, x, y) ->
+        let ix = Hashtbl.find idx x and iy = Hashtbl.find idx y in
+        adj.(ix) <- (b, ix, iy) :: adj.(ix);
+        adj.(iy) <- (b, ix, iy) :: adj.(iy)
+      | U (u, x) ->
+        let ix = Hashtbl.find idx x in
+        unary_atoms.(ix) <- u :: unary_atoms.(ix))
+    rule.body;
+  let rec bind ix v pendings cont =
+    if assignment.(ix) <> -1 then (if assignment.(ix) = v then cont pendings)
+    else begin
+      (* check unary atoms on this variable *)
+      let rec unaries pendings = function
+        | [] -> Some pendings
+        | u :: rest -> begin
+          match u with
+          | Dom -> unaries pendings rest
+          | Root -> if Tree.is_root tree v then unaries pendings rest else None
+          | Leaf -> if Tree.is_leaf tree v then unaries pendings rest else None
+          | First_sibling ->
+            if Tree.is_first_sibling tree v then unaries pendings rest else None
+          | Last_sibling ->
+            if Tree.is_last_sibling tree v then unaries pendings rest else None
+          | Lab a -> if Tree.label tree v = a then unaries pendings rest else None
+          | Pred p ->
+            if is_extensional p then
+              if test_env p v then unaries pendings rest else None
+            else unaries ((p, v) :: pendings) rest
+        end
+      in
+      match unaries pendings unary_atoms.(ix) with
+      | None -> ()
+      | Some pendings ->
+        assignment.(ix) <- v;
+        propagate ix adj.(ix) pendings (fun ps -> cont ps);
+        assignment.(ix) <- -1
+    end
+  and propagate ix edges pendings cont =
+    (* satisfy every binary atom adjacent to ix whose other endpoint is
+       determined by ix's value *)
+    match edges with
+    | [] -> cont pendings
+    | (b, sx, sy) :: rest ->
+      let v = assignment.(ix) in
+      let other = if sx = ix then sy else sx in
+      let continue_with w =
+        if w = -1 then ()
+        else bind other w pendings (fun ps -> propagate ix rest ps cont)
+      in
+      if assignment.(other) <> -1 then begin
+        (* both endpoints bound: just test *)
+        let holds =
+          let xv = assignment.(sx) and yv = assignment.(sy) in
+          match b with
+          | First_child -> Tree.first_child tree xv = yv
+          | Next_sibling -> Tree.next_sibling tree xv = yv
+          | Child -> Tree.parent tree yv = xv
+        in
+        if holds then propagate ix rest pendings cont
+      end
+      else begin
+        match b, sx = ix with
+        | First_child, true -> continue_with (Tree.first_child tree v)
+        | First_child, false ->
+          if Tree.is_first_sibling tree v then continue_with (Tree.parent tree v)
+        | Next_sibling, true -> continue_with (Tree.next_sibling tree v)
+        | Next_sibling, false -> continue_with (Tree.prev_sibling tree v)
+        | Child, false -> continue_with (Tree.parent tree v)
+        | Child, true ->
+          (* branch over the children of v *)
+          Tree.fold_children tree v
+            (fun () c -> bind other c pendings (fun ps -> propagate ix rest ps cont))
+            ()
+      end
+  in
+  let head_ix = Hashtbl.find idx rule.head_var in
+  for v = 0 to Tree.size tree - 1 do
+    bind head_ix v [] (fun pendings ->
+        accept ~head_node:assignment.(head_ix) ~pending:pendings)
+  done
+
+(* ------------------------------------------------------------------ *)
+
+let predicates program =
+  let names = intensional program in
+  let tbl = Hashtbl.create 16 in
+  List.iteri (fun i nm -> Hashtbl.add tbl nm i) names;
+  (names, tbl)
+
+let env_lookup env p =
+  match List.assoc_opt p env with
+  | Some s -> s
+  | None -> raise (Unbound_predicate p)
+
+let ground ?(env = []) program tree =
+  (match check program with Ok () -> () | Error m -> invalid_arg ("Eval.ground: " ^ m));
+  let n = Tree.size tree in
+  let _, ptbl = predicates program in
+  let is_intensional p = Hashtbl.mem ptbl p in
+  let var_of p v = (Hashtbl.find ptbl p * n) + v in
+  let f = Hornsat.create ~nvars:(Hashtbl.length ptbl * n) in
+  List.iter
+    (fun rule ->
+      enumerate rule tree
+        ~is_extensional:(fun p -> not (is_intensional p))
+        ~test_env:(fun p v -> Nodeset.mem (env_lookup env p) v)
+        ~accept:(fun ~head_node ~pending ->
+          ignore
+            (Hornsat.add_rule f
+               ~head:(var_of rule.head head_node)
+               ~body:(List.map (fun (p, v) -> var_of p v) pending))))
+    program.rules;
+  (f, var_of)
+
+let run ?env program tree =
+  let f, var_of = ground ?env program tree in
+  let model = Hornsat.solve f in
+  let n = Tree.size tree in
+  let out = Nodeset.create n in
+  for v = 0 to n - 1 do
+    if model.(var_of program.query v) then Nodeset.add out v
+  done;
+  out
+
+let ground_size ?env program tree =
+  let f, _ = ground ?env program tree in
+  Hornsat.size_of_formula f
+
+let run_naive ?(env = []) program tree =
+  (match check program with Ok () -> () | Error m -> invalid_arg ("Eval.run_naive: " ^ m));
+  let n = Tree.size tree in
+  let _, ptbl = predicates program in
+  let is_intensional p = Hashtbl.mem ptbl p in
+  let current = Hashtbl.create 16 in
+  Hashtbl.iter (fun nm _ -> Hashtbl.replace current nm (Nodeset.create n)) ptbl;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun rule ->
+        enumerate rule tree
+          ~is_extensional:(fun p -> not (is_intensional p))
+          ~test_env:(fun p v -> Nodeset.mem (env_lookup env p) v)
+          ~accept:(fun ~head_node ~pending ->
+            let sat =
+              List.for_all (fun (p, v) -> Nodeset.mem (Hashtbl.find current p) v) pending
+            in
+            if sat then begin
+              let s = Hashtbl.find current rule.head in
+              if not (Nodeset.mem s head_node) then begin
+                Nodeset.add s head_node;
+                changed := true
+              end
+            end))
+      program.rules
+  done;
+  Hashtbl.find current program.query

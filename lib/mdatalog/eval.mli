@@ -1,0 +1,40 @@
+(** Evaluation of monadic datalog programs on trees (Theorem 3.2).
+
+    The paper's evaluation pipeline: given a program [P] and a tree with
+    domain [Dom], compute an equivalent ground (propositional) program in
+    time O(|P| · |Dom|), then evaluate it with Minoux's linear-time
+    Horn-SAT algorithm.  The grounding is linear because all binary
+    relations of τ⁺ ([FirstChild], [NextSibling]) are partial bijections —
+    fixing one variable of a tree-shaped rule fixes all others.  Rules
+    using the convenience predicate [Child] still ground correctly but may
+    produce more instances ([Child] is only backward-functional); apply
+    {!Tmnf.of_program} first to restore guaranteed linearity.
+
+    An [env] supplies externally-defined unary predicates (node sets) for
+    names that appear in rule bodies but in no head — this is how query
+    translations inject start/context sets. *)
+
+type env = (string * Treekit.Nodeset.t) list
+
+exception Unbound_predicate of string
+(** A body predicate that is neither intensional nor in the environment. *)
+
+val run : ?env:env -> Ast.program -> Treekit.Tree.t -> Treekit.Nodeset.t
+(** Evaluate via grounding + Minoux: the set of nodes satisfying the query
+    predicate. *)
+
+val run_naive : ?env:env -> Ast.program -> Treekit.Tree.t -> Treekit.Nodeset.t
+(** Reference implementation: iterate the immediate-consequence operator to
+    fixpoint directly on the non-ground program.  Slower; used by tests to
+    validate {!run}. *)
+
+val ground :
+  ?env:env -> Ast.program -> Treekit.Tree.t -> Hornsat.t * (string -> int -> int)
+(** [ground p t] is the ground program of Theorem 3.2 as a Horn formula,
+    together with the encoding of ground atoms: [(snd (ground p t)) pred v]
+    is the Horn variable for the ground atom [pred(v)].
+    @raise Unbound_predicate *)
+
+val ground_size : ?env:env -> Ast.program -> Treekit.Tree.t -> int
+(** Total size (atom occurrences) of the ground program — the quantity that
+    Theorem 3.2 bounds by O(|P| · |Dom|); measured by the benchmarks. *)

@@ -1,0 +1,25 @@
+let has_ancestor_labeled l =
+  let program =
+    Printf.sprintf
+      {|
+        p0(X) :- lab(X, "%s").
+        p0(X0) :- nextsibling(X0, X), p0(X).
+        p(X0) :- firstchild(X0, X), p0(X).
+        p0(X) :- p(X).
+        ?- p.
+      |}
+      l
+  in
+  Parser.parse program
+
+let example_33_formula () =
+  let f = Hornsat.create ~nvars:6 in
+  (* paper variable k is our k-1 *)
+  let r1 = Hornsat.add_rule f ~head:0 ~body:[] in
+  let r2 = Hornsat.add_rule f ~head:1 ~body:[] in
+  let r3 = Hornsat.add_rule f ~head:2 ~body:[] in
+  let r4 = Hornsat.add_rule f ~head:3 ~body:[ 0 ] in
+  let r5 = Hornsat.add_rule f ~head:4 ~body:[ 2; 3 ] in
+  let r6 = Hornsat.add_rule f ~head:5 ~body:[ 1; 4 ] in
+  assert (r1 = 1 && r2 = 2 && r3 = 3 && r4 = 4 && r5 = 5 && r6 = 6);
+  (f, Array.init 6 (fun i -> string_of_int (i + 1)))

@@ -1,0 +1,32 @@
+(** Worked programs from the paper. *)
+
+val has_ancestor_labeled : string -> Ast.program
+(** Example 3.1: the monadic datalog program over τ⁺ computing the nodes
+    that have an ancestor labeled [l]:
+
+    {v
+    P₀(x)  ← Label_l(x).
+    P₀(x₀) ← NextSibling(x₀, x), P₀(x).
+    P(x₀)  ← FirstChild(x₀, x), P₀(x).
+    P₀(x)  ← P(x).
+    v}
+
+    Careful reading: [P(x₀)] holds when some node in the subtree rooted at
+    a child of [x₀] has label [l] — i.e. [x₀] is a proper ancestor of an
+    [l]-labeled node.  The query predicate is [P].
+
+    Note the paper states the program computes "nodes that have an ancestor
+    labeled L"; the program as printed actually marks the {e ancestors of
+    L-labeled nodes} (the sensible reading of its rules), and that is what
+    we reproduce and test. *)
+
+val example_33_formula : unit -> Hornsat.t * string array
+(** Example 3.3: the six-rule ground Horn program
+
+    {v
+    r₁: 1 ←        r₂: 2 ←        r₃: 3 ←
+    r₄: 4 ← 1      r₅: 5 ← 3, 4   r₆: 6 ← 2, 5
+    v}
+
+    (variables renamed to 0-based internally; the returned array maps our
+    variable ids to the paper's names "1" … "6"). *)

@@ -1,0 +1,190 @@
+exception Syntax_error of string
+
+type token =
+  | NAME of string
+  | VAR of string
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | TURNSTILE
+  | QUERY
+  | EOF
+
+let tokenize input =
+  let n = String.length input in
+  let toks = ref [] in
+  let pos = ref 0 in
+  let error fmt =
+    Format.kasprintf (fun m ->
+        raise (Syntax_error (Printf.sprintf "at offset %d: %s" !pos m)))
+      fmt
+  in
+  let is_alpha = function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false in
+  while !pos < n do
+    let c = input.[!pos] in
+    (match c with
+    | ' ' | '\t' | '\n' | '\r' -> incr pos
+    | '%' ->
+      while !pos < n && input.[!pos] <> '\n' do
+        incr pos
+      done
+    | '(' ->
+      toks := LPAREN :: !toks;
+      incr pos
+    | ')' ->
+      toks := RPAREN :: !toks;
+      incr pos
+    | ',' ->
+      toks := COMMA :: !toks;
+      incr pos
+    | '.' ->
+      toks := DOT :: !toks;
+      incr pos
+    | ':' ->
+      if !pos + 1 < n && input.[!pos + 1] = '-' then begin
+        toks := TURNSTILE :: !toks;
+        pos := !pos + 2
+      end
+      else error "expected ':-'"
+    | '?' ->
+      if !pos + 1 < n && input.[!pos + 1] = '-' then begin
+        toks := QUERY :: !toks;
+        pos := !pos + 2
+      end
+      else error "expected '?-'"
+    | '"' ->
+      let start = !pos + 1 in
+      let j = ref start in
+      while !j < n && input.[!j] <> '"' do
+        incr j
+      done;
+      if !j >= n then error "unterminated string literal";
+      toks := STRING (String.sub input start (!j - start)) :: !toks;
+      pos := !j + 1
+    | 'a' .. 'z' | 'A' .. 'Z' | '_' ->
+      let start = !pos in
+      while !pos < n && is_alpha input.[!pos] do
+        incr pos
+      done;
+      let word = String.sub input start (!pos - start) in
+      let tok =
+        match word.[0] with
+        | 'A' .. 'Z' | '_' -> VAR word
+        | _ -> NAME word
+      in
+      toks := tok :: !toks
+    | _ -> error "unexpected character %C" c);
+    ()
+  done;
+  List.rev (EOF :: !toks)
+
+type stream = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> EOF | t :: _ -> t
+
+let next st =
+  match st.toks with
+  | [] -> EOF
+  | t :: rest ->
+    st.toks <- rest;
+    t
+
+let expect st tok what =
+  let t = next st in
+  if t <> tok then raise (Syntax_error ("expected " ^ what))
+
+let unary_of_name name x : Ast.atom =
+  match name with
+  | "dom" -> U (Dom, x)
+  | "root" -> U (Root, x)
+  | "leaf" -> U (Leaf, x)
+  | "firstsibling" -> U (First_sibling, x)
+  | "lastsibling" -> U (Last_sibling, x)
+  | "lab" -> raise (Syntax_error "lab/1 is not a predicate; use lab(X, \"a\")")
+  | "firstchild" | "nextsibling" | "child" ->
+    raise (Syntax_error (name ^ " is binary"))
+  | p -> U (Pred p, x)
+
+let parse_atom st : Ast.atom =
+  let name =
+    match next st with
+    | NAME nm -> nm
+    | _ -> raise (Syntax_error "expected a predicate name")
+  in
+  expect st LPAREN "'('";
+  let first =
+    match next st with
+    | VAR x -> x
+    | _ -> raise (Syntax_error "expected a variable")
+  in
+  match next st with
+  | RPAREN -> unary_of_name name first
+  | COMMA -> begin
+    let atom : Ast.atom =
+      match next st with
+      | STRING lit ->
+        if name <> "lab" then raise (Syntax_error "only lab/2 takes a string argument");
+        U (Lab lit, first)
+      | VAR y -> begin
+        match name with
+        | "firstchild" -> B (First_child, first, y)
+        | "nextsibling" -> B (Next_sibling, first, y)
+        | "child" -> B (Child, first, y)
+        | "lab" -> raise (Syntax_error "lab/2 takes a string as second argument")
+        | other -> raise (Syntax_error (other ^ " is not a binary predicate"))
+      end
+      | _ -> raise (Syntax_error "expected a variable or string literal")
+    in
+    expect st RPAREN "')'";
+    atom
+  end
+  | _ -> raise (Syntax_error "expected ',' or ')'")
+
+let parse_clause st : Ast.rule =
+  let head_atom = parse_atom st in
+  let head, head_var =
+    match head_atom with
+    | U (Pred p, x) -> (p, x)
+    | _ -> raise (Syntax_error "rule head must be an intensional unary predicate")
+  in
+  match next st with
+  | DOT -> { head; head_var; body = [ U (Ast.Dom, head_var) ] }
+  | TURNSTILE ->
+    let rec atoms acc =
+      let a = parse_atom st in
+      match next st with
+      | COMMA -> atoms (a :: acc)
+      | DOT -> List.rev (a :: acc)
+      | _ -> raise (Syntax_error "expected ',' or '.'")
+    in
+    { head; head_var; body = atoms [] }
+  | _ -> raise (Syntax_error "expected ':-' or '.'")
+
+let parse input : Ast.program =
+  let st = { toks = tokenize input } in
+  let rec clauses acc =
+    match peek st with
+    | EOF -> raise (Syntax_error "missing query directive '?- pred.'")
+    | QUERY ->
+      ignore (next st);
+      let q =
+        match next st with
+        | NAME nm -> nm
+        | _ -> raise (Syntax_error "expected a predicate name after '?-'")
+      in
+      expect st DOT "'.'";
+      (match peek st with
+      | EOF -> { Ast.rules = List.rev acc; query = q }
+      | _ -> raise (Syntax_error "trailing input after query directive"))
+    | _ -> clauses (parse_clause st :: acc)
+  in
+  clauses []
+
+let parse_rule input =
+  let st = { toks = tokenize input } in
+  let r = parse_clause st in
+  match peek st with
+  | EOF -> r
+  | _ -> raise (Syntax_error "trailing input after clause")

@@ -1,0 +1,25 @@
+(** Concrete syntax for monadic datalog programs.
+
+    {v
+    program  ::= clause* query
+    clause   ::= head ":-" atom ("," atom)* "."  |  head "."
+    head     ::= name "(" VAR ")"
+    atom     ::= name "(" VAR ")"                  (unary)
+               | "lab" "(" VAR "," STRING ")"      (node label)
+               | name "(" VAR "," VAR ")"          (binary axis)
+    query    ::= "?-" name "."
+    v}
+
+    Variables are capitalised identifiers, predicate names lower-case.
+    Built-in predicate names: [dom], [root], [leaf], [firstsibling],
+    [lastsibling] (unary); [lab] (label); [firstchild], [nextsibling],
+    [child] (binary).  Any other lower-case name is an intensional (or
+    externally supplied) unary predicate.  [%] starts a comment. *)
+
+exception Syntax_error of string
+
+val parse : string -> Ast.program
+(** @raise Syntax_error with a readable message on bad input. *)
+
+val parse_rule : string -> Ast.rule
+(** Parse a single clause (without the query directive). *)

@@ -1,0 +1,113 @@
+open Ast
+
+let is_tmnf_rule r =
+  match r.body with
+  | [ U (_, x) ] -> x = r.head_var
+  | [ U (_, x); U (_, y) ] -> x = r.head_var && y = r.head_var
+  | [ U (p0, x0); B (b, y, z) ] | [ B (b, y, z); U (p0, x0) ] ->
+    ignore p0;
+    b <> Child && x0 <> r.head_var
+    && ((y = x0 && z = r.head_var) || (y = r.head_var && z = x0))
+  | _ -> false
+
+let is_tmnf p = List.for_all is_tmnf_rule p.rules
+
+(* ------------------------------------------------------------------ *)
+
+type edge = { pred : binary; src : var; dst : var }
+(* the body atom [pred(src, dst)] *)
+
+let fresh_counter = ref 0
+
+let fresh prefix =
+  incr fresh_counter;
+  Printf.sprintf "%s__%d" prefix !fresh_counter
+
+let of_rule r =
+  (match rule_shape r with
+  | Tree_shaped -> ()
+  | Cyclic | Disconnected ->
+    invalid_arg (Format.asprintf "Tmnf.of_rule: rule not tree-shaped: %a" pp_rule r));
+  let out = ref [] in
+  let emit head head_var body = out := { head; head_var; body } :: !out in
+  (* adjacency of the rule's variable tree *)
+  let adj : (var, edge) Hashtbl.t = Hashtbl.create 8 in
+  let unaries : (var, unary) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (function
+      | B (pred, src, dst) ->
+        let e = { pred; src; dst } in
+        Hashtbl.add adj src e;
+        Hashtbl.add adj dst e
+      | U (u, x) -> Hashtbl.add unaries x u)
+    r.body;
+  (* Produce, for variable [y] approached from [coming] (the rule-tree
+     parent edge, if any), the name of a fresh predicate q_y such that
+     q_y(v) holds iff the subtree of the rule tree rooted at y matches with
+     y ↦ v.  Rules are emitted along the way. *)
+  let rec compile y ~via =
+    let sub_edges =
+      List.filter (fun e -> match via with Some e' -> e != e' | None -> true)
+        (Hashtbl.find_all adj y)
+    in
+    (* one certifying unary predicate per conjunct at y *)
+    let structural =
+      List.map
+        (fun e ->
+          let z = if e.src = y then e.dst else e.src in
+          let qz = compile z ~via:(Some e) in
+          let s = fresh "s" in
+          (match e.pred, e.src = y with
+          | First_child, true | Next_sibling, true ->
+            (* e = B(y, z): s(y) ← q_z(z), B(y, z) *)
+            emit s y [ U (Pred qz, z); B (e.pred, y, z) ]
+          | First_child, false | Next_sibling, false ->
+            (* e = B(z, y): s(y) ← q_z(z), B(z, y) *)
+            emit s y [ U (Pred qz, z); B (e.pred, z, y) ]
+          | Child, true ->
+            (* Child(y, z): z ranges over children of y.
+               b(c) ⇔ c or a right sibling of c satisfies q_z;
+               s(y) ← b(first child of y). *)
+            let b = fresh "anychild" in
+            let c = fresh "V" and c2 = fresh "V" in
+            emit b c [ U (Pred qz, c) ];
+            emit b c [ U (Pred b, c2); B (Next_sibling, c, c2) ];
+            emit s y [ U (Pred b, c); B (First_child, y, c) ]
+          | Child, false ->
+            (* Child(z, y): the parent of y satisfies q_z.
+               pp(w) ⇔ the parent of w satisfies q_z, propagated from the
+               first child rightwards. *)
+            let pp = fresh "parentok" in
+            let w = fresh "V" and w2 = fresh "V" and zv = fresh "V" in
+            emit pp w [ U (Pred qz, zv); B (First_child, zv, w) ];
+            emit pp w2 [ U (Pred pp, w); B (Next_sibling, w, w2) ];
+            emit s y [ U (Pred pp, y) ]);
+          s)
+        sub_edges
+    in
+    let local = Hashtbl.find_all unaries y in
+    let conjuncts = local @ List.map (fun s -> Pred s) structural in
+    let qy = fresh "q" in
+    (match conjuncts with
+    | [] -> emit qy y [ U (Dom, y) ]
+    | [ c ] -> emit qy y [ U (c, y) ]
+    | c0 :: rest ->
+      (* chain of form-(3) rules: t₁ = c₀ ∧ c₁, t₂ = t₁ ∧ c₂, … *)
+      let final =
+        List.fold_left
+          (fun acc c ->
+            let t = fresh "and" in
+            emit t y [ U (acc, y); U (c, y) ];
+            Pred t)
+          c0 rest
+      in
+      emit qy y [ U (final, y) ]);
+    qy
+  in
+  let q_head = compile r.head_var ~via:None in
+  emit r.head r.head_var [ U (Pred q_head, r.head_var) ];
+  List.rev !out
+
+let of_program p =
+  let rules = List.concat_map of_rule p.rules in
+  { rules; query = p.query }

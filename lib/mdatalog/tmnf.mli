@@ -1,0 +1,31 @@
+(** Tree-Marking Normal Form (Definition 3.4).
+
+    A monadic datalog program over τ⁺ is in TMNF if every rule has one of
+    the three forms
+
+    {v
+    (1) p(x) ← p₀(x).
+    (2) p(x) ← p₀(x₀), B(x₀, x).
+    (3) p(x) ← p₀(x), p₁(x).
+    v}
+
+    where [B] is [R] or [R⁻¹] for [R ∈ {FirstChild, NextSibling}].
+
+    [of_program] implements the linear-time translation of Gottlob–Koch
+    [31]: every tree-shaped monadic datalog rule over τ⁺ ∪ {Child} is split
+    into TMNF rules by introducing one fresh predicate per rule-tree node,
+    and [Child] atoms are eliminated with the sibling-propagation idiom of
+    Example 3.1 ([Child(x,y) ⇔ FirstChild(x,c) ∧ NextSibling*(c,y)]),
+    which costs O(1) fresh predicates per atom.  The output size is linear
+    in the input size. *)
+
+val is_tmnf_rule : Ast.rule -> bool
+(** True iff the rule has one of the three TMNF shapes (and uses no
+    [Child] atom). *)
+
+val is_tmnf : Ast.program -> bool
+
+val of_program : Ast.program -> Ast.program
+(** Equivalent TMNF program (same query predicate, same answers on every
+    tree — property-tested).
+    @raise Invalid_argument if some rule is not tree-shaped. *)

@@ -1,0 +1,259 @@
+type atom = { name : string; rel : Relation.t; vars : string list }
+
+type query = { head : string list; body : atom list }
+
+type join_node = { atom : atom; children : join_node list }
+
+let counter = ref 0
+
+let make_atom ?name rel vars =
+  if List.length vars <> Relation.arity rel then
+    invalid_arg "Acyclic.make_atom: arity mismatch";
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+      incr counter;
+      Printf.sprintf "%s#%d" (Relation.name rel) !counter
+  in
+  { name; rel; vars }
+
+let check q =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  if q.body = [] then err "query has no atoms"
+  else
+    let body_vars = List.concat_map (fun a -> a.vars) q.body in
+    match List.find_opt (fun h -> not (List.mem h body_vars)) q.head with
+    | Some h -> err "head variable %s not in body" h
+    | None -> Ok ()
+
+(* Normalise an atom so its variable list has no duplicates: select rows
+   where duplicated columns agree, keep the first occurrence of each
+   variable. *)
+let normalise a =
+  let seen = Hashtbl.create 8 in
+  let keep = ref [] and eq_checks = ref [] in
+  List.iteri
+    (fun i v ->
+      match Hashtbl.find_opt seen v with
+      | None ->
+        Hashtbl.add seen v i;
+        keep := i :: !keep
+      | Some j -> eq_checks := (i, j) :: !eq_checks)
+    a.vars;
+  let keep = List.rev !keep in
+  let rel =
+    if !eq_checks = [] then a.rel
+    else
+      Ops.select (fun row -> List.for_all (fun (i, j) -> row.(i) = row.(j)) !eq_checks) a.rel
+  in
+  let rel = if !eq_checks = [] then rel else Ops.project keep rel in
+  { a with rel; vars = List.map (List.nth a.vars) keep }
+
+(* ------------------------------------------------------------------ *)
+(* GYO ear reduction.  Returns the removal order with witnesses, or None
+   if the hypergraph is cyclic. *)
+
+let gyo atoms =
+  let module SS = Set.Make (String) in
+  let sets = Array.of_list (List.map (fun a -> SS.of_list a.vars) atoms) in
+  let alive = Array.make (Array.length sets) true in
+  let removed = ref [] in
+  let alive_indices () =
+    List.filter (fun i -> alive.(i)) (List.init (Array.length sets) Fun.id)
+  in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    let live = alive_indices () in
+    if List.length live > 1 then begin
+      let find_ear () =
+        List.find_map
+          (fun i ->
+            let others = List.filter (fun j -> j <> i) live in
+            let shared =
+              List.fold_left
+                (fun acc j -> SS.union acc (SS.inter sets.(i) sets.(j)))
+                SS.empty others
+            in
+            if SS.is_empty shared then Some (i, None)
+            else
+              match List.find_opt (fun j -> SS.subset shared sets.(j)) others with
+              | Some j -> Some (i, Some j)
+              | None -> None)
+          live
+      in
+      match find_ear () with
+      | Some (i, witness) ->
+        alive.(i) <- false;
+        removed := (i, witness) :: !removed;
+        continue_ := true
+      | None -> ()
+    end
+  done;
+  match alive_indices () with
+  | [ root ] -> Some (List.rev !removed, [ root ])
+  | [] -> assert false
+  | several ->
+    (* more than one atom left: cyclic — unless they are pairwise
+       disconnected roots, which the ear rule would have removed; so
+       cyclic *)
+    ignore several;
+    None
+
+let join_forest q =
+  match check q with
+  | Error _ -> None
+  | Ok () -> (
+    let atoms = Array.of_list (List.map normalise q.body) in
+    match gyo (Array.to_list atoms) with
+    | None -> None
+    | Some (removal, roots) ->
+      (* children lists from the witness pointers *)
+      let children = Array.make (Array.length atoms) [] in
+      let extra_roots = ref [] in
+      List.iter
+        (fun (i, witness) ->
+          match witness with
+          | Some j -> children.(j) <- i :: children.(j)
+          | None -> extra_roots := i :: !extra_roots)
+        removal;
+      let rec build i =
+        { atom = atoms.(i); children = List.map build children.(i) }
+      in
+      Some (List.map build (roots @ !extra_roots)))
+
+let is_acyclic q = join_forest q <> None
+
+(* ------------------------------------------------------------------ *)
+(* semijoins on shared variables *)
+
+let shared_positions vars1 vars2 =
+  List.mapi (fun i v -> (i, v)) vars1
+  |> List.filter_map (fun (i, v) ->
+         let rec pos j = function
+           | [] -> None
+           | w :: _ when w = v -> Some j
+           | _ :: rest -> pos (j + 1) rest
+         in
+         Option.map (fun j -> (i, j)) (pos 0 vars2))
+
+let semijoin_atoms a b =
+  (* a ⋉ b on the shared variables *)
+  let on = shared_positions a.vars b.vars in
+  if on = [] then if Relation.cardinality b.rel = 0 then { a with rel = Ops.select (fun _ -> false) a.rel } else a
+  else { a with rel = Ops.semijoin ~on a.rel b.rel }
+
+let full_reducer q =
+  match join_forest q with
+  | None -> None
+  | Some forest ->
+    (* two recursive semijoin passes directly on the tree, threading the
+       progressively reduced relations *)
+    let rec bottom_up n =
+      let children = List.map bottom_up n.children in
+      let atom =
+        List.fold_left (fun acc c -> semijoin_atoms acc c.atom) n.atom children
+      in
+      { atom; children }
+    in
+    let rec top_down n =
+      let children =
+        List.map
+          (fun c -> top_down { c with atom = semijoin_atoms c.atom n.atom })
+          n.children
+      in
+      { n with children }
+    in
+    let reduced = List.map (fun r -> top_down (bottom_up r)) forest in
+    (* a globally empty component empties everything *)
+    let rec collect_atoms n = n.atom :: List.concat_map collect_atoms n.children in
+    let atoms = List.concat_map collect_atoms reduced in
+    let any_empty = List.exists (fun a -> Relation.cardinality a.rel = 0) atoms in
+    let final =
+      if any_empty then
+        List.map (fun a -> (a.name, Ops.select (fun _ -> false) a.rel)) atoms
+      else List.map (fun a -> (a.name, a.rel)) atoms
+    in
+    Some final
+
+(* ------------------------------------------------------------------ *)
+(* joins with eager projection *)
+
+let join_cols (cols1, rel1) (cols2, rel2) =
+  let on = shared_positions cols1 cols2 in
+  let joined =
+    if on = [] then Ops.product rel1 rel2 else Ops.equijoin ~on rel1 rel2
+  in
+  let n1 = List.length cols1 in
+  let fresh =
+    List.filteri (fun j _ -> not (List.exists (fun (_, j') -> j' = j) on)) cols2
+  in
+  let fresh_positions =
+    List.filteri (fun j _ -> not (List.exists (fun (_, j') -> j' = j) on))
+      (List.init (List.length cols2) Fun.id)
+  in
+  let cols = cols1 @ fresh in
+  let keep = List.init n1 Fun.id @ List.map (fun j -> n1 + j) fresh_positions in
+  (cols, Ops.project keep joined)
+
+let project_to cols keep_vars rel =
+  let positions =
+    List.filter_map
+      (fun v ->
+        let rec pos i = function
+          | [] -> None
+          | w :: _ when w = v -> Some i
+          | _ :: rest -> pos (i + 1) rest
+        in
+        pos 0 cols)
+      keep_vars
+  in
+  let kept = List.filter (fun v -> List.mem v cols) keep_vars in
+  (kept, Ops.project positions rel)
+
+let solutions q =
+  match join_forest q with
+  | None -> None
+  | Some forest ->
+    (* bottom-up join with projection: keep only head variables and the
+       variables shared with the parent *)
+    let rec solve ~parent_vars n =
+      let acc = ref (n.atom.vars, n.atom.rel) in
+      List.iter
+        (fun c ->
+          let sub = solve ~parent_vars:n.atom.vars c in
+          acc := join_cols !acc sub)
+        n.children;
+      let cols, rel = !acc in
+      let keep =
+        List.filter (fun v -> List.mem v q.head || List.mem v parent_vars) cols
+      in
+      project_to cols keep rel
+    in
+    let per_root = List.map (solve ~parent_vars:[]) forest in
+    let combined =
+      match per_root with
+      | [] -> assert false
+      | first :: rest -> List.fold_left join_cols first rest
+    in
+    let _, result = project_to (fst combined) q.head (snd combined) in
+    Some result
+
+let boolean q =
+  match solutions { q with head = [] } with
+  | None -> None
+  | Some rel -> Some (Relation.cardinality rel > 0)
+
+let naive_solutions q =
+  (match check q with Ok () -> () | Error m -> invalid_arg ("Acyclic.naive: " ^ m));
+  let atoms = List.map normalise q.body in
+  let combined =
+    match atoms with
+    | [] -> assert false
+    | first :: rest ->
+      List.fold_left
+        (fun acc a -> join_cols acc (a.vars, a.rel))
+        (first.vars, first.rel) rest
+  in
+  snd (project_to (fst combined) q.head (snd combined))

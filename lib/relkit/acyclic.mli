@@ -1,0 +1,55 @@
+(** Acyclic conjunctive queries over materialised relations — Yannakakis'
+    algorithm in its original relational setting (Section 4), GYO ear
+    reduction, and full reducers (Section 6).
+
+    The tree-specific engines ({!Cqtree.Yannakakis}) avoid materialising
+    axis relations; this module is the general algorithm the paper quotes:
+    "process the join tree of the query bottom-up and project, as soon as
+    possible, after each join, all the columns of the intermediate result
+    which are not needed in subsequent joins away" — intermediate results
+    never exceed the input for acyclic queries.
+
+    A query is a set of atoms, each pairing a relation with a variable
+    list; repeated variables within an atom are handled by a preliminary
+    selection.  Acyclicity is hypergraph acyclicity, decided by GYO ear
+    removal (equivalently: hypertree-width 1). *)
+
+type atom = { name : string; rel : Relation.t; vars : string list }
+(** [vars] must have the relation's arity.
+    @see {!make_atom} *)
+
+type query = { head : string list; body : atom list }
+
+val make_atom : ?name:string -> Relation.t -> string list -> atom
+(** @raise Invalid_argument on arity mismatch. *)
+
+val check : query -> (unit, string) result
+(** Safety: every head variable occurs in the body. *)
+
+val is_acyclic : query -> bool
+(** GYO reduction succeeds (the hypergraph of variable sets is acyclic). *)
+
+type join_node = { atom : atom; children : join_node list }
+
+val join_forest : query -> join_node list option
+(** A join forest from the GYO ear ordering ([None] if cyclic): each ear
+    hangs under its witness. *)
+
+val full_reducer : query -> (string * Relation.t) list option
+(** The globally consistent (fully reduced) database: each body relation
+    restricted to the tuples that participate in at least one solution —
+    the bottom-up + top-down semijoin program.  [None] if cyclic.
+    Keyed by atom name.
+
+    Paper connection (Section 6): "each tuple in the result of a full
+    reducer contributes to a valuation" — property-tested. *)
+
+val solutions : query -> Relation.t option
+(** All head tuples via the join tree with eager projection.  [None] if
+    cyclic. *)
+
+val boolean : query -> bool option
+
+val naive_solutions : query -> Relation.t
+(** Reference: fold the atoms with unrestricted hash joins, then project.
+    Exponential intermediate results possible; for tests. *)

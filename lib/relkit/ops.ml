@@ -1,0 +1,82 @@
+let select p r =
+  let out = Relation.create ~name:(Relation.name r ^ "_sel") ~arity:(Relation.arity r) () in
+  Relation.iter (fun row -> if p row then Relation.add out row) r;
+  out
+
+let project cols r =
+  let arity = List.length cols in
+  List.iter
+    (fun c ->
+      if c < 0 || c >= Relation.arity r then invalid_arg "Ops.project: bad column")
+    cols;
+  let out = Relation.create ~name:(Relation.name r ^ "_proj") ~arity () in
+  let cols = Array.of_list cols in
+  Relation.iter
+    (fun row -> Relation.add out (Array.map (fun c -> row.(c)) cols))
+    r;
+  out
+
+let check_same_arity a b =
+  if Relation.arity a <> Relation.arity b then invalid_arg "Ops: arity mismatch"
+
+let union a b =
+  check_same_arity a b;
+  let out = Relation.create ~name:"union" ~arity:(Relation.arity a) () in
+  Relation.iter (Relation.add out) a;
+  Relation.iter (Relation.add out) b;
+  out
+
+let diff a b =
+  check_same_arity a b;
+  let out = Relation.create ~name:"diff" ~arity:(Relation.arity a) () in
+  Relation.iter (fun row -> if not (Relation.mem b row) then Relation.add out row) a;
+  out
+
+let product a b =
+  let out =
+    Relation.create ~name:"product" ~arity:(Relation.arity a + Relation.arity b) ()
+  in
+  Relation.iter (fun ra -> Relation.iter (fun rb -> Relation.add out (Array.append ra rb)) b) a;
+  out
+
+let key_of on_side row = Array.of_list (List.map (fun c -> row.(c)) on_side)
+
+let equijoin ~on a b =
+  let acols = List.map fst on and bcols = List.map snd on in
+  List.iter
+    (fun c -> if c < 0 || c >= Relation.arity a then invalid_arg "Ops.equijoin: bad column in a")
+    acols;
+  List.iter
+    (fun c -> if c < 0 || c >= Relation.arity b then invalid_arg "Ops.equijoin: bad column in b")
+    bcols;
+  let index = Hashtbl.create (max 16 (Relation.cardinality b)) in
+  Relation.iter (fun rb -> Hashtbl.add index (key_of bcols rb) rb) b;
+  let out =
+    Relation.create ~name:"join" ~arity:(Relation.arity a + Relation.arity b) ()
+  in
+  Relation.iter
+    (fun ra ->
+      List.iter
+        (fun rb -> Relation.add out (Array.append ra rb))
+        (Hashtbl.find_all index (key_of acols ra)))
+    a;
+  out
+
+let theta_join pred a b =
+  let out =
+    Relation.create ~name:"theta" ~arity:(Relation.arity a + Relation.arity b) ()
+  in
+  Relation.iter
+    (fun ra -> Relation.iter (fun rb -> if pred ra rb then Relation.add out (Array.append ra rb)) b)
+    a;
+  out
+
+let semijoin ~on a b =
+  let acols = List.map fst on and bcols = List.map snd on in
+  let index = Hashtbl.create (max 16 (Relation.cardinality b)) in
+  Relation.iter (fun rb -> Hashtbl.replace index (key_of bcols rb) ()) b;
+  let out = Relation.create ~name:(Relation.name a ^ "_semi") ~arity:(Relation.arity a) () in
+  Relation.iter
+    (fun ra -> if Hashtbl.mem index (key_of acols ra) then Relation.add out ra)
+    a;
+  out

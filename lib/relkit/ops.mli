@@ -1,0 +1,37 @@
+(** Relational-algebra operators.
+
+    Enough algebra to express the paper's SQL views (Example 2.1), the
+    semijoin programs of Yannakakis' algorithm (Section 4) and full reducers
+    (Section 6): selection, projection, natural/theta joins, semijoin,
+    union and difference. *)
+
+val select : (int array -> bool) -> Relation.t -> Relation.t
+(** [select p r] keeps the rows satisfying [p]. *)
+
+val project : int list -> Relation.t -> Relation.t
+(** [project cols r] projects onto the given columns, in the given order
+    (duplicates removed — set semantics). *)
+
+val union : Relation.t -> Relation.t -> Relation.t
+(** Set union.  @raise Invalid_argument on arity mismatch. *)
+
+val diff : Relation.t -> Relation.t -> Relation.t
+(** Set difference.  @raise Invalid_argument on arity mismatch. *)
+
+val product : Relation.t -> Relation.t -> Relation.t
+(** Cartesian product; the result has arity [arity a + arity b]. *)
+
+val equijoin : on:(int * int) list -> Relation.t -> Relation.t -> Relation.t
+(** [equijoin ~on:[(i1,j1); …] a b] is the join of [a] and [b] on columns
+    [a.iₖ = b.jₖ], computed with a hash join in time
+    O(|a| + |b| + |output|).  The result schema is [a]'s columns followed by
+    [b]'s columns. *)
+
+val theta_join : (int array -> int array -> bool) -> Relation.t -> Relation.t -> Relation.t
+(** Nested-loop join with an arbitrary predicate (used for the [<pre]/[<post]
+    structural-join views of Example 2.1 when expressed naively). *)
+
+val semijoin : on:(int * int) list -> Relation.t -> Relation.t -> Relation.t
+(** [semijoin ~on a b] keeps the rows of [a] that join with at least one row
+    of [b] — the primitive of Yannakakis' algorithm and of full reducers.
+    Hash-based, O(|a| + |b|). *)

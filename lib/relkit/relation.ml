@@ -1,0 +1,67 @@
+module Row = struct
+  type t = int array
+
+  let equal (a : t) (b : t) = a = b
+  let hash (a : t) = Hashtbl.hash a
+end
+
+module Rowtbl = Hashtbl.Make (Row)
+
+type t = {
+  name : string;
+  arity : int;
+  index : unit Rowtbl.t;
+  mutable rev_rows : int array list;  (** reverse insertion order *)
+  mutable card : int;
+}
+
+let create ?(name = "r") ~arity () =
+  if arity < 0 then invalid_arg "Relation.create: negative arity";
+  { name; arity; index = Rowtbl.create 64; rev_rows = []; card = 0 }
+
+let name r = r.name
+let arity r = r.arity
+let cardinality r = r.card
+
+let add r row =
+  if Array.length row <> r.arity then invalid_arg "Relation.add: arity mismatch";
+  if not (Rowtbl.mem r.index row) then begin
+    let row = Array.copy row in
+    Rowtbl.add r.index row ();
+    r.rev_rows <- row :: r.rev_rows;
+    r.card <- r.card + 1
+  end
+
+let of_rows ?name ~arity rows =
+  let r = create ?name ~arity () in
+  List.iter (add r) rows;
+  r
+
+let mem r row = Rowtbl.mem r.index row
+
+let iter f r = List.iter f (List.rev r.rev_rows)
+
+let fold f r init = List.fold_left (fun acc row -> f row acc) init (List.rev r.rev_rows)
+
+let rows r = List.rev_map Array.copy r.rev_rows
+
+let rows_sorted r = List.sort compare (List.rev_map Array.copy r.rev_rows)
+
+let equal a b =
+  a.arity = b.arity && a.card = b.card
+  && List.for_all (fun row -> Rowtbl.mem b.index row) a.rev_rows
+
+let column_values r i =
+  if i < 0 || i >= r.arity then invalid_arg "Relation.column_values: bad column";
+  let seen = Hashtbl.create 64 in
+  List.iter (fun row -> Hashtbl.replace seen row.(i) ()) r.rev_rows;
+  List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) seen [])
+
+let pp fmt r =
+  Format.fprintf fmt "@[<v>%s/%d (%d rows)" r.name r.arity r.card;
+  List.iter
+    (fun row ->
+      Format.fprintf fmt "@,(%s)"
+        (String.concat ", " (Array.to_list (Array.map string_of_int row))))
+    (rows_sorted r);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,49 @@
+(** In-memory relations over integer tuples.
+
+    The paper's Section 2 develops relational storage schemes for trees
+    (XASR) and evaluates axis joins over them; Yannakakis' algorithm
+    (Section 4) and the full reducer (Section 6) are also relational
+    algorithms.  This module is the minimal relational substrate they need:
+    a relation is a named arity-[k] set of [int array] tuples.
+
+    Rows are deduplicated (set semantics, as in the paper's conjunctive
+    query semantics). *)
+
+type t
+
+val create : ?name:string -> arity:int -> unit -> t
+(** Fresh empty relation. *)
+
+val of_rows : ?name:string -> arity:int -> int array list -> t
+(** Build from rows (deduplicated).
+    @raise Invalid_argument on an arity mismatch. *)
+
+val name : t -> string
+val arity : t -> int
+val cardinality : t -> int
+
+val add : t -> int array -> unit
+(** Insert a row (copied; a no-op if already present).
+    @raise Invalid_argument on an arity mismatch. *)
+
+val mem : t -> int array -> bool
+
+val iter : (int array -> unit) -> t -> unit
+(** Iterate rows in insertion order.  The callback must not mutate rows. *)
+
+val fold : (int array -> 'a -> 'a) -> t -> 'a -> 'a
+
+val rows : t -> int array list
+(** All rows, in insertion order (copies). *)
+
+val rows_sorted : t -> int array list
+(** All rows in lexicographic order (copies); handy for printing and
+    comparison. *)
+
+val equal : t -> t -> bool
+(** Same arity and same set of rows. *)
+
+val column_values : t -> int -> int list
+(** Distinct values of the given column, sorted. *)
+
+val pp : Format.formatter -> t -> unit

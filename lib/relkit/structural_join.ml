@@ -1,0 +1,83 @@
+module Tree = Treekit.Tree
+
+let store t =
+  let r = Relation.create ~name:"xasr" ~arity:4 () in
+  for v = 0 to Tree.size t - 1 do
+    Relation.add r [| v; Tree.post t v; Tree.parent t v; Tree.label_code t v |]
+  done;
+  r
+
+let child_rel t =
+  let r = Relation.create ~name:"child" ~arity:2 () in
+  for v = 1 to Tree.size t - 1 do
+    Relation.add r [| Tree.parent t v; v |]
+  done;
+  r
+
+let descendant_view xasr =
+  (* SELECT r1.pre, r2.pre FROM R r1, R r2
+     WHERE r1.pre < r2.pre AND r2.post < r1.post *)
+  let joined = Ops.theta_join (fun r1 r2 -> r1.(0) < r2.(0) && r2.(1) < r1.(1)) xasr xasr in
+  Ops.project [ 0; 4 ] joined
+
+let child_view xasr =
+  let non_root = Ops.select (fun row -> row.(2) <> -1) xasr in
+  Ops.project [ 2; 0 ] non_root
+
+let stack_join t ~ancestors ~descendants =
+  (* Classic stack-based structural join: scan both lists in document order;
+     the stack holds the ancestors whose pre-order interval is still open. *)
+  let out = ref [] in
+  let stack = ref [] in
+  let interval_end u = u + Tree.subtree_size t u in
+  let rec pop_closed v =
+    match !stack with
+    | u :: rest when v >= interval_end u ->
+      stack := rest;
+      pop_closed v
+    | _ -> ()
+  in
+  let emit v = List.iter (fun u -> if u <> v then out := (u, v) :: !out) !stack in
+  let rec go anc desc =
+    match anc, desc with
+    | [], [] -> ()
+    | a :: anc', d :: _ when a <= d ->
+      pop_closed a;
+      stack := a :: !stack;
+      go anc' desc
+    | _, d :: desc' ->
+      pop_closed d;
+      emit d;
+      go anc desc'
+    | a :: anc', [] ->
+      pop_closed a;
+      go anc' []
+  in
+  go ancestors descendants;
+  List.rev !out
+
+let iterated_child_join t =
+  let child = child_rel t in
+  let closure = ref child in
+  let frontier = ref child in
+  let continue = ref true in
+  while !continue do
+    (* frontier ∘ child : pairs (x, z) with frontier(x,y), child(y,z) *)
+    let step = Ops.project [ 0; 3 ] (Ops.equijoin ~on:[ (1, 0) ] !frontier child) in
+    let fresh = Ops.diff step !closure in
+    if Relation.cardinality fresh = 0 then continue := false
+    else begin
+      closure := Ops.union !closure fresh;
+      frontier := fresh
+    end
+  done;
+  !closure
+
+let descendant_pairs t =
+  let r = Relation.create ~name:"descendant" ~arity:2 () in
+  for u = 0 to Tree.size t - 1 do
+    for v = u + 1 to u + Tree.subtree_size t u - 1 do
+      Relation.add r [| u; v |]
+    done
+  done;
+  r

@@ -1,0 +1,53 @@
+(** Structural joins over the XASR storage scheme (Section 2, Example 2.1).
+
+    A tree is stored as the relation
+    [R(pre, post, parent_pre, label_code)] (the XASR of Figure 2; ⊥ is
+    encoded as [-1] and indices are the 0-based node ids).  The paper's
+    point is that axis joins are then {e single theta-joins} on this
+    relation — no transitive closure, no materialised [Child⁺]:
+
+    {v
+    CREATE VIEW descendant AS
+      SELECT r1.pre, r2.pre FROM R r1, R r2
+      WHERE r1.pre < r2.pre AND r2.post < r1.post;
+    v}
+
+    Three implementations are provided for comparison (benchmark
+    [figure2_structural_join]):
+
+    - {!descendant_view}/{!child_view} — the SQL views verbatim, as naive
+      theta-joins (quadratic);
+    - {!stack_join} — the merge-based structural join of Al-Khalifa et al.,
+      O(input + output);
+    - {!iterated_child_join} — the strawman the paper argues against:
+      computing [Child⁺] as the fixpoint of joins of [Child] with itself. *)
+
+val store : Treekit.Tree.t -> Relation.t
+(** The XASR as a relation [R(pre, post, parent_pre, label_code)];
+    0-based, root's [parent_pre = -1]. *)
+
+val child_rel : Treekit.Tree.t -> Relation.t
+(** The base [Child] relation as node pairs. *)
+
+val descendant_view : Relation.t -> Relation.t
+(** Example 2.1's descendant view over {!store}'s output: a single
+    theta-join, returning pairs [(u, v)] with [Child⁺(u,v)]. *)
+
+val child_view : Relation.t -> Relation.t
+(** Example 2.1's child view: [SELECT parent_pre, pre WHERE parent_pre IS
+    NOT NULL]. *)
+
+val stack_join :
+  Treekit.Tree.t -> ancestors:int list -> descendants:int list -> (int * int) list
+(** [stack_join t ~ancestors ~descendants] returns all pairs [(u, v)] with
+    [u] in [ancestors], [v] in [descendants] and [Child⁺(u,v)], in time
+    O(|ancestors| + |descendants| + |output|).  Both inputs must be sorted
+    by pre-order rank (they are node lists, and node = pre rank). *)
+
+val iterated_child_join : Treekit.Tree.t -> Relation.t
+(** [Child⁺] computed as a naive fixpoint [C ∪ C∘C ∪ …] of hash joins —
+    the expensive alternative the XASR avoids.  Correct but
+    O(height · |Child⁺|). *)
+
+val descendant_pairs : Treekit.Tree.t -> Relation.t
+(** Ground truth: all [Child⁺] pairs enumerated directly from the tree. *)

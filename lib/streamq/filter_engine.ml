@@ -1,0 +1,41 @@
+(* Subscriptions are stored as matcher factories so path patterns and
+   qualified-XPath twigs mix freely in one engine. *)
+type factory = unit -> (Treekit.Event.t -> unit) * (unit -> bool)
+
+type t = { mutable subs : factory list (* reversed *); mutable count : int }
+
+let create () = { subs = []; count = 0 }
+
+let add t factory =
+  t.subs <- factory :: t.subs;
+  let id = t.count in
+  t.count <- t.count + 1;
+  id
+
+let subscribe t p =
+  add t (fun () ->
+      let push, finish = Path_matcher.feed p in
+      (push, fun () -> (finish ()).Path_matcher.matches > 0))
+
+let subscribe_xpath t p =
+  Option.map
+    (fun twig ->
+      add t (fun () ->
+          let push, finish = Twig_matcher.feed ~anchored:true twig in
+          (push, fun () -> (finish ()).Twig_matcher.matched)))
+    (Xpath_filter.twig_of p)
+
+let subscription_count t = t.count
+
+let match_events t events =
+  let matchers = Array.of_list (List.rev_map (fun f -> f ()) t.subs) in
+  (* rev_map reverses the reversed list: subscription order *)
+  Seq.iter (fun ev -> Array.iter (fun (push, _) -> push ev) matchers) events;
+  let out = ref [] in
+  for i = Array.length matchers - 1 downto 0 do
+    let _, matched = matchers.(i) in
+    if matched () then out := i :: !out
+  done;
+  !out
+
+let match_document t tree = match_events t (Treekit.Event.to_seq tree)

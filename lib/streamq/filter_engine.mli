@@ -1,0 +1,30 @@
+(** Selective dissemination of information (SDI): filtering a document
+    stream against many subscriber queries at once (Section 1's stream
+    processing / selective data dissemination application; XFilter/YFilter
+    scenario).
+
+    Subscriptions are forward path patterns or qualified conjunctive
+    forward XPath expressions; one pass over the event stream of each
+    incoming document decides which subscriptions match.  Memory is
+    O(depth · Σ|Qᵢ|). *)
+
+type t
+
+val create : unit -> t
+
+val subscribe : t -> Path_pattern.t -> int
+(** Register a pattern; returns its subscription id (0, 1, …). *)
+
+val subscribe_xpath : t -> Xpath.Ast.path -> int option
+(** Register a conjunctive forward XPath query with qualifiers
+    ({!Xpath_filter}'s fragment); [None] if outside the fragment. *)
+
+val subscription_count : t -> int
+
+val match_document : t -> Treekit.Tree.t -> int list
+(** Ids of the subscriptions the document matches, ascending.  The
+    document's events are scanned once per call (all subscriptions are
+    advanced together). *)
+
+val match_events : t -> Treekit.Event.t Seq.t -> int list
+(** Same, from a raw event sequence. *)

@@ -1,0 +1,34 @@
+(** Forward path patterns for streaming evaluation (Section 5).
+
+    A forward path pattern is the streamable core of forward XPath: a
+    chain of steps, each reached by [/] (Child) or [//] (Descendant) and
+    optionally testing a label — e.g. [//a/b//c].  The first step's edge
+    anchors the pattern at the root: [Child] means the root's children,
+    [Descendant] anywhere below the root. *)
+
+type edge = Child | Descendant
+
+type step = { edge : edge; label : string option }
+
+type t = step list
+(** Nonempty; matched top-down. *)
+
+val of_string : string -> t
+(** Parse [//a/b//c]-style syntax ([*] for a wildcard).
+    @raise Failure on syntax errors. *)
+
+val to_string : t -> string
+
+val length : t -> int
+
+val to_xpath : t -> Xpath.Ast.path
+(** The same query as a Core XPath expression (for the in-memory
+    cross-check). *)
+
+val of_xpath : Xpath.Ast.path -> t option
+(** Recognise an XPath expression of the path-pattern shape (steps along
+    [Child]/[Descendant]/[Descendant_or_self]-then-[Child] with only label
+    qualifiers).  [None] otherwise. *)
+
+val random : ?seed:int -> length:int -> labels:string array -> unit -> t
+(** Random pattern for tests/benchmarks. *)

@@ -1,0 +1,107 @@
+module Event = Treekit.Event
+module Twig = Actree.Twigjoin
+
+type stats = { matched : bool; match_count : int; peak_depth : int; events : int }
+
+(* pattern nodes are numbered in pre-order; per pattern node we keep its
+   label and its children with edges *)
+type pnode = { label : string option; kids : (Twig.edge * int) list }
+
+let index_pattern (pattern : Twig.node) =
+  let nodes = ref [] in
+  let counter = ref 0 in
+  let rec visit (n : Twig.node) =
+    let id = !counter in
+    incr counter;
+    let kids = List.map (fun (e, c) -> (e, visit c)) n.children in
+    nodes := (id, { label = n.label; kids }) :: !nodes;
+    id
+  in
+  let root = visit pattern in
+  let arr = Array.make !counter { label = None; kids = [] } in
+  List.iter (fun (id, pn) -> arr.(id) <- pn) !nodes;
+  (arr, root)
+
+type frame = {
+  mutable child_sat : int;  (** q matched exactly at some child closed so far *)
+  mutable desc_sat : int;  (** q matched at some strict descendant *)
+}
+
+type state = {
+  pattern : pnode array;
+  root_bit : int;
+  anchored : bool;  (** pattern root may only match the document root *)
+  mutable stack : (string * frame) list;  (** (label of open node, frame) *)
+  mutable depth : int;
+  mutable peak : int;
+  mutable count : int;
+  mutable events : int;
+}
+
+let make ?(anchored = false) pattern =
+  let arr, root = index_pattern pattern in
+  if Array.length arr > 62 then invalid_arg "Twig_matcher: pattern too large";
+  {
+    pattern = arr;
+    root_bit = 1 lsl root;
+    anchored;
+    stack = [];
+    depth = 0;
+    peak = 0;
+    count = 0;
+    events = 0;
+  }
+
+let push_event st ev =
+  st.events <- st.events + 1;
+  match ev with
+  | Event.Open { label; _ } ->
+    st.stack <- (label, { child_sat = 0; desc_sat = 0 }) :: st.stack;
+    st.depth <- st.depth + 1;
+    if st.depth > st.peak then st.peak <- st.depth
+  | Event.Close { label; _ } -> (
+    match st.stack with
+    | [] -> invalid_arg "Twig_matcher: unbalanced events"
+    | (open_label, frame) :: rest ->
+      assert (open_label = label);
+      (* which pattern subtrees match at this node? *)
+      let sat = ref 0 in
+      Array.iteri
+        (fun q pn ->
+          let label_ok = match pn.label with None -> true | Some l -> l = label in
+          if
+            label_ok
+            && List.for_all
+                 (fun (e, q') ->
+                   let mask =
+                     match (e : Twig.edge) with
+                     | Twig.Child_edge -> frame.child_sat
+                     | Twig.Descendant_edge -> frame.child_sat lor frame.desc_sat
+                   in
+                   mask land (1 lsl q') <> 0)
+                 pn.kids
+          then sat := !sat lor (1 lsl q))
+        st.pattern;
+      if !sat land st.root_bit <> 0 && ((not st.anchored) || rest = []) then
+        st.count <- st.count + 1;
+      st.stack <- rest;
+      st.depth <- st.depth - 1;
+      (match rest with
+      | [] -> ()
+      | (_, parent) :: _ ->
+        parent.child_sat <- parent.child_sat lor !sat;
+        parent.desc_sat <- parent.desc_sat lor frame.child_sat lor frame.desc_sat))
+
+let stats_of st =
+  { matched = st.count > 0; match_count = st.count; peak_depth = st.peak; events = st.events }
+
+let feed ?anchored pattern =
+  let st = make ?anchored pattern in
+  ((fun ev -> push_event st ev), fun () -> stats_of st)
+
+let run ?anchored tree pattern =
+  let st = make ?anchored pattern in
+  Event.iter tree (push_event st);
+  stats_of st
+
+let matches ?anchored tree pattern = (run ?anchored tree pattern).matched

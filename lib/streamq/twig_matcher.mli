@@ -1,0 +1,26 @@
+(** Streaming Boolean matching of twig patterns.
+
+    Evaluates a {!Actree.Twigjoin} tree pattern against the event stream
+    bottom-up: at each [Close] event the matcher knows, for every pattern
+    node q, whether the pattern subtree rooted at q matches below (or at)
+    the closing tree node, and propagates two bitmask summaries (matched
+    at some child / at some strict descendant) into the parent's frame.
+    Memory is O(depth · |pattern|) bits — the streaming twig counterpart
+    of the depth lower bound discussion in Section 7. *)
+
+type stats = {
+  matched : bool;  (** does the pattern match anywhere in the document? *)
+  match_count : int;  (** number of tree nodes at which the pattern root matches *)
+  peak_depth : int;
+  events : int;
+}
+
+val run : ?anchored:bool -> Treekit.Tree.t -> Actree.Twigjoin.node -> stats
+(** With [~anchored:true] the pattern root may only match the document
+    root (used for XPath expressions starting with a [child] step). *)
+
+val matches : ?anchored:bool -> Treekit.Tree.t -> Actree.Twigjoin.node -> bool
+
+val feed :
+  ?anchored:bool -> Actree.Twigjoin.node -> (Treekit.Event.t -> unit) * (unit -> stats)
+(** Incremental interface for external event sources. *)

@@ -1,0 +1,121 @@
+module A = Xpath.Ast
+module Axis = Treekit.Axis
+module Twig = Actree.Twigjoin
+
+exception Outside_fragment
+
+(* Build the children list of a twig node from a path continuation: the
+   path [step/rest] hangs the twig of [step…rest] under the current node.
+   A step contributes its own twig node (label from a [Lab] qualifier if
+   present, remaining qualifiers as extra children). *)
+let rec twig_children path : (Twig.edge * Twig.node) list =
+  match path with
+  | A.Union _ -> raise Outside_fragment
+  | A.Seq (p1, p2) -> (
+    (* associate to the right: find the first step of p1 *)
+    match p1 with
+    | A.Step _ -> attach p1 (Some p2)
+    | A.Seq (a, b) -> twig_children (A.Seq (a, A.Seq (b, p2)))
+    | A.Union _ -> raise Outside_fragment)
+  | A.Step _ -> attach path None
+
+and attach step rest =
+  match step with
+  | A.Step { axis; quals } ->
+    let edge =
+      match axis with
+      | Axis.Child -> Twig.Child_edge
+      | Axis.Descendant -> Twig.Descendant_edge
+      | Axis.Descendant_or_self ->
+        (* only as the [//] desugaring: descendant-or-self::* followed by a
+           child step ≡ a descendant step; standalone dos steps with
+           qualifiers or at the end are outside the fragment *)
+        raise Outside_fragment
+      | _ -> raise Outside_fragment
+    in
+    let label, extra_quals =
+      List.fold_left
+        (fun (label, extras) q ->
+          match q with
+          | A.Lab l -> (
+            match label with
+            | None -> (Some l, extras)
+            | Some l' when l' = l -> (label, extras)
+            | Some _ -> raise Outside_fragment (* two different labels: unsat,
+                                                  not expressible as a twig *))
+          | A.Exists p -> (label, p :: extras)
+          | A.And (q1, q2) ->
+            (* flatten: treat as two qualifiers *)
+            let label, extras = collect (label, extras) q1 in
+            collect (label, extras) q2
+          | A.Or _ | A.Not _ -> raise Outside_fragment)
+        (None, []) quals
+    in
+    let qual_children = List.concat_map twig_children (List.rev extra_quals) in
+    let rest_children = match rest with None -> [] | Some r -> twig_children r in
+    [ (edge, { Twig.label; children = qual_children @ rest_children }) ]
+  | A.Seq _ | A.Union _ -> assert false
+
+and collect (label, extras) q =
+  match q with
+  | A.Lab l -> (
+    match label with
+    | None -> (Some l, extras)
+    | Some l' when l' = l -> (label, extras)
+    | Some _ -> raise Outside_fragment)
+  | A.Exists p -> (label, p :: extras)
+  | A.And (q1, q2) -> collect (collect (label, extras) q1) q2
+  | A.Or _ | A.Not _ -> raise Outside_fragment
+
+(* handle the [//] desugaring shape: Seq(dos-star, p) at the top or inside
+   sequences — normalise Seq(Step dos [], next) into a Descendant edge *)
+let rec normalise path =
+  match path with
+  | A.Seq (A.Step { axis = Axis.Descendant_or_self; quals = [] }, p) -> (
+    match normalise p with
+    | A.Step { axis = Axis.Child; quals } -> A.Step { axis = Axis.Descendant; quals }
+    | A.Seq (A.Step { axis = Axis.Child; quals }, rest) ->
+      A.Seq (A.Step { axis = Axis.Descendant; quals }, rest)
+    | _ -> raise Outside_fragment)
+  | A.Seq (p1, p2) -> A.Seq (normalise p1, normalise p2)
+  | A.Step { axis; quals } ->
+    A.Step { axis; quals = List.map normalise_qual quals }
+  | A.Union _ -> raise Outside_fragment
+
+and normalise_qual = function
+  | A.Exists p -> A.Exists (normalise p)
+  | A.And (a, b) -> A.And (normalise_qual a, normalise_qual b)
+  | (A.Lab _ | A.Or _ | A.Not _) as q -> q
+
+(* right-associate sequences so [normalise] and [twig_children] always see
+   a step at the head *)
+let rec reassoc = function
+  | A.Seq (A.Seq (a, b), c) -> reassoc (A.Seq (a, A.Seq (b, c)))
+  | A.Seq (a, b) -> A.Seq (reassoc a, reassoc b)
+  | A.Step { axis; quals } -> A.Step { axis; quals = List.map reassoc_qual quals }
+  | A.Union _ -> raise Outside_fragment
+
+and reassoc_qual = function
+  | A.Exists p -> A.Exists (reassoc p)
+  | A.And (a, b) -> A.And (reassoc_qual a, reassoc_qual b)
+  | (A.Lab _ | A.Or _ | A.Not _) as q -> q
+
+let twig_of path =
+  match
+    let children = twig_children (normalise (reassoc path)) in
+    { Twig.label = None; children }
+  with
+  | twig -> Some twig
+  | exception Outside_fragment -> None
+
+let supported path = twig_of path <> None
+
+let matches tree path =
+  Option.map (fun twig -> Twig_matcher.matches ~anchored:true tree twig) (twig_of path)
+
+let feed path =
+  Option.map
+    (fun twig ->
+      let push, stats = Twig_matcher.feed ~anchored:true twig in
+      (push, fun () -> (stats ()).Twig_matcher.matched))
+    (twig_of path)

@@ -1,0 +1,27 @@
+(** Streaming Boolean evaluation of conjunctive forward Core XPath — path
+    expressions {e with qualifiers} against event streams (Section 5; the
+    scenario of Olteanu et al. [61], "An Evaluation of Regular Path
+    Expressions with Qualifiers against XML Streams").
+
+    The supported fragment: conjunctive (no [∪]/[or]/[not]) expressions
+    whose axes are [child], [descendant] and [descendant-or-self], with
+    label tests and nested path qualifiers of the same shape — e.g.
+    [//open_auction[bidder//increase]/seller].  Such an expression is a
+    twig pattern anchored at the document root, so one O(depth·|Q|)-memory
+    bottom-up pass ({!Twig_matcher}) decides whether the document
+    matches. *)
+
+val twig_of : Xpath.Ast.path -> Actree.Twigjoin.node option
+(** The expression as a twig whose root stands for the document root
+    (match with [~anchored:true]).  [None] outside the fragment. *)
+
+val supported : Xpath.Ast.path -> bool
+
+val matches : Treekit.Tree.t -> Xpath.Ast.path -> bool option
+(** Streaming Boolean answer: [Some b] iff the fragment applies, with
+    [b ⇔ Eval.query t p ≠ ∅] (property-tested).  One pass, O(depth·|Q|)
+    memory. *)
+
+val feed :
+  Xpath.Ast.path -> ((Treekit.Event.t -> unit) * (unit -> bool)) option
+(** Incremental interface for external event sources. *)

@@ -1,0 +1,315 @@
+type t =
+  | Self
+  | Child
+  | Descendant
+  | Descendant_or_self
+  | Next_sibling
+  | Following_sibling
+  | Following_sibling_or_self
+  | Following
+  | Parent
+  | Ancestor
+  | Ancestor_or_self
+  | Prev_sibling
+  | Preceding_sibling
+  | Preceding_sibling_or_self
+  | Preceding
+
+let all =
+  [
+    Self;
+    Child;
+    Descendant;
+    Descendant_or_self;
+    Next_sibling;
+    Following_sibling;
+    Following_sibling_or_self;
+    Following;
+    Parent;
+    Ancestor;
+    Ancestor_or_self;
+    Prev_sibling;
+    Preceding_sibling;
+    Preceding_sibling_or_self;
+    Preceding;
+  ]
+
+let forward =
+  [
+    Self;
+    Child;
+    Descendant;
+    Descendant_or_self;
+    Next_sibling;
+    Following_sibling;
+    Following_sibling_or_self;
+    Following;
+  ]
+
+let is_forward = function
+  | Self | Child | Descendant | Descendant_or_self | Next_sibling
+  | Following_sibling | Following_sibling_or_self | Following ->
+    true
+  | Parent | Ancestor | Ancestor_or_self | Prev_sibling | Preceding_sibling
+  | Preceding_sibling_or_self | Preceding ->
+    false
+
+let inverse = function
+  | Self -> Self
+  | Child -> Parent
+  | Descendant -> Ancestor
+  | Descendant_or_self -> Ancestor_or_self
+  | Next_sibling -> Prev_sibling
+  | Following_sibling -> Preceding_sibling
+  | Following_sibling_or_self -> Preceding_sibling_or_self
+  | Following -> Preceding
+  | Parent -> Child
+  | Ancestor -> Descendant
+  | Ancestor_or_self -> Descendant_or_self
+  | Prev_sibling -> Next_sibling
+  | Preceding_sibling -> Following_sibling
+  | Preceding_sibling_or_self -> Following_sibling_or_self
+  | Preceding -> Following
+
+let name = function
+  | Self -> "self"
+  | Child -> "child"
+  | Descendant -> "descendant"
+  | Descendant_or_self -> "descendant-or-self"
+  | Next_sibling -> "next-sibling"
+  | Following_sibling -> "following-sibling"
+  | Following_sibling_or_self -> "following-sibling-or-self"
+  | Following -> "following"
+  | Parent -> "parent"
+  | Ancestor -> "ancestor"
+  | Ancestor_or_self -> "ancestor-or-self"
+  | Prev_sibling -> "previous-sibling"
+  | Preceding_sibling -> "preceding-sibling"
+  | Preceding_sibling_or_self -> "preceding-sibling-or-self"
+  | Preceding -> "preceding"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "self" -> Some Self
+  | "child" -> Some Child
+  | "descendant" | "child+" -> Some Descendant
+  | "descendant-or-self" | "child*" -> Some Descendant_or_self
+  | "next-sibling" | "nextsibling" -> Some Next_sibling
+  | "following-sibling" | "nextsibling+" -> Some Following_sibling
+  | "following-sibling-or-self" | "nextsibling*" -> Some Following_sibling_or_self
+  | "following" -> Some Following
+  | "parent" -> Some Parent
+  | "ancestor" -> Some Ancestor
+  | "ancestor-or-self" -> Some Ancestor_or_self
+  | "previous-sibling" | "prev-sibling" -> Some Prev_sibling
+  | "preceding-sibling" -> Some Preceding_sibling
+  | "preceding-sibling-or-self" -> Some Preceding_sibling_or_self
+  | "preceding" -> Some Preceding
+  | _ -> None
+
+let pp fmt a = Format.pp_print_string fmt (name a)
+
+let same_parent t u v = Tree.parent t u = Tree.parent t v
+
+let mem t axis u v =
+  match axis with
+  | Self -> u = v
+  | Child -> Tree.parent t v = u
+  | Descendant -> Tree.is_ancestor t u v
+  | Descendant_or_self -> u = v || Tree.is_ancestor t u v
+  | Next_sibling -> Tree.next_sibling t u = v
+  | Following_sibling -> u < v && same_parent t u v
+  | Following_sibling_or_self -> u <= v && same_parent t u v
+  | Following -> Tree.is_following t u v
+  | Parent -> Tree.parent t u = v
+  | Ancestor -> Tree.is_ancestor t v u
+  | Ancestor_or_self -> u = v || Tree.is_ancestor t v u
+  | Prev_sibling -> Tree.next_sibling t v = u
+  | Preceding_sibling -> v < u && same_parent t u v
+  | Preceding_sibling_or_self -> v <= u && same_parent t u v
+  | Preceding -> Tree.is_following t v u
+
+let fold t axis u f init =
+  let fold_range lo hi init =
+    let acc = ref init in
+    for v = lo to hi do
+      acc := f v !acc
+    done;
+    !acc
+  in
+  match axis with
+  | Self -> f u init
+  | Child -> Tree.fold_children t u (fun acc c -> f c acc) init
+  | Descendant -> fold_range (u + 1) (u + Tree.subtree_size t u - 1) init
+  | Descendant_or_self -> fold_range u (u + Tree.subtree_size t u - 1) init
+  | Next_sibling ->
+    let v = Tree.next_sibling t u in
+    if v = -1 then init else f v init
+  | Following_sibling ->
+    let rec go acc v = if v = -1 then acc else go (f v acc) (Tree.next_sibling t v) in
+    go init (Tree.next_sibling t u)
+  | Following_sibling_or_self ->
+    let rec go acc v = if v = -1 then acc else go (f v acc) (Tree.next_sibling t v) in
+    go init u
+  | Following -> fold_range (u + Tree.subtree_size t u) (Tree.size t - 1) init
+  | Parent ->
+    let p = Tree.parent t u in
+    if p = -1 then init else f p init
+  | Ancestor ->
+    let rec ups acc v =
+      let p = Tree.parent t v in
+      if p = -1 then acc else ups (p :: acc) p
+    in
+    List.fold_left (fun acc v -> f v acc) init (ups [] u)
+  | Ancestor_or_self ->
+    let rec ups acc v =
+      let p = Tree.parent t v in
+      if p = -1 then acc else ups (p :: acc) p
+    in
+    List.fold_left (fun acc v -> f v acc) init (ups [ u ] u)
+  | Prev_sibling ->
+    let v = Tree.prev_sibling t u in
+    if v = -1 then init else f v init
+  | Preceding_sibling | Preceding_sibling_or_self ->
+    let p = Tree.parent t u in
+    let start = if p = -1 then u else Tree.first_child t p in
+    let rec go acc v =
+      if v = u then if axis = Preceding_sibling_or_self then f u acc else acc
+      else go (f v acc) (Tree.next_sibling t v)
+    in
+    go init start
+  | Preceding ->
+    let acc = ref init in
+    for v = 0 to u - 1 do
+      if not (Tree.is_ancestor t v u) then acc := f v !acc
+    done;
+    !acc
+
+let nodes t axis u = List.rev (fold t axis u (fun v acc -> v :: acc) [])
+
+let image t axis s =
+  let n = Tree.size t in
+  let r = Nodeset.create n in
+  let range_sweep ~include_self =
+    (* descendants of every u in s, via a +1/-1 sweep over pre-order ranks *)
+    let delta = Array.make (n + 1) 0 in
+    Nodeset.iter
+      (fun u ->
+        let lo = if include_self then u else u + 1 in
+        delta.(lo) <- delta.(lo) + 1;
+        let hi = u + Tree.subtree_size t u in
+        delta.(hi) <- delta.(hi) - 1)
+      s;
+    let open_count = ref 0 in
+    for v = 0 to n - 1 do
+      open_count := !open_count + delta.(v);
+      if !open_count > 0 then Nodeset.add r v
+    done
+  in
+  let chain_walk step first =
+    (* follow [step] from each source, stopping at nodes already in [r]
+       (their chain suffix has already been added) *)
+    Nodeset.iter
+      (fun u ->
+        let v = ref (first u) in
+        while !v <> -1 && not (Nodeset.mem r !v) do
+          Nodeset.add r !v;
+          v := step !v
+        done)
+      s
+  in
+  (match axis with
+  | Self -> Nodeset.iter (Nodeset.add r) s
+  | Child ->
+    Nodeset.iter (fun u -> Tree.fold_children t u (fun () c -> Nodeset.add r c) ()) s
+  | Descendant -> range_sweep ~include_self:false
+  | Descendant_or_self -> range_sweep ~include_self:true
+  | Next_sibling ->
+    Nodeset.iter
+      (fun u ->
+        let v = Tree.next_sibling t u in
+        if v <> -1 then Nodeset.add r v)
+      s
+  | Following_sibling -> chain_walk (Tree.next_sibling t) (Tree.next_sibling t)
+  | Following_sibling_or_self -> chain_walk (Tree.next_sibling t) (fun u -> u)
+  | Following ->
+    (match Nodeset.min_elt s with
+    | None -> ()
+    | Some _ ->
+      let m = Nodeset.fold (fun u m -> min m (u + Tree.subtree_size t u)) s max_int in
+      for v = m to n - 1 do
+        Nodeset.add r v
+      done)
+  | Parent ->
+    Nodeset.iter
+      (fun u ->
+        let p = Tree.parent t u in
+        if p <> -1 then Nodeset.add r p)
+      s
+  | Ancestor -> chain_walk (Tree.parent t) (Tree.parent t)
+  | Ancestor_or_self -> chain_walk (Tree.parent t) (fun u -> u)
+  | Prev_sibling ->
+    Nodeset.iter
+      (fun u ->
+        let v = Tree.prev_sibling t u in
+        if v <> -1 then Nodeset.add r v)
+      s
+  | Preceding_sibling -> chain_walk (Tree.prev_sibling t) (Tree.prev_sibling t)
+  | Preceding_sibling_or_self -> chain_walk (Tree.prev_sibling t) (fun u -> u)
+  | Preceding ->
+    (match Nodeset.max_elt s with
+    | None -> ()
+    | Some m ->
+      for v = 0 to m do
+        if v + Tree.subtree_size t v <= m then Nodeset.add r v
+      done));
+  r
+
+let count_pairs t axis =
+  let n = Tree.size t in
+  match axis with
+  | Self -> n
+  | Child | Parent -> n - 1
+  | Descendant | Ancestor ->
+    let c = ref 0 in
+    for v = 0 to n - 1 do
+      c := !c + Tree.depth t v
+    done;
+    !c
+  | Descendant_or_self | Ancestor_or_self ->
+    let c = ref n in
+    for v = 0 to n - 1 do
+      c := !c + Tree.depth t v
+    done;
+    !c
+  | Next_sibling | Prev_sibling ->
+    let c = ref 0 in
+    for v = 0 to n - 1 do
+      if Tree.next_sibling t v <> -1 then incr c
+    done;
+    !c
+  | Following_sibling | Preceding_sibling ->
+    (* for each parent with k children: k(k-1)/2 ordered pairs *)
+    let c = ref 0 in
+    for v = 0 to n - 1 do
+      if Tree.first_child t v <> -1 then begin
+        let k = Tree.fold_children t v (fun acc _ -> acc + 1) 0 in
+        c := !c + (k * (k - 1) / 2)
+      end
+    done;
+    !c
+  | Following_sibling_or_self | Preceding_sibling_or_self ->
+    let c = ref n in
+    for v = 0 to n - 1 do
+      if Tree.first_child t v <> -1 then begin
+        let k = Tree.fold_children t v (fun acc _ -> acc + 1) 0 in
+        c := !c + (k * (k - 1) / 2)
+      end
+    done;
+    !c
+  | Following | Preceding ->
+    let c = ref 0 in
+    for u = 0 to n - 1 do
+      c := !c + (n - (u + Tree.subtree_size t u))
+    done;
+    !c

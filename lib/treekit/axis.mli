@@ -1,0 +1,84 @@
+(** The XPath axis relations over trees (Section 2 of the paper).
+
+    The paper's binary tree-navigation relations and their inverses, as a
+    closed variant.  In the paper's notation:
+
+    - [Child], [Descendant = Child⁺], [Descendant_or_self = Child*],
+    - [Next_sibling = NextSibling],
+      [Following_sibling = NextSibling⁺],
+      [Following_sibling_or_self = NextSibling*],
+    - [Following],
+    - the inverses [Parent], [Ancestor], [Ancestor_or_self], [Prev_sibling],
+      [Preceding_sibling], [Preceding_sibling_or_self], [Preceding],
+    - and [Self].
+
+    Three access paths are provided, each matching a different engine in the
+    repository:
+
+    - {!mem} — O(1) membership via the pre/post characterisations
+      ([Child⁺(x,y) ⇔ x <pre y ∧ y <post x],
+       [Following(x,y) ⇔ x <pre y ∧ x <post y]);
+    - {!fold} — enumeration of one node's axis image in document order;
+    - {!image} — set-at-a-time image of a whole node set in time O(n),
+      the primitive underlying the efficient bottom-up Core XPath evaluator
+      ({!Xpath}) and the arc-consistency engine ({!Actree}). *)
+
+type t =
+  | Self
+  | Child
+  | Descendant  (** [Child⁺] *)
+  | Descendant_or_self  (** [Child] reflexive-transitive closure *)
+  | Next_sibling  (** [NextSibling] *)
+  | Following_sibling  (** [NextSibling⁺] *)
+  | Following_sibling_or_self  (** [NextSibling] reflexive-transitive closure *)
+  | Following
+  | Parent
+  | Ancestor  (** inverse of [Descendant] *)
+  | Ancestor_or_self  (** inverse of [Descendant_or_self] *)
+  | Prev_sibling  (** inverse of [Next_sibling] *)
+  | Preceding_sibling  (** inverse of [Following_sibling] *)
+  | Preceding_sibling_or_self  (** inverse of [Following_sibling_or_self] *)
+  | Preceding  (** inverse of [Following] *)
+
+val all : t list
+(** All fifteen axes. *)
+
+val forward : t list
+(** The forward axes of Section 5: [Self], [Child], [Descendant],
+    [Descendant_or_self], [Next_sibling], [Following_sibling],
+    [Following_sibling_or_self], [Following]. *)
+
+val is_forward : t -> bool
+
+val inverse : t -> t
+(** [inverse a] is the axis denoting the converse relation;
+    [inverse (inverse a) = a]. *)
+
+val name : t -> string
+(** XPath-style lower-case name, e.g. ["descendant-or-self"]. *)
+
+val of_name : string -> t option
+(** Inverse of {!name}; also accepts the paper's names ["child+"],
+    ["child*"], ["nextsibling"], ["nextsibling+"], ["nextsibling*"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val mem : Tree.t -> t -> int -> int -> bool
+(** [mem t a u v] is true iff [(u,v)] is in the axis relation [a] on tree
+    [t].  O(1). *)
+
+val fold : Tree.t -> t -> int -> (int -> 'a -> 'a) -> 'a -> 'a
+(** [fold t a u f init] folds [f] over [{v | a(u,v)}] in document order.
+    Costs O(result) for all axes except [Preceding]/[Following]/the
+    [-or-self] sibling closures, which cost O(result + depth). *)
+
+val nodes : Tree.t -> t -> int -> int list
+(** [nodes t a u] is the axis image of the single node [u], in document
+    order. *)
+
+val image : Tree.t -> t -> Nodeset.t -> Nodeset.t
+(** [image t a s] is [{v | ∃u ∈ s. a(u,v)}].  Runs in time O(n) regardless
+    of |s| (single sweeps using the pre/post characterisations). *)
+
+val count_pairs : Tree.t -> t -> int
+(** Number of pairs in the relation; used by tests and benchmarks. *)

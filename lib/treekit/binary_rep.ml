@@ -1,0 +1,67 @@
+type t = {
+  n : int;
+  first_child : (int * int) list;
+  next_sibling : (int * int) list;
+  labels : string array;
+}
+
+let of_tree tree =
+  let n = Tree.size tree in
+  let fc = ref [] and ns = ref [] in
+  for u = n - 1 downto 0 do
+    let c = Tree.first_child tree u in
+    if c <> -1 then fc := (u, c) :: !fc;
+    let s = Tree.next_sibling tree u in
+    if s <> -1 then ns := (u, s) :: !ns
+  done;
+  { n; first_child = !fc; next_sibling = !ns; labels = Array.init n (Tree.label tree) }
+
+let to_tree { n; first_child; next_sibling; labels } =
+  if n = 0 then invalid_arg "Binary_rep.to_tree: empty";
+  if Array.length labels <> n then invalid_arg "Binary_rep.to_tree: labels mismatch";
+  let fc = Array.make n (-1) and ns = Array.make n (-1) in
+  let set arr what (u, v) =
+    if u < 0 || u >= n || v < 0 || v >= n then
+      invalid_arg ("Binary_rep.to_tree: node out of range in " ^ what);
+    if arr.(u) <> -1 then invalid_arg ("Binary_rep.to_tree: duplicate " ^ what ^ " source");
+    arr.(u) <- v
+  in
+  List.iter (set fc "FirstChild") first_child;
+  List.iter (set ns "NextSibling") next_sibling;
+  (* Recover the parent vector: the parent of a first child is its
+     FirstChild-source; the parent of a next sibling is its left sibling's
+     parent.  Nodes are in pre-order, so sources precede targets. *)
+  let parents = Array.make n (-1) in
+  let owner = Array.make n (-1) in
+  (* owner.(v) = u if FirstChild(u,v) *)
+  List.iter
+    (fun (u, v) ->
+      if v <= u then invalid_arg "Binary_rep.to_tree: FirstChild must go forward";
+      owner.(v) <- u)
+    first_child;
+  let left = Array.make n (-1) in
+  List.iter
+    (fun (u, v) ->
+      if v <= u then invalid_arg "Binary_rep.to_tree: NextSibling must go forward";
+      left.(v) <- u)
+    next_sibling;
+  for v = 1 to n - 1 do
+    if owner.(v) <> -1 then parents.(v) <- owner.(v)
+    else if left.(v) <> -1 then parents.(v) <- parents.(left.(v))
+    else invalid_arg "Binary_rep.to_tree: unreachable node"
+  done;
+  Tree.of_parent_vector ~parents ~labels ()
+
+let pp fmt { first_child; next_sibling; _ } =
+  let pp_edges name edges =
+    Format.fprintf fmt "%s = {" name;
+    List.iteri
+      (fun i (u, v) ->
+        if i > 0 then Format.fprintf fmt ", ";
+        Format.fprintf fmt "(n%d,n%d)" (u + 1) (v + 1))
+      edges;
+    Format.fprintf fmt "}"
+  in
+  pp_edges "FirstChild" first_child;
+  Format.fprintf fmt "@ ";
+  pp_edges "NextSibling" next_sibling

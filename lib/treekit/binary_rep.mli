@@ -1,0 +1,26 @@
+(** The binary [FirstChild]/[NextSibling] representation of unranked trees
+    (Figure 1 of the paper).
+
+    An unranked ordered tree is completely described by the two partial
+    bijections [FirstChild] and [NextSibling]; this module materialises them
+    as edge lists and converts back, reproducing Figure 1's encoding. *)
+
+type t = {
+  n : int;  (** number of nodes; nodes are pre-order ranks *)
+  first_child : (int * int) list;  (** [FirstChild(u,v)] edges (ւ in Fig. 1) *)
+  next_sibling : (int * int) list;  (** [NextSibling(u,v)] edges (ց in Fig. 1) *)
+  labels : string array;  (** label of each node *)
+}
+
+val of_tree : Tree.t -> t
+(** Extract the binary representation; edges are listed in document order of
+    their source node. *)
+
+val to_tree : t -> Tree.t
+(** Rebuild the unranked tree.
+    @raise Invalid_argument if the edges do not describe a tree whose nodes
+    are numbered in pre-order. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the two edge relations, e.g. for Figure 1(a):
+    [FirstChild = {(n1,n2), (n2,n3), (n4,n5)} …]. *)

@@ -1,0 +1,135 @@
+(* Order-maintenance list with integer tags (list labeling): an insertion
+   takes the midpoint of its neighbours' tags and, when a gap is exhausted,
+   relabels a window that grows until its enclosing tag range exceeds the
+   square of its item count — the classic amortisation.  Two sentinels pin
+   the ends of the tag space; comparisons are plain integer comparisons. *)
+
+type item = {
+  mutable tag : int;
+  mutable prev : item;  (* sentinels point to themselves *)
+  mutable next : item;
+}
+
+let max_tag = 1 lsl 60
+
+type node = {
+  id : int;
+  node_label : string;
+  opening : item;
+  closing : item;
+  node_parent : node option;
+}
+
+type t = {
+  mutable count : int;
+  relabeled : int ref;
+  doc_root : node;
+  mutable registry : node list;  (* reverse insertion order *)
+}
+
+let label n = n.node_label
+let parent n = n.node_parent
+
+(* ------------------------------------------------------------------ *)
+
+let new_list () =
+  let rec head = { tag = 0; prev = head; next = tail }
+  and tail = { tag = max_tag; prev = head; next = tail } in
+  head
+
+let is_head it = it.prev == it
+let is_tail it = it.next == it
+
+let rec insert_between relabeled a b =
+  assert (a.next == b);
+  if b.tag - a.tag > 1 then begin
+    let it = { tag = a.tag + ((b.tag - a.tag) / 2); prev = a; next = b } in
+    a.next <- it;
+    b.prev <- it;
+    it
+  end
+  else begin
+    (* grow a window around [a] until the enclosing gap beats the square
+       of the window size, then spread the window evenly *)
+    let lo = ref a and hi = ref a in
+    let count = ref 1 in
+    let gap () = !hi.next.tag - !lo.prev.tag in
+    let can_grow () = (not (is_head !lo.prev)) || not (is_tail !hi.next) in
+    while gap () <= (!count + 2) * (!count + 2) && can_grow () do
+      if not (is_head !lo.prev) then begin
+        lo := !lo.prev;
+        incr count
+      end;
+      if (not (is_tail !hi.next)) && gap () <= (!count + 2) * (!count + 2) then begin
+        hi := !hi.next;
+        incr count
+      end
+    done;
+    let low = !lo.prev.tag and high = !hi.next.tag in
+    let step = max 2 ((high - low) / (!count + 1)) in
+    let cur = ref !lo and t = ref (low + step) in
+    let continue_ = ref true in
+    while !continue_ do
+      !cur.tag <- min !t (high - 1);
+      t := !t + step;
+      incr relabeled;
+      if !cur == !hi then continue_ := false else cur := !cur.next
+    done;
+    insert_between relabeled a b
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let create root_label =
+  let head = new_list () in
+  let relabeled = ref 0 in
+  let opening = insert_between relabeled head head.next in
+  let closing = insert_between relabeled opening opening.next in
+  let doc_root = { id = 0; node_label = root_label; opening; closing; node_parent = None } in
+  { count = 1; relabeled; doc_root; registry = [ doc_root ] }
+
+let root doc = doc.doc_root
+
+let size doc = doc.count
+
+let fresh_node doc ~label ~parent ~after =
+  let opening = insert_between doc.relabeled after after.next in
+  let closing = insert_between doc.relabeled opening opening.next in
+  let n =
+    { id = doc.count; node_label = label; opening; closing; node_parent = Some parent }
+  in
+  doc.count <- doc.count + 1;
+  doc.registry <- n :: doc.registry;
+  n
+
+let insert_last_child doc p label = fresh_node doc ~label ~parent:p ~after:p.closing.prev
+
+let insert_first_child doc p label = fresh_node doc ~label ~parent:p ~after:p.opening
+
+let insert_after doc v label =
+  match v.node_parent with
+  | None -> invalid_arg "Dynlabel.insert_after: the root has no siblings"
+  | Some p -> fresh_node doc ~label ~parent:p ~after:v.closing
+
+let is_ancestor _doc u v =
+  u.opening.tag < v.opening.tag && v.closing.tag < u.closing.tag
+
+let is_following _doc u v = u.closing.tag < v.opening.tag
+
+let compare_pre _doc u v = compare u.opening.tag v.opening.tag
+
+let relabel_count doc = !(doc.relabeled)
+
+let snapshot doc =
+  let nodes = Array.of_list doc.registry in
+  Array.sort (fun a b -> compare a.opening.tag b.opening.tag) nodes;
+  let pre_of_id = Array.make doc.count 0 in
+  Array.iteri (fun pre n -> pre_of_id.(n.id) <- pre) nodes;
+  let parents =
+    Array.map
+      (fun n -> match n.node_parent with None -> -1 | Some p -> pre_of_id.(p.id))
+      nodes
+  in
+  let labels = Array.map (fun n -> n.node_label) nodes in
+  let tree = Tree.of_parent_vector ~parents ~labels () in
+  (tree, fun n -> pre_of_id.(n.id))

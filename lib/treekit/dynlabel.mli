@@ -1,0 +1,61 @@
+(** Dynamic node labeling: order maintenance for documents under updates
+    (Section 2, "A great number of labeling and indexing schemes … have
+    improved the efficiency of queries and updates of XML data"; the
+    pre/post technique goes back to Dietz–Sleator order maintenance [23]).
+
+    A {!t} is a mutable document.  Every node owns two positions in a
+    single maintained total order — its opening and closing "tag", i.e.
+    dynamic [<pre] and [<post] ranks — so the structural-join
+    characterisations stay O(1) under insertions:
+
+    - [is_ancestor u v  ⇔  open(u) < open(v) ∧ close(v) < close(u)],
+    - [is_following u v ⇔  close(u) < open(v)].
+
+    Positions carry integer labels from a 2⁶² space; an insertion takes
+    the midpoint of the neighbouring labels and, when a gap fills up,
+    relabels a small window (amortised cheap — measured by the benchmark
+    [dynlabel]).  This is the list-labeling simplification of
+    Dietz–Sleator; comparisons are plain integer comparisons, never
+    traversals. *)
+
+type t
+(** A mutable labeled document. *)
+
+type node
+(** A handle to a document node; stays valid across insertions. *)
+
+val create : string -> t
+(** A document with just a root. *)
+
+val root : t -> node
+
+val size : t -> int
+
+val label : node -> string
+
+val insert_last_child : t -> node -> string -> node
+(** Append a new leaf as the last child of a node. *)
+
+val insert_first_child : t -> node -> string -> node
+
+val insert_after : t -> node -> string -> node
+(** Insert a new leaf as the immediate right sibling.
+    @raise Invalid_argument on the root. *)
+
+val is_ancestor : t -> node -> node -> bool
+(** O(1): tag comparisons only. *)
+
+val is_following : t -> node -> node -> bool
+
+val compare_pre : t -> node -> node -> int
+(** Document-order comparison, O(1). *)
+
+val parent : node -> node option
+
+val relabel_count : t -> int
+(** Total number of positions moved by relabeling so far — the amortised
+    cost counter reported by the benchmark. *)
+
+val snapshot : t -> Tree.t * (node -> int)
+(** Freeze into an immutable {!Tree} (for cross-checking and querying with
+    the static engines) together with the node-to-preorder mapping. *)

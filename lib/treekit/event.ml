@@ -1,0 +1,55 @@
+type t =
+  | Open of { node : int; label : string; depth : int }
+  | Close of { node : int; label : string; depth : int }
+
+let label = function Open { label; _ } | Close { label; _ } -> label
+let depth = function Open { depth; _ } | Close { depth; _ } -> depth
+
+let iter tree f =
+  (* Walk the first-child / next-sibling structure iteratively: from a node
+     we either descend, emit Close and move to the sibling, or climb. *)
+  let open_of v = Open { node = v; label = Tree.label tree v; depth = Tree.depth tree v } in
+  let close_of v =
+    Close { node = v; label = Tree.label tree v; depth = Tree.depth tree v }
+  in
+  let rec down v =
+    f (open_of v);
+    let c = Tree.first_child tree v in
+    if c <> -1 then down c else up v
+  and up v =
+    f (close_of v);
+    let s = Tree.next_sibling tree v in
+    if s <> -1 then down s
+    else
+      let p = Tree.parent tree v in
+      if p <> -1 then up p
+  in
+  down 0
+
+let to_seq tree =
+  let open_of v = Open { node = v; label = Tree.label tree v; depth = Tree.depth tree v } in
+  let close_of v =
+    Close { node = v; label = Tree.label tree v; depth = Tree.depth tree v }
+  in
+  (* state: (node, opening?) — None when exhausted *)
+  let rec next = function
+    | None -> Seq.Nil
+    | Some (v, true) ->
+      let c = Tree.first_child tree v in
+      let st = if c <> -1 then Some (c, true) else Some (v, false) in
+      Seq.Cons (open_of v, fun () -> next st)
+    | Some (v, false) ->
+      let s = Tree.next_sibling tree v in
+      let st =
+        if s <> -1 then Some (s, true)
+        else
+          let p = Tree.parent tree v in
+          if p <> -1 then Some (p, false) else None
+      in
+      Seq.Cons (close_of v, fun () -> next st)
+  in
+  fun () -> next (Some (0, true))
+
+let to_list tree = List.of_seq (to_seq tree)
+
+let count tree = 2 * Tree.size tree

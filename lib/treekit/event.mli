@@ -1,0 +1,29 @@
+(** SAX-style event streams (Section 5, streaming algorithms).
+
+    "A streaming algorithm scans its input data only once from left to
+    right."  The stream of a tree is the sequence of opening and closing
+    tags in document order; the [<pre] order is the order of [Open] events
+    and [<post] the order of [Close] events (Section 2).  The streaming
+    engines in {!Streamq} consume these events one at a time and are
+    forbidden (by construction) from touching the tree. *)
+
+type t =
+  | Open of { node : int; label : string; depth : int }
+      (** opening tag of [node]; [depth] is the nesting depth (root = 0) *)
+  | Close of { node : int; label : string; depth : int }  (** closing tag *)
+
+val label : t -> string
+
+val depth : t -> int
+
+val iter : Tree.t -> (t -> unit) -> unit
+(** [iter t f] pushes the events of [t]'s document to [f] in document
+    order, using O(depth) auxiliary space. *)
+
+val to_seq : Tree.t -> t Seq.t
+(** The event stream as a lazy sequence. *)
+
+val to_list : Tree.t -> t list
+
+val count : Tree.t -> int
+(** Number of events (always [2 * size]). *)

@@ -1,0 +1,169 @@
+let labels_abc = [| "a"; "b"; "c" |]
+
+(* Rebuild a (parents, labels) pair whose parent vector is valid
+   (parents.(v) < v) but not necessarily a pre-order numbering into a tree,
+   by renumbering the nodes in pre-order. *)
+let of_loose_parents parents labels =
+  let n = Array.length parents in
+  let first_child = Array.make n (-1) and next_sibling = Array.make n (-1) in
+  (* build children lists preserving insertion (index) order *)
+  let last_child = Array.make n (-1) in
+  for v = 1 to n - 1 do
+    let p = parents.(v) in
+    if first_child.(p) = -1 then first_child.(p) <- v
+    else next_sibling.(last_child.(p)) <- v;
+    last_child.(p) <- v
+  done;
+  let order = Array.make n 0 in
+  let rank = Array.make n (-1) in
+  let i = ref 0 in
+  let rec down v =
+    rank.(v) <- !i;
+    order.(!i) <- v;
+    incr i;
+    let c = first_child.(v) in
+    if c <> -1 then down c else up v
+  and up v =
+    let s = next_sibling.(v) in
+    if s <> -1 then down s else if parents.(v) >= 0 then up parents.(v)
+  in
+  down 0;
+  let parents' =
+    Array.init n (fun j ->
+        let v = order.(j) in
+        if parents.(v) = -1 then -1 else rank.(parents.(v)))
+  and labels' = Array.init n (fun j -> labels.(order.(j))) in
+  Tree.of_parent_vector ~parents:parents' ~labels:labels' ()
+
+let pick_label rng labels = labels.(Random.State.int rng (Array.length labels))
+
+let random ?(seed = 42) ~n ~labels () =
+  if n <= 0 then invalid_arg "Generator.random: n must be positive";
+  let rng = Random.State.make [| seed |] in
+  let parents = Array.init n (fun v -> if v = 0 then -1 else Random.State.int rng v)
+  and labs = Array.init n (fun _ -> pick_label rng labels) in
+  of_loose_parents parents labs
+
+let random_deep ?(seed = 42) ~n ~labels ~descend_bias () =
+  if n <= 0 then invalid_arg "Generator.random_deep: n must be positive";
+  if descend_bias < 0.0 || descend_bias > 1.0 then
+    invalid_arg "Generator.random_deep: bias must be in [0,1]";
+  let rng = Random.State.make [| seed |] in
+  let parents = Array.make n (-1) in
+  (* generate directly in pre-order with a stack of currently-open nodes *)
+  let stack = ref [ 0 ] in
+  for v = 1 to n - 1 do
+    (match !stack with
+    | top :: _ -> parents.(v) <- top
+    | [] -> assert false);
+    if Random.State.float rng 1.0 < descend_bias then stack := v :: !stack
+    else begin
+      (* stay at the same level or pop a few levels *)
+      let rec pops k st =
+        match st with
+        | _ :: (_ :: _ as rest) when k > 0 -> pops (k - 1) rest
+        | st -> st
+      in
+      stack := pops (Random.State.int rng 3) !stack
+    end
+  done;
+  let labs = Array.init n (fun _ -> pick_label rng labels) in
+  Tree.of_parent_vector ~parents ~labels:labs ()
+
+let path ?(label = "a") ~n () =
+  if n <= 0 then invalid_arg "Generator.path: n must be positive";
+  Tree.of_parent_vector
+    ~parents:(Array.init n (fun v -> v - 1))
+    ~labels:(Array.make n label) ()
+
+let star ?(label = "a") ~n () =
+  if n <= 0 then invalid_arg "Generator.star: n must be positive";
+  Tree.of_parent_vector
+    ~parents:(Array.init n (fun v -> if v = 0 then -1 else 0))
+    ~labels:(Array.make n label) ()
+
+let full ?(label = "a") ~fanout ~depth () =
+  if fanout <= 0 || depth < 0 then invalid_arg "Generator.full: bad parameters";
+  let rec build d = Tree.Node (label, if d = 0 then [] else List.init fanout (fun _ -> build (d - 1))) in
+  Tree.of_builder (build depth)
+
+let xmark ?(seed = 42) ~scale () =
+  if scale <= 0 then invalid_arg "Generator.xmark: scale must be positive";
+  let rng = Random.State.make [| seed |] in
+  let leaf l = Tree.Node (l, []) in
+  let many lo hi f = List.init (lo + Random.State.int rng (hi - lo + 1)) (fun _ -> f ()) in
+  let item () =
+    Tree.Node
+      ( "item",
+        [
+          leaf "location";
+          leaf "quantity";
+          leaf "name";
+          Tree.Node ("description", many 0 2 (fun () -> leaf "parlist"));
+          Tree.Node ("mailbox", many 0 2 (fun () -> Tree.Node ("mail", [ leaf "from"; leaf "to"; leaf "date" ])));
+        ] )
+  in
+  let person () =
+    Tree.Node
+      ( "person",
+        leaf "name" :: leaf "emailaddress"
+        :: many 0 1 (fun () ->
+               Tree.Node ("address", [ leaf "street"; leaf "city"; leaf "country" ]))
+        @ many 0 1 (fun () -> Tree.Node ("profile", [ leaf "interest"; leaf "education" ]))
+        @ many 0 1 (fun () -> leaf "watches") )
+  in
+  let open_auction () =
+    Tree.Node
+      ( "open_auction",
+        [
+          leaf "initial";
+          leaf "reserve";
+          Tree.Node ("bidder", [ leaf "date"; leaf "time"; leaf "personref"; leaf "increase" ]);
+          leaf "itemref";
+          leaf "seller";
+          Tree.Node ("annotation", [ leaf "author"; leaf "happiness" ]);
+        ] )
+  in
+  let closed_auction () =
+    Tree.Node
+      ( "closed_auction",
+        [ leaf "seller"; leaf "buyer"; leaf "itemref"; leaf "price"; leaf "date" ] )
+  in
+  let region name = Tree.Node (name, many 1 (max 1 scale) item) in
+  let doc =
+    Tree.Node
+      ( "site",
+        [
+          Tree.Node
+            ( "regions",
+              [ region "africa"; region "asia"; region "europe"; region "namerica" ] );
+          Tree.Node ("categories", many 1 scale (fun () -> Tree.Node ("category", [ leaf "name" ])));
+          Tree.Node ("people", many 1 scale person);
+          Tree.Node ("open_auctions", many 1 scale open_auction);
+          Tree.Node ("closed_auctions", many 1 scale closed_auction);
+        ] )
+  in
+  Tree.of_builder doc
+
+let all_shapes ~n =
+  if n <= 0 then invalid_arg "Generator.all_shapes: n must be positive";
+  (* forests k = all ordered forests with k nodes, as builder lists *)
+  let memo = Hashtbl.create 16 in
+  let rec forests k =
+    if k = 0 then [ [] ]
+    else
+      match Hashtbl.find_opt memo k with
+      | Some r -> r
+      | None ->
+        (* first tree uses j nodes (1 ≤ j ≤ k), rest is a forest of k - j *)
+        let r =
+          List.concat_map
+            (fun j ->
+              let heads = trees j and tails = forests (k - j) in
+              List.concat_map (fun h -> List.map (fun t -> h :: t) tails) heads)
+            (List.init k (fun i -> i + 1))
+        in
+        Hashtbl.add memo k r;
+        r
+  and trees j = List.map (fun f -> Tree.Node ("a", f)) (forests (j - 1)) in
+  List.map Tree.of_builder (trees n)

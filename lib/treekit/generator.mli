@@ -1,0 +1,48 @@
+(** Synthetic tree workloads.
+
+    The paper's experiments in the literature run on XML corpora; all
+    algorithms in the survey depend only on tree shape, size and labels, so
+    these generators (documented substitution, see DESIGN.md) produce the
+    workloads for every benchmark:
+
+    - {!random} — random recursive trees with controlled fan-out bias
+      (shallow, "XML-like" shape);
+    - {!random_deep} — shape-biased trees with controllable expected depth,
+      for the streaming memory experiments;
+    - {!path}, {!full}, {!star} — extreme shapes;
+    - {!xmark} — an XMark-flavoured auction document;
+    - {!all_shapes} — exhaustive enumeration of all ordered trees of a given
+      size (Catalan many), used for the exhaustive Table 1 verification.
+
+    All generators are deterministic given their [seed]. *)
+
+val random : ?seed:int -> n:int -> labels:string array -> unit -> Tree.t
+(** Uniform random recursive tree: node [v] chooses its parent uniformly
+    among [0..v-1] (expected depth O(log n)); labels drawn uniformly. *)
+
+val random_deep :
+  ?seed:int -> n:int -> labels:string array -> descend_bias:float -> unit -> Tree.t
+(** Stack-walk generator: with probability [descend_bias] the next node is a
+    child of the current node, otherwise the walk pops up first.  A bias
+    close to 1.0 yields path-like trees, close to 0.0 star-like trees. *)
+
+val path : ?label:string -> n:int -> unit -> Tree.t
+(** The path (monadic tree) with [n] nodes. *)
+
+val star : ?label:string -> n:int -> unit -> Tree.t
+(** A root with [n - 1] leaf children. *)
+
+val full : ?label:string -> fanout:int -> depth:int -> unit -> Tree.t
+(** The complete [fanout]-ary tree of the given depth (root depth 0). *)
+
+val xmark : ?seed:int -> scale:int -> unit -> Tree.t
+(** An XMark-like auction site document with roughly [36 * scale] element
+    nodes, using the XMark element vocabulary (site, regions, item, person,
+    open_auction, …). *)
+
+val all_shapes : n:int -> Tree.t list
+(** All ordered rooted trees with exactly [n] nodes (Catalan(n-1) many),
+    every node labeled ["a"].  Intended for small [n] (≤ 8). *)
+
+val labels_abc : string array
+(** The 3-letter alphabet [\["a"; "b"; "c"\]] used across tests. *)

@@ -1,0 +1,35 @@
+type t = int
+
+type table = {
+  mutable names : string array;
+  index : (string, int) Hashtbl.t;
+  mutable count : int;
+}
+
+let create_table () = { names = Array.make 8 ""; index = Hashtbl.create 16; count = 0 }
+
+let intern tbl s =
+  match Hashtbl.find_opt tbl.index s with
+  | Some c -> c
+  | None ->
+    let c = tbl.count in
+    if c = Array.length tbl.names then begin
+      let names = Array.make (2 * c) "" in
+      Array.blit tbl.names 0 names 0 c;
+      tbl.names <- names
+    end;
+    tbl.names.(c) <- s;
+    Hashtbl.add tbl.index s c;
+    tbl.count <- c + 1;
+    c
+
+let find tbl s = Hashtbl.find_opt tbl.index s
+
+let name tbl c =
+  if c < 0 || c >= tbl.count then invalid_arg "Label.name: invalid code";
+  tbl.names.(c)
+
+let count tbl = tbl.count
+
+let copy tbl =
+  { names = Array.copy tbl.names; index = Hashtbl.copy tbl.index; count = tbl.count }

@@ -1,0 +1,33 @@
+(** Interned node labels.
+
+    The paper assumes a node-labeling alphabet [Σ] that is not fixed in
+    advance; labels are represented by relations [(Lab_a)] for [a ∈ Σ].  We
+    intern label strings to dense integer codes so that label tests are
+    integer comparisons and label-indexed structures are arrays. *)
+
+type table
+(** A mutable interning table mapping label strings to dense codes
+    [0 .. count - 1]. *)
+
+type t = int
+(** An interned label code, valid for the table that produced it. *)
+
+val create_table : unit -> table
+(** [create_table ()] is a fresh, empty table. *)
+
+val intern : table -> string -> t
+(** [intern tbl s] returns the code for [s], assigning a fresh code if [s]
+    has not been seen before. *)
+
+val find : table -> string -> t option
+(** [find tbl s] is the code of [s] if it has been interned, else [None]. *)
+
+val name : table -> t -> string
+(** [name tbl c] is the string whose code is [c].
+    @raise Invalid_argument if [c] is not a valid code. *)
+
+val count : table -> int
+(** [count tbl] is the number of distinct labels interned so far. *)
+
+val copy : table -> table
+(** [copy tbl] is an independent copy of [tbl]. *)

@@ -1,0 +1,56 @@
+type row = { pre : int; post : int; parent_pre : int option; lab : string }
+
+type t = row array
+
+let xasr tree =
+  Array.init (Tree.size tree) (fun v ->
+      {
+        pre = v + 1;
+        post = Tree.post tree v + 1;
+        parent_pre =
+          (let p = Tree.parent tree v in
+           if p = -1 then None else Some (p + 1));
+        lab = Tree.label tree v;
+      })
+
+let same_parent ru rv = ru.parent_pre = rv.parent_pre
+
+(* Immediate-sibling adjacency is not a function of two (pre, post, parent)
+   rows: it additionally needs the subtree size (equivalently the depth) of
+   the left sibling.  All other axes are row-local; see the .mli. *)
+let rec decide_axis axis ru rv =
+  let ancestor a b = a.pre < b.pre && b.post < a.post in
+  let following a b = a.pre < b.pre && a.post < b.post in
+  match axis with
+  | Axis.Self -> ru.pre = rv.pre
+  | Axis.Child -> rv.parent_pre = Some ru.pre
+  | Axis.Descendant -> ancestor ru rv
+  | Axis.Descendant_or_self -> ru.pre = rv.pre || ancestor ru rv
+  | Axis.Following_sibling -> same_parent ru rv && ru.pre < rv.pre
+  | Axis.Following_sibling_or_self -> same_parent ru rv && ru.pre <= rv.pre
+  | Axis.Following -> following ru rv
+  | Axis.Parent -> ru.parent_pre = Some rv.pre
+  | Axis.Ancestor -> ancestor rv ru
+  | Axis.Ancestor_or_self -> ru.pre = rv.pre || ancestor rv ru
+  | Axis.Preceding_sibling -> same_parent ru rv && rv.pre < ru.pre
+  | Axis.Preceding_sibling_or_self -> same_parent ru rv && rv.pre <= ru.pre
+  | Axis.Preceding -> following rv ru
+  | Axis.Prev_sibling -> decide_axis Axis.Next_sibling rv ru
+  | Axis.Next_sibling ->
+    invalid_arg
+      "Labeling.decide_axis: immediate-sibling adjacency is not decidable \
+       from two (pre, post, parent) rows; use Following_sibling plus \
+       pre-minimality over the relation"
+
+let pp fmt rows =
+  Format.fprintf fmt "@[<v>pre post parent_pre lab";
+  Array.iter
+    (fun r ->
+      Format.fprintf fmt "@,%3d %4d %10s %3s" r.pre r.post
+        (match r.parent_pre with None -> "bot" | Some p -> string_of_int p)
+        r.lab)
+    rows;
+  Format.fprintf fmt "@]"
+
+let pp_node tree fmt v =
+  Format.fprintf fmt "%d:%d:%s" (v + 1) (Tree.post tree v + 1) (Tree.label tree v)

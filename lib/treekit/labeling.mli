@@ -1,0 +1,41 @@
+(** Node-labeling schemes (Section 2, "Orders and Labeling Schemes" and
+    "Structural Joins").
+
+    The extended access support relation (XASR) of Fiebig–Moerkotte stores,
+    for each node, the tuple [(pre, post, parent_pre, label)] — exactly
+    Figure 2(b) of the paper.  Indices here are 1-based to match the figure;
+    [parent_pre = None] encodes the figure's ⊥ for the root.
+
+    From an XASR row alone all axis relationships are decidable
+    ({!decide_axis}): e.g. [u] is an ancestor of [v] iff
+    [u.pre < v.pre ∧ v.post < u.post] — the structural-join condition of
+    Example 2.1. *)
+
+type row = {
+  pre : int;  (** 1-based [<pre]-index *)
+  post : int;  (** 1-based [<post]-index *)
+  parent_pre : int option;  (** [<pre]-index of the parent, [None] for the root *)
+  lab : string;
+}
+
+type t = row array
+(** The XASR of a tree, ordered by [pre] (so row [i] describes the node with
+    pre-order rank [i]). *)
+
+val xasr : Tree.t -> t
+(** Compute the XASR of a tree. *)
+
+val decide_axis : Axis.t -> row -> row -> bool
+(** [decide_axis a ru rv] decides [a(u,v)] from the two rows alone.  This
+    works for 13 of the 15 axes; immediate-sibling adjacency
+    ([Next_sibling]/[Prev_sibling]) is provably not a function of two
+    (pre, post, parent) rows (it needs the left sibling's subtree size), so
+    those raise [Invalid_argument].  Use [Following_sibling] plus
+    pre-minimality over the whole relation instead. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the relation as in Figure 2(b): one [pre:post:parent:label] row
+    per line. *)
+
+val pp_node : Tree.t -> Format.formatter -> int -> unit
+(** Prints a node in Figure 2(a)'s [pre:post:label] notation. *)

@@ -1,0 +1,163 @@
+type t = {
+  bits : Bytes.t;
+  n : int;
+  mutable card : int;
+}
+
+let create n = { bits = Bytes.make ((n + 7) / 8) '\000'; n; card = 0 }
+
+let capacity s = s.n
+let cardinal s = s.card
+let is_empty s = s.card = 0
+
+let mem s v =
+  v >= 0 && v < s.n
+  && Char.code (Bytes.unsafe_get s.bits (v lsr 3)) land (1 lsl (v land 7)) <> 0
+
+let add s v =
+  if v < 0 || v >= s.n then invalid_arg "Nodeset.add: out of range";
+  let i = v lsr 3 and m = 1 lsl (v land 7) in
+  let b = Char.code (Bytes.unsafe_get s.bits i) in
+  if b land m = 0 then begin
+    Bytes.unsafe_set s.bits i (Char.unsafe_chr (b lor m));
+    s.card <- s.card + 1
+  end
+
+let remove s v =
+  if v >= 0 && v < s.n then begin
+    let i = v lsr 3 and m = 1 lsl (v land 7) in
+    let b = Char.code (Bytes.unsafe_get s.bits i) in
+    if b land m <> 0 then begin
+      Bytes.unsafe_set s.bits i (Char.unsafe_chr (b land lnot m));
+      s.card <- s.card - 1
+    end
+  end
+
+let universe n =
+  let s = create n in
+  for v = 0 to n - 1 do add s v done;
+  s
+
+let copy s = { bits = Bytes.copy s.bits; n = s.n; card = s.card }
+
+let clear s =
+  Bytes.fill s.bits 0 (Bytes.length s.bits) '\000';
+  s.card <- 0
+
+let iter f s =
+  let nbytes = Bytes.length s.bits in
+  for i = 0 to nbytes - 1 do
+    let b = Char.code (Bytes.unsafe_get s.bits i) in
+    if b <> 0 then
+      for j = 0 to 7 do
+        if b land (1 lsl j) <> 0 then f ((i lsl 3) lor j)
+      done
+  done
+
+let fold f s init =
+  let acc = ref init in
+  iter (fun v -> acc := f v !acc) s;
+  !acc
+
+let elements s = List.rev (fold (fun v acc -> v :: acc) s [])
+
+let of_list n vs =
+  let s = create n in
+  List.iter (add s) vs;
+  s
+
+let min_elt s =
+  if s.card = 0 then None
+  else begin
+    let found = ref (-1) in
+    (try iter (fun v -> found := v; raise Exit) s with Exit -> ());
+    Some !found
+  end
+
+let max_elt s =
+  if s.card = 0 then None
+  else begin
+    let found = ref (-1) in
+    iter (fun v -> found := v) s;
+    Some !found
+  end
+
+let choose = min_elt
+
+let check_same_capacity a b =
+  if a.n <> b.n then invalid_arg "Nodeset: capacity mismatch"
+
+let recount s =
+  let c = ref 0 in
+  Bytes.iter
+    (fun ch ->
+      let b = Char.code ch in
+      for j = 0 to 7 do
+        if b land (1 lsl j) <> 0 then incr c
+      done)
+    s.bits;
+  s.card <- !c
+
+let binop op a b =
+  check_same_capacity a b;
+  let r = create a.n in
+  for i = 0 to Bytes.length a.bits - 1 do
+    Bytes.unsafe_set r.bits i
+      (Char.unsafe_chr
+         (op (Char.code (Bytes.unsafe_get a.bits i)) (Char.code (Bytes.unsafe_get b.bits i))))
+  done;
+  recount r;
+  r
+
+let union a b = binop (fun x y -> x lor y) a b
+let inter a b = binop (fun x y -> x land y) a b
+let diff a b = binop (fun x y -> x land lnot y land 0xff) a b
+
+let complement a =
+  let r = create a.n in
+  for v = 0 to a.n - 1 do
+    if not (mem a v) then add r v
+  done;
+  r
+
+let union_into dst src =
+  check_same_capacity dst src;
+  for i = 0 to Bytes.length dst.bits - 1 do
+    Bytes.unsafe_set dst.bits i
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get dst.bits i)
+         lor Char.code (Bytes.unsafe_get src.bits i)))
+  done;
+  recount dst
+
+let inter_into dst src =
+  check_same_capacity dst src;
+  for i = 0 to Bytes.length dst.bits - 1 do
+    Bytes.unsafe_set dst.bits i
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get dst.bits i)
+         land Char.code (Bytes.unsafe_get src.bits i)))
+  done;
+  recount dst
+
+let equal a b = a.n = b.n && Bytes.equal a.bits b.bits
+
+let subset a b =
+  check_same_capacity a b;
+  let ok = ref true in
+  for i = 0 to Bytes.length a.bits - 1 do
+    let x = Char.code (Bytes.unsafe_get a.bits i)
+    and y = Char.code (Bytes.unsafe_get b.bits i) in
+    if x land lnot y <> 0 then ok := false
+  done;
+  !ok
+
+let pp fmt s =
+  Format.fprintf fmt "{";
+  let first = ref true in
+  iter
+    (fun v ->
+      if !first then first := false else Format.fprintf fmt ", ";
+      Format.fprintf fmt "%d" v)
+    s;
+  Format.fprintf fmt "}"

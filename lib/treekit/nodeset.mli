@@ -1,0 +1,82 @@
+(** Mutable sets of tree nodes.
+
+    Nodes of a tree of size [n] are the integers [0 .. n-1] (their pre-order
+    ranks, see {!Tree}), so a node set is a bit vector of length [n] with a
+    maintained cardinality.  All query-evaluation engines in this repository
+    ({!Xpath}, {!Cqtree}, {!Actree}) manipulate node sets through this
+    interface; the set-at-a-time axis images of {!Axis} produce them. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty subset of [{0, …, n-1}]. *)
+
+val universe : int -> t
+(** [universe n] is the full set [{0, …, n-1}]. *)
+
+val capacity : t -> int
+(** [capacity s] is the [n] the set was created with. *)
+
+val cardinal : t -> int
+(** Number of elements, maintained incrementally (O(1)). *)
+
+val is_empty : t -> bool
+
+val mem : t -> int -> bool
+
+val add : t -> int -> unit
+(** [add s v] inserts [v]; a no-op if already present. *)
+
+val remove : t -> int -> unit
+(** [remove s v] deletes [v]; a no-op if absent. *)
+
+val copy : t -> t
+
+val clear : t -> unit
+
+val iter : (int -> unit) -> t -> unit
+(** [iter f s] applies [f] to the elements in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** [fold f s init] folds over elements in increasing order. *)
+
+val elements : t -> int list
+(** Elements in increasing order. *)
+
+val of_list : int -> int list -> t
+(** [of_list n vs] is the subset of [{0, …, n-1}] containing [vs]. *)
+
+val min_elt : t -> int option
+(** Smallest element, if any. *)
+
+val max_elt : t -> int option
+(** Largest element, if any. *)
+
+val choose : t -> int option
+(** An arbitrary element ([min_elt] in this implementation). *)
+
+val union : t -> t -> t
+(** Fresh union; arguments must have equal capacity. *)
+
+val inter : t -> t -> t
+(** Fresh intersection; arguments must have equal capacity. *)
+
+val diff : t -> t -> t
+(** Fresh difference; arguments must have equal capacity. *)
+
+val complement : t -> t
+(** Fresh complement within the capacity universe. *)
+
+val union_into : t -> t -> unit
+(** [union_into dst src] adds all of [src] into [dst]. *)
+
+val inter_into : t -> t -> unit
+(** [inter_into dst src] removes from [dst] everything not in [src]. *)
+
+val equal : t -> t -> bool
+
+val subset : t -> t -> bool
+(** [subset a b] is true iff every element of [a] is in [b]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [{v1, v2, …}]. *)

@@ -1,0 +1,35 @@
+type kind = Pre | Post | Bflr
+
+let all_kinds = [ Pre; Post; Bflr ]
+
+let kind_name = function Pre -> "pre" | Post -> "post" | Bflr -> "bflr"
+
+let rank t k v =
+  match k with
+  | Pre -> v
+  | Post -> Tree.post t v
+  | Bflr -> (Tree.bflr_rank t).(v)
+
+let node_of_rank t k i =
+  match k with
+  | Pre -> i
+  | Post -> Tree.node_of_post t i
+  | Bflr -> (Tree.node_of_bflr t).(i)
+
+let lt t k u v = rank t k u < rank t k v
+
+let compare t k u v = Stdlib.compare (rank t k u) (rank t k v)
+
+let lt_defined t k u v =
+  match k with
+  | Pre -> Tree.is_ancestor t u v || Tree.is_following t u v
+  | Post -> Tree.is_ancestor t v u || Tree.is_following t u v
+  | Bflr ->
+    (* breadth-first left-to-right: smaller depth first; at equal depth,
+       document order *)
+    let du = Tree.depth t u and dv = Tree.depth t v in
+    du < dv || (du = dv && u < v)
+
+let permutation t k =
+  let n = Tree.size t in
+  Array.init n (fun i -> node_of_rank t k i)

@@ -1,0 +1,45 @@
+(** The three total orders on tree nodes from Section 2: [<pre], [<post]
+    and [<bflr], together with the paper's interdefinability formulas.
+
+    The survey recalls that
+
+    - [x <pre y  ⇔ Child⁺(x,y) ∨ Following(x,y)],
+    - [x <post y ⇔ Child⁺(y,x) ∨ Following(x,y)],
+
+    and conversely
+
+    - [Child⁺(x,y)   ⇔ x <pre y ∧ y <post x],
+    - [Following(x,y) ⇔ x <pre y ∧ x <post y],
+
+    so a node-labeled tree is completely represented by the triples
+    [(pre, post, label)].  {!lt_defined} implements the first pair of
+    definitions literally; tests check it coincides with {!lt}. *)
+
+type kind = Pre | Post | Bflr
+
+val all_kinds : kind list
+
+val kind_name : kind -> string
+(** ["pre"], ["post"] or ["bflr"]. *)
+
+val rank : Tree.t -> kind -> int -> int
+(** [rank t k v] is the position of [v] in the total order [k]
+    (0-based).  [Pre] is the identity; [Post] and [Bflr] are table
+    lookups. *)
+
+val node_of_rank : Tree.t -> kind -> int -> int
+(** Inverse of {!rank}. *)
+
+val lt : Tree.t -> kind -> int -> int -> bool
+(** [lt t k u v] is true iff [u] strictly precedes [v] in order [k]. *)
+
+val compare : Tree.t -> kind -> int -> int -> int
+(** Three-way comparison in the given order. *)
+
+val lt_defined : Tree.t -> kind -> int -> int -> bool
+(** The orders as {e defined} in the paper from [Child⁺] and [Following]
+    (for [Pre]/[Post]) or by breadth-first traversal (for [Bflr]);
+    extensionally equal to {!lt} (property-tested). *)
+
+val permutation : Tree.t -> kind -> int array
+(** [permutation t k] lists the nodes in order [k]. *)

@@ -1,0 +1,174 @@
+(* ORDPATH labels: a node's label extends its parent's by one "group" of
+   components — zero or more even carets followed by one odd component.
+   Groups at the same sibling level are lexicographically ordered, new
+   groups are minted between/around neighbours without touching existing
+   labels, and one group = one tree level, which makes the ancestor test a
+   plain strict-prefix test on full labels. *)
+
+type node = {
+  id : int;
+  node_label : string;
+  path : int array;
+  node_parent : node option;
+  mutable first : node option;
+  mutable last : node option;
+  mutable next : node option;
+}
+
+type t = {
+  mutable count : int;
+  doc_root : node;
+  mutable registry : node list;  (* reverse insertion order *)
+}
+
+let label n = n.node_label
+let ordpath n = Array.to_list n.path
+
+let ordpath_string n =
+  if Array.length n.path = 0 then "(root)"
+  else String.concat "." (List.map string_of_int (ordpath n))
+
+(* ------------------------------------------------------------------ *)
+(* group arithmetic; a group is a nonempty int list, evens then one odd *)
+
+let is_odd x = x land 1 = 1
+
+let group_after g =
+  match g with
+  | f :: _ -> if is_odd f then [ f + 2 ] else [ f + 1 ]
+  | [] -> invalid_arg "Ordpath: empty group"
+
+let group_before g =
+  match g with
+  | f :: _ -> if is_odd f then [ f - 2 ] else [ f - 1 ]
+  | [] -> invalid_arg "Ordpath: empty group"
+
+let rec group_between g h =
+  match g, h with
+  | fg :: tg, fh :: th ->
+    if fh >= fg + 2 then begin
+      let x = if is_odd (fg + 1) then fg + 1 else fg + 2 in
+      if x < fh then [ x ] else fg + 1 :: [ 1 ]
+    end
+    else if fh = fg + 1 then
+      if is_odd fg then (* g = [fg]; h = even :: tail *) fh :: group_before th
+      else (* fg even with a tail; h = [fh] *) fg :: group_after tg
+    else if fh = fg then fg :: group_between tg th
+    else invalid_arg "Ordpath.group_between: not ordered"
+  | _ -> invalid_arg "Ordpath.group_between: empty group"
+
+let suffix_of ~parent n =
+  (* the group of [n] below [parent] *)
+  let plen = Array.length parent.path in
+  Array.to_list (Array.sub n.path plen (Array.length n.path - plen))
+
+(* ------------------------------------------------------------------ *)
+
+let create root_label =
+  let doc_root =
+    {
+      id = 0;
+      node_label = root_label;
+      path = [||];
+      node_parent = None;
+      first = None;
+      last = None;
+      next = None;
+    }
+  in
+  { count = 1; doc_root; registry = [ doc_root ] }
+
+let root doc = doc.doc_root
+let size doc = doc.count
+
+let mint doc ~parent ~group ~label =
+  let n =
+    {
+      id = doc.count;
+      node_label = label;
+      path = Array.append parent.path (Array.of_list group);
+      node_parent = Some parent;
+      first = None;
+      last = None;
+      next = None;
+    }
+  in
+  doc.count <- doc.count + 1;
+  doc.registry <- n :: doc.registry;
+  n
+
+let insert_last_child doc p label =
+  let group =
+    match p.last with None -> [ 1 ] | Some c -> group_after (suffix_of ~parent:p c)
+  in
+  let n = mint doc ~parent:p ~group ~label in
+  (match p.last with
+  | None -> p.first <- Some n
+  | Some c -> c.next <- Some n);
+  p.last <- Some n;
+  n
+
+let insert_first_child doc p label =
+  let group =
+    match p.first with None -> [ 1 ] | Some c -> group_before (suffix_of ~parent:p c)
+  in
+  let n = mint doc ~parent:p ~group ~label in
+  n.next <- p.first;
+  p.first <- Some n;
+  if p.last = None then p.last <- Some n;
+  n
+
+let insert_after doc v label =
+  match v.node_parent with
+  | None -> invalid_arg "Ordpath.insert_after: the root has no siblings"
+  | Some p ->
+    let g = suffix_of ~parent:p v in
+    let group =
+      match v.next with
+      | None -> group_after g
+      | Some w -> group_between g (suffix_of ~parent:p w)
+    in
+    let n = mint doc ~parent:p ~group ~label in
+    n.next <- v.next;
+    v.next <- Some n;
+    (match p.last with Some l when l == v -> p.last <- Some n | _ -> ());
+    n
+
+(* ------------------------------------------------------------------ *)
+
+let is_ancestor a d =
+  let la = Array.length a.path and ld = Array.length d.path in
+  la < ld
+  &&
+  let rec go i = i >= la || (a.path.(i) = d.path.(i) && go (i + 1)) in
+  go 0
+
+let compare_doc u v =
+  let lu = Array.length u.path and lv = Array.length v.path in
+  let rec go i =
+    if i >= lu && i >= lv then 0
+    else if i >= lu then -1 (* prefix: ancestor first *)
+    else if i >= lv then 1
+    else if u.path.(i) <> v.path.(i) then compare u.path.(i) v.path.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let is_following u v = compare_doc u v < 0 && not (is_ancestor u v)
+
+let max_label_length doc =
+  List.fold_left (fun m n -> max m (Array.length n.path)) 0 doc.registry
+
+let snapshot doc =
+  let nodes = Array.of_list doc.registry in
+  Array.sort compare_doc nodes;
+  let pre_of_id = Array.make doc.count 0 in
+  Array.iteri (fun pre n -> pre_of_id.(n.id) <- pre) nodes;
+  let parents =
+    Array.map
+      (fun n -> match n.node_parent with None -> -1 | Some p -> pre_of_id.(p.id))
+      nodes
+  in
+  let labels = Array.map (fun n -> n.node_label) nodes in
+  let tree = Tree.of_parent_vector ~parents ~labels () in
+  (tree, fun n -> pre_of_id.(n.id))

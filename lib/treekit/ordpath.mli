@@ -1,0 +1,55 @@
+(** ORDPATH-style hierarchical node labels (Section 2's insert-friendly
+    labeling schemes; O'Neil et al. [63]).
+
+    Where {!Dynlabel} keeps fixed-size labels and occasionally relabels a
+    window, ORDPATH {e never relabels}: a node's label is a sequence of
+    integer components extending its parent's label, and insertions
+    between existing siblings "caret in" with an even component followed
+    by a fresh odd one.  Trade-off: labels grow with update pathology.
+
+    Invariants (tested):
+    - ancestor test  = strict prefix test on labels;
+    - document order = componentwise lexicographic order, prefixes first;
+    - [Following(u,v) ⇔ u <doc v ∧ u not a prefix of v]. *)
+
+type t
+(** A mutable labeled document. *)
+
+type node
+
+val create : string -> t
+
+val root : t -> node
+
+val size : t -> int
+
+val label : node -> string
+(** The node's element label. *)
+
+val ordpath : node -> int list
+(** The ORDPATH components (root = []). *)
+
+val ordpath_string : node -> string
+(** Dotted rendering, e.g. ["1.3.2.1"]. *)
+
+val insert_last_child : t -> node -> string -> node
+
+val insert_first_child : t -> node -> string -> node
+
+val insert_after : t -> node -> string -> node
+(** New right sibling; carets in when the sibling gap is exhausted.
+    @raise Invalid_argument on the root. *)
+
+val is_ancestor : node -> node -> bool
+(** Prefix test; O(label length). *)
+
+val compare_doc : node -> node -> int
+(** Document order. *)
+
+val is_following : node -> node -> bool
+
+val max_label_length : t -> int
+(** Longest label in components — the growth the benchmark reports. *)
+
+val snapshot : t -> Tree.t * (node -> int)
+(** Freeze into a static {!Tree} plus the node → pre-order mapping. *)

@@ -1,0 +1,272 @@
+type t = {
+  parent : int array;
+  first_child : int array;
+  last_child : int array;
+  next_sibling : int array;
+  prev_sibling : int array;
+  post : int array;
+  post_inv : int array;
+  depth : int array;
+  subtree_size : int array;
+  label : int array;
+  table : Label.table;
+  mutable bflr : (int array * int array) option; (* rank, inverse; cached *)
+}
+
+type builder = Node of string * builder list
+
+let size t = Array.length t.parent
+let root _ = 0
+let parent t v = t.parent.(v)
+let first_child t v = t.first_child.(v)
+let last_child t v = t.last_child.(v)
+let next_sibling t v = t.next_sibling.(v)
+let prev_sibling t v = t.prev_sibling.(v)
+let post t v = t.post.(v)
+let node_of_post t i = t.post_inv.(i)
+let depth t v = t.depth.(v)
+let subtree_size t v = t.subtree_size.(v)
+let label_code t v = t.label.(v)
+let label t v = Label.name t.table t.label.(v)
+let label_table t = t.table
+
+let height t =
+  let h = ref 0 in
+  Array.iter (fun d -> if d > !h then h := d) t.depth;
+  !h
+
+let is_root t v = t.parent.(v) = -1
+let is_leaf t v = t.first_child.(v) = -1
+let is_first_sibling t v = t.prev_sibling.(v) = -1
+let is_last_sibling t v = t.next_sibling.(v) = -1
+
+let fold_children t v f init =
+  let rec go acc c = if c = -1 then acc else go (f acc c) t.next_sibling.(c) in
+  go init t.first_child.(v)
+
+let children t v = List.rev (fold_children t v (fun acc c -> c :: acc) [])
+
+let is_ancestor t u v = u < v && v < u + t.subtree_size.(u)
+let is_following t u v = v >= u + t.subtree_size.(u)
+
+(* Construction from a pre-order parent vector.  All other constructors
+   funnel through this one. *)
+let of_parent_vector ?table ~parents ~labels () =
+  let n = Array.length parents in
+  if n = 0 then invalid_arg "Tree.of_parent_vector: empty tree";
+  if Array.length labels <> n then
+    invalid_arg "Tree.of_parent_vector: labels length mismatch";
+  if parents.(0) <> -1 then invalid_arg "Tree.of_parent_vector: node 0 must be root";
+  for v = 1 to n - 1 do
+    if parents.(v) < 0 || parents.(v) >= v then
+      invalid_arg "Tree.of_parent_vector: parent must precede node in pre-order"
+  done;
+  let table = match table with Some tbl -> tbl | None -> Label.create_table () in
+  let first_child = Array.make n (-1)
+  and last_child = Array.make n (-1)
+  and next_sibling = Array.make n (-1)
+  and prev_sibling = Array.make n (-1)
+  and depth = Array.make n 0
+  and subtree_size = Array.make n 1
+  and post = Array.make n 0
+  and post_inv = Array.make n 0
+  and label = Array.make n 0 in
+  for v = 0 to n - 1 do
+    label.(v) <- Label.intern table labels.(v);
+    if v > 0 then begin
+      let p = parents.(v) in
+      depth.(v) <- depth.(p) + 1;
+      if first_child.(p) = -1 then first_child.(p) <- v
+      else begin
+        let prev = last_child.(p) in
+        next_sibling.(prev) <- v;
+        prev_sibling.(v) <- prev
+      end;
+      last_child.(p) <- v
+    end
+  done;
+  (* Pre-order validity also requires each node to lie inside its parent's
+     pre-order interval; the construction above is consistent for any vector
+     with parents.(v) < v, but sibling lists would interleave subtrees if the
+     vector is not a real pre-order.  Detect that by checking contiguity. *)
+  for v = n - 1 downto 1 do
+    subtree_size.(parents.(v)) <- subtree_size.(parents.(v)) + subtree_size.(v)
+  done;
+  for v = 0 to n - 1 do
+    let fc = first_child.(v) in
+    if fc <> -1 && fc <> v + 1 then
+      invalid_arg "Tree.of_parent_vector: not a pre-order parent vector";
+    let ns = next_sibling.(v) in
+    if ns <> -1 && ns <> v + subtree_size.(v) then
+      invalid_arg "Tree.of_parent_vector: not a pre-order parent vector"
+  done;
+  (* Post-order ranks, iteratively. *)
+  let counter = ref 0 in
+  let assign_post v =
+    (* iterative post-order via explicit stack of (node, next child) *)
+    let stack = Stack.create () in
+    Stack.push (v, first_child.(v)) stack;
+    while not (Stack.is_empty stack) do
+      let node, child = Stack.pop stack in
+      if child = -1 then begin
+        post.(node) <- !counter;
+        post_inv.(!counter) <- node;
+        incr counter
+      end
+      else begin
+        Stack.push (node, next_sibling.(child)) stack;
+        Stack.push (child, first_child.(child)) stack
+      end
+    done
+  in
+  assign_post 0;
+  {
+    parent = parents;
+    first_child;
+    last_child;
+    next_sibling;
+    prev_sibling;
+    post;
+    post_inv;
+    depth;
+    subtree_size;
+    label;
+    table;
+    bflr = None;
+  }
+
+let of_builder ?table b =
+  (* Iterative pre-order flattening of the builder. *)
+  let parents = ref [] and labels = ref [] and n = ref 0 in
+  let stack = Stack.create () in
+  Stack.push (b, -1) stack;
+  (* A stack pops children in reverse order, so push children reversed. *)
+  while not (Stack.is_empty stack) do
+    let Node (lbl, kids), p = Stack.pop stack in
+    let v = !n in
+    incr n;
+    parents := p :: !parents;
+    labels := lbl :: !labels;
+    List.iter (fun k -> Stack.push (k, v) stack) (List.rev kids)
+  done;
+  let parents = Array.of_list (List.rev !parents)
+  and labels = Array.of_list (List.rev !labels) in
+  of_parent_vector ?table ~parents ~labels ()
+
+let to_builder t =
+  let rec build v =
+    Node (label t v, List.map build (children t v))
+  in
+  (* children lists are short relative to total size; recursion depth equals
+     tree height, which can be large, so rebuild iteratively for safety. *)
+  if height t < 10_000 then build 0
+  else begin
+    let memo = Array.make (size t) None in
+    for v = size t - 1 downto 0 do
+      let kids =
+        List.map
+          (fun c -> match memo.(c) with Some b -> b | None -> assert false)
+          (children t v)
+      in
+      memo.(v) <- Some (Node (label t v, kids))
+    done;
+    match memo.(0) with Some b -> b | None -> assert false
+  end
+
+let equal a b =
+  size a = size b
+  && (let ok = ref true in
+      for v = 0 to size a - 1 do
+        if a.parent.(v) <> b.parent.(v) || label a v <> label b v then ok := false
+      done;
+      !ok)
+
+let compute_bflr t =
+  match t.bflr with
+  | Some r -> r
+  | None ->
+    let n = size t in
+    let rank = Array.make n 0 and inv = Array.make n 0 in
+    let q = Queue.create () in
+    Queue.add 0 q;
+    let i = ref 0 in
+    while not (Queue.is_empty q) do
+      let v = Queue.take q in
+      rank.(v) <- !i;
+      inv.(!i) <- v;
+      incr i;
+      fold_children t v (fun () c -> Queue.add c q) ()
+    done;
+    let r = (rank, inv) in
+    t.bflr <- Some r;
+    r
+
+let bflr_rank t = fst (compute_bflr t)
+let node_of_bflr t = snd (compute_bflr t)
+
+let nodes_with_label t lbl =
+  match Label.find t.table lbl with
+  | None -> []
+  | Some c ->
+    let acc = ref [] in
+    for v = size t - 1 downto 0 do
+      if t.label.(v) = c then acc := v :: !acc
+    done;
+    !acc
+
+let label_set t lbl =
+  let s = Nodeset.create (size t) in
+  (match Label.find t.table lbl with
+  | None -> ()
+  | Some c ->
+    for v = 0 to size t - 1 do
+      if t.label.(v) = c then Nodeset.add s v
+    done);
+  s
+
+let pp fmt t =
+  let buf = Buffer.create 64 in
+  let rec go v =
+    Buffer.add_string buf (label t v);
+    match children t v with
+    | [] -> ()
+    | kids ->
+      Buffer.add_char buf '(';
+      List.iteri
+        (fun i c ->
+          if i > 0 then Buffer.add_string buf ", ";
+          go c)
+        kids;
+      Buffer.add_char buf ')'
+  in
+  go 0;
+  Format.pp_print_string fmt (Buffer.contents buf)
+
+let validate t =
+  let n = size t in
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let check = ref (Ok ()) in
+  let fail msg = if !check = Ok () then check := msg in
+  if n = 0 then fail (err "empty tree")
+  else begin
+    if t.parent.(0) <> -1 then fail (err "root has a parent");
+    for v = 1 to n - 1 do
+      let p = t.parent.(v) in
+      if p < 0 || p >= v then fail (err "node %d: bad parent %d" v p);
+      if not (is_ancestor t p v) then fail (err "node %d outside parent interval" v)
+    done;
+    (* post/pre characterisation of descendants *)
+    for v = 0 to n - 1 do
+      let p = t.parent.(v) in
+      if p <> -1 && not (t.post.(v) < t.post.(p)) then
+        fail (err "post order: child %d not before parent %d" v p);
+      if t.post_inv.(t.post.(v)) <> v then fail (err "post_inv broken at %d" v);
+      let fc = t.first_child.(v) in
+      if fc <> -1 && (t.parent.(fc) <> v || t.prev_sibling.(fc) <> -1) then
+        fail (err "first_child broken at %d" v);
+      let ns = t.next_sibling.(v) in
+      if ns <> -1 && (t.prev_sibling.(ns) <> v || t.parent.(ns) <> t.parent.(v)) then
+        fail (err "sibling links broken at %d" v)
+    done
+  end;
+  !check

@@ -1,0 +1,139 @@
+(** Unranked ordered labeled trees (Section 2 of the paper).
+
+    A tree is stored as a set of parallel arrays indexed by {e pre-order
+    rank}: node [v] of a tree [t] is the integer [v ∈ {0, …, size t - 1}]
+    and [v] {e is} its own [<pre]-index.  The root is node [0].  This makes
+    the paper's order-based labeling scheme (Section 2, "Orders and Labeling
+    Schemes") the native representation: every node is the triple
+    [(pre, post, label)] with [pre = v] and [post = post t v], and
+
+    - [Child⁺(u,v)  ⇔  u <pre v ∧ v <post u]  (descendant),
+    - [Following(u,v) ⇔ u <pre v ∧ u <post v],
+
+    are O(1) integer comparisons.  Equivalently, the descendants of [u] are
+    exactly the contiguous pre-order range [u+1 … u + subtree_size t u - 1].
+
+    Trees are immutable once built. *)
+
+type t
+
+type builder = Node of string * builder list
+(** A convenient recursive description of a tree used for construction:
+    [Node (label, children)]. *)
+
+(** {1 Construction} *)
+
+val of_builder : ?table:Label.table -> builder -> t
+(** [of_builder b] builds the tree described by [b].  Construction is
+    iterative, so arbitrarily deep builders are fine.  If [table] is given,
+    labels are interned into it (sharing codes across trees); otherwise a
+    fresh table is created. *)
+
+val of_parent_vector :
+  ?table:Label.table -> parents:int array -> labels:string array -> unit -> t
+(** [of_parent_vector ~parents ~labels ()] builds a tree from a parent
+    vector in pre-order: [parents.(0) = -1] for the root and
+    [parents.(v) < v] for every other node [v]; siblings are ordered by
+    pre-order rank.
+    @raise Invalid_argument if the vector is not a valid pre-order parent
+    vector. *)
+
+(** {1 Basic accessors} *)
+
+val size : t -> int
+(** Number of nodes. *)
+
+val root : t -> int
+(** The root node (always [0]). *)
+
+val parent : t -> int -> int
+(** Parent of a node, [-1] for the root. *)
+
+val first_child : t -> int -> int
+(** First (leftmost) child, [-1] for a leaf. *)
+
+val last_child : t -> int -> int
+(** Last (rightmost) child, [-1] for a leaf. *)
+
+val next_sibling : t -> int -> int
+(** Immediate right sibling, [-1] if last among its siblings. *)
+
+val prev_sibling : t -> int -> int
+(** Immediate left sibling, [-1] if first among its siblings. *)
+
+val post : t -> int -> int
+(** [<post]-index of a node (0-based post-order rank). *)
+
+val node_of_post : t -> int -> int
+(** Inverse of {!post}: the node with the given post-order rank. *)
+
+val depth : t -> int -> int
+(** Depth of a node; the root has depth 0. *)
+
+val height : t -> int
+(** Depth of the deepest node. *)
+
+val subtree_size : t -> int -> int
+(** Number of nodes in the subtree rooted at the node (including itself). *)
+
+val label_code : t -> int -> Label.t
+(** Interned label of a node. *)
+
+val label : t -> int -> string
+(** Label string of a node. *)
+
+val label_table : t -> Label.table
+(** The interning table of this tree's labels. *)
+
+(** {1 Derived unary predicates of the signature τ⁺ (Section 3)} *)
+
+val is_root : t -> int -> bool
+val is_leaf : t -> int -> bool
+val is_first_sibling : t -> int -> bool
+val is_last_sibling : t -> int -> bool
+
+(** {1 Traversal} *)
+
+val children : t -> int -> int list
+(** Children in document order. *)
+
+val fold_children : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+(** Left fold over children in document order. *)
+
+val nodes_with_label : t -> string -> int list
+(** All nodes carrying the given label, in document order; [[]] if the label
+    is unknown. *)
+
+val label_set : t -> string -> Nodeset.t
+(** Same as {!nodes_with_label} but as a node set (the relation [Lab_a]). *)
+
+val bflr_rank : t -> int array
+(** [<bflr] ranks: [(bflr_rank t).(v)] is the position of node [v] in the
+    breadth-first left-to-right traversal (Section 2).  Computed on first
+    use and cached. *)
+
+val node_of_bflr : t -> int array
+(** Inverse permutation of {!bflr_rank}. *)
+
+(** {1 Ancestry tests} *)
+
+val is_ancestor : t -> int -> int -> bool
+(** [is_ancestor t u v] is true iff [u] is a proper ancestor of [v]
+    ([Child⁺(u,v)]); O(1). *)
+
+val is_following : t -> int -> int -> bool
+(** [is_following t u v] is true iff [Following(u,v)]; O(1). *)
+
+(** {1 Conversion and printing} *)
+
+val to_builder : t -> builder
+(** Inverse of {!of_builder}. *)
+
+val equal : t -> t -> bool
+(** Structural equality (same shape and same label strings). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the tree as a term, e.g. [a(b(a, c), a(b, d))]. *)
+
+val validate : t -> (unit, string) result
+(** Internal consistency check of all parallel arrays; used by tests. *)

@@ -1,0 +1,197 @@
+module Tree = Treekit.Tree
+module Nodeset = Treekit.Nodeset
+
+type query =
+  | Xpath_query of Xpath.Ast.path
+  | Cq_query of Cqtree.Query.t
+  | Datalog_query of Mdatalog.Ast.program
+  | Positive_query of Cqtree.Positive.t
+  | Axis_datalog_query of Mdatalog.Axis_datalog.program
+
+let parse_xpath s = Xpath_query (Xpath.Parser.parse s)
+let parse_cq s = Cq_query (Cqtree.Query.of_string s)
+let parse_datalog s = Datalog_query (Mdatalog.Parser.parse s)
+let parse_positive ss = Positive_query (Cqtree.Positive.of_strings ss)
+let parse_axis_datalog s = Axis_datalog_query (Mdatalog.Axis_datalog.parse s)
+
+type strategy =
+  | Xpath_bottom_up
+  | Cq_yannakakis
+  | Cq_arc_consistency
+  | Cq_rewrite
+  | Datalog_hornsat
+  | Positive_rewrite
+  | Datalog_fixpoint
+
+let strategy_name = function
+  | Xpath_bottom_up -> "xpath-bottom-up"
+  | Cq_yannakakis -> "yannakakis"
+  | Cq_arc_consistency -> "arc-consistency"
+  | Cq_rewrite -> "rewrite-to-acyclic"
+  | Datalog_hornsat -> "datalog-hornsat"
+  | Positive_rewrite -> "positive-union-rewrite"
+  | Datalog_fixpoint -> "datalog-yannakakis-fixpoint"
+
+let plan = function
+  | Xpath_query _ -> Xpath_bottom_up
+  | Datalog_query _ -> Datalog_hornsat
+  | Positive_query _ -> Positive_rewrite
+  | Axis_datalog_query _ -> Datalog_fixpoint
+  | Cq_query q ->
+    if Cqtree.Join_tree.is_acyclic q then Cq_yannakakis
+    else if Actree.Xeval.supported q <> None then Cq_arc_consistency
+    else Cq_rewrite
+
+let explain query =
+  let buf = Buffer.create 256 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  (match query with
+  | Xpath_query p ->
+    pr "language:    Core XPath\n";
+    pr "query:       %s\n" (Xpath.Ast.to_string p);
+    pr "size |Q|:    %d\n" (Xpath.Ast.size p);
+    pr "fragment:    %s%s%s\n"
+      (if Xpath.Ast.is_conjunctive p then "conjunctive "
+       else if Xpath.Ast.is_positive p then "positive "
+       else "full ")
+      (if Xpath.Ast.is_forward p then "forward " else "")
+      "Core XPath";
+    pr "strategy:    %s\n" (strategy_name Xpath_bottom_up);
+    pr "bound:       O(n * |Q|) per axis image; linear data complexity (Fig. 7)\n"
+  | Datalog_query p ->
+    pr "language:    monadic datalog over tau+\n";
+    pr "rules:       %d (query predicate %s)\n" (List.length p.rules) p.query;
+    pr "tmnf:        %b\n" (Mdatalog.Tmnf.is_tmnf p);
+    pr "strategy:    %s\n" (strategy_name Datalog_hornsat);
+    pr "bound:       O(|P| * |Dom|) combined complexity (Theorem 3.2)\n"
+  | Positive_query u ->
+    pr "language:    positive FO (union of %d conjunctive queries)\n"
+      (List.length u.Cqtree.Positive.disjuncts);
+    pr "arity:       %d\n" u.Cqtree.Positive.arity;
+    pr "strategy:    %s\n" (strategy_name Positive_rewrite);
+    pr "bound:       O(||A||) for fixed queries (Corollary 5.2)\n"
+  | Axis_datalog_query p ->
+    pr "language:    monadic datalog over axis relations\n";
+    pr "rules:       %d (query predicate %s)\n"
+      (List.length p.Mdatalog.Axis_datalog.rules) p.Mdatalog.Axis_datalog.query;
+    pr "strategy:    %s\n" (strategy_name Datalog_fixpoint);
+    pr "bound:       O(||A|| * |rule|) per pass (Section 7 remark; Fig. 7 mon.datalog[X])\n"
+  | Cq_query q ->
+    pr "language:    conjunctive query\n";
+    pr "query:       %s\n" (Cqtree.Query.to_string q);
+    pr "variables:   %d, atoms: %d\n"
+      (List.length (Cqtree.Query.vars q))
+      (Cqtree.Query.atom_count q);
+    let acyclic = Cqtree.Join_tree.is_acyclic q in
+    pr "acyclic:     %b\n" acyclic;
+    if not acyclic then
+      pr "tree-width:  %d (min-fill upper bound)\n" (Cqtree.Qgraph.treewidth_upper q);
+    (match Actree.Xeval.supported q with
+    | Some kind ->
+      pr "x-property:  signature tractable w.r.t. <%s (Prop. 6.6)\n"
+        (Treekit.Order.kind_name kind)
+    | None -> pr "x-property:  signature not within tau1/tau2/tau3\n");
+    let strat = plan query in
+    pr "strategy:    %s\n" (strategy_name strat);
+    pr "bound:       %s\n"
+      (match strat with
+      | Cq_yannakakis -> "O(||A|| * |Q|) (Yannakakis, Prop. 4.2)"
+      | Cq_arc_consistency -> "O(||A|| * |Q|) Boolean/unary (Theorem 6.5)"
+      | Cq_rewrite ->
+        "exponential in |Q| to rewrite (Theorem 5.1), then O(||A|| * |Q'|) per branch"
+      | Xpath_bottom_up | Datalog_hornsat | Positive_rewrite | Datalog_fixpoint ->
+        assert false));
+  Buffer.contents buf
+
+let eval_cq q tree =
+  match plan (Cq_query q) with
+  | Cq_yannakakis ->
+    if Cqtree.Query.is_unary q then Cqtree.Yannakakis.unary q tree
+    else
+      let sat = Cqtree.Yannakakis.boolean q tree in
+      if Cqtree.Query.is_boolean q then begin
+        let s = Nodeset.create (Tree.size tree) in
+        if sat then Nodeset.add s (Tree.root tree);
+        s
+      end
+      else begin
+        let s = Nodeset.create (Tree.size tree) in
+        List.iter (fun t -> Nodeset.add s t.(0)) (Cqtree.Yannakakis.solutions q tree);
+        s
+      end
+  | Cq_arc_consistency ->
+    if Cqtree.Query.is_boolean q then begin
+      let s = Nodeset.create (Tree.size tree) in
+      (match Actree.Xeval.boolean q tree with
+      | Some true -> Nodeset.add s (Tree.root tree)
+      | Some false | None -> ());
+      s
+    end
+    else begin
+      match Actree.Xeval.solutions q tree with
+      | Some sols ->
+        let s = Nodeset.create (Tree.size tree) in
+        List.iter (fun t -> Nodeset.add s t.(0)) sols;
+        s
+      | None -> assert false
+    end
+  | Cq_rewrite ->
+    if Cqtree.Query.is_unary q then Cqtree.Rewrite.unary q tree
+    else if Cqtree.Query.is_boolean q then begin
+      let s = Nodeset.create (Tree.size tree) in
+      if Cqtree.Rewrite.boolean q tree then Nodeset.add s (Tree.root tree);
+      s
+    end
+    else begin
+      let s = Nodeset.create (Tree.size tree) in
+      List.iter (fun t -> Nodeset.add s t.(0)) (Cqtree.Rewrite.solutions q tree);
+      s
+    end
+  | Xpath_bottom_up | Datalog_hornsat | Positive_rewrite | Datalog_fixpoint ->
+    assert false
+
+let eval query tree =
+  match query with
+  | Xpath_query p -> Xpath.Eval.query tree p
+  | Datalog_query p -> Mdatalog.Eval.run p tree
+  | Axis_datalog_query p -> Mdatalog.Axis_datalog.run p tree
+  | Positive_query u ->
+    if u.Cqtree.Positive.arity = 1 then Cqtree.Positive.unary u tree
+    else begin
+      let s = Nodeset.create (Tree.size tree) in
+      if u.Cqtree.Positive.arity = 0 then begin
+        if Cqtree.Positive.boolean u tree then Nodeset.add s (Tree.root tree)
+      end
+      else
+        List.iter (fun t -> Nodeset.add s t.(0)) (Cqtree.Positive.solutions u tree);
+      s
+    end
+  | Cq_query q -> eval_cq q tree
+
+let eval_boolean query tree =
+  match query with
+  | Cq_query q -> (
+    match plan query with
+    | Cq_yannakakis -> Cqtree.Yannakakis.boolean q tree
+    | Cq_arc_consistency -> (
+      match Actree.Xeval.boolean q tree with Some b -> b | None -> assert false)
+    | Cq_rewrite -> Cqtree.Rewrite.boolean q tree
+    | Xpath_bottom_up | Datalog_hornsat | Positive_rewrite | Datalog_fixpoint ->
+      assert false)
+  | Positive_query u -> Cqtree.Positive.boolean u tree
+  | Xpath_query _ | Datalog_query _ | Axis_datalog_query _ ->
+    not (Nodeset.is_empty (eval query tree))
+
+let solutions query tree =
+  match query with
+  | Cq_query q -> (
+    match plan query with
+    | Cq_yannakakis -> Cqtree.Yannakakis.solutions q tree
+    | Cq_arc_consistency -> (
+      match Actree.Xeval.solutions q tree with Some s -> s | None -> assert false)
+    | Cq_rewrite -> Cqtree.Rewrite.solutions q tree
+    | Xpath_bottom_up | Datalog_hornsat | Positive_rewrite | Datalog_fixpoint ->
+      assert false)
+  | Positive_query u -> Cqtree.Positive.solutions u tree
+  | Xpath_query _ | Datalog_query _ | Axis_datalog_query _ ->
+    List.map (fun v -> [| v |]) (Nodeset.elements (eval query tree))

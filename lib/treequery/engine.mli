@@ -1,0 +1,77 @@
+(** The unified query-processing front end.
+
+    Ties the whole library together along the paper's tractability map
+    (Figure 7 and Sections 4–6): parse a query in one of three languages,
+    pick an evaluation strategy, evaluate.
+
+    Strategy selection for conjunctive queries follows the paper:
+    + acyclic → Yannakakis' algorithm (Section 4, O(‖A‖·|Q|));
+    + cyclic but X-property signature → arc-consistency (Section 6,
+      O(‖A‖·|Q|) for Boolean/unary);
+    + otherwise → rewrite into a union of acyclic queries (Theorem 5.1,
+      exponential in |Q|, then linear in the data) — the general case is
+      NP-complete, so some exponential in |Q| is unavoidable unless
+      P = NP.
+
+    Core XPath uses the set-at-a-time bottom-up evaluator (O(n·|Q|²)
+    overall; O(n·|Q|) per axis image); monadic datalog grounds to Horn-SAT
+    (Theorem 3.2). *)
+
+type query =
+  | Xpath_query of Xpath.Ast.path
+  | Cq_query of Cqtree.Query.t
+  | Datalog_query of Mdatalog.Ast.program
+  | Positive_query of Cqtree.Positive.t
+      (** a union of conjunctive queries = positive FO (Corollary 5.2) *)
+  | Axis_datalog_query of Mdatalog.Axis_datalog.program
+      (** monadic datalog over arbitrary axes (Figure 7's mon.datalog[X]) *)
+
+val parse_xpath : string -> query
+(** @raise Xpath.Parser.Syntax_error *)
+
+val parse_cq : string -> query
+(** @raise Failure *)
+
+val parse_datalog : string -> query
+(** @raise Mdatalog.Parser.Syntax_error *)
+
+val parse_positive : string list -> query
+(** One conjunctive query per string; their union.
+    @raise Failure @raise Invalid_argument *)
+
+val parse_axis_datalog : string -> query
+(** @raise Failure *)
+
+type strategy =
+  | Xpath_bottom_up
+  | Cq_yannakakis
+  | Cq_arc_consistency
+  | Cq_rewrite
+  | Datalog_hornsat
+  | Positive_rewrite
+  | Datalog_fixpoint
+
+val strategy_name : strategy -> string
+
+val plan : query -> strategy
+(** The strategy {!eval} will use. *)
+
+val explain : query -> string
+(** A human-readable account of the plan: language, fragment properties
+    (conjunctive/positive/forward, acyclicity, signature class, estimated
+    tree-width), chosen strategy, and the complexity bound the paper gives
+    for it. *)
+
+val eval : query -> Treekit.Tree.t -> Treekit.Nodeset.t
+(** Unary evaluation.  A Boolean conjunctive query returns [{root}] when
+    satisfied and [{}] otherwise; a k-ary (k ≥ 2) conjunctive query
+    returns the set of nodes in its first head column (use {!solutions}
+    for the tuples).
+    @raise Invalid_argument on malformed queries *)
+
+val eval_boolean : query -> Treekit.Tree.t -> bool
+(** Nonemptiness of the query answer. *)
+
+val solutions : query -> Treekit.Tree.t -> int array list
+(** Head tuples for conjunctive queries; singleton tuples of {!eval} for
+    the other languages. *)

@@ -1,0 +1,239 @@
+module ISet = Set.Make (Int)
+module Tree = Treekit.Tree
+
+type t = { bags : int list array; parent : int array }
+
+let width d =
+  Array.fold_left (fun w bag -> max w (List.length bag - 1)) (-1) d.bags
+
+let bag_count d = Array.length d.bags
+
+let validate g d =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let nbags = Array.length d.bags in
+  let n = Graph.vertex_count g in
+  let bag_sets = Array.map ISet.of_list d.bags in
+  let result = ref (Ok ()) in
+  let fail e = if !result = Ok () then result := e in
+  if Array.length d.parent <> nbags then fail (err "parent array length mismatch")
+  else begin
+    (* the parent pointers must form a rooted forest with exactly one root
+       (or zero bags) *)
+    Array.iteri
+      (fun b p ->
+        if p < -1 || p >= nbags || p = b then fail (err "bag %d: bad parent %d" b p))
+      d.parent;
+    (* acyclicity: parents must be decreasing along some topological order;
+       walk up with a step bound *)
+    Array.iteri
+      (fun b _ ->
+        let steps = ref 0 and cur = ref b in
+        while !cur <> -1 && !steps <= nbags do
+          incr steps;
+          cur := d.parent.(!cur)
+        done;
+        if !steps > nbags then fail (err "parent pointers contain a cycle"))
+      d.parent;
+    (* condition 1: vertex coverage *)
+    let covered = Array.make n false in
+    Array.iter (List.iter (fun v -> if v >= 0 && v < n then covered.(v) <- true)) d.bags;
+    for v = 0 to n - 1 do
+      if not covered.(v) then fail (err "vertex %d in no bag" v)
+    done;
+    (* condition 2: edge coverage *)
+    List.iter
+      (fun (u, v) ->
+        let ok =
+          Array.exists (fun s -> ISet.mem u s && ISet.mem v s) bag_sets
+        in
+        if not ok then fail (err "edge (%d,%d) in no bag" u v))
+      (Graph.edges g);
+    (* condition 3: connectedness of occurrences *)
+    for v = 0 to n - 1 do
+      let roots = ref 0 in
+      Array.iteri
+        (fun b s ->
+          if ISet.mem v s then begin
+            let p = d.parent.(b) in
+            if p = -1 || not (ISet.mem v bag_sets.(p)) then incr roots
+          end)
+        bag_sets;
+      if !roots > 1 then fail (err "occurrences of vertex %d are disconnected" v)
+    done
+  end;
+  !result
+
+let of_data_tree tree =
+  let n = Tree.size tree in
+  (* bag b describes tree node b *)
+  let bags =
+    Array.init n (fun v ->
+        if v = 0 then [ 0 ]
+        else begin
+          let p = Tree.parent tree v and ps = Tree.prev_sibling tree v in
+          if ps = -1 then List.sort compare [ v; p ] else List.sort compare [ v; p; ps ]
+        end)
+  in
+  let parent =
+    Array.init n (fun v ->
+        if v = 0 then -1
+        else
+          let ps = Tree.prev_sibling tree v in
+          if ps <> -1 then ps else Tree.parent tree v)
+  in
+  { bags; parent }
+
+let of_elimination_order g order =
+  let n = Graph.vertex_count g in
+  if List.sort compare order <> List.init n (fun i -> i) then
+    invalid_arg "Decomposition.of_elimination_order: not a permutation";
+  let adj = Array.make n ISet.empty in
+  List.iter (fun (u, v) ->
+      adj.(u) <- ISet.add v adj.(u);
+      adj.(v) <- ISet.add u adj.(v))
+    (Graph.edges g);
+  let position = Array.make n 0 in
+  List.iteri (fun i v -> position.(v) <- i) order;
+  let eliminated = Array.make n false in
+  let bags = Array.make n [] in
+  let bag_of_vertex = Array.make n 0 in
+  List.iteri (fun i v -> bag_of_vertex.(v) <- i) order;
+  let parent = Array.make n (-1) in
+  List.iteri
+    (fun i v ->
+      let nbrs = ISet.filter (fun w -> not eliminated.(w)) adj.(v) in
+      bags.(i) <- List.sort compare (v :: ISet.elements nbrs);
+      (* fill: neighbours become a clique *)
+      ISet.iter
+        (fun a ->
+          ISet.iter
+            (fun b -> if a <> b then adj.(a) <- ISet.add b adj.(a))
+            nbrs)
+        nbrs;
+      eliminated.(v) <- true;
+      (* attach to the bag of the next-eliminated neighbour *)
+      (match
+         ISet.fold
+           (fun w best ->
+             match best with
+             | None -> Some w
+             | Some b -> if position.(w) < position.(b) then Some w else best)
+           nbrs None
+       with
+      | Some w -> parent.(i) <- bag_of_vertex.(w)
+      | None -> ());
+      ())
+    order;
+  { bags; parent }
+
+let greedy score g =
+  let n = Graph.vertex_count g in
+  let adj = Array.make n ISet.empty in
+  List.iter (fun (u, v) ->
+      adj.(u) <- ISet.add v adj.(u);
+      adj.(v) <- ISet.add u adj.(v))
+    (Graph.edges g);
+  let alive = Array.make n true in
+  let order = ref [] in
+  for _ = 1 to n do
+    let best = ref (-1) and best_score = ref max_int in
+    for v = 0 to n - 1 do
+      if alive.(v) then begin
+        let s = score adj alive v in
+        if s < !best_score then begin
+          best := v;
+          best_score := s
+        end
+      end
+    done;
+    let v = !best in
+    let nbrs = ISet.filter (fun w -> alive.(w)) adj.(v) in
+    ISet.iter
+      (fun a -> ISet.iter (fun b -> if a <> b then adj.(a) <- ISet.add b adj.(a)) nbrs)
+      nbrs;
+    alive.(v) <- false;
+    order := v :: !order
+  done;
+  List.rev !order
+
+let live_degree adj alive v = ISet.cardinal (ISet.filter (fun w -> alive.(w)) adj.(v))
+
+let min_degree_heuristic g =
+  of_elimination_order g (greedy live_degree g)
+
+let min_fill_heuristic g =
+  let fill adj alive v =
+    let nbrs = ISet.filter (fun w -> alive.(w)) adj.(v) in
+    let missing = ref 0 in
+    ISet.iter
+      (fun a ->
+        ISet.iter (fun b -> if a < b && not (ISet.mem b adj.(a)) then incr missing)
+        nbrs)
+      nbrs;
+    !missing
+  in
+  of_elimination_order g (greedy fill g)
+
+let exact_treewidth g =
+  let n = Graph.vertex_count g in
+  if n > 24 then invalid_arg "Decomposition.exact_treewidth: graph too large";
+  if n = 0 then -1
+  else begin
+    let adj = Array.make n 0 in
+    List.iter
+      (fun (u, v) ->
+        adj.(u) <- adj.(u) lor (1 lsl v);
+        adj.(v) <- adj.(v) lor (1 lsl u))
+      (Graph.edges g);
+    (* q s v = number of vertices outside s∪{v} reachable from v through s *)
+    let q s v =
+      let visited = ref (1 lsl v) in
+      let frontier = ref (1 lsl v) in
+      let reached_outside = ref 0 in
+      while !frontier <> 0 do
+        let next = ref 0 in
+        for u = 0 to n - 1 do
+          if !frontier land (1 lsl u) <> 0 then begin
+            let fresh = adj.(u) land lnot !visited in
+            visited := !visited lor fresh;
+            reached_outside := !reached_outside lor (fresh land lnot s);
+            next := !next lor (fresh land s)
+          end
+        done;
+        frontier := !next
+      done;
+      let count = ref 0 in
+      for u = 0 to n - 1 do
+        if !reached_outside land (1 lsl u) <> 0 && u <> v then incr count
+      done;
+      !count
+    in
+    let memo = Hashtbl.create 1024 in
+    let rec tw s =
+      if s = 0 then min_int
+      else
+        match Hashtbl.find_opt memo s with
+        | Some r -> r
+        | None ->
+          let best = ref max_int in
+          for v = 0 to n - 1 do
+            if s land (1 lsl v) <> 0 then begin
+              let s' = s land lnot (1 lsl v) in
+              let cost = max (tw s') (q s' v) in
+              if cost < !best then best := cost
+            end
+          done;
+          Hashtbl.add memo s !best;
+          !best
+    in
+    tw ((1 lsl n) - 1)
+  end
+
+let pp fmt d =
+  Format.fprintf fmt "@[<v>";
+  Array.iteri
+    (fun b bag ->
+      Format.fprintf fmt "bag %d (parent %d): {%s}@," b d.parent.(b)
+        (String.concat ", " (List.map string_of_int bag)))
+    d.bags;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,47 @@
+(** Tree decompositions (Section 4).
+
+    A tree decomposition of a graph [G = (V, E)] is a rooted tree of bags
+    [χ : bags → 2^V] such that (i) every vertex occurs in some bag,
+    (ii) every edge is contained in some bag, and (iii) for each vertex the
+    set of bags containing it induces a connected subtree.  Its width is
+    [max |χ(b)| - 1]; the tree-width of [G] is the minimum width over all
+    its decompositions. *)
+
+type t = {
+  bags : int list array;  (** [bags.(b)] is the sorted content χ(b) *)
+  parent : int array;  (** decomposition-tree parent of each bag; root = -1 *)
+}
+
+val width : t -> int
+(** [max |bag| - 1]; the width of the empty decomposition is [-1]. *)
+
+val bag_count : t -> int
+
+val validate : Graph.t -> t -> (unit, string) result
+(** Check the three decomposition conditions against the graph. *)
+
+val of_data_tree : Treekit.Tree.t -> t
+(** Figure 4's construction: a width-≤2 decomposition of the
+    (Child, NextSibling)-structure of a data tree.  The bag of a non-root
+    node [v] is [{v, parent v}] if [v] is a first child and
+    [{v, parent v, prev_sibling v}] otherwise, attached under the bag of
+    the previous sibling (if any) or of the parent. *)
+
+val of_elimination_order : Graph.t -> int list -> t
+(** The decomposition induced by an elimination ordering: eliminating [v]
+    creates the bag [{v} ∪ N(v)] in the current (filled-in) graph, then
+    removes [v] after turning its neighbourhood into a clique.  Width =
+    maximum bag size - 1. *)
+
+val min_degree_heuristic : Graph.t -> t
+(** Greedy upper bound: eliminate a minimum-degree vertex first. *)
+
+val min_fill_heuristic : Graph.t -> t
+(** Greedy upper bound: eliminate a vertex adding fewest fill edges. *)
+
+val exact_treewidth : Graph.t -> int
+(** Exact tree-width by the Held–Karp-style dynamic program over vertex
+    subsets (O(2ⁿ·n²)); intended for graphs with at most ~20 vertices.
+    @raise Invalid_argument if the graph has more than 24 vertices. *)
+
+val pp : Format.formatter -> t -> unit

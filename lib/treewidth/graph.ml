@@ -1,0 +1,115 @@
+module ISet = Set.Make (Int)
+
+type t = { n : int; mutable adj : ISet.t array }
+
+let create n =
+  if n < 0 then invalid_arg "Graph.create: negative size";
+  { n; adj = Array.make n ISet.empty }
+
+let vertex_count g = g.n
+
+let check g v = if v < 0 || v >= g.n then invalid_arg "Graph: vertex out of range"
+
+let add_edge g u v =
+  check g u;
+  check g v;
+  if u <> v then begin
+    g.adj.(u) <- ISet.add v g.adj.(u);
+    g.adj.(v) <- ISet.add u g.adj.(v)
+  end
+
+let mem_edge g u v =
+  check g u;
+  check g v;
+  ISet.mem v g.adj.(u)
+
+let neighbors g v =
+  check g v;
+  ISet.elements g.adj.(v)
+
+let degree g v =
+  check g v;
+  ISet.cardinal g.adj.(v)
+
+let edges g =
+  let out = ref [] in
+  for u = g.n - 1 downto 0 do
+    ISet.iter (fun v -> if u < v then out := (u, v) :: !out) g.adj.(u)
+  done;
+  !out
+
+let edge_count g = List.length (edges g)
+
+let of_edges n es =
+  let g = create n in
+  List.iter (fun (u, v) -> add_edge g u v) es;
+  g
+
+let copy g = { n = g.n; adj = Array.map (fun s -> s) g.adj }
+
+let is_connected g =
+  if g.n = 0 then true
+  else begin
+    let seen = Array.make g.n false in
+    let stack = ref [ 0 ] in
+    let count = ref 0 in
+    seen.(0) <- true;
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | v :: rest ->
+        stack := rest;
+        incr count;
+        ISet.iter
+          (fun w ->
+            if not seen.(w) then begin
+              seen.(w) <- true;
+              stack := w :: !stack
+            end)
+          g.adj.(v)
+    done;
+    !count = g.n
+  end
+
+let is_acyclic g =
+  (* a forest has exactly n - (number of components) edges *)
+  let seen = Array.make g.n false in
+  let components = ref 0 in
+  for s = 0 to g.n - 1 do
+    if not seen.(s) then begin
+      incr components;
+      let stack = ref [ s ] in
+      seen.(s) <- true;
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | v :: rest ->
+          stack := rest;
+          ISet.iter
+            (fun w ->
+              if not seen.(w) then begin
+                seen.(w) <- true;
+                stack := w :: !stack
+              end)
+            g.adj.(v)
+      done
+    end
+  done;
+  edge_count g = g.n - !components
+
+let of_tree_structure t =
+  let module Tree = Treekit.Tree in
+  let n = Tree.size t in
+  let g = create n in
+  for v = 1 to n - 1 do
+    add_edge g (Tree.parent t v) v;
+    let s = Tree.next_sibling t v in
+    if s <> -1 then add_edge g v s
+  done;
+  (* the root's next sibling never exists; node 0's children edges were
+     added from the children's side *)
+  g
+
+let pp fmt g =
+  Format.fprintf fmt "graph(%d vertices): " g.n;
+  List.iter (fun (u, v) -> Format.fprintf fmt "(%d,%d) " u v) (edges g)

@@ -1,0 +1,45 @@
+(** Simple undirected graphs over vertices [0 … n-1] (Section 4).
+
+    Used for two purposes: the query graphs of conjunctive queries (whose
+    tree-width controls evaluation complexity, Theorem 4.1) and the
+    (Child, NextSibling)-structure of a data tree (which has tree-width 2,
+    Figure 4). *)
+
+type t
+
+val create : int -> t
+(** [create n] is the edgeless graph on [n] vertices. *)
+
+val vertex_count : t -> int
+
+val add_edge : t -> int -> int -> unit
+(** Add an undirected edge (self-loops are ignored; duplicate edges are
+    no-ops). *)
+
+val mem_edge : t -> int -> int -> bool
+
+val neighbors : t -> int -> int list
+(** Sorted list of neighbours. *)
+
+val degree : t -> int -> int
+
+val edges : t -> (int * int) list
+(** All edges as pairs [(u, v)] with [u < v], sorted. *)
+
+val edge_count : t -> int
+
+val of_edges : int -> (int * int) list -> t
+
+val copy : t -> t
+
+val is_connected : t -> bool
+
+val is_acyclic : t -> bool
+(** True iff the graph is a forest. *)
+
+val of_tree_structure : Treekit.Tree.t -> t
+(** The (Child, NextSibling)-structure of a data tree as an undirected
+    graph: vertices are the tree nodes, edges are the [Child] and
+    [NextSibling] pairs (Figure 4(a)). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,67 @@
+type path = Step of step | Seq of path * path | Union of path * path
+
+and step = { axis : Treekit.Axis.t; quals : qual list }
+
+and qual = Exists of path | Lab of string | And of qual * qual | Or of qual * qual | Not of qual
+
+let step ?(quals = []) axis = Step { axis; quals }
+
+let rec size = function
+  | Step { quals; _ } -> 1 + List.fold_left (fun s q -> s + qual_size q) 0 quals
+  | Seq (a, b) | Union (a, b) -> 1 + size a + size b
+
+and qual_size = function
+  | Exists p -> size p
+  | Lab _ -> 1
+  | And (a, b) | Or (a, b) -> 1 + qual_size a + qual_size b
+  | Not q -> 1 + qual_size q
+
+let rec is_conjunctive = function
+  | Step { quals; _ } -> List.for_all qual_conjunctive quals
+  | Seq (a, b) -> is_conjunctive a && is_conjunctive b
+  | Union _ -> false
+
+and qual_conjunctive = function
+  | Exists p -> is_conjunctive p
+  | Lab _ -> true
+  | And (a, b) -> qual_conjunctive a && qual_conjunctive b
+  | Or _ | Not _ -> false
+
+let rec is_positive = function
+  | Step { quals; _ } -> List.for_all qual_positive quals
+  | Seq (a, b) | Union (a, b) -> is_positive a && is_positive b
+
+and qual_positive = function
+  | Exists p -> is_positive p
+  | Lab _ -> true
+  | And (a, b) | Or (a, b) -> qual_positive a && qual_positive b
+  | Not _ -> false
+
+let rec is_forward = function
+  | Step { axis; quals } ->
+    Treekit.Axis.is_forward axis && List.for_all qual_forward quals
+  | Seq (a, b) | Union (a, b) -> is_forward a && is_forward b
+
+and qual_forward = function
+  | Exists p -> is_forward p
+  | Lab _ -> true
+  | And (a, b) | Or (a, b) -> qual_forward a && qual_forward b
+  | Not q -> qual_forward q
+
+let rec path_to_string = function
+  | Step { axis; quals } ->
+    let base = Treekit.Axis.name axis ^ "::*" in
+    base ^ String.concat "" (List.map (fun q -> "[" ^ qual_to_string q ^ "]") quals)
+  | Seq (a, b) -> path_to_string a ^ "/" ^ path_to_string b
+  | Union (a, b) -> "(" ^ path_to_string a ^ " | " ^ path_to_string b ^ ")"
+
+and qual_to_string = function
+  | Exists p -> path_to_string p
+  | Lab l -> "lab() = \"" ^ l ^ "\""
+  | And (a, b) -> "(" ^ qual_to_string a ^ " and " ^ qual_to_string b ^ ")"
+  | Or (a, b) -> "(" ^ qual_to_string a ^ " or " ^ qual_to_string b ^ ")"
+  | Not q -> "not(" ^ qual_to_string q ^ ")"
+
+let to_string = path_to_string
+
+let pp fmt p = Format.pp_print_string fmt (to_string p)

@@ -1,0 +1,52 @@
+(** Core XPath abstract syntax (Section 3 of the paper).
+
+    The paper's grammar:
+
+    {v
+    p    ::= step | p/p | p ∪ p
+    step ::= axis | step[q]
+    axis ::= arel | arel⁻¹ | Self
+    q    ::= p | lab() = L | q ∧ q | q ∨ q | ¬q
+    v}
+
+    A unary Core XPath query is [[p]](root); {!Semantics} implements the
+    rules (P1)–(P4), (Q1)–(Q5) literally and {!Eval} implements the
+    efficient set-at-a-time algebra.
+
+    We fold the [step[q]] form into a step record carrying a qualifier
+    list, which is the same language. *)
+
+type path =
+  | Step of step
+  | Seq of path * path  (** [p₁/p₂] *)
+  | Union of path * path  (** [p₁ ∪ p₂] *)
+
+and step = { axis : Treekit.Axis.t; quals : qual list }
+
+and qual =
+  | Exists of path  (** a path qualifier: [[p]](n) ≠ ∅ *)
+  | Lab of string  (** [lab() = L] *)
+  | And of qual * qual
+  | Or of qual * qual
+  | Not of qual
+
+val step : ?quals:qual list -> Treekit.Axis.t -> path
+(** Convenience constructor. *)
+
+val size : path -> int
+(** Number of AST nodes — the |Q| of the complexity statements. *)
+
+val is_conjunctive : path -> bool
+(** No [Union], no [Or], no [Not] — the conjunctive Core XPath fragment
+    (acyclic, Proposition 4.2). *)
+
+val is_positive : path -> bool
+(** No [Not] (union and or allowed) — positive Core XPath (LOGCFL). *)
+
+val is_forward : path -> bool
+(** Only forward axes — the streamable fragment of Section 5. *)
+
+val to_string : path -> string
+(** Concrete syntax accepted back by {!Parser.parse}. *)
+
+val pp : Format.formatter -> path -> unit

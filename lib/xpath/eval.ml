@@ -1,0 +1,36 @@
+module Tree = Treekit.Tree
+module Axis = Treekit.Axis
+module Nodeset = Treekit.Nodeset
+open Ast
+
+let rec forward tree p s =
+  match p with
+  | Step { axis; quals } ->
+    let out = Axis.image tree axis s in
+    List.fold_left (fun acc q -> Nodeset.inter acc (qual_set tree q)) out quals
+  | Seq (p1, p2) -> forward tree p2 (forward tree p1 s)
+  | Union (p1, p2) -> Nodeset.union (forward tree p1 s) (forward tree p2 s)
+
+and backward tree p s =
+  match p with
+  | Step { axis; quals } ->
+    let filtered =
+      List.fold_left (fun acc q -> Nodeset.inter acc (qual_set tree q)) s quals
+    in
+    Axis.image tree (Axis.inverse axis) filtered
+  | Seq (p1, p2) -> backward tree p1 (backward tree p2 s)
+  | Union (p1, p2) -> Nodeset.union (backward tree p1 s) (backward tree p2 s)
+
+and qual_set tree q =
+  let n = Tree.size tree in
+  match q with
+  | Lab l -> Tree.label_set tree l
+  | Exists p -> backward tree p (Nodeset.universe n)
+  | And (q1, q2) -> Nodeset.inter (qual_set tree q1) (qual_set tree q2)
+  | Or (q1, q2) -> Nodeset.union (qual_set tree q1) (qual_set tree q2)
+  | Not q -> Nodeset.complement (qual_set tree q)
+
+let query tree p =
+  let s = Nodeset.create (Tree.size tree) in
+  Nodeset.add s (Tree.root tree);
+  forward tree p s

@@ -1,0 +1,29 @@
+(** Efficient set-at-a-time Core XPath evaluation.
+
+    The "context-set" algebra behind the polynomial-time algorithms of
+    Gottlob–Koch–Pichler [32, 33]: instead of evaluating a path from one
+    node at a time, every operator maps whole node sets —
+
+    - forward: [F(step, S) = image(axis, S) ∩ qual-set],
+      [F(p₁/p₂, S) = F(p₂, F(p₁, S))], [F(∪)] = set union;
+    - backward (for qualifiers): [B(p, S) = {n : [[p]](n) ∩ S ≠ ∅}] with
+      [B(step, S) = image(axis⁻¹, S ∩ qual-set)];
+    - a qualifier denotes the set of nodes where it holds; negation is set
+      complement.
+
+    Each operator costs one O(n) axis image, so a query runs in time
+    O(|Q| · n) — the bound underlying Proposition 4.2 and the linear data
+    complexity of unary Core XPath (Figure 7).  Results are tested equal
+    to the literal {!Semantics} on random queries and trees. *)
+
+val forward : Treekit.Tree.t -> Ast.path -> Treekit.Nodeset.t -> Treekit.Nodeset.t
+(** [forward t p s] = [{n' : ∃n ∈ s. n' ∈ [[p]](n)}]. *)
+
+val backward : Treekit.Tree.t -> Ast.path -> Treekit.Nodeset.t -> Treekit.Nodeset.t
+(** [backward t p s] = [{n : [[p]](n) ∩ s ≠ ∅}]. *)
+
+val qual_set : Treekit.Tree.t -> Ast.qual -> Treekit.Nodeset.t
+(** The set of nodes where the qualifier holds. *)
+
+val query : Treekit.Tree.t -> Ast.path -> Treekit.Nodeset.t
+(** The unary query [[p]](root) = [forward t p {root}]. *)

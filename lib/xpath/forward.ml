@@ -1,0 +1,34 @@
+let rewrite_and_check p =
+  if Ast.is_forward p then Some (p, 1)
+  else
+    match To_cq.to_query p with
+    | None -> None
+    | Some cq ->
+      let { Cqtree.Rewrite.queries; _ } = Cqtree.Rewrite.rewrite cq in
+      let branches =
+        List.map
+          (fun q ->
+            match Of_cq.forward_xpath q with
+            | Some fp when Ast.is_forward fp -> Some fp
+            | Some _ | None -> None)
+          queries
+      in
+      if List.exists Option.is_none branches then None
+      else begin
+        match List.filter_map Fun.id branches with
+        | [] ->
+          (* the query is unsatisfiable on every tree: any always-empty
+             forward expression will do *)
+          Some
+            ( Ast.Step
+                {
+                  axis = Treekit.Axis.Child;
+                  quals = [ Ast.And (Ast.Lab "\000never", Ast.Not (Ast.Lab "\000never")) ];
+                },
+              0 )
+        | first :: rest ->
+          Some (List.fold_left (fun acc b -> Ast.Union (acc, b)) first rest,
+                1 + List.length rest)
+      end
+
+let rewrite p = Option.map fst (rewrite_and_check p)

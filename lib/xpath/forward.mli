@@ -1,0 +1,25 @@
+(** Reverse-axis elimination: rewriting Core XPath into forward XPath
+    (Section 5, "Evaluating Positive Queries using XPath", after Olteanu
+    et al. [62] "XPath: Looking Forward").
+
+    Forward queries can be evaluated in one document-order pass
+    ({!Streamq}); this module removes reverse axes ([parent], [ancestor],
+    [preceding-sibling], [preceding], …) from conjunctive Core XPath by
+    composing three existing translations:
+
+    query → conjunctive query ({!To_cq}) → union of acyclic forward
+    queries (Theorem 5.1, {!Cqtree.Rewrite}) → forward XPath per branch
+    ({!Of_cq}), reassembled with [∪].
+
+    The result can be exponentially larger than the input (unavoidable:
+    Theorem 5.1's lower bound), but is equivalent (property-tested) and
+    uses forward axes only. *)
+
+val rewrite : Ast.path -> Ast.path option
+(** [rewrite p] is a forward Core XPath expression equivalent to the unary
+    query [[p]](root).  [None] when [p] is not conjunctive (contains
+    union, [or], or [not]) or uses a unary feature forward XPath cannot
+    express.  If [p] is already forward it is returned unchanged. *)
+
+val rewrite_and_check : Ast.path -> (Ast.path * int) option
+(** Like {!rewrite}, also reporting the number of union branches. *)

@@ -1,0 +1,42 @@
+module Axis = Treekit.Axis
+open Ast
+
+let random ?(seed = 11) ~depth ~labels ?(axes = Axis.all) ?(allow_negation = true)
+    ?(allow_union = true) () =
+  let rng = Random.State.make [| seed |] in
+  let pick xs = List.nth xs (Random.State.int rng (List.length xs)) in
+  let label () = labels.(Random.State.int rng (Array.length labels)) in
+  let rec path d =
+    let choices = Random.State.int rng (if allow_union && d > 0 then 10 else 8) in
+    if choices >= 8 then Union (path (d - 1), path (d - 1))
+    else if choices >= 5 && d > 0 then Seq (path (d - 1), path (d - 1))
+    else Step { axis = pick axes; quals = quals d }
+  and quals d =
+    if d = 0 then if Random.State.bool rng then [ Lab (label ()) ] else []
+    else begin
+      let k = Random.State.int rng 3 in
+      List.init k (fun _ -> qual (d - 1))
+    end
+  and qual d =
+    if d = 0 then Lab (label ())
+    else
+      match Random.State.int rng (if allow_negation then 6 else 5) with
+      | 0 -> Lab (label ())
+      | 1 -> And (qual (d - 1), qual (d - 1))
+      | 2 -> Or (qual (d - 1), qual (d - 1))
+      | 3 | 4 -> Exists (path (d - 1))
+      | _ -> Not (qual (d - 1))
+  in
+  path depth
+
+let nested_qualifier ~depth ~label =
+  let rec build d =
+    if d = 0 then Step { axis = Axis.Child; quals = [ Lab label ] }
+    else Step { axis = Axis.Child; quals = [ Exists (build (d - 1)) ] }
+  in
+  build depth
+
+let star_chain ~length =
+  let dos = Step { axis = Axis.Descendant_or_self; quals = [] } in
+  let rec build k = if k <= 1 then dos else Seq (dos, build (k - 1)) in
+  build length

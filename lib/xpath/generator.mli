@@ -1,0 +1,23 @@
+(** Random Core XPath queries for tests and benchmarks. *)
+
+val random :
+  ?seed:int ->
+  depth:int ->
+  labels:string array ->
+  ?axes:Treekit.Axis.t list ->
+  ?allow_negation:bool ->
+  ?allow_union:bool ->
+  unit ->
+  Ast.path
+(** A random Core XPath expression with recursion depth bounded by
+    [depth].  [axes] defaults to all fifteen axes.  With
+    [allow_negation]/[allow_union] false the result is conjunctive. *)
+
+val nested_qualifier : depth:int -> label:string -> Ast.path
+(** The deeply nested query [child::*[child::*[…[lab() = label]…]]] used by
+    the naive-vs-bottom-up blow-up benchmark: naive spec evaluation
+    re-evaluates the inner qualifier once per candidate node. *)
+
+val star_chain : length:int -> Ast.path
+(** [descendant-or-self::*/descendant-or-self::*/…] — the classic
+    quadratic-intermediate-result query for naive engines. *)

@@ -1,0 +1,100 @@
+open Ast
+module Q = Cqtree.Query
+module Axis = Treekit.Axis
+
+exception Unsupported
+
+let forward_xpath q =
+  try
+    let q = Q.normalize_forward q in
+    (match Q.check q with Ok () -> () | Error _ -> raise Unsupported);
+    if List.length q.head > 1 then raise Unsupported;
+    let all_vars = Q.vars q in
+    let nvars = List.length all_vars in
+    let incoming : (Q.var, Axis.t * Q.var) Hashtbl.t = Hashtbl.create 8 in
+    let children : (Q.var, Axis.t * Q.var) Hashtbl.t = Hashtbl.create 8 in
+    let unaries : (Q.var, Q.unary) Hashtbl.t = Hashtbl.create 8 in
+    let root_vars : (Q.var, unit) Hashtbl.t = Hashtbl.create 4 in
+    List.iter
+      (function
+        | Q.A (a, x, y) ->
+          if not (Axis.is_forward a) || a = Axis.Self || x = y then raise Unsupported;
+          if Hashtbl.mem incoming y then raise Unsupported;
+          Hashtbl.add incoming y (a, x);
+          Hashtbl.add children x (a, y)
+        | Q.U (Q.Root, x) ->
+          (* expressible only as the anchor of a pattern component (checked
+             below): the component then starts at [self::*] instead of
+             [descendant-or-self::*] *)
+          Hashtbl.replace root_vars x ()
+        | Q.U (u, x) -> Hashtbl.add unaries x u)
+      q.atoms;
+    (* root of each variable's component; a step bound catches ρ-shaped
+       cycles (each variable has at most one incoming atom, so a cycle is
+       unreachable from any root and must be rejected, not dropped) *)
+    let root_of v =
+      let rec up v steps =
+        if steps > nvars then raise Unsupported
+        else
+          match Hashtbl.find_opt incoming v with
+          | None -> v
+          | Some (_, p) -> up p (steps + 1)
+      in
+      up v 0
+    in
+    let roots = List.sort_uniq compare (List.map root_of all_vars) in
+    (* a Root-constrained variable must be the pattern root of its
+       component — elsewhere forward XPath cannot test root-ness *)
+    Hashtbl.iter (fun v () -> if root_of v <> v then raise Unsupported) root_vars;
+    let anchor_axis r =
+      if Hashtbl.mem root_vars r then Axis.Self else Axis.Descendant_or_self
+    in
+    let unary_qual = function
+      | Q.Lab l -> Some (Lab l)
+      | Q.True -> None
+      | Q.Leaf -> Some (Not (Exists (step Axis.Child)))
+      | Q.Last_sibling -> Some (Not (Exists (step Axis.Next_sibling)))
+      | Q.Root | Q.First_sibling | Q.Named _ | Q.False -> raise Unsupported
+    in
+    let rec subtree_quals ?skip v =
+      let uq = List.filter_map unary_qual (Hashtbl.find_all unaries v) in
+      let cq =
+        List.filter_map
+          (fun (a, c) ->
+            if Some c = skip then None
+            else Some (Exists (Step { axis = a; quals = subtree_quals c })))
+          (Hashtbl.find_all children v)
+      in
+      uq @ cq
+    in
+    let anchored r =
+      Exists (Step { axis = anchor_axis r; quals = subtree_quals r })
+    in
+    match q.head with
+    | [] -> Some (Step { axis = Axis.Self; quals = List.map anchored roots })
+    | [ h ] ->
+      let hroot = root_of h in
+      let others = List.filter (fun r -> r <> hroot) roots in
+      (* spine hroot … h in top-down order *)
+      let rec spine acc v =
+        if v = hroot then v :: acc
+        else
+          match Hashtbl.find_opt incoming v with
+          | Some (_, p) -> spine (v :: acc) p
+          | None -> assert false
+      in
+      let spine_vars = spine [] h in
+      let axis_into v =
+        if v = hroot then anchor_axis hroot else fst (Hashtbl.find incoming v)
+      in
+      let rec build = function
+        | [] -> assert false
+        | [ v ] -> Step { axis = axis_into v; quals = subtree_quals v }
+        | v :: (w :: _ as rest) ->
+          Seq (Step { axis = axis_into v; quals = subtree_quals ~skip:w v }, build rest)
+      in
+      let main = build spine_vars in
+      if others = [] then Some main
+      else Some (Seq (Step { axis = Axis.Self; quals = List.map anchored others }, main))
+    | _ -> raise Unsupported
+  with Unsupported -> None

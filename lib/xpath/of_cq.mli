@@ -1,0 +1,23 @@
+(** Acyclic forward conjunctive queries → forward Core XPath (Section 5,
+    "Evaluating Positive Queries using XPath", after Olteanu et al. [62]).
+
+    The rewriting of Theorem 5.1 produces forest-shaped queries over the
+    forward axes with at most one atom into each variable.  Such a query
+    converts to a {e forward} XPath expression: every pattern component is
+    anchored under the document root with [descendant-or-self::*]; for a
+    unary query, the spine from its component's pattern root to the head
+    variable becomes the step sequence and everything else becomes
+    qualifiers.  Combined with {!Cqtree.Rewrite}, this evaluates arbitrary
+    positive queries with a (streamable) forward XPath engine. *)
+
+val forward_xpath : Cqtree.Query.t -> Ast.path option
+(** [forward_xpath q] for a Boolean or unary query [q].  [None] when [q]
+    is not forest-shaped with forward axes and at-most-one atom per target
+    variable, or uses unary predicates that forward XPath cannot express
+    ([Root], [First_sibling], [Named], [False]).  [Leaf] and
+    [Last_sibling] are expressed with (forward) negation.
+
+    Guarantee (tested): when [Some p] is returned,
+    [Eval.query t p = Yannakakis.unary q t] for unary [q] (and nonempty
+    iff [Yannakakis.boolean q t] for Boolean [q] — the result set is
+    [{root}] or empty). *)

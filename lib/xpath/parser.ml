@@ -1,0 +1,224 @@
+exception Syntax_error of string
+
+type state = { input : string; mutable pos : int }
+
+let error st fmt =
+  Format.kasprintf
+    (fun m -> raise (Syntax_error (Printf.sprintf "at offset %d: %s" st.pos m)))
+    fmt
+
+let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let skip_ws st =
+  while
+    (match peek st with Some (' ' | '\t' | '\n' | '\r') -> true | _ -> false)
+  do
+    st.pos <- st.pos + 1
+  done
+
+let is_name_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' -> true
+  | _ -> false
+
+let looking_at st s =
+  let k = String.length s in
+  st.pos + k <= String.length st.input && String.sub st.input st.pos k = s
+
+let eat st s =
+  if looking_at st s then st.pos <- st.pos + String.length s
+  else error st "expected %S" s
+
+let name st =
+  skip_ws st;
+  let start = st.pos in
+  while (match peek st with Some c when is_name_char c -> true | _ -> false) do
+    st.pos <- st.pos + 1
+  done;
+  if st.pos = start then error st "expected a name";
+  String.sub st.input start (st.pos - start)
+
+let string_lit st =
+  skip_ws st;
+  let quote =
+    match peek st with
+    | Some ('"' as q) | Some ('\'' as q) -> q
+    | _ -> error st "expected a string literal"
+  in
+  st.pos <- st.pos + 1;
+  let start = st.pos in
+  while (match peek st with Some c when c <> quote -> true | _ -> false) do
+    st.pos <- st.pos + 1
+  done;
+  (match peek st with Some _ -> () | None -> error st "unterminated string literal");
+  let s = String.sub st.input start (st.pos - start) in
+  st.pos <- st.pos + 1;
+  s
+
+(* keyword lookahead that does not consume *)
+let at_keyword st kw =
+  skip_ws st;
+  looking_at st kw
+  && (let after = st.pos + String.length kw in
+      after >= String.length st.input || not (is_name_char st.input.[after]))
+
+let dos_star : Ast.path = Ast.Step { axis = Treekit.Axis.Descendant_or_self; quals = [] }
+
+let rec parse_rel st : Ast.path =
+  let first = parse_disjunct st in
+  skip_ws st;
+  if (match peek st with Some '|' -> true | _ -> false) then begin
+    eat st "|";
+    Ast.Union (first, parse_rel st)
+  end
+  else first
+
+and parse_disjunct st : Ast.path =
+  (* each disjunct may carry its own leading "/" (no-op: evaluation starts
+     at the context node) or "//" (descendant-or-self) *)
+  skip_ws st;
+  if looking_at st "//" then begin
+    eat st "//";
+    Ast.Seq (dos_star, parse_seq st)
+  end
+  else begin
+    if looking_at st "/" then eat st "/";
+    parse_seq st
+  end
+
+and parse_seq st : Ast.path =
+  let first = parse_element st in
+  parse_seq_rest st first
+
+and parse_element st : Ast.path =
+  (* a step, or a parenthesised path expression (e.g. a union used in the
+     middle of a sequence) *)
+  skip_ws st;
+  if (match peek st with Some '(' -> true | _ -> false) then begin
+    eat st "(";
+    let p = parse_rel st in
+    skip_ws st;
+    eat st ")";
+    p
+  end
+  else parse_step st
+
+and parse_seq_rest st acc =
+  skip_ws st;
+  if looking_at st "//" then begin
+    eat st "//";
+    let next = parse_element st in
+    parse_seq_rest st (Ast.Seq (acc, Ast.Seq (dos_star, next)))
+  end
+  else if (match peek st with Some '/' -> true | _ -> false) then begin
+    eat st "/";
+    let next = parse_element st in
+    parse_seq_rest st (Ast.Seq (acc, next))
+  end
+  else acc
+
+and parse_step st : Ast.path =
+  skip_ws st;
+  let axis, label_test =
+    if (match peek st with Some '*' -> true | _ -> false) then begin
+      eat st "*";
+      (Treekit.Axis.Child, None)
+    end
+    else begin
+      let nm = name st in
+      skip_ws st;
+      if looking_at st "::" then begin
+        eat st "::";
+        match Treekit.Axis.of_name nm with
+        | None -> error st "unknown axis %s" nm
+        | Some a ->
+          skip_ws st;
+          if (match peek st with Some '*' -> true | _ -> false) then begin
+            eat st "*";
+            (a, None)
+          end
+          else (a, Some (name st))
+      end
+      else (Treekit.Axis.Child, Some nm)
+    end
+  in
+  let initial = match label_test with None -> [] | Some l -> [ Ast.Lab l ] in
+  let quals = parse_quals st initial in
+  Ast.Step { axis; quals }
+
+and parse_quals st acc =
+  skip_ws st;
+  if (match peek st with Some '[' -> true | _ -> false) then begin
+    eat st "[";
+    let q = parse_or st in
+    skip_ws st;
+    eat st "]";
+    parse_quals st (q :: acc)
+  end
+  else List.rev acc
+
+and parse_or st : Ast.qual =
+  let first = parse_and st in
+  if at_keyword st "or" then begin
+    eat st "or";
+    Ast.Or (first, parse_or st)
+  end
+  else first
+
+and parse_and st : Ast.qual =
+  let first = parse_prim st in
+  if at_keyword st "and" then begin
+    eat st "and";
+    Ast.And (first, parse_and st)
+  end
+  else first
+
+and parse_prim st : Ast.qual =
+  skip_ws st;
+  if at_keyword st "not" then begin
+    eat st "not";
+    skip_ws st;
+    eat st "(";
+    let q = parse_or st in
+    skip_ws st;
+    eat st ")";
+    Ast.Not q
+  end
+  else if looking_at st "lab()" then begin
+    eat st "lab()";
+    skip_ws st;
+    eat st "=";
+    Ast.Lab (string_lit st)
+  end
+  else if (match peek st with Some '(' -> true | _ -> false) then begin
+    (* "(" starts either a parenthesised qualifier or a parenthesised path
+       used inside a sequence (e.g. "(a | b)/c"); try the qualifier reading
+       and fall back to the path reading if a path continuation follows *)
+    let save = st.pos in
+    match
+      (let () = eat st "(" in
+       let q = parse_or st in
+       skip_ws st;
+       eat st ")";
+       q)
+    with
+    | q ->
+      skip_ws st;
+      if looking_at st "/" then begin
+        st.pos <- save;
+        Ast.Exists (parse_rel st)
+      end
+      else q
+    | exception Syntax_error _ ->
+      st.pos <- save;
+      Ast.Exists (parse_rel st)
+  end
+  else Ast.Exists (parse_rel st)
+
+let parse input =
+  let st = { input; pos = 0 } in
+  let p = parse_rel st in
+  skip_ws st;
+  (match peek st with
+  | None -> ()
+  | Some c -> error st "unexpected trailing character %C" c);
+  p

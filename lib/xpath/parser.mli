@@ -1,0 +1,29 @@
+(** Concrete syntax for Core XPath.
+
+    {v
+    path  ::= ("/" | "//")? rel
+    rel   ::= seq ("|" seq)*
+    seq   ::= step (("/" | "//") step)*
+    step  ::= (axis "::")? test qual*
+    test  ::= NAME | "*"
+    qual  ::= "[" or "]"
+    or    ::= and ("or" and)*
+    and   ::= prim ("and" prim)*
+    prim  ::= "not" "(" or ")" | "(" or ")" | "lab()" "=" STRING | rel
+    v}
+
+    [axis] is any axis name accepted by {!Treekit.Axis.of_name} (e.g.
+    [child], [descendant-or-self], [parent], [ancestor], [following]);
+    a step without an explicit axis means [child].  A name test [a]
+    desugars to the qualifier [lab() = "a"]; [*] is no test.  [//] between
+    steps desugars to [/descendant-or-self::*/]; a leading [/] or [//]
+    anchors at the root (all queries are evaluated from the root anyway,
+    per the paper's definition of unary Core XPath queries).
+
+    Examples: [/child::a//b[following-sibling::c and not(d)]],
+    [//open_auction[bidder][not(seller)]]. *)
+
+exception Syntax_error of string
+
+val parse : string -> Ast.path
+(** @raise Syntax_error *)

@@ -1,0 +1,36 @@
+module Tree = Treekit.Tree
+module Axis = Treekit.Axis
+module Nodeset = Treekit.Nodeset
+open Ast
+
+(* (P1)–(P4) *)
+let rec node_set tree p n =
+  match p with
+  | Step { axis; quals } ->
+    (* (P1) axis image of a single node, then (P2) filter by qualifiers *)
+    let out = Nodeset.create (Tree.size tree) in
+    Axis.fold tree axis n
+      (fun n' () -> if List.for_all (fun q -> boolean tree q n') quals then Nodeset.add out n')
+      ();
+    out
+  | Seq (p1, p2) ->
+    (* (P3): recompute [[p2]](w) for each w — deliberately no sharing *)
+    let out = Nodeset.create (Tree.size tree) in
+    Nodeset.iter
+      (fun w -> Nodeset.iter (Nodeset.add out) (node_set tree p2 w))
+      (node_set tree p1 n);
+    out
+  | Union (p1, p2) ->
+    (* (P4) *)
+    Nodeset.union (node_set tree p1 n) (node_set tree p2 n)
+
+(* (Q1)–(Q5) *)
+and boolean tree q n =
+  match q with
+  | Lab l -> Tree.label tree n = l
+  | Exists p -> not (Nodeset.is_empty (node_set tree p n))
+  | And (q1, q2) -> boolean tree q1 n && boolean tree q2 n
+  | Or (q1, q2) -> boolean tree q1 n || boolean tree q2 n
+  | Not q -> not (boolean tree q n)
+
+let query tree p = node_set tree p (Tree.root tree)

@@ -1,0 +1,19 @@
+(** Literal denotational semantics of Core XPath (Section 3, rules
+    (P1)–(P4) and (Q1)–(Q5)).
+
+    [[p]]_NodeSet is a function from a node to a set of nodes;
+    [[q]]_Boolean a predicate on nodes.  This implementation follows the
+    rules verbatim — in particular [[p₁/p₂]](n) recomputes [[p₂]](w) for
+    every [w ∈ [[p₁]](n)], which is why it can be exponentially slower
+    than {!Eval} on nested paths (the naive-engine behaviour the paper's
+    [33] measured in real XPath processors).  It is the executable
+    specification that every other engine is tested against. *)
+
+val node_set : Treekit.Tree.t -> Ast.path -> int -> Treekit.Nodeset.t
+(** [[p]]_NodeSet(n) — rule-by-rule, no sharing, no memoisation. *)
+
+val boolean : Treekit.Tree.t -> Ast.qual -> int -> bool
+(** [[q]]_Boolean(n). *)
+
+val query : Treekit.Tree.t -> Ast.path -> Treekit.Nodeset.t
+(** The unary query [[p]](root). *)

@@ -1,0 +1,39 @@
+open Ast
+module Q = Cqtree.Query
+
+exception Not_conjunctive
+
+let to_query p =
+  let counter = ref 0 in
+  let fresh () =
+    let v = Printf.sprintf "X%d" !counter in
+    incr counter;
+    v
+  in
+  let atoms = ref [] in
+  let emit a = atoms := a :: !atoms in
+  (* returns the end variable of the path started at [x] *)
+  let rec path x = function
+    | Step { axis; quals } ->
+      let y = fresh () in
+      emit (Q.A (axis, x, y));
+      List.iter (qual y) quals;
+      y
+    | Seq (p1, p2) ->
+      let w = path x p1 in
+      path w p2
+    | Union _ -> raise Not_conjunctive
+  and qual y = function
+    | Lab l -> emit (Q.U (Q.Lab l, y))
+    | Exists p -> ignore (path y p)
+    | And (q1, q2) ->
+      qual y q1;
+      qual y q2
+    | Or _ | Not _ -> raise Not_conjunctive
+  in
+  try
+    let x0 = fresh () in
+    emit (Q.U (Q.Root, x0));
+    let h = path x0 p in
+    Some { Q.head = [ h ]; atoms = List.rev !atoms }
+  with Not_conjunctive -> None

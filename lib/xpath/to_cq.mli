@@ -1,0 +1,12 @@
+(** Conjunctive Core XPath → conjunctive queries (Sections 4 and 5).
+
+    A Core XPath expression without union, disjunction and negation is a
+    conjunctive query over the axis relations (and it is acyclic — the
+    translation produces a tree-shaped query, which is how Proposition 4.2
+    follows from Yannakakis' algorithm). *)
+
+val to_query : Ast.path -> Cqtree.Query.t option
+(** [to_query p] is the unary conjunctive query equivalent to the unary
+    XPath query [[p]](root): head = the variable of the last step, body =
+    a [Root] atom for the context plus one atom per step/label test.
+    [None] if [p] is not conjunctive. *)

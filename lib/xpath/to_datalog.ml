@@ -1,0 +1,165 @@
+module D = Mdatalog.Ast
+module Axis = Treekit.Axis
+module Nodeset = Treekit.Nodeset
+
+type ctx = {
+  mutable rules : D.rule list;
+  mutable counter : int;
+  mutable negations : (string * Ast.qual) list;
+}
+
+let new_ctx () = { rules = []; counter = 0; negations = [] }
+
+let fresh ctx prefix =
+  ctx.counter <- ctx.counter + 1;
+  Printf.sprintf "%s_%d" prefix ctx.counter
+
+let emit ctx head head_var body = ctx.rules <- { D.head; head_var; body } :: ctx.rules
+
+(* Emit rules defining a predicate equal to the image of [axis] over the
+   predicate [s].  All recursions are linear in [FirstChild]/[NextSibling]/
+   [Child]. *)
+let rec axis_image ctx axis s =
+  let o = fresh ctx "step" in
+  let p name = D.U (D.Pred name, "X") in
+  (match axis with
+  | Axis.Self -> emit ctx o "X" [ p s ]
+  | Axis.Child -> emit ctx o "Y" [ D.U (D.Pred s, "X"); D.B (D.Child, "X", "Y") ]
+  | Axis.Descendant ->
+    emit ctx o "Y" [ D.U (D.Pred s, "X"); D.B (D.Child, "X", "Y") ];
+    emit ctx o "Y" [ D.U (D.Pred o, "X"); D.B (D.Child, "X", "Y") ]
+  | Axis.Descendant_or_self ->
+    emit ctx o "X" [ p s ];
+    emit ctx o "Y" [ D.U (D.Pred o, "X"); D.B (D.Child, "X", "Y") ]
+  | Axis.Next_sibling ->
+    emit ctx o "Y" [ D.U (D.Pred s, "X"); D.B (D.Next_sibling, "X", "Y") ]
+  | Axis.Following_sibling ->
+    emit ctx o "Y" [ D.U (D.Pred s, "X"); D.B (D.Next_sibling, "X", "Y") ];
+    emit ctx o "Y" [ D.U (D.Pred o, "X"); D.B (D.Next_sibling, "X", "Y") ]
+  | Axis.Following_sibling_or_self ->
+    emit ctx o "X" [ p s ];
+    emit ctx o "Y" [ D.U (D.Pred o, "X"); D.B (D.Next_sibling, "X", "Y") ]
+  | Axis.Following ->
+    (* ancestors-or-self of s, then strict right siblings, then
+       descendants-or-self *)
+    let anc = axis_image ctx Axis.Ancestor_or_self s in
+    let sib = axis_image ctx Axis.Following_sibling anc in
+    let dos = axis_image ctx Axis.Descendant_or_self sib in
+    emit ctx o "X" [ p dos ]
+  | Axis.Parent -> emit ctx o "X" [ D.U (D.Pred s, "Y"); D.B (D.Child, "X", "Y") ]
+  | Axis.Ancestor ->
+    emit ctx o "X" [ D.U (D.Pred s, "Y"); D.B (D.Child, "X", "Y") ];
+    emit ctx o "X" [ D.U (D.Pred o, "Y"); D.B (D.Child, "X", "Y") ]
+  | Axis.Ancestor_or_self ->
+    emit ctx o "X" [ p s ];
+    emit ctx o "X" [ D.U (D.Pred o, "Y"); D.B (D.Child, "X", "Y") ]
+  | Axis.Prev_sibling ->
+    emit ctx o "X" [ D.U (D.Pred s, "Y"); D.B (D.Next_sibling, "X", "Y") ]
+  | Axis.Preceding_sibling ->
+    emit ctx o "X" [ D.U (D.Pred s, "Y"); D.B (D.Next_sibling, "X", "Y") ];
+    emit ctx o "X" [ D.U (D.Pred o, "Y"); D.B (D.Next_sibling, "X", "Y") ]
+  | Axis.Preceding_sibling_or_self ->
+    emit ctx o "X" [ p s ];
+    emit ctx o "X" [ D.U (D.Pred o, "Y"); D.B (D.Next_sibling, "X", "Y") ]
+  | Axis.Preceding ->
+    let anc = axis_image ctx Axis.Ancestor_or_self s in
+    let sib = axis_image ctx Axis.Preceding_sibling anc in
+    let dos = axis_image ctx Axis.Descendant_or_self sib in
+    emit ctx o "X" [ p dos ]);
+  o
+
+let rec fwd ctx s = function
+  | Ast.Step { axis; quals } ->
+    let o = axis_image ctx axis s in
+    constrain ctx o quals
+  | Ast.Seq (p1, p2) -> fwd ctx (fwd ctx s p1) p2
+  | Ast.Union (p1, p2) ->
+    let o1 = fwd ctx s p1 and o2 = fwd ctx s p2 in
+    let o = fresh ctx "union" in
+    emit ctx o "X" [ D.U (D.Pred o1, "X") ];
+    emit ctx o "X" [ D.U (D.Pred o2, "X") ];
+    o
+
+and bwd ctx s = function
+  (* nodes from which the path can reach a node of [s] *)
+  | Ast.Step { axis; quals } ->
+    let s' = constrain ctx s quals in
+    axis_image ctx (Axis.inverse axis) s'
+  | Ast.Seq (p1, p2) -> bwd ctx (bwd ctx s p2) p1
+  | Ast.Union (p1, p2) ->
+    let o1 = bwd ctx s p1 and o2 = bwd ctx s p2 in
+    let o = fresh ctx "union" in
+    emit ctx o "X" [ D.U (D.Pred o1, "X") ];
+    emit ctx o "X" [ D.U (D.Pred o2, "X") ];
+    o
+
+and constrain ctx s quals =
+  List.fold_left
+    (fun acc q ->
+      let qp = qual_pred ctx q in
+      let o = fresh ctx "filter" in
+      emit ctx o "X" [ D.U (D.Pred acc, "X"); D.U (D.Pred qp, "X") ];
+      o)
+    s quals
+
+and qual_pred ctx = function
+  | Ast.Lab l ->
+    let o = fresh ctx "lab" in
+    emit ctx o "X" [ D.U (D.Lab l, "X") ];
+    o
+  | Ast.And (q1, q2) ->
+    let p1 = qual_pred ctx q1 and p2 = qual_pred ctx q2 in
+    let o = fresh ctx "and" in
+    emit ctx o "X" [ D.U (D.Pred p1, "X"); D.U (D.Pred p2, "X") ];
+    o
+  | Ast.Or (q1, q2) ->
+    let p1 = qual_pred ctx q1 and p2 = qual_pred ctx q2 in
+    let o = fresh ctx "or" in
+    emit ctx o "X" [ D.U (D.Pred p1, "X") ];
+    emit ctx o "X" [ D.U (D.Pred p2, "X") ];
+    o
+  | Ast.Exists p ->
+    let u = fresh ctx "univ" in
+    emit ctx u "X" [ D.U (D.Dom, "X") ];
+    bwd ctx u p
+  | Ast.Not q ->
+    (* stratified: the complement set is computed separately and supplied
+       through the environment under a fresh external name *)
+    let env_name = fresh ctx "negated" in
+    ctx.negations <- (env_name, q) :: ctx.negations;
+    let o = fresh ctx "not" in
+    emit ctx o "X" [ D.U (D.Pred env_name, "X") ];
+    o
+
+let compile p =
+  let ctx = new_ctx () in
+  let s0 = fresh ctx "context" in
+  emit ctx s0 "X" [ D.U (D.Root, "X") ];
+  let answer = fwd ctx s0 p in
+  ({ D.rules = List.rev ctx.rules; query = answer }, List.rev ctx.negations)
+
+let compile_qual q =
+  let ctx = new_ctx () in
+  let answer = qual_pred ctx q in
+  ({ D.rules = List.rev ctx.rules; query = answer }, List.rev ctx.negations)
+
+let to_program p =
+  let program, negations = compile p in
+  if negations = [] then Ok program
+  else Error "query contains negation; use eval_via_datalog (stratified)"
+
+let rec eval_program ?(tmnf = false) tree (program, negations) =
+  let env =
+    List.map
+      (fun (name, q) ->
+        let inner = eval_program ~tmnf tree (compile_qual q) in
+        (name, Nodeset.complement inner))
+      negations
+  in
+  let program = if tmnf then Mdatalog.Tmnf.of_program program else program in
+  Mdatalog.Eval.run ~env program tree
+
+let eval_via_datalog ?tmnf tree p = eval_program ?tmnf tree (compile p)
+
+let program_size (program : D.program) =
+  List.fold_left (fun acc r -> acc + 1 + List.length r.D.body) 0 program.D.rules

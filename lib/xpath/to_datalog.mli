@@ -1,0 +1,31 @@
+(** Core XPath → monadic datalog over τ⁺ ∪ {Child} (Section 3; [29, 31]).
+
+    Each Core XPath query translates in linear time into a monadic datalog
+    program: axis images become linear recursions over
+    [FirstChild]/[NextSibling]/[Child] (e.g. a [descendant] step from the
+    set [S] is the program [O(y) ← S(x), Child(x,y); O(y) ← O(x),
+    Child(x,y)]), path qualifiers are evaluated backwards through inverse
+    axes, and the program can then be brought into TMNF
+    ({!Mdatalog.Tmnf}) and solved in time O(|P|·|Dom|) via Horn-SAT.
+
+    Negation is not expressible in datalog; the paper's pure-TMNF
+    treatment of negation [29] is automata-based.  Here negated qualifiers
+    are handled by {e stratification} (documented deviation, see
+    DESIGN.md): the inner qualifier is evaluated first as its own program,
+    its complement is fed to the enclosing program as an external unary
+    predicate, which computes the same sets on finite trees. *)
+
+val to_program : Ast.path -> (Mdatalog.Ast.program, string) result
+(** A single monadic datalog program equivalent to the unary query
+    [[p]](root), for negation-free [p].  [Error _] if [p] contains
+    negation. *)
+
+val eval_via_datalog :
+  ?tmnf:bool -> Treekit.Tree.t -> Ast.path -> Treekit.Nodeset.t
+(** Evaluate by compiling to (stratified) datalog and running
+    {!Mdatalog.Eval}; with [~tmnf:true] each stratum is additionally
+    normalised with {!Mdatalog.Tmnf.of_program} first.  Tested equal to
+    {!Eval.query}. *)
+
+val program_size : Mdatalog.Ast.program -> int
+(** Number of atoms in the program (to check the linear-size claim). *)

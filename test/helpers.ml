@@ -1,0 +1,65 @@
+(* Shared fixtures and Alcotest testables. *)
+open Treekit
+
+(* The example tree of Figure 2 (a):
+     1:7:a ( 2:3:b ( 3:1:a, 4:2:c ), 5:6:a ( 6:4:b, 7:5:d ) ) *)
+let fig2_tree () =
+  Tree.of_builder
+    (Tree.Node
+       ( "a",
+         [
+           Node ("b", [ Node ("a", []); Node ("c", []) ]);
+           Node ("a", [ Node ("b", []); Node ("d", []) ]);
+         ] ))
+
+(* The tree of Figure 4 (15 nodes, used for the tree-width example). *)
+let fig4_tree () =
+  Tree.of_builder
+    (Tree.Node
+       ( "a",
+         [
+           Node ("a", [ Node ("a", []); Node ("a", []) ]);
+           Node
+             ( "a",
+               [
+                 Node ("a", [ Node ("a", []); Node ("a", []) ]);
+                 Node ("a", []);
+                 Node ("a", []);
+               ] );
+           Node ("a", [ Node ("a", []) ]);
+           Node ("a", [ Node ("a", []); Node ("a", []) ]);
+         ] ))
+
+let random_tree ?(labels = Generator.labels_abc) ~seed ~n () =
+  Generator.random ~seed ~n ~labels ()
+
+let nodeset : Nodeset.t Alcotest.testable =
+  Alcotest.testable Nodeset.pp Nodeset.equal
+
+let sorted_list xs = List.sort compare xs
+
+let tuples : int array list Alcotest.testable =
+  let pp fmt ts =
+    Format.fprintf fmt "[%s]"
+      (String.concat "; "
+         (List.map
+            (fun t ->
+              "(" ^ String.concat "," (List.map string_of_int (Array.to_list t)) ^ ")")
+            ts))
+  in
+  Alcotest.testable pp ( = )
+
+let check_nodeset = Alcotest.check nodeset
+let check_tuples = Alcotest.check tuples
+
+(* qcheck → alcotest bridge with a fixed seed for determinism *)
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest ~long:false
+    (QCheck2.Test.make ~count ~name gen prop)
+
+(* generator of small random trees, by seed *)
+let tree_gen ?(max_n = 30) () =
+  QCheck2.Gen.(
+    let* seed = int_range 0 10_000 in
+    let* n = int_range 1 max_n in
+    return (random_tree ~seed ~n ()))

@@ -1,0 +1,334 @@
+open Treekit
+open Helpers
+module Q = Cqtree.Query
+module AC = Actree.Arc_consistency
+module PV = Actree.Prevaluation
+module XP = Actree.Xproperty
+module XE = Actree.Xeval
+module EN = Actree.Enumerate
+module TW = Actree.Twigjoin
+
+let tau1 = [ Axis.Descendant; Axis.Descendant_or_self ]
+let tau3 =
+  [ Axis.Child; Axis.Next_sibling; Axis.Following_sibling; Axis.Following_sibling_or_self ]
+
+(* ------------------------------------------------------------------ *)
+(* Arc-consistency (Proposition 6.2) *)
+
+let test_example_61 () =
+  (* the paper's Example 6.1 is over general relations; the tree analogue:
+     an arc-consistent pre-valuation can exist while the query is cyclic
+     and unsatisfiable.  q ← Child(x,y), Child(y,z), Child(x,z) on a path:
+     no node is both child and grandchild of the same node. *)
+  let t = Generator.path ~n:5 () in
+  let q = Q.of_string {| q :- child(X, Y), child(Y, Z), child(X, Z). |} in
+  Alcotest.(check bool) "AC exists is irrelevant to satisfiability" true
+    (Cqtree.Naive.boolean q t = false)
+
+let ac_case_gen =
+  QCheck2.Gen.(
+    let* qseed = int_range 0 50_000 in
+    let* tseed = int_range 0 50_000 in
+    let* nvars = int_range 1 4 in
+    let* natoms = int_range 1 4 in
+    let* n = int_range 1 14 in
+    let q =
+      Cqtree.Generator.arbitrary ~seed:qseed ~nvars ~natoms
+        ~axes:
+          [
+            Axis.Child; Axis.Descendant; Axis.Next_sibling; Axis.Following_sibling;
+            Axis.Following;
+          ]
+        ~labels:Generator.labels_abc ()
+    in
+    return (Q.normalize_forward q, random_tree ~seed:tseed ~n ()))
+
+let prop_direct_equals_hornsat =
+  qtest ~count:150 "AC worklist = Prop 6.2 Horn-SAT reduction" ac_case_gen
+    (fun (q, t) ->
+      match AC.direct q t, AC.via_hornsat q t with
+      | None, None -> true
+      | Some a, Some b -> PV.equal a b
+      | _ -> false)
+
+let prop_ac_result_is_arc_consistent =
+  qtest ~count:150 "computed pre-valuation is arc-consistent" ac_case_gen
+    (fun (q, t) ->
+      match AC.direct q t with
+      | None -> true
+      | Some pv -> PV.is_arc_consistent q t pv)
+
+let prop_ac_is_maximal =
+  qtest ~count:100 "pre-valuation contains every solution" ac_case_gen
+    (fun (q, t) ->
+      match AC.direct q t with
+      | None -> Cqtree.Naive.solutions { q with head = Q.vars q } t = []
+      | Some pv ->
+        List.for_all
+          (fun sol ->
+            List.for_all2
+              (fun x v -> Nodeset.mem (PV.find pv x) v)
+              (Q.vars q) (Array.to_list sol))
+          (Cqtree.Naive.solutions { q with head = Q.vars q } t))
+
+(* ------------------------------------------------------------------ *)
+(* X-property (Definition 6.3, Proposition 6.6, Theorem 6.8) *)
+
+let prop_66_positive =
+  qtest ~count:60 "Proposition 6.6 holds" (tree_gen ~max_n:12 ()) (fun t ->
+      List.for_all (fun (a, k) -> XP.check t a k) XP.proposition_66)
+
+let test_xproperty_negative_cases () =
+  (* outside Prop. 6.6 the property fails on small witness trees; check a
+     few celebrated cases across many trees *)
+  let fails_somewhere (a, k) =
+    List.exists
+      (fun seed -> not (XP.check (random_tree ~seed ~n:10 ()) a k))
+      [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+  in
+  List.iter
+    (fun (a, k) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s wrt %s fails" (Axis.name a) (Order.kind_name k))
+        true (fails_somewhere (a, k)))
+    [
+      (Axis.Child, Order.Pre);
+      (Axis.Next_sibling, Order.Pre);
+      (Axis.Following, Order.Pre);
+      (Axis.Descendant, Order.Bflr);
+      (Axis.Following, Order.Bflr);
+      (Axis.Child, Order.Post);
+      (Axis.Descendant, Order.Post);
+    ]
+
+let test_dichotomy_planner () =
+  Alcotest.(check bool) "tau1 -> pre" true
+    (XP.order_for_signature tau1 = Some Order.Pre);
+  Alcotest.(check bool) "tau2 -> post" true
+    (XP.order_for_signature [ Axis.Following ] = Some Order.Post);
+  Alcotest.(check bool) "tau3 -> bflr" true
+    (XP.order_for_signature tau3 = Some Order.Bflr);
+  Alcotest.(check bool) "mixed intractable" true
+    (XP.order_for_signature [ Axis.Descendant; Axis.Child ] = None);
+  Alcotest.(check bool) "following+child intractable" true
+    (XP.order_for_signature [ Axis.Following; Axis.Child ] = None);
+  Alcotest.(check bool) "empty signature tractable" true
+    (XP.order_for_signature [] <> None)
+
+(* Lemma 6.4: the minimum valuation of an AC pre-valuation is consistent
+   when the signature has the X-property *)
+let xprop_case_gen axes =
+  QCheck2.Gen.(
+    let* qseed = int_range 0 50_000 in
+    let* tseed = int_range 0 50_000 in
+    let* nvars = int_range 1 4 in
+    let* natoms = int_range 1 4 in
+    let* n = int_range 1 16 in
+    let q =
+      Cqtree.Generator.arbitrary ~seed:qseed ~nvars ~natoms ~axes
+        ~labels:Generator.labels_abc ()
+    in
+    return (Q.normalize_forward q, random_tree ~seed:tseed ~n ()))
+
+let prop_minimum_valuation_tau1 =
+  qtest ~count:150 "Lemma 6.4 on tau1 (<pre)" (xprop_case_gen tau1) (fun (q, t) ->
+      match AC.direct q t with
+      | None -> true
+      | Some pv ->
+        let theta = PV.minimum_valuation t Order.Pre pv in
+        Cqtree.Naive.holds q t (fun x -> List.assoc x theta))
+
+let prop_minimum_valuation_tau3 =
+  qtest ~count:150 "Lemma 6.4 on tau3 (<bflr)" (xprop_case_gen tau3) (fun (q, t) ->
+      match AC.direct q t with
+      | None -> true
+      | Some pv ->
+        let theta = PV.minimum_valuation t Order.Bflr pv in
+        Cqtree.Naive.holds q t (fun x -> List.assoc x theta))
+
+let prop_minimum_valuation_tau2 =
+  qtest ~count:150 "Lemma 6.4 on tau2 (<post)" (xprop_case_gen [ Axis.Following ])
+    (fun (q, t) ->
+      match AC.direct q t with
+      | None -> true
+      | Some pv ->
+        let theta = PV.minimum_valuation t Order.Post pv in
+        Cqtree.Naive.holds q t (fun x -> List.assoc x theta))
+
+(* Theorem 6.5 / k-ary evaluation *)
+let prop_xeval_boolean =
+  qtest ~count:200 "Theorem 6.5 Boolean = naive (cyclic allowed)"
+    (xprop_case_gen tau3) (fun (q, t) ->
+      let qb = { q with Q.head = [] } in
+      match XE.boolean qb t with
+      | None -> false
+      | Some b -> b = Cqtree.Naive.boolean qb t)
+
+let prop_xeval_solutions =
+  qtest ~count:80 "k-ary X-property evaluation = naive" (xprop_case_gen tau1)
+    (fun (q, t) ->
+      QCheck2.assume (List.length (Q.vars q) <= 3);
+      match XE.solutions q t with
+      | None -> false
+      | Some sols -> sols = Cqtree.Naive.solutions q t)
+
+let test_xeval_witness () =
+  let t = fig2_tree () in
+  let q = Q.of_string {| q :- lab(X, "b"), descendant(X, Y), lab(Y, "c"). |} in
+  (match XE.witness q t with
+  | Some (Some theta) ->
+    Alcotest.(check int) "X -> 1" 1 (List.assoc "X" theta);
+    Alcotest.(check int) "Y -> 3" 3 (List.assoc "Y" theta)
+  | _ -> Alcotest.fail "expected a witness");
+  let q2 = Q.of_string {| q :- lab(X, "d"), descendant(X, Y). |} in
+  Alcotest.(check bool) "unsat -> no witness" true (XE.witness q2 t = Some None);
+  let q3 = Q.of_string {| q :- child(X, Y), descendant(Y, Z). |} in
+  Alcotest.(check bool) "mixed signature unsupported" true (XE.witness q3 t = None)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6 enumeration *)
+
+let acyclic_gen =
+  QCheck2.Gen.(
+    let* qseed = int_range 0 50_000 in
+    let* tseed = int_range 0 50_000 in
+    let* nvars = int_range 1 5 in
+    let* n = int_range 1 20 in
+    let q =
+      Cqtree.Generator.acyclic ~seed:qseed ~nvars
+        ~axes:
+          [ Axis.Child; Axis.Descendant; Axis.Next_sibling; Axis.Ancestor; Axis.Following ]
+        ~labels:Generator.labels_abc ~head_arity:nvars ()
+    in
+    return (q, random_tree ~seed:tseed ~n ()))
+
+let prop_fig6_equals_naive =
+  qtest ~count:200 "Figure 6 enumeration = naive all-solutions" acyclic_gen
+    (fun (q, t) ->
+      match EN.solutions q t with
+      | None -> false
+      | Some sols -> sols = Cqtree.Naive.solutions q t)
+
+let prop_fig6_count =
+  qtest ~count:100 "count = number of satisfactions" acyclic_gen (fun (q, t) ->
+      match EN.count q t, EN.satisfactions q t with
+      | Some c, Some sats -> c = List.length sats
+      | _ -> false)
+
+let prop_fig6_no_dead_ends =
+  (* Proposition 6.9: every node of the maximal AC pre-valuation of an
+     acyclic query participates in a solution *)
+  qtest ~count:100 "Prop 6.9: every pre-valuation node is in a solution"
+    acyclic_gen (fun (q, t) ->
+      let q = Q.normalize_forward q in
+      match AC.direct q t, EN.satisfactions q t with
+      | None, _ -> true
+      | Some pv, Some sats ->
+        List.for_all
+          (fun (x, s) ->
+            Nodeset.fold
+              (fun v acc -> acc && List.exists (fun theta -> List.assoc x theta = v) sats)
+              s true)
+          pv
+      | Some _, None -> false)
+
+let test_fig6_rejects_cyclic () =
+  let q = Q.of_string {| q(X) :- child(X, Y), child(Y, Z), descendant(X, Z). |} in
+  Alcotest.(check bool) "cyclic rejected" true
+    (EN.solutions q (fig2_tree ()) = None)
+
+(* ------------------------------------------------------------------ *)
+(* Twig joins *)
+
+let test_pathstack_simple () =
+  let t = fig2_tree () in
+  let p = [ (Some "a", TW.Descendant_edge); (Some "b", TW.Descendant_edge) ] in
+  let sols = TW.path_stack t p in
+  (* a-nodes with a b-descendant: (0,1), (0,5), (4,5) *)
+  check_tuples "a//b" [ [| 0; 1 |]; [| 0; 5 |]; [| 4; 5 |] ] sols;
+  let p2 = [ (Some "a", TW.Descendant_edge); (Some "b", TW.Child_edge) ] in
+  check_tuples "a/b" [ [| 0; 1 |]; [| 4; 5 |] ] (TW.path_stack t p2)
+
+let test_pathstack_single_node () =
+  let t = fig2_tree () in
+  check_tuples "single b" [ [| 1 |]; [| 5 |] ]
+    (TW.path_stack t [ (Some "b", TW.Descendant_edge) ])
+
+let test_pathstack_wildcard () =
+  let t = fig2_tree () in
+  let sols = TW.path_stack t [ (None, TW.Descendant_edge); (Some "d", TW.Child_edge) ] in
+  check_tuples "parent of d" [ [| 4; 6 |] ] sols
+
+let twig_gen =
+  QCheck2.Gen.(
+    let* qseed = int_range 0 50_000 in
+    let* tseed = int_range 0 50_000 in
+    let* nvars = int_range 1 5 in
+    let* n = int_range 1 40 in
+    let q =
+      Cqtree.Generator.acyclic ~seed:qseed ~nvars
+        ~axes:[ Axis.Child; Axis.Descendant ] ~labels:Generator.labels_abc
+        ~head_arity:nvars ()
+    in
+    return (q, random_tree ~seed:tseed ~n ()))
+
+let prop_twig_equals_yannakakis =
+  qtest ~count:250 "twig join = Yannakakis" twig_gen (fun (q, t) ->
+      match TW.of_query q with
+      | None -> QCheck2.assume_fail ()
+      | Some twig ->
+        TW.solutions t twig = Cqtree.Yannakakis.solutions (TW.to_query twig) t)
+
+let prop_pathstack_equals_yannakakis =
+  qtest ~count:200 "PathStack = Yannakakis on path patterns"
+    QCheck2.Gen.(
+      let* seed = int_range 0 50_000 in
+      let* tseed = int_range 0 50_000 in
+      let* len = int_range 1 4 in
+      let* n = int_range 1 40 in
+      return (seed, len, random_tree ~seed:tseed ~n ()))
+    (fun (seed, len, t) ->
+      let rng = Random.State.make [| seed |] in
+      let specs =
+        List.init len (fun _ ->
+            ( (if Random.State.int rng 4 = 0 then None
+               else Some Generator.labels_abc.(Random.State.int rng 3)),
+              if Random.State.bool rng then TW.Child_edge else TW.Descendant_edge ))
+      in
+      let twig = TW.path specs in
+      TW.path_stack t specs = TW.solutions t twig
+      && TW.solutions t twig = Cqtree.Yannakakis.solutions (TW.to_query twig) t)
+
+let test_twig_of_query () =
+  let q = Q.of_string {| q(X, Y, Z) :- lab(X, "a"), child(X, Y), lab(Y, "b"), descendant(X, Z). |} in
+  Alcotest.(check bool) "twig recognised" true (TW.of_query q <> None);
+  let q2 = Q.of_string {| q(X, Y) :- following(X, Y). |} in
+  Alcotest.(check bool) "non-twig rejected" true (TW.of_query q2 = None)
+
+let suite =
+  [
+    Alcotest.test_case "AC vs satisfiability (Ex. 6.1 analogue)" `Quick test_example_61;
+    prop_direct_equals_hornsat;
+    prop_ac_result_is_arc_consistent;
+    prop_ac_is_maximal;
+    prop_66_positive;
+    Alcotest.test_case "X-property fails outside Prop 6.6" `Quick
+      test_xproperty_negative_cases;
+    Alcotest.test_case "dichotomy planner (Thm 6.8)" `Quick test_dichotomy_planner;
+    prop_minimum_valuation_tau1;
+    prop_minimum_valuation_tau3;
+    prop_minimum_valuation_tau2;
+    prop_xeval_boolean;
+    prop_xeval_solutions;
+    Alcotest.test_case "Xeval witnesses" `Quick test_xeval_witness;
+    prop_fig6_equals_naive;
+    prop_fig6_count;
+    prop_fig6_no_dead_ends;
+    Alcotest.test_case "Fig 6 rejects cyclic queries" `Quick test_fig6_rejects_cyclic;
+    Alcotest.test_case "PathStack basics" `Quick test_pathstack_simple;
+    Alcotest.test_case "PathStack single node" `Quick test_pathstack_single_node;
+    Alcotest.test_case "PathStack wildcard" `Quick test_pathstack_wildcard;
+    prop_twig_equals_yannakakis;
+    prop_pathstack_equals_yannakakis;
+    Alcotest.test_case "twig recognition" `Quick test_twig_of_query;
+  ]

@@ -1,0 +1,226 @@
+open Helpers
+module R = Relkit.Relation
+module A = Relkit.Acyclic
+
+let rel rows arity = R.of_rows ~arity rows
+
+(* ------------------------------------------------------------------ *)
+(* acyclicity *)
+
+let test_gyo () =
+  let r2 () = R.create ~arity:2 () in
+  let atom vars = A.make_atom (r2 ()) vars in
+  let path =
+    { A.head = [ "x" ]; body = [ atom [ "x"; "y" ]; atom [ "y"; "z" ] ] }
+  in
+  Alcotest.(check bool) "path acyclic" true (A.is_acyclic path);
+  let triangle =
+    {
+      A.head = [ "x" ];
+      body = [ atom [ "x"; "y" ]; atom [ "y"; "z" ]; atom [ "z"; "x" ] ];
+    }
+  in
+  Alcotest.(check bool) "triangle cyclic" false (A.is_acyclic triangle);
+  (* the classic: adding an atom covering all three variables makes the
+     triangle hypergraph acyclic (alpha-acyclicity is not monotone) *)
+  let covered =
+    {
+      triangle with
+      A.body = A.make_atom (R.create ~arity:3 ()) [ "x"; "y"; "z" ] :: triangle.body;
+    }
+  in
+  Alcotest.(check bool) "covered triangle acyclic" true (A.is_acyclic covered);
+  let disconnected =
+    { A.head = []; body = [ atom [ "x"; "y" ]; atom [ "u"; "v" ] ] }
+  in
+  Alcotest.(check bool) "disconnected acyclic" true (A.is_acyclic disconnected)
+
+let test_small_join () =
+  let parent = rel [ [| 0; 1 |]; [| 0; 2 |]; [| 2; 3 |] ] 2 in
+  let label_a = rel [ [| 1 |]; [| 3 |] ] 1 in
+  let q =
+    {
+      A.head = [ "x"; "y" ];
+      body = [ A.make_atom parent [ "x"; "y" ]; A.make_atom label_a [ "y" ] ];
+    }
+  in
+  (match A.solutions q with
+  | Some result ->
+    Alcotest.(check bool) "rows" true
+      (R.rows_sorted result = [ [| 0; 1 |]; [| 2; 3 |] ])
+  | None -> Alcotest.fail "acyclic expected");
+  Alcotest.(check bool) "boolean" true (A.boolean q = Some true)
+
+let test_repeated_vars () =
+  let r = rel [ [| 1; 1 |]; [| 1; 2 |]; [| 3; 3 |] ] 2 in
+  let q = { A.head = [ "x" ]; body = [ A.make_atom r [ "x"; "x" ] ] } in
+  match A.solutions q with
+  | Some result ->
+    Alcotest.(check bool) "diagonal" true (R.rows_sorted result = [ [| 1 |]; [| 3 |] ])
+  | None -> Alcotest.fail "acyclic expected"
+
+(* ------------------------------------------------------------------ *)
+(* random acyclic queries: Yannakakis = naive *)
+
+let random_acyclic_query seed =
+  let rng = Random.State.make [| seed |] in
+  let domain = 6 in
+  let var i = Printf.sprintf "v%d" i in
+  let fresh_var = ref 0 in
+  let new_var () =
+    incr fresh_var;
+    var !fresh_var
+  in
+  let random_rel arity =
+    let rows =
+      List.init (Random.State.int rng 10) (fun _ ->
+          Array.init arity (fun _ -> Random.State.int rng domain))
+    in
+    R.of_rows ~arity rows
+  in
+  let natoms = 1 + Random.State.int rng 4 in
+  let atoms = ref [] in
+  for _ = 1 to natoms do
+    match !atoms with
+    | [] ->
+      let arity = 1 + Random.State.int rng 2 in
+      let vars = List.init arity (fun _ -> new_var ()) in
+      atoms := [ A.make_atom (random_rel arity) vars ]
+    | existing ->
+      (* share one variable with a random existing atom, add fresh ones *)
+      let parent = List.nth existing (Random.State.int rng (List.length existing)) in
+      let shared =
+        List.nth parent.A.vars (Random.State.int rng (List.length parent.A.vars))
+      in
+      let extra = List.init (Random.State.int rng 2) (fun _ -> new_var ()) in
+      let vars = shared :: extra in
+      atoms := A.make_atom (random_rel (List.length vars)) vars :: existing
+  done;
+  let all_vars = List.sort_uniq compare (List.concat_map (fun a -> a.A.vars) !atoms) in
+  let head = List.filteri (fun i _ -> i mod 2 = 0) all_vars in
+  { A.head; body = !atoms }
+
+let prop_solutions_equal_naive =
+  qtest ~count:300 "relational Yannakakis = naive join"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let q = random_acyclic_query seed in
+      match A.solutions q with
+      | None -> false (* construction is acyclic by construction *)
+      | Some fast -> R.equal fast (A.naive_solutions q))
+
+let prop_full_reducer_characterisation =
+  (* Section 6: "each tuple in the result of a full reducer contributes to
+     a valuation" — and conversely, contributing tuples survive *)
+  qtest ~count:200 "full reducer keeps exactly the contributing tuples"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let q = random_acyclic_query seed in
+      match A.full_reducer q with
+      | None -> false
+      | Some reduced ->
+        let all_vars =
+          List.sort_uniq compare (List.concat_map (fun a -> a.A.vars) q.body)
+        in
+        let solutions = A.naive_solutions { q with head = all_vars } in
+        let value_of sol v =
+          let rec pos i = function
+            | [] -> assert false
+            | w :: _ when w = v -> i
+            | _ :: rest -> pos (i + 1) rest
+          in
+          sol.(pos 0 all_vars)
+        in
+        List.for_all
+          (fun (a : A.atom) ->
+            let reduced_rel = List.assoc a.A.name reduced in
+            (* normalised column order of the reduced relation: distinct
+               variables in first-occurrence order *)
+            let cols =
+              List.fold_left
+                (fun acc v -> if List.mem v acc then acc else acc @ [ v ])
+                [] a.A.vars
+            in
+            let expected =
+              R.of_rows ~arity:(List.length cols)
+                (List.filter_map
+                   (fun sol ->
+                     Some (Array.of_list (List.map (value_of sol) cols)))
+                   (R.rows solutions))
+            in
+            R.equal reduced_rel expected)
+          q.body)
+
+(* cross-check against the tree engines: materialise axis relations of a
+   small tree, run the same acyclic query both ways *)
+let prop_tree_crosscheck =
+  qtest ~count:100 "relational Yannakakis = tree Yannakakis"
+    QCheck2.Gen.(
+      let* qseed = int_range 0 50_000 in
+      let* tseed = int_range 0 50_000 in
+      let* n = int_range 1 12 in
+      return (qseed, random_tree ~seed:tseed ~n ()))
+    (fun (qseed, t) ->
+      let module Q = Cqtree.Query in
+      let module Tree = Treekit.Tree in
+      let module Axis = Treekit.Axis in
+      let axes = [ Axis.Child; Axis.Descendant; Axis.Next_sibling ] in
+      let q =
+        Cqtree.Generator.acyclic ~seed:qseed ~nvars:3 ~axes
+          ~labels:Treekit.Generator.labels_abc ~head_arity:3 ()
+      in
+      (* materialise the needed relations *)
+      let axis_rel a =
+        let rows = ref [] in
+        for v = 0 to Tree.size t - 1 do
+          Axis.fold t a v (fun w () -> rows := [| v; w |] :: !rows) ()
+        done;
+        R.of_rows ~arity:2 !rows
+      in
+      let label_rel l =
+        R.of_rows ~arity:1
+          (List.map (fun v -> [| v |]) (Tree.nodes_with_label t l))
+      in
+      let body =
+        List.map
+          (function
+            | Q.A (a, x, y) -> A.make_atom (axis_rel a) [ x; y ]
+            | Q.U (Q.Lab l, x) -> A.make_atom (label_rel l) [ x ]
+            | Q.U (_, _) -> assert false)
+          q.atoms
+      in
+      let rq = { A.head = q.head; body } in
+      match A.solutions rq with
+      | None -> false
+      | Some result ->
+        List.sort compare (R.rows result) = Cqtree.Yannakakis.solutions q t)
+
+let test_empty_relation_propagates () =
+  let r = rel [ [| 0; 1 |] ] 2 in
+  let empty = R.create ~arity:1 () in
+  let q =
+    {
+      A.head = [ "x" ];
+      body = [ A.make_atom r [ "x"; "y" ]; A.make_atom empty [ "z" ] ];
+    }
+  in
+  (match A.solutions q with
+  | Some result -> Alcotest.(check int) "no solutions" 0 (R.cardinality result)
+  | None -> Alcotest.fail "acyclic expected");
+  match A.full_reducer q with
+  | Some reduced ->
+    List.iter
+      (fun (_, rel) -> Alcotest.(check int) "all reduced to empty" 0 (R.cardinality rel))
+      reduced
+  | None -> Alcotest.fail "acyclic expected"
+
+let suite =
+  [
+    Alcotest.test_case "GYO reduction" `Quick test_gyo;
+    Alcotest.test_case "small join" `Quick test_small_join;
+    Alcotest.test_case "repeated variables" `Quick test_repeated_vars;
+    prop_solutions_equal_naive;
+    prop_full_reducer_characterisation;
+    prop_tree_crosscheck;
+    Alcotest.test_case "empty relation propagates" `Quick test_empty_relation_propagates;
+  ]

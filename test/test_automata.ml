@@ -1,0 +1,143 @@
+open Treekit
+open Helpers
+module A = Automata.Automaton
+
+let example_automata =
+  [
+    A.exists_label "a";
+    A.root_label "a";
+    A.all_leaves_labeled "c";
+    A.count_label_mod "a" ~modulus:3 ~residue:1;
+    A.every_a_has_b_descendant "a" "b";
+    A.adjacent_children "a" "b";
+  ]
+
+let test_monoid_laws () =
+  List.iter
+    (fun (auto : A.t) ->
+      Alcotest.(check (result unit string)) auto.name (Ok ())
+        (A.check_monoid auto ~labels:[ "a"; "b"; "c" ]))
+    (A.conj (A.exists_label "a") (A.complement (A.root_label "b")) :: example_automata)
+
+(* ground truth by direct inspection of the tree *)
+let direct_semantics t (auto : A.t) =
+  let n = Tree.size t in
+  let nodes = List.init n Fun.id in
+  let count l = List.length (Tree.nodes_with_label t l) in
+  match auto.name with
+  | "exists-a" -> count "a" > 0
+  | "root-a" -> Tree.label t 0 = "a"
+  | "all-leaves-c" ->
+    List.for_all (fun v -> (not (Tree.is_leaf t v)) || Tree.label t v = "c") nodes
+  | "count-a-mod-3" -> count "a" mod 3 = 1
+  | "every-a-has-b-descendant" ->
+    List.for_all
+      (fun v ->
+        Tree.label t v <> "a"
+        || List.exists (fun w -> Tree.label t w = "b") (Axis.nodes t Axis.Descendant v))
+      nodes
+  | "adjacent-a-b-children" ->
+    List.exists
+      (fun v ->
+        let s = Tree.next_sibling t v in
+        s <> -1 && Tree.label t v = "a" && Tree.label t s = "b")
+      nodes
+  | other -> Alcotest.fail ("no direct semantics for " ^ other)
+
+let prop_examples_match_direct_semantics =
+  qtest ~count:200 "example automata = direct semantics" (tree_gen ~max_n:40 ())
+    (fun t -> List.for_all (fun auto -> A.run auto t = direct_semantics t auto) example_automata)
+
+let prop_streaming_equals_in_memory =
+  qtest ~count:200 "streaming run = bottom-up run" (tree_gen ~max_n:40 ()) (fun t ->
+      List.for_all
+        (fun auto -> A.run_events auto (Event.to_seq t) = A.run auto t)
+        (A.disj (A.adjacent_children "a" "b") (A.count_label_mod "c" ~modulus:2 ~residue:0)
+        :: example_automata))
+
+let prop_boolean_combinators =
+  qtest ~count:150 "product/complement respect boolean semantics"
+    (tree_gen ~max_n:30 ()) (fun t ->
+      let a = A.exists_label "a" and b = A.every_a_has_b_descendant "a" "b" in
+      A.run (A.conj a b) t = (A.run a t && A.run b t)
+      && A.run (A.disj a b) t = (A.run a t || A.run b t)
+      && A.run (A.complement a) t = not (A.run a t))
+
+let test_streaming_memory_is_depth () =
+  let deep = Generator.path ~n:4_000 () in
+  let auto = A.count_label_mod "a" ~modulus:5 ~residue:0 in
+  let _, peak = A.run_events_stats auto (Event.to_seq deep) in
+  Alcotest.(check int) "peak = depth" 4_000 peak;
+  let wide = Generator.star ~n:4_000 () in
+  let _, peak_wide = A.run_events_stats auto (Event.to_seq wide) in
+  Alcotest.(check int) "star peak" 2 peak_wide
+
+let test_mso_counting_not_fo () =
+  (* the modular-counting automaton distinguishes trees that agree on all
+     small local patterns — a sanity check that we really are beyond
+     label-existence *)
+  let t1 = Generator.star ~n:4 () in
+  (* 4 a-nodes *)
+  let t2 = Generator.star ~n:5 () in
+  (* 5 a-nodes *)
+  let auto = A.count_label_mod "a" ~modulus:2 ~residue:0 in
+  Alcotest.(check bool) "4 is even" true (A.run auto t1);
+  Alcotest.(check bool) "5 is odd" false (A.run auto t2)
+
+let prop_select_ancestor =
+  qtest ~count:150 "unary two-pass: ancestor query = axis image"
+    (tree_gen ~max_n:40 ()) (fun t ->
+      List.for_all
+        (fun l ->
+          Nodeset.equal
+            (A.has_ancestor_labeled l t)
+            (Axis.image t Axis.Descendant (Tree.label_set t l)))
+        [ "a"; "b"; "c" ])
+
+let prop_select_vs_datalog =
+  (* the automata-based two-pass technique and monadic datalog compute the
+     same unary queries (the [29,51] connection): "ancestors of l-labeled
+     nodes" both ways *)
+  qtest ~count:100 "two-pass select = monadic datalog" (tree_gen ~max_n:30 ())
+    (fun t ->
+      let via_datalog = Mdatalog.Eval.run (Mdatalog.Examples.has_ancestor_labeled "b") t in
+      (* Example 3.1's program marks the proper ancestors of b-labeled
+         nodes; via automata: v qualifies iff some child subtree's
+         exists-b state is accepting *)
+      let states = A.state_at (A.exists_label "b") t in
+      let expected = Nodeset.create (Tree.size t) in
+      for v = 0 to Tree.size t - 1 do
+        if Tree.fold_children t v (fun acc c -> acc || states.(c) = 1) false then
+          Nodeset.add expected v
+      done;
+      Nodeset.equal via_datalog expected)
+
+let test_product_state_count () =
+  let a = A.exists_label "a" and b = A.count_label_mod "b" ~modulus:3 ~residue:0 in
+  let p = A.conj a b in
+  Alcotest.(check int) "states multiply" 6 p.A.states;
+  Alcotest.(check int) "monoid multiplies" 6 p.A.monoid_size
+
+let test_unbalanced_stream_rejected () =
+  let auto = A.exists_label "a" in
+  let t = fig2_tree () in
+  let events = List.of_seq (Event.to_seq t) in
+  let truncated = List.filteri (fun i _ -> i < List.length events - 1) events in
+  Alcotest.(check bool) "truncated stream rejected" true
+    (match A.run_events auto (List.to_seq truncated) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "monoid laws" `Quick test_monoid_laws;
+    prop_examples_match_direct_semantics;
+    prop_streaming_equals_in_memory;
+    prop_boolean_combinators;
+    Alcotest.test_case "streaming memory = depth" `Quick test_streaming_memory_is_depth;
+    Alcotest.test_case "modular counting (MSO, not FO)" `Quick test_mso_counting_not_fo;
+    prop_select_ancestor;
+    prop_select_vs_datalog;
+    Alcotest.test_case "product state counts" `Quick test_product_state_count;
+    Alcotest.test_case "unbalanced stream rejected" `Quick test_unbalanced_stream_rejected;
+  ]

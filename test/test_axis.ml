@@ -1,0 +1,190 @@
+open Treekit
+open Helpers
+
+(* Reference semantics: compute each axis relation from the base relations
+   Child and NextSibling by explicit closure — independent of the pre/post
+   arithmetic used by the implementation.  Returns a membership function
+   backed by matrices computed once per tree. *)
+let reference t =
+  let n = Tree.size t in
+  let mat () = Array.make_matrix n n false in
+  let child = mat () and next_sibling = mat () in
+  for v = 1 to n - 1 do
+    child.(Tree.parent t v).(v) <- true;
+    let s = Tree.next_sibling t v in
+    if s <> -1 then next_sibling.(v).(s) <- true
+  done;
+  (let s = Tree.next_sibling t 0 in
+   if s <> -1 then next_sibling.(0).(s) <- true);
+  let closure base =
+    (* transitive (≥1 step) closure, Floyd–Warshall *)
+    let c = Array.map Array.copy base in
+    for k = 0 to n - 1 do
+      for i = 0 to n - 1 do
+        if c.(i).(k) then
+          for j = 0 to n - 1 do
+            if c.(k).(j) then c.(i).(j) <- true
+          done
+      done
+    done;
+    c
+  in
+  let child_plus = closure child and ns_plus = closure next_sibling in
+  let star c x y = x = y || c.(x).(y) in
+  let following = mat () in
+  for x0 = 0 to n - 1 do
+    for y0 = 0 to n - 1 do
+      if ns_plus.(x0).(y0) then
+        for x = 0 to n - 1 do
+          if star child_plus x0 x then
+            for y = 0 to n - 1 do
+              if star child_plus y0 y then following.(x).(y) <- true
+            done
+        done
+    done
+  done;
+  fun axis u v ->
+    match axis with
+    | Axis.Self -> u = v
+    | Axis.Child -> child.(u).(v)
+    | Axis.Descendant -> child_plus.(u).(v)
+    | Axis.Descendant_or_self -> star child_plus u v
+    | Axis.Next_sibling -> next_sibling.(u).(v)
+    | Axis.Following_sibling -> ns_plus.(u).(v)
+    | Axis.Following_sibling_or_self -> star ns_plus u v
+    | Axis.Following -> following.(u).(v)
+    | Axis.Parent -> child.(v).(u)
+    | Axis.Ancestor -> child_plus.(v).(u)
+    | Axis.Ancestor_or_self -> star child_plus v u
+    | Axis.Prev_sibling -> next_sibling.(v).(u)
+    | Axis.Preceding_sibling -> ns_plus.(v).(u)
+    | Axis.Preceding_sibling_or_self -> star ns_plus v u
+    | Axis.Preceding -> following.(v).(u)
+
+let prop_mem_matches_reference =
+  qtest ~count:40 "mem = closure reference" (tree_gen ~max_n:12 ()) (fun t ->
+      let n = Tree.size t in
+      let ref_mem = reference t in
+      let ok = ref true in
+      List.iter
+        (fun a ->
+          for u = 0 to n - 1 do
+            for v = 0 to n - 1 do
+              if Axis.mem t a u v <> ref_mem a u v then ok := false
+            done
+          done)
+        Axis.all;
+      !ok)
+
+let prop_fold_matches_mem =
+  qtest ~count:40 "fold enumerates exactly mem, in document order"
+    (tree_gen ~max_n:15 ()) (fun t ->
+      let n = Tree.size t in
+      let ok = ref true in
+      List.iter
+        (fun a ->
+          for u = 0 to n - 1 do
+            let nodes = Axis.nodes t a u in
+            (* document order *)
+            if List.sort compare nodes <> nodes then ok := false;
+            let member = Array.make n false in
+            List.iter (fun v -> member.(v) <- true) nodes;
+            for v = 0 to n - 1 do
+              if member.(v) <> Axis.mem t a u v then ok := false
+            done
+          done)
+        Axis.all;
+      !ok)
+
+let prop_image_matches_fold =
+  qtest ~count:40 "image = union of folds" (tree_gen ~max_n:20 ()) (fun t ->
+      let n = Tree.size t in
+      let rng = Random.State.make [| Tree.size t |] in
+      let ok = ref true in
+      List.iter
+        (fun a ->
+          (* a few random source sets per axis *)
+          for _ = 1 to 3 do
+            let s = Nodeset.create n in
+            for v = 0 to n - 1 do
+              if Random.State.bool rng then Nodeset.add s v
+            done;
+            let img = Axis.image t a s in
+            let expected = Nodeset.create n in
+            Nodeset.iter
+              (fun u -> Axis.fold t a u (fun v () -> Nodeset.add expected v) ())
+              s;
+            if not (Nodeset.equal img expected) then ok := false
+          done)
+        Axis.all;
+      !ok)
+
+let prop_inverse_involution =
+  qtest ~count:30 "axis inversion is an involution and transposes mem"
+    (tree_gen ~max_n:12 ()) (fun t ->
+      let n = Tree.size t in
+      let ok = ref true in
+      List.iter
+        (fun a ->
+          if Axis.inverse (Axis.inverse a) <> a then ok := false;
+          for u = 0 to n - 1 do
+            for v = 0 to n - 1 do
+              if Axis.mem t a u v <> Axis.mem t (Axis.inverse a) v u then ok := false
+            done
+          done)
+        Axis.all;
+      !ok)
+
+let prop_count_pairs =
+  qtest ~count:40 "count_pairs = brute-force count" (tree_gen ~max_n:15 ()) (fun t ->
+      let n = Tree.size t in
+      List.for_all
+        (fun a ->
+          let brute = ref 0 in
+          for u = 0 to n - 1 do
+            for v = 0 to n - 1 do
+              if Axis.mem t a u v then incr brute
+            done
+          done;
+          !brute = Axis.count_pairs t a)
+        Axis.all)
+
+let test_axis_names () =
+  List.iter
+    (fun a ->
+      Alcotest.(check (option string))
+        (Axis.name a) (Some (Axis.name a))
+        (Option.map Axis.name (Axis.of_name (Axis.name a))))
+    Axis.all;
+  (* the paper's names *)
+  Alcotest.(check bool) "child+" true (Axis.of_name "child+" = Some Axis.Descendant);
+  Alcotest.(check bool) "child*" true (Axis.of_name "child*" = Some Axis.Descendant_or_self);
+  Alcotest.(check bool) "nextsibling+" true
+    (Axis.of_name "nextsibling+" = Some Axis.Following_sibling);
+  Alcotest.(check bool) "unknown" true (Axis.of_name "sideways" = None)
+
+let test_forward_axes () =
+  Alcotest.(check int) "eight forward axes" 8 (List.length Axis.forward);
+  List.iter
+    (fun a ->
+      Alcotest.(check bool) (Axis.name a) (List.mem a Axis.forward) (Axis.is_forward a))
+    Axis.all
+
+let test_following_fig2 () =
+  let t = fig2_tree () in
+  Alcotest.(check (list int)) "following of 1" [ 4; 5; 6 ] (Axis.nodes t Axis.Following 1);
+  Alcotest.(check (list int)) "following of 2" [ 3; 4; 5; 6 ] (Axis.nodes t Axis.Following 2);
+  Alcotest.(check (list int)) "preceding of 4" [ 1; 2; 3 ] (Axis.nodes t Axis.Preceding 4);
+  Alcotest.(check (list int)) "ancestor of 6" [ 0; 4 ] (Axis.nodes t Axis.Ancestor 6)
+
+let suite =
+  [
+    prop_mem_matches_reference;
+    prop_fold_matches_mem;
+    prop_image_matches_fold;
+    prop_inverse_involution;
+    prop_count_pairs;
+    Alcotest.test_case "axis names roundtrip" `Quick test_axis_names;
+    Alcotest.test_case "forward axis classification" `Quick test_forward_axes;
+    Alcotest.test_case "following/preceding on fig2" `Quick test_following_fig2;
+  ]

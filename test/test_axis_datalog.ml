@@ -1,0 +1,107 @@
+open Treekit
+open Helpers
+module AD = Mdatalog.Axis_datalog
+
+let test_parse_and_check () =
+  let p =
+    AD.parse
+      {| reach(X) :- root(X).
+         reach(Y) :- reach(X), child(X, Y), lab(Y, "a").
+         ?- reach. |}
+  in
+  Alcotest.(check int) "rules" 2 (List.length p.rules);
+  Alcotest.(check string) "query" "reach" p.query;
+  Alcotest.(check bool) "well-formed" true (AD.check p = Ok ());
+  let cyclic =
+    AD.parse {| p(X) :- child(X, Y), child(Y, Z), descendant(X, Z). ?- p. |}
+  in
+  Alcotest.(check bool) "cyclic body rejected" true (Result.is_error (AD.check cyclic));
+  Alcotest.(check bool) "missing query rule" true
+    (Result.is_error (AD.check (AD.parse {| p(X) :- root(X). ?- q. |})))
+
+let test_transitive_axes_without_recursion () =
+  let t = fig2_tree () in
+  (* Example 3.1 as a single non-recursive rule over Child+ *)
+  let p = AD.parse {| anc(X) :- descendant(X, Y), lab(Y, "b"). ?- anc. |} in
+  check_nodeset "ancestors of b" (Nodeset.of_list 7 [ 0; 4 ]) (AD.run p t)
+
+let test_recursive_reachability () =
+  let t = fig2_tree () in
+  (* even-depth nodes via mutual recursion over child *)
+  let p =
+    AD.parse
+      {| even(X) :- root(X).
+         odd(Y) :- even(X), child(X, Y).
+         even(Y) :- odd(X), child(X, Y).
+         ?- even. |}
+  in
+  check_nodeset "even depth" (Nodeset.of_list 7 [ 0; 2; 3; 5; 6 ]) (AD.run p t)
+
+let test_example_31_embedding () =
+  let t = fig2_tree () in
+  let tau = Mdatalog.Examples.has_ancestor_labeled "b" in
+  let embedded = AD.of_tau_program tau in
+  Alcotest.(check bool) "embedding well-formed" true (AD.check embedded = Ok ());
+  check_nodeset "same answers as the tau+ engine" (Mdatalog.Eval.run tau t)
+    (AD.run embedded t)
+
+let random_axis_program seed =
+  let rng = Random.State.make [| seed |] in
+  let preds = [| "p"; "q" |] in
+  let axes =
+    [| Axis.Child; Axis.Descendant; Axis.Next_sibling; Axis.Following_sibling;
+       Axis.Parent; Axis.Ancestor |]
+  in
+  let pick arr = arr.(Random.State.int rng (Array.length arr)) in
+  let rule head =
+    match Random.State.int rng 3 with
+    | 0 ->
+      Printf.sprintf {| %s(X) :- lab(X, "%s"). |} head (pick Generator.labels_abc)
+    | 1 ->
+      Printf.sprintf {| %s(Y) :- %s(X), %s(X, Y). |} head (pick preds)
+        (Axis.name (pick axes))
+    | _ ->
+      Printf.sprintf {| %s(X) :- %s(X, Y), lab(Y, "%s"), %s(Y). |} head
+        (Axis.name (pick axes)) (pick Generator.labels_abc) (pick preds)
+  in
+  let nrules = 2 + Random.State.int rng 4 in
+  let rules = List.init nrules (fun i -> rule preds.(i mod 2)) in
+  AD.parse (String.concat "\n" rules ^ " ?- p.")
+
+let prop_yannakakis_fixpoint_equals_naive =
+  qtest ~count:200 "axis datalog: Yannakakis fixpoint = naive fixpoint"
+    QCheck2.Gen.(
+      let* seed = int_range 0 50_000 in
+      let* tseed = int_range 0 50_000 in
+      let* n = int_range 1 20 in
+      return (random_axis_program seed, random_tree ~seed:tseed ~n ()))
+    (fun (p, t) -> Nodeset.equal (AD.run p t) (AD.run_naive p t))
+
+let prop_tau_embedding =
+  qtest ~count:100 "tau+ programs embed faithfully"
+    QCheck2.Gen.(
+      let* tseed = int_range 0 50_000 in
+      let* n = int_range 1 20 in
+      let* l = oneofl [ "a"; "b"; "c" ] in
+      return (l, random_tree ~seed:tseed ~n ()))
+    (fun (l, t) ->
+      let tau = Mdatalog.Examples.has_ancestor_labeled l in
+      Nodeset.equal (Mdatalog.Eval.run tau t) (AD.run (AD.of_tau_program tau) t))
+
+let test_env_predicates () =
+  let t = fig2_tree () in
+  let p = AD.parse {| out(Y) :- seeds(X), descendant(X, Y). ?- out. |} in
+  let env = [ ("seeds", Nodeset.of_list 7 [ 1 ]) ] in
+  check_nodeset "descendants of seeds" (Nodeset.of_list 7 [ 2; 3 ]) (AD.run ~env p t)
+
+let suite =
+  [
+    Alcotest.test_case "parse and check" `Quick test_parse_and_check;
+    Alcotest.test_case "transitive axes, no recursion" `Quick
+      test_transitive_axes_without_recursion;
+    Alcotest.test_case "recursive reachability" `Quick test_recursive_reachability;
+    Alcotest.test_case "Example 3.1 embedding" `Quick test_example_31_embedding;
+    prop_yannakakis_fixpoint_equals_naive;
+    prop_tau_embedding;
+    Alcotest.test_case "environment predicates" `Quick test_env_predicates;
+  ]

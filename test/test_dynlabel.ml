@@ -1,0 +1,123 @@
+open Treekit
+open Helpers
+module D = Dynlabel
+
+let build_random ~seed ~inserts =
+  let rng = Random.State.make [| seed |] in
+  let doc = D.create "r" in
+  let nodes = ref [ D.root doc ] in
+  let arr = ref [| D.root doc |] in
+  for _ = 1 to inserts do
+    let v = (!arr).(Random.State.int rng (Array.length !arr)) in
+    let lbl = Generator.labels_abc.(Random.State.int rng 3) in
+    let n =
+      match Random.State.int rng 3 with
+      | 0 -> D.insert_last_child doc v lbl
+      | 1 -> D.insert_first_child doc v lbl
+      | _ -> (
+        try D.insert_after doc v lbl
+        with Invalid_argument _ -> D.insert_last_child doc v lbl)
+    in
+    nodes := n :: !nodes;
+    arr := Array.append !arr [| n |]
+  done;
+  (doc, !nodes)
+
+let test_basics () =
+  let doc = D.create "r" in
+  let r = D.root doc in
+  let a = D.insert_last_child doc r "a" in
+  let b = D.insert_last_child doc r "b" in
+  let a1 = D.insert_last_child doc a "a1" in
+  let c = D.insert_after doc a "c" in
+  Alcotest.(check int) "size" 5 (D.size doc);
+  Alcotest.(check string) "label" "a1" (D.label a1);
+  Alcotest.(check bool) "root anc a1" true (D.is_ancestor doc r a1);
+  Alcotest.(check bool) "a anc a1" true (D.is_ancestor doc a a1);
+  Alcotest.(check bool) "b not anc a1" false (D.is_ancestor doc b a1);
+  Alcotest.(check bool) "a1 before c" true (D.is_following doc a1 c);
+  Alcotest.(check bool) "c before b" true (D.is_following doc c b);
+  Alcotest.(check bool) "c after a" true (D.compare_pre doc a c < 0);
+  Alcotest.(check bool) "no sibling of root" true
+    (match D.insert_after doc r "x" with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  (* the snapshot has the document order a, a1, c, b under r *)
+  let tree, pre_of = D.snapshot doc in
+  Alcotest.(check string) "snapshot shape" "r(a(a1), c, b)"
+    (Format.asprintf "%a" Tree.pp tree);
+  Alcotest.(check int) "pre of root" 0 (pre_of r);
+  Alcotest.(check int) "pre of c" 3 (pre_of c)
+
+let prop_matches_snapshot =
+  qtest ~count:30 "dynamic tests = static tree on the snapshot"
+    QCheck2.Gen.(
+      let* seed = int_range 0 10_000 in
+      let* inserts = int_range 1 150 in
+      return (seed, inserts))
+    (fun (seed, inserts) ->
+      let doc, nodes = build_random ~seed ~inserts in
+      let tree, pre_of = D.snapshot doc in
+      Tree.validate tree = Ok ()
+      && List.for_all
+           (fun u ->
+             List.for_all
+               (fun v ->
+                 let pu = pre_of u and pv = pre_of v in
+                 D.is_ancestor doc u v = Tree.is_ancestor tree pu pv
+                 && (pu = pv || D.is_following doc u v = Tree.is_following tree pu pv)
+                 && compare (D.compare_pre doc u v) 0 = compare (compare pu pv) 0
+                 && D.label u = Tree.label tree pu)
+               nodes)
+           nodes)
+
+let test_adversarial_relabeling () =
+  (* hammer one insertion point: forces gap exhaustion and relabeling,
+     correctness must survive *)
+  let doc = D.create "r" in
+  let r = D.root doc in
+  for _ = 1 to 2_000 do
+    ignore (D.insert_first_child doc r "x")
+  done;
+  Alcotest.(check bool) "relabeling happened" true (D.relabel_count doc > 0);
+  let tree, _ = D.snapshot doc in
+  Alcotest.(check bool) "snapshot valid" true (Tree.validate tree = Ok ());
+  Alcotest.(check int) "all children of root" 2_000
+    (List.length (Tree.children tree 0));
+  (* amortised: total relabel work stays well below quadratic *)
+  Alcotest.(check bool) "amortised relabeling" true
+    (D.relabel_count doc < 2_000 * 200)
+
+let test_deep_chain () =
+  let doc = D.create "r" in
+  let cur = ref (D.root doc) in
+  for _ = 1 to 2_000 do
+    cur := D.insert_last_child doc !cur "x"
+  done;
+  let tree, pre_of = D.snapshot doc in
+  Alcotest.(check int) "height" 2_000 (Tree.height tree);
+  Alcotest.(check bool) "leaf below root" true
+    (D.is_ancestor doc (D.root doc) !cur);
+  Alcotest.(check int) "leaf pre" 2_000 (pre_of !cur)
+
+let test_queries_on_snapshot () =
+  (* end-to-end: build dynamically, freeze, query with the static engines *)
+  let doc = D.create "lib" in
+  let r = D.root doc in
+  let s1 = D.insert_last_child doc r "shelf" in
+  let b1 = D.insert_last_child doc s1 "book" in
+  ignore (D.insert_last_child doc b1 "author");
+  let b2 = D.insert_after doc b1 "book" in
+  ignore b2;
+  let tree, _ = D.snapshot doc in
+  let answer = Xpath.Eval.query tree (Xpath.Parser.parse "//book[author]") in
+  Alcotest.(check int) "one book with author" 1 (Nodeset.cardinal answer)
+
+let suite =
+  [
+    Alcotest.test_case "basics" `Quick test_basics;
+    prop_matches_snapshot;
+    Alcotest.test_case "adversarial relabeling" `Quick test_adversarial_relabeling;
+    Alcotest.test_case "deep chain" `Quick test_deep_chain;
+    Alcotest.test_case "query the snapshot" `Quick test_queries_on_snapshot;
+  ]

@@ -1,0 +1,150 @@
+(* Cross-cutting edge cases: degenerate shapes, adversarial labels, deep
+   documents, and robustness of every engine on the smallest inputs. *)
+open Treekit
+open Helpers
+module Q = Cqtree.Query
+
+let single = Tree.of_builder (Tree.Node ("only", []))
+
+let test_single_node_everywhere () =
+  (* every engine must handle the one-node tree *)
+  check_nodeset "xpath self" (Nodeset.of_list 1 [ 0 ])
+    (Xpath.Eval.query single (Xpath.Parser.parse "self::only"));
+  check_nodeset "xpath child" (Nodeset.create 1)
+    (Xpath.Eval.query single (Xpath.Parser.parse "child::only"));
+  let q = Q.of_string {| q(X) :- lab(X, "only"). |} in
+  Alcotest.(check bool) "yannakakis" true
+    (Nodeset.mem (Cqtree.Yannakakis.unary q single) 0);
+  Alcotest.(check bool) "rewrite" true (Cqtree.Rewrite.boolean q single);
+  Alcotest.(check bool) "xeval" true (Actree.Xeval.boolean { q with head = [] } single = Some true);
+  Alcotest.(check bool) "fig6" true
+    (Actree.Enumerate.solutions q single = Some [ [| 0 |] ]);
+  Alcotest.(check bool) "datalog" true
+    (Nodeset.mem
+       (Mdatalog.Eval.run (Mdatalog.Parser.parse {| p(X) :- root(X). ?- p. |}) single)
+       0);
+  Alcotest.(check bool) "streaming" true
+    (Streamq.Path_matcher.matches single (Streamq.Path_pattern.of_string "//only")
+    = false);
+  (* the root is not its own descendant: //only finds nothing *)
+  Alcotest.(check bool) "automata" true
+    (Automata.Automaton.run (Automata.Automaton.exists_label "only") single)
+
+let test_deep_documents () =
+  (* recursion-depth safety on a 100k-deep path across the engines *)
+  let deep = Generator.path ~label:"a" ~n:100_000 () in
+  Alcotest.(check int) "events" 200_000 (List.length (Event.to_list deep) * 1);
+  let p = Xpath.Parser.parse "//a[not(child::*)]" in
+  Alcotest.(check int) "one leaf" 1 (Nodeset.cardinal (Xpath.Eval.query deep p));
+  let stats =
+    Streamq.Path_matcher.run deep (Streamq.Path_pattern.of_string "//a/a")
+      ~on_match:(fun _ -> ())
+  in
+  Alcotest.(check int) "peak = depth" 100_000 stats.peak_depth;
+  let auto = Automata.Automaton.count_label_mod "a" ~modulus:7 ~residue:(100_000 mod 7) in
+  Alcotest.(check bool) "automaton on deep tree" true
+    (Automata.Automaton.run_events auto (Event.to_seq deep));
+  (* structural join over the full path: n-1 child pairs, output-sensitive *)
+  let pairs =
+    Relkit.Structural_join.stack_join deep ~ancestors:[ 0 ] ~descendants:[ 99_999 ]
+  in
+  Alcotest.(check (list (pair int int))) "deep ancestor pair" [ (0, 99_999) ] pairs
+
+let test_adversarial_labels () =
+  (* labels that look like syntax must survive interning, XML and engines
+     (the XML writer only guarantees name-like labels, so test the rest) *)
+  let weird = [ "with space"; "quote\"inside"; "<angle>"; ""; "ünïcode" ] in
+  let t =
+    Tree.of_builder (Tree.Node ("root", List.map (fun l -> Tree.Node (l, [])) weird))
+  in
+  List.iteri
+    (fun i l -> Alcotest.(check string) (Printf.sprintf "label %d" i) l (Tree.label t (i + 1)))
+    weird;
+  Alcotest.(check int) "label set" 1 (Nodeset.cardinal (Tree.label_set t "<angle>"));
+  (* CQ with an exotic label via the AST (the parser only accepts quoted
+     strings without embedded quotes) *)
+  let q = { Q.head = [ "X" ]; atoms = [ Q.U (Q.Lab "with space", "X") ] } in
+  Alcotest.(check int) "query answers" 1
+    (Nodeset.cardinal (Cqtree.Yannakakis.unary q t))
+
+let test_all_roots_and_leaves () =
+  let t = fig2_tree () in
+  (* Boolean query satisfiable only at the root *)
+  let q = Q.of_string {| q :- root(X), lab(X, "a"). |} in
+  Alcotest.(check bool) "root query" true (Cqtree.Yannakakis.boolean q t);
+  let q2 = Q.of_string {| q :- root(X), lab(X, "b"). |} in
+  Alcotest.(check bool) "root mismatch" false (Cqtree.Yannakakis.boolean q2 t);
+  (* leaves through four different engines *)
+  let via_xpath = Xpath.Eval.query t (Xpath.Parser.parse "//*[not(child::*)]") in
+  let via_cq = Cqtree.Yannakakis.unary (Q.of_string {| q(X) :- leaf(X). |}) t in
+  let via_fo =
+    Folang.Eval.unary t
+      (Folang.Formula.Not
+         (Folang.Formula.Exists ("y", Folang.Formula.Axis (Axis.Child, "x", "y"))))
+  in
+  check_nodeset "xpath = cq" via_cq via_xpath;
+  check_nodeset "fo = cq" via_cq via_fo
+
+let test_star_documents () =
+  (* a 10k-star: wide, flat; sibling axes get long chains *)
+  let star = Generator.star ~n:10_000 () in
+  let q =
+    Q.of_string {| q(X) :- following-sibling(X, Y), lastsibling(Y), firstsibling(X). |}
+  in
+  (* only the first child pairs with the last sibling *)
+  let answers = Cqtree.Yannakakis.unary q star in
+  Alcotest.(check int) "first child only" 1 (Nodeset.cardinal answers);
+  Alcotest.(check bool) "node 1" true (Nodeset.mem answers 1);
+  let p = Streamq.Path_pattern.of_string "/*/*" in
+  Alcotest.(check int) "no grandchildren" 0
+    (Nodeset.cardinal (Streamq.Path_matcher.select star p))
+
+let test_empty_answers_compose () =
+  let t = fig2_tree () in
+  (* rewriting an unsatisfiable query produces the empty union or dead
+     branches; all evaluation paths must return empty, not crash *)
+  let q =
+    Q.of_string
+      {| q(X) :- child(X, Y), child(Y, X). |}
+  in
+  Alcotest.(check bool) "naive" true (Cqtree.Naive.solutions q t = []);
+  Alcotest.(check bool) "rewrite" true (Cqtree.Rewrite.solutions q t = []);
+  check_nodeset "rewrite unary" (Nodeset.create 7) (Cqtree.Rewrite.unary q t);
+  let u = Cqtree.Positive.make [ q; q ] in
+  Alcotest.(check bool) "positive union" true (Cqtree.Positive.solutions u t = [])
+
+let test_engine_on_all_languages_single_node () =
+  let module E = Treequery.Engine in
+  Alcotest.(check bool) "xpath" true
+    (E.eval_boolean (E.parse_xpath "self::only") single);
+  Alcotest.(check bool) "cq" true
+    (E.eval_boolean (E.parse_cq {| q :- lab(X, "only"). |}) single);
+  Alcotest.(check bool) "datalog" true
+    (E.eval_boolean (E.parse_datalog {| p(X) :- leaf(X). ?- p. |}) single)
+
+let test_big_alphabet () =
+  (* a tree where every node has a distinct label: interning and label
+     indexes must stay correct *)
+  let n = 2_000 in
+  let t =
+    Tree.of_parent_vector
+      ~parents:(Array.init n (fun v -> v - 1))
+      ~labels:(Array.init n (fun v -> "L" ^ string_of_int v))
+      ()
+  in
+  Alcotest.(check int) "distinct labels" n (Label.count (Tree.label_table t));
+  Alcotest.(check (list int)) "unique member" [ 1234 ] (Tree.nodes_with_label t "L1234");
+  let q = Q.of_string {| q(X) :- lab(X, "L777"), ancestor(X, Y), lab(Y, "L0"). |} in
+  Alcotest.(check int) "one answer" 1 (List.length (Cqtree.Yannakakis.solutions q t))
+
+let suite =
+  [
+    Alcotest.test_case "single-node tree, every engine" `Quick test_single_node_everywhere;
+    Alcotest.test_case "100k-deep documents" `Quick test_deep_documents;
+    Alcotest.test_case "adversarial labels" `Quick test_adversarial_labels;
+    Alcotest.test_case "roots and leaves across engines" `Quick test_all_roots_and_leaves;
+    Alcotest.test_case "10k star" `Quick test_star_documents;
+    Alcotest.test_case "empty answers compose" `Quick test_empty_answers_compose;
+    Alcotest.test_case "engine on a single node" `Quick test_engine_on_all_languages_single_node;
+    Alcotest.test_case "2k distinct labels" `Quick test_big_alphabet;
+  ]

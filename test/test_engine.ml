@@ -1,0 +1,124 @@
+open Treekit
+open Helpers
+module E = Treequery.Engine
+
+let test_planning () =
+  let strat s = E.strategy_name (E.plan (E.parse_cq s)) in
+  Alcotest.(check string) "acyclic -> yannakakis" "yannakakis"
+    (strat {| q(X) :- lab(X, "a"), child(X, Y). |});
+  Alcotest.(check string) "cyclic tau1 -> arc consistency" "arc-consistency"
+    (strat {| q(X) :- descendant(X, Y), descendant(Y, Z), descendant(X, Z). |});
+  Alcotest.(check string) "cyclic mixed -> rewrite" "rewrite-to-acyclic"
+    (strat {| q(X) :- child(X, Y), descendant(Y, Z), descendant(X, Z). |});
+  Alcotest.(check string) "xpath" "xpath-bottom-up"
+    (E.strategy_name (E.plan (E.parse_xpath "//a")));
+  Alcotest.(check string) "datalog" "datalog-hornsat"
+    (E.strategy_name (E.plan (E.parse_datalog {| p(X) :- root(X). ?- p. |})))
+
+let test_explain_mentions_strategy () =
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  let e = E.explain (E.parse_cq {| q(X) :- lab(X, "a"), child(X, Y). |}) in
+  Alcotest.(check bool) "mentions yannakakis" true (contains e "yannakakis");
+  Alcotest.(check bool) "mentions acyclic" true (contains e "acyclic");
+  let e2 = E.explain (E.parse_xpath "//a[not(b)]") in
+  Alcotest.(check bool) "mentions xpath" true (contains e2 "Core XPath");
+  let e3 = E.explain (E.parse_datalog {| p(X) :- root(X). ?- p. |}) in
+  Alcotest.(check bool) "mentions datalog" true (contains e3 "datalog")
+
+let test_eval_languages_agree () =
+  let t = fig2_tree () in
+  (* "descendants labeled b" in all three languages *)
+  let via_xpath = E.eval (E.parse_xpath "//b") t in
+  let via_cq = E.eval (E.parse_cq {| q(X) :- lab(X, "b"), ancestor(X, Y), root(Y). |}) t in
+  let via_datalog =
+    E.eval
+      (E.parse_datalog
+         {| mark(X) :- lab(X, "b"), notroot(X).
+            notroot(X) :- firstchild(Y, X).
+            notroot(X) :- nextsibling(Y, X).
+            ?- mark. |})
+      t
+  in
+  check_nodeset "xpath" (Nodeset.of_list 7 [ 1; 5 ]) via_xpath;
+  check_nodeset "cq" (Nodeset.of_list 7 [ 1; 5 ]) via_cq;
+  check_nodeset "datalog" (Nodeset.of_list 7 [ 1; 5 ]) via_datalog
+
+let test_boolean_and_solutions () =
+  let t = fig2_tree () in
+  let q = E.parse_cq {| q :- lab(X, "d"). |} in
+  Alcotest.(check bool) "boolean true" true (E.eval_boolean q t);
+  check_nodeset "boolean eval = {root}" (Nodeset.of_list 7 [ 0 ]) (E.eval q t);
+  let q2 = E.parse_cq {| q :- lab(X, "zzz"). |} in
+  Alcotest.(check bool) "boolean false" false (E.eval_boolean q2 t);
+  let q3 = E.parse_cq {| q(X, Y) :- lab(X, "b"), child(X, Y). |} in
+  check_tuples "pairs" [ [| 1; 2 |]; [| 1; 3 |] ] (E.solutions q3 t)
+
+let test_positive_and_axis_datalog () =
+  let t = fig2_tree () in
+  let u = E.parse_positive [ {| q(X) :- lab(X, "c"). |}; {| q(X) :- lab(X, "d"). |} ] in
+  Alcotest.(check string) "positive strategy" "positive-union-rewrite"
+    (E.strategy_name (E.plan u));
+  check_nodeset "positive eval" (Nodeset.of_list 7 [ 3; 6 ]) (E.eval u t);
+  Alcotest.(check bool) "positive boolean" true (E.eval_boolean u t);
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "positive explain" true
+    (contains (E.explain u) "Corollary 5.2");
+  let d =
+    E.parse_axis_datalog
+      {| even(X) :- root(X).
+         odd(Y) :- even(X), child(X, Y).
+         even(Y) :- odd(X), child(X, Y).
+         ?- odd. |}
+  in
+  Alcotest.(check string) "axis-datalog strategy" "datalog-yannakakis-fixpoint"
+    (E.strategy_name (E.plan d));
+  check_nodeset "odd depths" (Nodeset.of_list 7 [ 1; 4 ]) (E.eval d t);
+  Alcotest.(check bool) "axis-datalog explain" true
+    (contains (E.explain d) "mon.datalog[X]")
+
+let strategies_gen =
+  QCheck2.Gen.(
+    let* qseed = int_range 0 100_000 in
+    let* tseed = int_range 0 100_000 in
+    let* nvars = int_range 1 4 in
+    let* natoms = int_range 1 4 in
+    let* n = int_range 1 16 in
+    let q =
+      Cqtree.Generator.arbitrary ~seed:qseed ~nvars ~natoms
+        ~axes:
+          [
+            Axis.Child; Axis.Descendant; Axis.Next_sibling; Axis.Following_sibling;
+            Axis.Following; Axis.Parent; Axis.Ancestor;
+          ]
+        ~labels:Generator.labels_abc ()
+    in
+    return (q, random_tree ~seed:tseed ~n ()))
+
+let prop_engine_equals_naive =
+  qtest ~count:250 "engine (any strategy) = naive" strategies_gen (fun (q, t) ->
+      E.solutions (E.Cq_query q) t = Cqtree.Naive.solutions q t)
+
+let prop_engine_boolean =
+  qtest ~count:200 "engine boolean = naive boolean" strategies_gen (fun (q, t) ->
+      let qb = { q with Cqtree.Query.head = [] } in
+      E.eval_boolean (E.Cq_query qb) t = Cqtree.Naive.boolean qb t)
+
+let suite =
+  [
+    Alcotest.test_case "strategy planning" `Quick test_planning;
+    Alcotest.test_case "explain output" `Quick test_explain_mentions_strategy;
+    Alcotest.test_case "three languages agree" `Quick test_eval_languages_agree;
+    Alcotest.test_case "boolean and k-ary" `Quick test_boolean_and_solutions;
+    Alcotest.test_case "positive FO and axis datalog" `Quick
+      test_positive_and_axis_datalog;
+    prop_engine_equals_naive;
+    prop_engine_boolean;
+  ]

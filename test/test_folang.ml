@@ -1,0 +1,113 @@
+open Treekit
+open Helpers
+module F = Folang.Formula
+module FE = Folang.Eval
+module OX = Folang.Of_xpath
+
+let test_formula_measures () =
+  let phi =
+    F.Exists ("y", F.And (F.Axis (Axis.Child, "x", "y"), F.Lab ("a", "y")))
+  in
+  Alcotest.(check (list string)) "free vars" [ "x" ] (F.free_vars phi);
+  Alcotest.(check int) "two names" 2 (F.variable_count phi);
+  Alcotest.(check bool) "not a sentence" false (F.is_sentence phi);
+  Alcotest.(check bool) "sentence" true (F.is_sentence (F.Exists ("x", F.Lab ("a", "x"))));
+  (* variable reuse counts once — the FOk point *)
+  let reuse =
+    F.Exists
+      ( "y",
+        F.And
+          ( F.Axis (Axis.Child, "x", "y"),
+            F.Exists ("x", F.Axis (Axis.Child, "y", "x")) ) )
+  in
+  Alcotest.(check int) "reused names" 2 (F.variable_count reuse)
+
+let test_eval_basics () =
+  let t = fig2_tree () in
+  (* nodes labeled a with a b-child *)
+  let phi =
+    F.And
+      ( F.Lab ("a", "v"),
+        F.Exists ("w", F.And (F.Axis (Axis.Child, "v", "w"), F.Lab ("b", "w"))) )
+  in
+  check_nodeset "a with b child" (Nodeset.of_list 7 [ 0; 4 ]) (FE.unary t phi);
+  (* ∀: every child is a leaf *)
+  let all_children_leaves =
+    F.Forall
+      ( "w",
+        F.Or
+          ( F.Not (F.Axis (Axis.Child, "v", "w")),
+            F.Not (F.Exists ("v", F.Axis (Axis.Child, "w", "v"))) ) )
+  in
+  check_nodeset "all children leaves" (Nodeset.of_list 7 [ 1; 2; 3; 4; 5; 6 ])
+    (FE.unary t all_children_leaves);
+  (* sentences *)
+  Alcotest.(check bool) "exists d" true
+    (FE.holds t (F.Exists ("x", F.Lab ("d", "x"))));
+  Alcotest.(check bool) "no z" false (FE.holds t (F.Exists ("x", F.Lab ("z", "x"))));
+  Alcotest.(check bool) "all labeled" true
+    (FE.holds t (F.Forall ("x", F.disj [ F.Lab ("a", "x"); F.Lab ("b", "x"); F.Lab ("c", "x"); F.Lab ("d", "x") ])));
+  Alcotest.(check bool) "equality" true
+    (FE.holds t (F.Exists ("x", F.Exists ("y", F.And (F.Eq ("x", "y"), F.Lab ("c", "x"))))))
+
+let test_eval_rejects () =
+  let t = fig2_tree () in
+  Alcotest.(check bool) "holds rejects free vars" true
+    (match FE.holds t (F.Lab ("a", "x")) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "unary rejects binary" true
+    (match FE.unary t (F.Axis (Axis.Child, "x", "y")) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let fo2_gen =
+  QCheck2.Gen.(
+    let* seed = int_range 0 100_000 in
+    let* tseed = int_range 0 100_000 in
+    let* depth = int_range 0 3 in
+    let* n = int_range 1 15 in
+    return
+      ( Xpath.Generator.random ~seed ~depth ~labels:Generator.labels_abc (),
+        random_tree ~seed:tseed ~n () ))
+
+let prop_fo2_translation =
+  qtest ~count:200 "Core XPath → FO2 preserves semantics (Marx [57])" fo2_gen
+    (fun (p, t) ->
+      let phi = OX.unary p in
+      F.variable_count phi <= 2
+      && Nodeset.equal (FE.unary t phi) (Xpath.Eval.query t p)
+      && FE.holds t (OX.boolean p)
+         = not (Nodeset.is_empty (Xpath.Eval.query t p)))
+
+let prop_fo2_linear_size =
+  qtest ~count:100 "FO2 translation is linear in |Q|"
+    QCheck2.Gen.(int_range 1 20)
+    (fun k ->
+      let p = Xpath.Generator.star_chain ~length:k in
+      F.size (OX.unary p) <= 10 * Xpath.Ast.size p + 10)
+
+let prop_demorgan =
+  qtest ~count:100 "FO equivalences (de Morgan, ∀ = ¬∃¬)" fo2_gen (fun (_, t) ->
+      let phi = F.Lab ("a", "v")
+      and psi =
+        F.Exists ("w", F.And (F.Axis (Axis.Descendant, "v", "w"), F.Lab ("b", "w")))
+      in
+      let n1 = FE.unary t (F.Not (F.And (phi, psi)))
+      and n2 = FE.unary t (F.Or (F.Not phi, F.Not psi)) in
+      let f1 = FE.unary t (F.Forall ("w", F.Or (F.Not (F.Axis (Axis.Child, "v", "w")), F.Lab ("a", "w"))))
+      and f2 =
+        FE.unary t
+          (F.Not (F.Exists ("w", F.Not (F.Or (F.Not (F.Axis (Axis.Child, "v", "w")), F.Lab ("a", "w"))))))
+      in
+      Nodeset.equal n1 n2 && Nodeset.equal f1 f2)
+
+let suite =
+  [
+    Alcotest.test_case "formula measures" `Quick test_formula_measures;
+    Alcotest.test_case "evaluation basics" `Quick test_eval_basics;
+    Alcotest.test_case "evaluation input checks" `Quick test_eval_rejects;
+    prop_fo2_translation;
+    prop_fo2_linear_size;
+    prop_demorgan;
+  ]

@@ -1,0 +1,191 @@
+open Treekit
+open Helpers
+module S = Actree.Structure
+module G = Actree.Gcsp
+
+let identity_order n = Array.init n Fun.id
+
+(* ------------------------------------------------------------------ *)
+(* Structures *)
+
+let test_structure_basics () =
+  let s = S.create ~size:5 in
+  S.add_unary s "p" [ 0; 2; 2 ];
+  S.add_binary s "r" [ (0, 1); (1, 2); (0, 1) ];
+  Alcotest.(check bool) "unary mem" true (S.mem_unary s "p" 2);
+  Alcotest.(check bool) "unary not mem" false (S.mem_unary s "p" 1);
+  Alcotest.(check bool) "unknown unary" false (S.mem_unary s "q" 0);
+  Alcotest.(check bool) "binary mem" true (S.mem_binary s "r" 1 2);
+  Alcotest.(check int) "dedup" 2 (S.relation_size s "r");
+  Alcotest.(check (list int)) "successors" [ 1 ] (S.successors s "r" 0);
+  Alcotest.(check (list int)) "predecessors" [ 0 ] (S.predecessors s "r" 1);
+  Alcotest.(check (list string)) "names" [ "r" ] (S.binary_names s)
+
+let test_of_tree () =
+  let t = fig2_tree () in
+  let s = S.of_tree t [ Axis.Child; Axis.Descendant ] in
+  Alcotest.(check int) "child pairs" 6 (S.relation_size s "child");
+  Alcotest.(check int) "descendant pairs" 10 (S.relation_size s "descendant");
+  Alcotest.(check bool) "labels materialised" true (S.mem_unary s "lab:b" 1);
+  (* membership agrees with the axis implementation everywhere *)
+  let ok = ref true in
+  for u = 0 to 6 do
+    for v = 0 to 6 do
+      if S.mem_binary s "descendant" u v <> Axis.mem t Axis.Descendant u v then ok := false
+    done
+  done;
+  Alcotest.(check bool) "axis agreement" true !ok
+
+(* ------------------------------------------------------------------ *)
+(* Example 6.1 — verbatim *)
+
+let test_example_61 () =
+  let s = S.example_61 () in
+  let q = G.of_string {| q :- R(X, Y), S(X, Y). |} in
+  (* the paper: Θ : x ↦ {1,3}, y ↦ {2,4} is an arc-consistent
+     pre-valuation (0-based: {0,2} and {1,3}), yet q is not satisfiable *)
+  (match G.arc_consistency s q with
+  | Some pv ->
+    check_nodeset "Theta(x)" (Nodeset.of_list 4 [ 0; 2 ])
+      (Actree.Prevaluation.find pv "X");
+    check_nodeset "Theta(y)" (Nodeset.of_list 4 [ 1; 3 ])
+      (Actree.Prevaluation.find pv "Y")
+  | None -> Alcotest.fail "expected an arc-consistent pre-valuation");
+  Alcotest.(check bool) "q is not satisfiable" false (G.naive_boolean s q);
+  (* and indeed the structure does NOT have the X-property w.r.t. the
+     natural order — the premise of Theorem 6.5 fails, which is the
+     example's point *)
+  let order = identity_order 4 in
+  Alcotest.(check bool) "S lacks the X-property" false
+    (S.has_x_property s "S" ~order && S.has_x_property s "R" ~order)
+
+(* ------------------------------------------------------------------ *)
+(* X-property and closure *)
+
+let test_x_closure_establishes_property () =
+  let s = S.create ~size:6 in
+  S.add_binary s "r" [ (1, 4); (3, 2); (0, 5); (4, 0) ];
+  let order = identity_order 6 in
+  Alcotest.(check bool) "initially without" false (S.has_x_property s "r" ~order);
+  S.x_closure s "r" ~order;
+  Alcotest.(check bool) "closure establishes it" true (S.has_x_property s "r" ~order)
+
+let test_tree_axes_x_property () =
+  (* Prop. 6.6 via the general checker: Child+ has the X-property w.r.t.
+     <pre, Child does not (on a witness tree) *)
+  let t = fig2_tree () in
+  let s = S.of_tree t [ Axis.Child; Axis.Descendant ] in
+  let pre_order = identity_order 7 in
+  Alcotest.(check bool) "descendant wrt pre" true
+    (S.has_x_property s "descendant" ~order:pre_order);
+  let bflr = Tree.bflr_rank t in
+  Alcotest.(check bool) "child wrt bflr" true (S.has_x_property s "child" ~order:bflr)
+
+(* ------------------------------------------------------------------ *)
+(* the general Lemma 6.4 / Theorem 6.5, property-tested on random
+   structures whose relations are X-closed by construction *)
+
+let random_x_structure seed =
+  let rng = Random.State.make [| seed |] in
+  let n = 3 + Random.State.int rng 6 in
+  let s = S.create ~size:n in
+  let order = identity_order n in
+  List.iter
+    (fun name ->
+      let pairs =
+        List.init
+          (1 + Random.State.int rng 6)
+          (fun _ -> (Random.State.int rng n, Random.State.int rng n))
+      in
+      S.add_binary s name pairs;
+      S.x_closure s name ~order)
+    [ "r"; "s" ];
+  S.add_unary s "p" (List.init n (fun v -> v) |> List.filter (fun _ -> Random.State.bool rng));
+  (s, order)
+
+let random_query seed =
+  let rng = Random.State.make [| seed * 31 + 7 |] in
+  let var i = Printf.sprintf "V%d" i in
+  let nvars = 2 + Random.State.int rng 3 in
+  let atoms =
+    List.init
+      (1 + Random.State.int rng 4)
+      (fun _ ->
+        let x = var (Random.State.int rng nvars) and y = var (Random.State.int rng nvars) in
+        G.B ((if Random.State.bool rng then "r" else "s"), x, y))
+  in
+  let unaries =
+    if Random.State.bool rng then [ G.U ("p", var 0) ] else []
+  in
+  { G.head = []; atoms = unaries @ atoms }
+
+let prop_theorem_65_general =
+  qtest ~count:300 "Theorem 6.5 on random X-closed structures"
+    QCheck2.Gen.(int_range 0 50_000)
+    (fun seed ->
+      let s, order = random_x_structure seed in
+      let q = random_query seed in
+      let sat, witness = G.boolean_via_x_property s q ~order in
+      sat = G.naive_boolean s q
+      &&
+      match witness with
+      | Some theta when sat -> G.holds s q (fun x -> List.assoc x theta)
+      | Some _ -> false
+      | None -> not sat)
+
+let prop_ac_subsumes_solutions =
+  qtest ~count:200 "AC pre-valuation contains every solution (general)"
+    QCheck2.Gen.(int_range 0 50_000)
+    (fun seed ->
+      let s, _ = random_x_structure seed in
+      let q = random_query seed in
+      let full = { q with G.head = G.vars q } in
+      match G.arc_consistency s q with
+      | None -> G.naive_solutions s full = []
+      | Some pv ->
+        List.for_all
+          (fun sol ->
+            List.for_all2
+              (fun x v -> Nodeset.mem (Actree.Prevaluation.find pv x) v)
+              (G.vars q) (Array.to_list sol))
+          (G.naive_solutions s full))
+
+(* ------------------------------------------------------------------ *)
+(* H-colouring *)
+
+let test_h_coloring () =
+  (* homomorphism from a triangle into a structure: exists iff the target
+     has a triangle (for symmetric edges) *)
+  let triangle = Treewidth.Graph.of_edges 3 [ (0, 1); (1, 2); (0, 2) ] in
+  let q = G.homomorphism_query triangle ~edge_rel:"e" in
+  let with_triangle = S.create ~size:4 in
+  S.add_binary with_triangle "e"
+    [ (0, 1); (1, 0); (1, 2); (2, 1); (0, 2); (2, 0); (2, 3); (3, 2) ];
+  Alcotest.(check bool) "triangle found" true (G.naive_boolean with_triangle q);
+  let bipartite = S.create ~size:4 in
+  S.add_binary bipartite "e" [ (0, 1); (1, 0); (1, 2); (2, 1); (2, 3); (3, 2) ];
+  Alcotest.(check bool) "no triangle in a path" false (G.naive_boolean bipartite q)
+
+let test_gcsp_parser () =
+  let q = G.of_string {| q(X) :- edge(X, Y), color:red(Y). |} in
+  Alcotest.(check int) "atoms" 2 (List.length q.atoms);
+  Alcotest.(check (list string)) "vars" [ "X"; "Y" ] (G.vars q);
+  Alcotest.(check bool) "unsafe rejected" true
+    (match G.of_string {| q(Z) :- edge(X, Y). |} with
+    | exception Failure _ -> true
+    | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "structure basics" `Quick test_structure_basics;
+    Alcotest.test_case "of_tree materialisation" `Quick test_of_tree;
+    Alcotest.test_case "Example 6.1 verbatim" `Quick test_example_61;
+    Alcotest.test_case "x_closure establishes the property" `Quick
+      test_x_closure_establishes_property;
+    Alcotest.test_case "tree axes via the general checker" `Quick
+      test_tree_axes_x_property;
+    prop_theorem_65_general;
+    prop_ac_subsumes_solutions;
+    Alcotest.test_case "H-colouring" `Quick test_h_coloring;
+    Alcotest.test_case "gcsp parser" `Quick test_gcsp_parser;
+  ]

@@ -1,0 +1,138 @@
+open Helpers
+
+let test_empty () =
+  let f = Hornsat.create ~nvars:3 in
+  let m = Hornsat.solve f in
+  Alcotest.(check bool) "nothing derivable" true (Array.for_all not m);
+  Alcotest.(check bool) "satisfiable" true (Hornsat.satisfiable f)
+
+let test_chain () =
+  let f = Hornsat.create ~nvars:4 in
+  ignore (Hornsat.add_rule f ~head:0 ~body:[]);
+  ignore (Hornsat.add_rule f ~head:1 ~body:[ 0 ]);
+  ignore (Hornsat.add_rule f ~head:2 ~body:[ 1 ]);
+  ignore (Hornsat.add_rule f ~head:3 ~body:[ 2; 0 ]);
+  let m = Hornsat.solve f in
+  Alcotest.(check bool) "all derived" true (Array.for_all Fun.id m);
+  Alcotest.(check (list int)) "derivation order" [ 0; 1; 2; 3 ] (Hornsat.solve_order f)
+
+let test_blocked () =
+  let f = Hornsat.create ~nvars:3 in
+  ignore (Hornsat.add_rule f ~head:1 ~body:[ 0 ]);
+  ignore (Hornsat.add_rule f ~head:2 ~body:[ 1 ]);
+  let m = Hornsat.solve f in
+  Alcotest.(check bool) "nothing derived without facts" true (Array.for_all not m)
+
+let test_cyclic_rules () =
+  (* p ← q, q ← p derives nothing; with a fact everything fires *)
+  let f = Hornsat.create ~nvars:2 in
+  ignore (Hornsat.add_rule f ~head:0 ~body:[ 1 ]);
+  ignore (Hornsat.add_rule f ~head:1 ~body:[ 0 ]);
+  Alcotest.(check bool) "cycle underived" true (Array.for_all not (Hornsat.solve f));
+  ignore (Hornsat.add_rule f ~head:0 ~body:[]);
+  Alcotest.(check bool) "cycle fires with a fact" true (Array.for_all Fun.id (Hornsat.solve f))
+
+let test_goals () =
+  let f = Hornsat.create ~nvars:2 in
+  ignore (Hornsat.add_rule f ~head:0 ~body:[]);
+  Hornsat.add_goal f ~body:[ 0; 1 ];
+  Alcotest.(check bool) "goal not violated" true (Hornsat.satisfiable f);
+  ignore (Hornsat.add_rule f ~head:1 ~body:[ 0 ]);
+  Alcotest.(check bool) "goal violated" false (Hornsat.satisfiable f)
+
+let test_duplicate_body_atoms () =
+  (* size counting must tolerate p occurring twice in a body *)
+  let f = Hornsat.create ~nvars:2 in
+  ignore (Hornsat.add_rule f ~head:0 ~body:[]);
+  ignore (Hornsat.add_rule f ~head:1 ~body:[ 0; 0 ]);
+  Alcotest.(check bool) "derives through duplicate" true (Hornsat.solve f).(1)
+
+(* Example 3.3: the paper's worked example, including the exact
+   initialisation state of Figure 3's data structures. *)
+let test_example_33_init_state () =
+  let f, _ = Mdatalog.Examples.example_33_formula () in
+  let st = Hornsat.init_state f in
+  Alcotest.(check (list (pair int int))) "size"
+    [ (1, 0); (2, 0); (3, 0); (4, 1); (5, 2); (6, 2) ]
+    st.size;
+  (* heads are 0-based variables; the paper's variable k is our k-1 *)
+  Alcotest.(check (list (pair int int))) "head"
+    [ (1, 0); (2, 1); (3, 2); (4, 3); (5, 4); (6, 5) ]
+    st.head;
+  (* rules[1] = [r4], rules[2] = [r6], rules[3] = [r5], rules[4] = [r5],
+     rules[5] = [r6] — 0-based variables *)
+  Alcotest.(check (list (pair int (list int)))) "rules"
+    [ (0, [ 4 ]); (1, [ 6 ]); (2, [ 5 ]); (3, [ 5 ]); (4, [ 6 ]) ]
+    st.rules;
+  Alcotest.(check (list int)) "queue = [1, 2, 3]" [ 0; 1; 2 ] st.queue
+
+let test_example_33_run () =
+  let f, names = Mdatalog.Examples.example_33_formula () in
+  let order = List.map (fun v -> names.(v)) (Hornsat.solve_order f) in
+  Alcotest.(check (list string)) "derivation order" [ "1"; "2"; "3"; "4"; "5"; "6" ] order;
+  Alcotest.(check bool) "least model is everything" true (Array.for_all Fun.id (Hornsat.solve f))
+
+(* random Horn formulas: Minoux = brute-force fixpoint *)
+let horn_gen =
+  QCheck2.Gen.(
+    let* nvars = int_range 1 12 in
+    let* nrules = int_range 0 25 in
+    let* rules =
+      list_repeat nrules
+        (let* head = int_range 0 (nvars - 1) in
+         let* body = list_size (int_range 0 4) (int_range 0 (nvars - 1)) in
+         return (head, body))
+    in
+    return (nvars, rules))
+
+let prop_minoux_equals_brute =
+  qtest ~count:300 "Minoux = naive fixpoint" horn_gen (fun (nvars, rules) ->
+      let f = Hornsat.create ~nvars in
+      List.iter (fun (head, body) -> ignore (Hornsat.add_rule f ~head ~body)) rules;
+      Hornsat.solve f = Hornsat.solve_brute f)
+
+let prop_order_is_valid_derivation =
+  qtest ~count:200 "solve_order is a valid derivation sequence" horn_gen
+    (fun (nvars, rules) ->
+      let f = Hornsat.create ~nvars in
+      List.iter (fun (head, body) -> ignore (Hornsat.add_rule f ~head ~body)) rules;
+      let order = Hornsat.solve_order f in
+      let model = Hornsat.solve f in
+      (* exactly the true variables, each derivable from its prefix *)
+      List.length order = Array.fold_left (fun c b -> if b then c + 1 else c) 0 model
+      &&
+      let derived = Array.make nvars false in
+      List.for_all
+        (fun p ->
+          let justified =
+            List.exists
+              (fun (head, body) ->
+                head = p && List.for_all (fun q -> derived.(q)) body)
+              rules
+          in
+          derived.(p) <- true;
+          justified)
+        order)
+
+let test_size_measure () =
+  let f = Hornsat.create ~nvars:3 in
+  ignore (Hornsat.add_rule f ~head:0 ~body:[]);
+  ignore (Hornsat.add_rule f ~head:1 ~body:[ 0; 2 ]);
+  Hornsat.add_goal f ~body:[ 1 ];
+  Alcotest.(check int) "atom occurrences" 5 (Hornsat.size_of_formula f);
+  Alcotest.(check int) "rule count" 2 (Hornsat.rule_count f)
+
+let suite =
+  [
+    Alcotest.test_case "empty formula" `Quick test_empty;
+    Alcotest.test_case "chain of rules" `Quick test_chain;
+    Alcotest.test_case "no facts, no derivation" `Quick test_blocked;
+    Alcotest.test_case "cyclic rules" `Quick test_cyclic_rules;
+    Alcotest.test_case "goal clauses" `Quick test_goals;
+    Alcotest.test_case "duplicate body atoms" `Quick test_duplicate_body_atoms;
+    Alcotest.test_case "Example 3.3: Figure 3 data structures" `Quick test_example_33_init_state;
+    Alcotest.test_case "Example 3.3: derivation" `Quick test_example_33_run;
+    prop_minoux_equals_brute;
+    prop_order_is_valid_derivation;
+    Alcotest.test_case "size measure" `Quick test_size_measure;
+  ]

@@ -1,0 +1,168 @@
+(* Algebraic laws across the relational and logical layers — the equational
+   sanity net under the engines. *)
+open Treekit
+open Helpers
+module R = Relkit.Relation
+module Ops = Relkit.Ops
+
+let rel_gen =
+  QCheck2.Gen.(
+    let* arity = int_range 1 3 in
+    let* rows =
+      list_size (int_range 0 12)
+        (list_repeat arity (int_range 0 5))
+    in
+    return (R.of_rows ~arity (List.map Array.of_list rows)))
+
+let pair_gen = QCheck2.Gen.(pair rel_gen rel_gen)
+
+(* ------------------------------------------------------------------ *)
+(* relational algebra *)
+
+let prop_union_laws =
+  qtest ~count:200 "union is commutative, associative, idempotent" pair_gen
+    (fun (a, b) ->
+      QCheck2.assume (R.arity a = R.arity b);
+      R.equal (Ops.union a b) (Ops.union b a)
+      && R.equal (Ops.union a a) a
+      && R.equal (Ops.union (Ops.union a b) a) (Ops.union a b))
+
+let prop_diff_laws =
+  qtest ~count:200 "difference laws" pair_gen (fun (a, b) ->
+      QCheck2.assume (R.arity a = R.arity b);
+      R.equal (Ops.diff a a) (Ops.select (fun _ -> false) a)
+      && R.cardinality (Ops.diff a b) + R.cardinality (Ops.semijoin
+           ~on:(List.init (R.arity a) (fun i -> (i, i))) a b)
+         = R.cardinality a)
+
+let prop_semijoin_is_projection_of_join =
+  qtest ~count:200 "semijoin = projection of the equijoin" pair_gen
+    (fun (a, b) ->
+      let k = min (R.arity a) (R.arity b) in
+      QCheck2.assume (k >= 1);
+      let on = [ (0, 0) ] in
+      ignore k;
+      let semi = Ops.semijoin ~on a b in
+      let join = Ops.equijoin ~on a b in
+      let proj = Ops.project (List.init (R.arity a) Fun.id) join in
+      R.equal semi proj)
+
+let prop_select_fusion =
+  qtest ~count:200 "select distributes and fuses" rel_gen (fun a ->
+      let p row = row.(0) mod 2 = 0 in
+      let q row = row.(0) < 4 in
+      R.equal (Ops.select p (Ops.select q a)) (Ops.select (fun r -> p r && q r) a)
+      && R.equal (Ops.select p (Ops.select q a)) (Ops.select q (Ops.select p a)))
+
+let prop_product_cardinality =
+  qtest ~count:100 "product cardinality multiplies" pair_gen (fun (a, b) ->
+      R.cardinality (Ops.product a b) = R.cardinality a * R.cardinality b)
+
+(* ------------------------------------------------------------------ *)
+(* node sets *)
+
+let set_gen =
+  QCheck2.Gen.(
+    let* n = int_range 1 40 in
+    let* xs = list_size (int_range 0 30) (int_range 0 (n - 1)) in
+    let* ys = list_size (int_range 0 30) (int_range 0 (n - 1)) in
+    return (n, Nodeset.of_list n xs, Nodeset.of_list n ys))
+
+let prop_nodeset_de_morgan =
+  qtest ~count:200 "node set de Morgan and involution" set_gen (fun (_, a, b) ->
+      Nodeset.equal
+        (Nodeset.complement (Nodeset.union a b))
+        (Nodeset.inter (Nodeset.complement a) (Nodeset.complement b))
+      && Nodeset.equal (Nodeset.complement (Nodeset.complement a)) a
+      && Nodeset.equal (Nodeset.diff a b) (Nodeset.inter a (Nodeset.complement b)))
+
+(* ------------------------------------------------------------------ *)
+(* XPath semantic laws *)
+
+let xpath_pair_gen =
+  QCheck2.Gen.(
+    let* s1 = int_range 0 50_000 in
+    let* s2 = int_range 0 50_000 in
+    let* tseed = int_range 0 50_000 in
+    let* n = int_range 1 20 in
+    let mk s = Xpath.Generator.random ~seed:s ~depth:2 ~labels:Generator.labels_abc () in
+    return (mk s1, mk s2, random_tree ~seed:tseed ~n ()))
+
+let prop_xpath_union_laws =
+  qtest ~count:150 "XPath union is commutative and idempotent (semantically)"
+    xpath_pair_gen (fun (p, q, t) ->
+      let e x = Xpath.Eval.query t x in
+      Nodeset.equal (e (Xpath.Ast.Union (p, q))) (e (Xpath.Ast.Union (q, p)))
+      && Nodeset.equal (e (Xpath.Ast.Union (p, p))) (e p))
+
+let prop_xpath_seq_assoc =
+  qtest ~count:150 "XPath composition is associative (semantically)"
+    QCheck2.Gen.(
+      let* s1 = int_range 0 50_000 in
+      let* s2 = int_range 0 50_000 in
+      let* s3 = int_range 0 50_000 in
+      let* tseed = int_range 0 50_000 in
+      let* n = int_range 1 20 in
+      let mk s = Xpath.Generator.random ~seed:s ~depth:1 ~labels:Generator.labels_abc () in
+      return (mk s1, mk s2, mk s3, random_tree ~seed:tseed ~n ()))
+    (fun (p, q, r, t) ->
+      let e x = Xpath.Eval.query t x in
+      Nodeset.equal
+        (e (Xpath.Ast.Seq (Xpath.Ast.Seq (p, q), r)))
+        (e (Xpath.Ast.Seq (p, Xpath.Ast.Seq (q, r)))))
+
+let prop_xpath_forward_backward_adjoint =
+  (* F and B are adjoint: F(p, S) ∩ T ≠ ∅ ⇔ S ∩ B(p, T) ≠ ∅ *)
+  qtest ~count:150 "forward/backward adjunction" xpath_pair_gen (fun (p, _, t) ->
+      let n = Tree.size t in
+      let rng = Random.State.make [| n + Xpath.Ast.size p |] in
+      let rand_set () =
+        let s = Nodeset.create n in
+        for v = 0 to n - 1 do
+          if Random.State.bool rng then Nodeset.add s v
+        done;
+        s
+      in
+      let s = rand_set () and tt = rand_set () in
+      let lhs = not (Nodeset.is_empty (Nodeset.inter (Xpath.Eval.forward t p s) tt)) in
+      let rhs = not (Nodeset.is_empty (Nodeset.inter s (Xpath.Eval.backward t p tt))) in
+      lhs = rhs)
+
+(* ------------------------------------------------------------------ *)
+(* order-theoretic laws on trees *)
+
+let prop_order_trichotomy =
+  qtest ~count:100 "pre-order trichotomy: ancestor, following, or converse"
+    (tree_gen ~max_n:25 ()) (fun t ->
+      let n = Tree.size t in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if u <> v then begin
+            let cases =
+              [
+                Tree.is_ancestor t u v;
+                Tree.is_ancestor t v u;
+                Tree.is_following t u v;
+                Tree.is_following t v u;
+              ]
+            in
+            if List.length (List.filter Fun.id cases) <> 1 then ok := false
+          end
+        done
+      done;
+      !ok)
+
+let suite =
+  [
+    prop_union_laws;
+    prop_diff_laws;
+    prop_semijoin_is_projection_of_join;
+    prop_select_fusion;
+    prop_product_cardinality;
+    prop_nodeset_de_morgan;
+    prop_xpath_union_laws;
+    prop_xpath_seq_assoc;
+    prop_xpath_forward_backward_adjoint;
+    prop_order_trichotomy;
+  ]

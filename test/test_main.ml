@@ -1,0 +1,25 @@
+let () =
+  Alcotest.run "treequery"
+    [
+      ("treekit", Test_treekit.suite);
+      ("axis", Test_axis.suite);
+      ("dynlabel", Test_dynlabel.suite);
+      ("ordpath", Test_ordpath.suite);
+      ("relkit", Test_relkit.suite);
+      ("acyclic-relational", Test_acyclic.suite);
+      ("hornsat", Test_hornsat.suite);
+      ("mdatalog", Test_mdatalog.suite);
+      ("axis-datalog", Test_axis_datalog.suite);
+      ("treewidth", Test_treewidth.suite);
+      ("cqtree", Test_cqtree.suite);
+      ("actree", Test_actree.suite);
+      ("xpath", Test_xpath.suite);
+      ("streamq", Test_streamq.suite);
+      ("gcsp", Test_gcsp.suite);
+      ("folang", Test_folang.suite);
+      ("automata", Test_automata.suite);
+      ("positive", Test_positive.suite);
+      ("engine", Test_engine.suite);
+      ("edge-cases", Test_edge_cases.suite);
+      ("laws", Test_laws.suite);
+    ]

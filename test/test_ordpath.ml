@@ -1,0 +1,133 @@
+open Treekit
+open Helpers
+module O = Ordpath
+
+let build_random ~seed ~inserts =
+  let rng = Random.State.make [| seed |] in
+  let doc = O.create "r" in
+  let nodes = ref [ O.root doc ] in
+  let arr = ref [| O.root doc |] in
+  for _ = 1 to inserts do
+    let v = (!arr).(Random.State.int rng (Array.length !arr)) in
+    let lbl = Generator.labels_abc.(Random.State.int rng 3) in
+    let n =
+      match Random.State.int rng 3 with
+      | 0 -> O.insert_last_child doc v lbl
+      | 1 -> O.insert_first_child doc v lbl
+      | _ -> (
+        try O.insert_after doc v lbl
+        with Invalid_argument _ -> O.insert_last_child doc v lbl)
+    in
+    nodes := n :: !nodes;
+    arr := Array.append !arr [| n |]
+  done;
+  (doc, !nodes)
+
+let test_basics () =
+  let doc = O.create "r" in
+  let r = O.root doc in
+  let a = O.insert_last_child doc r "a" in
+  let b = O.insert_last_child doc r "b" in
+  let m = O.insert_after doc a "m" in
+  let a1 = O.insert_first_child doc a "a1" in
+  Alcotest.(check string) "root path" "(root)" (O.ordpath_string r);
+  Alcotest.(check (list int)) "first child" [ 1 ] (O.ordpath a);
+  Alcotest.(check (list int)) "second child" [ 3 ] (O.ordpath b);
+  Alcotest.(check (list int)) "careted between" [ 2; 1 ] (O.ordpath m);
+  Alcotest.(check string) "dotted" "2.1" (O.ordpath_string m);
+  Alcotest.(check (list int)) "nested" [ 1; 1 ] (O.ordpath a1);
+  Alcotest.(check bool) "anc" true (O.is_ancestor r m);
+  Alcotest.(check bool) "anc2" true (O.is_ancestor a a1);
+  Alcotest.(check bool) "caret not child" false (O.is_ancestor a m);
+  Alcotest.(check bool) "order a < m" true (O.compare_doc a m < 0);
+  Alcotest.(check bool) "order m < b" true (O.compare_doc m b < 0);
+  Alcotest.(check bool) "following" true (O.is_following a1 m)
+
+let prop_matches_snapshot =
+  qtest ~count:30 "ordpath tests = static tree on the snapshot"
+    QCheck2.Gen.(
+      let* seed = int_range 0 10_000 in
+      let* inserts = int_range 1 150 in
+      return (seed, inserts))
+    (fun (seed, inserts) ->
+      let doc, nodes = build_random ~seed ~inserts in
+      let tree, pre_of = O.snapshot doc in
+      Tree.validate tree = Ok ()
+      && List.for_all
+           (fun u ->
+             List.for_all
+               (fun v ->
+                 let pu = pre_of u and pv = pre_of v in
+                 O.is_ancestor u v = Tree.is_ancestor tree pu pv
+                 && (pu = pv || O.is_following u v = Tree.is_following tree pu pv)
+                 && compare (O.compare_doc u v) 0 = compare (compare pu pv) 0
+                 && O.label u = Tree.label tree pu)
+               nodes)
+           nodes)
+
+let test_group_invariant () =
+  (* every sibling group is evens-then-one-odd; checked over a random
+     document by re-deriving groups from parent paths *)
+  let doc, nodes = build_random ~seed:5 ~inserts:500 in
+  ignore doc;
+  List.iter
+    (fun n ->
+      let path = Array.of_list (O.ordpath n) in
+      (* the group is the suffix below the deepest proper ancestor *)
+      let plen =
+        let ancestors =
+          List.filter (fun p -> O.is_ancestor p n) nodes
+          |> List.sort (fun a b ->
+                 compare (List.length (O.ordpath b)) (List.length (O.ordpath a)))
+        in
+        match ancestors with [] -> 0 | p :: _ -> List.length (O.ordpath p)
+      in
+      let group = Array.sub path plen (Array.length path - plen) in
+      let k = Array.length group in
+      if k > 0 then begin
+        for i = 0 to k - 2 do
+          Alcotest.(check bool) "inner even" true (group.(i) land 1 = 0)
+        done;
+        Alcotest.(check bool) "last odd" true (group.(k - 1) land 1 = 1)
+      end)
+    nodes
+
+let test_no_relabeling_ever () =
+  (* labels are immutable: capture them, hammer insertions, compare *)
+  let doc = O.create "r" in
+  let a = O.insert_last_child doc (O.root doc) "a" in
+  let b = O.insert_after doc a "b" in
+  let before = (O.ordpath a, O.ordpath b) in
+  let cur = ref a in
+  for _ = 1 to 500 do
+    cur := O.insert_after doc !cur "m"
+  done;
+  Alcotest.(check bool) "labels untouched" true
+    (before = (O.ordpath a, O.ordpath b));
+  Alcotest.(check int) "document grew" 503 (O.size doc)
+
+let test_alternating_growth () =
+  (* label length grows only under adversarial bisection *)
+  let doc = O.create "r" in
+  let left = O.insert_last_child doc (O.root doc) "l" in
+  let _right = O.insert_after doc left "r" in
+  let lo = ref left in
+  for _ = 1 to 40 do
+    (* insert right after lo, then treat the new node as the next hi and
+       insert again right after lo — alternation forces caret nesting *)
+    let mid = O.insert_after doc !lo "m" in
+    lo := if Random.bool () then mid else !lo
+  done;
+  let tree, _ = O.snapshot doc in
+  Alcotest.(check bool) "still valid" true (Tree.validate tree = Ok ());
+  Alcotest.(check bool) "labels bounded by inserts" true
+    (O.max_label_length doc <= 50)
+
+let suite =
+  [
+    Alcotest.test_case "basics" `Quick test_basics;
+    prop_matches_snapshot;
+    Alcotest.test_case "group invariant" `Quick test_group_invariant;
+    Alcotest.test_case "no relabeling ever" `Quick test_no_relabeling_ever;
+    Alcotest.test_case "alternating growth bounded" `Quick test_alternating_growth;
+  ]

@@ -1,0 +1,64 @@
+open Treekit
+open Helpers
+module P = Cqtree.Positive
+module Q = Cqtree.Query
+
+let test_make_validation () =
+  Alcotest.(check bool) "empty rejected" true
+    (match P.make [] with exception Invalid_argument _ -> true | _ -> false);
+  let q1 = Q.of_string {| q(X) :- lab(X, "a"). |} in
+  let q2 = Q.of_string {| q(X, Y) :- child(X, Y). |} in
+  Alcotest.(check bool) "mixed arity rejected" true
+    (match P.make [ q1; q2 ] with exception Invalid_argument _ -> true | _ -> false);
+  Alcotest.(check int) "arity recorded" 2 (P.make [ q2 ]).arity
+
+let test_union_semantics () =
+  let t = fig2_tree () in
+  let u = P.of_strings
+      [ {| q(X) :- lab(X, "c"). |}; {| q(X) :- lab(X, "d"). |} ]
+  in
+  check_nodeset "c or d" (Nodeset.of_list 7 [ 3; 6 ]) (P.unary u t);
+  Alcotest.(check bool) "boolean" true (P.boolean u t);
+  let empty = P.of_strings [ {| q :- lab(X, "z1"). |}; {| q :- lab(X, "z2"). |} ] in
+  Alcotest.(check bool) "empty union false" false (P.boolean empty t)
+
+let positive_gen =
+  QCheck2.Gen.(
+    let* seed1 = int_range 0 50_000 in
+    let* seed2 = int_range 0 50_000 in
+    let* tseed = int_range 0 50_000 in
+    let* n = int_range 1 15 in
+    let mk seed =
+      Cqtree.Generator.arbitrary ~seed ~nvars:3 ~natoms:3
+        ~axes:
+          [
+            Axis.Child; Axis.Descendant; Axis.Next_sibling; Axis.Following_sibling;
+            Axis.Following; Axis.Parent;
+          ]
+        ~labels:Generator.labels_abc ()
+    in
+    return (P.make [ mk seed1; mk seed2 ], random_tree ~seed:tseed ~n ()))
+
+let prop_positive_equals_naive =
+  qtest ~count:200 "union-of-CQs via rewriting = naive" positive_gen
+    (fun (u, t) ->
+      P.solutions u t = P.solutions_naive u t
+      && P.boolean { u with P.disjuncts = List.map (fun q -> { q with Q.head = [] }) u.disjuncts } t
+         = P.boolean_naive { u with P.disjuncts = List.map (fun q -> { q with Q.head = [] }) u.disjuncts } t)
+
+let prop_union_is_set_union =
+  qtest ~count:100 "solutions = set union of disjunct solutions" positive_gen
+    (fun (u, t) ->
+      let direct =
+        List.sort_uniq compare
+          (List.concat_map (fun q -> Cqtree.Naive.solutions q t) u.disjuncts)
+      in
+      P.solutions u t = direct)
+
+let suite =
+  [
+    Alcotest.test_case "make validation" `Quick test_make_validation;
+    Alcotest.test_case "union semantics" `Quick test_union_semantics;
+    prop_positive_equals_naive;
+    prop_union_is_set_union;
+  ]

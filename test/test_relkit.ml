@@ -1,0 +1,107 @@
+open Helpers
+module R = Relkit.Relation
+module Ops = Relkit.Ops
+module SJ = Relkit.Structural_join
+
+let rel rows = R.of_rows ~arity:(match rows with [] -> 0 | r :: _ -> Array.length r) rows
+
+let test_relation_basics () =
+  let r = R.create ~name:"t" ~arity:2 () in
+  R.add r [| 1; 2 |];
+  R.add r [| 1; 2 |];
+  R.add r [| 3; 4 |];
+  Alcotest.(check int) "dedup" 2 (R.cardinality r);
+  Alcotest.(check bool) "mem" true (R.mem r [| 3; 4 |]);
+  Alcotest.(check bool) "not mem" false (R.mem r [| 4; 3 |]);
+  Alcotest.(check (list int)) "column values" [ 1; 3 ] (R.column_values r 0);
+  Alcotest.check_raises "arity mismatch" (Invalid_argument "Relation.add: arity mismatch")
+    (fun () -> R.add r [| 1 |])
+
+let test_select_project () =
+  let r = rel [ [| 1; 10 |]; [| 2; 20 |]; [| 3; 30 |] ] in
+  let s = Ops.select (fun row -> row.(0) > 1) r in
+  Alcotest.(check int) "select" 2 (R.cardinality s);
+  let p = Ops.project [ 1 ] r in
+  Alcotest.(check bool) "project rows" true (R.rows_sorted p = [ [| 10 |]; [| 20 |]; [| 30 |] ]);
+  let pp = Ops.project [ 1; 0 ] r in
+  Alcotest.(check bool) "project reorder" true (R.mem pp [| 10; 1 |])
+
+let test_joins_agree () =
+  let a = rel [ [| 1; 2 |]; [| 2; 3 |]; [| 5; 6 |] ] in
+  let b = rel [ [| 2; 9 |]; [| 3; 9 |]; [| 7; 7 |] ] in
+  let hash = Ops.equijoin ~on:[ (1, 0) ] a b in
+  let theta = Ops.theta_join (fun ra rb -> ra.(1) = rb.(0)) a b in
+  Alcotest.(check bool) "hash join = theta join" true (R.equal hash theta);
+  Alcotest.(check int) "join size" 2 (R.cardinality hash);
+  let semi = Ops.semijoin ~on:[ (1, 0) ] a b in
+  Alcotest.(check bool) "semijoin = project of join" true
+    (R.equal semi (Ops.select (fun row -> row.(1) = 2 || row.(1) = 3) a))
+
+let test_union_diff_product () =
+  let a = rel [ [| 1 |]; [| 2 |] ] and b = rel [ [| 2 |]; [| 3 |] ] in
+  Alcotest.(check int) "union" 3 (R.cardinality (Ops.union a b));
+  Alcotest.(check bool) "diff" true (R.rows_sorted (Ops.diff a b) = [ [| 1 |] ]);
+  Alcotest.(check int) "product" 4 (R.cardinality (Ops.product a b))
+
+(* Example 2.1: the SQL views over the XASR *)
+let test_example_21_views () =
+  let t = fig2_tree () in
+  let xasr = SJ.store t in
+  let desc = SJ.descendant_view xasr in
+  Alcotest.(check bool) "descendant view = Child+" true
+    (R.equal desc (SJ.descendant_pairs t));
+  let child = SJ.child_view xasr in
+  Alcotest.(check bool) "child view = Child" true (R.equal child (SJ.child_rel t));
+  (* the figure's tree has 6 child pairs and 10 descendant pairs *)
+  Alcotest.(check int) "child pairs" 6 (R.cardinality child);
+  Alcotest.(check int) "descendant pairs" 10 (R.cardinality desc)
+
+let prop_views_on_random_trees =
+  qtest ~count:40 "structural views = ground truth" (tree_gen ~max_n:25 ()) (fun t ->
+      let xasr = SJ.store t in
+      R.equal (SJ.descendant_view xasr) (SJ.descendant_pairs t)
+      && R.equal (SJ.child_view xasr) (SJ.child_rel t))
+
+let prop_iterated_join_equals_view =
+  qtest ~count:30 "iterated Child join = structural view" (tree_gen ~max_n:20 ())
+    (fun t -> R.equal (SJ.iterated_child_join t) (SJ.descendant_pairs t))
+
+let prop_stack_join =
+  qtest ~count:50 "stack join = filtered theta join" (tree_gen ~max_n:30 ()) (fun t ->
+      let module Tree = Treekit.Tree in
+      let n = Tree.size t in
+      let rng = Random.State.make [| n * 31 |] in
+      let pickset () =
+        List.filter (fun _ -> Random.State.bool rng) (List.init n Fun.id)
+      in
+      let anc = pickset () and desc = pickset () in
+      let got = SJ.stack_join t ~ancestors:anc ~descendants:desc in
+      let want =
+        List.concat_map
+          (fun u ->
+            List.filter_map
+              (fun v -> if Tree.is_ancestor t u v then Some (u, v) else None)
+              desc)
+          anc
+      in
+      List.sort compare got = List.sort compare want)
+
+let test_stack_join_orders () =
+  let t = fig2_tree () in
+  let all = List.init 7 Fun.id in
+  let pairs = SJ.stack_join t ~ancestors:all ~descendants:all in
+  Alcotest.(check int) "all descendant pairs" 10 (List.length pairs);
+  Alcotest.(check bool) "no self pairs" true (List.for_all (fun (u, v) -> u <> v) pairs)
+
+let suite =
+  [
+    Alcotest.test_case "relation basics" `Quick test_relation_basics;
+    Alcotest.test_case "select/project" `Quick test_select_project;
+    Alcotest.test_case "hash join = theta join" `Quick test_joins_agree;
+    Alcotest.test_case "union/diff/product" `Quick test_union_diff_product;
+    Alcotest.test_case "Example 2.1 views" `Quick test_example_21_views;
+    prop_views_on_random_trees;
+    prop_iterated_join_equals_view;
+    prop_stack_join;
+    Alcotest.test_case "stack join on fig2" `Quick test_stack_join_orders;
+  ]

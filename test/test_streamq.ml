@@ -1,0 +1,205 @@
+open Treekit
+open Helpers
+module PP = Streamq.Path_pattern
+module PM = Streamq.Path_matcher
+module TM = Streamq.Twig_matcher
+module FE = Streamq.Filter_engine
+
+let test_pattern_parse () =
+  let p = PP.of_string "//a/b//*" in
+  Alcotest.(check int) "length" 3 (PP.length p);
+  Alcotest.(check string) "roundtrip" "//a/b//*" (PP.to_string p);
+  Alcotest.(check bool) "bare name anchors anywhere" true
+    (PP.of_string "a" = PP.of_string "//a");
+  Alcotest.(check bool) "bad pattern" true
+    (match PP.of_string "//" with exception Failure _ -> true | _ -> false)
+
+let test_pattern_xpath_bridge () =
+  let p = PP.of_string "//a/b" in
+  let x = PP.to_xpath p in
+  Alcotest.(check bool) "recognised back" true (PP.of_xpath x = Some p);
+  (* the //-desugared parser shape is recognised too *)
+  let x2 = Xpath.Parser.parse "//a" in
+  Alcotest.(check bool) "desugared //" true
+    (PP.of_xpath x2 = Some (PP.of_string "//a"))
+
+let test_matcher_fig2 () =
+  let t = fig2_tree () in
+  let sel s = PM.select t (PP.of_string s) in
+  check_nodeset "//b" (Nodeset.of_list 7 [ 1; 5 ]) (sel "//b");
+  check_nodeset "/a/b" (Nodeset.of_list 7 [ 5 ]) (sel "/a/b");
+  check_nodeset "//b/a" (Nodeset.of_list 7 [ 2 ]) (sel "//b/a");
+  check_nodeset "//zzz" (Nodeset.create 7) (sel "//zzz");
+  Alcotest.(check bool) "matches" true (PM.matches t (PP.of_string "//c"));
+  Alcotest.(check bool) "no match" false (PM.matches t (PP.of_string "//c/a"))
+
+let stream_gen =
+  QCheck2.Gen.(
+    let* seed = int_range 0 100_000 in
+    let* tseed = int_range 0 100_000 in
+    let* len = int_range 1 5 in
+    let* n = int_range 1 60 in
+    return
+      ( PP.random ~seed ~length:len ~labels:Generator.labels_abc (),
+        random_tree ~seed:tseed ~n () ))
+
+let prop_streaming_equals_in_memory =
+  qtest ~count:300 "streaming select = in-memory XPath" stream_gen (fun (p, t) ->
+      Nodeset.equal (PM.select t p) (Xpath.Eval.query t (PP.to_xpath p)))
+
+let prop_memory_is_depth_bounded =
+  qtest ~count:100 "peak memory = depth of tree, not size" stream_gen
+    (fun (p, t) ->
+      let stats = PM.run t p ~on_match:(fun _ -> ()) in
+      stats.peak_depth = Tree.height t + 1 && stats.events = 2 * Tree.size t)
+
+let test_memory_independent_of_width () =
+  (* same depth, 100x more nodes: peak stays constant *)
+  let p = PP.of_string "//a/b" in
+  let narrow = Generator.full ~fanout:2 ~depth:3 () in
+  let wide = Generator.full ~fanout:14 ~depth:3 () in
+  let s1 = PM.run narrow p ~on_match:(fun _ -> ()) in
+  let s2 = PM.run wide p ~on_match:(fun _ -> ()) in
+  Alcotest.(check int) "same peak" s1.peak_depth s2.peak_depth;
+  Alcotest.(check bool) "many more events" true (s2.events > 10 * s1.events)
+
+let test_feed_incremental () =
+  let t = fig2_tree () in
+  let push, finish = PM.feed (PP.of_string "//b") in
+  Event.iter t push;
+  let stats = finish () in
+  Alcotest.(check int) "matches" 2 stats.matches
+
+(* twig matcher *)
+let twig_gen =
+  QCheck2.Gen.(
+    let* qseed = int_range 0 50_000 in
+    let* tseed = int_range 0 50_000 in
+    let* nvars = int_range 1 5 in
+    let* n = int_range 1 40 in
+    let q =
+      Cqtree.Generator.acyclic ~seed:qseed ~nvars
+        ~axes:[ Axis.Child; Axis.Descendant ] ~labels:Generator.labels_abc ()
+    in
+    return (q, random_tree ~seed:tseed ~n ()))
+
+let prop_twig_matcher =
+  qtest ~count:250 "streaming twig = in-memory twig join" twig_gen (fun (q, t) ->
+      match Actree.Twigjoin.of_query q with
+      | None -> QCheck2.assume_fail ()
+      | Some twig ->
+        TM.matches t twig = (Actree.Twigjoin.solutions t twig <> []))
+
+let test_twig_match_count () =
+  let t = fig2_tree () in
+  let twig =
+    { Actree.Twigjoin.label = Some "a";
+      children = [ (Actree.Twigjoin.Child_edge, { label = Some "b"; children = [] }) ] }
+  in
+  let stats = TM.run t twig in
+  (* a-nodes with a b-child: 0 and 4 *)
+  Alcotest.(check int) "match count" 2 stats.match_count;
+  Alcotest.(check bool) "matched" true stats.matched
+
+(* streaming XPath with qualifiers *)
+let test_xpath_filter_examples () =
+  let t = fig2_tree () in
+  let check_q s want =
+    match Streamq.Xpath_filter.matches t (Xpath.Parser.parse s) with
+    | Some got -> Alcotest.(check bool) s want got
+    | None -> Alcotest.fail ("unsupported: " ^ s)
+  in
+  check_q "//b[child::a]" true;
+  check_q "//b[child::a][child::c]" true;
+  check_q "//b[child::a and child::d]" false;
+  check_q "//a[descendant::d]/b" true;
+  (* leading child step: anchored at the root *)
+  check_q "/b" true;
+  check_q "/c" false;
+  check_q "/a/b" true;
+  check_q "//b/a/c" false;
+  Alcotest.(check bool) "negation unsupported" true
+    (Streamq.Xpath_filter.matches t (Xpath.Parser.parse "//a[not(b)]") = None);
+  Alcotest.(check bool) "reverse axis unsupported" true
+    (Streamq.Xpath_filter.matches t (Xpath.Parser.parse "//a/parent::*") = None)
+
+let prop_xpath_filter =
+  qtest ~count:300 "streaming qualified filter = in-memory evaluation"
+    QCheck2.Gen.(
+      let* seed = int_range 0 100_000 in
+      let* tseed = int_range 0 100_000 in
+      let* depth = int_range 0 3 in
+      let* n = int_range 1 40 in
+      return
+        ( Xpath.Generator.random ~seed ~depth ~labels:Generator.labels_abc
+            ~axes:[ Axis.Child; Axis.Descendant ] ~allow_negation:false
+            ~allow_union:false (),
+          random_tree ~seed:tseed ~n () ))
+    (fun (p, t) ->
+      match Streamq.Xpath_filter.matches t p with
+      | None -> QCheck2.assume_fail ()
+      | Some got -> got = not (Nodeset.is_empty (Xpath.Eval.query t p)))
+
+(* filter engine *)
+let test_filter_engine () =
+  let eng = FE.create () in
+  let s1 = FE.subscribe eng (PP.of_string "//b") in
+  let s2 = FE.subscribe eng (PP.of_string "/a/b") in
+  let s3 = FE.subscribe eng (PP.of_string "//zzz") in
+  let s4 = FE.subscribe eng (PP.of_string "//b/a") in
+  Alcotest.(check int) "ids" 2 s3;
+  Alcotest.(check int) "count" 4 (FE.subscription_count eng);
+  let matched = FE.match_document eng (fig2_tree ()) in
+  Alcotest.(check (list int)) "matched subs" [ s1; s2; s4 ] matched
+
+let test_filter_engine_xpath_subs () =
+  let eng = FE.create () in
+  let s1 = FE.subscribe eng (PP.of_string "//b") in
+  let s2 = FE.subscribe_xpath eng (Xpath.Parser.parse "//b[child::a]") in
+  let s3 = FE.subscribe_xpath eng (Xpath.Parser.parse "//b[child::d]") in
+  let s4 = FE.subscribe_xpath eng (Xpath.Parser.parse "//a[not(b)]") in
+  Alcotest.(check bool) "qualified accepted" true (s2 = Some 1 && s3 = Some 2);
+  Alcotest.(check bool) "negation rejected" true (s4 = None);
+  let matched = FE.match_document eng (fig2_tree ()) in
+  Alcotest.(check (list int)) "mixed subscriptions" [ s1; Option.get s2 ] matched
+
+let prop_filter_engine_consistent =
+  qtest ~count:100 "filter engine = individual matchers"
+    QCheck2.Gen.(
+      let* tseed = int_range 0 50_000 in
+      let* n = int_range 1 40 in
+      let* k = int_range 1 8 in
+      return (random_tree ~seed:tseed ~n (), k, tseed))
+    (fun (t, k, seed) ->
+      let eng = FE.create () in
+      let pats =
+        List.init k (fun i ->
+            PP.random ~seed:(seed + i) ~length:(1 + (i mod 3))
+              ~labels:Generator.labels_abc ())
+      in
+      List.iter (fun p -> ignore (FE.subscribe eng p)) pats;
+      let got = FE.match_document eng t in
+      let want =
+        List.concat (List.mapi (fun i p -> if PM.matches t p then [ i ] else []) pats)
+      in
+      got = want)
+
+let suite =
+  [
+    Alcotest.test_case "pattern parse" `Quick test_pattern_parse;
+    Alcotest.test_case "pattern/xpath bridge" `Quick test_pattern_xpath_bridge;
+    Alcotest.test_case "matcher on fig2" `Quick test_matcher_fig2;
+    prop_streaming_equals_in_memory;
+    prop_memory_is_depth_bounded;
+    Alcotest.test_case "memory independent of width" `Quick test_memory_independent_of_width;
+    Alcotest.test_case "incremental feed" `Quick test_feed_incremental;
+    prop_twig_matcher;
+    Alcotest.test_case "twig match count" `Quick test_twig_match_count;
+    Alcotest.test_case "qualified streaming filter examples" `Quick
+      test_xpath_filter_examples;
+    prop_xpath_filter;
+    Alcotest.test_case "filter engine" `Quick test_filter_engine;
+    Alcotest.test_case "filter engine: qualified XPath subscriptions" `Quick
+      test_filter_engine_xpath_subs;
+    prop_filter_engine_consistent;
+  ]

@@ -1,0 +1,136 @@
+open Treekit
+open Helpers
+module G = Treewidth.Graph
+module Dc = Treewidth.Decomposition
+
+let test_graph_basics () =
+  let g = G.of_edges 5 [ (0, 1); (1, 2); (1, 2); (3, 3) ] in
+  Alcotest.(check int) "self-loops and duplicates ignored" 2 (G.edge_count g);
+  Alcotest.(check bool) "mem" true (G.mem_edge g 2 1);
+  Alcotest.(check (list int)) "neighbors" [ 0; 2 ] (G.neighbors g 1);
+  Alcotest.(check int) "degree" 2 (G.degree g 1);
+  Alcotest.(check bool) "disconnected" false (G.is_connected g);
+  Alcotest.(check bool) "forest" true (G.is_acyclic g);
+  G.add_edge g 0 2;
+  Alcotest.(check bool) "now cyclic" false (G.is_acyclic g)
+
+let test_exact_treewidth_known_graphs () =
+  let check_tw name edges n want =
+    Alcotest.(check int) name want (Dc.exact_treewidth (G.of_edges n edges))
+  in
+  check_tw "single vertex" [] 1 0;
+  check_tw "edgeless" [] 5 0;
+  check_tw "path P4" [ (0, 1); (1, 2); (2, 3) ] 4 1;
+  check_tw "cycle C5" [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 0) ] 5 2;
+  check_tw "K4" [ (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3) ] 4 3;
+  check_tw "star" [ (0, 1); (0, 2); (0, 3); (0, 4) ] 5 1;
+  (* 3x3 grid has treewidth 3 *)
+  let grid =
+    [ (0,1);(1,2);(3,4);(4,5);(6,7);(7,8);(0,3);(3,6);(1,4);(4,7);(2,5);(5,8) ]
+  in
+  check_tw "3x3 grid" grid 9 3
+
+let test_validator_rejects () =
+  let g = G.of_edges 3 [ (0, 1); (1, 2) ] in
+  (* missing vertex 2 *)
+  let d1 = { Dc.bags = [| [ 0; 1 ] |]; parent = [| -1 |] } in
+  Alcotest.(check bool) "uncovered vertex" true (Result.is_error (Dc.validate g d1));
+  (* edge (1,2) in no bag *)
+  let d2 = { Dc.bags = [| [ 0; 1 ]; [ 2 ] |]; parent = [| -1; 0 |] } in
+  Alcotest.(check bool) "uncovered edge" true (Result.is_error (Dc.validate g d2));
+  (* occurrences of 1 disconnected *)
+  let d3 =
+    { Dc.bags = [| [ 0; 1 ]; [ 0 ]; [ 1; 2 ] |]; parent = [| -1; 0; 1 |] }
+  in
+  Alcotest.(check bool) "disconnected occurrences" true (Result.is_error (Dc.validate g d3));
+  (* a valid one *)
+  let d4 = { Dc.bags = [| [ 0; 1 ]; [ 1; 2 ] |]; parent = [| -1; 0 |] } in
+  Alcotest.(check bool) "valid accepted" true (Dc.validate g d4 = Ok ());
+  Alcotest.(check int) "width 1" 1 (Dc.width d4)
+
+let test_fig4_decomposition () =
+  let t = fig4_tree () in
+  let g = G.of_tree_structure t in
+  Alcotest.(check int) "15 vertices" 15 (G.vertex_count g);
+  let d = Dc.of_data_tree t in
+  Alcotest.(check bool) "valid" true (Dc.validate g d = Ok ());
+  Alcotest.(check int) "width 2 (Figure 4)" 2 (Dc.width d);
+  Alcotest.(check int) "exact tree-width 2" 2 (Dc.exact_treewidth g)
+
+let prop_data_tree_decomposition =
+  qtest ~count:100 "(Child,NextSibling)-trees have width ≤ 2" (tree_gen ~max_n:60 ())
+    (fun t ->
+      let g = G.of_tree_structure t in
+      let d = Dc.of_data_tree t in
+      Dc.validate g d = Ok () && Dc.width d <= 2)
+
+let test_path_tree_width_1 () =
+  (* a path tree has no sibling edges: width 1 *)
+  let t = Generator.path ~n:30 () in
+  let d = Dc.of_data_tree t in
+  Alcotest.(check int) "width" 1 (Dc.width d)
+
+let random_graph_gen =
+  QCheck2.Gen.(
+    let* n = int_range 1 9 in
+    let* edges =
+      list_size (int_range 0 14)
+        (let* u = int_range 0 (n - 1) in
+         let* v = int_range 0 (n - 1) in
+         return (u, v))
+    in
+    return (G.of_edges n (List.filter (fun (u, v) -> u <> v) edges)))
+
+let prop_heuristics_upper_bound =
+  qtest ~count:150 "heuristic widths are valid upper bounds" random_graph_gen (fun g ->
+      let exact = Dc.exact_treewidth g in
+      let d1 = Dc.min_degree_heuristic g and d2 = Dc.min_fill_heuristic g in
+      Dc.validate g d1 = Ok () && Dc.validate g d2 = Ok ()
+      && Dc.width d1 >= exact && Dc.width d2 >= exact)
+
+let prop_elimination_order_sound =
+  qtest ~count:100 "any elimination order yields a valid decomposition"
+    random_graph_gen (fun g ->
+      let n = G.vertex_count g in
+      let order = List.init n (fun i -> n - 1 - i) in
+      let d = Dc.of_elimination_order g order in
+      Dc.validate g d = Ok ())
+
+let test_query_graph_treewidth () =
+  let q k =
+    (* a k-clique query: all pairs connected by Descendant *)
+    let atoms = ref [] in
+    for i = 0 to k - 1 do
+      for j = i + 1 to k - 1 do
+        atoms :=
+          Cqtree.Query.A
+            (Axis.Descendant, Printf.sprintf "V%d" i, Printf.sprintf "V%d" j)
+          :: !atoms
+      done
+    done;
+    { Cqtree.Query.head = [ "V0" ]; atoms = !atoms }
+  in
+  Alcotest.(check int) "clique-4 treewidth" 3 (Cqtree.Qgraph.treewidth_exact (q 4));
+  Alcotest.(check bool) "upper bound ≥ exact" true
+    (Cqtree.Qgraph.treewidth_upper (q 4) >= 3);
+  (* acyclic queries have tree-width 1 *)
+  let acy =
+    Cqtree.Generator.acyclic ~seed:1 ~nvars:6 ~axes:[ Axis.Child; Axis.Descendant ]
+      ~labels:Generator.labels_abc ()
+  in
+  Alcotest.(check int) "acyclic query treewidth" 1 (Cqtree.Qgraph.treewidth_exact acy)
+
+let suite =
+  [
+    Alcotest.test_case "graph basics" `Quick test_graph_basics;
+    Alcotest.test_case "exact tree-width on known graphs" `Quick
+      test_exact_treewidth_known_graphs;
+    Alcotest.test_case "validator rejects broken decompositions" `Quick
+      test_validator_rejects;
+    Alcotest.test_case "Figure 4 decomposition" `Quick test_fig4_decomposition;
+    prop_data_tree_decomposition;
+    Alcotest.test_case "path trees have width 1" `Quick test_path_tree_width_1;
+    prop_heuristics_upper_bound;
+    prop_elimination_order_sound;
+    Alcotest.test_case "query-graph tree-width" `Quick test_query_graph_treewidth;
+  ]

@@ -1,0 +1,234 @@
+open Treekit
+open Helpers
+module X = Xpath
+
+let parse = X.Parser.parse
+
+(* ------------------------------------------------------------------ *)
+(* parser *)
+
+let test_parse_shapes () =
+  let p = parse "/a/b" in
+  Alcotest.(check string) "steps" "child::*[lab() = \"a\"]/child::*[lab() = \"b\"]"
+    (X.Ast.to_string p);
+  let p2 = parse "//a" in
+  Alcotest.(check string) "descendant sugar"
+    "descendant-or-self::*/child::*[lab() = \"a\"]" (X.Ast.to_string p2);
+  let p3 = parse "a | b" in
+  (match p3 with
+  | X.Ast.Union _ -> ()
+  | _ -> Alcotest.fail "expected union");
+  let p4 = parse "ancestor::a[lab() = 'x' or not(b)]" in
+  Alcotest.(check bool) "not conjunctive" true (not (X.Ast.is_conjunctive p4));
+  Alcotest.(check bool) "not positive" true (not (X.Ast.is_positive p4));
+  Alcotest.(check bool) "not forward" true (not (X.Ast.is_forward p4));
+  let p5 = parse "descendant::a[child::b]" in
+  Alcotest.(check bool) "conjunctive" true (X.Ast.is_conjunctive p5);
+  Alcotest.(check bool) "forward" true (X.Ast.is_forward p5)
+
+let test_parse_errors () =
+  let bad s = match parse s with exception X.Parser.Syntax_error _ -> true | _ -> false in
+  Alcotest.(check bool) "empty" true (bad "");
+  Alcotest.(check bool) "bad axis" true (bad "sideways::a");
+  Alcotest.(check bool) "unclosed qualifier" true (bad "a[b");
+  Alcotest.(check bool) "trailing garbage" true (bad "a]")
+
+let prop_roundtrip =
+  (* string-level: Seq/Union are associative and the printer flattens them,
+     so AST equality is too strict; parse∘print must be the identity on
+     printed form and preserve semantics (the engines property below
+     covers semantics) *)
+  qtest ~count:200 "print/parse roundtrip"
+    QCheck2.Gen.(
+      let* seed = int_range 0 100_000 in
+      let* depth = int_range 0 4 in
+      return (X.Generator.random ~seed ~depth ~labels:Generator.labels_abc ()))
+    (fun p ->
+      let s = X.Ast.to_string p in
+      let p2 = parse s in
+      X.Ast.to_string p2 = s)
+
+(* ------------------------------------------------------------------ *)
+(* semantics *)
+
+let test_semantics_fig2 () =
+  let t = fig2_tree () in
+  let q s = X.Eval.query t (parse s) in
+  check_nodeset "/a/b" (Nodeset.of_list 7 [ 1 ]) (q "b");
+  check_nodeset "//b" (Nodeset.of_list 7 [ 1; 5 ]) (q "//b");
+  check_nodeset "//a" (Nodeset.of_list 7 [ 2; 4 ]) (q "//a");
+  check_nodeset "//b/following-sibling::*" (Nodeset.of_list 7 [ 4; 6 ])
+    (q "//b/following-sibling::*");
+  check_nodeset "//a[not(child::*)]" (Nodeset.of_list 7 [ 2 ]) (q "//a[not(child::*)]");
+  check_nodeset "leaves via following" (Nodeset.of_list 7 [ 3; 4; 5; 6 ])
+    (q "//a[lab() = \"a\"]/following::*");
+  check_nodeset "parent" (Nodeset.of_list 7 [ 1; 4 ]) (q "//*[not(child::*)]/parent::*");
+  check_nodeset "union" (Nodeset.of_list 7 [ 1; 5; 6 ]) (q "//b | //d")
+
+let test_self_axis () =
+  let t = fig2_tree () in
+  check_nodeset "self on root" (Nodeset.of_list 7 [ 0 ])
+    (X.Eval.query t (parse "self::a"));
+  check_nodeset "self mismatch" (Nodeset.create 7) (X.Eval.query t (parse "self::b"))
+
+let engines_gen =
+  QCheck2.Gen.(
+    let* seed = int_range 0 100_000 in
+    let* tseed = int_range 0 100_000 in
+    let* depth = int_range 0 4 in
+    let* n = int_range 1 25 in
+    return
+      ( X.Generator.random ~seed ~depth ~labels:Generator.labels_abc (),
+        random_tree ~seed:tseed ~n () ))
+
+let prop_eval_equals_semantics =
+  qtest ~count:250 "bottom-up evaluator = literal semantics" engines_gen
+    (fun (p, t) -> Nodeset.equal (X.Eval.query t p) (X.Semantics.query t p))
+
+let prop_datalog_equals_semantics =
+  qtest ~count:200 "datalog translation = literal semantics" engines_gen
+    (fun (p, t) ->
+      Nodeset.equal (X.To_datalog.eval_via_datalog t p) (X.Semantics.query t p))
+
+let prop_tmnf_datalog_equals_semantics =
+  qtest ~count:150 "TMNF datalog = literal semantics" engines_gen (fun (p, t) ->
+      Nodeset.equal (X.To_datalog.eval_via_datalog ~tmnf:true t p) (X.Semantics.query t p))
+
+let prop_backward_is_inverse_image =
+  qtest ~count:150 "backward = preimage of forward" engines_gen (fun (p, t) ->
+      let n = Tree.size t in
+      let rng = Random.State.make [| n + X.Ast.size p |] in
+      let s = Nodeset.create n in
+      for v = 0 to n - 1 do
+        if Random.State.bool rng then Nodeset.add s v
+      done;
+      let b = X.Eval.backward t p s in
+      (* b = { m : [[p]](m) ∩ s ≠ ∅ } *)
+      let expected = Nodeset.create n in
+      for m = 0 to n - 1 do
+        if not (Nodeset.is_empty (Nodeset.inter (X.Semantics.node_set t p m) s)) then
+          Nodeset.add expected m
+      done;
+      Nodeset.equal b expected)
+
+(* ------------------------------------------------------------------ *)
+(* translations *)
+
+let conjunctive_gen =
+  QCheck2.Gen.(
+    let* seed = int_range 0 100_000 in
+    let* tseed = int_range 0 100_000 in
+    let* depth = int_range 0 4 in
+    let* n = int_range 1 25 in
+    return
+      ( X.Generator.random ~seed ~depth ~labels:Generator.labels_abc
+          ~allow_negation:false ~allow_union:false (),
+        random_tree ~seed:tseed ~n () ))
+
+let prop_to_cq =
+  qtest ~count:200 "conjunctive XPath → CQ → Yannakakis = evaluator"
+    conjunctive_gen (fun (p, t) ->
+      match X.To_cq.to_query p with
+      | None -> QCheck2.assume_fail ()
+      | Some cq ->
+        Cqtree.Join_tree.is_acyclic cq
+        && Nodeset.equal (Cqtree.Yannakakis.unary cq t) (X.Eval.query t p))
+
+let prop_to_cq_rejects =
+  qtest ~count:100 "to_cq rejects exactly non-conjunctive queries" engines_gen
+    (fun (p, _) -> X.Ast.is_conjunctive p = (X.To_cq.to_query p <> None))
+
+let prop_of_cq_forward =
+  qtest ~count:200 "Theorem 5.1 output → forward XPath = original query"
+    QCheck2.Gen.(
+      let* qseed = int_range 0 100_000 in
+      let* tseed = int_range 0 100_000 in
+      let* n = int_range 1 18 in
+      let q =
+        Cqtree.Generator.arbitrary ~seed:qseed ~nvars:3 ~natoms:3
+          ~axes:
+            [
+              Axis.Child; Axis.Descendant; Axis.Next_sibling;
+              Axis.Following_sibling; Axis.Following;
+            ]
+          ~labels:Generator.labels_abc ()
+      in
+      return (q, random_tree ~seed:tseed ~n ()))
+    (fun (q, t) ->
+      let { Cqtree.Rewrite.queries; _ } = Cqtree.Rewrite.rewrite q in
+      let answer = Nodeset.create (Tree.size t) in
+      let all_supported =
+        List.for_all
+          (fun q' ->
+            match X.Of_cq.forward_xpath q' with
+            | None -> false
+            | Some p ->
+              Alcotest.(check bool)
+                ("forward: " ^ X.Ast.to_string p)
+                true (X.Ast.is_forward p);
+              Nodeset.union_into answer (X.Eval.query t p);
+              true)
+          queries
+      in
+      all_supported && Nodeset.equal answer (Cqtree.Naive.unary q t))
+
+let prop_forward_rewrite =
+  qtest ~count:200 "reverse-axis elimination preserves semantics (Forward)"
+    conjunctive_gen (fun (p, t) ->
+      match X.Forward.rewrite p with
+      | None -> QCheck2.assume_fail ()
+      | Some fwd ->
+        X.Ast.is_forward fwd
+        && Nodeset.equal (X.Eval.query t fwd) (X.Eval.query t p))
+
+let test_forward_examples () =
+  let t = fig2_tree () in
+  (* leaves' parents, expressed with a reverse axis *)
+  let p = parse "//*[not(child::*)]/parent::*" in
+  (* not conjunctive (negation) -> not rewritable *)
+  Alcotest.(check bool) "negation rejected" true (X.Forward.rewrite p = None);
+  let p2 = parse "//d/parent::*" in
+  (match X.Forward.rewrite_and_check p2 with
+  | Some (fwd, branches) ->
+    Alcotest.(check bool) "forward" true (X.Ast.is_forward fwd);
+    Alcotest.(check bool) "at least one branch" true (branches >= 1);
+    check_nodeset "same answer" (X.Eval.query t p2) (X.Eval.query t fwd)
+  | None -> Alcotest.fail "expected a rewriting");
+  (* an already-forward query passes through unchanged *)
+  let p3 = parse "//a/b" in
+  Alcotest.(check bool) "identity on forward queries" true
+    (X.Forward.rewrite p3 = Some p3)
+
+let test_program_size_linear () =
+  let size depth =
+    match X.To_datalog.to_program (X.Generator.nested_qualifier ~depth ~label:"a") with
+    | Ok p -> X.To_datalog.program_size p
+    | Error m -> Alcotest.fail m
+  in
+  let s5 = size 5 and s10 = size 10 and s20 = size 20 in
+  Alcotest.(check bool) "linear in |Q|" true
+    (s10 - s5 > 0 && s20 - s10 > 0 && (s20 - s10) < 3 * (s10 - s5))
+
+let test_to_program_rejects_negation () =
+  Alcotest.(check bool) "negation rejected" true
+    (Result.is_error (X.To_datalog.to_program (parse "a[not(b)]")))
+
+let suite =
+  [
+    Alcotest.test_case "parse shapes" `Quick test_parse_shapes;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    prop_roundtrip;
+    Alcotest.test_case "semantics on fig2" `Quick test_semantics_fig2;
+    Alcotest.test_case "self axis" `Quick test_self_axis;
+    prop_eval_equals_semantics;
+    prop_datalog_equals_semantics;
+    prop_tmnf_datalog_equals_semantics;
+    prop_backward_is_inverse_image;
+    prop_to_cq;
+    prop_to_cq_rejects;
+    prop_of_cq_forward;
+    prop_forward_rewrite;
+    Alcotest.test_case "Forward rewriting examples" `Quick test_forward_examples;
+    Alcotest.test_case "datalog program size linear" `Quick test_program_size_linear;
+    Alcotest.test_case "to_program rejects negation" `Quick test_to_program_rejects_negation;
+  ]
