@@ -63,6 +63,15 @@ let record name ok =
   checks := (name, ok) :: !checks;
   verdict name ok
 
+(* one machine-greppable line per experiment with the nonzero Obs
+   counters recorded while it ran *)
+let obs_snapshot name =
+  match Obs.Counter.snapshot () with
+  | [] -> ()
+  | counters ->
+    let report = { Obs.Report.spans = []; counters } in
+    Printf.printf "obs-snapshot %s %s\n" name (Obs.Report.to_json report)
+
 let summary () =
   let total = List.length !checks in
   let bad = List.filter (fun (_, ok) -> not ok) !checks in

@@ -149,13 +149,22 @@ let () =
   let skip_bechamel = List.mem "--no-bechamel" args in
   let args = List.filter (fun a -> a <> "--no-bechamel") args in
   let selected = if args = [] then List.map fst experiments else args in
+  Obs.set_clock Unix.gettimeofday;
+  Obs.set_enabled true;
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
-      | Some f -> f ()
+      | Some f ->
+        (* per-experiment counter snapshot: BENCH_*.json trajectories can
+           track work done (propagations, semijoins, events), not just
+           wall-clock *)
+        Obs.reset ();
+        f ();
+        Bench_util.obs_snapshot name
       | None ->
         Printf.printf "unknown experiment %s (available: %s)\n" name
           (String.concat ", " (List.map fst experiments)))
     selected;
+  Obs.set_enabled false;
   if (not skip_bechamel) && args = [] then run_bechamel ();
   Bench_util.summary ()

@@ -12,15 +12,17 @@ module Engine = Treequery.Engine
 module Tree = Treekit.Tree
 module Nodeset = Treekit.Nodeset
 
+(* wall-clock span durations (the default Obs clock is processor time) *)
+let () = Obs.set_clock Unix.gettimeofday
+
 (* ------------------------------------------------------------------ *)
 (* document sources *)
 
 let read_file path =
   let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
 let load_document ~xml_file ~xml ~random ~xmark ~seed =
   match xml_file, xml, random, xmark with
@@ -76,13 +78,64 @@ let axis_datalog_arg =
   Arg.(value & opt (some string) None & info [ "axis-datalog" ] ~docv:"PROGRAM" ~doc:"Monadic datalog over axis relations with a ?- query directive.")
 
 (* ------------------------------------------------------------------ *)
+(* observability plumbing shared by the eval and filter subcommands *)
+
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:"Record tracing spans and counters; print the span tree to stderr after the run.")
+
+let stats_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-json" ] ~docv:"FILE"
+        ~doc:"Write the observability report (per-phase span durations and counters) as JSON to $(docv); '-' for stdout.")
+
+(* [observe ~trace ~stats_json f] runs [f] with observability enabled when
+   either flag asks for it, then emits the report.  Returns [f ()]'s
+   result. *)
+let observe ~trace ~stats_json f =
+  let observing = trace || stats_json <> None in
+  if not observing then f ()
+  else begin
+    Obs.set_enabled true;
+    Obs.reset ();
+    let result = f () in
+    let report = Obs.Report.capture () in
+    Obs.set_enabled false;
+    if trace then prerr_string (Obs.Report.to_text report);
+    (match stats_json with
+    | None -> ()
+    | Some "-" -> print_endline (Obs.Report.to_json report)
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc (Obs.Report.to_json report);
+          output_char oc '\n'));
+    result
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let eval_cmd =
-  let run xpath cq datalog positive axis_datalog xml_file xml random xmark seed show_labels =
+  let run xpath cq datalog positive axis_datalog xml_file xml random xmark seed show_labels trace stats_json =
     try
-      let doc = load_document ~xml_file ~xml ~random ~xmark ~seed in
-      let q = parse_query ~xpath ~cq ~datalog ~positive ~axis_datalog in
-      let answer = Engine.solutions q doc in
+      let answer, doc, q =
+        observe ~trace ~stats_json (fun () ->
+            let doc =
+              Obs.Span.with_ "load-document" (fun () ->
+                  load_document ~xml_file ~xml ~random ~xmark ~seed)
+            in
+            let q =
+              Obs.Span.with_ "parse-query" (fun () ->
+                  parse_query ~xpath ~cq ~datalog ~positive ~axis_datalog)
+            in
+            (Engine.solutions q doc, doc, q))
+      in
       Printf.printf "document: %d nodes, depth %d\n" (Tree.size doc) (Tree.height doc);
       Printf.printf "strategy: %s\n" (Engine.strategy_name (Engine.plan q));
       Printf.printf "answers:  %d\n" (List.length answer);
@@ -97,8 +150,10 @@ let eval_cmd =
         answer;
       `Ok ()
     with
-    | Failure m | Invalid_argument m -> `Error (false, m)
+    | Failure m | Invalid_argument m | Sys_error m -> `Error (false, m)
     | Treekit.Xml.Parse_error m -> `Error (false, "XML: " ^ m)
+    | Treekit.Parse_error.Error { pos; msg } ->
+      `Error (false, Treekit.Parse_error.to_string ~pos ~msg)
     | Xpath.Parser.Syntax_error m -> `Error (false, "XPath: " ^ m)
     | Mdatalog.Parser.Syntax_error m -> `Error (false, "datalog: " ^ m)
   in
@@ -110,7 +165,7 @@ let eval_cmd =
       ret
         (const run $ xpath_arg $ cq_arg $ datalog_arg $ positive_arg
        $ axis_datalog_arg $ xml_file_arg $ xml_arg $ random_arg $ xmark_arg
-       $ seed_arg $ labels_arg))
+       $ seed_arg $ labels_arg $ trace_arg $ stats_json_arg))
 
 let explain_cmd =
   let run xpath cq datalog positive axis_datalog =
@@ -119,7 +174,9 @@ let explain_cmd =
       print_string (Engine.explain q);
       `Ok ()
     with
-    | Failure m | Invalid_argument m -> `Error (false, m)
+    | Failure m | Invalid_argument m | Sys_error m -> `Error (false, m)
+    | Treekit.Parse_error.Error { pos; msg } ->
+      `Error (false, Treekit.Parse_error.to_string ~pos ~msg)
     | Xpath.Parser.Syntax_error m -> `Error (false, "XPath: " ^ m)
     | Mdatalog.Parser.Syntax_error m -> `Error (false, "datalog: " ^ m)
   in
@@ -129,21 +186,33 @@ let explain_cmd =
       ret (const run $ xpath_arg $ cq_arg $ datalog_arg $ positive_arg $ axis_datalog_arg))
 
 let filter_cmd =
-  let run patterns xml_file xml random xmark seed =
+  let run patterns xml_file xml random xmark seed trace stats_json =
     try
-      let doc = load_document ~xml_file ~xml ~random ~xmark ~seed in
-      let engine = Streamq.Filter_engine.create () in
-      List.iter
-        (fun p -> ignore (Streamq.Filter_engine.subscribe engine (Streamq.Path_pattern.of_string p)))
-        patterns;
-      let matched = Streamq.Filter_engine.match_document engine doc in
+      let doc, matched =
+        observe ~trace ~stats_json (fun () ->
+            let doc =
+              Obs.Span.with_ "load-document" (fun () ->
+                  load_document ~xml_file ~xml ~random ~xmark ~seed)
+            in
+            let engine = Streamq.Filter_engine.create () in
+            List.iter
+              (fun p ->
+                ignore
+                  (Streamq.Filter_engine.subscribe engine (Streamq.Path_pattern.of_string p)))
+              patterns;
+            (doc, Streamq.Filter_engine.match_document engine doc))
+      in
       Printf.printf "document: %d nodes, depth %d\n" (Tree.size doc) (Tree.height doc);
       List.iteri
         (fun i p ->
           Printf.printf "%-6s %s\n" (if List.mem i matched then "MATCH" else "-") p)
         patterns;
       `Ok ()
-    with Failure m | Invalid_argument m -> `Error (false, m)
+    with
+    | Failure m | Invalid_argument m | Sys_error m -> `Error (false, m)
+    | Treekit.Parse_error.Error { pos; msg } ->
+      `Error (false, Treekit.Parse_error.to_string ~pos ~msg)
+    | Treekit.Xml.Parse_error m -> `Error (false, "XML: " ^ m)
   in
   let patterns_arg =
     Arg.(non_empty & pos_all string [] & info [] ~docv:"PATTERN" ~doc:"Forward path patterns, e.g. //a/b.")
@@ -151,7 +220,9 @@ let filter_cmd =
   Cmd.v
     (Cmd.info "filter" ~doc:"Stream a document through path subscriptions")
     Term.(
-      ret (const run $ patterns_arg $ xml_file_arg $ xml_arg $ random_arg $ xmark_arg $ seed_arg))
+      ret
+        (const run $ patterns_arg $ xml_file_arg $ xml_arg $ random_arg $ xmark_arg
+       $ seed_arg $ trace_arg $ stats_json_arg))
 
 let generate_cmd =
   let run random xmark seed =
@@ -159,7 +230,7 @@ let generate_cmd =
       let doc = load_document ~xml_file:None ~xml:None ~random ~xmark ~seed in
       print_endline (Treekit.Xml.to_string doc);
       `Ok ()
-    with Failure m | Invalid_argument m -> `Error (false, m)
+    with Failure m | Invalid_argument m | Sys_error m -> `Error (false, m)
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Emit a synthetic XML document")

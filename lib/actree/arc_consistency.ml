@@ -3,6 +3,12 @@ module Axis = Treekit.Axis
 module Nodeset = Treekit.Nodeset
 open Cqtree.Query
 
+(* one bump per directed revision of a binary constraint in the
+   propagation loop; Theorem 6.5's O(||A||·|Q|) bound caps the total *)
+let c_revisions = Obs.Counter.make "arc_revisions"
+
+let c_domain = Obs.Counter.make "domain_nodes_retained"
+
 let initial_domain tree env u d =
   let n = Tree.size tree in
   (match u with
@@ -53,18 +59,24 @@ let direct ?env q tree =
   let binary =
     List.filter_map (function A (a, x, y) -> Some (a, x, y) | U _ -> None) q.atoms
   in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    List.iter
-      (fun (a, x, y) ->
-        let dx = Hashtbl.find domains x and dy = Hashtbl.find domains y in
-        let cx = Nodeset.cardinal dx and cy = Nodeset.cardinal dy in
-        Nodeset.inter_into dx (Axis.image tree (Axis.inverse a) dy);
-        Nodeset.inter_into dy (Axis.image tree a dx);
-        if Nodeset.cardinal dx <> cx || Nodeset.cardinal dy <> cy then changed := true)
-      binary
-  done;
+  Obs.Span.with_ "arc-consistency:propagate" (fun () ->
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        List.iter
+          (fun (a, x, y) ->
+            Obs.Counter.incr c_revisions;
+            let dx = Hashtbl.find domains x and dy = Hashtbl.find domains y in
+            let cx = Nodeset.cardinal dx and cy = Nodeset.cardinal dy in
+            Nodeset.inter_into dx (Axis.image tree (Axis.inverse a) dy);
+            Nodeset.inter_into dy (Axis.image tree a dx);
+            if Nodeset.cardinal dx <> cx || Nodeset.cardinal dy <> cy then
+              changed := true)
+          binary
+      done);
+  List.iter
+    (fun x -> Obs.Counter.add c_domain (Nodeset.cardinal (Hashtbl.find domains x)))
+    (vars q);
   result_of q domains
 
 (* ------------------------------------------------------------------ *)

@@ -4,6 +4,10 @@ open Cqtree.Query
 
 type edge = Child_edge | Descendant_edge
 
+let c_pushes = Obs.Counter.make "twig_stack_pushes"
+
+let c_tuples = Obs.Counter.make "tuples_materialised"
+
 type node = { label : string option; children : (edge * node) list }
 
 let path specs =
@@ -145,6 +149,7 @@ let path_stack tree specs =
       done;
       if i = 0 || top.(i - 1) >= 0 then begin
         if i < k - 1 then begin
+          Obs.Counter.incr c_pushes;
           top.(i) <- top.(i) + 1;
           stacks.(i).(top.(i)) <- { node = v; ptr = (if i = 0 then -1 else top.(i - 1)) }
         end
@@ -153,6 +158,7 @@ let path_stack tree specs =
       end
     end
   done;
+  Obs.Counter.add c_tuples (List.length !results);
   List.sort_uniq compare !results
 
 (* ------------------------------------------------------------------ *)

@@ -13,6 +13,8 @@ type t = {
   accept : int -> bool;
 }
 
+let c_transitions = Obs.Counter.make "automaton_transitions"
+
 let state_at a tree =
   let n = Tree.size tree in
   let state = Array.make n 0 in
@@ -22,7 +24,8 @@ let state_at a tree =
     let m =
       Tree.fold_children tree v (fun acc c -> a.mul acc (a.embed state.(c))) a.one
     in
-    state.(v) <- a.up (Tree.label tree v) m
+    state.(v) <- a.up (Tree.label tree v) m;
+    Obs.Counter.incr c_transitions
   done;
   state
 
@@ -44,6 +47,7 @@ let run_events_stats a events =
         | [] -> invalid_arg "Automaton.run_events: unbalanced stream"
         | acc :: rest ->
           let s = a.up label !acc in
+          Obs.Counter.incr c_transitions;
           decr depth;
           stack := rest;
           (match rest with

@@ -5,6 +5,15 @@ open Query
 
 exception Cyclic of string
 
+(* one bump per join-tree edge per sweep direction, so a full
+   bottom-up + top-down reduction records at most 2·(#binary atoms)
+   passes — the semijoin program of Prop. 4.2 *)
+let c_semijoin = Obs.Counter.make "semijoin_passes"
+
+let c_domain = Obs.Counter.make "domain_nodes_retained"
+
+let c_tuples = Obs.Counter.make "tuples_materialised"
+
 let initial_domain tree env unaries =
   let n = Tree.size tree in
   let d = Nodeset.universe n in
@@ -80,9 +89,11 @@ let rec bottom_up tree env domains (node : Join_tree.node) =
   List.iter
     (fun (atoms, child) ->
       let dc = bottom_up tree env domains child in
+      Obs.Counter.incr c_semijoin;
       Nodeset.inter_into d (edge_image tree (List.map toward_parent atoms) dc))
     node.edges;
   Hashtbl.replace domains node.var d;
+  Obs.Counter.add c_domain (Nodeset.cardinal d);
   d
 
 let rec top_down tree domains (node : Join_tree.node) =
@@ -90,6 +101,7 @@ let rec top_down tree domains (node : Join_tree.node) =
   List.iter
     (fun (atoms, (child : Join_tree.node)) ->
       let dc = Hashtbl.find domains child.var in
+      Obs.Counter.incr c_semijoin;
       Nodeset.inter_into dc (edge_image tree (List.map toward_child atoms) d);
       top_down tree domains child)
     node.edges
@@ -98,11 +110,13 @@ let domains ?(env = []) q tree =
   let jt = build_tree q in
   let tbl = Hashtbl.create 16 in
   let unsat =
-    List.exists
-      (fun root -> Nodeset.is_empty (bottom_up tree env tbl root))
-      jt.components
+    Obs.Span.with_ "yannakakis:bottom-up" (fun () ->
+        List.exists
+          (fun root -> Nodeset.is_empty (bottom_up tree env tbl root))
+          jt.components)
   in
-  List.iter (fun root -> top_down tree tbl root) jt.components;
+  Obs.Span.with_ "yannakakis:top-down" (fun () ->
+      List.iter (fun root -> top_down tree tbl root) jt.components);
   let all_vars = List.concat_map Join_tree.node_vars jt.components in
   if unsat then
     List.map (fun v -> (v, Nodeset.create (Tree.size tree))) all_vars
@@ -111,9 +125,10 @@ let domains ?(env = []) q tree =
 let boolean ?(env = []) q tree =
   let jt = build_tree q in
   let tbl = Hashtbl.create 16 in
-  List.for_all
-    (fun root -> not (Nodeset.is_empty (bottom_up tree env tbl root)))
-    jt.components
+  Obs.Span.with_ "yannakakis:bottom-up" (fun () ->
+      List.for_all
+        (fun root -> not (Nodeset.is_empty (bottom_up tree env tbl root)))
+        jt.components)
 
 let unary ?(env = []) q tree =
   if not (is_unary q) then invalid_arg "Yannakakis.unary: query is not unary";
@@ -123,7 +138,10 @@ let unary ?(env = []) q tree =
   let head = List.hd q.head in
   let jt = build_tree ~root:head q in
   let tbl = Hashtbl.create 16 in
-  let results = List.map (fun root -> bottom_up tree env tbl root) jt.components in
+  let results =
+    Obs.Span.with_ "yannakakis:bottom-up" (fun () ->
+        List.map (fun root -> bottom_up tree env tbl root) jt.components)
+  in
   (* the component rooted at the head variable yields the answer; the other
      components act as a Boolean filter *)
   match jt.components, results with
@@ -171,27 +189,30 @@ let solutions ?(env = []) q tree =
   let q = jt.query in
   let tbl = Hashtbl.create 16 in
   let unsat =
-    List.exists
-      (fun root -> Nodeset.is_empty (bottom_up tree env tbl root))
-      jt.components
+    Obs.Span.with_ "yannakakis:bottom-up" (fun () ->
+        List.exists
+          (fun root -> Nodeset.is_empty (bottom_up tree env tbl root))
+          jt.components)
   in
   if unsat then []
   else begin
-    List.iter (fun root -> top_down tree tbl root) jt.components;
+    Obs.Span.with_ "yannakakis:top-down" (fun () ->
+        List.iter (fun root -> top_down tree tbl root) jt.components);
     (* enumerate per component, projecting onto the head variables that
        live in it; combine components by cartesian product (they share no
        variables) *)
     let comp_results =
-      List.map
-        (fun root ->
-          let cvars = Join_tree.node_vars root in
-          let head_here = List.filter (fun h -> List.mem h cvars) q.head in
-          let seen = Hashtbl.create 64 in
-          enumerate_component tree tbl root ~on_assignment:(fun asg ->
-              let tuple = List.map (fun h -> Hashtbl.find asg h) head_here in
-              Hashtbl.replace seen tuple ());
-          (head_here, Hashtbl.fold (fun tpl () acc -> tpl :: acc) seen []))
-        jt.components
+      Obs.Span.with_ "yannakakis:enumerate" (fun () ->
+          List.map
+            (fun root ->
+              let cvars = Join_tree.node_vars root in
+              let head_here = List.filter (fun h -> List.mem h cvars) q.head in
+              let seen = Hashtbl.create 64 in
+              enumerate_component tree tbl root ~on_assignment:(fun asg ->
+                  let tuple = List.map (fun h -> Hashtbl.find asg h) head_here in
+                  Hashtbl.replace seen tuple ());
+              (head_here, Hashtbl.fold (fun tpl () acc -> tpl :: acc) seen []))
+            jt.components)
     in
     if List.exists (fun (_, tuples) -> tuples = []) comp_results then []
     else begin
@@ -206,6 +227,7 @@ let solutions ?(env = []) q tree =
           (fun asg -> Array.of_list (List.map (fun h -> List.assoc h asg) q.head))
           assignments
       in
+      Obs.Counter.add c_tuples (List.length tuples);
       List.sort_uniq compare tuples
     end
   end

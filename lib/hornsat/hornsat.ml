@@ -1,5 +1,13 @@
 type rule_id = int
 
+(* [c_props] counts body-atom decrements in the main loop — exactly the
+   work term of Minoux's linear-time bound (Figure 3): its final value is
+   at most the number of atom occurrences in the formula.  [c_units] counts
+   variables derived (queue pops). *)
+let c_props = Obs.Counter.make "hornsat_unit_props"
+
+let c_units = Obs.Counter.make "hornsat_units_derived"
+
 type t = {
   nvars : int;
   mutable heads : int list;  (** reverse order of rule heads *)
@@ -95,9 +103,11 @@ let run f =
   List.iter enqueue a.initial_queue;
   while not (Queue.is_empty q) do
     let p = Queue.take q in
+    Obs.Counter.incr c_units;
     order := p :: !order;
     List.iter
       (fun i ->
+        Obs.Counter.incr c_props;
         a.arr_size.(i) <- a.arr_size.(i) - 1;
         if a.arr_size.(i) = 0 then enqueue a.arr_head.(i))
       a.arr_rules.(p)

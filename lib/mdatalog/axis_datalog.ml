@@ -5,51 +5,68 @@ type rule = { head : string; head_var : Q.var; body : Q.atom list }
 
 type program = { rules : rule list; query : string }
 
+let c_rounds = Obs.Counter.make "fixpoint_rounds"
+
 (* ------------------------------------------------------------------ *)
 (* parsing: statements separated by '.' (string literals respected),
-   the last one being the ?- query directive *)
+   the last one being the ?- query directive.  Errors are positioned
+   [Treekit.Parse_error.Error]s carrying the offending statement's
+   offset into the input. *)
 
+let is_ws = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+(* (start offset, trimmed statement text) pairs *)
 let statements input =
   let out = ref [] and buf = Buffer.create 64 in
   let in_string = ref false in
-  String.iter
-    (fun c ->
+  let start = ref 0 in
+  String.iteri
+    (fun i c ->
       if c = '"' then begin
+        if Buffer.length buf = 0 then start := i;
         in_string := not !in_string;
         Buffer.add_char buf c
       end
       else if c = '.' && not !in_string then begin
         let s = String.trim (Buffer.contents buf) in
-        if s <> "" then out := s :: !out;
+        if s <> "" then out := (!start, s) :: !out;
         Buffer.clear buf
       end
-      else Buffer.add_char buf c)
+      else if Buffer.length buf = 0 && is_ws c then ()
+      else begin
+        if Buffer.length buf = 0 then start := i;
+        Buffer.add_char buf c
+      end)
     input;
-  let tail = String.trim (Buffer.contents buf) in
-  if tail <> "" then failwith "Axis_datalog.parse: missing final '.'";
+  if String.trim (Buffer.contents buf) <> "" then
+    Treekit.Parse_error.raise_at !start "missing final '.'";
   List.rev !out
 
-let head_name stmt =
+let head_name pos stmt =
   match String.index_opt stmt '(' with
-  | None -> failwith "Axis_datalog.parse: expected 'name(Var) :- …'"
+  | None -> Treekit.Parse_error.raise_at pos "expected 'name(Var) :- …'"
   | Some i -> String.trim (String.sub stmt 0 i)
 
 let parse input =
   let stmts = statements input in
   let rec go acc = function
-    | [] -> failwith "Axis_datalog.parse: missing '?- pred.' directive"
-    | [ last ] ->
-      let last = String.trim last in
+    | [] ->
+      Treekit.Parse_error.raise_at (String.length input)
+        "missing '?- pred.' directive"
+    | [ (pos, last) ] ->
       if String.length last > 2 && String.sub last 0 2 = "?-" then
         { rules = List.rev acc;
           query = String.trim (String.sub last 2 (String.length last - 2)) }
-      else failwith "Axis_datalog.parse: last statement must be '?- pred.'"
-    | stmt :: rest ->
-      let name = head_name stmt in
-      let q = Q.of_string (stmt ^ ".") in
+      else Treekit.Parse_error.raise_at pos "last statement must be '?- pred.'"
+    | (pos, stmt) :: rest ->
+      let name = head_name pos stmt in
+      let q =
+        try Q.of_string (stmt ^ ".")
+        with Failure m -> Treekit.Parse_error.raise_at pos "%s" m
+      in
       (match q.Q.head with
       | [ v ] -> go ({ head = name; head_var = v; body = q.Q.atoms } :: acc) rest
-      | _ -> failwith "Axis_datalog.parse: rule heads must be unary")
+      | _ -> Treekit.Parse_error.raise_at pos "rule heads must be unary")
   in
   go [] stmts
 
@@ -87,18 +104,20 @@ let fixpoint ~eval_rule ?(env = []) p tree =
   let current_env () =
     Hashtbl.fold (fun nm s acc -> (nm, s) :: acc) sets [] @ env
   in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    List.iter
-      (fun r ->
-        let result = eval_rule (rule_query r) tree (current_env ()) in
-        let target = Hashtbl.find sets r.head in
-        let before = Nodeset.cardinal target in
-        Nodeset.union_into target result;
-        if Nodeset.cardinal target <> before then changed := true)
-      p.rules
-  done;
+  Obs.Span.with_ "datalog:fixpoint" (fun () ->
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        Obs.Counter.incr c_rounds;
+        List.iter
+          (fun r ->
+            let result = eval_rule (rule_query r) tree (current_env ()) in
+            let target = Hashtbl.find sets r.head in
+            let before = Nodeset.cardinal target in
+            Nodeset.union_into target result;
+            if Nodeset.cardinal target <> before then changed := true)
+          p.rules
+      done);
   Hashtbl.find sets p.query
 
 let run ?env p tree =

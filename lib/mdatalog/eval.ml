@@ -6,6 +6,10 @@ type env = (string * Nodeset.t) list
 
 exception Unbound_predicate of string
 
+(* ground rules emitted by the Theorem 3.2 grounding; linear in
+   |P|·|Dom| for TMNF programs *)
+let c_ground = Obs.Counter.make "datalog_ground_rules"
+
 (* ------------------------------------------------------------------ *)
 (* Embedding enumeration.
 
@@ -128,22 +132,24 @@ let ground ?(env = []) program tree =
   let is_intensional p = Hashtbl.mem ptbl p in
   let var_of p v = (Hashtbl.find ptbl p * n) + v in
   let f = Hornsat.create ~nvars:(Hashtbl.length ptbl * n) in
-  List.iter
-    (fun rule ->
-      enumerate rule tree
-        ~is_extensional:(fun p -> not (is_intensional p))
-        ~test_env:(fun p v -> Nodeset.mem (env_lookup env p) v)
-        ~accept:(fun ~head_node ~pending ->
-          ignore
-            (Hornsat.add_rule f
-               ~head:(var_of rule.head head_node)
-               ~body:(List.map (fun (p, v) -> var_of p v) pending))))
-    program.rules;
+  Obs.Span.with_ "datalog:ground" (fun () ->
+      List.iter
+        (fun rule ->
+          enumerate rule tree
+            ~is_extensional:(fun p -> not (is_intensional p))
+            ~test_env:(fun p v -> Nodeset.mem (env_lookup env p) v)
+            ~accept:(fun ~head_node ~pending ->
+              Obs.Counter.incr c_ground;
+              ignore
+                (Hornsat.add_rule f
+                   ~head:(var_of rule.head head_node)
+                   ~body:(List.map (fun (p, v) -> var_of p v) pending))))
+        program.rules);
   (f, var_of)
 
 let run ?env program tree =
   let f, var_of = ground ?env program tree in
-  let model = Hornsat.solve f in
+  let model = Obs.Span.with_ "datalog:hornsat-solve" (fun () -> Hornsat.solve f) in
   let n = Tree.size tree in
   let out = Nodeset.create n in
   for v = 0 to n - 1 do

@@ -1,0 +1,428 @@
+(* Observability: tracing spans, named counters and serialisable reports.
+
+   The module is dependency-free (OCaml stdlib only) and near-zero-cost
+   when disabled: every counter bump and span entry first reads the global
+   [on] flag, so a disabled run pays one load and one branch per probe.
+   Instrumented libraries create their counters at module-initialisation
+   time with [Counter.make]; the registry deduplicates by name so the same
+   logical counter can be referenced from several modules. *)
+
+let on = ref false
+
+let enabled () = !on
+
+let set_enabled b = on := b
+
+(* [Sys.time] (processor time) is the only clock the stdlib offers; the
+   executables that link unix install [Unix.gettimeofday] at startup so
+   span durations are wall-clock there. *)
+let clock : (unit -> float) ref = ref Sys.time
+
+let set_clock f = clock := f
+
+(* ------------------------------------------------------------------ *)
+
+module Counter = struct
+  type t = { name : string; mutable value : int }
+
+  let registry : t list ref = ref []
+
+  let make name =
+    match List.find_opt (fun c -> c.name = name) !registry with
+    | Some c -> c
+    | None ->
+      let c = { name; value = 0 } in
+      registry := c :: !registry;
+      c
+
+  let[@inline] incr c = if !on then c.value <- c.value + 1
+
+  let[@inline] add c n = if !on then c.value <- c.value + n
+
+  let[@inline] record_max c n = if !on && n > c.value then c.value <- n
+
+  let value c = c.value
+
+  let name c = c.name
+
+  let reset_all () = List.iter (fun c -> c.value <- 0) !registry
+
+  (* nonzero counters only, sorted by name: a disabled (or idle) run
+     snapshots to [] *)
+  let snapshot () =
+    !registry
+    |> List.filter_map (fun c -> if c.value <> 0 then Some (c.name, c.value) else None)
+    |> List.sort compare
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Span = struct
+  type node = {
+    span_name : string;
+    mutable duration : float;
+    mutable children : node list;  (** reversed *)
+  }
+
+  let roots : node list ref = ref []  (* reversed *)
+
+  let stack : node list ref = ref []
+
+  let reset () =
+    roots := [];
+    stack := []
+
+  let attach node =
+    match !stack with
+    | top :: rest when top == node ->
+      stack := rest;
+      (match rest with
+      | parent :: _ -> parent.children <- node :: parent.children
+      | [] -> roots := node :: !roots)
+    | _ -> () (* unbalanced exit (e.g. reset inside a span): drop the span *)
+
+  let with_ name f =
+    if not !on then f ()
+    else begin
+      let node = { span_name = name; duration = 0.0; children = [] } in
+      let t0 = !clock () in
+      stack := node :: !stack;
+      Fun.protect
+        ~finally:(fun () ->
+          node.duration <- !clock () -. t0;
+          attach node)
+        f
+    end
+end
+
+let reset () =
+  Counter.reset_all ();
+  Span.reset ()
+
+let with_enabled b f =
+  let saved = !on in
+  on := b;
+  Fun.protect ~finally:(fun () -> on := saved) f
+
+(* ------------------------------------------------------------------ *)
+(* A hand-rolled JSON value type: just enough to serialise reports and
+   parse them back (round-trip tested), keeping the library
+   dependency-free. *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let number_to_string f =
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.9g" f
+
+  let rec write buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Num f -> Buffer.add_string buf (number_to_string f)
+    | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+    | Arr xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf x)
+        xs;
+      Buffer.add_char buf ']'
+    | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf (Str k);
+          Buffer.add_char buf ':';
+          write buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+  let to_string j =
+    let buf = Buffer.create 256 in
+    write buf j;
+    Buffer.contents buf
+
+  exception Parse_failure of { pos : int; msg : string }
+
+  (* recursive-descent parser for the subset above *)
+  let of_string input =
+    let n = String.length input in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_failure { pos = !pos; msg }) in
+    let peek () = if !pos < n then Some input.[!pos] else None in
+    let skip_ws () =
+      while !pos < n && (match input.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+        incr pos
+      done
+    in
+    let expect c =
+      if !pos < n && input.[!pos] = c then incr pos
+      else fail (Printf.sprintf "expected %c" c)
+    in
+    let literal word value =
+      let l = String.length word in
+      if !pos + l <= n && String.sub input !pos l = word then begin
+        pos := !pos + l;
+        value
+      end
+      else fail ("expected " ^ word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else
+          match input.[!pos] with
+          | '"' -> incr pos
+          | '\\' ->
+            incr pos;
+            if !pos >= n then fail "unterminated escape";
+            (match input.[!pos] with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'u' ->
+              if !pos + 4 >= n then fail "truncated \\u escape";
+              let hex = String.sub input (!pos + 1) 4 in
+              let code =
+                try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
+              in
+              (* BMP code points only; enough for our own output *)
+              if code < 0x80 then Buffer.add_char buf (Char.chr code)
+              else if code < 0x800 then begin
+                Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+              end
+              else begin
+                Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+              end;
+              pos := !pos + 4
+            | c -> fail (Printf.sprintf "bad escape \\%c" c));
+            incr pos;
+            go ()
+          | c ->
+            Buffer.add_char buf c;
+            incr pos;
+            go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      if peek () = Some '-' then incr pos;
+      while
+        !pos < n
+        && (match input.[!pos] with '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true | _ -> false)
+      do
+        incr pos
+      done;
+      match float_of_string_opt (String.sub input start (!pos - start)) with
+      | Some f -> f
+      | None -> fail "bad number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then begin
+          incr pos;
+          Arr []
+        end
+        else begin
+          let items = ref [ parse_value () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            incr pos;
+            items := parse_value () :: !items;
+            skip_ws ()
+          done;
+          expect ']';
+          Arr (List.rev !items)
+        end
+      | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then begin
+          incr pos;
+          Obj []
+        end
+        else begin
+          let member () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let items = ref [ member () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            incr pos;
+            items := member () :: !items;
+            skip_ws ()
+          done;
+          expect '}';
+          Obj (List.rev !items)
+        end
+      | Some _ -> Num (parse_number ())
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let member key = function
+    | Obj kvs -> List.assoc_opt key kvs
+    | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Report = struct
+  type span = { name : string; duration : float; children : span list }
+
+  type t = { spans : span list; counters : (string * int) list }
+
+  let empty = { spans = []; counters = [] }
+
+  let is_empty r = r.spans = [] && r.counters = []
+
+  let rec freeze (node : Span.node) =
+    {
+      name = node.span_name;
+      duration = node.duration;
+      children = List.rev_map freeze node.children;
+    }
+
+  let capture () =
+    { spans = List.rev_map freeze !Span.roots; counters = Counter.snapshot () }
+
+  (* ---- text ---- *)
+
+  let to_text r =
+    let buf = Buffer.create 256 in
+    let rec span indent s =
+      Buffer.add_string buf
+        (Printf.sprintf "%s%-*s %10.3f ms\n" indent (max 1 (32 - String.length indent))
+           s.name (s.duration *. 1000.0));
+      List.iter (span (indent ^ "  ")) s.children
+    in
+    List.iter (span "") r.spans;
+    if r.counters <> [] then begin
+      Buffer.add_string buf "counters:\n";
+      List.iter
+        (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "  %-30s %d\n" name v))
+        r.counters
+    end;
+    Buffer.contents buf
+
+  (* ---- json ---- *)
+
+  let rec json_of_span s =
+    Json.Obj
+      [
+        ("name", Json.Str s.name);
+        ("duration_ms", Json.Num (s.duration *. 1000.0));
+        ("children", Json.Arr (List.map json_of_span s.children));
+      ]
+
+  let to_json_value r =
+    Json.Obj
+      [
+        ("spans", Json.Arr (List.map json_of_span r.spans));
+        ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) r.counters));
+      ]
+
+  let to_json r = Json.to_string (to_json_value r)
+
+  exception Malformed of string
+
+  let rec span_of_json j =
+    let get key =
+      match Json.member key j with
+      | Some v -> v
+      | None -> raise (Malformed ("span missing field " ^ key))
+    in
+    let name = match get "name" with Json.Str s -> s | _ -> raise (Malformed "span name") in
+    let duration =
+      match get "duration_ms" with
+      | Json.Num f -> f /. 1000.0
+      | _ -> raise (Malformed "span duration_ms")
+    in
+    let children =
+      match get "children" with
+      | Json.Arr xs -> List.map span_of_json xs
+      | _ -> raise (Malformed "span children")
+    in
+    { name; duration; children }
+
+  let of_json_value j =
+    let spans =
+      match Json.member "spans" j with
+      | Some (Json.Arr xs) -> List.map span_of_json xs
+      | _ -> raise (Malformed "report missing spans")
+    in
+    let counters =
+      match Json.member "counters" j with
+      | Some (Json.Obj kvs) ->
+        List.map
+          (fun (k, v) ->
+            match v with
+            | Json.Num f -> (k, int_of_float f)
+            | _ -> raise (Malformed "counter value"))
+          kvs
+      | _ -> raise (Malformed "report missing counters")
+    in
+    { spans; counters }
+
+  let of_json s =
+    match Json.of_string s with
+    | j -> of_json_value j
+    | exception Json.Parse_failure { pos; msg } ->
+      raise (Malformed (Printf.sprintf "JSON syntax at %d: %s" pos msg))
+end

@@ -1,0 +1,117 @@
+(** Observability for the query engine: hierarchical tracing spans, named
+    counters and reports serialisable to text and JSON.
+
+    The whole library is OCaml-stdlib-only and is near-zero-cost when
+    disabled (the default): every probe is a single flag test.  Enable it
+    around a run, evaluate, then {!Report.capture} what happened:
+
+    {[
+      Obs.set_enabled true;
+      Obs.reset ();
+      let answer = Treequery.Engine.eval q tree in
+      let report = Obs.Report.capture () in
+      print_string (Obs.Report.to_text report)
+    ]}
+
+    Counters witness the paper's complexity bounds empirically: e.g. the
+    [hornsat_unit_props] counter is exactly the work term of Minoux's
+    linear-time algorithm (Figure 3), and [semijoin_passes] is the
+    2·|edges| semijoin program of Yannakakis' algorithm (Prop. 4.2). *)
+
+val enabled : unit -> bool
+(** Observability is off by default. *)
+
+val set_enabled : bool -> unit
+
+val with_enabled : bool -> (unit -> 'a) -> 'a
+(** Run a thunk with the flag set, restoring the previous value after
+    (also on exception). *)
+
+val set_clock : (unit -> float) -> unit
+(** Install the clock used for span durations (seconds).  Defaults to
+    [Sys.time]; executables that link unix should install a wall/monotonic
+    clock such as [Unix.gettimeofday] at startup. *)
+
+val reset : unit -> unit
+(** Zero every counter and discard all recorded spans. *)
+
+module Counter : sig
+  type t
+
+  val make : string -> t
+  (** Create (or look up — names are deduplicated) a registered counter.
+      Intended to be called once at module-initialisation time. *)
+
+  val incr : t -> unit
+  (** One flag test + one increment; no-op when disabled. *)
+
+  val add : t -> int -> unit
+
+  val record_max : t -> int -> unit
+  (** Gauge semantics: keep the maximum value seen (e.g. peak stack
+      depth). *)
+
+  val value : t -> int
+
+  val name : t -> string
+
+  val reset_all : unit -> unit
+
+  val snapshot : unit -> (string * int) list
+  (** The nonzero counters, sorted by name. *)
+end
+
+module Span : sig
+  val with_ : string -> (unit -> 'a) -> 'a
+  (** [with_ name f] runs [f] inside a span.  When enabled, the span
+      records its duration and nests under the innermost enclosing span
+      (spans opened during [f] become children).  When disabled this is
+      just [f ()]. *)
+end
+
+(** Minimal JSON values — enough to serialise reports and read them back
+    without an external dependency. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Parse_failure of { pos : int; msg : string }
+
+  val to_string : t -> string
+
+  val of_string : string -> t
+  (** @raise Parse_failure on syntax errors. *)
+
+  val member : string -> t -> t option
+end
+
+module Report : sig
+  type span = { name : string; duration : float; children : span list }
+
+  type t = { spans : span list; counters : (string * int) list }
+
+  val empty : t
+
+  val is_empty : t -> bool
+
+  val capture : unit -> t
+  (** Snapshot the completed spans and nonzero counters recorded since the
+      last {!reset}.  With observability disabled throughout, the result
+      is {!empty}. *)
+
+  val to_text : t -> string
+  (** Indented span tree with millisecond durations, then a counter
+      table. *)
+
+  val to_json : t -> string
+
+  exception Malformed of string
+
+  val of_json : string -> t
+  (** Inverse of {!to_json}. @raise Malformed *)
+end

@@ -138,8 +138,12 @@ let shared_positions vars1 vars2 =
          in
          Option.map (fun j -> (i, j)) (pos 0 vars2))
 
+let c_semijoin = Obs.Counter.make "semijoin_passes"
+let c_tuples = Obs.Counter.make "tuples_materialised"
+
 let semijoin_atoms a b =
   (* a ⋉ b on the shared variables *)
+  Obs.Counter.incr c_semijoin;
   let on = shared_positions a.vars b.vars in
   if on = [] then if Relation.cardinality b.rel = 0 then { a with rel = Ops.select (fun _ -> false) a.rel } else a
   else { a with rel = Ops.semijoin ~on a.rel b.rel }
@@ -185,6 +189,7 @@ let join_cols (cols1, rel1) (cols2, rel2) =
   let joined =
     if on = [] then Ops.product rel1 rel2 else Ops.equijoin ~on rel1 rel2
   in
+  Obs.Counter.add c_tuples (Relation.cardinality joined);
   let n1 = List.length cols1 in
   let fresh =
     List.filteri (fun j _ -> not (List.exists (fun (_, j') -> j' = j) on)) cols2

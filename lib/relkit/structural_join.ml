@@ -1,5 +1,7 @@
 module Tree = Treekit.Tree
 
+let c_tuples = Obs.Counter.make "tuples_materialised"
+
 let store t =
   let r = Relation.create ~name:"xasr" ~arity:4 () in
   for v = 0 to Tree.size t - 1 do
@@ -54,7 +56,9 @@ let stack_join t ~ancestors ~descendants =
       go anc' []
   in
   go ancestors descendants;
-  List.rev !out
+  let pairs = List.rev !out in
+  Obs.Counter.add c_tuples (List.length pairs);
+  pairs
 
 let iterated_child_join t =
   let child = child_rel t in
@@ -65,6 +69,7 @@ let iterated_child_join t =
     (* frontier ∘ child : pairs (x, z) with frontier(x,y), child(y,z) *)
     let step = Ops.project [ 0; 3 ] (Ops.equijoin ~on:[ (1, 0) ] !frontier child) in
     let fresh = Ops.diff step !closure in
+    Obs.Counter.add c_tuples (Relation.cardinality fresh);
     if Relation.cardinality fresh = 0 then continue := false
     else begin
       closure := Ops.union !closure fresh;

@@ -28,14 +28,15 @@ let subscribe_xpath t p =
 let subscription_count t = t.count
 
 let match_events t events =
-  let matchers = Array.of_list (List.rev_map (fun f -> f ()) t.subs) in
-  (* rev_map reverses the reversed list: subscription order *)
-  Seq.iter (fun ev -> Array.iter (fun (push, _) -> push ev) matchers) events;
-  let out = ref [] in
-  for i = Array.length matchers - 1 downto 0 do
-    let _, matched = matchers.(i) in
-    if matched () then out := i :: !out
-  done;
-  !out
+  Obs.Span.with_ "streamq:match-events" (fun () ->
+      let matchers = Array.of_list (List.rev_map (fun f -> f ()) t.subs) in
+      (* rev_map reverses the reversed list: subscription order *)
+      Seq.iter (fun ev -> Array.iter (fun (push, _) -> push ev) matchers) events;
+      let out = ref [] in
+      for i = Array.length matchers - 1 downto 0 do
+        let _, matched = matchers.(i) in
+        if matched () then out := i :: !out
+      done;
+      !out)
 
 let match_document t tree = match_events t (Treekit.Event.to_seq tree)

@@ -3,6 +3,10 @@ module Nodeset = Treekit.Nodeset
 
 type stats = { matches : int; peak_depth : int; events : int }
 
+let c_events = Obs.Counter.make "sax_events"
+
+let c_peak = Obs.Counter.make "stream_peak_depth"
+
 type frame = { exact : int; acc : int }
 (* [exact] bit i: the length-i pattern prefix is matched with step i at
    this node; [acc] bit i: matched at some ancestor-or-self.  Bit 0 is the
@@ -39,6 +43,7 @@ let make pattern ~on_match =
 
 let push_event st ev =
   st.events <- st.events + 1;
+  Obs.Counter.incr c_events;
   match ev with
   | Event.Open { node; label; _ } ->
     let frame =
@@ -66,7 +71,10 @@ let push_event st ev =
     end;
     st.stack <- frame :: st.stack;
     st.depth <- st.depth + 1;
-    if st.depth > st.peak then st.peak <- st.depth
+    if st.depth > st.peak then begin
+      st.peak <- st.depth;
+      Obs.Counter.record_max c_peak st.peak
+    end
   | Event.Close _ -> (
     match st.stack with
     | [] -> invalid_arg "Path_matcher: unbalanced events"

@@ -5,10 +5,11 @@ type step = { edge : edge; label : string option }
 type t = step list
 
 let of_string input =
+  let error pos fmt = Treekit.Parse_error.raise_at pos fmt in
   let n = String.length input in
   let pos = ref 0 in
   let steps = ref [] in
-  if n = 0 then failwith "Path_pattern.of_string: empty pattern";
+  if n = 0 then error 0 "empty pattern";
   while !pos < n do
     let edge =
       if !pos + 1 < n && input.[!pos] = '/' && input.[!pos + 1] = '/' then begin
@@ -20,7 +21,7 @@ let of_string input =
         Child
       end
       else if !pos = 0 then Descendant (* a bare leading name: anchor anywhere *)
-      else failwith "Path_pattern.of_string: expected '/' or '//'"
+      else error !pos "expected '/' or '//'"
     in
     let start = !pos in
     while
@@ -32,7 +33,7 @@ let of_string input =
     do
       incr pos
     done;
-    if !pos = start then failwith "Path_pattern.of_string: expected a name or '*'";
+    if !pos = start then error !pos "expected a step name or '*'";
     let word = String.sub input start (!pos - start) in
     let label = if word = "*" then None else Some word in
     steps := { edge; label } :: !steps

@@ -3,6 +3,12 @@ module Twig = Actree.Twigjoin
 
 type stats = { matched : bool; match_count : int; peak_depth : int; events : int }
 
+(* [Obs.Counter.make] deduplicates by name, so these are the same logical
+   counters Path_matcher bumps *)
+let c_events = Obs.Counter.make "sax_events"
+
+let c_peak = Obs.Counter.make "stream_peak_depth"
+
 (* pattern nodes are numbered in pre-order; per pattern node we keep its
    label and its children with edges *)
 type pnode = { label : string option; kids : (Twig.edge * int) list }
@@ -54,11 +60,15 @@ let make ?(anchored = false) pattern =
 
 let push_event st ev =
   st.events <- st.events + 1;
+  Obs.Counter.incr c_events;
   match ev with
   | Event.Open { label; _ } ->
     st.stack <- (label, { child_sat = 0; desc_sat = 0 }) :: st.stack;
     st.depth <- st.depth + 1;
-    if st.depth > st.peak then st.peak <- st.depth
+    if st.depth > st.peak then begin
+      st.peak <- st.depth;
+      Obs.Counter.record_max c_peak st.peak
+    end
   | Event.Close { label; _ } -> (
     match st.stack with
     | [] -> invalid_arg "Twig_matcher: unbalanced events"

@@ -1,0 +1,11 @@
+exception Error of { pos : int; msg : string }
+
+let raise_at pos fmt =
+  Printf.ksprintf (fun msg -> raise (Error { pos; msg })) fmt
+
+let to_string ~pos ~msg = Printf.sprintf "at offset %d: %s" pos msg
+
+let () =
+  Printexc.register_printer (function
+    | Error { pos; msg } -> Some ("Parse_error " ^ to_string ~pos ~msg)
+    | _ -> None)

@@ -1,0 +1,11 @@
+(** A positioned parse error shared by the hand-rolled query parsers
+    (path patterns, axis datalog, …), so front ends can point at the
+    offending input offset instead of surfacing an anonymous [Failure]. *)
+
+exception Error of { pos : int; msg : string }
+(** [pos] is a 0-based character offset into the input string. *)
+
+val raise_at : int -> ('a, unit, string, 'b) format4 -> 'a
+(** [raise_at pos fmt …] raises {!Error} with a formatted message. *)
+
+val to_string : pos:int -> msg:string -> string

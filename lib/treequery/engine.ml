@@ -42,7 +42,7 @@ let plan = function
     else if Actree.Xeval.supported q <> None then Cq_arc_consistency
     else Cq_rewrite
 
-let explain query =
+let explain ?observed query =
   let buf = Buffer.create 256 in
   let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   (match query with
@@ -101,7 +101,24 @@ let explain query =
         "exponential in |Q| to rewrite (Theorem 5.1), then O(||A|| * |Q'|) per branch"
       | Xpath_bottom_up | Datalog_hornsat | Positive_rewrite | Datalog_fixpoint ->
         assert false));
+  (* after a traced run, show what the strategy actually did so the
+     bound above can be checked against observed work *)
+  let report =
+    match observed with Some r -> r | None -> Obs.Report.capture ()
+  in
+  if report.Obs.Report.counters <> [] then begin
+    pr "observed:\n";
+    List.iter
+      (fun (name, v) -> pr "  %-28s %d\n" name v)
+      report.Obs.Report.counters
+  end;
   Buffer.contents buf
+
+(* one span per strategy run, so a traced evaluation shows up as
+   [strategy:<name>] with the per-phase spans of the underlying
+   algorithm nested below it *)
+let in_strategy_span query f =
+  Obs.Span.with_ ("strategy:" ^ strategy_name (plan query)) f
 
 let eval_cq q tree =
   match plan (Cq_query q) with
@@ -150,7 +167,10 @@ let eval_cq q tree =
   | Xpath_bottom_up | Datalog_hornsat | Positive_rewrite | Datalog_fixpoint ->
     assert false
 
-let eval query tree =
+(* unwrapped body shared by [eval] and the non-CQ fall-through branches
+   of [eval_boolean]/[solutions], so a run opens exactly one strategy
+   span *)
+let eval_inner query tree =
   match query with
   | Xpath_query p -> Xpath.Eval.query tree p
   | Datalog_query p -> Mdatalog.Eval.run p tree
@@ -168,7 +188,10 @@ let eval query tree =
     end
   | Cq_query q -> eval_cq q tree
 
+let eval query tree = in_strategy_span query (fun () -> eval_inner query tree)
+
 let eval_boolean query tree =
+  in_strategy_span query @@ fun () ->
   match query with
   | Cq_query q -> (
     match plan query with
@@ -180,9 +203,10 @@ let eval_boolean query tree =
       assert false)
   | Positive_query u -> Cqtree.Positive.boolean u tree
   | Xpath_query _ | Datalog_query _ | Axis_datalog_query _ ->
-    not (Nodeset.is_empty (eval query tree))
+    not (Nodeset.is_empty (eval_inner query tree))
 
 let solutions query tree =
+  in_strategy_span query @@ fun () ->
   match query with
   | Cq_query q -> (
     match plan query with
@@ -194,4 +218,4 @@ let solutions query tree =
       assert false)
   | Positive_query u -> Cqtree.Positive.solutions u tree
   | Xpath_query _ | Datalog_query _ | Axis_datalog_query _ ->
-    List.map (fun v -> [| v |]) (Nodeset.elements (eval query tree))
+    List.map (fun v -> [| v |]) (Nodeset.elements (eval_inner query tree))

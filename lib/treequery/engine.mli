@@ -40,7 +40,8 @@ val parse_positive : string list -> query
     @raise Failure @raise Invalid_argument *)
 
 val parse_axis_datalog : string -> query
-(** @raise Failure *)
+(** @raise Treekit.Parse_error.Error with the offending statement's
+    offset *)
 
 type strategy =
   | Xpath_bottom_up
@@ -56,11 +57,14 @@ val strategy_name : strategy -> string
 val plan : query -> strategy
 (** The strategy {!eval} will use. *)
 
-val explain : query -> string
+val explain : ?observed:Obs.Report.t -> query -> string
 (** A human-readable account of the plan: language, fragment properties
     (conjunctive/positive/forward, acyclicity, signature class, estimated
     tree-width), chosen strategy, and the complexity bound the paper gives
-    for it. *)
+    for it.  If [observed] (default: the counters recorded since the last
+    [Obs.reset], i.e. of the preceding traced run) is nonempty, an
+    "observed:" section lists the counters so the bound can be compared
+    with the work actually done. *)
 
 val eval : query -> Treekit.Tree.t -> Treekit.Nodeset.t
 (** Unary evaluation.  A Boolean conjunctive query returns [{root}] when

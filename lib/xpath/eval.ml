@@ -3,10 +3,15 @@ module Axis = Treekit.Axis
 module Nodeset = Treekit.Nodeset
 open Ast
 
+(* every node surviving an axis-image step is counted once; the O(n·|Q|)
+   per-step bound (Fig. 7) caps this at n per Step of the query *)
+let c_nodes = Obs.Counter.make "nodes_visited"
+
 let rec forward tree p s =
   match p with
   | Step { axis; quals } ->
     let out = Axis.image tree axis s in
+    Obs.Counter.add c_nodes (Nodeset.cardinal out);
     List.fold_left (fun acc q -> Nodeset.inter acc (qual_set tree q)) out quals
   | Seq (p1, p2) -> forward tree p2 (forward tree p1 s)
   | Union (p1, p2) -> Nodeset.union (forward tree p1 s) (forward tree p2 s)
@@ -17,7 +22,9 @@ and backward tree p s =
     let filtered =
       List.fold_left (fun acc q -> Nodeset.inter acc (qual_set tree q)) s quals
     in
-    Axis.image tree (Axis.inverse axis) filtered
+    let out = Axis.image tree (Axis.inverse axis) filtered in
+    Obs.Counter.add c_nodes (Nodeset.cardinal out);
+    out
   | Seq (p1, p2) -> backward tree p1 (backward tree p2 s)
   | Union (p1, p2) -> Nodeset.union (backward tree p1 s) (backward tree p2 s)
 
@@ -31,6 +38,7 @@ and qual_set tree q =
   | Not q -> Nodeset.complement (qual_set tree q)
 
 let query tree p =
-  let s = Nodeset.create (Tree.size tree) in
-  Nodeset.add s (Tree.root tree);
-  forward tree p s
+  Obs.Span.with_ "xpath:bottom-up" (fun () ->
+      let s = Nodeset.create (Tree.size tree) in
+      Nodeset.add s (Tree.root tree);
+      forward tree p s)

@@ -84,6 +84,25 @@ let test_positive_and_axis_datalog () =
   Alcotest.(check bool) "axis-datalog explain" true
     (contains (E.explain d) "mon.datalog[X]")
 
+let test_yannakakis_semijoin_count () =
+  (* a Yannakakis run performs at most 2·(#atoms) semijoin passes
+     (full reducer, Prop. 4.2) *)
+  let q = E.parse_cq {| q(X) :- lab(X, "a"), child(X, Y), lab(Y, "b"). |} in
+  Alcotest.(check string) "yannakakis plan" "yannakakis"
+    (E.strategy_name (E.plan q));
+  let atoms = match q with E.Cq_query cq -> Cqtree.Query.atom_count cq | _ -> assert false in
+  Obs.reset ();
+  ignore (Obs.with_enabled true (fun () -> E.solutions q (fig2_tree ())));
+  let passes =
+    Option.value ~default:0
+      (List.assoc_opt "semijoin_passes" (Obs.Counter.snapshot ()))
+  in
+  Obs.reset ();
+  Alcotest.(check bool)
+    (Printf.sprintf "0 < %d passes <= 2*%d" passes atoms)
+    true
+    (passes > 0 && passes <= 2 * atoms)
+
 let strategies_gen =
   QCheck2.Gen.(
     let* qseed = int_range 0 100_000 in
@@ -119,6 +138,8 @@ let suite =
     Alcotest.test_case "boolean and k-ary" `Quick test_boolean_and_solutions;
     Alcotest.test_case "positive FO and axis datalog" `Quick
       test_positive_and_axis_datalog;
+    Alcotest.test_case "yannakakis semijoin-pass count" `Quick
+      test_yannakakis_semijoin_count;
     prop_engine_equals_naive;
     prop_engine_boolean;
   ]

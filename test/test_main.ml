@@ -20,6 +20,7 @@ let () =
       ("automata", Test_automata.suite);
       ("positive", Test_positive.suite);
       ("engine", Test_engine.suite);
+      ("obs", Test_obs.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("laws", Test_laws.suite);
     ]

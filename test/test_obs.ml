@@ -1,0 +1,232 @@
+(* The observability library itself, and the invariant that tracing a run
+   never changes its result. *)
+open Helpers
+module E = Treequery.Engine
+
+(* every test leaves Obs disabled and empty so suites stay independent *)
+let with_clean_obs f =
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+    f
+
+let test_span_nesting () =
+  with_clean_obs @@ fun () ->
+  Obs.set_enabled true;
+  Obs.Span.with_ "outer" (fun () ->
+      Obs.Span.with_ "inner-1" (fun () -> ());
+      Obs.Span.with_ "inner-2" (fun () ->
+          Obs.Span.with_ "leaf" (fun () -> ())));
+  Obs.Span.with_ "second-root" (fun () -> ());
+  let r = Obs.Report.capture () in
+  let names =
+    List.map (fun (s : Obs.Report.span) -> s.name) r.Obs.Report.spans
+  in
+  Alcotest.(check (list string)) "roots in order" [ "outer"; "second-root" ] names;
+  let outer = List.hd r.Obs.Report.spans in
+  Alcotest.(check (list string))
+    "children in order" [ "inner-1"; "inner-2" ]
+    (List.map (fun (s : Obs.Report.span) -> s.name) outer.children);
+  let inner2 = List.nth outer.children 1 in
+  Alcotest.(check (list string))
+    "grandchild" [ "leaf" ]
+    (List.map (fun (s : Obs.Report.span) -> s.name) inner2.children);
+  Alcotest.(check bool) "durations are non-negative" true
+    (List.for_all (fun (s : Obs.Report.span) -> s.duration >= 0.0) r.Obs.Report.spans)
+
+let test_span_survives_exception () =
+  with_clean_obs @@ fun () ->
+  Obs.set_enabled true;
+  (try Obs.Span.with_ "will-raise" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  let r = Obs.Report.capture () in
+  Alcotest.(check (list string))
+    "span recorded despite exception" [ "will-raise" ]
+    (List.map (fun (s : Obs.Report.span) -> s.name) r.Obs.Report.spans)
+
+let test_counter_reset_between_runs () =
+  with_clean_obs @@ fun () ->
+  Obs.set_enabled true;
+  let c = Obs.Counter.make "test_only_counter" in
+  Obs.Counter.incr c;
+  Obs.Counter.add c 41;
+  Alcotest.(check int) "accumulated" 42 (Obs.Counter.value c);
+  Alcotest.(check bool) "snapshot sees it" true
+    (List.mem_assoc "test_only_counter" (Obs.Counter.snapshot ()));
+  Obs.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (Obs.Counter.value c);
+  Alcotest.(check (list (pair string int))) "snapshot empty after reset" []
+    (Obs.Counter.snapshot ());
+  Obs.Counter.incr c;
+  Alcotest.(check int) "second run counts afresh" 1 (Obs.Counter.value c);
+  Alcotest.(check bool) "make is deduplicated by name" true
+    (Obs.Counter.make "test_only_counter" == c)
+
+let test_disabled_mode_empty () =
+  with_clean_obs @@ fun () ->
+  Alcotest.(check bool) "disabled by default" false (Obs.enabled ());
+  let c = Obs.Counter.make "test_disabled_counter" in
+  Obs.Counter.incr c;
+  Obs.Counter.add c 7;
+  Obs.Counter.record_max c 99;
+  Obs.Span.with_ "invisible" (fun () -> ());
+  let r = Obs.Report.capture () in
+  Alcotest.(check bool) "report is empty" true (Obs.Report.is_empty r);
+  Alcotest.(check int) "counter untouched" 0 (Obs.Counter.value c)
+
+let test_json_roundtrip () =
+  with_clean_obs @@ fun () ->
+  Obs.set_enabled true;
+  let c = Obs.Counter.make "test_json_counter" in
+  Obs.Counter.add c 123;
+  Obs.Span.with_ "parent \"quoted\"" (fun () ->
+      Obs.Span.with_ "child\n2" (fun () -> ()));
+  let r = Obs.Report.capture () in
+  let r' = Obs.Report.of_json (Obs.Report.to_json r) in
+  Alcotest.(check (list (pair string int)))
+    "counters round-trip" r.Obs.Report.counters r'.Obs.Report.counters;
+  let rec names (s : Obs.Report.span) =
+    s.name :: List.concat_map names s.children
+  in
+  Alcotest.(check (list string))
+    "span names round-trip (incl. escapes)"
+    (List.concat_map names r.Obs.Report.spans)
+    (List.concat_map names r'.Obs.Report.spans);
+  (* a second parse of a re-serialisation is identical *)
+  Alcotest.(check string) "serialisation is a fixpoint"
+    (Obs.Report.to_json r')
+    (Obs.Report.to_json (Obs.Report.of_json (Obs.Report.to_json r')))
+
+let test_json_parser_rejects_garbage () =
+  Alcotest.(check bool) "garbage rejected" true
+    (match Obs.Json.of_string "{\"a\": }" with
+    | exception Obs.Json.Parse_failure _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "trailing junk rejected" true
+    (match Obs.Json.of_string "[1] x" with
+    | exception Obs.Json.Parse_failure _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* tracing must not change results: acceptance criterion of the obs PR *)
+
+let queries =
+  [
+    ("xpath", E.parse_xpath "//a[b and not(descendant::c)]");
+    ("cq-yannakakis", E.parse_cq {| q(X) :- lab(X, "a"), child(X, Y), lab(Y, "b"). |});
+    ( "cq-arc-consistency",
+      E.parse_cq {| q :- descendant(X, Y), descendant(Y, Z), descendant(X, Z). |} );
+    ( "cq-rewrite",
+      E.parse_cq {| q(Z) :- lab(X, "a"), descendant(X, Z), lab(Y, "b"), descendant(Y, Z). |} );
+    ( "datalog",
+      E.parse_datalog
+        {| mark(X) :- lab(X, "b"), notroot(X).
+           notroot(X) :- firstchild(Y, X).
+           notroot(X) :- nextsibling(Y, X).
+           ?- mark. |} );
+    ( "axis-datalog",
+      E.parse_axis_datalog
+        {| even(X) :- root(X).
+           odd(Y) :- even(X), child(X, Y).
+           even(Y) :- odd(X), child(X, Y).
+           ?- odd. |} );
+  ]
+
+let test_tracing_changes_no_results () =
+  with_clean_obs @@ fun () ->
+  let trees =
+    [ fig2_tree (); random_tree ~seed:7 ~n:60 (); random_tree ~seed:8 ~n:200 () ]
+  in
+  List.iter
+    (fun tree ->
+      List.iter
+        (fun (name, q) ->
+          let off = Obs.with_enabled false (fun () -> E.eval q tree) in
+          Obs.reset ();
+          let on = Obs.with_enabled true (fun () -> E.eval q tree) in
+          check_nodeset (name ^ ": node set unchanged by tracing") off on;
+          Alcotest.(check bool)
+            (name ^ ": traced run recorded something") true
+            (not (Obs.Report.is_empty (Obs.Report.capture ()))))
+        queries)
+    trees
+
+let test_engine_semijoin_bound () =
+  with_clean_obs @@ fun () ->
+  (* Prop. 4.2: the full reducer is a 2·|edges| semijoin program, and the
+     join tree has fewer edges than the query has atoms *)
+  let q = {| q(X) :- lab(X, "a"), child(X, Y), lab(Y, "b"), descendant(Y, Z), lab(Z, "c"). |} in
+  let parsed = E.parse_cq q in
+  Alcotest.(check string) "planned as yannakakis" "yannakakis"
+    (E.strategy_name (E.plan parsed));
+  let atoms =
+    match parsed with E.Cq_query cq -> Cqtree.Query.atom_count cq | _ -> assert false
+  in
+  let tree = random_tree ~seed:11 ~n:300 () in
+  Obs.reset ();
+  ignore (Obs.with_enabled true (fun () -> E.solutions parsed tree));
+  let passes =
+    match List.assoc_opt "semijoin_passes" (Obs.Counter.snapshot ()) with
+    | Some v -> v
+    | None -> Alcotest.fail "no semijoin_passes counter recorded"
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "0 < %d semijoin passes <= 2*%d atoms" passes atoms)
+    true
+    (passes > 0 && passes <= 2 * atoms)
+
+let test_hornsat_linear_witness () =
+  with_clean_obs @@ fun () ->
+  (* Minoux / Fig. 3: unit propagations are bounded by the formula size *)
+  let f = Hornsat.create ~nvars:200 in
+  for i = 0 to 198 do
+    ignore (Hornsat.add_rule f ~head:(i + 1) ~body:[ i ])
+  done;
+  ignore (Hornsat.add_rule f ~head:0 ~body:[]);
+  Obs.reset ();
+  let truth = Obs.with_enabled true (fun () -> Hornsat.solve f) in
+  Alcotest.(check bool) "chain fully derived" true (Array.for_all Fun.id truth);
+  let props =
+    match List.assoc_opt "hornsat_unit_props" (Obs.Counter.snapshot ()) with
+    | Some v -> v
+    | None -> Alcotest.fail "no hornsat_unit_props counter recorded"
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d propagations <= formula size %d" props (Hornsat.size_of_formula f))
+    true
+    (props > 0 && props <= Hornsat.size_of_formula f)
+
+let test_explain_appends_observed () =
+  with_clean_obs @@ fun () ->
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  let q = E.parse_xpath "//a[b]" in
+  let plain = E.explain q in
+  Alcotest.(check bool) "no observed section without a run" false
+    (contains plain "observed:");
+  Obs.reset ();
+  ignore (Obs.with_enabled true (fun () -> E.eval q (fig2_tree ())));
+  let traced = E.explain q in
+  Alcotest.(check bool) "observed section after a traced run" true
+    (contains traced "observed:");
+  Alcotest.(check bool) "lists nodes_visited" true (contains traced "nodes_visited")
+
+let suite =
+  [
+    Alcotest.test_case "span nesting" `Quick test_span_nesting;
+    Alcotest.test_case "span survives exception" `Quick test_span_survives_exception;
+    Alcotest.test_case "counter reset between runs" `Quick test_counter_reset_between_runs;
+    Alcotest.test_case "disabled mode leaves report empty" `Quick test_disabled_mode_empty;
+    Alcotest.test_case "JSON round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "JSON parser rejects garbage" `Quick test_json_parser_rejects_garbage;
+    Alcotest.test_case "tracing changes no results" `Quick test_tracing_changes_no_results;
+    Alcotest.test_case "yannakakis semijoin-pass bound" `Quick test_engine_semijoin_bound;
+    Alcotest.test_case "hornsat propagation bound" `Quick test_hornsat_linear_witness;
+    Alcotest.test_case "explain appends observed counters" `Quick
+      test_explain_appends_observed;
+  ]

@@ -12,7 +12,9 @@ let test_pattern_parse () =
   Alcotest.(check bool) "bare name anchors anywhere" true
     (PP.of_string "a" = PP.of_string "//a");
   Alcotest.(check bool) "bad pattern" true
-    (match PP.of_string "//" with exception Failure _ -> true | _ -> false)
+    (match PP.of_string "//" with
+    | exception Treekit.Parse_error.Error { pos = 2; _ } -> true
+    | _ -> false)
 
 let test_pattern_xpath_bridge () =
   let p = PP.of_string "//a/b" in
