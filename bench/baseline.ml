@@ -1,0 +1,152 @@
+(* A small deterministic "core suite" used for recorded baselines.
+
+   [run_baseline file] measures each experiment's wall time (tracing
+   disabled) and its Obs counters (one traced run), then writes a JSON
+   snapshot; [check file] re-runs the suite and fails when the
+   work-witnessing counters regress versus the recorded expectations.
+   All seeds are fixed, so the counters are exact machine-independent
+   expectations; only the wall times vary between hosts. *)
+
+module Generator = Treekit.Generator
+
+type experiment = { name : string; run : unit -> unit }
+
+let xpath_on tree query () = ignore (Xpath.Eval.query tree (Xpath.Parser.parse query))
+
+let core_suite () =
+  let xmark8 = Generator.xmark ~seed:3 ~scale:8 () in
+  let xmark_big = Generator.xmark ~seed:3 ~scale:2048 () in
+  let xmark64 = Generator.xmark ~seed:3 ~scale:64 () in
+  let t4k = Generator.random ~seed:4017 ~n:4_000 ~labels:Generator.labels_abc () in
+  let t2k = Generator.random ~seed:2011 ~n:2_000 ~labels:Generator.labels_abc () in
+  let twig_q =
+    Cqtree.Query.of_string
+      {| q(X, Y) :- lab(X, "item"), descendant(X, Y), lab(Y, "date"). |}
+  in
+  let datalog_p = Mdatalog.Examples.has_ancestor_labeled "b" in
+  let pathstack_specs =
+    [ (Some "item", Actree.Twigjoin.Descendant_edge);
+      (Some "mail", Actree.Twigjoin.Descendant_edge) ]
+  in
+  [
+    (* the acceptance query: a selective //a[b]-style descendant step *)
+    { name = "xpath-selective/xmark8"; run = xpath_on xmark8 "//mail[date]" };
+    { name = "xpath-selective/xmark2048"; run = xpath_on xmark_big "//mail[date]" };
+    { name = "xpath-dense/random4k";
+      run = xpath_on t4k "//a[b and not(descendant::c)]/following-sibling::*" };
+    { name = "yannakakis-twig/xmark64";
+      run = (fun () -> ignore (Cqtree.Yannakakis.solutions twig_q xmark64)) };
+    { name = "structural-join/descendant-view-2k";
+      run =
+        (let xasr = Relkit.Structural_join.store t2k in
+         fun () -> ignore (Relkit.Structural_join.descendant_view xasr)) };
+    { name = "twig-pathstack/xmark64";
+      run = (fun () -> ignore (Actree.Twigjoin.path_stack xmark64 pathstack_specs)) };
+    { name = "datalog-ancestor/random4k";
+      run = (fun () -> ignore (Mdatalog.Eval.run datalog_p t4k)) };
+  ]
+
+(* wall time with tracing off, then counters from one traced run *)
+let measure e =
+  let wall = Obs.with_enabled false (fun () -> Bench_util.time e.run) in
+  Obs.reset ();
+  Obs.with_enabled true e.run;
+  let counters = Obs.Counter.snapshot () in
+  Obs.reset ();
+  (wall, counters)
+
+let json_of_measurement name wall counters =
+  Obs.Json.Obj
+    [
+      ("name", Obs.Json.Str name);
+      ("wall_s", Obs.Json.Num wall);
+      ( "counters",
+        Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Num (float_of_int v))) counters)
+      );
+    ]
+
+let run_suite () =
+  Bench_util.header "Core-suite baseline (fixed seeds)";
+  List.map
+    (fun e ->
+      let wall, counters = measure e in
+      Printf.printf "%-40s %10.2f ms  %s\n" e.name (Bench_util.ms wall)
+        (String.concat " "
+           (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) counters));
+      json_of_measurement e.name wall counters)
+    (core_suite ())
+
+let run_baseline file =
+  let entries = run_suite () in
+  let json = Obs.Json.Obj [ ("experiments", Obs.Json.Arr entries) ] in
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Obs.Json.to_string json ^ "\n"));
+  Printf.printf "baseline written to %s\n" file
+
+(* ------------------------------------------------------------------ *)
+(* Regression check against a committed baseline. *)
+
+(* only the deterministic work-witnessing counters gate CI; the others are
+   printed for information *)
+let gating = [ "nodes_visited"; "tuples_materialised" ]
+
+let read_json file =
+  let ic = open_in_bin file in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Obs.Json.of_string contents
+
+let expectations json =
+  (* accept either a bare baseline file or the committed before/after shape,
+     in which case the "after" section holds the expectations *)
+  let root =
+    match Obs.Json.member "after" json with Some a -> a | None -> json
+  in
+  match Obs.Json.member "experiments" root with
+  | Some (Obs.Json.Arr entries) ->
+    List.filter_map
+      (fun e ->
+        match (Obs.Json.member "name" e, Obs.Json.member "counters" e) with
+        | Some (Obs.Json.Str name), Some (Obs.Json.Obj counters) ->
+          Some
+            ( name,
+              List.filter_map
+                (fun (k, v) ->
+                  match v with
+                  | Obs.Json.Num f -> Some (k, int_of_float f)
+                  | _ -> None)
+                counters )
+        | _ -> None)
+      entries
+  | _ -> failwith "baseline file: missing \"experiments\" array"
+
+let check file =
+  let expected = expectations (read_json file) in
+  let failures = ref [] in
+  List.iter
+    (fun e ->
+      match List.assoc_opt e.name expected with
+      | None -> Printf.printf "%-40s (no recorded expectation, skipped)\n" e.name
+      | Some exp_counters ->
+        let _, counters = measure e in
+        List.iter
+          (fun key ->
+            match (List.assoc_opt key counters, List.assoc_opt key exp_counters) with
+            | Some now, Some before when now > before ->
+              failures := (e.name, key, before, now) :: !failures;
+              Printf.printf "%-40s %s REGRESSED: %d -> %d\n" e.name key before now
+            | Some now, Some before ->
+              Printf.printf "%-40s %s ok: %d (expected <= %d)\n" e.name key now before
+            | _ -> ())
+          gating)
+    (core_suite ());
+  if !failures <> [] then begin
+    Printf.printf "baseline check FAILED (%d regressions)\n" (List.length !failures);
+    exit 1
+  end
+  else Printf.printf "baseline check ok\n"

@@ -144,12 +144,27 @@ let run_bechamel () =
     (fun (name, ns) -> Printf.printf "%-48s %14.1f ns/run\n" name ns)
     (List.sort compare rows)
 
+(* pull "--flag FILE" out of an argument list *)
+let rec extract_opt flag = function
+  | [] -> (None, [])
+  | f :: v :: rest when f = flag ->
+    let found, rest = extract_opt flag rest in
+    ((match found with Some _ -> found | None -> Some v), rest)
+  | a :: rest ->
+    let found, rest = extract_opt flag rest in
+    (found, a :: rest)
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let skip_bechamel = List.mem "--no-bechamel" args in
   let args = List.filter (fun a -> a <> "--no-bechamel") args in
-  let selected = if args = [] then List.map fst experiments else args in
+  let baseline_file, args = extract_opt "--baseline" args in
+  let check_file, args = extract_opt "--check" args in
   Obs.set_clock Unix.gettimeofday;
+  (match baseline_file with Some f -> Baseline.run_baseline f | None -> ());
+  (match check_file with Some f -> Baseline.check f | None -> ());
+  if baseline_file <> None || check_file <> None then exit 0;
+  let selected = if args = [] then List.map fst experiments else args in
   Obs.set_enabled true;
   List.iter
     (fun name ->

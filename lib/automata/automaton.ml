@@ -257,19 +257,17 @@ let select a ctx ~pred tree =
   let left = Array.make n a.one and right = Array.make n a.one in
   for v = 0 to n - 1 do
     if Tree.first_child tree v <> -1 then begin
-      let kids = Tree.children tree v in
       let acc = ref a.one in
-      List.iter
-        (fun c ->
+      Tree.iter_children tree v (fun c ->
           left.(c) <- !acc;
-          acc := a.mul !acc (a.embed state.(c)))
-        kids;
+          acc := a.mul !acc (a.embed state.(c)));
       let racc = ref a.one in
-      List.iter
-        (fun c ->
-          right.(c) <- !racc;
-          racc := a.mul (a.embed state.(c)) !racc)
-        (List.rev kids)
+      let c = ref (Tree.last_child tree v) in
+      while !c <> -1 do
+        right.(!c) <- !racc;
+        racc := a.mul (a.embed state.(!c)) !racc;
+        c := Tree.prev_sibling tree !c
+      done
     end
   done;
   let contexts = Array.make n ctx.initial in

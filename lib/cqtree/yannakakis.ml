@@ -82,6 +82,14 @@ let edge_image tree axes src =
       src;
     out
 
+(* As [edge_image], but intersected with [within] output-sensitively: a
+   single-atom edge probes the candidates already retained in the target
+   domain rather than materialising the full image first. *)
+let edge_image_within tree axes src ~within =
+  match axes with
+  | [ a ] -> Axis.image_within tree a src within
+  | _ -> Nodeset.inter (edge_image tree axes src) within
+
 (* bottom-up semijoin pass; fills [domains] for every variable of the
    component and returns the root's domain *)
 let rec bottom_up tree env domains (node : Join_tree.node) =
@@ -90,7 +98,8 @@ let rec bottom_up tree env domains (node : Join_tree.node) =
     (fun (atoms, child) ->
       let dc = bottom_up tree env domains child in
       Obs.Counter.incr c_semijoin;
-      Nodeset.inter_into d (edge_image tree (List.map toward_parent atoms) dc))
+      Nodeset.inter_into d
+        (edge_image_within tree (List.map toward_parent atoms) dc ~within:d))
     node.edges;
   Hashtbl.replace domains node.var d;
   Obs.Counter.add c_domain (Nodeset.cardinal d);
@@ -102,7 +111,8 @@ let rec top_down tree domains (node : Join_tree.node) =
     (fun (atoms, (child : Join_tree.node)) ->
       let dc = Hashtbl.find domains child.var in
       Obs.Counter.incr c_semijoin;
-      Nodeset.inter_into dc (edge_image tree (List.map toward_child atoms) d);
+      Nodeset.inter_into dc
+        (edge_image_within tree (List.map toward_child atoms) d ~within:dc);
       top_down tree domains child)
     node.edges
 

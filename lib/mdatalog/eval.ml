@@ -107,10 +107,24 @@ let enumerate rule tree ~is_extensional ~test_env ~accept =
       end
   in
   let head_ix = Hashtbl.find idx rule.head_var in
-  for v = 0 to Tree.size tree - 1 do
+  let seed v =
     bind head_ix v [] (fun pendings ->
         accept ~head_node:assignment.(head_ix) ~pending:pendings)
-  done
+  in
+  (* if the head variable carries a label atom, only that label's
+     occurrences can seed an embedding: O(occurrences) via the tree's
+     cached label index instead of a full scan *)
+  let rec first_lab = function
+    | [] -> None
+    | U (Lab a, x) :: _ when x = rule.head_var -> Some a
+    | _ :: rest -> first_lab rest
+  in
+  match first_lab rule.body with
+  | Some a -> Array.iter seed (Tree.occurrences tree a)
+  | None ->
+    for v = 0 to Tree.size tree - 1 do
+      seed v
+    done
 
 (* ------------------------------------------------------------------ *)
 

@@ -41,6 +41,55 @@ let product a b =
 
 let key_of on_side row = Array.of_list (List.map (fun c -> row.(c)) on_side)
 
+(* Join keys.  Hashing a fresh [int array] per probe is the dominant cost of
+   a hash join here, so keys are packed into a single immediate [int]
+   whenever possible: a one-column key is the value itself; a multi-column
+   key is mixed-radix-packed using the observed per-position value ranges
+   when the product of the range widths fits in an [int].  Only when packing
+   would overflow do we fall back to structural array keys. *)
+type key_plan =
+  | Int_keys of (int array -> int) * (int array -> int)
+  | Array_keys
+
+let packed_key_plan acols bcols a b =
+  match acols, bcols with
+  | [], [] -> Int_keys ((fun _ -> 0), (fun _ -> 0))
+  | [ ca ], [ cb ] -> Int_keys ((fun row -> row.(ca)), (fun row -> row.(cb)))
+  | _ ->
+    let k = List.length acols in
+    let acols = Array.of_list acols and bcols = Array.of_list bcols in
+    let lo = Array.make k max_int and hi = Array.make k min_int in
+    let scan cols r =
+      Relation.iter
+        (fun row ->
+          for i = 0 to k - 1 do
+            let v = row.(cols.(i)) in
+            if v < lo.(i) then lo.(i) <- v;
+            if v > hi.(i) then hi.(i) <- v
+          done)
+        r
+    in
+    scan acols a;
+    scan bcols b;
+    let stride = Array.make k 1 in
+    let fits = ref true in
+    let acc = ref 1 in
+    for i = 0 to k - 1 do
+      stride.(i) <- !acc;
+      let w = hi.(i) - lo.(i) + 1 in
+      if w <= 0 || w > max_int / !acc then fits := false else acc := !acc * w
+    done;
+    if not !fits then Array_keys
+    else
+      let pack cols row =
+        let key = ref 0 in
+        for i = 0 to k - 1 do
+          key := !key + ((row.(cols.(i)) - lo.(i)) * stride.(i))
+        done;
+        !key
+      in
+      Int_keys (pack acols, pack bcols)
+
 let equijoin ~on a b =
   let acols = List.map fst on and bcols = List.map snd on in
   List.iter
@@ -49,17 +98,30 @@ let equijoin ~on a b =
   List.iter
     (fun c -> if c < 0 || c >= Relation.arity b then invalid_arg "Ops.equijoin: bad column in b")
     bcols;
-  let index = Hashtbl.create (max 16 (Relation.cardinality b)) in
-  Relation.iter (fun rb -> Hashtbl.add index (key_of bcols rb) rb) b;
   let out =
     Relation.create ~name:"join" ~arity:(Relation.arity a + Relation.arity b) ()
   in
-  Relation.iter
-    (fun ra ->
-      List.iter
-        (fun rb -> Relation.add out (Array.append ra rb))
-        (Hashtbl.find_all index (key_of acols ra)))
-    a;
+  if Relation.cardinality a > 0 && Relation.cardinality b > 0 then begin
+    match packed_key_plan acols bcols a b with
+    | Int_keys (ka, kb) ->
+      let index = Hashtbl.create (max 16 (Relation.cardinality b)) in
+      Relation.iter (fun rb -> Hashtbl.add index (kb rb) rb) b;
+      Relation.iter
+        (fun ra ->
+          List.iter
+            (fun rb -> Relation.add out (Array.append ra rb))
+            (Hashtbl.find_all index (ka ra)))
+        a
+    | Array_keys ->
+      let index = Hashtbl.create (max 16 (Relation.cardinality b)) in
+      Relation.iter (fun rb -> Hashtbl.add index (key_of bcols rb) rb) b;
+      Relation.iter
+        (fun ra ->
+          List.iter
+            (fun rb -> Relation.add out (Array.append ra rb))
+            (Hashtbl.find_all index (key_of acols ra)))
+        a
+  end;
   out
 
 let theta_join pred a b =
@@ -73,10 +135,20 @@ let theta_join pred a b =
 
 let semijoin ~on a b =
   let acols = List.map fst on and bcols = List.map snd on in
-  let index = Hashtbl.create (max 16 (Relation.cardinality b)) in
-  Relation.iter (fun rb -> Hashtbl.replace index (key_of bcols rb) ()) b;
   let out = Relation.create ~name:(Relation.name a ^ "_semi") ~arity:(Relation.arity a) () in
-  Relation.iter
-    (fun ra -> if Hashtbl.mem index (key_of acols ra) then Relation.add out ra)
-    a;
+  if Relation.cardinality a > 0 && Relation.cardinality b > 0 then begin
+    match packed_key_plan acols bcols a b with
+    | Int_keys (ka, kb) ->
+      let index = Hashtbl.create (max 16 (Relation.cardinality b)) in
+      Relation.iter (fun rb -> Hashtbl.replace index (kb rb) ()) b;
+      Relation.iter
+        (fun ra -> if Hashtbl.mem index (ka ra) then Relation.add out ra)
+        a
+    | Array_keys ->
+      let index = Hashtbl.create (max 16 (Relation.cardinality b)) in
+      Relation.iter (fun rb -> Hashtbl.replace index (key_of bcols rb) ()) b;
+      Relation.iter
+        (fun ra -> if Hashtbl.mem index (key_of acols ra) then Relation.add out ra)
+        a
+  end;
   out

@@ -11,13 +11,13 @@ type t = {
   name : string;
   arity : int;
   index : unit Rowtbl.t;
-  mutable rev_rows : int array list;  (** reverse insertion order *)
+  mutable store : int array array;  (** first [card] slots live, insertion order *)
   mutable card : int;
 }
 
 let create ?(name = "r") ~arity () =
   if arity < 0 then invalid_arg "Relation.create: negative arity";
-  { name; arity; index = Rowtbl.create 64; rev_rows = []; card = 0 }
+  { name; arity; index = Rowtbl.create 64; store = [||]; card = 0 }
 
 let name r = r.name
 let arity r = r.arity
@@ -28,7 +28,13 @@ let add r row =
   if not (Rowtbl.mem r.index row) then begin
     let row = Array.copy row in
     Rowtbl.add r.index row ();
-    r.rev_rows <- row :: r.rev_rows;
+    let cap = Array.length r.store in
+    if r.card = cap then begin
+      let store = Array.make (max 16 (2 * cap)) [||] in
+      Array.blit r.store 0 store 0 cap;
+      r.store <- store
+    end;
+    r.store.(r.card) <- row;
     r.card <- r.card + 1
   end
 
@@ -39,22 +45,35 @@ let of_rows ?name ~arity rows =
 
 let mem r row = Rowtbl.mem r.index row
 
-let iter f r = List.iter f (List.rev r.rev_rows)
+let iter f r =
+  for i = 0 to r.card - 1 do
+    f r.store.(i)
+  done
 
-let fold f r init = List.fold_left (fun acc row -> f row acc) init (List.rev r.rev_rows)
+let fold f r init =
+  let acc = ref init in
+  for i = 0 to r.card - 1 do
+    acc := f r.store.(i) !acc
+  done;
+  !acc
 
-let rows r = List.rev_map Array.copy r.rev_rows
+let rows r = List.init r.card (fun i -> Array.copy r.store.(i))
 
-let rows_sorted r = List.sort compare (List.rev_map Array.copy r.rev_rows)
+let rows_sorted r = List.sort compare (rows r)
 
 let equal a b =
   a.arity = b.arity && a.card = b.card
-  && List.for_all (fun row -> Rowtbl.mem b.index row) a.rev_rows
+  &&
+  let ok = ref true in
+  for i = 0 to a.card - 1 do
+    if not (Rowtbl.mem b.index a.store.(i)) then ok := false
+  done;
+  !ok
 
 let column_values r i =
   if i < 0 || i >= r.arity then invalid_arg "Relation.column_values: bad column";
   let seen = Hashtbl.create 64 in
-  List.iter (fun row -> Hashtbl.replace seen row.(i) ()) r.rev_rows;
+  iter (fun row -> Hashtbl.replace seen row.(i) ()) r;
   List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) seen [])
 
 let pp fmt r =

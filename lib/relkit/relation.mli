@@ -29,7 +29,8 @@ val add : t -> int array -> unit
 val mem : t -> int array -> bool
 
 val iter : (int array -> unit) -> t -> unit
-(** Iterate rows in insertion order.  The callback must not mutate rows. *)
+(** Iterate rows in insertion order, without allocating (rows are stored in
+    a growable array).  The callback must not mutate rows. *)
 
 val fold : (int array -> 'a -> 'a) -> t -> 'a -> 'a
 

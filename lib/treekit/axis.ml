@@ -187,83 +187,197 @@ let fold t axis u f init =
 
 let nodes t axis u = List.rev (fold t axis u (fun v acc -> v :: acc) [])
 
+(* [nodes_visited] counts the work of the set-at-a-time kernels below: nodes
+   scanned by a sweep, or emitted/probed by an output-sensitive walk.  The
+   two kernel counters record which strategy each {!image} call picked. *)
+let c_nodes = Obs.Counter.make "nodes_visited"
+let c_sweep = Obs.Counter.make "axis_kernel_sweep"
+let c_walk = Obs.Counter.make "axis_kernel_walk"
+
+(* Sum of the subtree sizes of the sources, capped at [cap]: an upper bound
+   on the output of a descendant walk, hence on its cost. *)
+let descendant_estimate t ~include_self s ~cap =
+  let est = ref 0 in
+  (try
+     Nodeset.iter
+       (fun u ->
+         est := !est + Tree.subtree_size t u - (if include_self then 0 else 1);
+         if !est >= cap then raise Exit)
+       s
+   with Exit -> ());
+  min !est cap
+
+(* Merged subtree intervals [lo.(i), hi.(i)) of the sources, disjoint and in
+   increasing order.  Because subtrees are pre-order ranges and any two are
+   nested or disjoint, clipping each new interval at the running end is an
+   exact merge. *)
+let subtree_intervals t ~include_self s =
+  let m = max (Nodeset.cardinal s) 1 in
+  let lo = Array.make m 0 and hi = Array.make m 0 in
+  let k = ref 0 in
+  Nodeset.iter
+    (fun u ->
+      let l = if include_self then u else u + 1
+      and h = u + Tree.subtree_size t u in
+      if !k > 0 && l <= hi.(!k - 1) then begin
+        if h > hi.(!k - 1) then hi.(!k - 1) <- h
+      end
+      else if l < h then begin
+        lo.(!k) <- l;
+        hi.(!k) <- h;
+        incr k
+      end)
+    s;
+  (lo, hi, !k)
+
+(* Is [v] inside one of the [k] disjoint sorted intervals?  O(log k). *)
+let interval_mem lo hi k v =
+  let a = ref 0 and b = ref (k - 1) and res = ref (-1) in
+  while !a <= !b do
+    let mid = (!a + !b) / 2 in
+    if lo.(mid) <= v then begin
+      res := mid;
+      a := mid + 1
+    end
+    else b := mid - 1
+  done;
+  !res >= 0 && v < hi.(!res)
+
 let image t axis s =
   let n = Tree.size t in
   let r = Nodeset.create n in
-  let range_sweep ~include_self =
-    (* descendants of every u in s, via a +1/-1 sweep over pre-order ranks *)
-    let delta = Array.make (n + 1) 0 in
-    Nodeset.iter
-      (fun u ->
-        let lo = if include_self then u else u + 1 in
-        delta.(lo) <- delta.(lo) + 1;
-        let hi = u + Tree.subtree_size t u in
-        delta.(hi) <- delta.(hi) - 1)
-      s;
-    let open_count = ref 0 in
-    for v = 0 to n - 1 do
-      open_count := !open_count + delta.(v);
-      if !open_count > 0 then Nodeset.add r v
-    done
+  let visited = ref 0 in
+  let add v =
+    Nodeset.add r v;
+    incr visited
+  in
+  let descendants ~include_self =
+    let est = descendant_estimate t ~include_self s ~cap:n in
+    if est < n then begin
+      (* output-sensitive: emit the merged subtree intervals directly *)
+      Obs.Counter.incr c_walk;
+      let lo, hi, k = subtree_intervals t ~include_self s in
+      for i = 0 to k - 1 do
+        Nodeset.add_range r lo.(i) (hi.(i) - 1);
+        visited := !visited + (hi.(i) - lo.(i))
+      done
+    end
+    else begin
+      (* sources cover most of the tree: one +1/-1 sweep over pre-order *)
+      Obs.Counter.incr c_sweep;
+      visited := n;
+      let delta = Array.make (n + 1) 0 in
+      Nodeset.iter
+        (fun u ->
+          let lo = if include_self then u else u + 1 in
+          delta.(lo) <- delta.(lo) + 1;
+          let hi = u + Tree.subtree_size t u in
+          delta.(hi) <- delta.(hi) - 1)
+        s;
+      let open_count = ref 0 in
+      for v = 0 to n - 1 do
+        open_count := !open_count + delta.(v);
+        if !open_count > 0 then Nodeset.add r v
+      done
+    end
   in
   let chain_walk step first =
     (* follow [step] from each source, stopping at nodes already in [r]
        (their chain suffix has already been added) *)
+    Obs.Counter.incr c_walk;
     Nodeset.iter
       (fun u ->
         let v = ref (first u) in
         while !v <> -1 && not (Nodeset.mem r !v) do
-          Nodeset.add r !v;
+          add !v;
           v := step !v
         done)
       s
   in
+  let per_source f =
+    Obs.Counter.incr c_walk;
+    Nodeset.iter f s
+  in
   (match axis with
-  | Self -> Nodeset.iter (Nodeset.add r) s
-  | Child ->
-    Nodeset.iter (fun u -> Tree.fold_children t u (fun () c -> Nodeset.add r c) ()) s
-  | Descendant -> range_sweep ~include_self:false
-  | Descendant_or_self -> range_sweep ~include_self:true
+  | Self -> per_source add
+  | Child -> per_source (fun u -> Tree.iter_children t u add)
+  | Descendant -> descendants ~include_self:false
+  | Descendant_or_self -> descendants ~include_self:true
   | Next_sibling ->
-    Nodeset.iter
-      (fun u ->
+    per_source (fun u ->
         let v = Tree.next_sibling t u in
-        if v <> -1 then Nodeset.add r v)
-      s
+        if v <> -1 then add v)
   | Following_sibling -> chain_walk (Tree.next_sibling t) (Tree.next_sibling t)
   | Following_sibling_or_self -> chain_walk (Tree.next_sibling t) (fun u -> u)
   | Following ->
     (match Nodeset.min_elt s with
     | None -> ()
     | Some _ ->
+      Obs.Counter.incr c_walk;
       let m = Nodeset.fold (fun u m -> min m (u + Tree.subtree_size t u)) s max_int in
-      for v = m to n - 1 do
-        Nodeset.add r v
-      done)
+      if m <= n - 1 then begin
+        Nodeset.add_range r m (n - 1);
+        visited := !visited + (n - m)
+      end)
   | Parent ->
-    Nodeset.iter
-      (fun u ->
+    per_source (fun u ->
         let p = Tree.parent t u in
-        if p <> -1 then Nodeset.add r p)
-      s
+        if p <> -1 then add p)
   | Ancestor -> chain_walk (Tree.parent t) (Tree.parent t)
   | Ancestor_or_self -> chain_walk (Tree.parent t) (fun u -> u)
   | Prev_sibling ->
-    Nodeset.iter
-      (fun u ->
+    per_source (fun u ->
         let v = Tree.prev_sibling t u in
-        if v <> -1 then Nodeset.add r v)
-      s
+        if v <> -1 then add v)
   | Preceding_sibling -> chain_walk (Tree.prev_sibling t) (Tree.prev_sibling t)
   | Preceding_sibling_or_self -> chain_walk (Tree.prev_sibling t) (fun u -> u)
   | Preceding ->
     (match Nodeset.max_elt s with
     | None -> ()
     | Some m ->
+      (* scans the whole prefix 0..m: a sweep *)
+      Obs.Counter.incr c_sweep;
+      visited := !visited + m + 1;
       for v = 0 to m do
         if v + Tree.subtree_size t v <= m then Nodeset.add r v
       done));
+  Obs.Counter.add c_nodes !visited;
   r
+
+let image_within t axis s within =
+  let n = Tree.size t in
+  let cs = Nodeset.cardinal s and cw = Nodeset.cardinal within in
+  let probe pred =
+    (* filter the candidates instead of materialising the full image *)
+    Obs.Counter.incr c_walk;
+    Obs.Counter.add c_nodes cw;
+    let r = Nodeset.create n in
+    Nodeset.iter (fun v -> if pred v then Nodeset.add r v) within;
+    r
+  in
+  match axis with
+  | Self ->
+    Obs.Counter.incr c_walk;
+    Obs.Counter.add c_nodes (min cs cw);
+    Nodeset.inter s within
+  | Child when cw <= cs -> probe (fun v ->
+        let p = Tree.parent t v in
+        p <> -1 && Nodeset.mem s p)
+  | Descendant | Descendant_or_self ->
+    let include_self = axis = Descendant_or_self in
+    let est = descendant_estimate t ~include_self s ~cap:n in
+    if cw < est then begin
+      let lo, hi, k = subtree_intervals t ~include_self s in
+      probe (fun v -> interval_mem lo hi k v)
+    end
+    else Nodeset.inter (image t axis s) within
+  | Following ->
+    (match Nodeset.min_elt s with
+    | None -> Nodeset.create n
+    | Some _ ->
+      let m = Nodeset.fold (fun u m -> min m (u + Tree.subtree_size t u)) s max_int in
+      probe (fun v -> v >= m))
+  | _ -> Nodeset.inter (image t axis s) within
 
 let count_pairs t axis =
   let n = Tree.size t in

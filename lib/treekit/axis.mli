@@ -19,9 +19,13 @@
       ([Child⁺(x,y) ⇔ x <pre y ∧ y <post x],
        [Following(x,y) ⇔ x <pre y ∧ x <post y]);
     - {!fold} — enumeration of one node's axis image in document order;
-    - {!image} — set-at-a-time image of a whole node set in time O(n),
+    - {!image} / {!image_within} — set-at-a-time image of a whole node set,
       the primitive underlying the efficient bottom-up Core XPath evaluator
-      ({!Xpath}) and the arc-consistency engine ({!Actree}). *)
+      ({!Xpath}) and the arc-consistency engine ({!Actree}).  Each call
+      picks, per axis and input, between an O(n) sweep and an
+      output-sensitive walk; the choice is recorded in the observability
+      counters [axis_kernel_sweep] / [axis_kernel_walk], and the work done
+      (nodes scanned, emitted or probed) in [nodes_visited]. *)
 
 type t =
   | Self
@@ -77,8 +81,21 @@ val nodes : Tree.t -> t -> int -> int list
     order. *)
 
 val image : Tree.t -> t -> Nodeset.t -> Nodeset.t
-(** [image t a s] is [{v | ∃u ∈ s. a(u,v)}].  Runs in time O(n) regardless
-    of |s| (single sweeps using the pre/post characterisations). *)
+(** [image t a s] is [{v | ∃u ∈ s. a(u,v)}].  O(n) worst case; for
+    [Descendant]/[Descendant_or_self] an output-sensitive kernel emits the
+    merged subtree intervals of the sources directly when their total size
+    is below [n] (so selective sources cost O(output), not O(n)), and the
+    per-source axes ([Child], siblings, [Ancestor], …) cost
+    O(|s| + output) as before. *)
+
+val image_within : Tree.t -> t -> Nodeset.t -> Nodeset.t -> Nodeset.t
+(** [image_within t a s within] is [Nodeset.inter (image t a s) within],
+    computed output-sensitively: when [within] is small (e.g. a label set)
+    the candidates are probed against [s] directly — O(1) per probe for
+    [Self]/[Child]/[Following], O(log |s|) interval search for
+    [Descendant]/[Descendant_or_self] — instead of materialising the full
+    image.  Falls back to [image]-then-intersect when probing would not be
+    cheaper or the axis has no probe kernel. *)
 
 val count_pairs : Tree.t -> t -> int
 (** Number of pairs in the relation; used by tests and benchmarks. *)

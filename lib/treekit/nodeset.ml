@@ -1,58 +1,282 @@
-type t = {
-  bits : Bytes.t;
-  n : int;
-  mutable card : int;
-}
+(* Adaptive node sets: a sorted int array while the set is small, a
+   63-bit-word bitset once it grows past the crossover threshold.  The
+   array keeps selective sets O(cardinality) to build and traverse; the
+   bitset keeps bulk set algebra at one machine-word operation per 63
+   nodes.  Promotion/demotion happens automatically with hysteresis
+   (promote above [promote_threshold], demote below half of it) so
+   oscillating workloads do not thrash between representations. *)
 
-let create n = { bits = Bytes.make ((n + 7) / 8) '\000'; n; card = 0 }
+let bits_per_word = 63
+
+let words_for n = (n + bits_per_word - 1) / bits_per_word
+
+(* crossover: the memory/scan break-even point is card ≈ n/63; the factor
+   2 biases toward the array (better constants), and the cap bounds the
+   O(card) insertion shifts on huge universes *)
+let promote_threshold n = min 1024 (max 16 (2 * words_for n))
+
+let demote_threshold n = promote_threshold n / 2
+
+type rep =
+  | Sparse of { mutable elts : int array }  (** sorted; first [card] slots live *)
+  | Dense of { words : int array }
+
+type t = { n : int; mutable card : int; mutable rep : rep }
+
+let create n = { n; card = 0; rep = Sparse { elts = [||] } }
 
 let capacity s = s.n
 let cardinal s = s.card
 let is_empty s = s.card = 0
 
+let rep_kind s = match s.rep with Sparse _ -> `Sparse | Dense _ -> `Dense
+
+(* ------------------------------------------------------------------ *)
+(* word helpers *)
+
+let pop8 =
+  let t = Bytes.create 256 in
+  let rec count x = if x = 0 then 0 else (x land 1) + count (x lsr 1) in
+  for i = 0 to 255 do
+    Bytes.set t i (Char.chr (count i))
+  done;
+  t
+
+(* SWAR-free byte-table popcount: 8 lookups cover the 63-bit pattern *)
+let popcount x =
+  let p b = Char.code (Bytes.unsafe_get pop8 (b land 0xff)) in
+  p x + p (x lsr 8) + p (x lsr 16) + p (x lsr 24) + p (x lsr 32) + p (x lsr 40)
+  + p (x lsr 48) + p (x lsr 56)
+
+(* apply [f] to the set bits of [w], lowest first, offset by [base] *)
+let iter_word f base w =
+  let w = ref w in
+  while !w <> 0 do
+    let low = !w land (- !w) in
+    f (base + popcount (low - 1));
+    w := !w land (!w - 1)
+  done
+
+(* number of live words of a dense set over universe [n] *)
+let nwords s = words_for s.n
+
+(* mask of the valid bits of the last word *)
+let last_word_mask n =
+  let used = n - ((words_for n - 1) * bits_per_word) in
+  if used = bits_per_word then -1 else (1 lsl used) - 1
+
+(* ------------------------------------------------------------------ *)
+(* binary search over the live prefix of a sparse array *)
+
+(* smallest index in [0, len) with elts.(i) >= v, or len *)
+let lower_bound elts len v =
+  let lo = ref 0 and hi = ref len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) lsr 1 in
+    if Array.unsafe_get elts mid < v then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let sparse_mem elts len v =
+  let i = lower_bound elts len v in
+  i < len && elts.(i) = v
+
+(* ------------------------------------------------------------------ *)
+(* representation switches *)
+
+let to_dense_words s =
+  match s.rep with
+  | Dense d -> d.words
+  | Sparse a ->
+    let words = Array.make (nwords s) 0 in
+    for i = 0 to s.card - 1 do
+      let v = a.elts.(i) in
+      let w = v / bits_per_word in
+      words.(w) <- words.(w) lor (1 lsl (v mod bits_per_word))
+    done;
+    words
+
+let promote s =
+  match s.rep with
+  | Dense _ -> ()
+  | Sparse _ -> s.rep <- Dense { words = to_dense_words s }
+
+let sparse_of_words s words =
+  let elts = Array.make (max 1 s.card) 0 in
+  let k = ref 0 in
+  Array.iteri
+    (fun i w ->
+      iter_word
+        (fun v ->
+          elts.(!k) <- v;
+          incr k)
+        (i * bits_per_word) w)
+    words;
+  Sparse { elts }
+
+let demote s =
+  match s.rep with
+  | Sparse _ -> ()
+  | Dense d -> s.rep <- sparse_of_words s d.words
+
+(* demote after bulk shrinking ops, with hysteresis *)
+let maybe_demote s = if s.card <= demote_threshold s.n then demote s
+
+(* ------------------------------------------------------------------ *)
+(* point operations *)
+
 let mem s v =
   v >= 0 && v < s.n
-  && Char.code (Bytes.unsafe_get s.bits (v lsr 3)) land (1 lsl (v land 7)) <> 0
+  &&
+  match s.rep with
+  | Sparse a -> sparse_mem a.elts s.card v
+  | Dense d ->
+    Array.unsafe_get d.words (v / bits_per_word) land (1 lsl (v mod bits_per_word))
+    <> 0
 
-let add s v =
+let rec add s v =
   if v < 0 || v >= s.n then invalid_arg "Nodeset.add: out of range";
-  let i = v lsr 3 and m = 1 lsl (v land 7) in
-  let b = Char.code (Bytes.unsafe_get s.bits i) in
-  if b land m = 0 then begin
-    Bytes.unsafe_set s.bits i (Char.unsafe_chr (b lor m));
-    s.card <- s.card + 1
-  end
+  match s.rep with
+  | Dense d ->
+    let w = v / bits_per_word and m = 1 lsl (v mod bits_per_word) in
+    let old = Array.unsafe_get d.words w in
+    if old land m = 0 then begin
+      Array.unsafe_set d.words w (old lor m);
+      s.card <- s.card + 1
+    end
+  | Sparse a ->
+    let i = lower_bound a.elts s.card v in
+    if not (i < s.card && a.elts.(i) = v) then
+      if s.card >= promote_threshold s.n then begin
+        promote s;
+        add s v
+      end
+      else begin
+        let cap = Array.length a.elts in
+        if s.card = cap then begin
+          let bigger = Array.make (max 8 (2 * cap)) 0 in
+          Array.blit a.elts 0 bigger 0 s.card;
+          a.elts <- bigger
+        end;
+        Array.blit a.elts i a.elts (i + 1) (s.card - i);
+        a.elts.(i) <- v;
+        s.card <- s.card + 1
+      end
 
 let remove s v =
-  if v >= 0 && v < s.n then begin
-    let i = v lsr 3 and m = 1 lsl (v land 7) in
-    let b = Char.code (Bytes.unsafe_get s.bits i) in
-    if b land m <> 0 then begin
-      Bytes.unsafe_set s.bits i (Char.unsafe_chr (b land lnot m));
-      s.card <- s.card - 1
-    end
-  end
+  if v >= 0 && v < s.n then
+    match s.rep with
+    | Dense d ->
+      let w = v / bits_per_word and m = 1 lsl (v mod bits_per_word) in
+      let old = Array.unsafe_get d.words w in
+      if old land m <> 0 then begin
+        Array.unsafe_set d.words w (old land lnot m);
+        s.card <- s.card - 1;
+        maybe_demote s
+      end
+    | Sparse a ->
+      let i = lower_bound a.elts s.card v in
+      if i < s.card && a.elts.(i) = v then begin
+        Array.blit a.elts (i + 1) a.elts i (s.card - i - 1);
+        s.card <- s.card - 1
+      end
+
+(* ------------------------------------------------------------------ *)
+(* bulk constructors *)
 
 let universe n =
   let s = create n in
-  for v = 0 to n - 1 do add s v done;
+  if n > promote_threshold n then begin
+    let words = Array.make (words_for n) (-1) in
+    words.(Array.length words - 1) <- last_word_mask n;
+    s.rep <- Dense { words };
+    s.card <- n
+  end
+  else begin
+    s.rep <- Sparse { elts = Array.init (max 1 n) Fun.id };
+    s.card <- n
+  end;
   s
 
-let copy s = { bits = Bytes.copy s.bits; n = s.n; card = s.card }
+let of_sorted_array n arr =
+  let len = Array.length arr in
+  for i = 0 to len - 1 do
+    if arr.(i) < 0 || arr.(i) >= n then
+      invalid_arg "Nodeset.of_sorted_array: out of range";
+    if i > 0 && arr.(i - 1) >= arr.(i) then
+      invalid_arg "Nodeset.of_sorted_array: not strictly increasing"
+  done;
+  let s = create n in
+  s.card <- len;
+  if len > promote_threshold n then s.rep <- Dense { words = to_dense_words { s with rep = Sparse { elts = arr } } }
+  else s.rep <- Sparse { elts = Array.append arr [||] };
+  s
+
+let copy s =
+  {
+    s with
+    rep =
+      (match s.rep with
+      | Sparse a -> Sparse { elts = Array.copy a.elts }
+      | Dense d -> Dense { words = Array.copy d.words });
+  }
 
 let clear s =
-  Bytes.fill s.bits 0 (Bytes.length s.bits) '\000';
-  s.card <- 0
+  s.card <- 0;
+  s.rep <- Sparse { elts = [||] }
+
+let add_range s lo hi =
+  let lo = max lo 0 and hi = min hi (s.n - 1) in
+  if lo <= hi then begin
+    (match s.rep with
+    | Sparse _ when s.card + (hi - lo + 1) > promote_threshold s.n -> promote s
+    | _ -> ());
+    match s.rep with
+    | Dense d ->
+      let wlo = lo / bits_per_word and whi = hi / bits_per_word in
+      for w = wlo to whi do
+        let from = if w = wlo then lo mod bits_per_word else 0 in
+        let upto = if w = whi then hi mod bits_per_word else bits_per_word - 1 in
+        let mask =
+          let upper = if upto = bits_per_word - 1 then -1 else (1 lsl (upto + 1)) - 1 in
+          upper land lnot ((1 lsl from) - 1)
+        in
+        let old = d.words.(w) in
+        s.card <- s.card + popcount (mask land lnot old);
+        d.words.(w) <- old lor mask
+      done
+    | Sparse a ->
+      (* splice the absent part of [lo, hi] into the sorted prefix *)
+      let i = lower_bound a.elts s.card lo in
+      let j = lower_bound a.elts s.card (hi + 1) in
+      let fresh = (hi - lo + 1) - (j - i) in
+      if fresh > 0 then begin
+        let merged = Array.make (max 8 (s.card + fresh)) 0 in
+        Array.blit a.elts 0 merged 0 i;
+        for v = lo to hi do
+          merged.(i + v - lo) <- v
+        done;
+        Array.blit a.elts j merged (i + hi - lo + 1) (s.card - j);
+        a.elts <- merged;
+        s.card <- s.card + fresh
+      end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* traversal *)
 
 let iter f s =
-  let nbytes = Bytes.length s.bits in
-  for i = 0 to nbytes - 1 do
-    let b = Char.code (Bytes.unsafe_get s.bits i) in
-    if b <> 0 then
-      for j = 0 to 7 do
-        if b land (1 lsl j) <> 0 then f ((i lsl 3) lor j)
-      done
-  done
+  match s.rep with
+  | Sparse a ->
+    for i = 0 to s.card - 1 do
+      f (Array.unsafe_get a.elts i)
+    done
+  | Dense d ->
+    let nw = Array.length d.words in
+    for w = 0 to nw - 1 do
+      let word = Array.unsafe_get d.words w in
+      if word <> 0 then iter_word f (w * bits_per_word) word
+    done
 
 let fold f s init =
   let acc = ref init in
@@ -68,89 +292,245 @@ let of_list n vs =
 
 let min_elt s =
   if s.card = 0 then None
-  else begin
-    let found = ref (-1) in
-    (try iter (fun v -> found := v; raise Exit) s with Exit -> ());
-    Some !found
-  end
+  else
+    match s.rep with
+    | Sparse a -> Some a.elts.(0)
+    | Dense d ->
+      let found = ref None in
+      let w = ref 0 in
+      while !found = None do
+        let word = d.words.(!w) in
+        if word <> 0 then found := Some ((!w * bits_per_word) + popcount ((word land -word) - 1));
+        incr w
+      done;
+      !found
 
 let max_elt s =
   if s.card = 0 then None
-  else begin
-    let found = ref (-1) in
-    iter (fun v -> found := v) s;
-    Some !found
-  end
+  else
+    match s.rep with
+    | Sparse a -> Some a.elts.(s.card - 1)
+    | Dense d ->
+      let found = ref None in
+      let w = ref (Array.length d.words - 1) in
+      while !found = None do
+        let word = d.words.(!w) in
+        if word <> 0 then begin
+          let high = ref 0 in
+          iter_word (fun v -> high := v) (!w * bits_per_word) word;
+          found := Some !high
+        end;
+        decr w
+      done;
+      !found
 
 let choose = min_elt
+
+(* ------------------------------------------------------------------ *)
+(* set algebra *)
 
 let check_same_capacity a b =
   if a.n <> b.n then invalid_arg "Nodeset: capacity mismatch"
 
-let recount s =
-  let c = ref 0 in
-  Bytes.iter
-    (fun ch ->
-      let b = Char.code ch in
-      for j = 0 to 7 do
-        if b land (1 lsl j) <> 0 then incr c
-      done)
-    s.bits;
-  s.card <- !c
+(* wrap freshly computed dense words, demoting small results *)
+let of_words n words =
+  let card = Array.fold_left (fun acc w -> acc + popcount w) 0 words in
+  let s = { n; card; rep = Dense { words } } in
+  maybe_demote s;
+  s
 
-let binop op a b =
-  check_same_capacity a b;
-  let r = create a.n in
-  for i = 0 to Bytes.length a.bits - 1 do
-    Bytes.unsafe_set r.bits i
-      (Char.unsafe_chr
-         (op (Char.code (Bytes.unsafe_get a.bits i)) (Char.code (Bytes.unsafe_get b.bits i))))
+(* merge two sorted live prefixes; [keep] picks by (in_a, in_b) *)
+let sparse_merge ~keep n (ea, ca) (eb, cb) =
+  let out = Array.make (max 1 (ca + cb)) 0 in
+  let k = ref 0 and i = ref 0 and j = ref 0 in
+  let push v = out.(!k) <- v; incr k in
+  while !i < ca || !j < cb do
+    if !j >= cb || (!i < ca && ea.(!i) < eb.(!j)) then begin
+      if keep true false then push ea.(!i);
+      incr i
+    end
+    else if !i >= ca || eb.(!j) < ea.(!i) then begin
+      if keep false true then push eb.(!j);
+      incr j
+    end
+    else begin
+      if keep true true then push ea.(!i);
+      incr i;
+      incr j
+    end
   done;
-  recount r;
-  r
+  let s = { n; card = !k; rep = Sparse { elts = out } } in
+  if !k > promote_threshold n then promote s;
+  s
 
-let union a b = binop (fun x y -> x lor y) a b
-let inter a b = binop (fun x y -> x land y) a b
-let diff a b = binop (fun x y -> x land lnot y land 0xff) a b
+let union a b =
+  check_same_capacity a b;
+  match a.rep, b.rep with
+  | Sparse ea, Sparse eb ->
+    sparse_merge ~keep:(fun _ _ -> true) a.n (ea.elts, a.card) (eb.elts, b.card)
+  | Dense da, Dense db ->
+    of_words a.n (Array.init (Array.length da.words) (fun i -> da.words.(i) lor db.words.(i)))
+  | Dense _, Sparse _ | Sparse _, Dense _ ->
+    let dense, sparse = match a.rep with Dense _ -> (a, b) | _ -> (b, a) in
+    let words =
+      match dense.rep with Dense d -> Array.copy d.words | Sparse _ -> assert false
+    in
+    let selts = match sparse.rep with Sparse sp -> sp.elts | Dense _ -> assert false in
+    let card = ref dense.card in
+    for i = 0 to sparse.card - 1 do
+      let v = selts.(i) in
+      let w = v / bits_per_word and m = 1 lsl (v mod bits_per_word) in
+      if words.(w) land m = 0 then begin
+        words.(w) <- words.(w) lor m;
+        incr card
+      end
+    done;
+    { n = a.n; card = !card; rep = Dense { words } }
+
+(* galloping: probe each element of the small side into the big side *)
+let gallop_inter n (small, cs) mem_big =
+  let out = Array.make (max 1 cs) 0 in
+  let k = ref 0 in
+  for i = 0 to cs - 1 do
+    let v = small.(i) in
+    if mem_big v then begin
+      out.(!k) <- v;
+      incr k
+    end
+  done;
+  { n; card = !k; rep = Sparse { elts = out } }
+
+let inter a b =
+  check_same_capacity a b;
+  match a.rep, b.rep with
+  | Sparse ea, Sparse eb ->
+    let (small, cs), (big, cb) =
+      if a.card <= b.card then ((ea.elts, a.card), (eb.elts, b.card))
+      else ((eb.elts, b.card), (ea.elts, a.card))
+    in
+    if cb > 16 * cs then gallop_inter a.n (small, cs) (fun v -> sparse_mem big cb v)
+    else sparse_merge ~keep:(fun x y -> x && y) a.n (ea.elts, a.card) (eb.elts, b.card)
+  | Dense da, Dense db ->
+    of_words a.n
+      (Array.init (Array.length da.words) (fun i -> da.words.(i) land db.words.(i)))
+  | Sparse sp, Dense _ -> gallop_inter a.n (sp.elts, a.card) (mem b)
+  | Dense _, Sparse sp -> gallop_inter a.n (sp.elts, b.card) (mem a)
+
+let diff a b =
+  check_same_capacity a b;
+  match a.rep, b.rep with
+  | Sparse ea, Sparse eb ->
+    sparse_merge ~keep:(fun x y -> x && not y) a.n (ea.elts, a.card) (eb.elts, b.card)
+  | Sparse sp, Dense _ ->
+    gallop_inter a.n (sp.elts, a.card) (fun v -> not (mem b v))
+  | Dense da, Dense db ->
+    of_words a.n
+      (Array.init (Array.length da.words) (fun i -> da.words.(i) land lnot db.words.(i)))
+  | Dense da, Sparse sp ->
+    let words = Array.copy da.words in
+    let removed = ref 0 in
+    for i = 0 to b.card - 1 do
+      let v = sp.elts.(i) in
+      let w = v / bits_per_word and m = 1 lsl (v mod bits_per_word) in
+      if words.(w) land m <> 0 then begin
+        words.(w) <- words.(w) land lnot m;
+        incr removed
+      end
+    done;
+    let s = { n = a.n; card = a.card - !removed; rep = Dense { words } } in
+    maybe_demote s;
+    s
 
 let complement a =
-  let r = create a.n in
-  for v = 0 to a.n - 1 do
-    if not (mem a v) then add r v
-  done;
-  r
+  let n = a.n in
+  match a.rep with
+  | Sparse sp ->
+    (* result is large: full dense universe minus the few elements *)
+    let words = Array.make (words_for n) (-1) in
+    if Array.length words > 0 then words.(Array.length words - 1) <- last_word_mask n;
+    for i = 0 to a.card - 1 do
+      let v = sp.elts.(i) in
+      words.(v / bits_per_word) <-
+        words.(v / bits_per_word) land lnot (1 lsl (v mod bits_per_word))
+    done;
+    let s = { n; card = n - a.card; rep = Dense { words } } in
+    maybe_demote s;
+    s
+  | Dense d ->
+    let nw = Array.length d.words in
+    let words = Array.init nw (fun i -> lnot d.words.(i)) in
+    if nw > 0 then words.(nw - 1) <- words.(nw - 1) land last_word_mask n;
+    let s = { n; card = n - a.card; rep = Dense { words } } in
+    maybe_demote s;
+    s
+
+let assign dst src =
+  dst.card <- src.card;
+  dst.rep <- src.rep
 
 let union_into dst src =
   check_same_capacity dst src;
-  for i = 0 to Bytes.length dst.bits - 1 do
-    Bytes.unsafe_set dst.bits i
-      (Char.unsafe_chr
-         (Char.code (Bytes.unsafe_get dst.bits i)
-         lor Char.code (Bytes.unsafe_get src.bits i)))
-  done;
-  recount dst
+  match dst.rep, src.rep with
+  | Dense dd, Dense ds ->
+    let card = ref 0 in
+    for i = 0 to Array.length dd.words - 1 do
+      let w = dd.words.(i) lor ds.words.(i) in
+      dd.words.(i) <- w;
+      card := !card + popcount w
+    done;
+    dst.card <- !card
+  | Dense _, Sparse sp ->
+    for i = 0 to src.card - 1 do
+      add dst sp.elts.(i)
+    done
+  | Sparse _, _ -> assign dst (union dst src)
 
 let inter_into dst src =
   check_same_capacity dst src;
-  for i = 0 to Bytes.length dst.bits - 1 do
-    Bytes.unsafe_set dst.bits i
-      (Char.unsafe_chr
-         (Char.code (Bytes.unsafe_get dst.bits i)
-         land Char.code (Bytes.unsafe_get src.bits i)))
-  done;
-  recount dst
+  match dst.rep, src.rep with
+  | Dense dd, Dense ds ->
+    let card = ref 0 in
+    for i = 0 to Array.length dd.words - 1 do
+      let w = dd.words.(i) land ds.words.(i) in
+      dd.words.(i) <- w;
+      card := !card + popcount w
+    done;
+    dst.card <- !card;
+    maybe_demote dst
+  | _ -> assign dst (inter dst src)
 
-let equal a b = a.n = b.n && Bytes.equal a.bits b.bits
+let equal a b =
+  a.n = b.n && a.card = b.card
+  &&
+  match a.rep, b.rep with
+  | Dense da, Dense db -> da.words = db.words
+  | Sparse ea, Sparse eb ->
+    let ok = ref true in
+    for i = 0 to a.card - 1 do
+      if ea.elts.(i) <> eb.elts.(i) then ok := false
+    done;
+    !ok
+  | Sparse _, Dense _ | Dense _, Sparse _ ->
+    let sparse, dense = match a.rep with Sparse _ -> (a, b) | _ -> (b, a) in
+    let selts = match sparse.rep with Sparse sp -> sp.elts | Dense _ -> assert false in
+    let ok = ref true in
+    for i = 0 to sparse.card - 1 do
+      if not (mem dense selts.(i)) then ok := false
+    done;
+    !ok
 
 let subset a b =
   check_same_capacity a b;
-  let ok = ref true in
-  for i = 0 to Bytes.length a.bits - 1 do
-    let x = Char.code (Bytes.unsafe_get a.bits i)
-    and y = Char.code (Bytes.unsafe_get b.bits i) in
-    if x land lnot y <> 0 then ok := false
-  done;
-  !ok
+  if a.card > b.card then false
+  else
+    match a.rep, b.rep with
+    | Dense da, Dense db ->
+      let ok = ref true in
+      for i = 0 to Array.length da.words - 1 do
+        if da.words.(i) land lnot db.words.(i) <> 0 then ok := false
+      done;
+      !ok
+    | _ -> fold (fun v ok -> ok && mem b v) a true
 
 let pp fmt s =
   Format.fprintf fmt "{";

@@ -1,10 +1,17 @@
 (** Mutable sets of tree nodes.
 
     Nodes of a tree of size [n] are the integers [0 .. n-1] (their pre-order
-    ranks, see {!Tree}), so a node set is a bit vector of length [n] with a
-    maintained cardinality.  All query-evaluation engines in this repository
+    ranks, see {!Tree}).  All query-evaluation engines in this repository
     ({!Xpath}, {!Cqtree}, {!Actree}) manipulate node sets through this
-    interface; the set-at-a-time axis images of {!Axis} produce them. *)
+    interface; the set-at-a-time axis images of {!Axis} produce them.
+
+    The representation is {e adaptive}: a set holds a sorted int array
+    while its cardinality stays below a crossover threshold
+    ({!promote_threshold}) and a 63-bit-word bitset above it, so selective
+    sets cost O(cardinality) to build and traverse while bulk set algebra
+    on large sets runs one word operation per 63 nodes.  Promotion and
+    demotion are automatic (with hysteresis) and invisible through this
+    interface except via {!rep_kind}. *)
 
 type t
 
@@ -46,6 +53,17 @@ val elements : t -> int list
 val of_list : int -> int list -> t
 (** [of_list n vs] is the subset of [{0, …, n-1}] containing [vs]. *)
 
+val of_sorted_array : int -> int array -> t
+(** [of_sorted_array n arr] is the subset of [{0, …, n-1}] containing the
+    elements of [arr], in time O(|arr|).
+    @raise Invalid_argument unless [arr] is strictly increasing and within
+    range. *)
+
+val add_range : t -> int -> int -> unit
+(** [add_range s lo hi] inserts every node in [lo .. hi] (inclusive; the
+    range is clipped to the capacity universe, and an empty range is a
+    no-op).  On a bitset this is a word-masked fill. *)
+
 val min_elt : t -> int option
 (** Smallest element, if any. *)
 
@@ -80,3 +98,15 @@ val subset : t -> t -> bool
 
 val pp : Format.formatter -> t -> unit
 (** Prints as [{v1, v2, …}]. *)
+
+(** {1 Representation introspection}
+
+    Exposed for tests and benchmarks; no consumer should branch on it. *)
+
+val rep_kind : t -> [ `Sparse | `Dense ]
+(** Current physical representation. *)
+
+val promote_threshold : int -> int
+(** [promote_threshold n] is the cardinality above which a set over a
+    universe of [n] nodes switches from the sorted-array to the bitset
+    representation (demotion happens below half of it). *)

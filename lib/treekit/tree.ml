@@ -11,6 +11,8 @@ type t = {
   label : int array;
   table : Label.table;
   mutable bflr : (int array * int array) option; (* rank, inverse; cached *)
+  mutable label_index : int array array option;
+      (* label code → pre-order-sorted occurrences; built lazily *)
 }
 
 type builder = Node of string * builder list
@@ -43,6 +45,13 @@ let is_last_sibling t v = t.next_sibling.(v) = -1
 let fold_children t v f init =
   let rec go acc c = if c = -1 then acc else go (f acc c) t.next_sibling.(c) in
   go init t.first_child.(v)
+
+let iter_children t v f =
+  let c = ref t.first_child.(v) in
+  while !c <> -1 do
+    f !c;
+    c := t.next_sibling.(!c)
+  done
 
 let children t v = List.rev (fold_children t v (fun acc c -> c :: acc) [])
 
@@ -133,6 +142,7 @@ let of_parent_vector ?table ~parents ~labels () =
     label;
     table;
     bflr = None;
+    label_index = None;
   }
 
 let of_builder ?table b =
@@ -204,40 +214,53 @@ let compute_bflr t =
 let bflr_rank t = fst (compute_bflr t)
 let node_of_bflr t = snd (compute_bflr t)
 
-let nodes_with_label t lbl =
-  match Label.find t.table lbl with
-  | None -> []
-  | Some c ->
-    let acc = ref [] in
-    for v = size t - 1 downto 0 do
-      if t.label.(v) = c then acc := v :: !acc
+(* One O(n) counting pass builds the whole inverted index; every later
+   label lookup is O(occurrences).  Nodes are appended in increasing [v],
+   so each bucket is pre-order-sorted by construction. *)
+let compute_label_index t =
+  match t.label_index with
+  | Some idx -> idx
+  | None ->
+    let n = size t in
+    let ncodes = Label.count t.table in
+    let counts = Array.make ncodes 0 in
+    for v = 0 to n - 1 do
+      counts.(t.label.(v)) <- counts.(t.label.(v)) + 1
     done;
-    !acc
+    let idx = Array.init ncodes (fun c -> Array.make counts.(c) 0) in
+    let fill = Array.make ncodes 0 in
+    for v = 0 to n - 1 do
+      let c = t.label.(v) in
+      idx.(c).(fill.(c)) <- v;
+      fill.(c) <- fill.(c) + 1
+    done;
+    t.label_index <- Some idx;
+    idx
 
-let label_set t lbl =
-  let s = Nodeset.create (size t) in
-  (match Label.find t.table lbl with
-  | None -> ()
+let occurrences t lbl =
+  match Label.find t.table lbl with
+  | None -> [||]
   | Some c ->
-    for v = 0 to size t - 1 do
-      if t.label.(v) = c then Nodeset.add s v
-    done);
-  s
+    let idx = compute_label_index t in
+    (* the table may be shared and have interned codes after this tree was
+       built (and indexed); those codes label none of our nodes *)
+    if c < Array.length idx then idx.(c) else [||]
+
+let nodes_with_label t lbl = Array.to_list (occurrences t lbl)
+
+let label_set t lbl = Nodeset.of_sorted_array (size t) (occurrences t lbl)
 
 let pp fmt t =
   let buf = Buffer.create 64 in
   let rec go v =
     Buffer.add_string buf (label t v);
-    match children t v with
-    | [] -> ()
-    | kids ->
+    if not (is_leaf t v) then begin
       Buffer.add_char buf '(';
-      List.iteri
-        (fun i c ->
-          if i > 0 then Buffer.add_string buf ", ";
-          go c)
-        kids;
+      iter_children t v (fun c ->
+          if c <> t.first_child.(v) then Buffer.add_string buf ", ";
+          go c);
       Buffer.add_char buf ')'
+    end
   in
   go 0;
   Format.pp_print_string fmt (Buffer.contents buf)

@@ -100,12 +100,22 @@ val children : t -> int -> int list
 val fold_children : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
 (** Left fold over children in document order. *)
 
+val iter_children : t -> int -> (int -> unit) -> unit
+(** [iter_children t v f] applies [f] to each child of [v] in document
+    order, without allocating. *)
+
 val nodes_with_label : t -> string -> int list
 (** All nodes carrying the given label, in document order; [[]] if the label
-    is unknown. *)
+    is unknown.  O(occurrences) after the first label query on this tree
+    (which lazily builds a cached inverted index in one O(n) pass). *)
+
+val occurrences : t -> string -> int array
+(** Same as {!nodes_with_label} but the pre-order-sorted bucket of the
+    cached label index itself; callers must not mutate it. *)
 
 val label_set : t -> string -> Nodeset.t
-(** Same as {!nodes_with_label} but as a node set (the relation [Lab_a]). *)
+(** Same as {!nodes_with_label} but as a node set (the relation [Lab_a]);
+    also O(occurrences) after the first touch. *)
 
 val bflr_rank : t -> int array
 (** [<bflr] ranks: [(bflr_rank t).(v)] is the position of node [v] in the

@@ -168,7 +168,7 @@ let to_string t =
       Buffer.add_char buf '<';
       Buffer.add_string buf lbl;
       Buffer.add_char buf '>';
-      List.iter go (Tree.children t v);
+      Tree.iter_children t v go;
       Buffer.add_string buf "</";
       Buffer.add_string buf lbl;
       Buffer.add_char buf '>'
@@ -183,7 +183,7 @@ let pp fmt t =
     if Tree.is_leaf t v then Format.fprintf fmt "%s<%s/>@," indent lbl
     else begin
       Format.fprintf fmt "%s<%s>@," indent lbl;
-      List.iter (go (indent ^ "  ")) (Tree.children t v);
+      Tree.iter_children t v (go (indent ^ "  "));
       Format.fprintf fmt "%s</%s>@," indent lbl
     end
   in

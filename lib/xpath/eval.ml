@@ -3,16 +3,32 @@ module Axis = Treekit.Axis
 module Nodeset = Treekit.Nodeset
 open Ast
 
-(* every node surviving an axis-image step is counted once; the O(n·|Q|)
-   per-step bound (Fig. 7) caps this at n per Step of the query *)
-let c_nodes = Obs.Counter.make "nodes_visited"
+(* work accounting (the nodes_visited counter, the O(n·|Q|) per-step bound
+   of Fig. 7) lives in the Axis kernels; see Treekit.Axis.image *)
 
 let rec forward tree p s =
   match p with
   | Step { axis; quals } ->
-    let out = Axis.image tree axis s in
-    Obs.Counter.add c_nodes (Nodeset.cardinal out);
-    List.fold_left (fun acc q -> Nodeset.inter acc (qual_set tree q)) out quals
+    (* evaluate label qualifiers first: their sets are O(occurrences) via
+       the tree's label index, and a small candidate set lets the axis
+       kernel probe instead of sweeping *)
+    let labels, others = List.partition (function Lab _ -> true | _ -> false) quals in
+    let out =
+      match labels with
+      | [] -> Axis.image tree axis s
+      | Lab l :: rest ->
+        let within =
+          List.fold_left
+            (fun acc q ->
+              match q with
+              | Lab l -> Nodeset.inter acc (Tree.label_set tree l)
+              | _ -> acc)
+            (Tree.label_set tree l) rest
+        in
+        Axis.image_within tree axis s within
+      | _ -> assert false
+    in
+    List.fold_left (fun acc q -> Nodeset.inter acc (qual_set tree q)) out others
   | Seq (p1, p2) -> forward tree p2 (forward tree p1 s)
   | Union (p1, p2) -> Nodeset.union (forward tree p1 s) (forward tree p2 s)
 
@@ -22,9 +38,7 @@ and backward tree p s =
     let filtered =
       List.fold_left (fun acc q -> Nodeset.inter acc (qual_set tree q)) s quals
     in
-    let out = Axis.image tree (Axis.inverse axis) filtered in
-    Obs.Counter.add c_nodes (Nodeset.cardinal out);
-    out
+    Axis.image tree (Axis.inverse axis) filtered
   | Seq (p1, p2) -> backward tree p1 (backward tree p2 s)
   | Union (p1, p2) -> Nodeset.union (backward tree p1 s) (backward tree p2 s)
 

@@ -6,6 +6,7 @@ let () =
       ("dynlabel", Test_dynlabel.suite);
       ("ordpath", Test_ordpath.suite);
       ("relkit", Test_relkit.suite);
+      ("perfcore", Test_perfcore.suite);
       ("acyclic-relational", Test_acyclic.suite);
       ("hornsat", Test_hornsat.suite);
       ("mdatalog", Test_mdatalog.suite);

@@ -1,0 +1,275 @@
+(* Properties of the output-sensitive evaluation core: the adaptive
+   Nodeset representation, the axis image kernels, the relation store and
+   the merge-based descendant view — each checked against a naive
+   reference on random inputs. *)
+open Helpers
+module Nodeset = Treekit.Nodeset
+module Tree = Treekit.Tree
+module Axis = Treekit.Axis
+module Generator = Treekit.Generator
+module R = Relkit.Relation
+module SJ = Relkit.Structural_join
+
+(* ------------------------------------------------------------------ *)
+(* reference model: a bool array *)
+
+let model_of n elts =
+  let m = Array.make n false in
+  List.iter (fun v -> m.(v) <- true) elts;
+  m
+
+let model_elements m =
+  let out = ref [] in
+  for v = Array.length m - 1 downto 0 do
+    if m.(v) then out := v :: !out
+  done;
+  !out
+
+let set_of n elts =
+  let s = Nodeset.create n in
+  List.iter (Nodeset.add s) elts;
+  s
+
+let agrees m s =
+  Nodeset.cardinal s = List.length (model_elements m)
+  && Nodeset.elements s = model_elements m
+  && (let ok = ref true in
+      Array.iteri (fun v b -> if Nodeset.mem s v <> b then ok := false) m;
+      !ok)
+
+let nodeset_input =
+  QCheck2.Gen.(
+    let* n = int_range 1 2_000 in
+    let* xs = list_size (int_range 0 300) (int_range 0 (n - 1)) in
+    let* ys = list_size (int_range 0 300) (int_range 0 (n - 1)) in
+    return (n, xs, ys))
+
+let prop_nodeset_algebra =
+  qtest ~count:60 "adaptive nodeset algebra = bool-array model" nodeset_input
+    (fun (n, xs, ys) ->
+      let a = set_of n xs and b = set_of n ys in
+      let ma = model_of n xs and mb = model_of n ys in
+      let zip f = Array.init n (fun v -> f ma.(v) mb.(v)) in
+      agrees ma a && agrees mb b
+      && agrees (zip ( || )) (Nodeset.union a b)
+      && agrees (zip ( && )) (Nodeset.inter a b)
+      && agrees (zip (fun x y -> x && not y)) (Nodeset.diff a b)
+      && agrees (Array.map not ma) (Nodeset.complement a)
+      && Nodeset.equal a (set_of n (List.rev xs))
+      && Nodeset.subset (Nodeset.inter a b) a)
+
+let prop_nodeset_in_place =
+  qtest ~count:60 "in-place union/inter/remove = model" nodeset_input
+    (fun (n, xs, ys) ->
+      let ma = model_of n xs and mb = model_of n ys in
+      let u = set_of n xs in
+      Nodeset.union_into u (set_of n ys);
+      let i = set_of n xs in
+      Nodeset.inter_into i (set_of n ys);
+      let r = set_of n xs in
+      List.iter (Nodeset.remove r) ys;
+      agrees (Array.init n (fun v -> ma.(v) || mb.(v))) u
+      && agrees (Array.init n (fun v -> ma.(v) && mb.(v))) i
+      && agrees (Array.init n (fun v -> ma.(v) && not mb.(v))) r)
+
+let prop_add_range =
+  qtest ~count:60 "add_range = pointwise adds"
+    QCheck2.Gen.(
+      let* n = int_range 1 2_000 in
+      let* ranges =
+        list_size (int_range 0 8)
+          (let* lo = int_range 0 (n - 1) in
+           let* len = int_range 0 (n - 1) in
+           return (lo, min (n - 1) (lo + len)))
+      in
+      return (n, ranges))
+    (fun (n, ranges) ->
+      let s = Nodeset.create n in
+      let m = Array.make n false in
+      List.iter
+        (fun (lo, hi) ->
+          Nodeset.add_range s lo hi;
+          for v = lo to hi do
+            m.(v) <- true
+          done)
+        ranges;
+      agrees m s)
+
+let prop_of_sorted_array =
+  qtest ~count:60 "of_sorted_array = pointwise adds" nodeset_input
+    (fun (n, xs, _) ->
+      let sorted = Array.of_list (List.sort_uniq compare xs) in
+      Nodeset.equal (Nodeset.of_sorted_array n sorted) (set_of n xs))
+
+let test_promotion_boundary () =
+  let n = 4_000 in
+  let thr = Nodeset.promote_threshold n in
+  Alcotest.(check int) "threshold for n=4000" 128 thr;
+  let s = Nodeset.create n in
+  for v = 0 to thr - 1 do
+    Nodeset.add s v
+  done;
+  Alcotest.(check bool) "sparse at the threshold" true (Nodeset.rep_kind s = `Sparse);
+  Nodeset.add s thr;
+  Alcotest.(check bool) "dense one past the threshold" true
+    (Nodeset.rep_kind s = `Dense);
+  Alcotest.(check int) "cardinal tracked across promotion" (thr + 1)
+    (Nodeset.cardinal s);
+  (* shrink back down: hysteresis demotes at half the threshold *)
+  let v = ref thr in
+  while Nodeset.cardinal s > (thr / 2) + 1 do
+    Nodeset.remove s !v;
+    decr v
+  done;
+  Alcotest.(check bool) "still dense above demote threshold" true
+    (Nodeset.rep_kind s = `Dense);
+  Nodeset.remove s !v;
+  Alcotest.(check bool) "sparse at demote threshold" true
+    (Nodeset.rep_kind s = `Sparse);
+  Alcotest.(check (list int)) "elements survive both switches"
+    (List.init (thr / 2) Fun.id)
+    (Nodeset.elements s)
+
+let test_threshold_shape () =
+  Alcotest.(check int) "small universes use the floor" 16
+    (Nodeset.promote_threshold 10);
+  Alcotest.(check int) "huge universes hit the cap" 1024
+    (Nodeset.promote_threshold 1_000_000);
+  let u = Nodeset.universe 4_000 in
+  Alcotest.(check bool) "universe of a big tree is dense" true
+    (Nodeset.rep_kind u = `Dense);
+  Alcotest.(check int) "universe cardinal" 4_000 (Nodeset.cardinal u)
+
+(* ------------------------------------------------------------------ *)
+(* axis image kernels vs the O(1) membership predicate *)
+
+let axis_input ~max_n ~max_srcs =
+  QCheck2.Gen.(
+    let* seed = int_range 0 10_000 in
+    let* n = int_range 1 max_n in
+    let* srcs = list_size (int_range 0 max_srcs) (int_range 0 (n - 1)) in
+    let* wsel = list_size (int_range 0 40) (int_range 0 (n - 1)) in
+    return (seed, n, srcs, wsel))
+
+let check_axes t srcs wsel =
+  let n = Tree.size t in
+  let s = set_of n srcs and w = set_of n wsel in
+  List.for_all
+    (fun axis ->
+      let img = Axis.image t axis s in
+      let reference =
+        Array.init n (fun v -> List.exists (fun u -> Axis.mem t axis u v) srcs)
+      in
+      agrees reference img
+      && Nodeset.equal (Axis.image_within t axis s w) (Nodeset.inter img w))
+    Axis.all
+
+let prop_axis_kernels_selective =
+  qtest ~count:25 "axis kernels = mem reference (selective sources, n <= 2000)"
+    (axis_input ~max_n:2_000 ~max_srcs:25)
+    (fun (seed, n, srcs, wsel) ->
+      let t = Generator.random ~seed ~n ~labels:Generator.labels_abc () in
+      check_axes t srcs wsel)
+
+let prop_axis_kernels_dense =
+  qtest ~count:25 "axis kernels = mem reference (dense sources)"
+    (axis_input ~max_n:120 ~max_srcs:120)
+    (fun (seed, n, srcs, wsel) ->
+      let t = Generator.random ~seed ~n ~labels:Generator.labels_abc () in
+      (* force the sweep side of the crossover too *)
+      check_axes t srcs wsel && check_axes t (List.init n Fun.id) wsel)
+
+let prop_label_index =
+  qtest ~count:50 "label index = naive label scan" (tree_gen ~max_n:200 ())
+    (fun t ->
+      let n = Tree.size t in
+      List.for_all
+        (fun l ->
+          let naive =
+            List.filter (fun v -> Tree.label t v = l) (List.init n Fun.id)
+          in
+          Tree.nodes_with_label t l = naive
+          && Array.to_list (Tree.occurrences t l) = naive
+          && Nodeset.elements (Tree.label_set t l) = naive)
+        [ "a"; "b"; "c"; "zzz-not-a-label" ])
+
+(* ------------------------------------------------------------------ *)
+(* relation store and joins *)
+
+let test_relation_insertion_order () =
+  let r = R.create ~name:"ord" ~arity:2 () in
+  let input = [ [| 3; 1 |]; [| 1; 1 |]; [| 3; 1 |]; [| 2; 2 |]; [| 1; 1 |]; [| 0; 9 |] ] in
+  List.iter (R.add r) input;
+  check_tuples "rows keep first-occurrence insertion order"
+    [ [| 3; 1 |]; [| 1; 1 |]; [| 2; 2 |]; [| 0; 9 |] ]
+    (R.rows r);
+  let seen = ref [] in
+  R.iter (fun row -> seen := Array.copy row :: !seen) r;
+  check_tuples "iter agrees with rows" (R.rows r) (List.rev !seen);
+  Alcotest.(check int) "fold visits every row" 4 (R.fold (fun _ k -> k + 1) r 0)
+
+let rows_gen =
+  QCheck2.Gen.(
+    list_size (int_range 0 120)
+      (let* x = int_range (-3) 5 in
+       let* y = int_range (-3) 5 in
+       return [| x; y |]))
+
+let prop_relation_order =
+  qtest ~count:80 "insertion order preserved under dedup" rows_gen (fun rows ->
+      let r = R.of_rows ~arity:2 rows in
+      let dedup =
+        List.rev
+          (List.fold_left
+             (fun acc row -> if List.mem row acc then acc else row :: acc)
+             [] rows)
+      in
+      R.rows r = dedup)
+
+let prop_packed_join =
+  (* exercises the multi-column packed-key path (two columns, small
+     ranges) against the literal nested-loop definition *)
+  qtest ~count:60 "packed-key equijoin/semijoin = nested loops"
+    QCheck2.Gen.(
+      let* a = rows_gen in
+      let* b = rows_gen in
+      return (a, b))
+    (fun (ra, rb) ->
+      let a = R.of_rows ~arity:2 ra and b = R.of_rows ~arity:2 rb in
+      let on = [ (0, 1); (1, 0) ] in
+      let join = Relkit.Ops.equijoin ~on a b in
+      let theta =
+        Relkit.Ops.theta_join
+          (fun x y -> x.(0) = y.(1) && x.(1) = y.(0))
+          a b
+      in
+      let semi = Relkit.Ops.semijoin ~on a b in
+      let semi_ref =
+        Relkit.Ops.select
+          (fun x -> R.fold (fun y acc -> acc || (x.(0) = y.(1) && x.(1) = y.(0))) b false)
+          a
+      in
+      R.equal join theta && R.equal semi semi_ref)
+
+let prop_descendant_view_merge =
+  qtest ~count:40 "merge descendant view = theta-join definition"
+    (tree_gen ~max_n:25 ()) (fun t ->
+      let xasr = SJ.store t in
+      R.equal (SJ.descendant_view xasr) (SJ.descendant_view_theta xasr))
+
+let suite =
+  [
+    prop_nodeset_algebra;
+    prop_nodeset_in_place;
+    prop_add_range;
+    prop_of_sorted_array;
+    Alcotest.test_case "promotion/demotion boundary" `Quick test_promotion_boundary;
+    Alcotest.test_case "threshold shape and universe" `Quick test_threshold_shape;
+    prop_axis_kernels_selective;
+    prop_axis_kernels_dense;
+    prop_label_index;
+    Alcotest.test_case "relation insertion order" `Quick test_relation_insertion_order;
+    prop_relation_order;
+    prop_packed_join;
+    prop_descendant_view_merge;
+  ]
