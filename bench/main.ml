@@ -114,6 +114,12 @@ let bechamel_tests () =
              {| q :- lab(X, "b"), following(X, Y), lab(Y, "c"). |} ]
        in
        Staged.stage (fun () -> Cqtree.Positive.boolean u t4k));
+    Test.make ~name:"check/differential-sweep"
+      (* generation + all 13 oracles on 10 case indices: the cost of one
+         unit of `treequery check`, so throughput regressions in any
+         engine or in the harness itself show up here *)
+      (Staged.stage (fun () ->
+           Check.Runner.run { Check.Runner.default with cases = 10 }));
   ]
 
 let run_bechamel () =

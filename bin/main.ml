@@ -154,7 +154,6 @@ let eval_cmd =
     | Treekit.Xml.Parse_error m -> `Error (false, "XML: " ^ m)
     | Treekit.Parse_error.Error { pos; msg } ->
       `Error (false, Treekit.Parse_error.to_string ~pos ~msg)
-    | Xpath.Parser.Syntax_error m -> `Error (false, "XPath: " ^ m)
     | Mdatalog.Parser.Syntax_error m -> `Error (false, "datalog: " ^ m)
   in
   let labels_arg =
@@ -177,7 +176,6 @@ let explain_cmd =
     | Failure m | Invalid_argument m | Sys_error m -> `Error (false, m)
     | Treekit.Parse_error.Error { pos; msg } ->
       `Error (false, Treekit.Parse_error.to_string ~pos ~msg)
-    | Xpath.Parser.Syntax_error m -> `Error (false, "XPath: " ^ m)
     | Mdatalog.Parser.Syntax_error m -> `Error (false, "datalog: " ^ m)
   in
   Cmd.v
@@ -224,6 +222,96 @@ let filter_cmd =
         (const run $ patterns_arg $ xml_file_arg $ xml_arg $ random_arg $ xmark_arg
        $ seed_arg $ trace_arg $ stats_json_arg))
 
+let check_cmd =
+  let run seed cases from max_nodes oracle_names list_oracles inject
+      failures_out trace stats_json =
+    try
+      if list_oracles then begin
+        List.iter
+          (fun (o : Check.Oracles.t) ->
+            Printf.printf "%-18s %s\n" o.name o.theorem)
+          Check.Oracles.all;
+        `Ok ()
+      end
+      else begin
+        let named =
+          match oracle_names with
+          | [] -> Check.Oracles.all
+          | names ->
+            List.map
+              (fun n ->
+                match Check.Oracles.find n with
+                | Some o -> o
+                | None when n = Check.Fault.oracle.Check.Oracles.name ->
+                  Check.Fault.oracle
+                | None when n = Check.Fault.control.Check.Oracles.name ->
+                  Check.Fault.control
+                | None ->
+                  failwith
+                    (Printf.sprintf "unknown oracle %s (try --list-oracles)" n))
+              names
+        in
+        let oracles = if inject then named @ [ Check.Fault.oracle ] else named in
+        let cfg =
+          {
+            Check.Runner.default with
+            seed;
+            cases;
+            from;
+            max_nodes;
+            oracles;
+          }
+        in
+        let stats = observe ~trace ~stats_json (fun () -> Check.Runner.run cfg) in
+        print_string (Check.Runner.to_text stats);
+        (match failures_out with
+        | None -> ()
+        | Some path ->
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () ->
+              List.iter
+                (fun (d : Check.Runner.discrepancy) ->
+                  Printf.fprintf oc
+                    "treequery check --seed %d --from %d --cases 1 --oracles %s\n"
+                    d.seed d.case_index d.oracle_name)
+                stats.Check.Runner.discrepancies));
+        if Check.Runner.discrepancy_count stats = 0 then `Ok ()
+        else `Error (false, "differential check found discrepancies")
+      end
+    with Failure m | Invalid_argument m | Sys_error m -> `Error (false, m)
+  in
+  let cases_arg =
+    Arg.(value & opt int 200 & info [ "cases" ] ~docv:"N" ~doc:"Number of case indices to run per oracle.")
+  in
+  let from_arg =
+    Arg.(value & opt int 0 & info [ "from" ] ~docv:"K" ~doc:"First case index (repro lines use this to replay one case).")
+  in
+  let max_nodes_arg =
+    Arg.(value & opt int 40 & info [ "max-nodes" ] ~docv:"N" ~doc:"Tree-size ceiling (per-oracle caps still apply below it).")
+  in
+  let oracles_arg =
+    Arg.(value & opt_all string [] & info [ "oracles" ] ~docv:"NAME" ~doc:"Run only these oracles (repeatable; default: the full registry).")
+  in
+  let list_arg =
+    Arg.(value & flag & info [ "list-oracles" ] ~doc:"List registered oracles and the theorems they guard, then exit.")
+  in
+  let inject_arg =
+    Arg.(value & flag & info [ "inject" ] ~doc:"Also run the fault-injection oracle (a deliberately broken intersection kernel); the run is then expected to fail.")
+  in
+  let failures_out_arg =
+    Arg.(value & opt (some string) None & info [ "failures-out" ] ~docv:"FILE" ~doc:"Write one replay command line per discrepancy to $(docv) (for CI artifacts).")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Cross-check every engine against its independent twin on random cases")
+    Term.(
+      ret
+        (const run $ seed_arg $ cases_arg $ from_arg $ max_nodes_arg
+       $ oracles_arg $ list_arg $ inject_arg $ failures_out_arg $ trace_arg
+       $ stats_json_arg))
+
 let generate_cmd =
   let run random xmark seed =
     try
@@ -239,4 +327,6 @@ let generate_cmd =
 let () =
   let doc = "process queries on tree-structured data efficiently" in
   let info = Cmd.info "treequery" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ eval_cmd; explain_cmd; filter_cmd; generate_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ eval_cmd; explain_cmd; filter_cmd; generate_cmd; check_cmd ]))

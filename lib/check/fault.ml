@@ -1,0 +1,54 @@
+module Ns = Treekit.Nodeset
+module Tree = Treekit.Tree
+
+let buggy_inter a b =
+  let ca = Ns.cardinal a and cb = Ns.cardinal b in
+  let small, big, cs = if ca <= cb then (a, b, ca) else (b, a, cb) in
+  let cl = max ca cb in
+  if cs > 0 && cl > 2 * cs then begin
+    let elems = Array.of_list (Ns.elements small) in
+    let out = Ns.create (Ns.capacity a) in
+    (* BUG: stops at cs - 2, silently dropping the last probe *)
+    for i = 0 to cs - 2 do
+      if Ns.mem big elems.(i) then Ns.add out elems.(i)
+    done;
+    out
+  end
+  else Ns.inter a b
+
+let rec forward ~inter t (p : Xpath.Ast.path) s =
+  match p with
+  | Xpath.Ast.Step { axis; quals } ->
+    let img = Treekit.Axis.image t axis s in
+    List.fold_left (fun acc q -> inter acc (Xpath.Eval.qual_set t q)) img quals
+  | Xpath.Ast.Seq (a, b) -> forward ~inter t b (forward ~inter t a s)
+  | Xpath.Ast.Union (a, b) ->
+    Ns.union (forward ~inter t a s) (forward ~inter t b s)
+
+let eval_with_inter ~inter t p =
+  forward ~inter t p (Ns.of_list (Tree.size t) [ 0 ])
+
+let make name theorem inter =
+  {
+    Oracles.name;
+    theorem;
+    cap_nodes = 40;
+    gen = Gen.xpath;
+    run =
+      (fun c ->
+        match c.Case.query with
+        | Case.Xpath p ->
+          Oracles.sets_equal "Eval vs injected kernel"
+            (Xpath.Eval.query c.tree p)
+            (eval_with_inter ~inter c.tree p)
+        | _ -> Oracles.Skip "unexpected query kind");
+  }
+
+let oracle =
+  make "inject-galloping"
+    "fault injection: mutated galloping intersection (must be caught)"
+    buggy_inter
+
+let control =
+  make "inject-control" "fault injection control: correct kernel (must pass)"
+    Ns.inter

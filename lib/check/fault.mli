@@ -1,0 +1,36 @@
+(** Fault injection: a deliberately broken kernel behind a real engine.
+
+    The acceptance test for the whole harness: wire a mutated galloping
+    set-intersection (the probe loop stops one element short, so the
+    highest-numbered probe of the small side is dropped whenever the
+    galloping path is taken) into a forward Core XPath evaluator, and
+    demand that the differential run {e catches} the bug and {e shrinks}
+    it to a handful of nodes.  The control oracle runs the identical
+    evaluator with the correct intersection and must never fail. *)
+
+val buggy_inter :
+  Treekit.Nodeset.t -> Treekit.Nodeset.t -> Treekit.Nodeset.t
+(** Galloping intersection with the injected off-by-one: when one side is
+    more than twice the other, probe the small side against the large —
+    but the loop runs [0 .. cs-2] instead of [0 .. cs-1].  Falls back to
+    the correct dense path when the sides are comparable, so the bug only
+    fires on skewed inputs (exactly what galloping is for). *)
+
+val eval_with_inter :
+  inter:(Treekit.Nodeset.t -> Treekit.Nodeset.t -> Treekit.Nodeset.t) ->
+  Treekit.Tree.t ->
+  Xpath.Ast.path ->
+  Treekit.Nodeset.t
+(** The set-at-a-time forward evaluation of {!Xpath.Eval} with the
+    qualifier intersection kernel supplied by the caller:
+    [F(step, S) = inter (image axis S) qual-set]. *)
+
+val oracle : Oracles.t
+(** ["inject-galloping"]: {!Xpath.Eval.query} vs the evaluator with
+    {!buggy_inter}.  Expected to fail (that is the point); used by tests
+    and [treequery check --inject]. *)
+
+val control : Oracles.t
+(** ["inject-control"]: the same evaluator with the correct
+    {!Treekit.Nodeset.inter} — must pass on every case, demonstrating the
+    harness itself is sound. *)

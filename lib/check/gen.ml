@@ -1,0 +1,142 @@
+module Axis = Treekit.Axis
+module Tree = Treekit.Tree
+
+type config = { max_nodes : int; labels : string array }
+
+let default = { max_nodes = 40; labels = [| "a"; "b"; "c"; "d" |] }
+
+(* stable string hash (do not use Hashtbl.hash: its value is not part of
+   any compatibility contract, and repro lines must replay across builds) *)
+let salt_hash s =
+  String.fold_left (fun h c -> ((h * 131) + Char.code c) land 0x3FFFFFFF) 7 s
+
+let rng_for ~seed ~case ~salt = Random.State.make [| seed; case; salt_hash salt |]
+
+let pick rng xs = List.nth xs (Random.State.int rng (List.length xs))
+
+let sub_alphabet cfg rng =
+  let k = 1 + Random.State.int rng (Array.length cfg.labels) in
+  Array.sub cfg.labels 0 k
+
+(* relabel a fixed-shape generator's output with random labels *)
+let relabel rng labels t =
+  let n = Tree.size t in
+  let parents = Array.init n (Tree.parent t) in
+  let labs =
+    Array.init n (fun _ -> labels.(Random.State.int rng (Array.length labels)))
+  in
+  Tree.of_parent_vector ~parents ~labels:labs ()
+
+let tree cfg rng =
+  let n = 1 + Random.State.int rng cfg.max_nodes in
+  let labels = sub_alphabet cfg rng in
+  match Random.State.int rng 12 with
+  | 0 | 1 | 2 | 3 | 4 -> Treekit.Generator.random ~rng ~n ~labels ()
+  | 5 | 6 | 7 | 8 ->
+    let descend_bias = 0.15 +. Random.State.float rng 0.8 in
+    Treekit.Generator.random_deep ~rng ~n ~labels ~descend_bias ()
+  | 9 -> relabel rng labels (Treekit.Generator.path ~n ())
+  | 10 -> relabel rng labels (Treekit.Generator.star ~n ())
+  | _ ->
+    let fanout = 2 + Random.State.int rng 2 in
+    let depth = Random.State.int rng 3 in
+    relabel rng labels (Treekit.Generator.full ~fanout ~depth ())
+
+(* axis mixes: each query draws its pool, so the corpus covers both broad
+   and fragment-specific axis usage *)
+let axis_pools =
+  [
+    Axis.all;
+    Axis.forward;
+    [ Axis.Child; Axis.Descendant; Axis.Descendant_or_self ];
+    [ Axis.Child; Axis.Next_sibling; Axis.Following_sibling; Axis.Following_sibling_or_self ];
+    [ Axis.Parent; Axis.Ancestor; Axis.Child; Axis.Descendant ];
+    [ Axis.Self; Axis.Child; Axis.Descendant; Axis.Preceding; Axis.Following ];
+  ]
+
+let xpath ?axes ?allow_negation ?allow_union ?(max_depth = 3) cfg rng =
+  let axes = match axes with Some a -> a | None -> pick rng axis_pools in
+  let allow_negation =
+    match allow_negation with Some b -> b | None -> Random.State.bool rng
+  in
+  let allow_union =
+    match allow_union with Some b -> b | None -> Random.State.bool rng
+  in
+  let depth = 1 + Random.State.int rng max_depth in
+  let labels = sub_alphabet cfg rng in
+  Case.Xpath
+    (Xpath.Generator.random ~rng ~depth ~labels ~axes ~allow_negation ~allow_union ())
+
+let cq_acyclic cfg rng =
+  let nvars = 1 + Random.State.int rng 3 in
+  let labels = sub_alphabet cfg rng in
+  let axes = pick rng axis_pools in
+  let head_arity = 1 + Random.State.int rng (min 2 nvars) in
+  Case.Cq
+    (Cqtree.Generator.acyclic ~rng ~nvars ~axes ~labels ~extra_atom_prob:0.15
+       ~head_arity ())
+
+let cq_arbitrary cfg rng =
+  let nvars = 2 + Random.State.int rng 2 in
+  let natoms = 2 + Random.State.int rng 3 in
+  let labels = sub_alphabet cfg rng in
+  let head_arity = 1 + Random.State.int rng 2 in
+  Case.Cq
+    (Cqtree.Generator.arbitrary ~rng ~nvars ~natoms ~axes:Axis.all ~labels
+       ~head_arity ())
+
+let cq_xproperty cfg rng =
+  let _, axes, _ = pick rng Actree.Xproperty.signatures in
+  let nvars = 2 + Random.State.int rng 2 in
+  let natoms = 2 + Random.State.int rng 2 in
+  let labels = sub_alphabet cfg rng in
+  let head_arity = 1 + Random.State.int rng 2 in
+  Case.Cq
+    (Cqtree.Generator.arbitrary ~rng ~nvars ~natoms ~axes ~labels ~head_arity ())
+
+let pattern cfg rng =
+  let length = 1 + Random.State.int rng 4 in
+  Case.Pattern (Streamq.Path_pattern.random ~rng ~length ~labels:cfg.labels ())
+
+let auto cfg rng =
+  let labels = cfg.labels in
+  let lab () = labels.(Random.State.int rng (Array.length labels)) in
+  let leaf () =
+    match Random.State.int rng 6 with
+    | 0 -> Case.Exists_label (lab ())
+    | 1 -> Case.Root_label (lab ())
+    | 2 -> Case.All_leaves (lab ())
+    | 3 ->
+      let m = 2 + Random.State.int rng 3 in
+      Case.Count_mod (lab (), m, Random.State.int rng m)
+    | 4 -> Case.Every_desc (lab (), lab ())
+    | _ -> Case.Adjacent (lab (), lab ())
+  in
+  let rec build d =
+    if d = 0 then leaf ()
+    else
+      match Random.State.int rng 4 with
+      | 0 -> Case.Conj (build (d - 1), build (d - 1))
+      | 1 -> Case.Disj (build (d - 1), build (d - 1))
+      | 2 -> Case.Compl (build (d - 1))
+      | _ -> leaf ()
+  in
+  Case.Auto (build (Random.State.int rng 3))
+
+let axis_law _cfg rng = Case.Axis_law (pick rng Axis.all)
+
+let order_law _cfg rng = Case.Order_law (pick rng Treekit.Order.all_kinds)
+
+let setops cfg rng =
+  let lab () = cfg.labels.(Random.State.int rng (Array.length cfg.labels)) in
+  let op () =
+    match Random.State.int rng 8 with
+    | 0 | 1 -> Case.Add (Random.State.int rng 1024)
+    | 2 -> Case.Remove (Random.State.int rng 1024)
+    | 3 -> Case.Add_range (Random.State.int rng 1024, Random.State.int rng 1024)
+    | 4 -> Case.Union_label (lab ())
+    | 5 -> Case.Inter_label (lab ())
+    | 6 -> Case.Diff_label (lab ())
+    | _ -> Case.Complement
+  in
+  Case.Setops (List.init (1 + Random.State.int rng 12) (fun _ -> op ()))

@@ -1,0 +1,63 @@
+(** Seeded, size-parameterized case generation.
+
+    Composes the explicit-state generators of {!Treekit.Generator},
+    {!Xpath.Generator}, {!Cqtree.Generator} and {!Streamq.Path_pattern}
+    into joint (tree, query) cases.  Everything is driven by one
+    [Random.State.t] threaded through all composed calls, so a case is a
+    pure function of [(seed, case index, salt)] — the triple printed in a
+    repro line — independent of which other oracles ran before it. *)
+
+type config = {
+  max_nodes : int;  (** upper bound on generated tree size *)
+  labels : string array;
+      (** master label alphabet; each case draws a prefix of it *)
+}
+
+val default : config
+(** 40 nodes, alphabet [a b c d]. *)
+
+val rng_for : seed:int -> case:int -> salt:string -> Random.State.t
+(** The per-(case, oracle) random state.  [salt] is hashed with a stable
+    string hash (no dependence on OCaml's [Hashtbl.hash]), so replaying a
+    single oracle reproduces its cases bit-for-bit. *)
+
+val tree : config -> Random.State.t -> Treekit.Tree.t
+(** A tree of 1 .. [max_nodes] nodes with a randomly chosen shape
+    (uniform-recursive, depth-biased, path, star, full) and a random label
+    alphabet prefix. *)
+
+val xpath :
+  ?axes:Treekit.Axis.t list ->
+  ?allow_negation:bool ->
+  ?allow_union:bool ->
+  ?max_depth:int ->
+  config ->
+  Random.State.t ->
+  Case.query
+(** A random Core XPath query; the axis pool defaults to a random choice
+    among several mixes (all axes, forward-only, vertical-only,
+    sibling-heavy, upward-heavy). *)
+
+val cq_acyclic : config -> Random.State.t -> Case.query
+(** Tree-shaped conjunctive query, occasionally with a parallel atom. *)
+
+val cq_arbitrary : config -> Random.State.t -> Case.query
+(** Possibly cyclic conjunctive query over all axes. *)
+
+val cq_xproperty : config -> Random.State.t -> Case.query
+(** Possibly cyclic query whose axes are drawn from one of the three
+    maximal tractable signatures of Corollary 6.7 (τ₁/τ₂/τ₃). *)
+
+val pattern : config -> Random.State.t -> Case.query
+(** Streaming forward path pattern. *)
+
+val auto : config -> Random.State.t -> Case.query
+(** Composed tree automaton (conjunction/disjunction/complement over the
+    example automata). *)
+
+val axis_law : config -> Random.State.t -> Case.query
+
+val order_law : config -> Random.State.t -> Case.query
+
+val setops : config -> Random.State.t -> Case.query
+(** A node-set algebra script of 1–12 operations. *)

@@ -1,0 +1,484 @@
+module Ns = Treekit.Nodeset
+module Tree = Treekit.Tree
+module Axis = Treekit.Axis
+module Order = Treekit.Order
+
+type verdict = Pass | Skip of string | Fail of string
+
+type t = {
+  name : string;
+  theorem : string;
+  cap_nodes : int;
+  gen : Gen.config -> Random.State.t -> Case.query;
+  run : Case.t -> verdict;
+}
+
+let show_set s =
+  let xs = Ns.elements s in
+  let shown = List.filteri (fun i _ -> i < 12) xs in
+  let body = String.concat "," (List.map string_of_int shown) in
+  let ell = if List.length xs > 12 then ",…" else "" in
+  Printf.sprintf "{%s%s} (%d)" body ell (Ns.cardinal s)
+
+let sets_equal what a b =
+  if Ns.equal a b then Pass
+  else Fail (Printf.sprintf "%s: %s vs %s" what (show_set a) (show_set b))
+
+let show_solutions sols =
+  let tup a =
+    "(" ^ String.concat "," (List.map string_of_int (Array.to_list a)) ^ ")"
+  in
+  let shown = List.filteri (fun i _ -> i < 8) sols in
+  let ell = if List.length sols > 8 then ";…" else "" in
+  Printf.sprintf "[%s%s] (%d)"
+    (String.concat ";" (List.map tup shown))
+    ell (List.length sols)
+
+let solutions_equal what a b =
+  if a = b then Pass
+  else
+    Fail
+      (Printf.sprintf "%s: %s vs %s" what (show_solutions a) (show_solutions b))
+
+let wrong_query name c =
+  Skip (Printf.sprintf "%s: unexpected query kind %s" name
+          (Case.query_to_string c.Case.query))
+
+(* ------------------------------------------------------------------ *)
+(* Core XPath engine pairs                                             *)
+
+let xpath_spec =
+  {
+    name = "xpath-spec";
+    theorem = "Section 3 semantics (P1)-(P4), (Q1)-(Q5)";
+    cap_nodes = 20;
+    gen = (fun cfg rng -> Gen.xpath ~max_depth:2 cfg rng);
+    run =
+      (fun c ->
+        match c.Case.query with
+        | Case.Xpath p ->
+          sets_equal "Eval vs Semantics"
+            (Xpath.Eval.query c.tree p)
+            (Xpath.Semantics.query c.tree p)
+        | _ -> wrong_query "xpath-spec" c);
+  }
+
+let xpath_datalog =
+  {
+    name = "xpath-datalog";
+    theorem = "Theorem 3.2: Core XPath = monadic datalog (via Horn-SAT)";
+    cap_nodes = 40;
+    gen = Gen.xpath;
+    run =
+      (fun c ->
+        match c.Case.query with
+        | Case.Xpath p ->
+          let reference = Xpath.Eval.query c.tree p in
+          let plain = Xpath.To_datalog.eval_via_datalog ~tmnf:false c.tree p in
+          let tmnf = Xpath.To_datalog.eval_via_datalog ~tmnf:true c.tree p in
+          (match sets_equal "Eval vs datalog" reference plain with
+          | Pass -> sets_equal "Eval vs datalog(TMNF)" reference tmnf
+          | v -> v)
+        | _ -> wrong_query "xpath-datalog" c);
+  }
+
+let xpath_fo2 =
+  {
+    name = "xpath-fo2";
+    theorem = "Section 4 (Marx): Core XPath embeds in FO², time O(n^2 * |Q|)";
+    cap_nodes = 16;
+    gen = (fun cfg rng -> Gen.xpath ~max_depth:2 cfg rng);
+    run =
+      (fun c ->
+        match c.Case.query with
+        | Case.Xpath p ->
+          sets_equal "Eval vs FO2"
+            (Xpath.Eval.query c.tree p)
+            (Folang.Eval.unary c.tree (Folang.Of_xpath.unary p))
+        | _ -> wrong_query "xpath-fo2" c);
+  }
+
+let xpath_forward =
+  {
+    name = "xpath-forward";
+    theorem = "Section 5 / Theorem 5.1: reverse-axis elimination";
+    cap_nodes = 25;
+    gen =
+      (fun cfg rng ->
+        Gen.xpath ~allow_negation:false ~allow_union:false ~max_depth:2 cfg rng);
+    run =
+      (fun c ->
+        match c.Case.query with
+        | Case.Xpath p -> (
+          match Xpath.Forward.rewrite p with
+          | None -> Skip "not conjunctive / not forward-expressible"
+          | Some fwd ->
+            sets_equal "Eval vs Eval(forward rewrite)"
+              (Xpath.Eval.query c.tree p)
+              (Xpath.Eval.query c.tree fwd))
+        | _ -> wrong_query "xpath-forward" c);
+  }
+
+let xpath_stream =
+  {
+    name = "xpath-stream";
+    theorem = "Section 5: streaming twig filter = in-memory Boolean answer";
+    cap_nodes = 40;
+    gen =
+      (fun cfg rng ->
+        Gen.xpath
+          ~axes:[ Axis.Child; Axis.Descendant; Axis.Descendant_or_self ]
+          ~allow_negation:false ~allow_union:false cfg rng);
+    run =
+      (fun c ->
+        match c.Case.query with
+        | Case.Xpath p -> (
+          let reference = not (Ns.is_empty (Xpath.Eval.query c.tree p)) in
+          match Streamq.Xpath_filter.matches c.tree p with
+          | None -> Skip "outside the streaming twig fragment"
+          | Some b when b <> reference ->
+            Fail
+              (Printf.sprintf "stream filter %b vs in-memory %b" b reference)
+          | Some _ -> (
+            match Streamq.Xpath_filter.feed p with
+            | None -> Fail "matches is Some but feed is None"
+            | Some (push, finish) ->
+              Treekit.Event.iter c.tree push;
+              let incremental = finish () in
+              if incremental = reference then Pass
+              else
+                Fail
+                  (Printf.sprintf "incremental feed %b vs in-memory %b"
+                     incremental reference)))
+        | _ -> wrong_query "xpath-stream" c);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Conjunctive-query engine pairs                                      *)
+
+let cq_yannakakis =
+  {
+    name = "cq-yannakakis";
+    theorem = "Proposition 4.2: acyclic CQs in O(||A|| * |Q|) by semijoins";
+    cap_nodes = 16;
+    gen = Gen.cq_acyclic;
+    run =
+      (fun c ->
+        match c.Case.query with
+        | Case.Cq q -> (
+          try
+            solutions_equal "Naive vs Yannakakis"
+              (Cqtree.Naive.solutions q c.tree)
+              (Cqtree.Yannakakis.solutions q c.tree)
+          with Cqtree.Yannakakis.Cyclic m -> Skip ("cyclic: " ^ m))
+        | _ -> wrong_query "cq-yannakakis" c);
+  }
+
+let cq_rewrite =
+  {
+    name = "cq-rewrite";
+    theorem = "Theorem 5.1: CQ = union of acyclic queries";
+    cap_nodes = 12;
+    gen = Gen.cq_arbitrary;
+    run =
+      (fun c ->
+        match c.Case.query with
+        | Case.Cq q ->
+          solutions_equal "Naive vs Rewrite"
+            (Cqtree.Naive.solutions q c.tree)
+            (Cqtree.Rewrite.solutions q c.tree)
+        | _ -> wrong_query "cq-rewrite" c);
+  }
+
+let cq_actree =
+  {
+    name = "cq-actree";
+    theorem = "Theorem 6.5 / Corollary 6.7: X-property arc consistency";
+    cap_nodes = 14;
+    gen = Gen.cq_xproperty;
+    run =
+      (fun c ->
+        match c.Case.query with
+        | Case.Cq q -> (
+          match Actree.Xeval.solutions q c.tree with
+          | None -> Skip "signature outside the tractable classes"
+          | Some sols ->
+            solutions_equal "Naive vs Actree"
+              (Cqtree.Naive.solutions q c.tree)
+              sols)
+        | _ -> wrong_query "cq-actree" c);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Streaming and automata                                              *)
+
+let stream_path =
+  {
+    name = "stream-path";
+    theorem = "Section 5: one-pass O(depth * |Q|) path-pattern matching";
+    cap_nodes = 40;
+    gen = Gen.pattern;
+    run =
+      (fun c ->
+        match c.Case.query with
+        | Case.Pattern p -> (
+          let selected = Streamq.Path_matcher.select c.tree p in
+          let reference =
+            Xpath.Eval.query c.tree (Streamq.Path_pattern.to_xpath p)
+          in
+          match sets_equal "matcher vs Eval(to_xpath)" selected reference with
+          | Pass ->
+            let push, finish = Streamq.Path_matcher.feed p in
+            Treekit.Event.iter c.tree push;
+            let stats = finish () in
+            if stats.Streamq.Path_matcher.matches = Ns.cardinal selected then
+              Pass
+            else
+              Fail
+                (Printf.sprintf "feed counted %d matches, select has %d"
+                   stats.Streamq.Path_matcher.matches (Ns.cardinal selected))
+          | v -> v)
+        | _ -> wrong_query "stream-path" c);
+  }
+
+let automata_stream =
+  {
+    name = "automata-stream";
+    theorem = "Sections 4, 7: MSO via tree automata; streaming run O(depth)";
+    cap_nodes = 40;
+    gen = Gen.auto;
+    run =
+      (fun c ->
+        match c.Case.query with
+        | Case.Auto e ->
+          let a = Case.automaton e in
+          let bottom_up = Automata.Automaton.run a c.tree in
+          let streamed =
+            Automata.Automaton.run_events a (Treekit.Event.to_seq c.tree)
+          in
+          let states = Automata.Automaton.state_at a c.tree in
+          let at_root = a.Automata.Automaton.accept states.(0) in
+          if bottom_up <> streamed then
+            Fail
+              (Printf.sprintf "bottom-up %b vs streaming %b" bottom_up streamed)
+          else if bottom_up <> at_root then
+            Fail
+              (Printf.sprintf "run %b vs accept(state_at root) %b" bottom_up
+                 at_root)
+          else Pass
+        | _ -> wrong_query "automata-stream" c);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Metamorphic laws                                                    *)
+
+(* deterministic set family derived from the tree: label sets, their
+   complements' building blocks, extremes, and a middle range.  Derived
+   (not generated) so the family shrinks with the tree. *)
+let set_family t =
+  let n = Tree.size t in
+  let labels = [ "a"; "b"; "c"; "d" ] in
+  let label_sets = List.map (fun l -> Tree.label_set t l) labels in
+  let range =
+    let s = Ns.create n in
+    Ns.add_range s (n / 3) (2 * n / 3);
+    s
+  in
+  Ns.universe n :: Ns.create n :: Ns.of_list n [ 0 ] :: range :: label_sets
+
+let axis_law_run c =
+  match c.Case.query with
+  | Case.Axis_law a ->
+    let t = c.Case.tree in
+    let n = Tree.size t in
+    let reference s =
+      (* {v | exists u in s. a(u,v)} from the O(1) mem characterisation *)
+      let out = Ns.create n in
+      for v = 0 to n - 1 do
+        if Ns.fold (fun u acc -> acc || Axis.mem t a u v) s false then
+          Ns.add out v
+      done;
+      out
+    in
+    let family = set_family t in
+    let check_source s =
+      let img = Axis.image t a s in
+      match sets_equal "image vs mem-reference" img (reference s) with
+      | Pass ->
+        List.fold_left
+          (fun acc w ->
+            match acc with
+            | Pass ->
+              (* image_within must agree with inter(image, within) and be
+                 monotone in the source *)
+              let direct = Axis.image_within t a s w in
+              let composed = Ns.inter img w in
+              (match sets_equal "image_within vs inter(image)" direct composed
+               with
+              | Pass ->
+                let sub = Ns.inter s w in
+                if Ns.subset (Axis.image t a sub) img then Pass
+                else Fail "image not monotone in the source set"
+              | v -> v)
+            | v -> v)
+          Pass family
+      | v -> v
+    in
+    List.fold_left
+      (fun acc s -> match acc with Pass -> check_source s | v -> v)
+      Pass family
+  | _ -> wrong_query "law-axis" c
+
+let law_axis =
+  {
+    name = "law-axis";
+    theorem = "Section 2: axis algebra (image/mem/image_within agreement)";
+    cap_nodes = 30;
+    gen = Gen.axis_law;
+    run = axis_law_run;
+  }
+
+let order_law_run c =
+  match c.Case.query with
+  | Case.Order_law k ->
+    let t = c.Case.tree in
+    let n = Tree.size t in
+    let fail = ref None in
+    let set_fail msg = if !fail = None then fail := Some msg in
+    for u = 0 to n - 1 do
+      let r = Order.rank t k u in
+      if Order.node_of_rank t k r <> u then
+        set_fail
+          (Printf.sprintf "node_of_rank (rank %d) <> %d in %s" r u
+             (Order.kind_name k));
+      for v = 0 to n - 1 do
+        if Order.lt t k u v <> Order.lt_defined t k u v then
+          set_fail
+            (Printf.sprintf "lt vs lt_defined disagree on (%d,%d) in %s" u v
+               (Order.kind_name k));
+        (* the paper's interdefinability: Child+ and Following from the
+           orders (Section 2) *)
+        let descendant = Order.lt t Order.Pre u v && Order.lt t Order.Post v u in
+        if Axis.mem t Axis.Descendant u v <> descendant then
+          set_fail
+            (Printf.sprintf "Descendant(%d,%d) <> pre/post characterisation" u
+               v);
+        let following = Order.lt t Order.Pre u v && Order.lt t Order.Post u v in
+        if Axis.mem t Axis.Following u v <> following then
+          set_fail
+            (Printf.sprintf "Following(%d,%d) <> pre/post characterisation" u v)
+      done
+    done;
+    (match !fail with Some m -> Fail m | None -> Pass)
+  | _ -> wrong_query "law-order" c
+
+let law_order =
+  {
+    name = "law-order";
+    theorem = "Section 2: <pre/<post/<bflr interdefinability with Child+, Following";
+    cap_nodes = 30;
+    gen = Gen.order_law;
+    run = order_law_run;
+  }
+
+let setops_run c =
+  match c.Case.query with
+  | Case.Setops ops ->
+    let t = c.Case.tree in
+    let n = Tree.size t in
+    let ns = ref (Ns.create n) in
+    let model = Array.make n false in
+    let apply_label f l =
+      let ls = Tree.label_set t l in
+      ns := f !ns ls;
+      ls
+    in
+    let step i op =
+      (match op with
+      | Case.Add x ->
+        Ns.add !ns (x mod n);
+        model.(x mod n) <- true
+      | Case.Remove x ->
+        Ns.remove !ns (x mod n);
+        model.(x mod n) <- false
+      | Case.Add_range (a, b) ->
+        let lo = min (a mod n) (b mod n) and hi = max (a mod n) (b mod n) in
+        Ns.add_range !ns lo hi;
+        for j = lo to hi do
+          model.(j) <- true
+        done
+      | Case.Union_label l ->
+        let ls = apply_label Ns.union l in
+        for j = 0 to n - 1 do
+          model.(j) <- model.(j) || Ns.mem ls j
+        done
+      | Case.Inter_label l ->
+        let ls = apply_label Ns.inter l in
+        for j = 0 to n - 1 do
+          model.(j) <- model.(j) && Ns.mem ls j
+        done
+      | Case.Diff_label l ->
+        let ls = apply_label Ns.diff l in
+        for j = 0 to n - 1 do
+          model.(j) <- model.(j) && not (Ns.mem ls j)
+        done
+      | Case.Complement ->
+        ns := Ns.complement !ns;
+        for j = 0 to n - 1 do
+          model.(j) <- not model.(j)
+        done);
+      (* after every step the adaptive set must agree with the boolean
+         model on membership, cardinality and enumeration order *)
+      let card = Array.fold_left (fun a b -> if b then a + 1 else a) 0 model in
+      if Ns.cardinal !ns <> card then
+        Some
+          (Printf.sprintf "after step %d (%s): cardinal %d vs model %d" i
+             (Case.setop_to_string op) (Ns.cardinal !ns) card)
+      else
+        let expected = ref [] in
+        for j = n - 1 downto 0 do
+          if model.(j) then expected := j :: !expected
+        done;
+        if Ns.elements !ns <> !expected then
+          Some
+            (Printf.sprintf "after step %d (%s): elements diverge from model" i
+               (Case.setop_to_string op))
+        else None
+    in
+    let rec go i = function
+      | [] -> Pass
+      | op :: rest -> (
+        match step i op with Some m -> Fail m | None -> go (i + 1) rest)
+    in
+    go 0 ops
+  | _ -> wrong_query "law-setops" c
+
+let law_setops =
+  {
+    name = "law-setops";
+    theorem = "Adaptive node-set algebra vs the boolean-array model";
+    cap_nodes = 40;
+    gen = Gen.setops;
+    run = setops_run;
+  }
+
+let all =
+  [
+    xpath_spec;
+    xpath_datalog;
+    xpath_fo2;
+    xpath_forward;
+    xpath_stream;
+    cq_yannakakis;
+    cq_rewrite;
+    cq_actree;
+    stream_path;
+    automata_stream;
+    law_axis;
+    law_order;
+    law_setops;
+  ]
+
+let find name = List.find_opt (fun o -> o.name = name) all
+
+let names () = List.map (fun o -> o.name) all

@@ -1,0 +1,40 @@
+(** The oracle registry: engine pairs and metamorphic laws.
+
+    An oracle owns a case-generation recipe (which query family it needs)
+    and a [run] function that compares two or more independent evaluation
+    paths on one case.  Each oracle names the theorem of the paper it
+    guards, so a discrepancy report points straight at the claim that
+    broke (see DESIGN.md, "Differential oracle map"). *)
+
+type verdict =
+  | Pass
+  | Skip of string
+      (** the case falls outside the oracle's fragment (e.g. a cyclic
+          query for Yannakakis, an unsupported X-property signature) *)
+  | Fail of string  (** human-readable description of the disagreement *)
+
+type t = {
+  name : string;  (** stable identifier, used in [--oracles] and repro lines *)
+  theorem : string;  (** the paper claim this oracle guards *)
+  cap_nodes : int;
+      (** per-oracle tree-size cap (min-ed with the configured
+          [max_nodes]) bounding the slow reference engine *)
+  gen : Gen.config -> Random.State.t -> Case.query;
+  run : Case.t -> verdict;
+}
+
+val all : t list
+(** The full registry, in documentation order. *)
+
+val find : string -> t option
+
+val names : unit -> string list
+
+(** {1 Helpers shared with {!Fault}} *)
+
+val sets_equal : string -> Treekit.Nodeset.t -> Treekit.Nodeset.t -> verdict
+(** [Pass] iff the two node sets are equal, else a [Fail] showing both
+    sides' elements (truncated). *)
+
+val solutions_equal : string -> int array list -> int array list -> verdict
+(** Equality of sorted, deduplicated head-tuple lists. *)

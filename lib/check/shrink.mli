@@ -1,0 +1,31 @@
+(** Greedy case minimisation.
+
+    Shrinking works on both halves of a case: the tree (delete a whole
+    subtree, contract one node into its parent, promote a root child to be
+    the new root, normalise a label to ["a"]) and the query (drop a
+    qualifier, an atom, a step, a set operation; unwrap a connective).
+    Every tree surgery works directly on the pre-order parent vector —
+    deleting a contiguous descendant range or one position keeps the
+    vector a valid pre-order, so candidates rebuild with
+    {!Treekit.Tree.of_parent_vector}.
+
+    Minimisation is greedy: scan the candidates of the current case in
+    order and restart from the first one on which the failure persists,
+    until no candidate fails or the attempt budget is exhausted. *)
+
+val tree_candidates : Treekit.Tree.t -> Treekit.Tree.t Seq.t
+(** Strictly smaller (or equal-size, label-simplified) trees, biggest
+    deletions first. *)
+
+val query_candidates : Case.query -> Case.query list
+(** Strictly simpler queries of the same kind. *)
+
+val candidates : Case.t -> Case.t Seq.t
+(** Query shrinks (cheap, tree unchanged) first, then tree shrinks. *)
+
+val minimize :
+  ?budget:int -> still_fails:(Case.t -> bool) -> Case.t -> Case.t * int
+(** [minimize ~still_fails c] greedily minimises a failing case; the
+    predicate must treat an exception in the oracle as a failure.  Returns
+    the smallest case found and the number of accepted shrink steps.
+    [budget] (default 4000) caps the number of predicate evaluations. *)

@@ -15,9 +15,11 @@ let label_atoms rng ~labels ~nvars =
 let head_of ?(head_arity = 1) nvars =
   List.init (min head_arity nvars) var
 
-let acyclic ?(seed = 7) ~nvars ~axes ~labels ?(extra_atom_prob = 0.0) ?head_arity () =
+let state ?rng seed = match rng with Some r -> r | None -> Random.State.make [| seed |]
+
+let acyclic ?(seed = 7) ?rng ~nvars ~axes ~labels ?(extra_atom_prob = 0.0) ?head_arity () =
   if nvars < 1 then invalid_arg "Generator.acyclic: need at least one variable";
-  let rng = Random.State.make [| seed |] in
+  let rng = state ?rng seed in
   let bin = ref [] in
   for i = 1 to nvars - 1 do
     let j = Random.State.int rng i in
@@ -45,9 +47,9 @@ let acyclic ?(seed = 7) ~nvars ~axes ~labels ?(extra_atom_prob = 0.0) ?head_arit
   let atoms = if atoms = [] then [ U (True, var 0) ] else atoms in
   { head = head_of ?head_arity nvars; atoms }
 
-let arbitrary ?(seed = 7) ~nvars ~natoms ~axes ~labels ?head_arity () =
+let arbitrary ?(seed = 7) ?rng ~nvars ~natoms ~axes ~labels ?head_arity () =
   if nvars < 1 then invalid_arg "Generator.arbitrary: need at least one variable";
-  let rng = Random.State.make [| seed |] in
+  let rng = state ?rng seed in
   let bin =
     List.init natoms (fun _ ->
         let i = Random.State.int rng nvars in

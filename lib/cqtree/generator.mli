@@ -3,10 +3,13 @@
     All generators are deterministic given their [seed] and draw axes from
     a configurable pool so that the signature-restricted experiments
     (Corollary 6.7's τ₁/τ₂/τ₃ classes, the Table 1 fragment, forward-only
-    queries) can be generated directly. *)
+    queries) can be generated directly.  An explicit [rng] takes
+    precedence over [seed] and is advanced in place, so composed
+    generation through one state is bit-reproducible. *)
 
 val acyclic :
   ?seed:int ->
+  ?rng:Random.State.t ->
   nvars:int ->
   axes:Treekit.Axis.t list ->
   labels:string array ->
@@ -22,6 +25,7 @@ val acyclic :
 
 val arbitrary :
   ?seed:int ->
+  ?rng:Random.State.t ->
   nvars:int ->
   natoms:int ->
   axes:Treekit.Axis.t list ->

@@ -99,8 +99,8 @@ let of_xpath path =
   in
   match convert (flatten path) with Some ([] : t) -> None | other -> other
 
-let random ?(seed = 3) ~length ~labels () =
-  let rng = Random.State.make [| seed |] in
+let random ?(seed = 3) ?rng ~length ~labels () =
+  let rng = match rng with Some r -> r | None -> Random.State.make [| seed |] in
   List.init length (fun _ ->
       {
         edge = (if Random.State.bool rng then Child else Descendant);

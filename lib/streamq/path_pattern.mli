@@ -30,5 +30,7 @@ val of_xpath : Xpath.Ast.path -> t option
     [Child]/[Descendant]/[Descendant_or_self]-then-[Child] with only label
     qualifiers).  [None] otherwise. *)
 
-val random : ?seed:int -> length:int -> labels:string array -> unit -> t
-(** Random pattern for tests/benchmarks. *)
+val random :
+  ?seed:int -> ?rng:Random.State.t -> length:int -> labels:string array -> unit -> t
+(** Random pattern for tests/benchmarks.  An explicit [rng] takes
+    precedence over [seed] and is advanced in place. *)

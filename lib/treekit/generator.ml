@@ -1,5 +1,10 @@
 let labels_abc = [| "a"; "b"; "c" |]
 
+(* Every randomized generator threads an explicit [Random.State.t]: the
+   caller either passes one (advanced in place, so composed generation from
+   a single state is bit-reproducible) or gets a fresh state from [seed]. *)
+let state ?rng seed = match rng with Some r -> r | None -> Random.State.make [| seed |]
+
 (* Rebuild a (parents, labels) pair whose parent vector is valid
    (parents.(v) < v) but not necessarily a pre-order numbering into a tree,
    by renumbering the nodes in pre-order. *)
@@ -37,18 +42,18 @@ let of_loose_parents parents labels =
 
 let pick_label rng labels = labels.(Random.State.int rng (Array.length labels))
 
-let random ?(seed = 42) ~n ~labels () =
+let random ?(seed = 42) ?rng ~n ~labels () =
   if n <= 0 then invalid_arg "Generator.random: n must be positive";
-  let rng = Random.State.make [| seed |] in
+  let rng = state ?rng seed in
   let parents = Array.init n (fun v -> if v = 0 then -1 else Random.State.int rng v)
   and labs = Array.init n (fun _ -> pick_label rng labels) in
   of_loose_parents parents labs
 
-let random_deep ?(seed = 42) ~n ~labels ~descend_bias () =
+let random_deep ?(seed = 42) ?rng ~n ~labels ~descend_bias () =
   if n <= 0 then invalid_arg "Generator.random_deep: n must be positive";
   if descend_bias < 0.0 || descend_bias > 1.0 then
     invalid_arg "Generator.random_deep: bias must be in [0,1]";
-  let rng = Random.State.make [| seed |] in
+  let rng = state ?rng seed in
   let parents = Array.make n (-1) in
   (* generate directly in pre-order with a stack of currently-open nodes *)
   let stack = ref [ 0 ] in
@@ -87,9 +92,9 @@ let full ?(label = "a") ~fanout ~depth () =
   let rec build d = Tree.Node (label, if d = 0 then [] else List.init fanout (fun _ -> build (d - 1))) in
   Tree.of_builder (build depth)
 
-let xmark ?(seed = 42) ~scale () =
+let xmark ?(seed = 42) ?rng ~scale () =
   if scale <= 0 then invalid_arg "Generator.xmark: scale must be positive";
-  let rng = Random.State.make [| seed |] in
+  let rng = state ?rng seed in
   let leaf l = Tree.Node (l, []) in
   let many lo hi f = List.init (lo + Random.State.int rng (hi - lo + 1)) (fun _ -> f ()) in
   let item () =

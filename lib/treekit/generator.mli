@@ -14,14 +14,25 @@
     - {!all_shapes} — exhaustive enumeration of all ordered trees of a given
       size (Catalan many), used for the exhaustive Table 1 verification.
 
-    All generators are deterministic given their [seed]. *)
+    All generators are deterministic given their [seed].  Alternatively a
+    caller may pass an explicit random state via [rng] (which then takes
+    precedence over [seed]): the state is advanced in place, so a sequence
+    of generator calls threaded through one state is bit-reproducible —
+    no generator ever touches the global [Random] state. *)
 
-val random : ?seed:int -> n:int -> labels:string array -> unit -> Tree.t
+val random :
+  ?seed:int -> ?rng:Random.State.t -> n:int -> labels:string array -> unit -> Tree.t
 (** Uniform random recursive tree: node [v] chooses its parent uniformly
     among [0..v-1] (expected depth O(log n)); labels drawn uniformly. *)
 
 val random_deep :
-  ?seed:int -> n:int -> labels:string array -> descend_bias:float -> unit -> Tree.t
+  ?seed:int ->
+  ?rng:Random.State.t ->
+  n:int ->
+  labels:string array ->
+  descend_bias:float ->
+  unit ->
+  Tree.t
 (** Stack-walk generator: with probability [descend_bias] the next node is a
     child of the current node, otherwise the walk pops up first.  A bias
     close to 1.0 yields path-like trees, close to 0.0 star-like trees. *)
@@ -35,7 +46,7 @@ val star : ?label:string -> n:int -> unit -> Tree.t
 val full : ?label:string -> fanout:int -> depth:int -> unit -> Tree.t
 (** The complete [fanout]-ary tree of the given depth (root depth 0). *)
 
-val xmark : ?seed:int -> scale:int -> unit -> Tree.t
+val xmark : ?seed:int -> ?rng:Random.State.t -> scale:int -> unit -> Tree.t
 (** An XMark-like auction site document with roughly [36 * scale] element
     nodes, using the XMark element vocabulary (site, regions, item, person,
     open_auction, …). *)

@@ -27,7 +27,7 @@ type query =
       (** monadic datalog over arbitrary axes (Figure 7's mon.datalog[X]) *)
 
 val parse_xpath : string -> query
-(** @raise Xpath.Parser.Syntax_error *)
+(** @raise Treekit.Parse_error.Error with the offending token's offset *)
 
 val parse_cq : string -> query
 (** @raise Failure *)

@@ -1,9 +1,9 @@
 module Axis = Treekit.Axis
 open Ast
 
-let random ?(seed = 11) ~depth ~labels ?(axes = Axis.all) ?(allow_negation = true)
+let random ?(seed = 11) ?rng ~depth ~labels ?(axes = Axis.all) ?(allow_negation = true)
     ?(allow_union = true) () =
-  let rng = Random.State.make [| seed |] in
+  let rng = match rng with Some r -> r | None -> Random.State.make [| seed |] in
   let pick xs = List.nth xs (Random.State.int rng (List.length xs)) in
   let label () = labels.(Random.State.int rng (Array.length labels)) in
   let rec path d =

@@ -2,6 +2,7 @@
 
 val random :
   ?seed:int ->
+  ?rng:Random.State.t ->
   depth:int ->
   labels:string array ->
   ?axes:Treekit.Axis.t list ->
@@ -11,7 +12,9 @@ val random :
   Ast.path
 (** A random Core XPath expression with recursion depth bounded by
     [depth].  [axes] defaults to all fifteen axes.  With
-    [allow_negation]/[allow_union] false the result is conjunctive. *)
+    [allow_negation]/[allow_union] false the result is conjunctive.
+    An explicit [rng] takes precedence over [seed] and is advanced in
+    place (for bit-reproducible composed generation). *)
 
 val nested_qualifier : depth:int -> label:string -> Ast.path
 (** The deeply nested query [child::*[child::*[…[lab() = label]…]]] used by

@@ -1,11 +1,6 @@
-exception Syntax_error of string
-
 type state = { input : string; mutable pos : int }
 
-let error st fmt =
-  Format.kasprintf
-    (fun m -> raise (Syntax_error (Printf.sprintf "at offset %d: %s" st.pos m)))
-    fmt
+let error st fmt = Treekit.Parse_error.raise_at st.pos fmt
 
 let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
 
@@ -124,12 +119,14 @@ and parse_step st : Ast.path =
       (Treekit.Axis.Child, None)
     end
     else begin
+      skip_ws st;
+      let name_start = st.pos in
       let nm = name st in
       skip_ws st;
       if looking_at st "::" then begin
         eat st "::";
         match Treekit.Axis.of_name nm with
-        | None -> error st "unknown axis %s" nm
+        | None -> Treekit.Parse_error.raise_at name_start "unknown axis %s" nm
         | Some a ->
           skip_ws st;
           if (match peek st with Some '*' -> true | _ -> false) then begin
@@ -208,7 +205,7 @@ and parse_prim st : Ast.qual =
         Ast.Exists (parse_rel st)
       end
       else q
-    | exception Syntax_error _ ->
+    | exception Treekit.Parse_error.Error _ ->
       st.pos <- save;
       Ast.Exists (parse_rel st)
   end

@@ -23,7 +23,7 @@
     Examples: [/child::a//b[following-sibling::c and not(d)]],
     [//open_auction[bidder][not(seller)]]. *)
 
-exception Syntax_error of string
-
 val parse : string -> Ast.path
-(** @raise Syntax_error *)
+(** @raise Treekit.Parse_error.Error with the 0-based character offset of
+    the offending token (for an unknown axis name, the offset of the name
+    itself, not of the [::] that follows it). *)

@@ -24,4 +24,6 @@ let () =
       ("obs", Test_obs.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("laws", Test_laws.suite);
+      ("nodeset-edge", Test_nodeset_edge.suite);
+      ("check", Test_check.suite);
     ]

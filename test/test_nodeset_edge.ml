@@ -1,0 +1,151 @@
+(* Node-set representation edges: the sparse/dense crossover at exactly
+   promote_threshold ± 1, demotion at half with hysteresis (no
+   thrashing), and image_within vs image agreement on adversarial
+   candidate sets straddling both representations. *)
+
+open Treekit
+
+let n = 10_000
+
+let threshold = Nodeset.promote_threshold n
+
+let fill k =
+  (* k distinct elements spread over the universe *)
+  let s = Nodeset.create n in
+  for i = 0 to k - 1 do
+    Nodeset.add s (i * 7 mod n)
+  done;
+  Alcotest.(check int) "cardinal" k (Nodeset.cardinal s);
+  s
+
+let test_thresholds () =
+  (* the documented formula: min 1024 (max 16 (2 * ceil(n/63))) *)
+  Alcotest.(check int) "10k threshold" 318 threshold;
+  Alcotest.(check int) "small universes floor at 16" 16
+    (Nodeset.promote_threshold 40);
+  Alcotest.(check int) "huge universes cap at 1024" 1024
+    (Nodeset.promote_threshold 1_000_000)
+
+let test_promotion_boundary () =
+  let at k = Nodeset.rep_kind (fill k) in
+  Alcotest.(check bool) "T-1 adds stay sparse" true (at (threshold - 1) = `Sparse);
+  Alcotest.(check bool) "T adds stay sparse" true (at threshold = `Sparse);
+  Alcotest.(check bool) "T+1 adds promote" true (at (threshold + 1) = `Dense)
+
+let test_demotion_boundary () =
+  let half = threshold / 2 in
+  let shrink_to k =
+    let s = fill (threshold + 1) in
+    Alcotest.(check bool) "starts dense" true (Nodeset.rep_kind s = `Dense);
+    let removed = ref 0 in
+    (* remove in insertion order until the target cardinality *)
+    let i = ref 0 in
+    while Nodeset.cardinal s > k do
+      Nodeset.remove s (!i * 7 mod n);
+      incr i;
+      incr removed
+    done;
+    s
+  in
+  Alcotest.(check bool) "half+1 stays dense" true
+    (Nodeset.rep_kind (shrink_to (half + 1)) = `Dense);
+  Alcotest.(check bool) "half demotes" true
+    (Nodeset.rep_kind (shrink_to half) = `Sparse)
+
+let test_hysteresis_no_thrash () =
+  (* oscillating one past the promote point must not flip representations
+     back and forth: once dense, the set stays dense down to half *)
+  let s = fill (threshold + 1) in
+  let extra = 9999 in
+  Alcotest.(check bool) "dense after crossing" true (Nodeset.rep_kind s = `Dense);
+  for _ = 1 to 100 do
+    Nodeset.remove s extra;
+    Nodeset.add s extra
+  done;
+  Alcotest.(check bool) "still dense after 100 oscillations" true
+    (Nodeset.rep_kind s = `Dense);
+  (* and symmetrically at the demote point: once sparse, adding one back
+     does not re-promote inside the hysteresis band *)
+  let half = threshold / 2 in
+  let s2 = fill (threshold + 1) in
+  let i = ref 0 in
+  while Nodeset.cardinal s2 > half do
+    Nodeset.remove s2 (!i * 7 mod n);
+    incr i
+  done;
+  Alcotest.(check bool) "sparse at half" true (Nodeset.rep_kind s2 = `Sparse);
+  for _ = 1 to 100 do
+    Nodeset.add s2 0;
+    Nodeset.remove s2 0
+  done;
+  Alcotest.(check bool) "still sparse after 100 oscillations" true
+    (Nodeset.rep_kind s2 = `Sparse)
+
+let test_boundary_semantics () =
+  (* membership/enumeration agree with a model across the crossover *)
+  List.iter
+    (fun k ->
+      let s = fill k in
+      let expected =
+        List.sort_uniq compare (List.init k (fun i -> i * 7 mod n))
+      in
+      Alcotest.(check (list int)) (Printf.sprintf "elements at %d" k) expected
+        (Nodeset.elements s))
+    [ threshold - 1; threshold; threshold + 1; (2 * threshold) + 1 ]
+
+(* ------------------------------------------------------------------ *)
+(* image_within vs image on adversarial candidate sets *)
+
+let test_image_within_agreement () =
+  let t =
+    Generator.random_deep ~seed:17 ~n:4000 ~labels:[| "a"; "b"; "c"; "d" |]
+      ~descend_bias:0.7 ()
+  in
+  let nn = Tree.size t in
+  let sources =
+    [
+      ("singleton root", Nodeset.of_list nn [ 0 ]);
+      ("singleton deep", Nodeset.of_list nn [ nn - 1 ]);
+      ("label a", Tree.label_set t "a");
+      ("sparse spread", Nodeset.of_list nn (List.init 20 (fun i -> i * 97 mod nn)));
+      ("universe", Nodeset.universe nn);
+    ]
+  in
+  let withins =
+    [
+      ("empty", Nodeset.create nn);
+      ("singleton", Nodeset.of_list nn [ nn / 2 ]);
+      ("tiny label probe", Tree.label_set t "d");
+      ("dense complement", Nodeset.complement (Tree.label_set t "d"));
+      ("first half", (let s = Nodeset.create nn in Nodeset.add_range s 0 (nn / 2); s));
+      ("universe", Nodeset.universe nn);
+    ]
+  in
+  List.iter
+    (fun axis ->
+      List.iter
+        (fun (sn, s) ->
+          List.iter
+            (fun (wn, w) ->
+              let direct = Axis.image_within t axis s w in
+              let composed = Nodeset.inter (Axis.image t axis s) w in
+              if not (Nodeset.equal direct composed) then
+                Alcotest.failf "image_within <> inter(image) for %s, %s, %s"
+                  (Axis.name axis) sn wn)
+            withins)
+        sources)
+    Axis.all
+
+let suite =
+  [
+    Alcotest.test_case "threshold formula" `Quick test_thresholds;
+    Alcotest.test_case "promotion at exactly threshold + 1" `Quick
+      test_promotion_boundary;
+    Alcotest.test_case "demotion at exactly half" `Quick test_demotion_boundary;
+    Alcotest.test_case "hysteresis does not thrash" `Quick
+      test_hysteresis_no_thrash;
+    Alcotest.test_case "semantics across the crossover" `Quick
+      test_boundary_semantics;
+    Alcotest.test_case "image_within = image ∩ within on adversarial sets"
+      `Quick test_image_within_agreement;
+  ]

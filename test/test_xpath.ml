@@ -27,11 +27,44 @@ let test_parse_shapes () =
   Alcotest.(check bool) "forward" true (X.Ast.is_forward p5)
 
 let test_parse_errors () =
-  let bad s = match parse s with exception X.Parser.Syntax_error _ -> true | _ -> false in
+  let bad s = match parse s with exception Parse_error.Error _ -> true | _ -> false in
   Alcotest.(check bool) "empty" true (bad "");
   Alcotest.(check bool) "bad axis" true (bad "sideways::a");
   Alcotest.(check bool) "unclosed qualifier" true (bad "a[b");
   Alcotest.(check bool) "trailing garbage" true (bad "a]")
+
+(* failure modes carry the exact offset of the offending token, so a front
+   end can point at it (satellite of the differential-oracle PR) *)
+let test_parse_error_offsets () =
+  let offset_of s =
+    match parse s with
+    | exception Parse_error.Error { pos; _ } -> pos
+    | _ -> Alcotest.failf "%S: expected a parse error" s
+  in
+  let check_off what s expected = Alcotest.(check int) (what ^ ": " ^ s) expected (offset_of s) in
+  (* malformed axis names: the offset is the axis name itself *)
+  check_off "unknown axis" "sideways::a" 0;
+  check_off "unknown axis mid-path" "a/b/sideways::c" 4;
+  check_off "unknown axis in qualifier" "a[foo::b]" 2;
+  (* unbalanced predicates: the offset is where the ']' was expected *)
+  check_off "unclosed qualifier" "a[b" 3;
+  check_off "unclosed nested qualifier" "a[b[c]" 6;
+  check_off "stray close" "a]" 1;
+  (* empty steps *)
+  check_off "empty input" "" 0;
+  check_off "empty step after /" "a/" 2;
+  check_off "empty step between slashes" "a//" 3;
+  check_off "empty step after axis" "child::" 7;
+  check_off "empty qualifier" "a[]" 2;
+  (* string literals *)
+  check_off "missing literal" "a[lab() = ]" 10;
+  check_off "unterminated literal" "a[lab() = \"x" 12;
+  (* messages render with the offset via Parse_error.to_string *)
+  (match parse "sideways::a" with
+  | exception Parse_error.Error { pos; msg } ->
+    Alcotest.(check string) "rendered message" "at offset 0: unknown axis sideways"
+      (Parse_error.to_string ~pos ~msg)
+  | _ -> Alcotest.fail "expected a parse error")
 
 let prop_roundtrip =
   (* string-level: Seq/Union are associative and the printer flattens them,
@@ -217,6 +250,7 @@ let suite =
   [
     Alcotest.test_case "parse shapes" `Quick test_parse_shapes;
     Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "parse error offsets" `Quick test_parse_error_offsets;
     prop_roundtrip;
     Alcotest.test_case "semantics on fig2" `Quick test_semantics_fig2;
     Alcotest.test_case "self axis" `Quick test_self_axis;
