@@ -44,6 +44,25 @@ let core_suite () =
       run = (fun () -> ignore (Actree.Twigjoin.path_stack xmark64 pathstack_specs)) };
     { name = "datalog-ancestor/random4k";
       run = (fun () -> ignore (Mdatalog.Eval.run datalog_p t4k)) };
+    (* the serving layer end to end: 2k closed-loop requests over 100
+       shapes, warm-from-scratch cache — plan_cache_miss is exactly the
+       number of distinct canonical forms, so canonicalization regressions
+       (hash splits) show up as a gated counter increase *)
+    { name = "serve-batch/xmark64-2k";
+      run =
+        (fun () ->
+          let rng = Random.State.make [| 11; 0xda7a |] in
+          let shapes = Serve.Workload.shapes ~rng ~count:100 in
+          let reqs =
+            Serve.Workload.requests ~rng ~shapes:100 ~count:2_000
+              Serve.Workload.Closed_loop
+          in
+          let cache = Serve.Plan_cache.create ~capacity:128 () in
+          let cfg =
+            Serve.Server.config ~cache ~concurrency:250 ~share:true
+              ~stream_prefilter:true ()
+          in
+          ignore (Serve.Server.run cfg xmark64 shapes reqs)) };
   ]
 
 (* wall time with tracing off, then counters from one traced run *)
@@ -90,7 +109,7 @@ let run_baseline file =
 
 (* only the deterministic work-witnessing counters gate CI; the others are
    printed for information *)
-let gating = [ "nodes_visited"; "tuples_materialised" ]
+let gating = [ "nodes_visited"; "tuples_materialised"; "plan_cache_miss" ]
 
 let read_json file =
   let ic = open_in_bin file in

@@ -1,0 +1,138 @@
+(* Serving-layer experiment (PR 4): plan cache + batch executor.
+
+   10k requests drawn from 100 distinct query shapes against one
+   xmark-2048 document, two ways:
+
+     cold    one request at a time, parse + plan + evaluate from scratch
+             every time (what a naive server would do);
+     warm    batch mode through the serving layer: plans come from a warm
+             LRU cache keyed by canonical form, each in-flight group of
+             requests shares plan dedup, grouped label seed scans and one
+             stream-prefilter pass.
+
+   The recorded acceptance: warm batch throughput >= 3x cold, with
+   plan_cache_hit >= 9,900 of the 10,000 lookups. *)
+
+module Engine = Treequery.Engine
+
+let requests_total = 10_000
+let shape_count = 100
+let concurrency = 500
+
+let workload () =
+  let tree = Treekit.Generator.xmark ~seed:3 ~scale:2048 () in
+  let rng = Random.State.make [| 7; 0xda7a |] in
+  let shapes = Serve.Workload.shapes ~rng ~count:shape_count in
+  let reqs =
+    Serve.Workload.requests ~rng ~shapes:shape_count ~count:requests_total
+      Serve.Workload.Closed_loop
+  in
+  (tree, shapes, reqs)
+
+(* what a naive server does per request: parse, plan, evaluate *)
+let cold_run tree (shapes : Serve.Workload.shape array) reqs () =
+  let reparse (s : Serve.Workload.shape) =
+    match s.query with
+    | Engine.Cq_query _ -> Engine.parse_cq s.source
+    | _ -> Engine.parse_xpath s.source
+  in
+  List.iter
+    (fun (r : Serve.Workload.request) ->
+      ignore (Engine.eval (reparse shapes.(r.shape)) tree))
+    reqs
+
+let summary_json (l : Obs.histogram_summary) =
+  Obs.Json.Obj
+    [
+      ("count", Obs.Json.Num (float_of_int l.Obs.count));
+      ("p50_s", Obs.Json.Num l.Obs.p50);
+      ("p95_s", Obs.Json.Num l.Obs.p95);
+      ("p99_s", Obs.Json.Num l.Obs.p99);
+      ("max_s", Obs.Json.Num l.Obs.max);
+    ]
+
+(* runs the comparison, records the acceptance checks, returns the JSON
+   fragment for BENCH_pr4.json *)
+let run_core () =
+  Bench_util.header "Serving layer: cold one-at-a-time vs warm batch (xmark2048)";
+  let tree, shapes, reqs = workload () in
+  Printf.printf "document: %d nodes; %d requests over %d shapes\n"
+    (Treekit.Tree.size tree) requests_total shape_count;
+  let wall_cold, () = Bench_util.time_once (cold_run tree shapes reqs) in
+  let cold_rps = float_of_int requests_total /. wall_cold in
+  Printf.printf "cold  one-at-a-time   %8.3f s  %9.0f req/s\n" wall_cold cold_rps;
+  let cache = Serve.Plan_cache.create ~capacity:128 () in
+  (* warm the cache over the distinct shapes, then measure *)
+  Array.iter
+    (fun (s : Serve.Workload.shape) -> ignore (Serve.Plan_cache.find cache s.query))
+    shapes;
+  Obs.Counter.reset_all ();
+  let cfg = Serve.Server.config ~cache ~concurrency ~share:true () in
+  let wall_warm, stats =
+    Bench_util.time_once (fun () -> Serve.Server.run cfg tree shapes reqs)
+  in
+  let warm_rps = float_of_int requests_total /. wall_warm in
+  Printf.printf "warm  batch(%d)+cache %8.3f s  %9.0f req/s\n" concurrency
+    wall_warm warm_rps;
+  let speedup = wall_cold /. wall_warm in
+  let hits =
+    (Serve.Plan_cache.stats cache).Serve.Plan_cache.hits
+  in
+  Printf.printf "speedup %.2fx; plan-cache hits %d/%d; %d distinct evaluations, %d stream-pruned\n"
+    speedup hits requests_total stats.Serve.Server.distinct_evaluated
+    stats.Serve.Server.stream_pruned;
+  Bench_util.record "serving: warm batch >= 3x cold throughput" (speedup >= 3.0);
+  Bench_util.record "serving: plan_cache_hit >= 9900"
+    (hits >= 9_900 && stats.Serve.Server.served = requests_total);
+  Bench_util.record "serving: zero errors" (stats.Serve.Server.errors = 0);
+  Obs.Json.Obj
+    [
+      ("tree_nodes", Obs.Json.Num (float_of_int (Treekit.Tree.size tree)));
+      ("requests", Obs.Json.Num (float_of_int requests_total));
+      ("shapes", Obs.Json.Num (float_of_int shape_count));
+      ("concurrency", Obs.Json.Num (float_of_int concurrency));
+      ( "cold",
+        Obs.Json.Obj
+          [
+            ("wall_s", Obs.Json.Num wall_cold);
+            ("throughput_rps", Obs.Json.Num cold_rps);
+          ] );
+      ( "warm_batch",
+        Obs.Json.Obj
+          [
+            ("wall_s", Obs.Json.Num wall_warm);
+            ("throughput_rps", Obs.Json.Num warm_rps);
+            ("plan_cache_hit", Obs.Json.Num (float_of_int hits));
+            ( "plan_cache_miss",
+              Obs.Json.Num
+                (float_of_int (Serve.Plan_cache.stats cache).Serve.Plan_cache.misses)
+            );
+            ( "distinct_evaluated",
+              Obs.Json.Num (float_of_int stats.Serve.Server.distinct_evaluated) );
+            ( "stream_pruned",
+              Obs.Json.Num (float_of_int stats.Serve.Server.stream_pruned) );
+            ("latency", summary_json stats.Serve.Server.latency);
+          ] );
+      ("speedup", Obs.Json.Num speedup);
+    ]
+
+let serving () = ignore (run_core ())
+
+(* BENCH_pr4.json: the core-suite baseline ("after", checked in CI by
+   `bench --check`) plus the serving comparison above *)
+let write_json file =
+  let serving_json = run_core () in
+  let baseline_entries = Baseline.run_suite () in
+  let json =
+    Obs.Json.Obj
+      [
+        ( "after",
+          Obs.Json.Obj [ ("experiments", Obs.Json.Arr baseline_entries) ] );
+        ("serving", serving_json);
+      ]
+  in
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Obs.Json.to_string json ^ "\n"));
+  Printf.printf "serving benchmark written to %s\n" file

@@ -26,6 +26,7 @@ let experiments =
     ("qualified-streaming", Exp_mso.qualified_streaming);
     ("dynlabel", Exp_updates.dynlabel);
     ("yannakakis-relational", Exp_updates.relational_yannakakis);
+    ("serving", Exp_serving.serving);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -166,10 +167,17 @@ let () =
   let args = List.filter (fun a -> a <> "--no-bechamel") args in
   let baseline_file, args = extract_opt "--baseline" args in
   let check_file, args = extract_opt "--check" args in
+  let serving_file, args = extract_opt "--serving-json" args in
   Obs.set_clock Unix.gettimeofday;
   (match baseline_file with Some f -> Baseline.run_baseline f | None -> ());
   (match check_file with Some f -> Baseline.check f | None -> ());
-  if baseline_file <> None || check_file <> None then exit 0;
+  (match serving_file with
+  | Some f ->
+    Obs.with_enabled true (fun () -> Exp_serving.write_json f);
+    if List.exists (fun (_, ok) -> not ok) !Bench_util.checks then exit 1
+  | None -> ());
+  if baseline_file <> None || check_file <> None || serving_file <> None then
+    exit 0;
   let selected = if args = [] then List.map fst experiments else args in
   Obs.set_enabled true;
   List.iter

@@ -5,6 +5,7 @@
                document (XML file, inline XML, or a generated workload)
      explain   show the engine's plan and the paper's complexity bound
      filter    stream a document through forward path subscriptions
+     serve     run a request workload through the serving layer
      generate  emit a synthetic XML document *)
 
 open Cmdliner
@@ -47,9 +48,6 @@ let random_arg =
 let xmark_arg =
   Arg.(value & opt (some int) None & info [ "xmark" ] ~docv:"SCALE" ~doc:"XMark-like document at scale $(docv).")
 
-let seed_arg =
-  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Generator seed.")
-
 (* query in one of the five languages *)
 let parse_query ~xpath ~cq ~datalog ~positive ~axis_datalog =
   match xpath, cq, datalog, positive, axis_datalog with
@@ -78,26 +76,35 @@ let axis_datalog_arg =
   Arg.(value & opt (some string) None & info [ "axis-datalog" ] ~docv:"PROGRAM" ~doc:"Monadic datalog over axis relations with a ?- query directive.")
 
 (* ------------------------------------------------------------------ *)
-(* observability plumbing shared by the eval and filter subcommands *)
+(* options every run-something subcommand shares: generator seed and the
+   observability sinks (one spec, applied with $ common_term) *)
 
-let trace_arg =
-  Arg.(
-    value & flag
-    & info [ "trace" ]
-        ~doc:"Record tracing spans and counters; print the span tree to stderr after the run.")
+type common = { seed : int; trace : bool; stats_json : string option }
 
-let stats_json_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "stats-json" ] ~docv:"FILE"
-        ~doc:"Write the observability report (per-phase span durations and counters) as JSON to $(docv); '-' for stdout.")
+let common_term =
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Generator seed.")
+  in
+  let trace_arg =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:"Record tracing spans and counters; print the span tree to stderr after the run.")
+  in
+  let stats_json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-json" ] ~docv:"FILE"
+          ~doc:"Write the observability report (per-phase span durations, counters and latency histograms) as JSON to $(docv); '-' for stdout.")
+  in
+  let mk seed trace stats_json = { seed; trace; stats_json } in
+  Term.(const mk $ seed_arg $ trace_arg $ stats_json_arg)
 
-(* [observe ~trace ~stats_json f] runs [f] with observability enabled when
-   either flag asks for it, then emits the report.  Returns [f ()]'s
-   result. *)
-let observe ~trace ~stats_json f =
-  let observing = trace || stats_json <> None in
+(* [observe common f] runs [f] with observability enabled when either
+   sink asks for it, then emits the report.  Returns [f ()]'s result. *)
+let observe common f =
+  let observing = common.trace || common.stats_json <> None in
   if not observing then f ()
   else begin
     Obs.set_enabled true;
@@ -105,8 +112,8 @@ let observe ~trace ~stats_json f =
     let result = f () in
     let report = Obs.Report.capture () in
     Obs.set_enabled false;
-    if trace then prerr_string (Obs.Report.to_text report);
-    (match stats_json with
+    if common.trace then prerr_string (Obs.Report.to_text report);
+    (match common.stats_json with
     | None -> ()
     | Some "-" -> print_endline (Obs.Report.to_json report)
     | Some path ->
@@ -119,42 +126,45 @@ let observe ~trace ~stats_json f =
     result
   end
 
+(* the error taxonomy is the same for every subcommand *)
+let handle_errors f =
+  try f () with
+  | Failure m | Invalid_argument m | Sys_error m -> `Error (false, m)
+  | Treekit.Xml.Parse_error m -> `Error (false, "XML: " ^ m)
+  | Treekit.Parse_error.Error { pos; msg } ->
+    `Error (false, Treekit.Parse_error.to_string ~pos ~msg)
+  | Mdatalog.Parser.Syntax_error m -> `Error (false, "datalog: " ^ m)
+
 (* ------------------------------------------------------------------ *)
 
 let eval_cmd =
-  let run xpath cq datalog positive axis_datalog xml_file xml random xmark seed show_labels trace stats_json =
-    try
-      let answer, doc, q =
-        observe ~trace ~stats_json (fun () ->
-            let doc =
-              Obs.Span.with_ "load-document" (fun () ->
-                  load_document ~xml_file ~xml ~random ~xmark ~seed)
-            in
-            let q =
-              Obs.Span.with_ "parse-query" (fun () ->
-                  parse_query ~xpath ~cq ~datalog ~positive ~axis_datalog)
-            in
-            (Engine.solutions q doc, doc, q))
-      in
-      Printf.printf "document: %d nodes, depth %d\n" (Tree.size doc) (Tree.height doc);
-      Printf.printf "strategy: %s\n" (Engine.strategy_name (Engine.plan q));
-      Printf.printf "answers:  %d\n" (List.length answer);
-      List.iter
-        (fun tuple ->
-          let cell v =
-            if show_labels then Printf.sprintf "%d:%s" v (Tree.label doc v)
-            else string_of_int v
+  let run xpath cq datalog positive axis_datalog xml_file xml random xmark show_labels common =
+    handle_errors @@ fun () ->
+    let answer, doc, q =
+      observe common (fun () ->
+          let doc =
+            Obs.Span.with_ "load-document" (fun () ->
+                load_document ~xml_file ~xml ~random ~xmark ~seed:common.seed)
           in
-          print_endline
-            ("  (" ^ String.concat ", " (List.map cell (Array.to_list tuple)) ^ ")"))
-        answer;
-      `Ok ()
-    with
-    | Failure m | Invalid_argument m | Sys_error m -> `Error (false, m)
-    | Treekit.Xml.Parse_error m -> `Error (false, "XML: " ^ m)
-    | Treekit.Parse_error.Error { pos; msg } ->
-      `Error (false, Treekit.Parse_error.to_string ~pos ~msg)
-    | Mdatalog.Parser.Syntax_error m -> `Error (false, "datalog: " ^ m)
+          let q =
+            Obs.Span.with_ "parse-query" (fun () ->
+                parse_query ~xpath ~cq ~datalog ~positive ~axis_datalog)
+          in
+          (Engine.solutions q doc, doc, q))
+    in
+    Printf.printf "document: %d nodes, depth %d\n" (Tree.size doc) (Tree.height doc);
+    Printf.printf "strategy: %s\n" (Engine.strategy_name (Engine.plan q));
+    Printf.printf "answers:  %d\n" (List.length answer);
+    List.iter
+      (fun tuple ->
+        let cell v =
+          if show_labels then Printf.sprintf "%d:%s" v (Tree.label doc v)
+          else string_of_int v
+        in
+        print_endline
+          ("  (" ^ String.concat ", " (List.map cell (Array.to_list tuple)) ^ ")"))
+      answer;
+    `Ok ()
   in
   let labels_arg =
     Arg.(value & flag & info [ "labels" ] ~doc:"Show node labels next to node ids.")
@@ -164,19 +174,14 @@ let eval_cmd =
       ret
         (const run $ xpath_arg $ cq_arg $ datalog_arg $ positive_arg
        $ axis_datalog_arg $ xml_file_arg $ xml_arg $ random_arg $ xmark_arg
-       $ seed_arg $ labels_arg $ trace_arg $ stats_json_arg))
+       $ labels_arg $ common_term))
 
 let explain_cmd =
   let run xpath cq datalog positive axis_datalog =
-    try
-      let q = parse_query ~xpath ~cq ~datalog ~positive ~axis_datalog in
-      print_string (Engine.explain q);
-      `Ok ()
-    with
-    | Failure m | Invalid_argument m | Sys_error m -> `Error (false, m)
-    | Treekit.Parse_error.Error { pos; msg } ->
-      `Error (false, Treekit.Parse_error.to_string ~pos ~msg)
-    | Mdatalog.Parser.Syntax_error m -> `Error (false, "datalog: " ^ m)
+    handle_errors @@ fun () ->
+    let q = parse_query ~xpath ~cq ~datalog ~positive ~axis_datalog in
+    print_string (Engine.explain q);
+    `Ok ()
   in
   Cmd.v
     (Cmd.info "explain" ~doc:"Show the evaluation plan and complexity bound")
@@ -184,33 +189,28 @@ let explain_cmd =
       ret (const run $ xpath_arg $ cq_arg $ datalog_arg $ positive_arg $ axis_datalog_arg))
 
 let filter_cmd =
-  let run patterns xml_file xml random xmark seed trace stats_json =
-    try
-      let doc, matched =
-        observe ~trace ~stats_json (fun () ->
-            let doc =
-              Obs.Span.with_ "load-document" (fun () ->
-                  load_document ~xml_file ~xml ~random ~xmark ~seed)
-            in
-            let engine = Streamq.Filter_engine.create () in
-            List.iter
-              (fun p ->
-                ignore
-                  (Streamq.Filter_engine.subscribe engine (Streamq.Path_pattern.of_string p)))
-              patterns;
-            (doc, Streamq.Filter_engine.match_document engine doc))
-      in
-      Printf.printf "document: %d nodes, depth %d\n" (Tree.size doc) (Tree.height doc);
-      List.iteri
-        (fun i p ->
-          Printf.printf "%-6s %s\n" (if List.mem i matched then "MATCH" else "-") p)
-        patterns;
-      `Ok ()
-    with
-    | Failure m | Invalid_argument m | Sys_error m -> `Error (false, m)
-    | Treekit.Parse_error.Error { pos; msg } ->
-      `Error (false, Treekit.Parse_error.to_string ~pos ~msg)
-    | Treekit.Xml.Parse_error m -> `Error (false, "XML: " ^ m)
+  let run patterns xml_file xml random xmark common =
+    handle_errors @@ fun () ->
+    let doc, matched =
+      observe common (fun () ->
+          let doc =
+            Obs.Span.with_ "load-document" (fun () ->
+                load_document ~xml_file ~xml ~random ~xmark ~seed:common.seed)
+          in
+          let engine = Streamq.Filter_engine.create () in
+          List.iter
+            (fun p ->
+              ignore
+                (Streamq.Filter_engine.subscribe engine (Streamq.Path_pattern.of_string p)))
+            patterns;
+          (doc, Streamq.Filter_engine.match_document engine doc))
+    in
+    Printf.printf "document: %d nodes, depth %d\n" (Tree.size doc) (Tree.height doc);
+    List.iteri
+      (fun i p ->
+        Printf.printf "%-6s %s\n" (if List.mem i matched then "MATCH" else "-") p)
+      patterns;
+    `Ok ()
   in
   let patterns_arg =
     Arg.(non_empty & pos_all string [] & info [] ~docv:"PATTERN" ~doc:"Forward path patterns, e.g. //a/b.")
@@ -220,67 +220,143 @@ let filter_cmd =
     Term.(
       ret
         (const run $ patterns_arg $ xml_file_arg $ xml_arg $ random_arg $ xmark_arg
-       $ seed_arg $ trace_arg $ stats_json_arg))
+       $ common_term))
+
+let serve_cmd =
+  let run xml_file xml random xmark requests concurrency shapes cache_size ttl
+      deadline_ms batch stream_prefilter workload common =
+    handle_errors @@ fun () ->
+    let kind =
+      match Serve.Workload.kind_of_string workload with
+      | Ok k -> k
+      | Error m -> failwith m
+    in
+    let doc, stats =
+      observe common (fun () ->
+          let doc =
+            Obs.Span.with_ "load-document" (fun () ->
+                load_document ~xml_file ~xml ~random ~xmark ~seed:common.seed)
+          in
+          let rng = Random.State.make [| common.seed; 0xda7a |] in
+          let shapes = Serve.Workload.shapes ~rng ~count:shapes in
+          let reqs =
+            Serve.Workload.requests ~rng ~shapes:(Array.length shapes)
+              ~count:requests kind
+          in
+          let cache =
+            if cache_size > 0 then
+              Some (Serve.Plan_cache.create ~capacity:cache_size ?ttl ())
+            else None
+          in
+          let cfg =
+            Serve.Server.config ?cache ~concurrency ~share:batch
+              ~stream_prefilter
+              ?deadline:(Option.map (fun ms -> ms /. 1000.0) deadline_ms)
+              ()
+          in
+          (doc, Serve.Server.run cfg doc shapes reqs))
+    in
+    Printf.printf "document:    %d nodes, depth %d\n" (Tree.size doc)
+      (Tree.height doc);
+    print_string (Serve.Server.to_text stats);
+    if stats.Serve.Server.errors > 0 then
+      `Error (false, Printf.sprintf "%d requests failed" stats.Serve.Server.errors)
+    else `Ok ()
+  in
+  let requests_arg =
+    Arg.(value & opt int 1000 & info [ "requests" ] ~docv:"N" ~doc:"Number of requests to serve.")
+  in
+  let concurrency_arg =
+    Arg.(value & opt int 1 & info [ "concurrency" ] ~docv:"N" ~doc:"Requests admitted (in flight) together.")
+  in
+  let shapes_arg =
+    Arg.(value & opt int 100 & info [ "shapes" ] ~docv:"N" ~doc:"Distinct query shapes in the workload.")
+  in
+  let cache_size_arg =
+    Arg.(value & opt int 128 & info [ "cache-size" ] ~docv:"N" ~doc:"Plan-cache capacity; 0 disables caching.")
+  in
+  let ttl_arg =
+    Arg.(value & opt (some float) None & info [ "ttl" ] ~docv:"SECONDS" ~doc:"Plan-cache entry time-to-live.")
+  in
+  let deadline_arg =
+    Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Per-request deadline; enables admission control (reject \"degraded: naive bound exceeded\") and open-loop shedding.")
+  in
+  let batch_arg =
+    Arg.(value & flag & info [ "batch" ] ~doc:"Share work across in-flight requests (plan dedup, grouped label seed scans).")
+  in
+  let stream_prefilter_arg =
+    Arg.(value & flag & info [ "stream-prefilter" ] ~doc:"With --batch: decide the streamable queries of each in-flight group in one SAX pass, short-circuiting non-matching ones to empty answers (pays off when evaluations are expensive or answers are discarded).")
+  in
+  let workload_arg =
+    Arg.(value & opt string "closed" & info [ "workload" ] ~docv:"KIND" ~doc:"\"closed\" (next request after the previous answer) or \"open:<rate>\" (fixed arrival rate in requests/s).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve a query workload against one document through the plan cache and batch executor")
+    Term.(
+      ret
+        (const run $ xml_file_arg $ xml_arg $ random_arg $ xmark_arg
+       $ requests_arg $ concurrency_arg $ shapes_arg $ cache_size_arg
+       $ ttl_arg $ deadline_arg $ batch_arg $ stream_prefilter_arg
+       $ workload_arg $ common_term))
 
 let check_cmd =
-  let run seed cases from max_nodes oracle_names list_oracles inject
-      failures_out trace stats_json =
-    try
-      if list_oracles then begin
-        List.iter
-          (fun (o : Check.Oracles.t) ->
-            Printf.printf "%-18s %s\n" o.name o.theorem)
-          Check.Oracles.all;
-        `Ok ()
-      end
-      else begin
-        let named =
-          match oracle_names with
-          | [] -> Check.Oracles.all
-          | names ->
-            List.map
-              (fun n ->
-                match Check.Oracles.find n with
-                | Some o -> o
-                | None when n = Check.Fault.oracle.Check.Oracles.name ->
-                  Check.Fault.oracle
-                | None when n = Check.Fault.control.Check.Oracles.name ->
-                  Check.Fault.control
-                | None ->
-                  failwith
-                    (Printf.sprintf "unknown oracle %s (try --list-oracles)" n))
-              names
-        in
-        let oracles = if inject then named @ [ Check.Fault.oracle ] else named in
-        let cfg =
-          {
-            Check.Runner.default with
-            seed;
-            cases;
-            from;
-            max_nodes;
-            oracles;
-          }
-        in
-        let stats = observe ~trace ~stats_json (fun () -> Check.Runner.run cfg) in
-        print_string (Check.Runner.to_text stats);
-        (match failures_out with
-        | None -> ()
-        | Some path ->
-          let oc = open_out path in
-          Fun.protect
-            ~finally:(fun () -> close_out_noerr oc)
-            (fun () ->
-              List.iter
-                (fun (d : Check.Runner.discrepancy) ->
-                  Printf.fprintf oc
-                    "treequery check --seed %d --from %d --cases 1 --oracles %s\n"
-                    d.seed d.case_index d.oracle_name)
-                stats.Check.Runner.discrepancies));
-        if Check.Runner.discrepancy_count stats = 0 then `Ok ()
-        else `Error (false, "differential check found discrepancies")
-      end
-    with Failure m | Invalid_argument m | Sys_error m -> `Error (false, m)
+  let run cases from max_nodes oracle_names list_oracles inject failures_out common =
+    handle_errors @@ fun () ->
+    if list_oracles then begin
+      List.iter
+        (fun (o : Check.Oracles.t) ->
+          Printf.printf "%-18s %s\n" o.name o.theorem)
+        Check.Oracles.all;
+      `Ok ()
+    end
+    else begin
+      let named =
+        match oracle_names with
+        | [] -> Check.Oracles.all
+        | names ->
+          List.map
+            (fun n ->
+              match Check.Oracles.find n with
+              | Some o -> o
+              | None when n = Check.Fault.oracle.Check.Oracles.name ->
+                Check.Fault.oracle
+              | None when n = Check.Fault.control.Check.Oracles.name ->
+                Check.Fault.control
+              | None ->
+                failwith
+                  (Printf.sprintf "unknown oracle %s (try --list-oracles)" n))
+            names
+      in
+      let oracles = if inject then named @ [ Check.Fault.oracle ] else named in
+      let cfg =
+        {
+          Check.Runner.default with
+          seed = common.seed;
+          cases;
+          from;
+          max_nodes;
+          oracles;
+        }
+      in
+      let stats = observe common (fun () -> Check.Runner.run cfg) in
+      print_string (Check.Runner.to_text stats);
+      (match failures_out with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            List.iter
+              (fun (d : Check.Runner.discrepancy) ->
+                Printf.fprintf oc
+                  "treequery check --seed %d --from %d --cases 1 --oracles %s\n"
+                  d.seed d.case_index d.oracle_name)
+              stats.Check.Runner.discrepancies));
+      if Check.Runner.discrepancy_count stats = 0 then `Ok ()
+      else `Error (false, "differential check found discrepancies")
+    end
   in
   let cases_arg =
     Arg.(value & opt int 200 & info [ "cases" ] ~docv:"N" ~doc:"Number of case indices to run per oracle.")
@@ -308,25 +384,26 @@ let check_cmd =
        ~doc:"Cross-check every engine against its independent twin on random cases")
     Term.(
       ret
-        (const run $ seed_arg $ cases_arg $ from_arg $ max_nodes_arg
-       $ oracles_arg $ list_arg $ inject_arg $ failures_out_arg $ trace_arg
-       $ stats_json_arg))
+        (const run $ cases_arg $ from_arg $ max_nodes_arg $ oracles_arg
+       $ list_arg $ inject_arg $ failures_out_arg $ common_term))
 
 let generate_cmd =
-  let run random xmark seed =
-    try
-      let doc = load_document ~xml_file:None ~xml:None ~random ~xmark ~seed in
-      print_endline (Treekit.Xml.to_string doc);
-      `Ok ()
-    with Failure m | Invalid_argument m | Sys_error m -> `Error (false, m)
+  let run random xmark common =
+    handle_errors @@ fun () ->
+    let doc =
+      load_document ~xml_file:None ~xml:None ~random ~xmark ~seed:common.seed
+    in
+    print_endline (Treekit.Xml.to_string doc);
+    `Ok ()
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Emit a synthetic XML document")
-    Term.(ret (const run $ random_arg $ xmark_arg $ seed_arg))
+    Term.(ret (const run $ random_arg $ xmark_arg $ common_term))
 
 let () =
   let doc = "process queries on tree-structured data efficiently" in
   let info = Cmd.info "treequery" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ eval_cmd; explain_cmd; filter_cmd; generate_cmd; check_cmd ]))
+       (Cmd.group info
+          [ eval_cmd; explain_cmd; filter_cmd; serve_cmd; generate_cmd; check_cmd ]))

@@ -462,6 +462,57 @@ let law_setops =
     run = setops_run;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Serving layer                                                       *)
+
+(* one cache shared across cases, so later cases genuinely exercise the
+   hit path (the per-case second lookup is a guaranteed hit either way) *)
+let plan_cache =
+  let cache = lazy (Serve.Plan_cache.create ~capacity:64 ()) in
+  {
+    name = "plan-cache";
+    theorem = "serving layer: cached prepared plan = cold evaluation";
+    cap_nodes = 16;
+    gen =
+      (fun cfg rng ->
+        if Random.State.bool rng then Gen.xpath cfg rng
+        else Gen.cq_arbitrary cfg rng);
+    run =
+      (fun c ->
+        let query =
+          match c.Case.query with
+          | Case.Xpath p -> Some (Treequery.Engine.Xpath_query p)
+          | Case.Cq q -> Some (Treequery.Engine.Cq_query q)
+          | _ -> None
+        in
+        match query with
+        | None -> wrong_query "plan-cache" c
+        | Some q -> (
+          let cache = Lazy.force cache in
+          let cold = Treequery.Engine.eval q c.tree in
+          let _, p1 = Serve.Plan_cache.find cache q in
+          let _, p2 = Serve.Plan_cache.find cache q in
+          match
+            sets_equal "cold vs first lookup" cold
+              (p1.Treequery.Engine.exec c.tree)
+          with
+          | Pass -> (
+            match
+              sets_equal "cold vs cached hit" cold
+                (p2.Treequery.Engine.exec c.tree)
+            with
+            | Pass ->
+              let b_cold = Treequery.Engine.eval_boolean q c.tree in
+              let b_cached = p2.Treequery.Engine.exec_boolean c.tree in
+              if b_cold = b_cached then Pass
+              else
+                Fail
+                  (Printf.sprintf "boolean: cold %b vs cached %b" b_cold
+                     b_cached)
+            | v -> v)
+          | v -> v));
+  }
+
 let all =
   [
     xpath_spec;
@@ -477,6 +528,7 @@ let all =
     law_axis;
     law_order;
     law_setops;
+    plan_cache;
   ]
 
 let find name = List.find_opt (fun o -> o.name = name) all

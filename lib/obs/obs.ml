@@ -20,6 +20,8 @@ let clock : (unit -> float) ref = ref Sys.time
 
 let set_clock f = clock := f
 
+let now () = !clock ()
+
 (* ------------------------------------------------------------------ *)
 
 module Counter = struct
@@ -52,6 +54,116 @@ module Counter = struct
   let snapshot () =
     !registry
     |> List.filter_map (fun c -> if c.value <> 0 then Some (c.name, c.value) else None)
+    |> List.sort compare
+end
+
+(* ------------------------------------------------------------------ *)
+
+type histogram_summary = {
+  count : int;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p95 : float;
+  p99 : float;
+  max : float;
+}
+
+(* Log-bucketed histograms: bucket i covers [base·ratio^i, base·ratio^(i+1))
+   with base = 1 µs and ratio = √2, so 56 buckets span 1 µs to ~4.5 min.
+   A quantile is reported as the geometric midpoint of its bucket, giving
+   a bounded relative error of ratio^½ ≈ 19%.  Deliberately NOT gated on
+   the [on] flag (see the .mli). *)
+module Histogram = struct
+  let nbuckets = 56
+
+  let base = 1e-6
+
+  let log_ratio = 0.5 *. log 2.0 (* log √2 *)
+
+  type t = {
+    hist_name : string;
+    buckets : int array;
+    mutable count : int;
+    mutable sum : float;
+    mutable max : float;
+  }
+
+  let registry : t list ref = ref []
+
+  let make name =
+    match List.find_opt (fun h -> h.hist_name = name) !registry with
+    | Some h -> h
+    | None ->
+      let h =
+        { hist_name = name; buckets = Array.make nbuckets 0; count = 0; sum = 0.0; max = 0.0 }
+      in
+      registry := h :: !registry;
+      h
+
+  let bucket_of v =
+    if v <= base then 0
+    else min (nbuckets - 1) (int_of_float (log (v /. base) /. log_ratio))
+
+  let observe h v =
+    let v = Float.max 0.0 v in
+    h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v;
+    if v > h.max then h.max <- v
+
+  let count h = h.count
+
+  let mean h = if h.count = 0 then 0.0 else h.sum /. float_of_int h.count
+
+  let max_value h = h.max
+
+  (* midpoint of bucket i in log space; bucket 0 also holds sub-µs samples,
+     so report its lower edge *)
+  let bucket_value i =
+    if i = 0 then base else base *. exp ((float_of_int i +. 0.5) *. log_ratio)
+
+  let percentile h q =
+    if h.count = 0 then 0.0
+    else begin
+      let target =
+        let t = int_of_float (ceil (q *. float_of_int h.count)) in
+        max 1 (min h.count t)
+      in
+      let rec go i cum =
+        if i >= nbuckets then h.max
+        else
+          let cum = cum + h.buckets.(i) in
+          if cum >= target then Float.min (bucket_value i) h.max else go (i + 1) cum
+      in
+      go 0 0
+    end
+
+  let summary h =
+    {
+      count = h.count;
+      mean = mean h;
+      p50 = percentile h 0.50;
+      p90 = percentile h 0.90;
+      p95 = percentile h 0.95;
+      p99 = percentile h 0.99;
+      max = h.max;
+    }
+
+  let name h = h.hist_name
+
+  let clear h =
+    Array.fill h.buckets 0 nbuckets 0;
+    h.count <- 0;
+    h.sum <- 0.0;
+    h.max <- 0.0
+
+  let reset_all () = List.iter clear !registry
+
+  let snapshot () =
+    !registry
+    |> List.filter_map (fun h ->
+           if h.count > 0 then Some (h.hist_name, summary h) else None)
     |> List.sort compare
 end
 
@@ -97,6 +209,7 @@ end
 
 let reset () =
   Counter.reset_all ();
+  Histogram.reset_all ();
   Span.reset ()
 
 let with_enabled b f =
@@ -326,11 +439,15 @@ end
 module Report = struct
   type span = { name : string; duration : float; children : span list }
 
-  type t = { spans : span list; counters : (string * int) list }
+  type t = {
+    spans : span list;
+    counters : (string * int) list;
+    histograms : (string * histogram_summary) list;
+  }
 
-  let empty = { spans = []; counters = [] }
+  let empty = { spans = []; counters = []; histograms = [] }
 
-  let is_empty r = r.spans = [] && r.counters = []
+  let is_empty r = r.spans = [] && r.counters = [] && r.histograms = []
 
   let rec freeze (node : Span.node) =
     {
@@ -340,7 +457,11 @@ module Report = struct
     }
 
   let capture () =
-    { spans = List.rev_map freeze !Span.roots; counters = Counter.snapshot () }
+    {
+      spans = List.rev_map freeze !Span.roots;
+      counters = Counter.snapshot ();
+      histograms = Histogram.snapshot ();
+    }
 
   (* ---- text ---- *)
 
@@ -359,6 +480,17 @@ module Report = struct
         (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "  %-30s %d\n" name v))
         r.counters
     end;
+    if r.histograms <> [] then begin
+      Buffer.add_string buf "histograms:\n";
+      List.iter
+        (fun (name, h) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  %-30s n=%d p50=%.3fms p90=%.3fms p95=%.3fms p99=%.3fms max=%.3fms\n"
+               name h.count (h.p50 *. 1000.0) (h.p90 *. 1000.0) (h.p95 *. 1000.0)
+               (h.p99 *. 1000.0) (h.max *. 1000.0)))
+        r.histograms
+    end;
     Buffer.contents buf
 
   (* ---- json ---- *)
@@ -371,12 +503,32 @@ module Report = struct
         ("children", Json.Arr (List.map json_of_span s.children));
       ]
 
-  let to_json_value r =
+  let json_of_histogram (h : histogram_summary) =
     Json.Obj
       [
-        ("spans", Json.Arr (List.map json_of_span r.spans));
-        ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) r.counters));
+        ("count", Json.Num (float_of_int h.count));
+        ("mean_ms", Json.Num (h.mean *. 1000.0));
+        ("p50_ms", Json.Num (h.p50 *. 1000.0));
+        ("p90_ms", Json.Num (h.p90 *. 1000.0));
+        ("p95_ms", Json.Num (h.p95 *. 1000.0));
+        ("p99_ms", Json.Num (h.p99 *. 1000.0));
+        ("max_ms", Json.Num (h.max *. 1000.0));
       ]
+
+  let to_json_value r =
+    Json.Obj
+      ([
+         ("spans", Json.Arr (List.map json_of_span r.spans));
+         ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) r.counters));
+       ]
+      @
+      (* omitted when empty, so pre-serving reports round-trip unchanged *)
+      if r.histograms = [] then []
+      else
+        [
+          ( "histograms",
+            Json.Obj (List.map (fun (k, h) -> (k, json_of_histogram h)) r.histograms) );
+        ])
 
   let to_json r = Json.to_string (to_json_value r)
 
@@ -418,7 +570,30 @@ module Report = struct
           kvs
       | _ -> raise (Malformed "report missing counters")
     in
-    { spans; counters }
+    let histogram_of_json h =
+      let num key =
+        match Json.member key h with
+        | Some (Json.Num f) -> f
+        | _ -> raise (Malformed ("histogram missing field " ^ key))
+      in
+      {
+        count = int_of_float (num "count");
+        mean = num "mean_ms" /. 1000.0;
+        p50 = num "p50_ms" /. 1000.0;
+        p90 = num "p90_ms" /. 1000.0;
+        p95 = num "p95_ms" /. 1000.0;
+        p99 = num "p99_ms" /. 1000.0;
+        max = num "max_ms" /. 1000.0;
+      }
+    in
+    let histograms =
+      (* absent in reports written before the serving layer existed *)
+      match Json.member "histograms" j with
+      | None -> []
+      | Some (Json.Obj kvs) -> List.map (fun (k, v) -> (k, histogram_of_json v)) kvs
+      | Some _ -> raise (Malformed "report histograms")
+    in
+    { spans; counters; histograms }
 
   let of_json s =
     match Json.of_string s with

@@ -32,8 +32,14 @@ val set_clock : (unit -> float) -> unit
     [Sys.time]; executables that link unix should install a wall/monotonic
     clock such as [Unix.gettimeofday] at startup. *)
 
+val now : unit -> float
+(** The current reading of the installed clock, so other subsystems (the
+    serving layer's cache TTLs and latency measurements) share the same
+    time source as span durations. *)
+
 val reset : unit -> unit
-(** Zero every counter and discard all recorded spans. *)
+(** Zero every counter, clear every histogram and discard all recorded
+    spans. *)
 
 module Counter : sig
   type t
@@ -59,6 +65,61 @@ module Counter : sig
 
   val snapshot : unit -> (string * int) list
   (** The nonzero counters, sorted by name. *)
+end
+
+type histogram_summary = {
+  count : int;
+  mean : float;  (** seconds *)
+  p50 : float;
+  p90 : float;
+  p95 : float;
+  p99 : float;
+  max : float;
+}
+(** Quantile digest of a histogram.  Quantiles are approximate (resolved
+    to the log-bucket the sample fell in); [max] is exact. *)
+
+(** Log-bucketed value histograms, sized for request latencies: buckets
+    grow geometrically (ratio √2) from 1 µs, so the whole range 1 µs – 4 min
+    fits in 56 buckets with ≤ ~19% quantile error.
+
+    Unlike counters and spans, histograms are {e not} gated by the enabled
+    flag: they are explicit driver-level instruments (the serving layer's
+    per-request latency), created and fed deliberately, not inline probes
+    sprinkled through the hot paths — and their summaries must be
+    available for the driver's plain-text report even when tracing is
+    off. *)
+module Histogram : sig
+  type t
+
+  val make : string -> t
+  (** Create (or look up — names are deduplicated) a registered
+      histogram. *)
+
+  val observe : t -> float -> unit
+  (** Record one sample (seconds; negative samples are clamped to 0). *)
+
+  val count : t -> int
+
+  val percentile : t -> float -> float
+  (** [percentile h q] for [q ∈ \[0, 1\]]; 0 when empty. *)
+
+  val mean : t -> float
+
+  val max_value : t -> float
+
+  val summary : t -> histogram_summary
+
+  val name : t -> string
+
+  val clear : t -> unit
+  (** Zero this histogram only (e.g. between serving runs in one
+      process). *)
+
+  val reset_all : unit -> unit
+
+  val snapshot : unit -> (string * histogram_summary) list
+  (** The nonempty histograms, sorted by name. *)
 end
 
 module Span : sig
@@ -93,20 +154,25 @@ end
 module Report : sig
   type span = { name : string; duration : float; children : span list }
 
-  type t = { spans : span list; counters : (string * int) list }
+  type t = {
+    spans : span list;
+    counters : (string * int) list;
+    histograms : (string * histogram_summary) list;
+  }
 
   val empty : t
 
   val is_empty : t -> bool
 
   val capture : unit -> t
-  (** Snapshot the completed spans and nonzero counters recorded since the
-      last {!reset}.  With observability disabled throughout, the result
-      is {!empty}. *)
+  (** Snapshot the completed spans, nonzero counters and nonempty
+      histograms recorded since the last {!reset}.  With observability
+      disabled throughout (and no histogram fed), the result is
+      {!empty}. *)
 
   val to_text : t -> string
   (** Indented span tree with millisecond durations, then a counter
-      table. *)
+      table, then histogram quantiles. *)
 
   val to_json : t -> string
 

@@ -1,0 +1,50 @@
+(** Shared-work execution of a batch of queries against one tree.
+
+    Three kinds of sharing, in pipeline order:
+
+    + {b plan dedup} — requests with the same canonical form evaluate
+      once and share the answer node-set (aliased, so treat answers as
+      read-only);
+    + {b seed-scan grouping} — the distinct labels mentioned across the
+      whole batch are materialised through {!Treekit.Tree.label_set}
+      up-front, one O(occurrences) scan per label, so every query's
+      per-label seed scan afterwards is a cache hit;
+    + {b stream prefilter} (opt-in) — when at least two distinct queries
+      fall in the streamable conjunctive forward fragment (Section 5),
+      they are all subscribed to one {!Streamq.Filter_engine} and decided
+      in a single pass over the document's event stream; the non-matching
+      ones short-circuit to the empty answer without touching the
+      evaluator (sound because
+      [Xpath_filter.matches t p ⇔ Eval.query t p ≠ ∅]).  Off by default:
+      with the output-sensitive evaluator, a per-batch O(‖A‖·Σ|Qᵢ|)
+      document pass only pays for itself when evaluations are expensive
+      (large outputs) or answers are discarded (SDI-style notification),
+      so the caller chooses.
+
+    Work done is recorded in the [serve_batch_*] / [serve_stream_pruned]
+    observability counters and under a [serve:batch] span. *)
+
+type result = {
+  answers : Treekit.Nodeset.t array;  (** per request, in input order;
+                                          duplicates alias one set *)
+  distinct : int;  (** distinct canonical forms in the batch *)
+  stream_pruned : int;  (** queries answered by the stream prefilter *)
+}
+
+val run_prepared :
+  ?stream_prefilter:bool ->
+  Treekit.Tree.t ->
+  Treequery.Engine.prepared array ->
+  result
+(** Evaluate already-prepared queries with the sharing above.
+    [stream_prefilter] defaults to [false]. *)
+
+val run :
+  ?stream_prefilter:bool ->
+  ?cache:Plan_cache.t ->
+  Treekit.Tree.t ->
+  Treequery.Engine.query array ->
+  result
+(** Convenience: look each query up in [cache] (or
+    {!Treequery.Engine.prepare} it when no cache is given), then
+    {!run_prepared}. *)

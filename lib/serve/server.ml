@@ -1,0 +1,213 @@
+module Engine = Treequery.Engine
+module Tree = Treekit.Tree
+module Nodeset = Treekit.Nodeset
+
+type config = {
+  cache : Plan_cache.t option;
+  concurrency : int;
+  share : bool;
+  stream_prefilter : bool;
+  deadline : float option;
+  ops_per_second : float;
+  clock : unit -> float;
+}
+
+let config ?cache ?(concurrency = 1) ?(share = false)
+    ?(stream_prefilter = false) ?deadline ?(ops_per_second = 5e7)
+    ?(clock = Obs.now) () =
+  if concurrency < 1 then invalid_arg "Server.config: concurrency must be >= 1";
+  { cache; concurrency; share; stream_prefilter; deadline; ops_per_second; clock }
+
+let reject_reason = "degraded: naive bound exceeded"
+
+let c_served = Obs.Counter.make "serve_requests_served"
+let c_rejected = Obs.Counter.make "serve_requests_rejected"
+let c_shed = Obs.Counter.make "serve_requests_shed"
+
+let latency_hist = Obs.Histogram.make "serve_latency"
+
+let query_size = function
+  | Engine.Xpath_query p -> Xpath.Ast.size p
+  | Engine.Cq_query q ->
+    Cqtree.Query.atom_count q + List.length (Cqtree.Query.vars q)
+  | Engine.Positive_query u ->
+    List.fold_left
+      (fun a q -> a + Cqtree.Query.atom_count q)
+      (List.length u.Cqtree.Positive.disjuncts)
+      u.Cqtree.Positive.disjuncts
+  | Engine.Datalog_query p ->
+    List.fold_left
+      (fun a r -> a + 1 + List.length r.Mdatalog.Ast.body)
+      0 p.Mdatalog.Ast.rules
+  | Engine.Axis_datalog_query p -> 1 + List.length p.Mdatalog.Axis_datalog.rules
+
+(* the paper's per-strategy operation bounds, as a scalar estimate *)
+let naive_bound (p : Engine.prepared) tree =
+  let n = float_of_int (Tree.size tree) in
+  let q = float_of_int (query_size p.Engine.source) in
+  match p.Engine.strategy with
+  | Engine.Xpath_bottom_up -> n *. q *. q (* O(n·|Q|²), Theorem 3.1 *)
+  | Engine.Cq_yannakakis | Engine.Cq_arc_consistency -> n *. q (* O(‖A‖·|Q|) *)
+  | Engine.Cq_rewrite | Engine.Positive_rewrite ->
+    (* union of up to exp(|Q|) acyclic queries, each O(‖A‖·|Q|) *)
+    n *. q *. (2.0 ** Float.min q 24.0)
+  | Engine.Datalog_hornsat | Engine.Datalog_fixpoint -> n *. q
+
+type stats = {
+  requests : int;
+  served : int;
+  rejected : int;
+  shed : int;
+  errors : int;
+  distinct_evaluated : int;
+  stream_pruned : int;
+  result_nodes : int;
+  elapsed : float;
+  throughput : float;
+  latency : Obs.histogram_summary;
+  cache : Plan_cache.stats option;
+}
+
+let run cfg tree (shapes : Workload.shape array) (reqs : Workload.request list) =
+  Obs.Span.with_ "serve" @@ fun () ->
+  Obs.Histogram.clear latency_hist;
+  let t_start = cfg.clock () in
+  let served = ref 0 and rejected = ref 0 and shed = ref 0 and errors = ref 0 in
+  let distinct = ref 0 and pruned = ref 0 and nodes = ref 0 in
+  let total = ref 0 in
+  (* virtual server time (seconds since t_start); service durations are
+     real, queueing is simulated *)
+  let vnow = ref 0.0 in
+  let rec chunks = function
+    | [] -> ()
+    | reqs ->
+      let rec take k acc = function
+        | r :: rest when k > 0 -> take (k - 1) (r :: acc) rest
+        | rest -> (List.rev acc, rest)
+      in
+      let chunk, rest = take cfg.concurrency [] reqs in
+      (* the batch is admitted when its last request has arrived *)
+      let vstart =
+        List.fold_left
+          (fun v (r : Workload.request) ->
+            match r.arrival with Some a -> Float.max v a | None -> v)
+          !vnow chunk
+      in
+      let admitted =
+        List.filter_map
+          (fun (r : Workload.request) ->
+            incr total;
+            let late =
+              match (cfg.deadline, r.arrival) with
+              | Some d, Some a -> vstart -. a > d
+              | _ -> false
+            in
+            if late then begin
+              incr shed;
+              Obs.Counter.incr c_shed;
+              None
+            end
+            else begin
+              let prepared =
+                Obs.Span.with_ "serve:plan" @@ fun () ->
+                match cfg.cache with
+                | Some c -> snd (Plan_cache.find c shapes.(r.shape).Workload.query)
+                | None -> Engine.prepare shapes.(r.shape).Workload.query
+              in
+              let over_bound =
+                match cfg.deadline with
+                | Some d -> naive_bound prepared tree > d *. cfg.ops_per_second
+                | None -> false
+              in
+              if over_bound then begin
+                incr rejected;
+                Obs.Counter.incr c_rejected;
+                None
+              end
+              else Some (r, prepared)
+            end)
+          chunk
+      in
+      (match admitted with
+      | [] -> vnow := vstart
+      | _ -> (
+        let plans = Array.of_list (List.map snd admitted) in
+        let execute () =
+          if cfg.share then
+            Batch.run_prepared ~stream_prefilter:cfg.stream_prefilter tree plans
+          else
+            {
+              Batch.answers =
+                Array.map (fun (p : Engine.prepared) -> p.Engine.exec tree) plans;
+              distinct = Array.length plans;
+              stream_pruned = 0;
+            }
+        in
+        let t0 = cfg.clock () in
+        match execute () with
+        | exception _ ->
+          errors := !errors + List.length admitted;
+          vnow := vstart +. (cfg.clock () -. t0)
+        | result ->
+          let dt = cfg.clock () -. t0 in
+          let vdone = vstart +. dt in
+          vnow := vdone;
+          distinct := !distinct + result.Batch.distinct;
+          pruned := !pruned + result.Batch.stream_pruned;
+          List.iteri
+            (fun i ((r : Workload.request), _) ->
+              incr served;
+              Obs.Counter.incr c_served;
+              nodes := !nodes + Nodeset.cardinal result.Batch.answers.(i);
+              let latency =
+                match r.arrival with
+                | Some a -> vdone -. a (* queueing + service *)
+                | None -> dt
+              in
+              Obs.Histogram.observe latency_hist latency)
+            admitted));
+      chunks rest
+  in
+  chunks reqs;
+  let elapsed = cfg.clock () -. t_start in
+  {
+    requests = !total;
+    served = !served;
+    rejected = !rejected;
+    shed = !shed;
+    errors = !errors;
+    distinct_evaluated = !distinct;
+    stream_pruned = !pruned;
+    result_nodes = !nodes;
+    elapsed;
+    throughput = (if elapsed > 0.0 then float_of_int !served /. elapsed else 0.0);
+    latency = Obs.Histogram.summary latency_hist;
+    cache = Option.map Plan_cache.stats cfg.cache;
+  }
+
+let to_text s =
+  let buf = Buffer.create 512 in
+  let pr fmt = Printf.bprintf buf fmt in
+  pr "requests:    %d\n" s.requests;
+  pr "served:      %d\n" s.served;
+  if s.rejected > 0 || s.shed > 0 || s.errors > 0 then begin
+    pr "rejected:    %d (%s)\n" s.rejected reject_reason;
+    pr "shed:        %d (deadline passed before admission)\n" s.shed;
+    pr "errors:      %d\n" s.errors
+  end;
+  pr "evaluated:   %d distinct plans (%d stream-pruned)\n" s.distinct_evaluated
+    s.stream_pruned;
+  pr "answers:     %d result nodes\n" s.result_nodes;
+  pr "elapsed:     %.3f s  (%.0f req/s)\n" s.elapsed s.throughput;
+  let l = s.latency in
+  if l.Obs.count > 0 then
+    pr "latency:     p50 %.3f ms  p95 %.3f ms  p99 %.3f ms  max %.3f ms\n"
+      (1e3 *. l.Obs.p50) (1e3 *. l.Obs.p95) (1e3 *. l.Obs.p99)
+      (1e3 *. l.Obs.max);
+  (match s.cache with
+  | None -> ()
+  | Some c ->
+    pr "plan cache:  %d hits, %d misses, %d evictions (%d/%d entries)\n"
+      c.Plan_cache.hits c.Plan_cache.misses c.Plan_cache.evictions
+      c.Plan_cache.size c.Plan_cache.capacity);
+  Buffer.contents buf

@@ -1,0 +1,85 @@
+(** The serving loop: admission control, deadlines, batching and latency
+    accounting over one tree.
+
+    Requests are processed in admission order, [batch] at a time, through
+    {!Batch.run_prepared}; plans come from the {!Plan_cache} when one is
+    configured.  Time is discrete-event simulated: service durations are
+    measured with the real [clock], queueing is virtual, so an open-loop
+    workload whose arrival rate exceeds the service rate builds queueing
+    delay (and sheds requests whose deadline passed before admission)
+    without the driver ever sleeping.
+
+    Admission control is the paper's complexity map used as a gatekeeper:
+    each prepared query carries a strategy, the strategy a naive operation
+    bound (e.g. O(n·|Q|²) for bottom-up Core XPath, exponential in |Q| for
+    the rewrite strategy); a request whose bound exceeds what the deadline
+    affords at [ops_per_second] is rejected up-front with
+    ["degraded: naive bound exceeded"] rather than allowed to blow the
+    deadline for everyone queued behind it. *)
+
+type config = {
+  cache : Plan_cache.t option;
+  concurrency : int;  (** requests admitted (in flight) together; ≥ 1 *)
+  share : bool;
+      (** batch mode: run each in-flight group through
+          {!Batch.run_prepared} (plan dedup, grouped seed scans) instead
+          of one evaluation per request *)
+  stream_prefilter : bool;
+      (** with [share]: also decide the group's streamable queries in one
+          SAX pass (see {!Batch.run_prepared}) *)
+  deadline : float option;  (** per-request seconds, for shed + reject *)
+  ops_per_second : float;
+      (** calibration for the admission bound (elementary operations the
+          evaluator is assumed to sustain per second) *)
+  clock : unit -> float;
+}
+
+val config :
+  ?cache:Plan_cache.t ->
+  ?concurrency:int ->
+  ?share:bool ->
+  ?stream_prefilter:bool ->
+  ?deadline:float ->
+  ?ops_per_second:float ->
+  ?clock:(unit -> float) ->
+  unit ->
+  config
+(** Defaults: no cache, [concurrency = 1], [share = false],
+    [stream_prefilter = false], no deadline, [ops_per_second = 5e7],
+    [clock = Obs.now]. *)
+
+val reject_reason : string
+(** ["degraded: naive bound exceeded"] — the message attached to
+    admission-control rejections. *)
+
+val naive_bound : Treequery.Engine.prepared -> Treekit.Tree.t -> float
+(** Elementary-operation estimate of running this plan on this tree,
+    from the paper's per-strategy bounds. *)
+
+type stats = {
+  requests : int;
+  served : int;
+  rejected : int;  (** admission control: {!reject_reason} *)
+  shed : int;  (** open loop: deadline already passed at admission *)
+  errors : int;
+  distinct_evaluated : int;  (** evaluations after batch dedup *)
+  stream_pruned : int;
+  result_nodes : int;  (** Σ answer cardinalities over served requests *)
+  elapsed : float;  (** wall seconds for the whole run *)
+  throughput : float;  (** served / elapsed *)
+  latency : Obs.histogram_summary;  (** queueing + service per request *)
+  cache : Plan_cache.stats option;
+}
+
+val run :
+  config ->
+  Treekit.Tree.t ->
+  Workload.shape array ->
+  Workload.request list ->
+  stats
+(** Serve the requests; the run is wrapped in a [serve] span with
+    per-phase child spans ([serve:plan], [serve:batch], …) and feeds the
+    [serve_latency] histogram (cleared at the start of each run). *)
+
+val to_text : stats -> string
+(** Multi-line human-readable summary with latency quantiles. *)

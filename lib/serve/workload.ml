@@ -1,0 +1,96 @@
+module Engine = Treequery.Engine
+
+type shape = { source : string; query : Engine.query }
+
+(* labels the XMark-flavoured generator actually emits, so shapes hit
+   nonempty label relations on generated trees *)
+let vocab =
+  [|
+    "site"; "regions"; "item"; "name"; "description"; "mailbox"; "mail";
+    "date"; "people"; "person"; "address"; "city"; "country";
+    "open_auctions"; "open_auction"; "bidder"; "increase";
+    "closed_auctions"; "closed_auction"; "price"; "seller"; "buyer";
+    "annotation"; "itemref"; "personref"; "author"; "category"; "location";
+  |]
+
+let pick rng a = a.(Random.State.int rng (Array.length a))
+
+let gen_xpath rng =
+  let buf = Buffer.create 48 in
+  let steps = 1 + Random.State.int rng 3 in
+  for _ = 1 to steps do
+    Buffer.add_string buf (if Random.State.bool rng then "//" else "/");
+    Buffer.add_string buf (pick rng vocab);
+    if Random.State.int rng 3 = 0 then
+      match Random.State.int rng 3 with
+      | 0 -> Printf.bprintf buf "[%s]" (pick rng vocab)
+      | 1 -> Printf.bprintf buf "[%s//%s]" (pick rng vocab) (pick rng vocab)
+      | _ -> Printf.bprintf buf "[%s/%s]" (pick rng vocab) (pick rng vocab)
+  done;
+  Buffer.contents buf
+
+let cq_axes = [| "child"; "descendant"; "following" |]
+
+let gen_cq rng =
+  let buf = Buffer.create 64 in
+  let n = 2 + Random.State.int rng 2 in
+  Printf.bprintf buf "q(X0) :- lab(X0, \"%s\")" (pick rng vocab);
+  for i = 1 to n - 1 do
+    Printf.bprintf buf ", %s(X%d, X%d), lab(X%d, \"%s\")" (pick rng cq_axes)
+      (i - 1) i i (pick rng vocab)
+  done;
+  Buffer.contents buf
+
+let gen_shape rng =
+  (* 4/5 XPath, 1/5 conjunctive *)
+  if Random.State.int rng 5 < 4 then
+    let s = gen_xpath rng in
+    { source = s; query = Engine.parse_xpath s }
+  else
+    let s = gen_cq rng in
+    { source = s; query = Engine.parse_cq s }
+
+let shapes ~rng ~count =
+  let seen = Hashtbl.create (2 * count) in
+  let out = ref [] in
+  let found = ref 0 in
+  let attempts = ref 0 in
+  while !found < count do
+    incr attempts;
+    if !attempts > 200 * count then
+      failwith
+        (Printf.sprintf "Workload.shapes: only %d distinct shapes after %d attempts"
+           !found !attempts);
+    let s = gen_shape rng in
+    let canon = Engine.canonical s.query in
+    if not (Hashtbl.mem seen canon) then begin
+      Hashtbl.add seen canon ();
+      out := s :: !out;
+      incr found
+    end
+  done;
+  Array.of_list (List.rev !out)
+
+type request = { id : int; shape : int; arrival : float option }
+
+type kind = Closed_loop | Open_loop of { rate : float }
+
+let kind_of_string s =
+  match String.lowercase_ascii s with
+  | "closed" -> Ok Closed_loop
+  | s when String.length s > 5 && String.sub s 0 5 = "open:" -> (
+    match float_of_string_opt (String.sub s 5 (String.length s - 5)) with
+    | Some rate when rate > 0.0 -> Ok (Open_loop { rate })
+    | _ -> Error "open-loop rate must be a positive number, e.g. open:500")
+  | _ -> Error "workload must be \"closed\" or \"open:<rate>\""
+
+let requests ~rng ~shapes ~count kind =
+  List.init count (fun i ->
+      {
+        id = i;
+        shape = Random.State.int rng shapes;
+        arrival =
+          (match kind with
+          | Closed_loop -> None
+          | Open_loop { rate } -> Some (float_of_int i /. rate));
+      })

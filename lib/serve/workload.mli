@@ -1,0 +1,42 @@
+(** Workload generation for the serving driver: query shapes over the
+    XMark-flavoured vocabulary of {!Treekit.Generator}, and open- or
+    closed-loop request streams over them.
+
+    Everything is driven by an explicit [Random.State.t] so a (seed,
+    shape-count, request-count) triple names the workload exactly —
+    replayable across runs and in CI. *)
+
+type shape = {
+  source : string;  (** concrete syntax, re-parseable *)
+  query : Treequery.Engine.query;
+}
+
+val shapes : rng:Random.State.t -> count:int -> shape array
+(** [count] query shapes with pairwise-distinct canonical forms: a mix of
+    Core XPath path expressions (child/descendant chains with qualifiers,
+    some streamable) and conjunctive queries (chains over
+    child/descendant/following — the [following] ones exercise the
+    rewrite strategy, whose plan is the expensive one to cache).
+    @raise Failure if the vocabulary cannot yield [count] distinct
+    shapes. *)
+
+type request = {
+  id : int;
+  shape : int;  (** index into the shape array *)
+  arrival : float option;
+      (** [Some t]: open loop, arrives [t] seconds after the run starts,
+          whether or not the server is ready.  [None]: closed loop, the
+          client issues it when the server finishes the previous one. *)
+}
+
+type kind =
+  | Closed_loop
+  | Open_loop of { rate : float }  (** arrivals at [rate] requests/s *)
+
+val kind_of_string : string -> (kind, string) result
+(** ["closed"] or ["open:<rate>"] (e.g. ["open:500"]). *)
+
+val requests :
+  rng:Random.State.t -> shapes:int -> count:int -> kind -> request list
+(** [count] requests with uniformly drawn shape indices, in arrival
+    order. *)

@@ -42,7 +42,128 @@ let plan = function
     else if Actree.Xeval.supported q <> None then Cq_arc_consistency
     else Cq_rewrite
 
-let explain ?observed query =
+(* ------------------------------------------------------------------ *)
+(* Canonical forms and fingerprints (the plan-cache key).               *)
+
+(* Re-associate the Seq/Union spines to the right and canonicalize
+   qualifiers, so `(a/b)/c` and `a/(b/c)` — same query, different parse
+   trees — print identically.  Top-level `and`s inside a qualifier are
+   folded into the step's qualifier list (`a[p and q]` ≡ `a[p][q]`). *)
+let rec canon_path = function
+  | Xpath.Ast.Step s -> Xpath.Ast.Step (canon_step s)
+  | Xpath.Ast.Seq (a, b) -> seq_right (canon_path a) (canon_path b)
+  | Xpath.Ast.Union (a, b) -> union_right (canon_path a) (canon_path b)
+
+and seq_right a b =
+  match a with
+  | Xpath.Ast.Seq (x, y) -> Xpath.Ast.Seq (x, seq_right y b)
+  | _ -> Xpath.Ast.Seq (a, b)
+
+and union_right a b =
+  match a with
+  | Xpath.Ast.Union (x, y) -> Xpath.Ast.Union (x, union_right y b)
+  | _ -> Xpath.Ast.Union (a, b)
+
+and canon_step { Xpath.Ast.axis; quals } =
+  { Xpath.Ast.axis; quals = List.concat_map flatten_and (List.map canon_qual quals) }
+
+and flatten_and = function
+  | Xpath.Ast.And (a, b) -> flatten_and a @ flatten_and b
+  | q -> [ q ]
+
+and canon_qual = function
+  | Xpath.Ast.Exists p -> Xpath.Ast.Exists (canon_path p)
+  | Xpath.Ast.Lab l -> Xpath.Ast.Lab l
+  | Xpath.Ast.And (a, b) -> and_right (canon_qual a) (canon_qual b)
+  | Xpath.Ast.Or (a, b) -> or_right (canon_qual a) (canon_qual b)
+  | Xpath.Ast.Not q -> Xpath.Ast.Not (canon_qual q)
+
+and and_right a b =
+  match a with
+  | Xpath.Ast.And (x, y) -> Xpath.Ast.And (x, and_right y b)
+  | _ -> Xpath.Ast.And (a, b)
+
+and or_right a b =
+  match a with
+  | Xpath.Ast.Or (x, y) -> Xpath.Ast.Or (x, or_right y b)
+  | _ -> Xpath.Ast.Or (a, b)
+
+(* alpha-rename to v0, v1, … in order of first appearance (head first) *)
+let canon_cq q =
+  let map =
+    List.mapi (fun i v -> (v, "v" ^ string_of_int i)) (Cqtree.Query.vars q)
+  in
+  Cqtree.Query.rename (fun v -> List.assoc v map) q
+
+(* per-rule alpha-renaming for monadic datalog over tau+ *)
+let canon_datalog_rule (r : Mdatalog.Ast.rule) =
+  let map = ref [] in
+  let fresh v =
+    match List.assoc_opt v !map with
+    | Some v' -> v'
+    | None ->
+      let v' = "v" ^ string_of_int (List.length !map) in
+      map := (v, v') :: !map;
+      v'
+  in
+  let head_var = fresh r.Mdatalog.Ast.head_var in
+  let body =
+    List.map
+      (function
+        | Mdatalog.Ast.U (u, x) -> Mdatalog.Ast.U (u, fresh x)
+        | Mdatalog.Ast.B (b, x, y) ->
+          let x = fresh x in
+          Mdatalog.Ast.B (b, x, fresh y))
+      r.Mdatalog.Ast.body
+  in
+  { r with Mdatalog.Ast.head_var; body }
+
+(* an axis-datalog rule body is a CQ atom list: reuse the CQ renamer by
+   wrapping it in a throwaway query *)
+let canon_axis_rule (r : Mdatalog.Axis_datalog.rule) =
+  let q =
+    canon_cq
+      { Cqtree.Query.head = [ r.Mdatalog.Axis_datalog.head_var ];
+        atoms = r.Mdatalog.Axis_datalog.body }
+  in
+  Printf.sprintf "%s(%s)%s" r.Mdatalog.Axis_datalog.head
+    (List.hd q.Cqtree.Query.head)
+    (Cqtree.Query.to_string q)
+
+let canonical = function
+  | Xpath_query p -> "xpath|" ^ Xpath.Ast.to_string (canon_path p)
+  | Cq_query q -> "cq|" ^ Cqtree.Query.to_string (canon_cq q)
+  | Positive_query u ->
+    "positive|"
+    ^ String.concat " | "
+        (List.map
+           (fun d -> Cqtree.Query.to_string (canon_cq d))
+           u.Cqtree.Positive.disjuncts)
+  | Datalog_query p ->
+    "datalog|"
+    ^ Format.asprintf "%a" Mdatalog.Ast.pp_program
+        { p with Mdatalog.Ast.rules = List.map canon_datalog_rule p.rules }
+  | Axis_datalog_query p ->
+    "axis-datalog|"
+    ^ String.concat " "
+        (List.map canon_axis_rule p.Mdatalog.Axis_datalog.rules)
+    ^ " ?- " ^ p.Mdatalog.Axis_datalog.query
+
+(* 64-bit FNV-1a: stable across runs and word sizes, unlike Hashtbl.hash *)
+let fnv1a64 s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  !h
+
+let fingerprint q =
+  let c = canonical q in
+  let lang = String.sub c 0 (String.index c '|') in
+  Printf.sprintf "%s:%016Lx" lang (fnv1a64 c)
+
+let explain ?observed ?plan_cache query =
   let buf = Buffer.create 256 in
   let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   (match query with
@@ -101,6 +222,11 @@ let explain ?observed query =
         "exponential in |Q| to rewrite (Theorem 5.1), then O(||A|| * |Q'|) per branch"
       | Xpath_bottom_up | Datalog_hornsat | Positive_rewrite | Datalog_fixpoint ->
         assert false));
+  pr "fingerprint: %s\n" (fingerprint query);
+  (match plan_cache with
+  | None -> ()
+  | Some `Hit -> pr "plan-cache:  hit\n"
+  | Some `Miss -> pr "plan-cache:  miss\n");
   (* after a traced run, show what the strategy actually did so the
      bound above can be checked against observed work *)
   let report =
@@ -120,8 +246,8 @@ let explain ?observed query =
 let in_strategy_span query f =
   Obs.Span.with_ ("strategy:" ^ strategy_name (plan query)) f
 
-let eval_cq q tree =
-  match plan (Cq_query q) with
+let eval_cq_with strategy q tree =
+  match strategy with
   | Cq_yannakakis ->
     if Cqtree.Query.is_unary q then Cqtree.Yannakakis.unary q tree
     else
@@ -167,6 +293,8 @@ let eval_cq q tree =
   | Xpath_bottom_up | Datalog_hornsat | Positive_rewrite | Datalog_fixpoint ->
     assert false
 
+let eval_cq q tree = eval_cq_with (plan (Cq_query q)) q tree
+
 (* unwrapped body shared by [eval] and the non-CQ fall-through branches
    of [eval_boolean]/[solutions], so a run opens exactly one strategy
    span *)
@@ -190,17 +318,19 @@ let eval_inner query tree =
 
 let eval query tree = in_strategy_span query (fun () -> eval_inner query tree)
 
+let boolean_cq_with strategy q tree =
+  match strategy with
+  | Cq_yannakakis -> Cqtree.Yannakakis.boolean q tree
+  | Cq_arc_consistency -> (
+    match Actree.Xeval.boolean q tree with Some b -> b | None -> assert false)
+  | Cq_rewrite -> Cqtree.Rewrite.boolean q tree
+  | Xpath_bottom_up | Datalog_hornsat | Positive_rewrite | Datalog_fixpoint ->
+    assert false
+
 let eval_boolean query tree =
   in_strategy_span query @@ fun () ->
   match query with
-  | Cq_query q -> (
-    match plan query with
-    | Cq_yannakakis -> Cqtree.Yannakakis.boolean q tree
-    | Cq_arc_consistency -> (
-      match Actree.Xeval.boolean q tree with Some b -> b | None -> assert false)
-    | Cq_rewrite -> Cqtree.Rewrite.boolean q tree
-    | Xpath_bottom_up | Datalog_hornsat | Positive_rewrite | Datalog_fixpoint ->
-      assert false)
+  | Cq_query q -> boolean_cq_with (plan query) q tree
   | Positive_query u -> Cqtree.Positive.boolean u tree
   | Xpath_query _ | Datalog_query _ | Axis_datalog_query _ ->
     not (Nodeset.is_empty (eval_inner query tree))
@@ -219,3 +349,66 @@ let solutions query tree =
   | Positive_query u -> Cqtree.Positive.solutions u tree
   | Xpath_query _ | Datalog_query _ | Axis_datalog_query _ ->
     List.map (fun v -> [| v |]) (Nodeset.elements (eval_inner query tree))
+
+(* ------------------------------------------------------------------ *)
+(* Prepared plans: the planning decision — and, for the rewrite
+   strategy, the exponential-in-|Q| union of acyclic queries — is
+   computed once, so a cached plan pays only evaluation on reuse. *)
+
+type prepared = {
+  source : query;
+  strategy : strategy;
+  canon : string;
+  fp : string;
+  exec : Tree.t -> Nodeset.t;
+  exec_boolean : Tree.t -> bool;
+}
+
+let prepare query =
+  let strategy = plan query in
+  let span f tree =
+    Obs.Span.with_ ("strategy:" ^ strategy_name strategy) (fun () -> f tree)
+  in
+  let exec, exec_boolean =
+    match (query, strategy) with
+    | Cq_query q, Cq_rewrite ->
+      let { Cqtree.Rewrite.queries; _ } = Cqtree.Rewrite.rewrite q in
+      let sat tree = List.exists (fun q' -> Cqtree.Yannakakis.boolean q' tree) queries in
+      let exec tree =
+        if Cqtree.Query.is_unary q then begin
+          let out = Nodeset.create (Tree.size tree) in
+          List.iter
+            (fun q' -> Nodeset.union_into out (Cqtree.Yannakakis.unary q' tree))
+            queries;
+          out
+        end
+        else begin
+          let s = Nodeset.create (Tree.size tree) in
+          if Cqtree.Query.is_boolean q then begin
+            if sat tree then Nodeset.add s (Tree.root tree)
+          end
+          else
+            List.iter
+              (fun q' ->
+                List.iter
+                  (fun t -> Nodeset.add s t.(0))
+                  (Cqtree.Yannakakis.solutions q' tree))
+              queries;
+          s
+        end
+      in
+      (exec, sat)
+    | Cq_query q, _ -> (eval_cq_with strategy q, boolean_cq_with strategy q)
+    | Positive_query u, _ -> (eval_inner query, Cqtree.Positive.boolean u)
+    | (Xpath_query _ | Datalog_query _ | Axis_datalog_query _), _ ->
+      ( eval_inner query,
+        fun tree -> not (Nodeset.is_empty (eval_inner query tree)) )
+  in
+  {
+    source = query;
+    strategy;
+    canon = canonical query;
+    fp = fingerprint query;
+    exec = span exec;
+    exec_boolean = span exec_boolean;
+  }

@@ -57,14 +57,59 @@ val strategy_name : strategy -> string
 val plan : query -> strategy
 (** The strategy {!eval} will use. *)
 
-val explain : ?observed:Obs.Report.t -> query -> string
+(** {1 Canonical forms and fingerprints}
+
+    The serving layer's plan cache keys on a canonical query fingerprint:
+    two textual variants of the same query must collapse to one cache
+    entry, and structurally distinct queries must not collide. *)
+
+val canonical : query -> string
+(** A language-tagged canonical rendering: XPath paths have their [Seq],
+    [Union], [and]/[or] spines re-associated (so parenthesization variants
+    print identically) and top-level [and]s inside a qualifier folded into
+    the step's qualifier list; conjunctive queries (and each disjunct of a
+    positive query, and each datalog rule) are alpha-renamed to [v0, v1, …]
+    in order of first appearance.  Whitespace variants are already erased
+    by parsing.  [canonical q = canonical q'] iff the plan compiled for
+    [q] may be reused for [q']. *)
+
+val fingerprint : query -> string
+(** ["lang:%016x"] — the language tag and a 64-bit FNV-1a hash of
+    {!canonical} (stable across runs and architectures).  The plan cache
+    stores the full canonical string alongside, so a hash collision can
+    never silently serve the wrong plan; the fingerprint is the short
+    name used in [explain] output, traces and eviction bookkeeping. *)
+
+(** {1 Prepared (compiled) plans} *)
+
+type prepared = private {
+  source : query;
+  strategy : strategy;
+  canon : string;  (** {!canonical} of [source] *)
+  fp : string;  (** {!fingerprint} of [source] *)
+  exec : Treekit.Tree.t -> Treekit.Nodeset.t;
+  exec_boolean : Treekit.Tree.t -> bool;
+}
+(** A query with its planning decisions (and, for the rewrite strategy,
+    the exponential-in-|Q| union of acyclic queries) computed once, so a
+    cached plan pays only evaluation on reuse.  [exec]/[exec_boolean]
+    agree with {!eval}/{!eval_boolean} (property-tested by the
+    [plan-cache] differential oracle). *)
+
+val prepare : query -> prepared
+(** Plan and compile once.  Raises whatever {!plan} would on malformed
+    queries. *)
+
+val explain : ?observed:Obs.Report.t -> ?plan_cache:[ `Hit | `Miss ] -> query -> string
 (** A human-readable account of the plan: language, fragment properties
     (conjunctive/positive/forward, acyclicity, signature class, estimated
-    tree-width), chosen strategy, and the complexity bound the paper gives
-    for it.  If [observed] (default: the counters recorded since the last
-    [Obs.reset], i.e. of the preceding traced run) is nonempty, an
-    "observed:" section lists the counters so the bound can be compared
-    with the work actually done. *)
+    tree-width), chosen strategy, the complexity bound the paper gives
+    for it, and the query's {!fingerprint}.  [plan_cache] (supplied by the
+    serving layer) adds a "plan-cache:" line with the lookup outcome.  If
+    [observed] (default: the counters recorded since the last [Obs.reset],
+    i.e. of the preceding traced run) is nonempty, an "observed:" section
+    lists the counters so the bound can be compared with the work actually
+    done. *)
 
 val eval : query -> Treekit.Tree.t -> Treekit.Nodeset.t
 (** Unary evaluation.  A Boolean conjunctive query returns [{root}] when

@@ -22,6 +22,7 @@ let () =
       ("positive", Test_positive.suite);
       ("engine", Test_engine.suite);
       ("obs", Test_obs.suite);
+      ("serve", Test_serve.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("laws", Test_laws.suite);
       ("nodeset-edge", Test_nodeset_edge.suite);

@@ -198,6 +198,55 @@ let test_hornsat_linear_witness () =
     true
     (props > 0 && props <= Hornsat.size_of_formula f)
 
+let test_histogram_quantiles () =
+  let h = Obs.Histogram.make "test_hist_quantiles" in
+  Obs.Histogram.clear h;
+  (* 100 samples 1..100 ms: log-bucketed quantiles are approximate, but
+     must land within one bucket (ratio sqrt 2) of the true value *)
+  for i = 1 to 100 do
+    Obs.Histogram.observe h (float_of_int i /. 1000.0)
+  done;
+  Alcotest.(check int) "count" 100 (Obs.Histogram.count h);
+  let within_bucket name expected actual =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: %.4f within a bucket of %.4f" name actual expected)
+      true
+      (actual >= expected /. sqrt 2.0 && actual <= expected *. sqrt 2.0)
+  in
+  let s = Obs.Histogram.summary h in
+  within_bucket "p50" 0.050 s.Obs.p50;
+  within_bucket "p99" 0.099 s.Obs.p99;
+  Alcotest.(check (float 1e-9)) "max is exact" 0.100 s.Obs.max;
+  Alcotest.(check bool) "mean near 50.5 ms" true
+    (Float.abs (s.Obs.mean -. 0.0505) < 0.001);
+  (* quantiles are monotone *)
+  Alcotest.(check bool) "p50 <= p90 <= p95 <= p99 <= max" true
+    (s.Obs.p50 <= s.Obs.p90 && s.Obs.p90 <= s.Obs.p95 && s.Obs.p95 <= s.Obs.p99
+   && s.Obs.p99 <= s.Obs.max *. sqrt 2.0);
+  (* clear empties this histogram only *)
+  Obs.Histogram.clear h;
+  Alcotest.(check int) "cleared" 0 (Obs.Histogram.count h);
+  Alcotest.(check (float 0.0)) "empty percentile is 0" 0.0
+    (Obs.Histogram.percentile h 0.5)
+
+let test_histogram_ungated_and_registered () =
+  with_clean_obs @@ fun () ->
+  (* histograms are deliberate driver instruments: they record even with
+     tracing disabled, and make is deduplicated by name *)
+  Alcotest.(check bool) "tracing is off" false (Obs.enabled ());
+  let h = Obs.Histogram.make "test_hist_ungated" in
+  Obs.Histogram.clear h;
+  Obs.Histogram.observe h 0.002;
+  Obs.Histogram.observe h (-1.0) (* clamped to 0, still counted *);
+  Alcotest.(check int) "recorded while disabled" 2 (Obs.Histogram.count h);
+  Alcotest.(check bool) "make deduplicates" true
+    (Obs.Histogram.make "test_hist_ungated" == h);
+  Alcotest.(check bool) "snapshot lists it" true
+    (List.mem_assoc "test_hist_ungated" (Obs.Histogram.snapshot ()));
+  Obs.Histogram.clear h;
+  Alcotest.(check bool) "empty histograms drop out of the snapshot" false
+    (List.mem_assoc "test_hist_ungated" (Obs.Histogram.snapshot ()))
+
 let test_explain_appends_observed () =
   with_clean_obs @@ fun () ->
   let contains hay needle =
@@ -227,6 +276,9 @@ let suite =
     Alcotest.test_case "tracing changes no results" `Quick test_tracing_changes_no_results;
     Alcotest.test_case "yannakakis semijoin-pass bound" `Quick test_engine_semijoin_bound;
     Alcotest.test_case "hornsat propagation bound" `Quick test_hornsat_linear_witness;
+    Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
+    Alcotest.test_case "histogram ungated + registered" `Quick
+      test_histogram_ungated_and_registered;
     Alcotest.test_case "explain appends observed counters" `Quick
       test_explain_appends_observed;
   ]

@@ -1,0 +1,343 @@
+(* The serving layer:
+   - canonical fingerprints: alpha-equivalent CQs and
+     parenthesization-variant XPath collapse, structurally distinct
+     queries do not (property over generators);
+   - plan cache: LRU eviction order, TTL expiry under a fake clock;
+   - batch executor: answers (with and without the stream prefilter)
+     agree with one-at-a-time engine evaluation, duplicates share;
+   - server: closed-loop stats, admission-control rejection, open-loop
+     shedding under a fake clock;
+   - the cached-vs-cold differential oracle over >= 1k cases. *)
+
+open Treekit
+open Helpers
+module E = Treequery.Engine
+
+(* ------------------------------------------------------------------ *)
+(* fingerprints *)
+
+let fp_x s = E.fingerprint (E.parse_xpath s)
+let fp_cq s = E.fingerprint (E.parse_cq s)
+
+let test_fingerprint_variants () =
+  (* parenthesization / association variants *)
+  Alcotest.(check string)
+    "seq association" (fp_x "//a/b/c")
+    (fp_x "//a/(b/c)");
+  Alcotest.(check string)
+    "union association"
+    (fp_x "(/a | /b) | /c")
+    (fp_x "/a | (/b | /c)");
+  Alcotest.(check string)
+    "qualifier and association"
+    (fp_x "//a[b and (c and d)]")
+    (fp_x "//a[(b and c) and d]");
+  (* folding top-level qualifier ands into the qualifier list *)
+  Alcotest.(check string)
+    "and folds into qualifier list"
+    (fp_x "//a[b and c]")
+    (fp_x "//a[b][c]");
+  (* alpha-equivalent CQs *)
+  Alcotest.(check string)
+    "cq alpha rename"
+    (fp_cq {| q(X) :- lab(X, "a"), child(X, Y), lab(Y, "b"). |})
+    (fp_cq {| q(U) :- lab(U, "a"), child(U, V), lab(V, "b"). |});
+  (* distinct structures stay distinct *)
+  Alcotest.(check bool)
+    "child /= descendant" false
+    (fp_cq {| q(X) :- lab(X, "a"), child(X, Y). |}
+    = fp_cq {| q(X) :- lab(X, "a"), descendant(X, Y). |});
+  Alcotest.(check bool)
+    "different label" false
+    (fp_x "//a" = fp_x "//b");
+  (* languages never collide: the tag is part of the name *)
+  Alcotest.(check bool)
+    "language tag differs" false
+    (String.sub (fp_x "//a") 0 6 = String.sub (fp_cq {| q(X) :- lab(X, "a"). |}) 0 6)
+
+let test_explain_plan_cache () =
+  let q = E.parse_xpath "//a[b]" in
+  let hit = E.explain ~plan_cache:`Hit q in
+  let miss = E.explain ~plan_cache:`Miss q in
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "explain shows fingerprint" true
+    (contains hit ("fingerprint: " ^ E.fingerprint q));
+  Alcotest.(check bool) "explain shows hit" true (contains hit "plan-cache:  hit");
+  Alcotest.(check bool) "explain shows miss" true (contains miss "plan-cache:  miss");
+  Alcotest.(check bool) "no plan-cache line by default" false
+    (contains (E.explain q) "plan-cache")
+
+(* property: over random CQs, a variable permutation never changes the
+   fingerprint, and fingerprint equality coincides with canonical-form
+   equality (so distinct structures hash apart) *)
+let cq_gen =
+  QCheck2.Gen.(
+    let* qseed = int_range 0 100_000 in
+    let* nvars = int_range 1 4 in
+    let* natoms = int_range 1 4 in
+    return
+      (Cqtree.Generator.arbitrary ~seed:qseed ~nvars ~natoms
+         ~axes:[ Axis.Child; Axis.Descendant; Axis.Following; Axis.Next_sibling ]
+         ~labels:Generator.labels_abc ()))
+
+let prop_alpha_rename =
+  qtest ~count:200 "fingerprint invariant under alpha-renaming" cq_gen (fun q ->
+      let renamed = Cqtree.Query.rename (fun v -> "fresh_" ^ v) q in
+      E.fingerprint (E.Cq_query q) = E.fingerprint (E.Cq_query renamed))
+
+let prop_fp_iff_canonical =
+  qtest ~count:200 "fingerprint equality = canonical equality"
+    QCheck2.Gen.(pair cq_gen cq_gen)
+    (fun (a, b) ->
+      let qa = E.Cq_query a and qb = E.Cq_query b in
+      (E.fingerprint qa = E.fingerprint qb) = (E.canonical qa = E.canonical qb))
+
+(* association variants built directly on the AST (the parser can only
+   produce some of them) *)
+let prop_xpath_reassociation =
+  let path_gen =
+    QCheck2.Gen.(
+      let* seed = int_range 0 100_000 in
+      let cfg = { Check.Gen.default with Check.Gen.max_nodes = 8 } in
+      let rng = Random.State.make [| seed |] in
+      match Check.Gen.xpath ~max_depth:2 cfg rng with
+      | Check.Case.Xpath p -> return p
+      | _ -> assert false)
+  in
+  qtest ~count:200 "Seq/Union re-association is canonical"
+    QCheck2.Gen.(triple path_gen path_gen path_gen)
+    (fun (p1, p2, p3) ->
+      let open Xpath.Ast in
+      E.fingerprint (E.Xpath_query (Seq (Seq (p1, p2), p3)))
+      = E.fingerprint (E.Xpath_query (Seq (p1, Seq (p2, p3))))
+      && E.fingerprint (E.Xpath_query (Union (Union (p1, p2), p3)))
+         = E.fingerprint (E.Xpath_query (Union (p1, Union (p2, p3)))))
+
+(* ------------------------------------------------------------------ *)
+(* plan cache *)
+
+let test_lru_eviction () =
+  let c = Serve.Plan_cache.create ~capacity:2 () in
+  let q name = E.parse_xpath ("//" ^ name) in
+  let outcome (o, _) = o in
+  Alcotest.(check bool) "a misses" true (outcome (Serve.Plan_cache.find c (q "a")) = `Miss);
+  Alcotest.(check bool) "b misses" true (outcome (Serve.Plan_cache.find c (q "b")) = `Miss);
+  Alcotest.(check bool) "a hits" true (outcome (Serve.Plan_cache.find c (q "a")) = `Hit);
+  (* b is now least recently used; c's insertion evicts it *)
+  Alcotest.(check bool) "c misses" true (outcome (Serve.Plan_cache.find c (q "c")) = `Miss);
+  Alcotest.(check bool) "a survived" true (outcome (Serve.Plan_cache.find c (q "a")) = `Hit);
+  Alcotest.(check bool) "b was evicted" true (outcome (Serve.Plan_cache.find c (q "b")) = `Miss);
+  let s = Serve.Plan_cache.stats c in
+  Alcotest.(check int) "evictions" 2 s.Serve.Plan_cache.evictions;
+  Alcotest.(check int) "size" 2 s.Serve.Plan_cache.size;
+  (* variants share an entry *)
+  Alcotest.(check bool) "variant hits" true
+    (outcome (Serve.Plan_cache.find c (E.parse_xpath "(//b)")) = `Hit)
+
+let test_ttl_expiry () =
+  let now = ref 0.0 in
+  let c = Serve.Plan_cache.create ~capacity:8 ~ttl:10.0 ~clock:(fun () -> !now) () in
+  let q = E.parse_xpath "//a[b]" in
+  let outcome (o, _) = o in
+  Alcotest.(check bool) "miss" true (outcome (Serve.Plan_cache.find c q) = `Miss);
+  now := 5.0;
+  Alcotest.(check bool) "fresh hit" true (outcome (Serve.Plan_cache.find c q) = `Hit);
+  now := 16.0;
+  Alcotest.(check bool) "expired" true (outcome (Serve.Plan_cache.find c q) = `Miss);
+  Alcotest.(check int) "one expiration" 1
+    (Serve.Plan_cache.stats c).Serve.Plan_cache.expirations;
+  now := 17.0;
+  Alcotest.(check bool) "re-cached" true (outcome (Serve.Plan_cache.find c q) = `Hit)
+
+let test_cache_disabled () =
+  let c = Serve.Plan_cache.create ~capacity:0 () in
+  let q = E.parse_xpath "//a" in
+  let outcome (o, _) = o in
+  Alcotest.(check bool) "miss" true (outcome (Serve.Plan_cache.find c q) = `Miss);
+  Alcotest.(check bool) "still miss" true (outcome (Serve.Plan_cache.find c q) = `Miss);
+  Alcotest.(check int) "nothing stored" 0 (Serve.Plan_cache.size c)
+
+(* ------------------------------------------------------------------ *)
+(* batch executor *)
+
+let batch_pool =
+  [
+    "//a";
+    "//a/b";
+    "//a[b]";
+    "//a[b//c]";
+    "//b[a and c]";
+    "/a/b | //c";
+    "//a[not(b)]";
+    "//c/following-sibling::*";
+  ]
+
+let prop_batch_equals_engine =
+  qtest ~count:60 "batch answers = one-at-a-time answers"
+    QCheck2.Gen.(pair (tree_gen ()) (int_range 0 1))
+    (fun (t, prefilter) ->
+      (* duplicates included: index i uses pool.(i mod len) *)
+      let queries =
+        Array.init 12 (fun i ->
+            E.parse_xpath (List.nth batch_pool (i mod List.length batch_pool)))
+      in
+      let r =
+        Serve.Batch.run ~stream_prefilter:(prefilter = 1) t queries
+      in
+      Array.for_all2
+        (fun ans q -> Nodeset.equal ans (E.eval q t))
+        r.Serve.Batch.answers queries
+      && r.Serve.Batch.distinct = List.length batch_pool)
+
+let test_batch_dedup_shares () =
+  let t = fig2_tree () in
+  let queries = Array.make 5 (E.parse_xpath "//a[b]") in
+  let r = Serve.Batch.run t queries in
+  Alcotest.(check int) "one distinct plan" 1 r.Serve.Batch.distinct;
+  (* all five answers alias the same evaluation *)
+  Array.iter
+    (fun a -> Alcotest.(check bool) "shared" true (a == r.Serve.Batch.answers.(0)))
+    r.Serve.Batch.answers
+
+(* ------------------------------------------------------------------ *)
+(* server *)
+
+let mini_shapes sources =
+  Array.of_list
+    (List.map
+       (fun s -> { Serve.Workload.source = s; query = E.parse_xpath s })
+       sources)
+
+let closed_requests n nshapes =
+  List.init n (fun i ->
+      { Serve.Workload.id = i; shape = i mod nshapes; arrival = None })
+
+let test_server_closed_loop () =
+  let t = Generator.xmark ~seed:3 ~scale:8 () in
+  let shapes = mini_shapes [ "//mail[date]"; "//item"; "//person/name" ] in
+  let cache = Serve.Plan_cache.create () in
+  let cfg = Serve.Server.config ~cache ~concurrency:10 ~share:true () in
+  let stats = Serve.Server.run cfg t shapes (closed_requests 90 3) in
+  Alcotest.(check int) "served" 90 stats.Serve.Server.served;
+  Alcotest.(check int) "no rejects" 0 stats.Serve.Server.rejected;
+  Alcotest.(check int) "no errors" 0 stats.Serve.Server.errors;
+  Alcotest.(check int) "latency samples" 90 stats.Serve.Server.latency.Obs.count;
+  let cs = Option.get stats.Serve.Server.cache in
+  Alcotest.(check int) "every request hit the cache" 90
+    (cs.Serve.Plan_cache.hits + cs.Serve.Plan_cache.misses);
+  Alcotest.(check int) "one miss per shape" 3 cs.Serve.Plan_cache.misses;
+  (* answers are correct: result_nodes matches independent evaluation *)
+  let expect =
+    30
+    * (Array.fold_left
+         (fun a (s : Serve.Workload.shape) ->
+           a + Nodeset.cardinal (E.eval s.query t))
+         0 shapes)
+  in
+  Alcotest.(check int) "result nodes" expect stats.Serve.Server.result_nodes
+
+let test_admission_rejects_over_bound () =
+  let t = fig2_tree () in
+  let shapes = mini_shapes [ "//a[b]" ] in
+  (* a deadline so tight no strategy's bound fits *)
+  let cfg = Serve.Server.config ~deadline:1e-9 ~ops_per_second:1.0 () in
+  let stats = Serve.Server.run cfg t shapes (closed_requests 20 1) in
+  Alcotest.(check int) "all rejected" 20 stats.Serve.Server.rejected;
+  Alcotest.(check int) "none served" 0 stats.Serve.Server.served;
+  Alcotest.(check string) "reason text" "degraded: naive bound exceeded"
+    Serve.Server.reject_reason;
+  (* the same workload with an affordable budget is served in full *)
+  let cfg = Serve.Server.config ~deadline:1.0 ~ops_per_second:1e9 () in
+  let stats = Serve.Server.run cfg t shapes (closed_requests 20 1) in
+  Alcotest.(check int) "served with budget" 20 stats.Serve.Server.served
+
+let test_open_loop_sheds () =
+  (* fake clock: one second per reading, so every batch "takes" seconds
+     while open-loop arrivals come at 100 req/s with a 0.5 s deadline —
+     the queue falls behind and late requests are shed before admission *)
+  let now = ref 0.0 in
+  let clock () =
+    now := !now +. 1.0;
+    !now
+  in
+  let t = fig2_tree () in
+  let shapes = mini_shapes [ "//a" ] in
+  let reqs =
+    List.init 40 (fun i ->
+        { Serve.Workload.id = i; shape = 0; arrival = Some (float_of_int i /. 100.0) })
+  in
+  let cfg = Serve.Server.config ~deadline:0.5 ~clock () in
+  let stats = Serve.Server.run cfg t shapes reqs in
+  Alcotest.(check int) "accounted" 40
+    (stats.Serve.Server.served + stats.Serve.Server.shed);
+  Alcotest.(check bool) "sheds under overload" true (stats.Serve.Server.shed > 0);
+  Alcotest.(check bool) "still serves some" true (stats.Serve.Server.served > 0)
+
+let test_workload_generator () =
+  let rng = Random.State.make [| 5; 0xda7a |] in
+  let shapes = Serve.Workload.shapes ~rng ~count:50 in
+  Alcotest.(check int) "fifty shapes" 50 (Array.length shapes);
+  let canons =
+    Array.to_list (Array.map (fun (s : Serve.Workload.shape) -> E.canonical s.query) shapes)
+  in
+  Alcotest.(check int) "pairwise distinct canonicals" 50
+    (List.length (List.sort_uniq compare canons));
+  (* same seed, same workload *)
+  let rng' = Random.State.make [| 5; 0xda7a |] in
+  let shapes' = Serve.Workload.shapes ~rng:rng' ~count:50 in
+  Alcotest.(check bool) "replayable" true
+    (Array.for_all2
+       (fun (a : Serve.Workload.shape) (b : Serve.Workload.shape) ->
+         a.source = b.source)
+       shapes shapes');
+  (match Serve.Workload.kind_of_string "open:250" with
+  | Ok (Serve.Workload.Open_loop { rate }) ->
+    Alcotest.(check (float 1e-9)) "rate" 250.0 rate
+  | _ -> Alcotest.fail "open:250 should parse");
+  (match Serve.Workload.kind_of_string "closed" with
+  | Ok Serve.Workload.Closed_loop -> ()
+  | _ -> Alcotest.fail "closed should parse");
+  (match Serve.Workload.kind_of_string "open:-3" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative rate must be rejected")
+
+(* ------------------------------------------------------------------ *)
+(* the acceptance bar: cached-vs-cold differential oracle over 1k cases *)
+
+let test_oracle_1k () =
+  let oracle =
+    List.find (fun (o : Check.Oracles.t) -> o.name = "plan-cache") Check.Oracles.all
+  in
+  let stats =
+    Check.Runner.run { Check.Runner.default with cases = 1_000; oracles = [ oracle ] }
+  in
+  Alcotest.(check int) "no discrepancies" 0 (Check.Runner.discrepancy_count stats);
+  List.iter
+    (fun (_, passes, _, fails) ->
+      Alcotest.(check int) "no fails" 0 fails;
+      Alcotest.(check bool) "mostly applicable" true (passes >= 900))
+    stats.Check.Runner.per_oracle
+
+let suite =
+  [
+    Alcotest.test_case "fingerprint variants" `Quick test_fingerprint_variants;
+    Alcotest.test_case "explain plan-cache line" `Quick test_explain_plan_cache;
+    prop_alpha_rename;
+    prop_fp_iff_canonical;
+    prop_xpath_reassociation;
+    Alcotest.test_case "plan cache LRU eviction" `Quick test_lru_eviction;
+    Alcotest.test_case "plan cache TTL expiry" `Quick test_ttl_expiry;
+    Alcotest.test_case "plan cache disabled at capacity 0" `Quick test_cache_disabled;
+    prop_batch_equals_engine;
+    Alcotest.test_case "batch dedup shares answers" `Quick test_batch_dedup_shares;
+    Alcotest.test_case "server closed loop stats" `Quick test_server_closed_loop;
+    Alcotest.test_case "admission control rejects over bound" `Quick
+      test_admission_rejects_over_bound;
+    Alcotest.test_case "open loop sheds late requests" `Quick test_open_loop_sheds;
+    Alcotest.test_case "workload generator" `Quick test_workload_generator;
+    Alcotest.test_case "plan-cache oracle x1000" `Slow test_oracle_1k;
+  ]
