@@ -69,7 +69,7 @@ let obs_snapshot name =
   match Obs.Counter.snapshot () with
   | [] -> ()
   | counters ->
-    let report = { Obs.Report.spans = []; counters; histograms = [] } in
+    let report = { Obs.Report.empty with counters } in
     Printf.printf "obs-snapshot %s %s\n" name (Obs.Report.to_json report)
 
 let summary () =

@@ -79,7 +79,12 @@ let axis_datalog_arg =
 (* options every run-something subcommand shares: generator seed and the
    observability sinks (one spec, applied with $ common_term) *)
 
-type common = { seed : int; trace : bool; stats_json : string option }
+type common = {
+  seed : int;
+  trace : bool;
+  stats_json : string option;
+  trace_out : string option;
+}
 
 let common_term =
   let seed_arg =
@@ -96,33 +101,51 @@ let common_term =
       value
       & opt (some string) None
       & info [ "stats-json" ] ~docv:"FILE"
-          ~doc:"Write the observability report (per-phase span durations, counters and latency histograms) as JSON to $(docv); '-' for stdout.")
+          ~doc:"Write the observability report (per-phase span durations, counters, latency histograms and per-request profiles) as JSON to $(docv); '-' for stdout.")
   in
-  let mk seed trace stats_json = { seed; trace; stats_json } in
-  Term.(const mk $ seed_arg $ trace_arg $ stats_json_arg)
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Stream completed spans to $(docv) as Chrome trace-event JSON (open in Perfetto or chrome://tracing).")
+  in
+  let mk seed trace stats_json trace_out = { seed; trace; stats_json; trace_out } in
+  Term.(const mk $ seed_arg $ trace_arg $ stats_json_arg $ trace_out_arg)
 
-(* [observe common f] runs [f] with observability enabled when either
-   sink asks for it, then emits the report.  Returns [f ()]'s result. *)
-let observe common f =
-  let observing = common.trace || common.stats_json <> None in
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+(* [observe common f] runs [f] with observability enabled when any sink
+   asks for it, then emits the report (and the streamed Perfetto trace
+   when [--trace-out] is given).  [extra] forces collection for
+   subcommand-specific sinks (serve's [--metrics-out]), which receive the
+   captured report through [emit].  Returns [f ()]'s result. *)
+let observe ?(extra = false) ?(emit = fun _ -> ()) common f =
+  let observing =
+    common.trace || common.stats_json <> None || common.trace_out <> None || extra
+  in
   if not observing then f ()
   else begin
     Obs.set_enabled true;
     Obs.reset ();
+    let sink = Option.map (fun _ -> Obs.Trace.start_stream ()) common.trace_out in
     let result = f () in
     let report = Obs.Report.capture () in
     Obs.set_enabled false;
+    (match (sink, common.trace_out) with
+    | Some s, Some path ->
+      write_file path (Obs.Json.to_string (Obs.Trace.stop_stream s) ^ "\n")
+    | _ -> ());
     if common.trace then prerr_string (Obs.Report.to_text report);
     (match common.stats_json with
     | None -> ()
     | Some "-" -> print_endline (Obs.Report.to_json report)
-    | Some path ->
-      let oc = open_out path in
-      Fun.protect
-        ~finally:(fun () -> close_out_noerr oc)
-        (fun () ->
-          output_string oc (Obs.Report.to_json report);
-          output_char oc '\n'));
+    | Some path -> write_file path (Obs.Report.to_json report ^ "\n"));
+    emit report;
     result
   end
 
@@ -177,16 +200,25 @@ let eval_cmd =
        $ labels_arg $ common_term))
 
 let explain_cmd =
-  let run xpath cq datalog positive axis_datalog =
+  let run xpath cq datalog positive axis_datalog common =
     handle_errors @@ fun () ->
-    let q = parse_query ~xpath ~cq ~datalog ~positive ~axis_datalog in
-    print_string (Engine.explain q);
+    let text =
+      observe common (fun () ->
+          let q =
+            Obs.Span.with_ "parse-query" (fun () ->
+                parse_query ~xpath ~cq ~datalog ~positive ~axis_datalog)
+          in
+          Engine.explain q)
+    in
+    print_string text;
     `Ok ()
   in
   Cmd.v
     (Cmd.info "explain" ~doc:"Show the evaluation plan and complexity bound")
     Term.(
-      ret (const run $ xpath_arg $ cq_arg $ datalog_arg $ positive_arg $ axis_datalog_arg))
+      ret
+        (const run $ xpath_arg $ cq_arg $ datalog_arg $ positive_arg
+       $ axis_datalog_arg $ common_term))
 
 let filter_cmd =
   let run patterns xml_file xml random xmark common =
@@ -224,15 +256,20 @@ let filter_cmd =
 
 let serve_cmd =
   let run xml_file xml random xmark requests concurrency shapes cache_size ttl
-      deadline_ms batch stream_prefilter workload common =
+      deadline_ms batch stream_prefilter workload metrics_out common =
     handle_errors @@ fun () ->
     let kind =
       match Serve.Workload.kind_of_string workload with
       | Ok k -> k
       | Error m -> failwith m
     in
+    let emit report =
+      match metrics_out with
+      | None -> ()
+      | Some path -> write_file path (Obs.Openmetrics.render report)
+    in
     let doc, stats =
-      observe common (fun () ->
+      observe ~extra:(metrics_out <> None) ~emit common (fun () ->
           let doc =
             Obs.Span.with_ "load-document" (fun () ->
                 load_document ~xml_file ~xml ~random ~xmark ~seed:common.seed)
@@ -290,6 +327,9 @@ let serve_cmd =
   let workload_arg =
     Arg.(value & opt string "closed" & info [ "workload" ] ~docv:"KIND" ~doc:"\"closed\" (next request after the previous answer) or \"open:<rate>\" (fixed arrival rate in requests/s).")
   in
+  let metrics_out_arg =
+    Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc:"Write an OpenMetrics text exposition of the run's counters and latency histograms to $(docv).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve a query workload against one document through the plan cache and batch executor")
@@ -298,7 +338,7 @@ let serve_cmd =
         (const run $ xml_file_arg $ xml_arg $ random_arg $ xmark_arg
        $ requests_arg $ concurrency_arg $ shapes_arg $ cache_size_arg
        $ ttl_arg $ deadline_arg $ batch_arg $ stream_prefilter_arg
-       $ workload_arg $ common_term))
+       $ workload_arg $ metrics_out_arg $ common_term))
 
 let check_cmd =
   let run cases from max_nodes oracle_names list_oracles inject failures_out common =
@@ -387,6 +427,48 @@ let check_cmd =
         (const run $ cases_arg $ from_arg $ max_nodes_arg $ oracles_arg
        $ list_arg $ inject_arg $ failures_out_arg $ common_term))
 
+let attest_cmd =
+  let run tolerance out inject list_bounds common =
+    handle_errors @@ fun () ->
+    if list_bounds then begin
+      List.iter
+        (fun (b : Obs.Bound.t) ->
+          Printf.printf "%-24s %-24s vs %-18s <= n^%.1f  %s\n" b.Obs.Bound.id
+            b.Obs.Bound.counter b.Obs.Bound.term b.Obs.Bound.exponent
+            b.Obs.Bound.claim)
+        (Obs.Bound.all ());
+      `Ok ()
+    end
+    else begin
+      let outcomes =
+        observe common (fun () -> Attest.run ~inject ~seed:common.seed ~tolerance ())
+      in
+      print_string (Attest.to_text outcomes);
+      write_file out
+        (Obs.Json.to_string (Attest.to_json ~seed:common.seed ~tolerance outcomes)
+        ^ "\n");
+      Printf.printf "report written to %s\n" out;
+      if Attest.all_ok outcomes then `Ok ()
+      else `Error (false, "a fitted slope exceeds its claimed exponent")
+    end
+  in
+  let tolerance_arg =
+    Arg.(value & opt float 0.15 & info [ "tolerance" ] ~docv:"T" ~doc:"Slack added to each claimed exponent before a fitted slope counts as a violation.")
+  in
+  let out_arg =
+    Arg.(value & opt string "BENCH_pr5.json" & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the attestation report.")
+  in
+  let inject_arg =
+    Arg.(value & flag & info [ "inject" ] ~doc:"Also sweep a deliberately superlinear fault counter; the run is then expected to fail.")
+  in
+  let list_arg =
+    Arg.(value & flag & info [ "list-bounds" ] ~doc:"List the registered complexity bounds and the claims they attest, then exit.")
+  in
+  Cmd.v
+    (Cmd.info "attest"
+       ~doc:"Fit scaling sweeps against the paper's complexity claims and fail on a superlinear regression")
+    Term.(ret (const run $ tolerance_arg $ out_arg $ inject_arg $ list_arg $ common_term))
+
 let generate_cmd =
   let run random xmark common =
     handle_errors @@ fun () ->
@@ -406,4 +488,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ eval_cmd; explain_cmd; filter_cmd; serve_cmd; generate_cmd; check_cmd ]))
+          [
+            eval_cmd; explain_cmd; filter_cmd; serve_cmd; generate_cmd; check_cmd;
+            attest_cmd;
+          ]))

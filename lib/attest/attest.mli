@@ -1,0 +1,37 @@
+(** Complexity attestation: check the paper's asymptotic claims against
+    the counters that witness them.
+
+    Each registered {!Obs.Bound} maps a claim (Theorem 3.2's |D|·|Q|
+    grounding, Prop. 4.2's 2·|edges| semijoin program, Minoux's
+    linear-time unit propagation, …) to a witnessing counter and the
+    input-size term it must scale against.  {!run} sweeps each bound's
+    term with the fixed-seed bench generators, fits the observed log-log
+    slope and fails any bound whose slope exceeds its claimed exponent
+    beyond tolerance — the paper's complexity map (Figure 7) as a CI
+    regression gate.  Where the paper gives an exact envelope (semijoin
+    passes ≤ 2·|Q| atoms, stream peak ≤ depth), the sweep also checks it
+    pointwise. *)
+
+type outcome = {
+  bound : Obs.Bound.t;
+  points : (float * float) list;  (** (term, counter) per sweep step *)
+  slope : float;  (** fitted log-log slope of counter vs term *)
+  slope_ok : bool;  (** slope ≤ claimed exponent + tolerance *)
+  envelope_ok : bool;  (** pointwise cap held (true when none claimed) *)
+}
+
+val outcome_ok : outcome -> bool
+
+val run : ?inject:bool -> seed:int -> tolerance:float -> unit -> outcome list
+(** Sweep every registered bound (seven paper claims; [inject] adds a
+    deliberately superlinear fault bound that must FAIL, proving the gate
+    has teeth).  Runs with observability enabled internally and restores
+    the previous enabled state and counters afterwards. *)
+
+val all_ok : outcome list -> bool
+
+val to_json : seed:int -> tolerance:float -> outcome list -> Obs.Json.t
+(** The BENCH_pr5.json document: seed, tolerance, verdicts and the raw
+    (term, counter) points per bound. *)
+
+val to_text : outcome list -> string

@@ -28,6 +28,7 @@ type query =
   | Axis_law of Treekit.Axis.t
   | Order_law of Treekit.Order.kind
   | Setops of setop list
+  | Obs_report of Obs.Report.t
 
 type t = { tree : Treekit.Tree.t; query : query }
 
@@ -76,6 +77,11 @@ let query_size = function
   | Auto e -> auto_size e
   | Axis_law _ | Order_law _ -> 1
   | Setops ops -> List.length ops
+  | Obs_report r ->
+    Obs.Report.span_count r
+    + List.length r.Obs.Report.counters
+    + List.length r.Obs.Report.histograms
+    + List.length r.Obs.Report.profiles
 
 let query_to_string = function
   | Xpath p -> "xpath: " ^ Xpath.Ast.to_string p
@@ -85,6 +91,7 @@ let query_to_string = function
   | Axis_law a -> "axis-law: " ^ Treekit.Axis.name a
   | Order_law k -> "order-law: " ^ Treekit.Order.kind_name k
   | Setops ops -> "setops: " ^ String.concat "; " (List.map setop_to_string ops)
+  | Obs_report r -> "obs-report: " ^ Obs.Report.to_json r
 
 let size c = Treekit.Tree.size c.tree + query_size c.query
 

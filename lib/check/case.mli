@@ -41,6 +41,9 @@ type query =
   | Axis_law of Treekit.Axis.t  (** metamorphic axis-image laws *)
   | Order_law of Treekit.Order.kind  (** pre/post/bflr order invariants *)
   | Setops of setop list  (** node-set algebra vs the bool-array model *)
+  | Obs_report of Obs.Report.t
+      (** a synthetic observability report; the tree is ignored and the
+          oracle checks the JSON round-trip fixpoint *)
 
 type t = { tree : Treekit.Tree.t; query : query }
 

@@ -127,6 +127,68 @@ let axis_law _cfg rng = Case.Axis_law (pick rng Axis.all)
 
 let order_law _cfg rng = Case.Order_law (pick rng Treekit.Order.all_kinds)
 
+(* synthetic observability reports for the JSON round-trip oracle.  All
+   durations are whole microseconds (and ms magnitudes stay well under
+   10^9 = 9 significant digits), so serialising, parsing and
+   re-serialising must reproduce the exact byte string; names and attr
+   strings deliberately exercise every escape class the writer knows
+   (quote, backslash, \n, \r, \t, raw control byte, non-ASCII). *)
+let obs_report _cfg rng =
+  let ri n = Random.State.int rng n in
+  let dur () = float_of_int (ri 1_000_000) /. 1_000_000.0 in
+  let names =
+    [|
+      "eval"; "load-document"; "semijoin"; "request-7"; "weird \"name\"";
+      "back\\slash"; "tab\there"; "line\nbreak"; "cr\rhere"; "ctrl\001byte";
+      "caf\xc3\xa9";
+    |]
+  in
+  let name () = names.(ri (Array.length names)) in
+  let attr () =
+    let keys = [| "|D|"; "|Q|"; "strategy"; "fingerprint"; "note" |] in
+    ( keys.(ri (Array.length keys)),
+      if Random.State.bool rng then Obs.Int (ri 200_000 - 100_000)
+      else Obs.Str (name ()) )
+  in
+  let attrs () = List.init (ri 3) (fun _ -> attr ()) in
+  let rec span depth =
+    {
+      Obs.Report.name = name ();
+      start = (if Random.State.bool rng then 0.0 else dur ());
+      duration = dur ();
+      attrs = attrs ();
+      children =
+        (if depth = 0 then [] else List.init (ri 3) (fun _ -> span (depth - 1)));
+    }
+  in
+  let summary () =
+    {
+      Obs.count = 1 + ri 10_000;
+      mean = dur ();
+      p50 = dur ();
+      p90 = dur ();
+      p95 = dur ();
+      p99 = dur ();
+      max = dur ();
+    }
+  in
+  let profile i =
+    {
+      Obs.profile_label = Printf.sprintf "request-%d" i;
+      profile_attrs = attrs ();
+      profile_counters = List.init (ri 3) (fun j -> (Printf.sprintf "work_%d" j, ri 100_000));
+      profile_duration = dur ();
+    }
+  in
+  Case.Obs_report
+    {
+      Obs.Report.spans = List.init (ri 4) (fun _ -> span (1 + ri 2));
+      counters =
+        List.init (ri 4) (fun i -> (Printf.sprintf "nodes_visited_%d" i, ri 1_000_000));
+      histograms = List.init (ri 3) (fun i -> (Printf.sprintf "latency_%d" i, summary ()));
+      profiles = List.init (ri 3) profile;
+    }
+
 let setops cfg rng =
   let lab () = cfg.labels.(Random.State.int rng (Array.length cfg.labels)) in
   let op () =

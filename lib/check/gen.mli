@@ -61,3 +61,9 @@ val order_law : config -> Random.State.t -> Case.query
 
 val setops : config -> Random.State.t -> Case.query
 (** A node-set algebra script of 1–12 operations. *)
+
+val obs_report : config -> Random.State.t -> Case.query
+(** A synthetic {!Obs.Report.t}: nested spans with typed attributes,
+    counters, histogram summaries and scope profiles.  Durations are
+    whole microseconds and names exercise every JSON string-escape
+    class, so the serialised report must be a round-trip fixpoint. *)

@@ -513,6 +513,50 @@ let plan_cache =
           | v -> v));
   }
 
+(* ------------------------------------------------------------------ *)
+(* Observability serialisation                                          *)
+
+(* [Report.to_json] output must be a fixpoint of parse-then-reserialise:
+   every span (with typed attrs and escape-heavy names), counter,
+   histogram summary and scope profile survives bit-for-bit.  This is the
+   contract CI relies on when it diffs --stats-json files across runs. *)
+let obs_roundtrip =
+  {
+    name = "obs-roundtrip";
+    theorem = "observability: Report.of_json inverts to_json bit-for-bit";
+    cap_nodes = 4;
+    gen = Gen.obs_report;
+    run =
+      (fun c ->
+        match c.Case.query with
+        | Case.Obs_report r -> (
+          let s = Obs.Report.to_json r in
+          match Obs.Report.of_json s with
+          | exception Obs.Report.Malformed m ->
+            Fail ("of_json rejected to_json output: " ^ m)
+          | exception Obs.Json.Parse_failure { pos; msg } ->
+            Fail (Printf.sprintf "Json parse failure at byte %d: %s" pos msg)
+          | r' ->
+            let s' = Obs.Report.to_json r' in
+            if s = s' then
+              if Obs.Report.span_count r = Obs.Report.span_count r' then Pass
+              else Fail "span_count changed across round-trip"
+            else begin
+              let n = min (String.length s) (String.length s') in
+              let i = ref 0 in
+              while !i < n && s.[!i] = s'.[!i] do
+                incr i
+              done;
+              let frag str =
+                String.sub str !i (min 32 (String.length str - !i))
+              in
+              Fail
+                (Printf.sprintf "round-trip diverges at byte %d: %S vs %S" !i
+                   (frag s) (frag s'))
+            end)
+        | _ -> wrong_query "obs-roundtrip" c);
+  }
+
 let all =
   [
     xpath_spec;
@@ -529,6 +573,7 @@ let all =
     law_order;
     law_setops;
     plan_cache;
+    obs_roundtrip;
   ]
 
 let find name = List.find_opt (fun o -> o.name = name) all

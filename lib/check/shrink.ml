@@ -209,6 +209,9 @@ let query_candidates = function
   | Case.Auto e -> List.map (fun e' -> Case.Auto e') (shrink_auto e)
   | Case.Axis_law _ | Case.Order_law _ -> []
   | Case.Setops ops -> List.map (fun o -> Case.Setops o) (shrink_setops ops)
+  (* a failing report is already a self-contained repro: the JSON in the
+     report line replays it without shrinking *)
+  | Case.Obs_report _ -> []
 
 let candidates (c : Case.t) =
   let queries =

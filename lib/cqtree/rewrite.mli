@@ -34,9 +34,15 @@ type result = {
   branches_explored : int;  (** number of branch states processed *)
 }
 
+exception Too_many_branches
+(** Raised by {!rewrite} when the branch-state budget is exhausted; the
+    rewriting is worst-case exponential, so callers that can decline
+    (e.g. {!Xpath.Forward}) should treat this as "not rewritable". *)
+
 val rewrite : Query.t -> result
 (** Rewrite a (possibly cyclic) conjunctive query.  The input is
-    forward-normalised first; inverse axes are allowed. *)
+    forward-normalised first; inverse axes are allowed.
+    @raise Too_many_branches past [200_000] explored branch states. *)
 
 val solutions : ?env:Query.env -> Query.t -> Treekit.Tree.t -> int array list
 (** Evaluate by rewriting and unioning {!Yannakakis.solutions} over the

@@ -22,6 +22,21 @@ let set_clock f = clock := f
 
 let now () = !clock ()
 
+(* Typed span/profile attributes: the sizes and identifiers a reader needs
+   to interpret a measurement (|D|, |Q|, strategy, plan fingerprint). *)
+type attr = Int of int | Str of string
+
+let attr_to_string = function Int i -> string_of_int i | Str s -> s
+
+(* A scoped-collection result: the counter deltas (and wall time) of one
+   labelled region, e.g. a single served request.  See {!Scope}. *)
+type profile = {
+  profile_label : string;
+  profile_attrs : (string * attr) list;
+  profile_counters : (string * int) list;  (* deltas, nonzero, sorted *)
+  profile_duration : float;  (* seconds *)
+}
+
 (* ------------------------------------------------------------------ *)
 
 module Counter = struct
@@ -172,13 +187,21 @@ end
 module Span = struct
   type node = {
     span_name : string;
+    start : float;  (** clock reading at entry (seconds) *)
     mutable duration : float;
+    mutable attrs : (string * attr) list;  (** reversed insertion order *)
     mutable children : node list;  (** reversed *)
   }
 
   let roots : node list ref = ref []  (* reversed *)
 
   let stack : node list ref = ref []
+
+  (* Streaming sinks (the Chrome trace writer) observe each span the
+     moment it completes — children strictly before their parents.  The
+     hook must never break the instrumented program, so its exceptions
+     are swallowed. *)
+  let completion_hook : (node -> unit) option ref = ref None
 
   let reset () =
     roots := [];
@@ -190,14 +213,19 @@ module Span = struct
       stack := rest;
       (match rest with
       | parent :: _ -> parent.children <- node :: parent.children
-      | [] -> roots := node :: !roots)
+      | [] -> roots := node :: !roots);
+      (match !completion_hook with
+      | Some f -> ( try f node with _ -> ())
+      | None -> ())
     | _ -> () (* unbalanced exit (e.g. reset inside a span): drop the span *)
 
-  let with_ name f =
+  let with_ ?(attrs = []) name f =
     if not !on then f ()
     else begin
-      let node = { span_name = name; duration = 0.0; children = [] } in
       let t0 = !clock () in
+      let node =
+        { span_name = name; start = t0; duration = 0.0; attrs = List.rev attrs; children = [] }
+      in
       stack := node :: !stack;
       Fun.protect
         ~finally:(fun () ->
@@ -205,12 +233,91 @@ module Span = struct
           attach node)
         f
     end
+
+  (* Attach a late-bound attribute (e.g. a result size only known at the
+     end) to the innermost open span.  No-op when disabled or when no
+     span is open, so callers need no guards. *)
+  let set_attr key value =
+    if !on then
+      match !stack with
+      | top :: _ -> top.attrs <- (key, value) :: List.remove_assoc key top.attrs
+      | [] -> ()
+end
+
+(* ------------------------------------------------------------------ *)
+
+(* Scoped collection: attribute counter increments (and wall time) to a
+   labelled region rather than the global blob.  A scope snapshots every
+   registered counter on entry and diffs on exit, so nested/interleaved
+   regions each see exactly the work performed inside them (a nested
+   scope's work is also visible to its enclosing scope, as expected of a
+   delta).  Cost is O(#registered counters) per scope — paid only when
+   observability is enabled. *)
+module Scope = struct
+  let captured : profile list ref = ref []  (* reversed *)
+
+  let reset () = captured := []
+
+  let snapshot_values () =
+    List.map (fun (c : Counter.t) -> (c, c.Counter.value)) !Counter.registry
+
+  let deltas before =
+    !Counter.registry
+    |> List.filter_map (fun (c : Counter.t) ->
+           let b =
+             match List.find_opt (fun (c', _) -> c' == c) before with
+             | Some (_, v) -> v
+             | None -> 0 (* counter registered inside the scope *)
+           in
+           let d = c.Counter.value - b in
+           if d <> 0 then Some (c.Counter.name, d) else None)
+    |> List.sort compare
+
+  let collect ?(attrs = []) label f =
+    if not !on then
+      let x = f () in
+      ( x,
+        { profile_label = label; profile_attrs = attrs; profile_counters = [];
+          profile_duration = 0.0 } )
+    else begin
+      let before = snapshot_values () in
+      let t0 = !clock () in
+      let finish () =
+        { profile_label = label;
+          profile_attrs = attrs;
+          profile_counters = deltas before;
+          profile_duration = !clock () -. t0 }
+      in
+      let x = f () in
+      (x, finish ())
+    end
+
+  (* Like [collect], but keeps the profile in a global list that
+     {!Report.capture} picks up (and records it even when [f] raises). *)
+  let record ?(attrs = []) label f =
+    if not !on then f ()
+    else begin
+      let before = snapshot_values () in
+      let t0 = !clock () in
+      let finish () =
+        captured :=
+          { profile_label = label;
+            profile_attrs = attrs;
+            profile_counters = deltas before;
+            profile_duration = !clock () -. t0 }
+          :: !captured
+      in
+      Fun.protect ~finally:finish f
+    end
+
+  let recorded () = List.rev !captured
 end
 
 let reset () =
   Counter.reset_all ();
   Histogram.reset_all ();
-  Span.reset ()
+  Span.reset ();
+  Scope.reset ()
 
 let with_enabled b f =
   let saved = !on in
@@ -437,22 +544,32 @@ end
 (* ------------------------------------------------------------------ *)
 
 module Report = struct
-  type span = { name : string; duration : float; children : span list }
+  type span = {
+    name : string;
+    start : float;  (** seconds, absolute clock reading; 0 when unknown *)
+    duration : float;
+    attrs : (string * attr) list;
+    children : span list;
+  }
 
   type t = {
     spans : span list;
     counters : (string * int) list;
     histograms : (string * histogram_summary) list;
+    profiles : profile list;
   }
 
-  let empty = { spans = []; counters = []; histograms = [] }
+  let empty = { spans = []; counters = []; histograms = []; profiles = [] }
 
-  let is_empty r = r.spans = [] && r.counters = [] && r.histograms = []
+  let is_empty r =
+    r.spans = [] && r.counters = [] && r.histograms = [] && r.profiles = []
 
   let rec freeze (node : Span.node) =
     {
       name = node.span_name;
+      start = node.start;
       duration = node.duration;
+      attrs = List.rev node.attrs;
       children = List.rev_map freeze node.children;
     }
 
@@ -461,16 +578,29 @@ module Report = struct
       spans = List.rev_map freeze !Span.roots;
       counters = Counter.snapshot ();
       histograms = Histogram.snapshot ();
+      profiles = Scope.recorded ();
     }
 
+  let span_count r =
+    let rec count s = 1 + List.fold_left (fun acc c -> acc + count c) 0 s.children in
+    List.fold_left (fun acc s -> acc + count s) 0 r.spans
+
   (* ---- text ---- *)
+
+  let attrs_to_text attrs =
+    if attrs = [] then ""
+    else
+      "  {"
+      ^ String.concat ", "
+          (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k (attr_to_string v)) attrs)
+      ^ "}"
 
   let to_text r =
     let buf = Buffer.create 256 in
     let rec span indent s =
       Buffer.add_string buf
-        (Printf.sprintf "%s%-*s %10.3f ms\n" indent (max 1 (32 - String.length indent))
-           s.name (s.duration *. 1000.0));
+        (Printf.sprintf "%s%-*s %10.3f ms%s\n" indent (max 1 (32 - String.length indent))
+           s.name (s.duration *. 1000.0) (attrs_to_text s.attrs));
       List.iter (span (indent ^ "  ")) s.children
     in
     List.iter (span "") r.spans;
@@ -491,17 +621,39 @@ module Report = struct
                (h.p99 *. 1000.0) (h.max *. 1000.0)))
         r.histograms
     end;
+    if r.profiles <> [] then begin
+      Buffer.add_string buf "profiles:\n";
+      List.iter
+        (fun p ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-30s %10.3f ms%s\n" p.profile_label
+               (p.profile_duration *. 1000.0) (attrs_to_text p.profile_attrs));
+          List.iter
+            (fun (name, v) ->
+              Buffer.add_string buf (Printf.sprintf "    %-30s %d\n" name v))
+            p.profile_counters)
+        r.profiles
+    end;
     Buffer.contents buf
 
   (* ---- json ---- *)
 
+  let json_of_attr = function
+    | Int i -> Json.Num (float_of_int i)
+    | Str s -> Json.Str s
+
+  let json_of_attrs attrs =
+    Json.Obj (List.map (fun (k, v) -> (k, json_of_attr v)) attrs)
+
+  (* [start_ms] and [attrs] are omitted when absent so reports written
+     before this PR still round-trip unchanged *)
   let rec json_of_span s =
     Json.Obj
-      [
-        ("name", Json.Str s.name);
-        ("duration_ms", Json.Num (s.duration *. 1000.0));
-        ("children", Json.Arr (List.map json_of_span s.children));
-      ]
+      ([ ("name", Json.Str s.name) ]
+      @ (if s.start = 0.0 then [] else [ ("start_ms", Json.Num (s.start *. 1000.0)) ])
+      @ [ ("duration_ms", Json.Num (s.duration *. 1000.0)) ]
+      @ (if s.attrs = [] then [] else [ ("attrs", json_of_attrs s.attrs) ])
+      @ [ ("children", Json.Arr (List.map json_of_span s.children)) ])
 
   let json_of_histogram (h : histogram_summary) =
     Json.Obj
@@ -515,24 +667,50 @@ module Report = struct
         ("max_ms", Json.Num (h.max *. 1000.0));
       ]
 
+  let json_of_profile p =
+    Json.Obj
+      ([ ("label", Json.Str p.profile_label) ]
+      @ (if p.profile_attrs = [] then [] else [ ("attrs", json_of_attrs p.profile_attrs) ])
+      @ [
+          ( "counters",
+            Json.Obj
+              (List.map
+                 (fun (k, v) -> (k, Json.Num (float_of_int v)))
+                 p.profile_counters) );
+          ("duration_ms", Json.Num (p.profile_duration *. 1000.0));
+        ])
+
   let to_json_value r =
     Json.Obj
       ([
          ("spans", Json.Arr (List.map json_of_span r.spans));
          ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) r.counters));
        ]
+      @ (* omitted when empty, so pre-serving reports round-trip unchanged *)
+      (if r.histograms = [] then []
+       else
+         [
+           ( "histograms",
+             Json.Obj (List.map (fun (k, h) -> (k, json_of_histogram h)) r.histograms) );
+         ])
       @
-      (* omitted when empty, so pre-serving reports round-trip unchanged *)
-      if r.histograms = [] then []
-      else
-        [
-          ( "histograms",
-            Json.Obj (List.map (fun (k, h) -> (k, json_of_histogram h)) r.histograms) );
-        ])
+      if r.profiles = [] then []
+      else [ ("profiles", Json.Arr (List.map json_of_profile r.profiles)) ])
 
   let to_json r = Json.to_string (to_json_value r)
 
   exception Malformed of string
+
+  let attr_of_json = function
+    | Json.Num f -> Int (int_of_float f)
+    | Json.Str s -> Str s
+    | _ -> raise (Malformed "attr value")
+
+  let attrs_of_json j =
+    match Json.member "attrs" j with
+    | None -> []
+    | Some (Json.Obj kvs) -> List.map (fun (k, v) -> (k, attr_of_json v)) kvs
+    | Some _ -> raise (Malformed "attrs")
 
   let rec span_of_json j =
     let get key =
@@ -541,6 +719,12 @@ module Report = struct
       | None -> raise (Malformed ("span missing field " ^ key))
     in
     let name = match get "name" with Json.Str s -> s | _ -> raise (Malformed "span name") in
+    let start =
+      match Json.member "start_ms" j with
+      | None -> 0.0
+      | Some (Json.Num f) -> f /. 1000.0
+      | Some _ -> raise (Malformed "span start_ms")
+    in
     let duration =
       match get "duration_ms" with
       | Json.Num f -> f /. 1000.0
@@ -551,7 +735,7 @@ module Report = struct
       | Json.Arr xs -> List.map span_of_json xs
       | _ -> raise (Malformed "span children")
     in
-    { name; duration; children }
+    { name; start; duration; attrs = attrs_of_json j; children }
 
   let of_json_value j =
     let spans =
@@ -593,11 +777,233 @@ module Report = struct
       | Some (Json.Obj kvs) -> List.map (fun (k, v) -> (k, histogram_of_json v)) kvs
       | Some _ -> raise (Malformed "report histograms")
     in
-    { spans; counters; histograms }
+    let profile_of_json p =
+      let label =
+        match Json.member "label" p with
+        | Some (Json.Str s) -> s
+        | _ -> raise (Malformed "profile label")
+      in
+      let counters =
+        match Json.member "counters" p with
+        | Some (Json.Obj kvs) ->
+          List.map
+            (fun (k, v) ->
+              match v with
+              | Json.Num f -> (k, int_of_float f)
+              | _ -> raise (Malformed "profile counter value"))
+            kvs
+        | _ -> raise (Malformed "profile counters")
+      in
+      let duration =
+        match Json.member "duration_ms" p with
+        | Some (Json.Num f) -> f /. 1000.0
+        | _ -> raise (Malformed "profile duration_ms")
+      in
+      {
+        profile_label = label;
+        profile_attrs = attrs_of_json p;
+        profile_counters = counters;
+        profile_duration = duration;
+      }
+    in
+    let profiles =
+      (* absent in reports written before scoped collection existed *)
+      match Json.member "profiles" j with
+      | None -> []
+      | Some (Json.Arr ps) -> List.map profile_of_json ps
+      | Some _ -> raise (Malformed "report profiles")
+    in
+    { spans; counters; histograms; profiles }
 
   let of_json s =
     match Json.of_string s with
     | j -> of_json_value j
     | exception Json.Parse_failure { pos; msg } ->
       raise (Malformed (Printf.sprintf "JSON syntax at %d: %s" pos msg))
+end
+
+(* ------------------------------------------------------------------ *)
+
+(* Chrome trace-event export: one complete ("ph":"X") event per span,
+   loadable in Perfetto / chrome://tracing.  Timestamps are microseconds
+   relative to the earliest span start, so the trace starts at t=0
+   regardless of the clock's epoch. *)
+module Trace = struct
+  let event ~t0 ~name ~start ~duration ~attrs =
+    Json.Obj
+      ([
+         ("name", Json.Str name);
+         ("ph", Json.Str "X");
+         ("ts", Json.Num (Float.max 0.0 (start -. t0) *. 1e6));
+         ("dur", Json.Num (duration *. 1e6));
+         ("pid", Json.Num 1.0);
+         ("tid", Json.Num 1.0);
+       ]
+      @
+      if attrs = [] then []
+      else [ ("args", Report.json_of_attrs attrs) ])
+
+  let wrap events =
+    Json.Obj
+      [ ("traceEvents", Json.Arr events); ("displayTimeUnit", Json.Str "ms") ]
+
+  (* earliest nonzero start in the span forest; 0 for pre-PR-5 reports *)
+  let earliest_start spans =
+    let rec go acc (s : Report.span) =
+      let acc =
+        if s.Report.start > 0.0 && (acc = 0.0 || s.Report.start < acc) then s.Report.start
+        else acc
+      in
+      List.fold_left go acc s.Report.children
+    in
+    List.fold_left go 0.0 spans
+
+  let of_report (r : Report.t) =
+    let t0 = earliest_start r.Report.spans in
+    let events = ref [] in
+    let rec emit (s : Report.span) =
+      (* parents first, so the enclosing slice appears before its
+         children; Perfetto nests by (pid, tid, ts, dur) containment *)
+      events :=
+        event ~t0 ~name:s.Report.name ~start:s.Report.start ~duration:s.Report.duration
+          ~attrs:s.Report.attrs
+        :: !events;
+      List.iter emit s.Report.children
+    in
+    List.iter emit r.Report.spans;
+    wrap (List.rev !events)
+
+  let event_count = function
+    | Json.Obj kvs -> (
+      match List.assoc_opt "traceEvents" kvs with
+      | Some (Json.Arr evs) -> List.length evs
+      | _ -> 0)
+    | _ -> 0
+
+  (* Streaming sink: subscribes to span completion, so a long run can be
+     exported without retaining anything beyond the event list.  Spans
+     complete children-before-parents; the trace-event format does not
+     care about event order. *)
+  type sink = { mutable events : Json.t list (* reversed *); mutable t0 : float }
+
+  let start_stream () =
+    let s = { events = []; t0 = 0.0 } in
+    Span.completion_hook :=
+      Some
+        (fun (n : Span.node) ->
+          if s.t0 = 0.0 || n.Span.start < s.t0 then s.t0 <- n.Span.start;
+          s.events <-
+            (* t0 is normalised at [stop_stream]; record absolute µs here *)
+            event ~t0:0.0 ~name:n.Span.span_name ~start:n.Span.start
+              ~duration:n.Span.duration ~attrs:(List.rev n.Span.attrs)
+            :: s.events);
+    s
+
+  let stop_stream s =
+    Span.completion_hook := None;
+    let shift = s.t0 *. 1e6 in
+    let rebase = function
+      | Json.Obj kvs ->
+        Json.Obj
+          (List.map
+             (function
+               | "ts", Json.Num ts -> ("ts", Json.Num (Float.max 0.0 (ts -. shift)))
+               | kv -> kv)
+             kvs)
+      | j -> j
+    in
+    wrap (List.rev_map rebase s.events)
+end
+
+(* ------------------------------------------------------------------ *)
+
+(* OpenMetrics text exposition (counters and histogram summaries), for
+   scraping the serving layer.  Rendered from a captured report so the
+   exposition and the JSON stats describe the same instant. *)
+module Openmetrics = struct
+  let sanitize name =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+        | _ -> '_')
+      name
+
+  let float_str f = Json.number_to_string f
+
+  let render (r : Report.t) =
+    let buf = Buffer.create 1024 in
+    List.iter
+      (fun (name, v) ->
+        let m = "treequery_" ^ sanitize name in
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" m);
+        Buffer.add_string buf (Printf.sprintf "%s_total %d\n" m v))
+      r.Report.counters;
+    List.iter
+      (fun (name, (h : histogram_summary)) ->
+        let m = "treequery_" ^ sanitize name ^ "_seconds" in
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" m);
+        List.iter
+          (fun (q, v) ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s{quantile=\"%s\"} %s\n" m q (float_str v)))
+          [ ("0.5", h.p50); ("0.9", h.p90); ("0.95", h.p95); ("0.99", h.p99) ];
+        Buffer.add_string buf (Printf.sprintf "%s_count %d\n" m h.count);
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum %s\n" m (float_str (h.mean *. float_of_int h.count))))
+      r.Report.histograms;
+    Buffer.add_string buf "# EOF\n";
+    Buffer.contents buf
+end
+
+(* ------------------------------------------------------------------ *)
+
+(* Declarative complexity attestation: each bound names a counter that
+   witnesses a paper claim and the input-size term it must scale against,
+   with the claimed log-log slope.  `treequery attest` sweeps each bound's
+   term, fits the observed slope and fails when it exceeds the claim
+   beyond tolerance — turning the paper's complexity map (Fig. 7) into a
+   CI regression gate. *)
+module Bound = struct
+  type t = {
+    id : string;  (** stable identifier, e.g. ["datalog-grounding"] *)
+    claim : string;  (** the theorem/figure being attested *)
+    counter : string;  (** the witnessing counter *)
+    term : string;  (** the input-size term swept, e.g. ["|D|"] *)
+    exponent : float;  (** claimed log-log slope of counter vs term *)
+  }
+
+  let registry : t list ref = ref []
+
+  let register ~id ~claim ~counter ~term ~exponent =
+    match List.find_opt (fun b -> b.id = id) !registry with
+    | Some existing -> existing
+    | None ->
+      let b = { id; claim; counter; term; exponent } in
+      registry := b :: !registry;
+      b
+
+  let all () = List.rev !registry
+
+  let find id = List.find_opt (fun b -> b.id = id) !registry
+
+  (* Least-squares slope of log y against log x.  Points with a
+     nonpositive coordinate are skipped (a counter that never fires is
+     within any bound); fewer than two usable points fit slope 0. *)
+  let fit_slope points =
+    let pts =
+      List.filter_map
+        (fun (x, y) -> if x > 0.0 && y > 0.0 then Some (log x, log y) else None)
+        points
+    in
+    match pts with
+    | [] | [ _ ] -> 0.0
+    | _ ->
+      let n = float_of_int (List.length pts) in
+      let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 pts in
+      let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 pts in
+      let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 pts in
+      let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 pts in
+      let denom = (n *. sxx) -. (sx *. sx) in
+      if Float.abs denom < 1e-12 then 0.0 else ((n *. sxy) -. (sx *. sy)) /. denom
 end

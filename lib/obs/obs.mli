@@ -39,7 +39,24 @@ val now : unit -> float
 
 val reset : unit -> unit
 (** Zero every counter, clear every histogram and discard all recorded
-    spans. *)
+    spans and scope profiles. *)
+
+type attr = Int of int | Str of string
+(** Typed span/profile attributes — the sizes and identifiers a reader
+    needs to interpret a measurement (|D|, |Q|, strategy, plan
+    fingerprint). *)
+
+val attr_to_string : attr -> string
+
+type profile = {
+  profile_label : string;
+  profile_attrs : (string * attr) list;
+  profile_counters : (string * int) list;
+      (** counter {e deltas} inside the scope: nonzero only, sorted *)
+  profile_duration : float;  (** seconds *)
+}
+(** The scoped-collection result for one labelled region (e.g. one served
+    request): what the counters did while the region ran.  See {!Scope}. *)
 
 module Counter : sig
   type t
@@ -123,11 +140,37 @@ module Histogram : sig
 end
 
 module Span : sig
-  val with_ : string -> (unit -> 'a) -> 'a
+  val with_ : ?attrs:(string * attr) list -> string -> (unit -> 'a) -> 'a
   (** [with_ name f] runs [f] inside a span.  When enabled, the span
-      records its duration and nests under the innermost enclosing span
-      (spans opened during [f] become children).  When disabled this is
+      records its start, duration and [attrs], and nests under the
+      innermost enclosing span (spans opened during [f] become children).
+      The span is recorded even when [f] raises.  When disabled this is
       just [f ()]. *)
+
+  val set_attr : string -> attr -> unit
+  (** Attach (or overwrite) an attribute on the innermost open span —
+      for values only known mid-flight, e.g. a result size.  No-op when
+      disabled or when no span is open. *)
+end
+
+(** Scoped collection: attribute counter increments and wall time to a
+    labelled region (one served request, one batch rep) instead of the
+    global blob.  A scope diffs a snapshot of every registered counter
+    around the region, so interleaved sequential regions each see exactly
+    their own work; a nested scope's counts are also visible to its
+    enclosing scope, as expected of deltas. *)
+module Scope : sig
+  val collect : ?attrs:(string * attr) list -> string -> (unit -> 'a) -> 'a * profile
+  (** Run the thunk and return its result with the region's profile.
+      When disabled the profile is empty (no counters move). *)
+
+  val record : ?attrs:(string * attr) list -> string -> (unit -> 'a) -> 'a
+  (** Like {!collect} but appends the profile to a global list that
+      {!Report.capture} picks up; the profile is recorded even when the
+      thunk raises.  No-op wrapper when disabled. *)
+
+  val recorded : unit -> profile list
+  (** Profiles recorded since the last {!reset}, oldest first. *)
 end
 
 (** Minimal JSON values — enough to serialise reports and read them back
@@ -152,12 +195,19 @@ module Json : sig
 end
 
 module Report : sig
-  type span = { name : string; duration : float; children : span list }
+  type span = {
+    name : string;
+    start : float;  (** seconds, absolute clock reading; 0 when unknown *)
+    duration : float;
+    attrs : (string * attr) list;
+    children : span list;
+  }
 
   type t = {
     spans : span list;
     counters : (string * int) list;
     histograms : (string * histogram_summary) list;
+    profiles : profile list;
   }
 
   val empty : t
@@ -165,19 +215,83 @@ module Report : sig
   val is_empty : t -> bool
 
   val capture : unit -> t
-  (** Snapshot the completed spans, nonzero counters and nonempty
-      histograms recorded since the last {!reset}.  With observability
-      disabled throughout (and no histogram fed), the result is
-      {!empty}. *)
+  (** Snapshot the completed spans, nonzero counters, nonempty histograms
+      and scope profiles recorded since the last {!reset}.  With
+      observability disabled throughout (and no histogram fed), the
+      result is {!empty}. *)
+
+  val span_count : t -> int
+  (** Total spans in the forest (every node, not just roots). *)
 
   val to_text : t -> string
-  (** Indented span tree with millisecond durations, then a counter
-      table, then histogram quantiles. *)
+  (** Indented span tree with millisecond durations and attributes, then
+      a counter table, histogram quantiles and per-scope profiles. *)
 
   val to_json : t -> string
 
   exception Malformed of string
 
   val of_json : string -> t
-  (** Inverse of {!to_json}. @raise Malformed *)
+  (** Inverse of {!to_json}: [to_json (of_json s) = s] for any [s]
+      produced by {!to_json} (new fields are omitted when empty, so
+      pre-existing reports round-trip unchanged too). @raise Malformed *)
+end
+
+(** Chrome trace-event export: one complete ("ph":"X") event per span,
+    loadable in Perfetto or chrome://tracing.  Timestamps are
+    microseconds relative to the earliest span start. *)
+module Trace : sig
+  val of_report : Report.t -> Json.t
+  (** Convert a captured report's span forest; the event count equals
+      {!Report.span_count}. *)
+
+  val event_count : Json.t -> int
+  (** Number of entries in the ["traceEvents"] array (0 if absent). *)
+
+  type sink
+
+  val start_stream : unit -> sink
+  (** Subscribe to span completions: every span finishing after this
+      call is appended to the sink as it completes (children before
+      parents — event order is irrelevant to the format).  Only one
+      sink can be live at a time; starting a new one replaces the
+      previous subscription. *)
+
+  val stop_stream : sink -> Json.t
+  (** Unsubscribe and return the accumulated trace document. *)
+end
+
+(** OpenMetrics text exposition of a captured report's counters and
+    histogram summaries (metric names are prefixed [treequery_]; the
+    exposition ends with [# EOF]). *)
+module Openmetrics : sig
+  val render : Report.t -> string
+end
+
+(** Declarative complexity attestation: bounds tie a witnessing counter
+    to the paper claim it certifies and the input-size term it must scale
+    against.  [treequery attest] sweeps each registered bound's term,
+    fits the observed log-log slope with {!fit_slope} and fails when it
+    exceeds [exponent] beyond tolerance. *)
+module Bound : sig
+  type t = {
+    id : string;  (** stable identifier, e.g. ["datalog-grounding"] *)
+    claim : string;  (** the theorem/figure being attested *)
+    counter : string;  (** the witnessing counter *)
+    term : string;  (** the input-size term swept, e.g. ["|D|"] *)
+    exponent : float;  (** claimed log-log slope of counter vs term *)
+  }
+
+  val register :
+    id:string -> claim:string -> counter:string -> term:string -> exponent:float -> t
+  (** Add a bound to the registry (idempotent per [id]). *)
+
+  val all : unit -> t list
+  (** Registration order. *)
+
+  val find : string -> t option
+
+  val fit_slope : (float * float) list -> float
+  (** Least-squares slope of log y vs log x.  Points with a nonpositive
+      coordinate are skipped; fewer than two usable points fit 0. *)
 end

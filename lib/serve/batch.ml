@@ -137,10 +137,23 @@ let run_prepared ?(stream_prefilter = false) tree
   let stream_pruned = Array.fold_left (fun a b -> if b then a + 1 else a) 0 pruned_empty in
   let rep_answers =
     Obs.Span.with_ "serve:execute" @@ fun () ->
+    (* in share mode the unit of work is the distinct plan, so the scope
+       is per representative: the shared evaluation is attributed once,
+       and the per-rep profile counters sum to at most the global
+       snapshot (aliased requests ride along for free) *)
     Array.mapi
       (fun i (p : Engine.prepared) ->
-        if pruned_empty.(i) then Nodeset.create (Tree.size tree)
-        else p.Engine.exec tree)
+        Obs.Scope.record
+          ~attrs:
+            [
+              ("fingerprint", Obs.Str p.Engine.fp);
+              ("strategy", Obs.Str (Engine.strategy_name p.Engine.strategy));
+              ("aliased", Obs.Int (n - Array.length reps));
+            ]
+          (Printf.sprintf "rep-%d" i)
+          (fun () ->
+            if pruned_empty.(i) then Nodeset.create (Tree.size tree)
+            else p.Engine.exec tree))
       reps
   in
   {

@@ -26,25 +26,10 @@ let c_shed = Obs.Counter.make "serve_requests_shed"
 
 let latency_hist = Obs.Histogram.make "serve_latency"
 
-let query_size = function
-  | Engine.Xpath_query p -> Xpath.Ast.size p
-  | Engine.Cq_query q ->
-    Cqtree.Query.atom_count q + List.length (Cqtree.Query.vars q)
-  | Engine.Positive_query u ->
-    List.fold_left
-      (fun a q -> a + Cqtree.Query.atom_count q)
-      (List.length u.Cqtree.Positive.disjuncts)
-      u.Cqtree.Positive.disjuncts
-  | Engine.Datalog_query p ->
-    List.fold_left
-      (fun a r -> a + 1 + List.length r.Mdatalog.Ast.body)
-      0 p.Mdatalog.Ast.rules
-  | Engine.Axis_datalog_query p -> 1 + List.length p.Mdatalog.Axis_datalog.rules
-
 (* the paper's per-strategy operation bounds, as a scalar estimate *)
 let naive_bound (p : Engine.prepared) tree =
   let n = float_of_int (Tree.size tree) in
-  let q = float_of_int (query_size p.Engine.source) in
+  let q = float_of_int (Engine.query_size p.Engine.source) in
   match p.Engine.strategy with
   | Engine.Xpath_bottom_up -> n *. q *. q (* O(n·|Q|²), Theorem 3.1 *)
   | Engine.Cq_yannakakis | Engine.Cq_arc_consistency -> n *. q (* O(‖A‖·|Q|) *)
@@ -66,15 +51,31 @@ type stats = {
   throughput : float;
   latency : Obs.histogram_summary;
   cache : Plan_cache.stats option;
+  degraded : (string * float) list;
 }
 
 let run cfg tree (shapes : Workload.shape array) (reqs : Workload.request list) =
-  Obs.Span.with_ "serve" @@ fun () ->
+  let serve_attrs =
+    if Obs.enabled () then
+      [
+        ("|D|", Obs.Int (Tree.size tree));
+        ("requests", Obs.Int (List.length reqs));
+        ("concurrency", Obs.Int cfg.concurrency);
+        ("share", Obs.Str (string_of_bool cfg.share));
+      ]
+    else []
+  in
+  Obs.Span.with_ ~attrs:serve_attrs "serve" @@ fun () ->
   Obs.Histogram.clear latency_hist;
   let t_start = cfg.clock () in
   let served = ref 0 and rejected = ref 0 and shed = ref 0 and errors = ref 0 in
   let distinct = ref 0 and pruned = ref 0 and nodes = ref 0 in
   let total = ref 0 in
+  (* shed/degrade decisions, with the fingerprint (and bound) they
+     priced: surfaced in [stats.degraded], in the trace (one
+     [serve:degrade]/[serve:shed] child span per decision) and in
+     {!to_text} *)
+  let degraded = ref [] in
   (* virtual server time (seconds since t_start); service durations are
      real, queueing is simulated *)
   let vnow = ref 0.0 in
@@ -105,6 +106,14 @@ let run cfg tree (shapes : Workload.shape array) (reqs : Workload.request list) 
             if late then begin
               incr shed;
               Obs.Counter.incr c_shed;
+              if Obs.enabled () then
+                Obs.Span.with_
+                  ~attrs:
+                    [
+                      ("request", Obs.Int r.Workload.id);
+                      ("shape", Obs.Int r.shape);
+                    ]
+                  "serve:shed" ignore;
               None
             end
             else begin
@@ -114,14 +123,25 @@ let run cfg tree (shapes : Workload.shape array) (reqs : Workload.request list) 
                 | Some c -> snd (Plan_cache.find c shapes.(r.shape).Workload.query)
                 | None -> Engine.prepare shapes.(r.shape).Workload.query
               in
+              let bound = naive_bound prepared tree in
               let over_bound =
                 match cfg.deadline with
-                | Some d -> naive_bound prepared tree > d *. cfg.ops_per_second
+                | Some d -> bound > d *. cfg.ops_per_second
                 | None -> false
               in
               if over_bound then begin
                 incr rejected;
                 Obs.Counter.incr c_rejected;
+                degraded := (prepared.Engine.fp, bound) :: !degraded;
+                if Obs.enabled () then
+                  Obs.Span.with_
+                    ~attrs:
+                      [
+                        ("request", Obs.Int r.Workload.id);
+                        ("fingerprint", Obs.Str prepared.Engine.fp);
+                        ("bound", Obs.Int (int_of_float bound));
+                      ]
+                    "serve:degrade" ignore;
                 None
               end
               else Some (r, prepared)
@@ -137,8 +157,22 @@ let run cfg tree (shapes : Workload.shape array) (reqs : Workload.request list) 
             Batch.run_prepared ~stream_prefilter:cfg.stream_prefilter tree plans
           else
             {
+              (* one scope per request, so the counters each evaluation
+                 bumps are attributed to that request's profile *)
               Batch.answers =
-                Array.map (fun (p : Engine.prepared) -> p.Engine.exec tree) plans;
+                Array.of_list
+                  (List.map
+                     (fun ((r : Workload.request), (p : Engine.prepared)) ->
+                       Obs.Scope.record
+                         ~attrs:
+                           [
+                             ("fingerprint", Obs.Str p.Engine.fp);
+                             ( "strategy",
+                               Obs.Str (Engine.strategy_name p.Engine.strategy) );
+                           ]
+                         (Printf.sprintf "request-%d" r.Workload.id)
+                         (fun () -> p.Engine.exec tree))
+                     admitted);
               distinct = Array.length plans;
               stream_pruned = 0;
             }
@@ -183,6 +217,7 @@ let run cfg tree (shapes : Workload.shape array) (reqs : Workload.request list) 
     throughput = (if elapsed > 0.0 then float_of_int !served /. elapsed else 0.0);
     latency = Obs.Histogram.summary latency_hist;
     cache = Option.map Plan_cache.stats cfg.cache;
+    degraded = List.rev !degraded;
   }
 
 let to_text s =
@@ -201,13 +236,28 @@ let to_text s =
   pr "elapsed:     %.3f s  (%.0f req/s)\n" s.elapsed s.throughput;
   let l = s.latency in
   if l.Obs.count > 0 then
-    pr "latency:     p50 %.3f ms  p95 %.3f ms  p99 %.3f ms  max %.3f ms\n"
-      (1e3 *. l.Obs.p50) (1e3 *. l.Obs.p95) (1e3 *. l.Obs.p99)
-      (1e3 *. l.Obs.max);
+    pr "latency:     p50 %.3f ms  p90 %.3f ms  p95 %.3f ms  p99 %.3f ms  max %.3f ms\n"
+      (1e3 *. l.Obs.p50) (1e3 *. l.Obs.p90) (1e3 *. l.Obs.p95)
+      (1e3 *. l.Obs.p99) (1e3 *. l.Obs.max);
   (match s.cache with
   | None -> ()
   | Some c ->
     pr "plan cache:  %d hits, %d misses, %d evictions (%d/%d entries)\n"
       c.Plan_cache.hits c.Plan_cache.misses c.Plan_cache.evictions
       c.Plan_cache.size c.Plan_cache.capacity);
+  (* which plans admission control refused, and the bound it priced *)
+  (match s.degraded with
+  | [] -> ()
+  | ds ->
+    let tally = Hashtbl.create 8 in
+    List.iter
+      (fun (fp, bound) ->
+        let n, _ = Option.value ~default:(0, bound) (Hashtbl.find_opt tally fp) in
+        Hashtbl.replace tally fp (n + 1, bound))
+      ds;
+    pr "degraded:    %d plans priced over the deadline budget\n"
+      (Hashtbl.length tally);
+    Hashtbl.iter
+      (fun fp (n, bound) -> pr "  %-28s x%-5d bound %.3g ops\n" fp n bound)
+      tally);
   Buffer.contents buf

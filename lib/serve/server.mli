@@ -69,6 +69,9 @@ type stats = {
   throughput : float;  (** served / elapsed *)
   latency : Obs.histogram_summary;  (** queueing + service per request *)
   cache : Plan_cache.stats option;
+  degraded : (string * float) list;
+      (** admission-control rejections in order: the plan fingerprint and
+          the operation bound it was priced at *)
 }
 
 val run :
@@ -77,9 +80,16 @@ val run :
   Workload.shape array ->
   Workload.request list ->
   stats
-(** Serve the requests; the run is wrapped in a [serve] span with
-    per-phase child spans ([serve:plan], [serve:batch], …) and feeds the
-    [serve_latency] histogram (cleared at the start of each run). *)
+(** Serve the requests; the run is wrapped in a [serve] span (attributed
+    with |D|, request count, concurrency and share mode) with per-phase
+    child spans ([serve:plan], [serve:batch], …, plus one
+    [serve:shed]/[serve:degrade] marker per refused request carrying the
+    fingerprint and bound it priced) and feeds the [serve_latency]
+    histogram (cleared at the start of each run).  When observability is
+    enabled, each request's evaluation runs in an {!Obs.Scope} — one
+    profile per request (per distinct plan in [share] mode), so a
+    captured report attributes counters to requests rather than one
+    global blob. *)
 
 val to_text : stats -> string
 (** Multi-line human-readable summary with latency quantiles. *)

@@ -42,6 +42,21 @@ let plan = function
     else if Actree.Xeval.supported q <> None then Cq_arc_consistency
     else Cq_rewrite
 
+(* the |Q| term of the paper's bounds: syntactic size of the query *)
+let query_size = function
+  | Xpath_query p -> Xpath.Ast.size p
+  | Cq_query q -> Cqtree.Query.atom_count q + List.length (Cqtree.Query.vars q)
+  | Positive_query u ->
+    List.fold_left
+      (fun a q -> a + Cqtree.Query.atom_count q)
+      (List.length u.Cqtree.Positive.disjuncts)
+      u.Cqtree.Positive.disjuncts
+  | Datalog_query p ->
+    List.fold_left
+      (fun a r -> a + 1 + List.length r.Mdatalog.Ast.body)
+      0 p.Mdatalog.Ast.rules
+  | Axis_datalog_query p -> 1 + List.length p.Mdatalog.Axis_datalog.rules
+
 (* ------------------------------------------------------------------ *)
 (* Canonical forms and fingerprints (the plan-cache key).               *)
 
@@ -238,13 +253,50 @@ let explain ?observed ?plan_cache query =
       (fun (name, v) -> pr "  %-28s %d\n" name v)
       report.Obs.Report.counters
   end;
+  (* scoped-collection profiles (one per served request when the serving
+     layer ran): which part of the observed work each region did *)
+  if report.Obs.Report.profiles <> [] then begin
+    pr "profiles:\n";
+    List.iter
+      (fun (p : Obs.profile) ->
+        pr "  %-28s %.3f ms%s\n" p.Obs.profile_label
+          (p.Obs.profile_duration *. 1000.0)
+          (match List.assoc_opt "fingerprint" p.Obs.profile_attrs with
+          | Some a -> "  [" ^ Obs.attr_to_string a ^ "]"
+          | None -> "");
+        List.iter
+          (fun (name, v) -> pr "    %-28s %d\n" name v)
+          p.Obs.profile_counters)
+      report.Obs.Report.profiles
+  end;
   Buffer.contents buf
+
+(* Span attributes tying a measurement to its inputs: |D|, |Q|, the
+   chosen strategy and the plan fingerprint.  Only computed when
+   observability is enabled — fingerprinting canonicalizes the query,
+   which must not tax an untraced hot path. *)
+let strategy_attrs ?tree query strategy =
+  if not (Obs.enabled ()) then []
+  else
+    [
+      ("strategy", Obs.Str (strategy_name strategy));
+      ("|Q|", Obs.Int (query_size query));
+      ("fingerprint", Obs.Str (fingerprint query));
+    ]
+    @
+    match tree with
+    | Some t -> [ ("|D|", Obs.Int (Tree.size t)) ]
+    | None -> []
 
 (* one span per strategy run, so a traced evaluation shows up as
    [strategy:<name>] with the per-phase spans of the underlying
    algorithm nested below it *)
-let in_strategy_span query f =
-  Obs.Span.with_ ("strategy:" ^ strategy_name (plan query)) f
+let in_strategy_span ?tree query f =
+  let strategy = plan query in
+  Obs.Span.with_
+    ~attrs:(strategy_attrs ?tree query strategy)
+    ("strategy:" ^ strategy_name strategy)
+    f
 
 let eval_cq_with strategy q tree =
   match strategy with
@@ -316,7 +368,7 @@ let eval_inner query tree =
     end
   | Cq_query q -> eval_cq q tree
 
-let eval query tree = in_strategy_span query (fun () -> eval_inner query tree)
+let eval query tree = in_strategy_span ~tree query (fun () -> eval_inner query tree)
 
 let boolean_cq_with strategy q tree =
   match strategy with
@@ -328,7 +380,7 @@ let boolean_cq_with strategy q tree =
     assert false
 
 let eval_boolean query tree =
-  in_strategy_span query @@ fun () ->
+  in_strategy_span ~tree query @@ fun () ->
   match query with
   | Cq_query q -> boolean_cq_with (plan query) q tree
   | Positive_query u -> Cqtree.Positive.boolean u tree
@@ -336,7 +388,7 @@ let eval_boolean query tree =
     not (Nodeset.is_empty (eval_inner query tree))
 
 let solutions query tree =
-  in_strategy_span query @@ fun () ->
+  in_strategy_span ~tree query @@ fun () ->
   match query with
   | Cq_query q -> (
     match plan query with
@@ -367,7 +419,10 @@ type prepared = {
 let prepare query =
   let strategy = plan query in
   let span f tree =
-    Obs.Span.with_ ("strategy:" ^ strategy_name strategy) (fun () -> f tree)
+    Obs.Span.with_
+      ~attrs:(strategy_attrs ~tree query strategy)
+      ("strategy:" ^ strategy_name strategy)
+      (fun () -> f tree)
   in
   let exec, exec_boolean =
     match (query, strategy) with

@@ -57,6 +57,12 @@ val strategy_name : strategy -> string
 val plan : query -> strategy
 (** The strategy {!eval} will use. *)
 
+val query_size : query -> int
+(** The |Q| term of the paper's bounds: syntactic size of the query
+    (steps + qualifiers for XPath, atoms + variables for CQs, atoms over
+    all rules for datalog).  Used by the serving layer's admission
+    control and by span attributes. *)
+
 (** {1 Canonical forms and fingerprints}
 
     The serving layer's plan cache keys on a canonical query fingerprint:

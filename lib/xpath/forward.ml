@@ -4,7 +4,11 @@ let rewrite_and_check p =
     match To_cq.to_query p with
     | None -> None
     | Some cq ->
-      let { Cqtree.Rewrite.queries; _ } = Cqtree.Rewrite.rewrite cq in
+      (* the rewrite's branch budget is a completeness cap, not an error:
+         a query that blows it is simply not rewritable here *)
+      match Cqtree.Rewrite.rewrite cq with
+      | exception Cqtree.Rewrite.Too_many_branches -> None
+      | { Cqtree.Rewrite.queries; _ } ->
       let branches =
         List.map
           (fun q ->

@@ -27,4 +27,5 @@ let () =
       ("laws", Test_laws.suite);
       ("nodeset-edge", Test_nodeset_edge.suite);
       ("check", Test_check.suite);
+      ("attest", Test_attest.suite);
     ]

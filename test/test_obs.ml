@@ -265,9 +265,188 @@ let test_explain_appends_observed () =
     (contains traced "observed:");
   Alcotest.(check bool) "lists nodes_visited" true (contains traced "nodes_visited")
 
+(* ------------------------------------------------------------------ *)
+(* span attributes, scoped collection, trace export, openmetrics       *)
+
+let test_span_raising_child_nests () =
+  with_clean_obs @@ fun () ->
+  Obs.set_enabled true;
+  (* a child that raises must still be recorded as a child (the frame is
+     popped and attached on the exception path), and the parent's later
+     children must not end up nested under the dead child *)
+  (try
+     Obs.Span.with_ "parent" (fun () ->
+         (try Obs.Span.with_ "dies" (fun () -> failwith "boom")
+          with Failure _ -> ());
+         Obs.Span.with_ "after" (fun () -> ());
+         failwith "parent-boom")
+   with Failure _ -> ());
+  let r = Obs.Report.capture () in
+  Alcotest.(check (list string))
+    "parent is the only root" [ "parent" ]
+    (List.map (fun (s : Obs.Report.span) -> s.name) r.Obs.Report.spans);
+  let parent = List.hd r.Obs.Report.spans in
+  Alcotest.(check (list string))
+    "both children recorded, in order" [ "dies"; "after" ]
+    (List.map (fun (s : Obs.Report.span) -> s.name) parent.children);
+  Alcotest.(check int) "span_count counts the forest" 3
+    (Obs.Report.span_count r)
+
+let test_with_enabled_toggle_mid_span () =
+  with_clean_obs @@ fun () ->
+  Obs.set_enabled true;
+  (* disabling inside an open span must not corrupt the stack: the outer
+     span still closes and attaches correctly afterwards *)
+  Obs.Span.with_ "outer" (fun () ->
+      Obs.with_enabled false (fun () ->
+          Obs.Span.with_ "invisible" (fun () -> ());
+          Obs.with_enabled true (fun () ->
+              Obs.Span.with_ "visible-again" (fun () -> ())));
+      Obs.Span.with_ "tail" (fun () -> ()));
+  let r = Obs.Report.capture () in
+  Alcotest.(check (list string))
+    "one root" [ "outer" ]
+    (List.map (fun (s : Obs.Report.span) -> s.name) r.Obs.Report.spans);
+  let outer = List.hd r.Obs.Report.spans in
+  Alcotest.(check (list string))
+    "disabled span dropped, re-enabled + tail kept"
+    [ "visible-again"; "tail" ]
+    (List.map (fun (s : Obs.Report.span) -> s.name) outer.children)
+
+let test_span_attrs () =
+  with_clean_obs @@ fun () ->
+  Obs.set_enabled true;
+  Obs.Span.with_ ~attrs:[ ("|D|", Obs.Int 42); ("strategy", Obs.Str "xpath") ]
+    "eval"
+    (fun () -> Obs.Span.set_attr "answers" (Obs.Int 7));
+  let r = Obs.Report.capture () in
+  let s = List.hd r.Obs.Report.spans in
+  Alcotest.(check int) "three attrs" 3 (List.length s.attrs);
+  (match List.assoc_opt "answers" s.attrs with
+  | Some (Obs.Int 7) -> ()
+  | _ -> Alcotest.fail "set_attr value missing");
+  (* attrs survive the JSON round-trip *)
+  let r' = Obs.Report.of_json (Obs.Report.to_json r) in
+  let s' = List.hd r'.Obs.Report.spans in
+  Alcotest.(check bool) "attrs round-trip" true (s.attrs = s'.attrs);
+  Alcotest.(check string) "round-trip fixpoint" (Obs.Report.to_json r)
+    (Obs.Report.to_json r')
+
+let test_scope_deltas () =
+  with_clean_obs @@ fun () ->
+  Obs.set_enabled true;
+  let c = Obs.Counter.make "test_scope_counter" in
+  Obs.Counter.add c 100 (* before the scope: must not be attributed *);
+  let (), p =
+    Obs.Scope.collect "region" (fun () ->
+        Obs.Counter.add c 7;
+        let (), inner = Obs.Scope.collect "nested" (fun () -> Obs.Counter.add c 5) in
+        Alcotest.(check (list (pair string int)))
+          "nested scope sees only its own work"
+          [ ("test_scope_counter", 5) ]
+          inner.Obs.profile_counters)
+  in
+  Alcotest.(check (list (pair string int)))
+    "outer delta includes nested work, excludes pre-scope work"
+    [ ("test_scope_counter", 12) ]
+    p.Obs.profile_counters;
+  Alcotest.(check int) "global counter unaffected" 112 (Obs.Counter.value c);
+  (* record appends to the capture, even when the thunk raises *)
+  (try
+     Obs.Scope.record ~attrs:[ ("fingerprint", Obs.Str "fp1") ] "req" (fun () ->
+         Obs.Counter.add c 3;
+         failwith "boom")
+   with Failure _ -> ());
+  let r = Obs.Report.capture () in
+  (match r.Obs.Report.profiles with
+  | [ p ] ->
+    Alcotest.(check string) "label" "req" p.Obs.profile_label;
+    Alcotest.(check (list (pair string int)))
+      "raised scope still profiled"
+      [ ("test_scope_counter", 3) ]
+      p.Obs.profile_counters
+  | ps -> Alcotest.fail (Printf.sprintf "expected 1 profile, got %d" (List.length ps)))
+
+let test_trace_export () =
+  with_clean_obs @@ fun () ->
+  Obs.set_enabled true;
+  let sink = Obs.Trace.start_stream () in
+  Obs.Span.with_ "a" (fun () ->
+      Obs.Span.with_ ~attrs:[ ("k", Obs.Int 1) ] "b" (fun () -> ()));
+  Obs.Span.with_ "c" (fun () -> ());
+  let r = Obs.Report.capture () in
+  let doc = Obs.Trace.of_report r in
+  Alcotest.(check int) "event count = span count" (Obs.Report.span_count r)
+    (Obs.Trace.event_count doc);
+  (* the document survives our own serialise/parse *)
+  let parsed = Obs.Json.of_string (Obs.Json.to_string doc) in
+  Alcotest.(check int) "parses back with same event count"
+    (Obs.Trace.event_count doc)
+    (Obs.Trace.event_count parsed);
+  (* the streaming sink saw the same spans as the batch conversion *)
+  let streamed = Obs.Trace.stop_stream sink in
+  Alcotest.(check int) "streamed count matches" (Obs.Report.span_count r)
+    (Obs.Trace.event_count streamed)
+
+let test_openmetrics_render () =
+  with_clean_obs @@ fun () ->
+  Obs.set_enabled true;
+  let c = Obs.Counter.make "test_om_counter" in
+  Obs.Counter.add c 5;
+  let h = Obs.Histogram.make "test_om_latency" in
+  Obs.Histogram.clear h;
+  Obs.Histogram.observe h 0.002;
+  let r = Obs.Report.capture () in
+  Obs.Histogram.clear h;
+  let text = Obs.Openmetrics.render r in
+  let contains needle =
+    let lh = String.length text and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub text i ln = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "counter _total line" true
+    (contains "treequery_test_om_counter_total 5");
+  Alcotest.(check bool) "counter TYPE line" true
+    (contains "# TYPE treequery_test_om_counter counter");
+  Alcotest.(check bool) "summary quantile line" true
+    (contains "treequery_test_om_latency_seconds{quantile=\"0.5\"}");
+  Alcotest.(check bool) "summary count line" true
+    (contains "treequery_test_om_latency_seconds_count 1");
+  Alcotest.(check bool) "ends with EOF marker" true
+    (let tail = "# EOF\n" in
+     String.length text >= String.length tail
+     && String.sub text (String.length text - String.length tail)
+          (String.length tail)
+        = tail)
+
+let test_bound_fit_slope () =
+  let close what expected actual =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: %.3f near %.3f" what actual expected)
+      true
+      (Float.abs (actual -. expected) < 0.01)
+  in
+  close "linear" 1.0
+    (Obs.Bound.fit_slope [ (10., 30.); (20., 60.); (40., 120.); (80., 240.) ]);
+  close "quadratic" 2.0
+    (Obs.Bound.fit_slope [ (10., 100.); (20., 400.); (40., 1600.) ]);
+  close "constant" 0.0 (Obs.Bound.fit_slope [ (10., 5.); (100., 5.); (1000., 5.) ]);
+  close "degenerate: too few points" 0.0 (Obs.Bound.fit_slope [ (10., 100.) ]);
+  close "nonpositive points skipped" 1.0
+    (Obs.Bound.fit_slope [ (0., 7.); (10., 30.); (20., 60.); (-3., 9.); (40., 120.) ])
+
 let suite =
   [
     Alcotest.test_case "span nesting" `Quick test_span_nesting;
+    Alcotest.test_case "raising child stays nested" `Quick
+      test_span_raising_child_nests;
+    Alcotest.test_case "with_enabled toggle mid-span" `Quick
+      test_with_enabled_toggle_mid_span;
+    Alcotest.test_case "span attributes" `Quick test_span_attrs;
+    Alcotest.test_case "scoped collection deltas" `Quick test_scope_deltas;
+    Alcotest.test_case "chrome trace export" `Quick test_trace_export;
+    Alcotest.test_case "openmetrics exposition" `Quick test_openmetrics_render;
+    Alcotest.test_case "bound slope fitting" `Quick test_bound_fit_slope;
     Alcotest.test_case "span survives exception" `Quick test_span_survives_exception;
     Alcotest.test_case "counter reset between runs" `Quick test_counter_reset_between_runs;
     Alcotest.test_case "disabled mode leaves report empty" `Quick test_disabled_mode_empty;

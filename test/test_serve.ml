@@ -306,6 +306,157 @@ let test_workload_generator () =
   | Ok _ -> Alcotest.fail "negative rate must be rejected")
 
 (* ------------------------------------------------------------------ *)
+(* scoped per-request profiles *)
+
+let with_clean_obs f =
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+    f
+
+let test_per_request_profiles () =
+  with_clean_obs @@ fun () ->
+  let t = Generator.xmark ~seed:3 ~scale:8 () in
+  let shapes = mini_shapes [ "//mail[date]"; "//item"; "//person/name" ] in
+  let cfg = Serve.Server.config ~concurrency:4 ~share:false () in
+  let stats =
+    Obs.with_enabled true (fun () ->
+        Serve.Server.run cfg t shapes (closed_requests 30 3))
+  in
+  let r = Obs.Report.capture () in
+  let profs = r.Obs.Report.profiles in
+  Alcotest.(check int) "one profile per served request"
+    stats.Serve.Server.served (List.length profs);
+  List.iteri
+    (fun i (p : Obs.profile) ->
+      Alcotest.(check string) "labels follow request ids"
+        (Printf.sprintf "request-%d" i)
+        p.Obs.profile_label;
+      (match List.assoc_opt "fingerprint" p.Obs.profile_attrs with
+      | Some (Obs.Str fp) ->
+        Alcotest.(check string) "fingerprint is the request's own shape"
+          (E.fingerprint shapes.(i mod 3).Serve.Workload.query)
+          fp
+      | _ -> Alcotest.fail "profile missing fingerprint attr");
+      Alcotest.(check bool) "profile saw work" true
+        (List.exists (fun (_, v) -> v > 0) p.Obs.profile_counters))
+    profs;
+  (* interleaved requests each get exactly their own counters: all the
+     requests of one shape did identical work, and distinct shapes did
+     distinguishable work — impossible if deltas leaked across requests *)
+  let by_shape = Hashtbl.create 4 in
+  List.iter
+    (fun (p : Obs.profile) ->
+      match List.assoc_opt "fingerprint" p.Obs.profile_attrs with
+      | Some (Obs.Str fp) ->
+        let prev = Option.value ~default:[] (Hashtbl.find_opt by_shape fp) in
+        Hashtbl.replace by_shape fp (p.Obs.profile_counters :: prev)
+      | _ -> ())
+    profs;
+  Alcotest.(check int) "three shapes profiled" 3 (Hashtbl.length by_shape);
+  Hashtbl.iter
+    (fun fp runs ->
+      List.iter
+        (fun counters ->
+          Alcotest.(check bool)
+            (Printf.sprintf "all %s requests did identical work" fp)
+            true
+            (counters = List.hd runs))
+        runs)
+    by_shape;
+  let distinct =
+    Hashtbl.fold (fun _ runs acc -> List.hd runs :: acc) by_shape []
+  in
+  Alcotest.(check int) "shapes do distinguishable work" 3
+    (List.length (List.sort_uniq compare distinct));
+  (* profile sums never exceed the global snapshot totals *)
+  let sums = Hashtbl.create 16 in
+  List.iter
+    (fun (p : Obs.profile) ->
+      List.iter
+        (fun (k, v) ->
+          Hashtbl.replace sums k
+            (v + Option.value ~default:0 (Hashtbl.find_opt sums k)))
+        p.Obs.profile_counters)
+    profs;
+  Hashtbl.iter
+    (fun k v ->
+      let glob = Option.value ~default:0 (List.assoc_opt k r.Obs.Report.counters) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: profiled %d <= global %d" k v glob)
+        true (v <= glob))
+    sums;
+  (* p90 is reported on both the text and the JSON path *)
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "p90 in the text report" true
+    (contains (Serve.Server.to_text stats) "p90");
+  Alcotest.(check bool) "p90_ms in the JSON report" true
+    (contains (Obs.Report.to_json r) "p90_ms");
+  Alcotest.(check bool) "serve latency histogram captured" true
+    (List.mem_assoc "serve_latency" r.Obs.Report.histograms)
+
+let test_share_mode_profiles_per_rep () =
+  with_clean_obs @@ fun () ->
+  let t = fig2_tree () in
+  let shapes = mini_shapes [ "//a"; "//a[b]" ] in
+  let cfg = Serve.Server.config ~concurrency:10 ~share:true () in
+  ignore
+    (Obs.with_enabled true (fun () ->
+         Serve.Server.run cfg t shapes (closed_requests 20 2)));
+  let r = Obs.Report.capture () in
+  (* share mode evaluates each distinct plan once per batch: profiles are
+     per-rep, so their sums stay within the global totals even though 20
+     requests were answered *)
+  Alcotest.(check bool) "some rep profiles recorded" true
+    (r.Obs.Report.profiles <> []);
+  List.iter
+    (fun (p : Obs.profile) ->
+      Alcotest.(check bool) "rep labels" true
+        (String.length p.Obs.profile_label >= 4
+        && String.sub p.Obs.profile_label 0 4 = "rep-");
+      match List.assoc_opt "aliased" p.Obs.profile_attrs with
+      | Some (Obs.Int _) -> ()
+      | _ -> Alcotest.fail "rep profile missing aliased attr")
+    r.Obs.Report.profiles;
+  let sums = Hashtbl.create 16 in
+  List.iter
+    (fun (p : Obs.profile) ->
+      List.iter
+        (fun (k, v) ->
+          Hashtbl.replace sums k
+            (v + Option.value ~default:0 (Hashtbl.find_opt sums k)))
+        p.Obs.profile_counters)
+    r.Obs.Report.profiles;
+  Hashtbl.iter
+    (fun k v ->
+      let glob = Option.value ~default:0 (List.assoc_opt k r.Obs.Report.counters) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: rep profiles %d <= global %d" k v glob)
+        true (v <= glob))
+    sums
+
+let test_degrade_logs_fingerprint () =
+  let t = fig2_tree () in
+  let shapes = mini_shapes [ "//a[b]" ] in
+  let cfg = Serve.Server.config ~deadline:1e-9 ~ops_per_second:1.0 () in
+  let stats = Serve.Server.run cfg t shapes (closed_requests 5 1) in
+  Alcotest.(check int) "every rejection logs the priced plan" 5
+    (List.length stats.Serve.Server.degraded);
+  List.iter
+    (fun (fp, bound) ->
+      Alcotest.(check string) "fingerprint of the degraded plan"
+        (E.fingerprint (E.parse_xpath "//a[b]"))
+        fp;
+      Alcotest.(check bool) "priced bound is positive" true (bound > 0.0))
+    stats.Serve.Server.degraded
+
+(* ------------------------------------------------------------------ *)
 (* the acceptance bar: cached-vs-cold differential oracle over 1k cases *)
 
 let test_oracle_1k () =
@@ -339,5 +490,10 @@ let suite =
       test_admission_rejects_over_bound;
     Alcotest.test_case "open loop sheds late requests" `Quick test_open_loop_sheds;
     Alcotest.test_case "workload generator" `Quick test_workload_generator;
+    Alcotest.test_case "per-request scoped profiles" `Quick test_per_request_profiles;
+    Alcotest.test_case "share-mode per-rep profiles" `Quick
+      test_share_mode_profiles_per_rep;
+    Alcotest.test_case "degrade logs priced fingerprint" `Quick
+      test_degrade_logs_fingerprint;
     Alcotest.test_case "plan-cache oracle x1000" `Slow test_oracle_1k;
   ]
