@@ -1,17 +1,22 @@
-(* Serving-layer experiment (PR 4): plan cache + batch executor.
+(* Serving-layer experiment (PR 4, extended by PR 6): plan cache +
+   batch executor + online telemetry.
 
    10k requests drawn from 100 distinct query shapes against one
-   xmark-2048 document, two ways:
+   xmark-2048 document, three ways:
 
-     cold    one request at a time, parse + plan + evaluate from scratch
-             every time (what a naive server would do);
-     warm    batch mode through the serving layer: plans come from a warm
-             LRU cache keyed by canonical form, each in-flight group of
-             requests shares plan dedup, grouped label seed scans and one
-             stream-prefilter pass.
+     cold      one request at a time, parse + plan + evaluate from
+               scratch every time (what a naive server would do);
+     warm      batch mode through the serving layer: plans come from a
+               warm LRU cache keyed by canonical form, each in-flight
+               group of requests shares plan dedup, grouped label seed
+               scans and one stream-prefilter pass;
+     telemetry the warm configuration plus the PR 6 cost store and
+               flight recorder (per-fingerprint latency sketches, EWMA,
+               residual tracking, ring-buffer entries).
 
-   The recorded acceptance: warm batch throughput >= 3x cold, with
-   plan_cache_hit >= 9,900 of the 10,000 lookups. *)
+   The recorded acceptance: warm batch throughput >= 3x cold with
+   plan_cache_hit >= 9,900 of the 10,000 lookups, and telemetry
+   bookkeeping adds < 3% to warm wall time (min-of-2 runs each). *)
 
 module Engine = Treequery.Engine
 
@@ -85,6 +90,41 @@ let run_core () =
   Bench_util.record "serving: plan_cache_hit >= 9900"
     (hits >= 9_900 && stats.Serve.Server.served = requests_total);
   Bench_util.record "serving: zero errors" (stats.Serve.Server.errors = 0);
+  (* telemetry overhead: the same warm configuration with the PR 6 cost
+     store + flight recorder attached, min-of-2 runs on each side so a
+     single scheduler hiccup cannot decide the check *)
+  let min_of_2 f =
+    let w1, r = Bench_util.time_once f in
+    let w2, _ = Bench_util.time_once f in
+    (Float.min w1 w2, r)
+  in
+  let plain () =
+    Obs.Counter.reset_all ();
+    Serve.Server.run cfg tree shapes reqs
+  in
+  let wall_plain, _ = min_of_2 plain in
+  let store = Telemetry.Cost_store.create () in
+  let recorder = Telemetry.Flight_recorder.create () in
+  let cfg_tel =
+    Serve.Server.config ~cache ~concurrency ~share:true ~telemetry:store
+      ~recorder ()
+  in
+  let tel () =
+    Obs.Counter.reset_all ();
+    Serve.Server.run cfg_tel tree shapes reqs
+  in
+  let wall_tel, stats_tel = min_of_2 tel in
+  let tel_rps = float_of_int requests_total /. wall_tel in
+  let overhead = (wall_tel -. wall_plain) /. wall_plain in
+  let nkeys = List.length (Telemetry.Cost_store.summaries store) in
+  Printf.printf
+    "telemetry on        %8.3f s  %9.0f req/s  (%+.2f%% vs %0.3f s plain; %d \
+     fingerprint keys, %d residual violations)\n"
+    wall_tel tel_rps (overhead *. 100.0) wall_plain nkeys
+    stats_tel.Serve.Server.residual_violations;
+  Bench_util.record "serving: telemetry overhead < 3%" (overhead < 0.03);
+  Bench_util.record "serving: telemetry served in full"
+    (nkeys > 0 && stats_tel.Serve.Server.served = requests_total);
   Obs.Json.Obj
     [
       ("tree_nodes", Obs.Json.Num (float_of_int (Treekit.Tree.size tree)));
@@ -114,6 +154,21 @@ let run_core () =
             ("latency", summary_json stats.Serve.Server.latency);
           ] );
       ("speedup", Obs.Json.Num speedup);
+      ( "telemetry",
+        Obs.Json.Obj
+          [
+            ("wall_plain_s", Obs.Json.Num wall_plain);
+            ("wall_s", Obs.Json.Num wall_tel);
+            ("throughput_rps", Obs.Json.Num tel_rps);
+            ("overhead_frac", Obs.Json.Num overhead);
+            ("fingerprint_keys", Obs.Json.Num (float_of_int nkeys));
+            ( "residual_violations",
+              Obs.Json.Num
+                (float_of_int stats_tel.Serve.Server.residual_violations) );
+            ( "flight_entries",
+              Obs.Json.Num
+                (float_of_int (Telemetry.Flight_recorder.total recorder)) );
+          ] );
     ]
 
 let serving () = ignore (run_core ())

@@ -113,18 +113,16 @@ let common_term =
   let mk seed trace stats_json trace_out = { seed; trace; stats_json; trace_out } in
   Term.(const mk $ seed_arg $ trace_arg $ stats_json_arg $ trace_out_arg)
 
-let write_file path contents =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc contents)
-
 (* [observe common f] runs [f] with observability enabled when any sink
    asks for it, then emits the report (and the streamed Perfetto trace
    when [--trace-out] is given).  [extra] forces collection for
-   subcommand-specific sinks (serve's [--metrics-out]), which receive the
-   captured report through [emit].  Returns [f ()]'s result. *)
-let observe ?(extra = false) ?(emit = fun _ -> ()) common f =
+   subcommand-specific sinks (serve's [--metrics-out] and telemetry),
+   which receive the captured report through [emit]; [augment] rewrites
+   the [--stats-json] document (serve splices in its telemetry section).
+   All sinks go through [Obs.Json.write_file]/[write_raw], which close
+   the fd under [Fun.protect] and treat "-" as stdout.  Returns
+   [f ()]'s result. *)
+let observe ?(extra = false) ?(augment = fun j -> j) ?(emit = fun _ -> ()) common f =
   let observing =
     common.trace || common.stats_json <> None || common.trace_out <> None || extra
   in
@@ -137,14 +135,12 @@ let observe ?(extra = false) ?(emit = fun _ -> ()) common f =
     let report = Obs.Report.capture () in
     Obs.set_enabled false;
     (match (sink, common.trace_out) with
-    | Some s, Some path ->
-      write_file path (Obs.Json.to_string (Obs.Trace.stop_stream s) ^ "\n")
+    | Some s, Some path -> Obs.Json.write_file path (Obs.Trace.stop_stream s)
     | _ -> ());
     if common.trace then prerr_string (Obs.Report.to_text report);
     (match common.stats_json with
     | None -> ()
-    | Some "-" -> print_endline (Obs.Report.to_json report)
-    | Some path -> write_file path (Obs.Report.to_json report ^ "\n"));
+    | Some path -> Obs.Json.write_file path (augment (Obs.Report.to_json_value report)));
     emit report;
     result
   end
@@ -256,20 +252,55 @@ let filter_cmd =
 
 let serve_cmd =
   let run xml_file xml random xmark requests concurrency shapes cache_size ttl
-      deadline_ms batch stream_prefilter workload metrics_out common =
+      deadline_ms batch stream_prefilter workload metrics_out metrics_every
+      telemetry_out residual_threshold flight_out dump_flight inject_overbudget
+      common =
     handle_errors @@ fun () ->
     let kind =
       match Serve.Workload.kind_of_string workload with
       | Ok k -> k
       | Error m -> failwith m
     in
-    let emit report =
+    if metrics_every <> None && metrics_out = None then
+      failwith "--metrics-every requires --metrics-out";
+    (* per-fingerprint telemetry rides along whenever a sink wants it:
+       any telemetry flag, or --stats-json (which then carries the
+       per-fingerprint summaries) *)
+    let telemetry_on =
+      telemetry_out <> None || flight_out <> None || dump_flight
+      || inject_overbudget || metrics_every <> None || common.stats_json <> None
+    in
+    let store =
+      if telemetry_on then
+        Some (Telemetry.Cost_store.create ~threshold:residual_threshold ())
+      else None
+    in
+    let recorder =
+      if telemetry_on then Some (Telemetry.Flight_recorder.create ()) else None
+    in
+    let snapshots = ref 0 in
+    let metrics_extra () =
+      match store with
+      | Some s -> Telemetry.Cost_store.openmetrics s
+      | None -> []
+    in
+    let write_metrics report =
       match metrics_out with
       | None -> ()
-      | Some path -> write_file path (Obs.Openmetrics.render report)
+      | Some path ->
+        Obs.Json.write_raw path (Obs.Openmetrics.render ~extra:(metrics_extra ()) report)
+    in
+    let augment j =
+      match (store, j) with
+      | Some s, Obs.Json.Obj kvs when not (Telemetry.Cost_store.is_empty s) ->
+        Obs.Json.Obj (kvs @ [ ("telemetry", Telemetry.Cost_store.to_json s) ])
+      | _ -> j
     in
     let doc, stats =
-      observe ~extra:(metrics_out <> None) ~emit common (fun () ->
+      observe
+        ~extra:(metrics_out <> None || telemetry_on)
+        ~augment ~emit:write_metrics common
+        (fun () ->
           let doc =
             Obs.Span.with_ "load-document" (fun () ->
                 load_document ~xml_file ~xml ~random ~xmark ~seed:common.seed)
@@ -289,13 +320,70 @@ let serve_cmd =
             Serve.Server.config ?cache ~concurrency ~share:batch
               ~stream_prefilter
               ?deadline:(Option.map (fun ms -> ms /. 1000.0) deadline_ms)
+              ?telemetry:store ?recorder ~inject_overbudget
+              ?tick_every:metrics_every
+              ?on_tick:
+                (Option.map
+                   (fun _ _i _vt ->
+                     incr snapshots;
+                     write_metrics (Obs.Report.capture ()))
+                   metrics_every)
               ()
           in
           (doc, Serve.Server.run cfg doc shapes reqs))
     in
     Printf.printf "document:    %d nodes, depth %d\n" (Tree.size doc)
       (Tree.height doc);
-    print_string (Serve.Server.to_text stats);
+    print_string (Serve.Server.to_text ?telemetry:store stats);
+    if metrics_every <> None then
+      Printf.printf "metrics:     %d periodic snapshots (every %gs virtual)\n"
+        !snapshots
+        (Option.get metrics_every);
+    (* the cost-store summaries and a flight-recorder digest, for post-hoc
+       reading without re-running *)
+    (match (telemetry_out, store) with
+    | Some path, Some s ->
+      let flight =
+        match recorder with
+        | None -> []
+        | Some r ->
+          [
+            ( "flight",
+              Obs.Json.Obj
+                ([
+                   ("capacity", Obs.Json.Num (float_of_int (Telemetry.Flight_recorder.capacity r)));
+                   ("recorded", Obs.Json.Num (float_of_int (Telemetry.Flight_recorder.length r)));
+                   ("total", Obs.Json.Num (float_of_int (Telemetry.Flight_recorder.total r)));
+                 ]
+                @
+                match Telemetry.Flight_recorder.triggered r with
+                | None -> []
+                | Some t ->
+                  [
+                    ("trigger", Obs.Json.Str t);
+                    ( "trigger_count",
+                      Obs.Json.Num (float_of_int (Telemetry.Flight_recorder.trigger_count r)) );
+                  ]) );
+          ]
+      in
+      Obs.Json.write_file path
+        (Obs.Json.Obj (("cost_store", Telemetry.Cost_store.to_json s) :: flight))
+    | _ -> ());
+    (* dump the ring buffer when something went wrong (or on demand) *)
+    (match recorder with
+    | Some r -> (
+      let trigger = Telemetry.Flight_recorder.triggered r in
+      match (flight_out, dump_flight || trigger <> None) with
+      | Some path, true ->
+        Obs.Json.write_file path (Telemetry.Flight_recorder.to_json r);
+        Printf.printf "flight:      dumped %d entries to %s (trigger: %s)\n"
+          (Telemetry.Flight_recorder.length r)
+          path
+          (Option.value ~default:"on-demand" trigger)
+      | Some path, false ->
+        Printf.printf "flight:      no trigger fired; %s not written\n" path
+      | None, _ -> ())
+    | None -> ());
     if stats.Serve.Server.errors > 0 then
       `Error (false, Printf.sprintf "%d requests failed" stats.Serve.Server.errors)
     else `Ok ()
@@ -328,7 +416,25 @@ let serve_cmd =
     Arg.(value & opt string "closed" & info [ "workload" ] ~docv:"KIND" ~doc:"\"closed\" (next request after the previous answer) or \"open:<rate>\" (fixed arrival rate in requests/s).")
   in
   let metrics_out_arg =
-    Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc:"Write an OpenMetrics text exposition of the run's counters and latency histograms to $(docv).")
+    Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc:"Write an OpenMetrics text exposition of the run's counters, latency histograms and per-fingerprint latency summaries to $(docv).")
+  in
+  let metrics_every_arg =
+    Arg.(value & opt (some float) None & info [ "metrics-every" ] ~docv:"SECONDS" ~doc:"With --metrics-out: overwrite the exposition every $(docv) seconds of virtual serving time (deterministic under the discrete-event clock), not just once at end of run.")
+  in
+  let telemetry_out_arg =
+    Arg.(value & opt (some string) None & info [ "telemetry-out" ] ~docv:"FILE" ~doc:"Write the per-fingerprint cost-store summaries (latency sketch quantiles, observed vs predicted cost, residual violations) and a flight-recorder digest as JSON to $(docv); '-' for stdout.")
+  in
+  let residual_threshold_arg =
+    Arg.(value & opt float 1.0 & info [ "residual-threshold" ] ~docv:"RATIO" ~doc:"Observed/predicted cost ratio above which a served request counts as a residual violation (and triggers the flight recorder).")
+  in
+  let flight_out_arg =
+    Arg.(value & opt (some string) None & info [ "flight-out" ] ~docv:"FILE" ~doc:"Dump the flight recorder (ring buffer of recent request profiles) to $(docv) when a shed/degrade/residual-violation trigger fired during the run, or unconditionally with --dump-flight.")
+  in
+  let dump_flight_arg =
+    Arg.(value & flag & info [ "dump-flight" ] ~doc:"Write the flight-recorder dump even when no trigger fired.")
+  in
+  let inject_overbudget_arg =
+    Arg.(value & flag & info [ "inject-overbudget" ] ~doc:"Fault injection: burn un-priced counter work inside every served request so its observed cost exceeds the admission bound; the run must then trip the residual gate (used by the telemetry smoke tests).")
   in
   Cmd.v
     (Cmd.info "serve"
@@ -338,7 +444,9 @@ let serve_cmd =
         (const run $ xml_file_arg $ xml_arg $ random_arg $ xmark_arg
        $ requests_arg $ concurrency_arg $ shapes_arg $ cache_size_arg
        $ ttl_arg $ deadline_arg $ batch_arg $ stream_prefilter_arg
-       $ workload_arg $ metrics_out_arg $ common_term))
+       $ workload_arg $ metrics_out_arg $ metrics_every_arg $ telemetry_out_arg
+       $ residual_threshold_arg $ flight_out_arg $ dump_flight_arg
+       $ inject_overbudget_arg $ common_term))
 
 let check_cmd =
   let run cases from max_nodes oracle_names list_oracles inject failures_out common =
@@ -384,16 +492,14 @@ let check_cmd =
       (match failures_out with
       | None -> ()
       | Some path ->
-        let oc = open_out path in
-        Fun.protect
-          ~finally:(fun () -> close_out_noerr oc)
-          (fun () ->
-            List.iter
-              (fun (d : Check.Runner.discrepancy) ->
-                Printf.fprintf oc
-                  "treequery check --seed %d --from %d --cases 1 --oracles %s\n"
-                  d.seed d.case_index d.oracle_name)
-              stats.Check.Runner.discrepancies));
+        Obs.Json.write_raw path
+          (String.concat ""
+             (List.map
+                (fun (d : Check.Runner.discrepancy) ->
+                  Printf.sprintf
+                    "treequery check --seed %d --from %d --cases 1 --oracles %s\n"
+                    d.seed d.case_index d.oracle_name)
+                stats.Check.Runner.discrepancies)));
       if Check.Runner.discrepancy_count stats = 0 then `Ok ()
       else `Error (false, "differential check found discrepancies")
     end
@@ -444,9 +550,7 @@ let attest_cmd =
         observe common (fun () -> Attest.run ~inject ~seed:common.seed ~tolerance ())
       in
       print_string (Attest.to_text outcomes);
-      write_file out
-        (Obs.Json.to_string (Attest.to_json ~seed:common.seed ~tolerance outcomes)
-        ^ "\n");
+      Obs.Json.write_file out (Attest.to_json ~seed:common.seed ~tolerance outcomes);
       Printf.printf "report written to %s\n" out;
       if Attest.all_ok outcomes then `Ok ()
       else `Error (false, "a fitted slope exceeds its claimed exponent")

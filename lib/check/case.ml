@@ -29,6 +29,7 @@ type query =
   | Order_law of Treekit.Order.kind
   | Setops of setop list
   | Obs_report of Obs.Report.t
+  | Sketch_sample of float list
 
 type t = { tree : Treekit.Tree.t; query : query }
 
@@ -82,6 +83,7 @@ let query_size = function
     + List.length r.Obs.Report.counters
     + List.length r.Obs.Report.histograms
     + List.length r.Obs.Report.profiles
+  | Sketch_sample xs -> List.length xs
 
 let query_to_string = function
   | Xpath p -> "xpath: " ^ Xpath.Ast.to_string p
@@ -92,6 +94,8 @@ let query_to_string = function
   | Order_law k -> "order-law: " ^ Treekit.Order.kind_name k
   | Setops ops -> "setops: " ^ String.concat "; " (List.map setop_to_string ops)
   | Obs_report r -> "obs-report: " ^ Obs.Report.to_json r
+  | Sketch_sample xs ->
+    "sketch-sample: " ^ String.concat " " (List.map (Printf.sprintf "%g") xs)
 
 let size c = Treekit.Tree.size c.tree + query_size c.query
 

@@ -44,6 +44,10 @@ type query =
   | Obs_report of Obs.Report.t
       (** a synthetic observability report; the tree is ignored and the
           oracle checks the JSON round-trip fixpoint *)
+  | Sketch_sample of float list
+      (** a sample for the telemetry quantile sketch; the tree is ignored
+          and the oracle compares sketch quantiles (single and merged in
+          several association orders) with exact sorted-array quantiles *)
 
 type t = { tree : Treekit.Tree.t; query : query }
 

@@ -189,6 +189,30 @@ let obs_report _cfg rng =
       profiles = List.init (ri 3) profile;
     }
 
+(* adversarial samples for the sketch-quantile oracle: heavy duplicate
+   mass, pre-sorted and reverse-sorted runs, single elements, two-valued
+   mixtures and random draws.  Values live on a small quarter-integer
+   grid so every arithmetic combination (sums, means) is exact in binary
+   floating point and repro lines stay short. *)
+let sketch_sample _cfg rng =
+  let ri n = Random.State.int rng n in
+  let v () = float_of_int (ri 65) /. 4.0 in
+  let n = 1 + ri 24 in
+  let xs =
+    match ri 6 with
+    | 0 ->
+      let x = v () in
+      List.init n (fun _ -> x)
+    | 1 -> List.sort compare (List.init n (fun _ -> v ()))
+    | 2 -> List.sort (fun a b -> compare b a) (List.init n (fun _ -> v ()))
+    | 3 -> [ v () ]
+    | 4 ->
+      let a = v () and b = v () in
+      List.init n (fun i -> if i mod 2 = 0 then a else b)
+    | _ -> List.init n (fun _ -> v ())
+  in
+  Case.Sketch_sample xs
+
 let setops cfg rng =
   let lab () = cfg.labels.(Random.State.int rng (Array.length cfg.labels)) in
   let op () =

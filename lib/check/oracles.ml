@@ -557,6 +557,149 @@ let obs_roundtrip =
         | _ -> wrong_query "obs-roundtrip" c);
   }
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry quantile sketch                                            *)
+
+(* Under capacity the sketch is exact: [quantile t q] must equal the
+   rank-⌈q·n⌉ order statistic of the sorted sample, for any insertion
+   order and for any association order of 3-way merges.  Over capacity
+   (forced with capacity 2) answers must still be observed values,
+   monotone in q, and within the greedy-compaction rank-error bound
+   (the largest stored tuple weight). *)
+let sketch_quantile =
+  let qs = [ 0.0; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ] in
+  let reference sorted q =
+    let n = Array.length sorted in
+    let rank =
+      max 1 (min n (int_of_float (ceil (q *. float_of_int n))))
+    in
+    sorted.(rank - 1)
+  in
+  let feed capacity xs =
+    let t = Telemetry.Sketch.Quantile.create ~capacity () in
+    List.iter (Telemetry.Sketch.Quantile.add t) xs;
+    t
+  in
+  {
+    name = "sketch-quantile";
+    theorem =
+      "telemetry: under-capacity sketch quantiles = exact order \
+       statistics, for any merge association; over capacity, answers \
+       stay within the greedy rank-error bound";
+    cap_nodes = 4;
+    gen = Gen.sketch_sample;
+    run =
+      (fun c ->
+        match c.Case.query with
+        | Case.Sketch_sample xs -> (
+          let module Q = Telemetry.Sketch.Quantile in
+          let n = List.length xs in
+          let sorted = Array.of_list (List.sort compare xs) in
+          let check_exact label t =
+            if Q.count t <> n then
+              Some (Printf.sprintf "%s: count %d, expected %d" label (Q.count t) n)
+            else if Q.min_value t <> sorted.(0) then
+              Some (Printf.sprintf "%s: min %g, expected %g" label (Q.min_value t) sorted.(0))
+            else if Q.max_value t <> sorted.(n - 1) then
+              Some (Printf.sprintf "%s: max %g, expected %g" label (Q.max_value t) sorted.(n - 1))
+            else
+              List.find_map
+                (fun q ->
+                  let got = Q.quantile t q in
+                  let want = reference sorted q in
+                  if got = want then None
+                  else
+                    Some
+                      (Printf.sprintf "%s: q=%g gave %g, exact is %g" label q
+                         got want))
+                qs
+          in
+          (* capacity 64 ≥ any generated sample: exact *)
+          let whole = feed 64 xs in
+          match check_exact "single sketch" whole with
+          | Some m -> Fail m
+          | None -> (
+            (* 3-way split, merged under both associations *)
+            let third = max 1 (n / 3) in
+            let rec split i = function
+              | [] -> ([], [], [])
+              | x :: rest ->
+                let a, b, d = split (i + 1) rest in
+                if i < third then (x :: a, b, d)
+                else if i < 2 * third then (a, x :: b, d)
+                else (a, b, x :: d)
+            in
+            let xa, xb, xd = split 0 xs in
+            let sa = feed 64 xa and sb = feed 64 xb and sd = feed 64 xd in
+            let left = Q.merge (Q.merge sa sb) sd in
+            let right = Q.merge sa (Q.merge sb sd) in
+            match check_exact "merge (a+b)+c" left with
+            | Some m -> Fail m
+            | None -> (
+              match check_exact "merge a+(b+c)" right with
+              | Some m -> Fail m
+              | None ->
+                (* forced compaction: capacity 2 *)
+                let tight = feed 2 xs in
+                let max_weight =
+                  List.fold_left
+                    (fun acc (_, w) -> max acc w)
+                    0 (Q.tuples tight)
+                in
+                let prev = ref neg_infinity in
+                List.find_map
+                  (fun q ->
+                    let got = Q.quantile tight q in
+                    if got < sorted.(0) || got > sorted.(n - 1) then
+                      Some
+                        (Printf.sprintf
+                           "compacted: q=%g gave %g outside [%g, %g]" q got
+                           sorted.(0)
+                           sorted.(n - 1))
+                    else if got < !prev then
+                      Some
+                        (Printf.sprintf
+                           "compacted: q=%g gave %g < previous quantile %g" q
+                           got !prev)
+                    else if not (List.mem got xs) then
+                      Some
+                        (Printf.sprintf
+                           "compacted: q=%g gave %g, not an observed value" q
+                           got)
+                    else begin
+                      prev := got;
+                      (* rank-error bound: the answer's true rank range
+                         must be within max tuple weight of the target *)
+                      let target =
+                        max 1
+                          (min n (int_of_float (ceil (q *. float_of_int n))))
+                      in
+                      let first = ref max_int and last = ref 0 in
+                      Array.iteri
+                        (fun i v ->
+                          if v = got then begin
+                            if i + 1 < !first then first := i + 1;
+                            if i + 1 > !last then last := i + 1
+                          end)
+                        sorted;
+                      let dist =
+                        if target < !first then !first - target
+                        else if target > !last then target - !last
+                        else 0
+                      in
+                      if dist <= max_weight then None
+                      else
+                        Some
+                          (Printf.sprintf
+                             "compacted: q=%g gave %g, rank error %d > \
+                              bound %d"
+                             q got dist max_weight)
+                    end)
+                  qs
+                |> Option.fold ~none:Pass ~some:(fun m -> Fail m))))
+        | _ -> wrong_query "sketch-quantile" c);
+  }
+
 let all =
   [
     xpath_spec;
@@ -574,6 +717,7 @@ let all =
     law_setops;
     plan_cache;
     obs_roundtrip;
+    sketch_quantile;
   ]
 
 let find name = List.find_opt (fun o -> o.name = name) all

@@ -212,6 +212,12 @@ let query_candidates = function
   (* a failing report is already a self-contained repro: the JSON in the
      report line replays it without shrinking *)
   | Case.Obs_report _ -> []
+  | Case.Sketch_sample xs ->
+    if List.length xs > 1 then
+      List.mapi
+        (fun i _ -> Case.Sketch_sample (List.filteri (fun j _ -> j <> i) xs))
+        xs
+    else []
 
 let candidates (c : Case.t) =
   let queries =

@@ -311,6 +311,11 @@ module Scope = struct
     end
 
   let recorded () = List.rev !captured
+
+  (* Append an externally-collected profile (from {!collect}) to the
+     recorded list — lets a caller look at a profile (e.g. to feed a
+     telemetry store) and still have {!Report.capture} pick it up. *)
+  let note p = if !on then captured := p :: !captured
 end
 
 let reset () =
@@ -539,6 +544,20 @@ module Json = struct
   let member key = function
     | Obj kvs -> List.assoc_opt key kvs
     | _ -> None
+
+  (* The one file-writing helper every CLI sink goes through ([--stats-json],
+     [--trace-out], [attest --out], [--telemetry-out], …): ["-"] means
+     stdout, anything else is opened, written and closed under
+     [Fun.protect] so the fd is released even when the write raises. *)
+  let write_raw path contents =
+    if path = "-" then print_string contents
+    else
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc contents)
+
+  let write_file path j = write_raw path (to_string j ^ "\n")
 end
 
 (* ------------------------------------------------------------------ *)
@@ -931,7 +950,54 @@ module Openmetrics = struct
 
   let float_str f = Json.number_to_string f
 
-  let render (r : Report.t) =
+  type summary = {
+    metric : string;
+    labels : (string * string) list;
+    quantiles : (string * float) list;
+    sum : float;
+    count : int;
+  }
+
+  let escape_label v =
+    let buf = Buffer.create (String.length v + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      v;
+    Buffer.contents buf
+
+  let render_labels labels =
+    String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" (sanitize k) (escape_label v)) labels)
+
+  (* labelled summaries (the telemetry layer's per-fingerprint sketches);
+     one # TYPE line per metric name, then a series per label set *)
+  let render_extra buf extras =
+    let typed = Hashtbl.create 8 in
+    List.iter
+      (fun s ->
+        let m = "treequery_" ^ sanitize s.metric ^ "_seconds" in
+        if not (Hashtbl.mem typed m) then begin
+          Hashtbl.add typed m ();
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" m)
+        end;
+        let ls = render_labels s.labels in
+        List.iter
+          (fun (q, v) ->
+            let sep = if ls = "" then "" else "," in
+            Buffer.add_string buf
+              (Printf.sprintf "%s{%s%squantile=\"%s\"} %s\n" m ls sep q (float_str v)))
+          s.quantiles;
+        let braces = if ls = "" then "" else "{" ^ ls ^ "}" in
+        Buffer.add_string buf (Printf.sprintf "%s_count%s %d\n" m braces s.count);
+        Buffer.add_string buf (Printf.sprintf "%s_sum%s %s\n" m braces (float_str s.sum)))
+      extras
+
+  let render ?(extra = []) (r : Report.t) =
     let buf = Buffer.create 1024 in
     List.iter
       (fun (name, v) ->
@@ -952,6 +1018,7 @@ module Openmetrics = struct
         Buffer.add_string buf
           (Printf.sprintf "%s_sum %s\n" m (float_str (h.mean *. float_of_int h.count))))
       r.Report.histograms;
+    render_extra buf extra;
     Buffer.add_string buf "# EOF\n";
     Buffer.contents buf
 end

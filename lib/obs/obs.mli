@@ -171,6 +171,12 @@ module Scope : sig
 
   val recorded : unit -> profile list
   (** Profiles recorded since the last {!reset}, oldest first. *)
+
+  val note : profile -> unit
+  (** Append a profile obtained from {!collect} to the recorded list —
+      for callers that need to inspect a profile (e.g. to feed a
+      telemetry store) {e and} have {!Report.capture} pick it up.
+      No-op when disabled. *)
 end
 
 (** Minimal JSON values — enough to serialise reports and read them back
@@ -192,6 +198,15 @@ module Json : sig
   (** @raise Parse_failure on syntax errors. *)
 
   val member : string -> t -> t option
+
+  val write_raw : string -> string -> unit
+  (** [write_raw path contents] — the one file-writing helper every CLI
+      sink goes through.  ["-"] writes to stdout; any other path is
+      opened, written and closed under [Fun.protect] so the fd is
+      released even when the write raises. *)
+
+  val write_file : string -> t -> unit
+  (** {!write_raw} of [to_string j] plus a trailing newline. *)
 end
 
 module Report : sig
@@ -229,6 +244,11 @@ module Report : sig
 
   val to_json : t -> string
 
+  val to_json_value : t -> Json.t
+  (** The {!Json.t} value {!to_json} serialises — for callers that splice
+      extra sections (e.g. the serving layer's telemetry summary) into
+      the stats document before writing it. *)
+
   exception Malformed of string
 
   val of_json : string -> t
@@ -265,7 +285,23 @@ end
     histogram summaries (metric names are prefixed [treequery_]; the
     exposition ends with [# EOF]). *)
 module Openmetrics : sig
-  val render : Report.t -> string
+  type summary = {
+    metric : string;  (** unprefixed metric name, e.g. ["serve_fp_latency"] *)
+    labels : (string * string) list;
+        (** label set distinguishing the series, e.g. fingerprint and
+            strategy; values are escaped per the exposition format *)
+    quantiles : (string * float) list;  (** quantile label → seconds *)
+    sum : float;  (** seconds *)
+    count : int;
+  }
+  (** A labelled summary series (the telemetry layer's per-fingerprint
+      latency sketches), rendered as
+      [treequery_<metric>_seconds{labels,quantile="q"} v] lines plus
+      [_count]/[_sum]. *)
+
+  val render : ?extra:summary list -> Report.t -> string
+  (** [extra] (default none) appends labelled summaries after the
+      report's counters and histograms, before [# EOF]. *)
 end
 
 (** Declarative complexity attestation: bounds tie a witnessing counter

@@ -103,7 +103,7 @@ let stream_prune tree (reps : Engine.prepared array) =
 
 (* ------------------------------------------------------------------ *)
 
-let run_prepared ?(stream_prefilter = false) tree
+let run_prepared ?(stream_prefilter = false) ?on_profile tree
     (prepared : Engine.prepared array) =
   Obs.Span.with_ "serve:batch" @@ fun () ->
   let n = Array.length prepared in
@@ -143,17 +143,22 @@ let run_prepared ?(stream_prefilter = false) tree
        snapshot (aliased requests ride along for free) *)
     Array.mapi
       (fun i (p : Engine.prepared) ->
-        Obs.Scope.record
-          ~attrs:
-            [
-              ("fingerprint", Obs.Str p.Engine.fp);
-              ("strategy", Obs.Str (Engine.strategy_name p.Engine.strategy));
-              ("aliased", Obs.Int (n - Array.length reps));
-            ]
-          (Printf.sprintf "rep-%d" i)
-          (fun () ->
-            if pruned_empty.(i) then Nodeset.create (Tree.size tree)
-            else p.Engine.exec tree))
+        let answer, profile =
+          Obs.Scope.collect
+            ~attrs:
+              [
+                ("fingerprint", Obs.Str p.Engine.fp);
+                ("strategy", Obs.Str (Engine.strategy_name p.Engine.strategy));
+                ("aliased", Obs.Int (n - Array.length reps));
+              ]
+            (Printf.sprintf "rep-%d" i)
+            (fun () ->
+              if pruned_empty.(i) then Nodeset.create (Tree.size tree)
+              else p.Engine.exec tree)
+        in
+        Obs.Scope.note profile;
+        (match on_profile with Some f -> f p profile | None -> ());
+        answer)
       reps
   in
   {

@@ -33,11 +33,16 @@ type result = {
 
 val run_prepared :
   ?stream_prefilter:bool ->
+  ?on_profile:(Treequery.Engine.prepared -> Obs.profile -> unit) ->
   Treekit.Tree.t ->
   Treequery.Engine.prepared array ->
   result
 (** Evaluate already-prepared queries with the sharing above.
-    [stream_prefilter] defaults to [false]. *)
+    [stream_prefilter] defaults to [false].  [on_profile] is called once
+    per distinct plan with its execution's {!Obs.Scope} profile (empty
+    when observability is disabled) — the serving layer's telemetry feed
+    in share mode; the profile is also recorded for
+    {!Obs.Report.capture} either way. *)
 
 val run :
   ?stream_prefilter:bool ->

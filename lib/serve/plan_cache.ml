@@ -9,6 +9,7 @@ type entry = {
   key : string;
   prepared : Engine.prepared;
   mutable stamp : float;  (* insertion time, for TTL *)
+  mutable hits : int;  (* lookups served by this entry *)
   mutable prev : entry option;
   mutable next : entry option;
 }
@@ -86,7 +87,7 @@ let insert t key prepared =
     while Hashtbl.length t.table >= t.capacity do
       evict_lru t
     done;
-    let e = { key; prepared; stamp = t.clock (); prev = None; next = None } in
+    let e = { key; prepared; stamp = t.clock (); hits = 0; prev = None; next = None } in
     Hashtbl.replace t.table key e;
     push_front t e
   end
@@ -96,6 +97,7 @@ let find t query =
   match Hashtbl.find_opt t.table key with
   | Some e when not (expired t e) ->
     t.hits <- t.hits + 1;
+    e.hits <- e.hits + 1;
     Obs.Counter.incr c_hit;
     touch t e;
     (`Hit, e.prepared)
@@ -112,6 +114,25 @@ let find t query =
     (`Miss, prepared)
 
 let size t = Hashtbl.length t.table
+
+type entry_stats = { fingerprint : string; canon : string; entry_hits : int }
+
+(* walk the recency list head→tail so the result is MRU-first — the
+   fingerprint stats hook the telemetry layer reads *)
+let entries t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some e ->
+      go
+        ({
+           fingerprint = e.prepared.Engine.fp;
+           canon = e.key;
+           entry_hits = e.hits;
+         }
+         :: acc)
+        e.next
+  in
+  go [] t.head
 
 let stats t =
   {

@@ -39,6 +39,17 @@ val find : t -> Treequery.Engine.query -> [ `Hit | `Miss ] * Treequery.Engine.pr
 
 val stats : t -> stats
 
+type entry_stats = {
+  fingerprint : string;  (** display name ({!Treequery.Engine.fingerprint}) *)
+  canon : string;  (** the full canonical key *)
+  entry_hits : int;  (** lookups served by this entry since insertion *)
+}
+
+val entries : t -> entry_stats list
+(** Per-entry fingerprint stats, most-recently-used first — the hook the
+    telemetry layer (and [--stats-json]) reads to report which cached
+    plans a serving run actually reused. *)
+
 val size : t -> int
 
 val clear : t -> unit

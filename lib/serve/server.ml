@@ -10,19 +10,37 @@ type config = {
   deadline : float option;
   ops_per_second : float;
   clock : unit -> float;
+  telemetry : Telemetry.Cost_store.t option;
+  recorder : Telemetry.Flight_recorder.t option;
+  inject_overbudget : bool;
+  tick_every : float option;
+  on_tick : (int -> float -> unit) option;
 }
 
 let config ?cache ?(concurrency = 1) ?(share = false)
     ?(stream_prefilter = false) ?deadline ?(ops_per_second = 5e7)
-    ?(clock = Obs.now) () =
+    ?(clock = Obs.now) ?telemetry ?recorder ?(inject_overbudget = false)
+    ?tick_every ?on_tick () =
   if concurrency < 1 then invalid_arg "Server.config: concurrency must be >= 1";
-  { cache; concurrency; share; stream_prefilter; deadline; ops_per_second; clock }
+  (match tick_every with
+  | Some e when e <= 0.0 -> invalid_arg "Server.config: tick_every must be > 0"
+  | _ -> ());
+  {
+    cache; concurrency; share; stream_prefilter; deadline; ops_per_second;
+    clock; telemetry; recorder; inject_overbudget; tick_every; on_tick;
+  }
 
 let reject_reason = "degraded: naive bound exceeded"
 
 let c_served = Obs.Counter.make "serve_requests_served"
 let c_rejected = Obs.Counter.make "serve_requests_rejected"
 let c_shed = Obs.Counter.make "serve_requests_shed"
+let c_residual = Obs.Counter.make "serve_residual_violations"
+
+(* the fault the telemetry smoke tests inject: work the admission bound
+   never priced, bumped inside the request's scope so the observed cost
+   provably exceeds the prediction *)
+let c_injected = Obs.Counter.make "serve_injected_work"
 
 let latency_hist = Obs.Histogram.make "serve_latency"
 
@@ -52,7 +70,16 @@ type stats = {
   latency : Obs.histogram_summary;
   cache : Plan_cache.stats option;
   degraded : (string * float) list;
+  residual_violations : int;
 }
+
+(* observed cost of a request: the sum of its profile's (positive)
+   counter deltas — the same elementary-operation counters the paper's
+   bounds are claimed against, so observed/predicted is dimensionless *)
+let observed_cost (profile : Obs.profile) =
+  List.fold_left
+    (fun acc (_, d) -> if d > 0 then acc + d else acc)
+    0 profile.Obs.profile_counters
 
 let run cfg tree (shapes : Workload.shape array) (reqs : Workload.request list) =
   let serve_attrs =
@@ -76,9 +103,65 @@ let run cfg tree (shapes : Workload.shape array) (reqs : Workload.request list) 
      [serve:degrade]/[serve:shed] child span per decision) and in
      {!to_text} *)
   let degraded = ref [] in
+  let residual_violations = ref 0 in
   (* virtual server time (seconds since t_start); service durations are
      real, queueing is simulated *)
   let vnow = ref 0.0 in
+  (* periodic telemetry ticks are driven by virtual time, so snapshot
+     cadence is deterministic under a fake clock *)
+  let tick_idx = ref 0 in
+  let next_tick = ref (match cfg.tick_every with Some e -> e | None -> infinity) in
+  let fire_ticks () =
+    match cfg.on_tick with
+    | Some f ->
+      while !vnow >= !next_tick do
+        f !tick_idx !next_tick;
+        incr tick_idx;
+        next_tick := !next_tick +. (match cfg.tick_every with Some e -> e | None -> infinity)
+      done
+    | None -> ()
+  in
+  let strategy_of (p : Engine.prepared) = Engine.strategy_name p.Engine.strategy in
+  (* feed the cost store and flight recorder with one served request's
+     (or batch rep's) profile; returns nothing but counts violations *)
+  let record_telemetry ~id ~(p : Engine.prepared) ~bound ~(profile : Obs.profile)
+      ~wall =
+    let latency =
+      if profile.Obs.profile_duration > 0.0 then profile.Obs.profile_duration
+      else wall
+    in
+    let observed = float_of_int (observed_cost profile) in
+    let violation =
+      match cfg.telemetry with
+      | Some store ->
+        Telemetry.Cost_store.observe store ~fingerprint:p.Engine.fp
+          ~strategy:(strategy_of p) ~predicted:bound ~observed ~latency
+          ~counters:profile.Obs.profile_counters
+      | None -> false
+    in
+    if violation then begin
+      incr residual_violations;
+      Obs.Counter.incr c_residual
+    end;
+    match cfg.recorder with
+    | None -> ()
+    | Some rec_ ->
+      if violation then Telemetry.Flight_recorder.trigger rec_ "residual-violation";
+      Telemetry.Flight_recorder.push rec_
+        {
+          Telemetry.Flight_recorder.id;
+          fingerprint = p.Engine.fp;
+          strategy = strategy_of p;
+          attrs = profile.Obs.profile_attrs;
+          counters = profile.Obs.profile_counters;
+          latency;
+          predicted = bound;
+          observed;
+          outcome =
+            (if violation then Telemetry.Flight_recorder.Violation
+             else Telemetry.Flight_recorder.Served);
+        }
+  in
   let rec chunks = function
     | [] -> ()
     | reqs ->
@@ -114,6 +197,24 @@ let run cfg tree (shapes : Workload.shape array) (reqs : Workload.request list) 
                       ("shape", Obs.Int r.shape);
                     ]
                   "serve:shed" ignore;
+              (match cfg.recorder with
+              | None -> ()
+              | Some rec_ ->
+                Telemetry.Flight_recorder.trigger rec_ "shed";
+                Telemetry.Flight_recorder.push rec_
+                  {
+                    (* shed happens before planning, so no fingerprint *)
+                    Telemetry.Flight_recorder.id = r.Workload.id;
+                    fingerprint = "";
+                    strategy = "";
+                    attrs = [ ("shape", Obs.Int r.shape) ];
+                    counters = [];
+                    latency =
+                      (match r.arrival with Some a -> vstart -. a | None -> 0.0);
+                    predicted = 0.0;
+                    observed = 0.0;
+                    outcome = Telemetry.Flight_recorder.Shed;
+                  });
               None
             end
             else begin
@@ -142,19 +243,43 @@ let run cfg tree (shapes : Workload.shape array) (reqs : Workload.request list) 
                         ("bound", Obs.Int (int_of_float bound));
                       ]
                     "serve:degrade" ignore;
+                (match cfg.recorder with
+                | None -> ()
+                | Some rec_ ->
+                  Telemetry.Flight_recorder.trigger rec_ "degrade";
+                  Telemetry.Flight_recorder.push rec_
+                    {
+                      Telemetry.Flight_recorder.id = r.Workload.id;
+                      fingerprint = prepared.Engine.fp;
+                      strategy = strategy_of prepared;
+                      attrs = [];
+                      counters = [];
+                      latency = 0.0;
+                      predicted = bound;
+                      observed = 0.0;
+                      outcome = Telemetry.Flight_recorder.Rejected;
+                    });
                 None
               end
-              else Some (r, prepared)
+              else Some (r, prepared, bound)
             end)
           chunk
       in
       (match admitted with
       | [] -> vnow := vstart
       | _ -> (
-        let plans = Array.of_list (List.map snd admitted) in
+        let plans = Array.of_list (List.map (fun (_, p, _) -> p) admitted) in
         let execute () =
           if cfg.share then
-            Batch.run_prepared ~stream_prefilter:cfg.stream_prefilter tree plans
+            (* per-rep telemetry: the hook re-prices the rep (same bound
+               as admission — [naive_bound] is deterministic) and feeds
+               the store once per distinct plan *)
+            let on_profile p profile =
+              record_telemetry ~id:(-1) ~p ~bound:(naive_bound p tree) ~profile
+                ~wall:profile.Obs.profile_duration
+            in
+            Batch.run_prepared ~stream_prefilter:cfg.stream_prefilter ~on_profile
+              tree plans
           else
             {
               (* one scope per request, so the counters each evaluation
@@ -162,16 +287,29 @@ let run cfg tree (shapes : Workload.shape array) (reqs : Workload.request list) 
               Batch.answers =
                 Array.of_list
                   (List.map
-                     (fun ((r : Workload.request), (p : Engine.prepared)) ->
-                       Obs.Scope.record
-                         ~attrs:
-                           [
-                             ("fingerprint", Obs.Str p.Engine.fp);
-                             ( "strategy",
-                               Obs.Str (Engine.strategy_name p.Engine.strategy) );
-                           ]
-                         (Printf.sprintf "request-%d" r.Workload.id)
-                         (fun () -> p.Engine.exec tree))
+                     (fun ((r : Workload.request), (p : Engine.prepared), bound) ->
+                       let t0 = cfg.clock () in
+                       let answer, profile =
+                         Obs.Scope.collect
+                           ~attrs:
+                             [
+                               ("fingerprint", Obs.Str p.Engine.fp);
+                               ("strategy", Obs.Str (strategy_of p));
+                             ]
+                           (Printf.sprintf "request-%d" r.Workload.id)
+                           (fun () ->
+                             let a = p.Engine.exec tree in
+                             if cfg.inject_overbudget then
+                               (* un-priced work: double the admission
+                                  bound, so observed/predicted ≥ 2 *)
+                               Obs.Counter.add c_injected
+                                 (2 * max 1 (int_of_float (Float.min bound 1e8)));
+                             a)
+                       in
+                       Obs.Scope.note profile;
+                       record_telemetry ~id:r.Workload.id ~p ~bound ~profile
+                         ~wall:(cfg.clock () -. t0);
+                       answer)
                      admitted);
               distinct = Array.length plans;
               stream_pruned = 0;
@@ -189,7 +327,7 @@ let run cfg tree (shapes : Workload.shape array) (reqs : Workload.request list) 
           distinct := !distinct + result.Batch.distinct;
           pruned := !pruned + result.Batch.stream_pruned;
           List.iteri
-            (fun i ((r : Workload.request), _) ->
+            (fun i ((r : Workload.request), _, _) ->
               incr served;
               Obs.Counter.incr c_served;
               nodes := !nodes + Nodeset.cardinal result.Batch.answers.(i);
@@ -200,6 +338,7 @@ let run cfg tree (shapes : Workload.shape array) (reqs : Workload.request list) 
               in
               Obs.Histogram.observe latency_hist latency)
             admitted));
+      fire_ticks ();
       chunks rest
   in
   chunks reqs;
@@ -218,9 +357,10 @@ let run cfg tree (shapes : Workload.shape array) (reqs : Workload.request list) 
     latency = Obs.Histogram.summary latency_hist;
     cache = Option.map Plan_cache.stats cfg.cache;
     degraded = List.rev !degraded;
+    residual_violations = !residual_violations;
   }
 
-let to_text s =
+let to_text ?telemetry s =
   let buf = Buffer.create 512 in
   let pr fmt = Printf.bprintf buf fmt in
   pr "requests:    %d\n" s.requests;
@@ -230,6 +370,9 @@ let to_text s =
     pr "shed:        %d (deadline passed before admission)\n" s.shed;
     pr "errors:      %d\n" s.errors
   end;
+  if s.residual_violations > 0 then
+    pr "residuals:   %d requests over their predicted cost\n"
+      s.residual_violations;
   pr "evaluated:   %d distinct plans (%d stream-pruned)\n" s.distinct_evaluated
     s.stream_pruned;
   pr "answers:     %d result nodes\n" s.result_nodes;
@@ -260,4 +403,9 @@ let to_text s =
     Hashtbl.iter
       (fun fp (n, bound) -> pr "  %-28s x%-5d bound %.3g ops\n" fp n bound)
       tally);
+  (* the [treequery top]-style end-of-run table *)
+  (match telemetry with
+  | Some store when not (Telemetry.Cost_store.is_empty store) ->
+    Buffer.add_string buf (Telemetry.Cost_store.to_table store)
+  | _ -> ());
   Buffer.contents buf

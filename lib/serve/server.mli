@@ -32,6 +32,30 @@ type config = {
       (** calibration for the admission bound (elementary operations the
           evaluator is assumed to sustain per second) *)
   clock : unit -> float;
+  telemetry : Telemetry.Cost_store.t option;
+      (** per-fingerprint cost store fed one observation per served
+          request (per distinct plan in [share] mode): service latency
+          (the scope duration, not queueing), the admission bound as
+          predicted cost, and the profile counter deltas as observed
+          cost.  Residual violations (observed/predicted over the
+          store's threshold) are counted in [stats] and bump
+          [serve_residual_violations]. *)
+  recorder : Telemetry.Flight_recorder.t option;
+      (** flight recorder pushed one entry per request outcome (served,
+          shed, rejected, residual violation); shed/degrade/violation
+          also {!Telemetry.Flight_recorder.trigger} it *)
+  inject_overbudget : bool;
+      (** fault injection for the telemetry smoke tests: bump the
+          [serve_injected_work] counter by twice each request's
+          admission bound inside its scope, so every served request's
+          observed cost provably exceeds its prediction.  Applies to the
+          non-[share] path. *)
+  tick_every : float option;  (** virtual seconds between telemetry ticks *)
+  on_tick : (int -> float -> unit) option;
+      (** [f i vt] fires after the chunk during which virtual time
+          passed tick [i]'s deadline [vt = (i+1)·tick_every] — the
+          driver's periodic OpenMetrics snapshot hook, deterministic
+          under a fake clock because it is driven by virtual time *)
 }
 
 val config :
@@ -42,11 +66,17 @@ val config :
   ?deadline:float ->
   ?ops_per_second:float ->
   ?clock:(unit -> float) ->
+  ?telemetry:Telemetry.Cost_store.t ->
+  ?recorder:Telemetry.Flight_recorder.t ->
+  ?inject_overbudget:bool ->
+  ?tick_every:float ->
+  ?on_tick:(int -> float -> unit) ->
   unit ->
   config
 (** Defaults: no cache, [concurrency = 1], [share = false],
     [stream_prefilter = false], no deadline, [ops_per_second = 5e7],
-    [clock = Obs.now]. *)
+    [clock = Obs.now], no telemetry, no recorder,
+    [inject_overbudget = false], no ticks. *)
 
 val reject_reason : string
 (** ["degraded: naive bound exceeded"] — the message attached to
@@ -72,6 +102,10 @@ type stats = {
   degraded : (string * float) list;
       (** admission-control rejections in order: the plan fingerprint and
           the operation bound it was priced at *)
+  residual_violations : int;
+      (** served requests whose observed cost exceeded their admission
+          bound by more than the cost store's threshold; 0 when no
+          [telemetry] store is configured *)
 }
 
 val run :
@@ -91,5 +125,7 @@ val run :
     captured report attributes counters to requests rather than one
     global blob. *)
 
-val to_text : stats -> string
-(** Multi-line human-readable summary with latency quantiles. *)
+val to_text : ?telemetry:Telemetry.Cost_store.t -> stats -> string
+(** Multi-line human-readable summary with latency quantiles.
+    [telemetry] appends the {!Telemetry.Cost_store.to_table} end-of-run
+    table (top fingerprints by p99, residual outliers). *)

@@ -1,0 +1,215 @@
+(* Per-(fingerprint × strategy) cost statistics with residual tracking.
+   See cost_store.mli. *)
+
+type cell = {
+  fingerprint : string;
+  strategy : string;
+  latency : Sketch.Quantile.t;
+  ewma : Sketch.Ewma.t;
+  mutable served : int;
+  mutable predicted_total : float;
+  mutable observed_total : float;
+  mutable max_ratio : float;
+  mutable violations : int;
+  counters : (string, int) Hashtbl.t; (* cumulative deltas *)
+}
+
+type t = {
+  sketch_capacity : int;
+  threshold : float;
+  half_life : float;
+  clock : unit -> float;
+  cells : (string * string, cell) Hashtbl.t;
+  mutable total_violations : int;
+}
+
+type summary = {
+  fingerprint : string;
+  strategy : string;
+  served : int;
+  p50 : float;
+  p90 : float;
+  p95 : float;
+  p99 : float;
+  max_latency : float;
+  mean_latency : float;
+  ewma_mean : float;
+  ewma_std : float;
+  predicted_total : float;
+  observed_total : float;
+  residual : float;
+  max_ratio : float;
+  violations : int;
+  counters : (string * int) list;
+}
+
+let create ?(sketch_capacity = 128) ?(threshold = 1.0) ?(half_life = 30.0)
+    ?(clock = Obs.now) () =
+  if threshold <= 0.0 then invalid_arg "Cost_store.create: threshold must be > 0";
+  {
+    sketch_capacity;
+    threshold;
+    half_life;
+    clock;
+    cells = Hashtbl.create 32;
+    total_violations = 0;
+  }
+
+let cell t ~fingerprint ~strategy =
+  let key = (fingerprint, strategy) in
+  match Hashtbl.find_opt t.cells key with
+  | Some c -> c
+  | None ->
+    let c =
+      {
+        fingerprint;
+        strategy;
+        latency = Sketch.Quantile.create ~capacity:t.sketch_capacity ();
+        ewma = Sketch.Ewma.create ~half_life:t.half_life ~clock:t.clock ();
+        served = 0;
+        predicted_total = 0.0;
+        observed_total = 0.0;
+        max_ratio = 0.0;
+        violations = 0;
+        counters = Hashtbl.create 16;
+      }
+    in
+    Hashtbl.add t.cells key c;
+    c
+
+let observe t ~fingerprint ~strategy ~predicted ~observed ~latency ~counters =
+  let c = cell t ~fingerprint ~strategy in
+  c.served <- c.served + 1;
+  Sketch.Quantile.add c.latency latency;
+  Sketch.Ewma.observe c.ewma latency;
+  c.predicted_total <- c.predicted_total +. predicted;
+  c.observed_total <- c.observed_total +. observed;
+  List.iter
+    (fun (k, v) ->
+      Hashtbl.replace c.counters k
+        (v + Option.value ~default:0 (Hashtbl.find_opt c.counters k)))
+    counters;
+  let ratio = if predicted > 0.0 then observed /. predicted else 0.0 in
+  if ratio > c.max_ratio then c.max_ratio <- ratio;
+  let violation = predicted > 0.0 && ratio > t.threshold in
+  if violation then begin
+    c.violations <- c.violations + 1;
+    t.total_violations <- t.total_violations + 1
+  end;
+  violation
+
+let threshold t = t.threshold
+let violations t = t.total_violations
+let is_empty t = Hashtbl.length t.cells = 0
+
+let summary_of_cell (c : cell) : summary =
+  let q = Sketch.Quantile.quantile c.latency in
+  {
+    fingerprint = c.fingerprint;
+    strategy = c.strategy;
+    served = c.served;
+    p50 = q 0.5;
+    p90 = q 0.9;
+    p95 = q 0.95;
+    p99 = q 0.99;
+    max_latency = Sketch.Quantile.max_value c.latency;
+    mean_latency = Sketch.Quantile.mean c.latency;
+    ewma_mean = Sketch.Ewma.mean c.ewma;
+    ewma_std = Sketch.Ewma.std c.ewma;
+    predicted_total = c.predicted_total;
+    observed_total = c.observed_total;
+    residual =
+      (if c.predicted_total > 0.0 then c.observed_total /. c.predicted_total
+       else 0.0);
+    max_ratio = c.max_ratio;
+    violations = c.violations;
+    counters =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) c.counters []
+      |> List.sort compare;
+  }
+
+let summaries t =
+  Hashtbl.fold (fun _ c acc -> summary_of_cell c :: acc) t.cells []
+  |> List.sort (fun a b -> compare (a.fingerprint, a.strategy) (b.fingerprint, b.strategy))
+
+let top_by_p99 ?(k = 5) t =
+  summaries t
+  |> List.sort (fun a b -> compare (b.p99, b.served) (a.p99, a.served))
+  |> List.filteri (fun i _ -> i < k)
+
+let outliers t =
+  summaries t
+  |> List.filter (fun s -> s.max_ratio > t.threshold)
+  |> List.sort (fun a b -> compare b.max_ratio a.max_ratio)
+
+let json_of_summary (s : summary) =
+  Obs.Json.Obj
+    [
+      ("fingerprint", Obs.Json.Str s.fingerprint);
+      ("strategy", Obs.Json.Str s.strategy);
+      ("served", Obs.Json.Num (float_of_int s.served));
+      ("p50_ms", Obs.Json.Num (s.p50 *. 1000.0));
+      ("p90_ms", Obs.Json.Num (s.p90 *. 1000.0));
+      ("p95_ms", Obs.Json.Num (s.p95 *. 1000.0));
+      ("p99_ms", Obs.Json.Num (s.p99 *. 1000.0));
+      ("max_ms", Obs.Json.Num (s.max_latency *. 1000.0));
+      ("mean_ms", Obs.Json.Num (s.mean_latency *. 1000.0));
+      ("ewma_mean_ms", Obs.Json.Num (s.ewma_mean *. 1000.0));
+      ("ewma_std_ms", Obs.Json.Num (s.ewma_std *. 1000.0));
+      ("predicted_ops", Obs.Json.Num s.predicted_total);
+      ("observed_ops", Obs.Json.Num s.observed_total);
+      ("residual", Obs.Json.Num s.residual);
+      ("max_ratio", Obs.Json.Num s.max_ratio);
+      ("violations", Obs.Json.Num (float_of_int s.violations));
+      ( "counters",
+        Obs.Json.Obj
+          (List.map
+             (fun (k, v) -> (k, Obs.Json.Num (float_of_int v)))
+             s.counters) );
+    ]
+
+let to_json t =
+  Obs.Json.Obj
+    [
+      ("threshold", Obs.Json.Num t.threshold);
+      ("violations", Obs.Json.Num (float_of_int t.total_violations));
+      ("fingerprints", Obs.Json.Arr (List.map json_of_summary (summaries t)));
+    ]
+
+let openmetrics t =
+  List.map
+    (fun (s : summary) ->
+      {
+        Obs.Openmetrics.metric = "serve_fp_latency";
+        labels = [ ("fingerprint", s.fingerprint); ("strategy", s.strategy) ];
+        quantiles =
+          [ ("0.5", s.p50); ("0.9", s.p90); ("0.95", s.p95); ("0.99", s.p99) ];
+        sum = s.mean_latency *. float_of_int s.served;
+        count = s.served;
+      })
+    (summaries t)
+
+let to_table ?(k = 5) t =
+  if is_empty t then ""
+  else begin
+    let buf = Buffer.create 512 in
+    let pr fmt = Printf.bprintf buf fmt in
+    pr "top %d fingerprints by p99 latency:\n" k;
+    pr "  %-28s %-18s %6s %9s %9s %9s %8s\n" "fingerprint" "strategy" "served"
+      "p50 ms" "p99 ms" "residual" "viol";
+    List.iter
+      (fun (s : summary) ->
+        pr "  %-28s %-18s %6d %9.3f %9.3f %9.3f %8d\n" s.fingerprint s.strategy
+          s.served (1e3 *. s.p50) (1e3 *. s.p99) s.residual s.violations)
+      (top_by_p99 ~k t);
+    (match outliers t with
+    | [] -> ()
+    | os ->
+      pr "residual outliers (observed/predicted > %.2f):\n" t.threshold;
+      List.iter
+        (fun (s : summary) ->
+          pr "  %-28s %-18s worst ratio %.3f over %d violations\n" s.fingerprint
+            s.strategy s.max_ratio s.violations)
+        os);
+    Buffer.contents buf
+  end

@@ -1,0 +1,94 @@
+(** The per-fingerprint cost store: observed work and latency per
+    (plan fingerprint × strategy), with a residual tracker comparing
+    each request's observed cost against the admission-time
+    {!Serve.Server.naive_bound} price.
+
+    This is the online twin of [treequery attest]'s slope gate: attest
+    verifies the paper's bounds offline by sweeping input sizes; the
+    store watches the same bounds per served request, flagging any
+    request whose observed/predicted operation ratio exceeds
+    [threshold].  Observed cost is the sum of the request's
+    {!Obs.Scope} profile counter deltas — the same elementary-operation
+    counters the bounds are claimed against — so with observability
+    disabled the gate never fires (observed = 0).
+
+    PR 7+ optimizer work reads {!summaries} to refine the static
+    {!Obs.Bound} priors with live per-shape statistics. *)
+
+type t
+
+type summary = {
+  fingerprint : string;
+  strategy : string;
+  served : int;
+  p50 : float;  (** latency quantiles, seconds; exact under sketch capacity *)
+  p90 : float;
+  p95 : float;
+  p99 : float;
+  max_latency : float;
+  mean_latency : float;
+  ewma_mean : float;  (** time-decayed latency mean (recent window) *)
+  ewma_std : float;
+  predicted_total : float;  (** Σ admission bounds, elementary ops *)
+  observed_total : float;  (** Σ profile counter deltas *)
+  residual : float;  (** observed_total / predicted_total; 0 when unpriced *)
+  max_ratio : float;  (** worst single-request observed/predicted *)
+  violations : int;  (** requests whose ratio exceeded the threshold *)
+  counters : (string * int) list;  (** cumulative counter deltas, sorted *)
+}
+
+val create :
+  ?sketch_capacity:int ->
+  ?threshold:float ->
+  ?half_life:float ->
+  ?clock:(unit -> float) ->
+  unit ->
+  t
+(** [sketch_capacity] (default 128) sizes each latency sketch;
+    [threshold] (default 1.0) is the observed/predicted ratio above
+    which a request counts as a residual violation; [half_life]
+    (default 30 s) and [clock] (default {!Obs.now}) parameterise the
+    EWMA — injectable for deterministic tests. *)
+
+val observe :
+  t ->
+  fingerprint:string ->
+  strategy:string ->
+  predicted:float ->
+  observed:float ->
+  latency:float ->
+  counters:(string * int) list ->
+  bool
+(** Record one served request; [true] iff it is a residual violation
+    ([predicted > 0] and [observed /. predicted > threshold]). *)
+
+val threshold : t -> float
+
+val violations : t -> int
+(** Total residual violations across all keys. *)
+
+val is_empty : t -> bool
+
+val summaries : t -> summary list
+(** All keys, sorted by (fingerprint, strategy). *)
+
+val top_by_p99 : ?k:int -> t -> summary list
+(** The [k] (default 5) keys with the highest latency p99, descending. *)
+
+val outliers : t -> summary list
+(** Keys whose worst observed/predicted ratio exceeds the threshold,
+    sorted by [max_ratio] descending. *)
+
+val to_json : t -> Obs.Json.t
+(** [{"threshold": τ, "violations": n, "fingerprints": [summary…]}] —
+    the per-fingerprint section of [--telemetry-out] and the
+    ["telemetry"] member spliced into [--stats-json]. *)
+
+val openmetrics : t -> Obs.Openmetrics.summary list
+(** One labelled summary series per (fingerprint × strategy), for
+    {!Obs.Openmetrics.render}'s [extra]. *)
+
+val to_table : ?k:int -> t -> string
+(** The [treequery top]-style end-of-run table: top-[k] (default 5)
+    fingerprints by p99 plus residual outliers.  Empty string when no
+    requests were recorded. *)

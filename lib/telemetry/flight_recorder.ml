@@ -1,0 +1,162 @@
+(* Fixed-size ring buffer of recent request profiles.  See
+   flight_recorder.mli. *)
+
+type outcome = Served | Shed | Rejected | Violation
+
+let outcome_to_string = function
+  | Served -> "served"
+  | Shed -> "shed"
+  | Rejected -> "rejected"
+  | Violation -> "residual-violation"
+
+let outcome_of_string = function
+  | "served" -> Some Served
+  | "shed" -> Some Shed
+  | "rejected" -> Some Rejected
+  | "residual-violation" -> Some Violation
+  | _ -> None
+
+type entry = {
+  id : int;
+  fingerprint : string;
+  strategy : string;
+  attrs : (string * Obs.attr) list;
+  counters : (string * int) list;
+  latency : float;
+  predicted : float;
+  observed : float;
+  outcome : outcome;
+}
+
+type t = {
+  ring : entry option array;
+  mutable next : int; (* slot the next push lands in *)
+  mutable total : int;
+  mutable trigger : string option;
+  mutable trigger_count : int;
+}
+
+let create ?(capacity = 256) () =
+  if capacity < 1 then invalid_arg "Flight_recorder.create: capacity must be >= 1";
+  { ring = Array.make capacity None; next = 0; total = 0; trigger = None; trigger_count = 0 }
+
+let capacity t = Array.length t.ring
+
+let push t e =
+  t.ring.(t.next) <- Some e;
+  t.next <- (t.next + 1) mod Array.length t.ring;
+  t.total <- t.total + 1
+
+let length t = min t.total (Array.length t.ring)
+
+let total t = t.total
+
+let entries t =
+  let cap = Array.length t.ring in
+  let n = length t in
+  let first = if t.total <= cap then 0 else t.next in
+  List.init n (fun i ->
+      match t.ring.((first + i) mod cap) with
+      | Some e -> e
+      | None -> assert false)
+
+let trigger t reason =
+  if t.trigger = None then t.trigger <- Some reason;
+  t.trigger_count <- t.trigger_count + 1
+
+let triggered t = t.trigger
+let trigger_count t = t.trigger_count
+
+(* ---- JSON ---- *)
+
+let json_of_attr = function
+  | Obs.Int i -> Obs.Json.Num (float_of_int i)
+  | Obs.Str s -> Obs.Json.Str s
+
+let json_of_entry e =
+  Obs.Json.Obj
+    [
+      ("id", Obs.Json.Num (float_of_int e.id));
+      ("fingerprint", Obs.Json.Str e.fingerprint);
+      ("strategy", Obs.Json.Str e.strategy);
+      ("attrs", Obs.Json.Obj (List.map (fun (k, v) -> (k, json_of_attr v)) e.attrs));
+      ( "counters",
+        Obs.Json.Obj
+          (List.map (fun (k, v) -> (k, Obs.Json.Num (float_of_int v))) e.counters) );
+      ("latency_ms", Obs.Json.Num (e.latency *. 1000.0));
+      ("predicted_ops", Obs.Json.Num e.predicted);
+      ("observed_ops", Obs.Json.Num e.observed);
+      ("outcome", Obs.Json.Str (outcome_to_string e.outcome));
+    ]
+
+let to_json t =
+  Obs.Json.Obj
+    ([
+       ("capacity", Obs.Json.Num (float_of_int (capacity t)));
+       ("total", Obs.Json.Num (float_of_int t.total));
+     ]
+    @ (match t.trigger with
+      | None -> []
+      | Some r ->
+        [
+          ("trigger", Obs.Json.Str r);
+          ("trigger_count", Obs.Json.Num (float_of_int t.trigger_count));
+        ])
+    @ [ ("entries", Obs.Json.Arr (List.map json_of_entry (entries t))) ])
+
+exception Malformed of string
+
+let attr_of_json = function
+  | Obs.Json.Num f -> Obs.Int (int_of_float f)
+  | Obs.Json.Str s -> Obs.Str s
+  | _ -> raise (Malformed "attr value")
+
+let num key j =
+  match Obs.Json.member key j with
+  | Some (Obs.Json.Num f) -> f
+  | _ -> raise (Malformed ("missing number " ^ key))
+
+let str key j =
+  match Obs.Json.member key j with
+  | Some (Obs.Json.Str s) -> s
+  | _ -> raise (Malformed ("missing string " ^ key))
+
+let entry_of_json j =
+  let kvs key of_v =
+    match Obs.Json.member key j with
+    | Some (Obs.Json.Obj kvs) -> List.map (fun (k, v) -> (k, of_v v)) kvs
+    | _ -> raise (Malformed ("missing object " ^ key))
+  in
+  {
+    id = int_of_float (num "id" j);
+    fingerprint = str "fingerprint" j;
+    strategy = str "strategy" j;
+    attrs = kvs "attrs" attr_of_json;
+    counters =
+      kvs "counters" (function
+        | Obs.Json.Num f -> int_of_float f
+        | _ -> raise (Malformed "counter value"));
+    latency = num "latency_ms" j /. 1000.0;
+    predicted = num "predicted_ops" j;
+    observed = num "observed_ops" j;
+    outcome =
+      (match outcome_of_string (str "outcome" j) with
+      | Some o -> o
+      | None -> raise (Malformed "outcome"));
+  }
+
+let of_json j =
+  let cap = int_of_float (num "capacity" j) in
+  let t = create ~capacity:cap () in
+  (match Obs.Json.member "entries" j with
+  | Some (Obs.Json.Arr es) -> List.iter (fun e -> push t (entry_of_json e)) es
+  | _ -> raise (Malformed "missing entries"));
+  (* restore the pushed-ever count and trigger state; [t.next] already
+     points at the oldest retained slot after the pushes above *)
+  t.total <- int_of_float (num "total" j);
+  (match Obs.Json.member "trigger" j with
+  | Some (Obs.Json.Str r) ->
+    t.trigger <- Some r;
+    t.trigger_count <- int_of_float (num "trigger_count" j)
+  | _ -> ());
+  t

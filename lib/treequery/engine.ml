@@ -288,6 +288,26 @@ let strategy_attrs ?tree query strategy =
     | Some t -> [ ("|D|", Obs.Int (Tree.size t)) ]
     | None -> []
 
+(* one registered counter per strategy, bumped at every strategy-span
+   entry: an [Obs.Scope] profile's counter deltas then carry the
+   strategy tag intrinsically ([strategy_runs_<name>]), so the serving
+   layer's telemetry can attribute work to a strategy even from a bare
+   profile with no attrs *)
+let strategy_counter =
+  let counter_of name =
+    Obs.Counter.make
+      ("strategy_runs_" ^ String.map (fun c -> if c = '-' then '_' else c) name)
+  in
+  let counters =
+    List.map
+      (fun s -> (s, counter_of (strategy_name s)))
+      [
+        Xpath_bottom_up; Cq_yannakakis; Cq_arc_consistency; Cq_rewrite;
+        Datalog_hornsat; Positive_rewrite; Datalog_fixpoint;
+      ]
+  in
+  fun strategy -> List.assq strategy counters
+
 (* one span per strategy run, so a traced evaluation shows up as
    [strategy:<name>] with the per-phase spans of the underlying
    algorithm nested below it *)
@@ -296,7 +316,9 @@ let in_strategy_span ?tree query f =
   Obs.Span.with_
     ~attrs:(strategy_attrs ?tree query strategy)
     ("strategy:" ^ strategy_name strategy)
-    f
+    (fun () ->
+      Obs.Counter.incr (strategy_counter strategy);
+      f ())
 
 let eval_cq_with strategy q tree =
   match strategy with
@@ -422,7 +444,9 @@ let prepare query =
     Obs.Span.with_
       ~attrs:(strategy_attrs ~tree query strategy)
       ("strategy:" ^ strategy_name strategy)
-      (fun () -> f tree)
+      (fun () ->
+        Obs.Counter.incr (strategy_counter strategy);
+        f tree)
   in
   let exec, exec_boolean =
     match (query, strategy) with

@@ -23,6 +23,7 @@ let () =
       ("engine", Test_engine.suite);
       ("obs", Test_obs.suite);
       ("serve", Test_serve.suite);
+      ("telemetry", Test_telemetry.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("laws", Test_laws.suite);
       ("nodeset-edge", Test_nodeset_edge.suite);

@@ -1,0 +1,357 @@
+(* The telemetry layer:
+   - quantile sketch: exact vs a sorted-array reference under capacity,
+     merge commutativity always / associativity under capacity,
+     deterministic compaction above capacity;
+   - EWMA: injectable-clock determinism, half-life semantics, and the
+     frozen-clock fallback to the cumulative average;
+   - flight recorder: ring wraparound keeps exactly the last N entries,
+     first-trigger-wins, and the dump JSON round-trips through Obs.Json;
+   - server integration: a tight residual threshold with injected
+     over-budget work trips the violation counter and the recorder
+     trigger, while a standard run stays dump-free; virtual-time metric
+     ticks are deterministic under a fake clock. *)
+
+open Helpers
+module Q = Telemetry.Sketch.Quantile
+module Ewma = Telemetry.Sketch.Ewma
+module FR = Telemetry.Flight_recorder
+module E = Treequery.Engine
+
+(* ------------------------------------------------------------------ *)
+(* quantile sketch *)
+
+let qs = [ 0.0; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ]
+
+let reference sorted q =
+  let n = Array.length sorted in
+  let rank = max 1 (min n (int_of_float (ceil (q *. float_of_int n)))) in
+  sorted.(rank - 1)
+
+let feed ?(capacity = 128) xs =
+  let t = Q.create ~capacity () in
+  List.iter (Q.add t) xs;
+  t
+
+let random_sample rng n =
+  List.init n (fun _ -> float_of_int (Random.State.int rng 40) /. 4.0)
+
+let test_sketch_exact_under_capacity () =
+  let rng = Random.State.make [| 42 |] in
+  for _ = 1 to 200 do
+    let n = 1 + Random.State.int rng 60 in
+    let xs = random_sample rng n in
+    let sorted = Array.of_list (List.sort compare xs) in
+    let t = feed xs in
+    Alcotest.(check int) "count" n (Q.count t);
+    Alcotest.(check (float 0.0)) "min" sorted.(0) (Q.min_value t);
+    Alcotest.(check (float 0.0)) "max" sorted.(n - 1) (Q.max_value t);
+    Alcotest.(check (float 0.0))
+      "sum" (List.fold_left ( +. ) 0.0 xs) (Q.sum t);
+    List.iter
+      (fun q ->
+        Alcotest.(check (float 0.0))
+          (Printf.sprintf "q=%g" q) (reference sorted q) (Q.quantile t q))
+      qs
+  done
+
+let test_sketch_merge_commutative () =
+  let rng = Random.State.make [| 7 |] in
+  for _ = 1 to 100 do
+    let xs = random_sample rng (1 + Random.State.int rng 40) in
+    let ys = random_sample rng (1 + Random.State.int rng 40) in
+    (* small capacity too: commutativity must survive compaction *)
+    List.iter
+      (fun capacity ->
+        let ab = Q.merge (feed ~capacity xs) (feed ~capacity ys) in
+        let ba = Q.merge (feed ~capacity ys) (feed ~capacity xs) in
+        Alcotest.(check (list (pair (float 0.0) int)))
+          (Printf.sprintf "tuples agree at capacity %d" capacity)
+          (Q.tuples ab) (Q.tuples ba))
+      [ 4; 128 ]
+  done
+
+let test_sketch_merge_associative_under_capacity () =
+  let rng = Random.State.make [| 13 |] in
+  for _ = 1 to 100 do
+    let xs = random_sample rng (1 + Random.State.int rng 20) in
+    let ys = random_sample rng (1 + Random.State.int rng 20) in
+    let zs = random_sample rng (1 + Random.State.int rng 20) in
+    let s () = (feed xs, feed ys, feed zs) in
+    let a, b, c = s () in
+    let left = Q.merge (Q.merge a b) c in
+    let a, b, c = s () in
+    let right = Q.merge a (Q.merge b c) in
+    Alcotest.(check (list (pair (float 0.0) int)))
+      "association order irrelevant" (Q.tuples left) (Q.tuples right);
+    let sorted = Array.of_list (List.sort compare (xs @ ys @ zs)) in
+    List.iter
+      (fun q ->
+        Alcotest.(check (float 0.0))
+          (Printf.sprintf "merged q=%g exact" q) (reference sorted q)
+          (Q.quantile left q))
+      qs
+  done
+
+let test_sketch_compaction () =
+  let xs = List.init 1000 (fun i -> float_of_int (i mod 97)) in
+  let t = feed ~capacity:16 xs in
+  Alcotest.(check int) "count survives compaction" 1000 (Q.count t);
+  Alcotest.(check bool) "tuples bounded" true (List.length (Q.tuples t) <= 16);
+  Alcotest.(check (float 0.0)) "min exact" 0.0 (Q.min_value t);
+  Alcotest.(check (float 0.0)) "max exact" 96.0 (Q.max_value t);
+  (* deterministic: same input, same digest *)
+  let t' = feed ~capacity:16 xs in
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "deterministic" (Q.tuples t) (Q.tuples t');
+  (* answers are observed values, monotone in q *)
+  let prev = ref neg_infinity in
+  List.iter
+    (fun q ->
+      let v = Q.quantile t q in
+      Alcotest.(check bool) "observed value" true (List.mem v xs);
+      Alcotest.(check bool) "monotone" true (v >= !prev);
+      prev := v)
+    qs
+
+(* ------------------------------------------------------------------ *)
+(* EWMA *)
+
+let stepped_clock dt =
+  let now = ref 0.0 in
+  fun () ->
+    now := !now +. dt;
+    !now
+
+let test_ewma_deterministic () =
+  let run () =
+    let e = Ewma.create ~half_life:10.0 ~clock:(stepped_clock 3.0) () in
+    List.iter (Ewma.observe e) [ 1.0; 5.0; 2.0; 8.0; 3.0 ];
+    (Ewma.mean e, Ewma.variance e, Ewma.count e)
+  in
+  let m1, v1, c1 = run () in
+  let m2, v2, c2 = run () in
+  Alcotest.(check (float 0.0)) "mean deterministic" m1 m2;
+  Alcotest.(check (float 0.0)) "variance deterministic" v1 v2;
+  Alcotest.(check int) "count" 5 c1;
+  Alcotest.(check int) "count" 5 c2
+
+let test_ewma_half_life () =
+  (* one half-life between samples: the mean moves exactly halfway *)
+  let e = Ewma.create ~half_life:10.0 ~clock:(stepped_clock 10.0) () in
+  Ewma.observe e 0.0;
+  Alcotest.(check (float 0.0)) "first sample is the mean" 0.0 (Ewma.mean e);
+  Ewma.observe e 8.0;
+  Alcotest.(check (float 1e-12)) "moved halfway" 4.0 (Ewma.mean e)
+
+let test_ewma_frozen_clock () =
+  (* a frozen clock must not drop samples: alpha falls back to 1/(n+1),
+     i.e. the plain cumulative average *)
+  let e = Ewma.create ~half_life:10.0 ~clock:(fun () -> 5.0) () in
+  List.iter (Ewma.observe e) [ 2.0; 4.0; 6.0; 8.0 ];
+  Alcotest.(check (float 1e-12)) "cumulative average" 5.0 (Ewma.mean e);
+  Alcotest.(check int) "all counted" 4 (Ewma.count e)
+
+(* ------------------------------------------------------------------ *)
+(* flight recorder *)
+
+let entry i =
+  {
+    FR.id = i;
+    fingerprint = Printf.sprintf "fp-%d" (i mod 3);
+    strategy = "xpath-bottom-up";
+    attrs = [ ("|D|", Obs.Int 100); ("note", Obs.Str "weird \"name\"\n") ];
+    counters = [ ("nodes_visited", 10 * i); ("semijoins", i) ];
+    latency = float_of_int i /. 1000.0;
+    predicted = 100.0;
+    observed = float_of_int (11 * i);
+    outcome = (if i mod 4 = 3 then FR.Violation else FR.Served);
+  }
+
+let test_ring_wraparound () =
+  let r = FR.create ~capacity:4 () in
+  Alcotest.(check int) "empty" 0 (FR.length r);
+  Alcotest.(check (list int)) "no entries" []
+    (List.map (fun (e : FR.entry) -> e.FR.id) (FR.entries r));
+  for i = 0 to 9 do
+    FR.push r (entry i)
+  done;
+  Alcotest.(check int) "length capped" 4 (FR.length r);
+  Alcotest.(check int) "total uncapped" 10 (FR.total r);
+  Alcotest.(check (list int)) "exactly the last 4, oldest first"
+    [ 6; 7; 8; 9 ]
+    (List.map (fun (e : FR.entry) -> e.FR.id) (FR.entries r))
+
+let test_trigger_first_wins () =
+  let r = FR.create ~capacity:4 () in
+  Alcotest.(check (option string)) "untriggered" None (FR.triggered r);
+  FR.trigger r "shed";
+  FR.trigger r "residual-violation";
+  FR.trigger r "shed";
+  Alcotest.(check (option string)) "first reason kept" (Some "shed")
+    (FR.triggered r);
+  Alcotest.(check int) "all counted" 3 (FR.trigger_count r)
+
+let test_dump_roundtrip () =
+  let r = FR.create ~capacity:8 () in
+  for i = 0 to 12 do
+    FR.push r (entry i)
+  done;
+  FR.trigger r "residual-violation";
+  FR.trigger r "shed";
+  let s = Obs.Json.to_string (FR.to_json r) in
+  let r' = FR.of_json (Obs.Json.of_string s) in
+  Alcotest.(check string) "dump is a round-trip fixpoint" s
+    (Obs.Json.to_string (FR.to_json r'));
+  Alcotest.(check int) "capacity" (FR.capacity r) (FR.capacity r');
+  Alcotest.(check int) "total" (FR.total r) (FR.total r');
+  Alcotest.(check int) "length" (FR.length r) (FR.length r');
+  Alcotest.(check (option string)) "trigger" (FR.triggered r) (FR.triggered r');
+  Alcotest.(check int) "trigger count" (FR.trigger_count r)
+    (FR.trigger_count r');
+  List.iter2
+    (fun (a : FR.entry) (b : FR.entry) ->
+      Alcotest.(check int) "id" a.FR.id b.FR.id;
+      Alcotest.(check string) "fingerprint" a.FR.fingerprint b.FR.fingerprint;
+      Alcotest.(check string) "outcome"
+        (FR.outcome_to_string a.FR.outcome)
+        (FR.outcome_to_string b.FR.outcome))
+    (FR.entries r) (FR.entries r')
+
+(* ------------------------------------------------------------------ *)
+(* server integration *)
+
+let with_clean_obs f =
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+    f
+
+let mini_shapes sources =
+  Array.of_list
+    (List.map
+       (fun s -> { Serve.Workload.source = s; query = E.parse_xpath s })
+       sources)
+
+let closed_requests n nshapes =
+  List.init n (fun i ->
+      { Serve.Workload.id = i; shape = i mod nshapes; arrival = None })
+
+let test_residual_injection_trips () =
+  with_clean_obs @@ fun () ->
+  let t = fig2_tree () in
+  let shapes = mini_shapes [ "//a[b]"; "//b" ] in
+  let store = Telemetry.Cost_store.create ~threshold:1.0 () in
+  let recorder = FR.create ~capacity:64 () in
+  let cfg =
+    Serve.Server.config ~telemetry:store ~recorder ~inject_overbudget:true ()
+  in
+  let stats =
+    Obs.with_enabled true (fun () ->
+        Serve.Server.run cfg t shapes (closed_requests 20 2))
+  in
+  Alcotest.(check int) "all served" 20 stats.Serve.Server.served;
+  (* injected work is 2x the admission bound: every request violates *)
+  Alcotest.(check int) "every request violates" 20
+    stats.Serve.Server.residual_violations;
+  Alcotest.(check int) "store agrees" 20 (Telemetry.Cost_store.violations store);
+  Alcotest.(check (option string)) "recorder triggered"
+    (Some "residual-violation") (FR.triggered recorder);
+  Alcotest.(check int) "one entry per request" 20 (FR.total recorder);
+  List.iter
+    (fun (e : FR.entry) ->
+      Alcotest.(check string) "outcome" "residual-violation"
+        (FR.outcome_to_string e.FR.outcome);
+      Alcotest.(check bool) "observed exceeds predicted" true
+        (e.FR.observed > e.FR.predicted);
+      Alcotest.(check bool) "injected counter present" true
+        (List.mem_assoc "serve_injected_work" e.FR.counters))
+    (FR.entries recorder);
+  (* the outlier table names both fingerprints *)
+  let outliers = Telemetry.Cost_store.outliers store in
+  Alcotest.(check int) "both shapes are outliers" 2 (List.length outliers)
+
+let test_standard_run_dump_free () =
+  with_clean_obs @@ fun () ->
+  let t = fig2_tree () in
+  let shapes = mini_shapes [ "//a[b]" ] in
+  let store = Telemetry.Cost_store.create ~threshold:1.0 () in
+  let recorder = FR.create () in
+  let cfg = Serve.Server.config ~telemetry:store ~recorder () in
+  let stats =
+    Obs.with_enabled true (fun () ->
+        Serve.Server.run cfg t shapes (closed_requests 20 1))
+  in
+  Alcotest.(check int) "all served" 20 stats.Serve.Server.served;
+  Alcotest.(check int) "no violations" 0 stats.Serve.Server.residual_violations;
+  Alcotest.(check (option string)) "no trigger" None (FR.triggered recorder);
+  (* the store still learned the workload *)
+  let summaries = Telemetry.Cost_store.summaries store in
+  Alcotest.(check int) "one key" 1 (List.length summaries);
+  let s = List.hd summaries in
+  Alcotest.(check int) "served per key" 20 s.Telemetry.Cost_store.served;
+  Alcotest.(check bool) "p99 >= p50" true
+    (s.Telemetry.Cost_store.p99 >= s.Telemetry.Cost_store.p50)
+
+let test_metric_ticks_deterministic () =
+  (* fake clock advancing 0.1 virtual seconds per reading; with
+     tick_every 0.25 the tick count is a pure function of the request
+     count, so two runs agree exactly *)
+  let run () =
+    let ticks = ref [] in
+    let now = ref 0.0 in
+    let clock () =
+      now := !now +. 0.1;
+      !now
+    in
+    let t = fig2_tree () in
+    let shapes = mini_shapes [ "//a" ] in
+    let cfg =
+      Serve.Server.config ~clock ~tick_every:0.25
+        ~on_tick:(fun i vt -> ticks := (i, vt) :: !ticks)
+        ()
+    in
+    let _ = Serve.Server.run cfg t shapes (closed_requests 12 1) in
+    List.rev !ticks
+  in
+  let t1 = run () in
+  let t2 = run () in
+  Alcotest.(check bool) "ticks fired" true (List.length t1 > 0);
+  Alcotest.(check (list (pair int (float 0.0)))) "deterministic" t1 t2;
+  (* deadlines are the multiples of tick_every, in order *)
+  List.iteri
+    (fun j (i, vt) ->
+      Alcotest.(check int) "indices consecutive" j i;
+      Alcotest.(check (float 1e-9)) "deadline grid"
+        (float_of_int (j + 1) *. 0.25)
+        vt)
+    t1
+
+let suite =
+  [
+    Alcotest.test_case "sketch exact under capacity" `Quick
+      test_sketch_exact_under_capacity;
+    Alcotest.test_case "sketch merge commutative" `Quick
+      test_sketch_merge_commutative;
+    Alcotest.test_case "sketch merge associative under capacity" `Quick
+      test_sketch_merge_associative_under_capacity;
+    Alcotest.test_case "sketch compaction bounded + deterministic" `Quick
+      test_sketch_compaction;
+    Alcotest.test_case "ewma deterministic under fake clock" `Quick
+      test_ewma_deterministic;
+    Alcotest.test_case "ewma half-life semantics" `Quick test_ewma_half_life;
+    Alcotest.test_case "ewma frozen clock falls back to average" `Quick
+      test_ewma_frozen_clock;
+    Alcotest.test_case "ring wraparound keeps last N" `Quick
+      test_ring_wraparound;
+    Alcotest.test_case "trigger first-wins" `Quick test_trigger_first_wins;
+    Alcotest.test_case "flight dump JSON round-trip" `Quick
+      test_dump_roundtrip;
+    Alcotest.test_case "injected over-budget trips residual gate" `Quick
+      test_residual_injection_trips;
+    Alcotest.test_case "standard run is dump-free" `Quick
+      test_standard_run_dump_free;
+    Alcotest.test_case "metric ticks deterministic under fake clock" `Quick
+      test_metric_ticks_deterministic;
+  ]
