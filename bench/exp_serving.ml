@@ -173,6 +173,145 @@ let run_core () =
 
 let serving () = ignore (run_core ())
 
+(* ------------------------------------------------------------------ *)
+(* PR 7: parallel wall-clock serving.  The same xmark-2048 document,
+   closed-loop requests from the seed-split stream (identical for every
+   domain count), served chunk-by-chunk with the per-chunk evaluations
+   executed on a work-stealing domain pool.  The acceptance gate —
+   4-domain throughput >= 2.5x the 1-domain wall-clock baseline — only
+   makes sense when the host actually exposes >= 4 cores; on smaller
+   machines the measured ratio is still recorded in BENCH_pr7.json with
+   an explicit skip marker, and the answers-match check always runs. *)
+
+let pr7_requests = 4_000
+let pr7_domains = 4
+let pr7_concurrency = 64
+let pr7_required_speedup = 2.5
+
+let run_pr7 () =
+  Bench_util.header
+    (Printf.sprintf
+       "Parallel serving: 1 domain vs %d domains, wall clock (xmark2048)"
+       pr7_domains);
+  let tree = Treekit.Generator.xmark ~seed:3 ~scale:2048 () in
+  Treekit.Tree.seal tree;
+  let rng = Random.State.make [| 7; 0xda7a |] in
+  let shapes = Serve.Workload.shapes ~rng ~count:shape_count in
+  let reqs =
+    Serve.Workload.requests_split ~seed:7 ~shapes:shape_count
+      ~count:pr7_requests Serve.Workload.Closed_loop
+  in
+  Printf.printf "document: %d nodes; %d requests over %d shapes, chunks of %d\n"
+    (Treekit.Tree.size tree) pr7_requests shape_count pr7_concurrency;
+  let cache = Serve.Plan_cache.create ~capacity:128 () in
+  Array.iter
+    (fun (s : Serve.Workload.shape) -> ignore (Serve.Plan_cache.find cache s.query))
+    shapes;
+  let min_of_2 f =
+    let w1, r = Bench_util.time_once f in
+    let w2, _ = Bench_util.time_once f in
+    (Float.min w1 w2, r)
+  in
+  let measure ?pool () =
+    let cfg =
+      Serve.Server.config ~cache ~concurrency:pr7_concurrency ~wall_clock:true
+        ?pool ()
+    in
+    min_of_2 (fun () ->
+        Obs.Counter.reset_all ();
+        Serve.Server.run cfg tree shapes reqs)
+  in
+  let wall1, s1 = measure () in
+  Printf.printf "1 domain    %8.3f s  %9.0f req/s\n" wall1
+    (float_of_int pr7_requests /. wall1);
+  let pool = Serve.Pool.create ~domains:pr7_domains () in
+  let wall4, s4 =
+    Fun.protect
+      ~finally:(fun () -> Serve.Pool.shutdown pool)
+      (fun () -> measure ~pool ())
+  in
+  let ratio = wall1 /. wall4 in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "%d domains   %8.3f s  %9.0f req/s  (%.2fx; host has %d core%s)\n"
+    pr7_domains wall4
+    (float_of_int pr7_requests /. wall4)
+    ratio cores
+    (if cores = 1 then "" else "s");
+  Bench_util.record "serving: parallel answers match sequential"
+    (s1.Serve.Server.result_nodes = s4.Serve.Server.result_nodes
+    && s1.Serve.Server.served = pr7_requests
+    && s4.Serve.Server.served = pr7_requests
+    && s4.Serve.Server.errors = 0);
+  let gate_enforced = cores >= pr7_domains in
+  if gate_enforced then
+    Bench_util.record
+      (Printf.sprintf "serving: %d-domain wall-clock >= %.1fx 1-domain"
+         pr7_domains pr7_required_speedup)
+      (ratio >= pr7_required_speedup)
+  else
+    Printf.printf
+      "speedup gate skipped: host exposes %d core(s), the %.1fx gate needs >= %d\n"
+      cores pr7_required_speedup pr7_domains;
+  let side name wall (s : Serve.Server.stats) =
+    ( name,
+      Obs.Json.Obj
+        [
+          ("wall_s", Obs.Json.Num wall);
+          ( "throughput_rps",
+            Obs.Json.Num (float_of_int pr7_requests /. wall) );
+          ("served", Obs.Json.Num (float_of_int s.Serve.Server.served));
+          ( "result_nodes",
+            Obs.Json.Num (float_of_int s.Serve.Server.result_nodes) );
+          ("latency", summary_json s.Serve.Server.latency);
+        ] )
+  in
+  Obs.Json.Obj
+    [
+      ("tree_nodes", Obs.Json.Num (float_of_int (Treekit.Tree.size tree)));
+      ("requests", Obs.Json.Num (float_of_int pr7_requests));
+      ("shapes", Obs.Json.Num (float_of_int shape_count));
+      ("concurrency", Obs.Json.Num (float_of_int pr7_concurrency));
+      ("domains", Obs.Json.Num (float_of_int pr7_domains));
+      side "domains_1" wall1 s1;
+      side (Printf.sprintf "domains_%d" pr7_domains) wall4 s4;
+      ("speedup", Obs.Json.Num ratio);
+      ("host_cores", Obs.Json.Num (float_of_int cores));
+      ( "speedup_gate",
+        Obs.Json.Obj
+          [
+            ("required", Obs.Json.Num pr7_required_speedup);
+            ( "status",
+              Obs.Json.Str (if gate_enforced then "enforced" else "skipped") );
+            ( "reason",
+              Obs.Json.Str
+                (if gate_enforced then ""
+                 else
+                   Printf.sprintf "host exposes %d core(s), gate needs >= %d"
+                     cores pr7_domains) );
+          ] );
+    ]
+
+let parallel () = ignore (run_pr7 ())
+
+(* BENCH_pr7.json: the core-suite baseline plus the parallel-serving
+   comparison, the same shape `bench --check` accepts *)
+let write_pr7_json file =
+  let parallel_json = run_pr7 () in
+  let baseline_entries = Baseline.run_suite () in
+  let json =
+    Obs.Json.Obj
+      [
+        ( "after",
+          Obs.Json.Obj [ ("experiments", Obs.Json.Arr baseline_entries) ] );
+        ("serving_parallel", parallel_json);
+      ]
+  in
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Obs.Json.to_string json ^ "\n"));
+  Printf.printf "parallel serving benchmark written to %s\n" file
+
 (* BENCH_pr4.json: the core-suite baseline ("after", checked in CI by
    `bench --check`) plus the serving comparison above *)
 let write_json file =

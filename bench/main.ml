@@ -27,6 +27,7 @@ let experiments =
     ("dynlabel", Exp_updates.dynlabel);
     ("yannakakis-relational", Exp_updates.relational_yannakakis);
     ("serving", Exp_serving.serving);
+    ("serving-parallel", Exp_serving.parallel);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -168,6 +169,7 @@ let () =
   let baseline_file, args = extract_opt "--baseline" args in
   let check_file, args = extract_opt "--check" args in
   let serving_file, args = extract_opt "--serving-json" args in
+  let pr7_file, args = extract_opt "--pr7-json" args in
   Obs.set_clock Unix.gettimeofday;
   (match baseline_file with Some f -> Baseline.run_baseline f | None -> ());
   (match check_file with Some f -> Baseline.check f | None -> ());
@@ -176,8 +178,15 @@ let () =
     Obs.with_enabled true (fun () -> Exp_serving.write_json f);
     if List.exists (fun (_, ok) -> not ok) !Bench_util.checks then exit 1
   | None -> ());
-  if baseline_file <> None || check_file <> None || serving_file <> None then
-    exit 0;
+  (match pr7_file with
+  | Some f ->
+    Obs.with_enabled true (fun () -> Exp_serving.write_pr7_json f);
+    if List.exists (fun (_, ok) -> not ok) !Bench_util.checks then exit 1
+  | None -> ());
+  if
+    baseline_file <> None || check_file <> None || serving_file <> None
+    || pr7_file <> None
+  then exit 0;
   let selected = if args = [] then List.map fst experiments else args in
   Obs.set_enabled true;
   List.iter

@@ -252,15 +252,16 @@ let filter_cmd =
 
 let serve_cmd =
   let run xml_file xml random xmark requests concurrency shapes cache_size ttl
-      deadline_ms batch stream_prefilter workload metrics_out metrics_every
-      telemetry_out residual_threshold flight_out dump_flight inject_overbudget
-      common =
+      deadline_ms batch stream_prefilter workload domains wall_clock
+      metrics_out metrics_every telemetry_out residual_threshold flight_out
+      dump_flight inject_overbudget common =
     handle_errors @@ fun () ->
     let kind =
       match Serve.Workload.kind_of_string workload with
       | Ok k -> k
       | Error m -> failwith m
     in
+    if domains < 1 then failwith "--domains must be >= 1";
     if metrics_every <> None && metrics_out = None then
       failwith "--metrics-every requires --metrics-out";
     (* per-fingerprint telemetry rides along whenever a sink wants it:
@@ -308,14 +309,28 @@ let serve_cmd =
           let rng = Random.State.make [| common.seed; 0xda7a |] in
           let shapes = Serve.Workload.shapes ~rng ~count:shapes in
           let reqs =
-            Serve.Workload.requests ~rng ~shapes:(Array.length shapes)
-              ~count:requests kind
+            (* wall-clock runs use the seed-split stream so the request
+               sequence is a pure function of the seed — replayable
+               against any --domains count; the virtual-time twin keeps
+               the original sequentially threaded stream bit-for-bit *)
+            if wall_clock then
+              Serve.Workload.requests_split ~seed:common.seed
+                ~shapes:(Array.length shapes) ~count:requests kind
+            else
+              Serve.Workload.requests ~rng ~shapes:(Array.length shapes)
+                ~count:requests kind
           in
           let cache =
             if cache_size > 0 then
               Some (Serve.Plan_cache.create ~capacity:cache_size ?ttl ())
             else None
           in
+          let pool =
+            if domains > 1 then Some (Serve.Pool.create ~domains ()) else None
+          in
+          (* publish the tree before worker domains read it: force the
+             lazy label index and BFLR order on this domain *)
+          if pool <> None then Tree.seal doc;
           let cfg =
             Serve.Server.config ?cache ~concurrency ~share:batch
               ~stream_prefilter
@@ -328,12 +343,19 @@ let serve_cmd =
                      incr snapshots;
                      write_metrics (Obs.Report.capture ()))
                    metrics_every)
+              ?pool ~wall_clock
+              ?sleep:(if wall_clock then Some Unix.sleepf else None)
               ()
           in
-          (doc, Serve.Server.run cfg doc shapes reqs))
+          Fun.protect
+            ~finally:(fun () -> Option.iter Serve.Pool.shutdown pool)
+            (fun () -> (doc, Serve.Server.run cfg doc shapes reqs)))
     in
     Printf.printf "document:    %d nodes, depth %d\n" (Tree.size doc)
       (Tree.height doc);
+    if domains > 1 || wall_clock then
+      Printf.printf "domains:     %d%s\n" domains
+        (if wall_clock then " (wall-clock)" else "");
     print_string (Serve.Server.to_text ?telemetry:store stats);
     if metrics_every <> None then
       Printf.printf "metrics:     %d periodic snapshots (every %gs virtual)\n"
@@ -415,6 +437,12 @@ let serve_cmd =
   let workload_arg =
     Arg.(value & opt string "closed" & info [ "workload" ] ~docv:"KIND" ~doc:"\"closed\" (next request after the previous answer) or \"open:<rate>\" (fixed arrival rate in requests/s).")
   in
+  let domains_arg =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc:"Execute each chunk's admitted requests in parallel on $(docv) OCaml domains (a work-stealing pool; the calling domain participates). 1 keeps the sequential loop.")
+  in
+  let wall_clock_arg =
+    Arg.(value & flag & info [ "wall-clock" ] ~doc:"Honour open-loop arrival times in real time (sleeping between arrivals) instead of the deterministic virtual clock, and draw the request stream by seed-splitting so it is identical for every --domains count.")
+  in
   let metrics_out_arg =
     Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc:"Write an OpenMetrics text exposition of the run's counters, latency histograms and per-fingerprint latency summaries to $(docv).")
   in
@@ -444,7 +472,8 @@ let serve_cmd =
         (const run $ xml_file_arg $ xml_arg $ random_arg $ xmark_arg
        $ requests_arg $ concurrency_arg $ shapes_arg $ cache_size_arg
        $ ttl_arg $ deadline_arg $ batch_arg $ stream_prefilter_arg
-       $ workload_arg $ metrics_out_arg $ metrics_every_arg $ telemetry_out_arg
+       $ workload_arg $ domains_arg $ wall_clock_arg
+       $ metrics_out_arg $ metrics_every_arg $ telemetry_out_arg
        $ residual_threshold_arg $ flight_out_arg $ dump_flight_arg
        $ inject_overbudget_arg $ common_term))
 

@@ -514,6 +514,102 @@ let plan_cache =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Parallel batch execution                                             *)
+
+(* Pool-executed batch answers must be indistinguishable from the
+   sequential batch executor and from direct single-engine evaluation,
+   for every domain count, with identical seeds.  Pools are shared
+   across cases (like the plan cache above) and never shut down — the
+   worker domains idle on a condition variable until process exit. *)
+let parallel_batch =
+  let pools =
+    lazy (List.map (fun domains -> (domains, Serve.Pool.create ~domains ())) [ 1; 2; 4 ])
+  in
+  {
+    name = "parallel-batch";
+    theorem =
+      "serving layer: pool-executed batch = sequential batch = single engine";
+    cap_nodes = 16;
+    gen =
+      (fun cfg rng ->
+        if Random.State.bool rng then Gen.xpath cfg rng
+        else Gen.cq_arbitrary cfg rng);
+    run =
+      (fun c ->
+        let module E = Treequery.Engine in
+        let query =
+          match c.Case.query with
+          | Case.Xpath p -> Some (E.Xpath_query p)
+          | Case.Cq q -> Some (E.Cq_query q)
+          | _ -> None
+        in
+        match query with
+        | None -> wrong_query "parallel-batch" c
+        | Some q ->
+          (* the case query — duplicated, so dedup aliasing is live —
+             plus one descendant-label probe per distinct tree label:
+             a batch with several independent representatives *)
+          let labels =
+            let seen = Hashtbl.create 8 in
+            let acc = ref [] in
+            for i = 0 to Tree.size c.tree - 1 do
+              let l = Tree.label c.tree i in
+              if not (Hashtbl.mem seen l) && Hashtbl.length seen < 4 then begin
+                Hashtbl.add seen l ();
+                acc := l :: !acc
+              end
+            done;
+            List.rev !acc
+          in
+          let probes =
+            List.map
+              (fun l ->
+                E.Xpath_query
+                  (Xpath.Ast.step ~quals:[ Xpath.Ast.Lab l ] Axis.Descendant))
+              labels
+          in
+          let queries = Array.of_list ((q :: probes) @ [ q ]) in
+          let prepared = Array.map E.prepare queries in
+          Tree.seal c.tree;
+          let direct = Array.map (fun q -> E.eval q c.tree) queries in
+          let seq = Serve.Batch.run_prepared c.tree prepared in
+          let compare_answers what (answers : Ns.t array) =
+            let verdict = ref Pass in
+            Array.iteri
+              (fun i a ->
+                match !verdict with
+                | Pass -> (
+                  match
+                    sets_equal (Printf.sprintf "%s, query %d" what i) direct.(i) a
+                  with
+                  | Pass -> ()
+                  | v -> verdict := v)
+                | _ -> ())
+              answers;
+            !verdict
+          in
+          (match compare_answers "sequential batch vs engine" seq.Serve.Batch.answers with
+          | Pass ->
+            List.fold_left
+              (fun verdict (domains, pool) ->
+                match verdict with
+                | Pass ->
+                  let par = Serve.Batch.run_prepared ~pool c.tree prepared in
+                  if par.Serve.Batch.distinct <> seq.Serve.Batch.distinct then
+                    Fail
+                      (Printf.sprintf
+                         "%d domains: distinct %d vs sequential %d" domains
+                         par.Serve.Batch.distinct seq.Serve.Batch.distinct)
+                  else
+                    compare_answers
+                      (Printf.sprintf "%d-domain batch vs engine" domains)
+                      par.Serve.Batch.answers
+                | v -> v)
+              Pass (Lazy.force pools)
+          | v -> v));
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Observability serialisation                                          *)
 
 (* [Report.to_json] output must be a fixpoint of parse-then-reserialise:
@@ -716,6 +812,7 @@ let all =
     law_order;
     law_setops;
     plan_cache;
+    parallel_batch;
     obs_roundtrip;
     sketch_quantile;
   ]

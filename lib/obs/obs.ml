@@ -39,26 +39,98 @@ type profile = {
 
 (* ------------------------------------------------------------------ *)
 
+(* Domain-local counter shards (see {!Shard}): when one is installed in
+   the current domain's DLS, counter bumps land in the shard's arrays
+   (indexed by each counter's registration index) instead of the shared
+   registry cells, so parallel workers never write the same memory.
+   Additive bumps ([incr]/[add]) and gauge updates ([record_max]) use
+   separate arrays because they merge differently (sum vs max). *)
+module Cshard = struct
+  type t = { mutable adds : int array; mutable maxes : int array }
+
+  let create () = { adds = [||]; maxes = [||] }
+
+  let key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+  let ensure sh i =
+    if i >= Array.length sh.adds then begin
+      let n = max 16 (max (i + 1) (2 * Array.length sh.adds)) in
+      let grow a =
+        let b = Array.make n 0 in
+        Array.blit a 0 b 0 (Array.length a);
+        b
+      in
+      sh.adds <- grow sh.adds;
+      sh.maxes <- grow sh.maxes
+    end
+
+  let add sh i n =
+    ensure sh i;
+    sh.adds.(i) <- sh.adds.(i) + n
+
+  let record_max sh i n =
+    ensure sh i;
+    if n > sh.maxes.(i) then sh.maxes.(i) <- n
+
+  let get_add sh i = if i < Array.length sh.adds then sh.adds.(i) else 0
+
+  let get_max sh i = if i < Array.length sh.maxes then sh.maxes.(i) else 0
+end
+
 module Counter = struct
-  type t = { name : string; mutable value : int }
+  type t = {
+    name : string;
+    idx : int;  (* position in the registry, stable for a counter's lifetime *)
+    mutable gauge : bool;  (* has ever been fed via record_max *)
+    mutable value : int;
+  }
 
   let registry : t list ref = ref []
+
+  let next_idx = ref 0
 
   let make name =
     match List.find_opt (fun c -> c.name = name) !registry with
     | Some c -> c
     | None ->
-      let c = { name; value = 0 } in
+      let c = { name; idx = !next_idx; gauge = false; value = 0 } in
+      Stdlib.incr next_idx;
       registry := c :: !registry;
       c
 
-  let[@inline] incr c = if !on then c.value <- c.value + 1
+  let[@inline] incr c =
+    if !on then
+      match Domain.DLS.get Cshard.key with
+      | None -> c.value <- c.value + 1
+      | Some sh -> Cshard.add sh c.idx 1
 
-  let[@inline] add c n = if !on then c.value <- c.value + n
+  let[@inline] add c n =
+    if !on then
+      match Domain.DLS.get Cshard.key with
+      | None -> c.value <- c.value + n
+      | Some sh -> Cshard.add sh c.idx n
 
-  let[@inline] record_max c n = if !on && n > c.value then c.value <- n
+  let[@inline] record_max c n =
+    if !on then begin
+      if not c.gauge then c.gauge <- true;
+      match Domain.DLS.get Cshard.key with
+      | None -> if n > c.value then c.value <- n
+      | Some sh -> Cshard.record_max sh c.idx n
+    end
 
   let value c = c.value
+
+  (* shard-aware read: the global cell plus this domain's pending shard
+     contribution — what {!Scope} snapshots inside a worker, so deltas
+     computed there see the worker's own work (the global cells are
+     stable while a parallel section runs: only merges mutate them, and
+     merges happen on the publishing domain after the workers finish) *)
+  let read c =
+    match Domain.DLS.get Cshard.key with
+    | None -> c.value
+    | Some sh ->
+      if c.gauge then max c.value (Cshard.get_max sh c.idx)
+      else c.value + Cshard.get_add sh c.idx
 
   let name c = c.name
 
@@ -106,26 +178,55 @@ module Histogram = struct
 
   let registry : t list ref = ref []
 
+  let detached name =
+    { hist_name = name; buckets = Array.make nbuckets 0; count = 0; sum = 0.0; max = 0.0 }
+
   let make name =
     match List.find_opt (fun h -> h.hist_name = name) !registry with
     | Some h -> h
     | None ->
-      let h =
-        { hist_name = name; buckets = Array.make nbuckets 0; count = 0; sum = 0.0; max = 0.0 }
-      in
+      let h = detached name in
       registry := h :: !registry;
       h
+
+  (* Domain-local histogram shard (see {!Shard}): name → unregistered
+     twin.  While installed, observations into any registered histogram
+     are redirected to this domain's private twin of the same name. *)
+  let shard_key : (string, t) Hashtbl.t option Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> None)
+
+  let twin tbl h =
+    match Hashtbl.find_opt tbl h.hist_name with
+    | Some d -> d
+    | None ->
+      let d = detached h.hist_name in
+      Hashtbl.add tbl h.hist_name d;
+      d
 
   let bucket_of v =
     if v <= base then 0
     else min (nbuckets - 1) (int_of_float (log (v /. base) /. log_ratio))
 
   let observe h v =
+    let h =
+      match Domain.DLS.get shard_key with None -> h | Some tbl -> twin tbl h
+    in
     let v = Float.max 0.0 v in
     h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
     h.count <- h.count + 1;
     h.sum <- h.sum +. v;
     if v > h.max then h.max <- v
+
+  (* Total merge: every histogram shares the one fixed bucket layout, so
+     merging is bucket-wise addition — no interpolation, no failure case.
+     [count]/[sum] add, [max] takes the max; [src] is left untouched. *)
+  let merge ~into src =
+    for i = 0 to nbuckets - 1 do
+      into.buckets.(i) <- into.buckets.(i) + src.buckets.(i)
+    done;
+    into.count <- into.count + src.count;
+    into.sum <- into.sum +. src.sum;
+    if src.max > into.max then into.max <- src.max
 
   let count h = h.count
 
@@ -193,30 +294,55 @@ module Span = struct
     mutable children : node list;  (** reversed *)
   }
 
-  let roots : node list ref = ref []  (* reversed *)
+  (* Span bookkeeping is per-domain: each domain has its own open-span
+     stack and completed-root list, so workers never contend on the main
+     domain's trace.  On the main domain this is the same state the
+     pre-domains code kept in two global refs. *)
+  type state = { mutable roots : node list (* reversed *); mutable stack : node list }
 
-  let stack : node list ref = ref []
+  let state_key : state Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> { roots = []; stack = [] })
+
+  let state () = Domain.DLS.get state_key
 
   (* Streaming sinks (the Chrome trace writer) observe each span the
      moment it completes — children strictly before their parents.  The
      hook must never break the instrumented program, so its exceptions
-     are swallowed. *)
+     are swallowed.  It fires only on the domain that installed it;
+     worker spans are replayed through it when their shard merges. *)
   let completion_hook : (node -> unit) option ref = ref None
 
+  let hook_domain : Domain.id ref = ref (Domain.self ())
+
+  let set_completion_hook h =
+    hook_domain := Domain.self ();
+    completion_hook := h
+
+  let fire_hook node =
+    match !completion_hook with
+    | Some f when Domain.self () = !hook_domain -> ( try f node with _ -> ())
+    | _ -> ()
+
+  (* Replay a merged worker span through the streaming hook, children
+     strictly before parents (the order the sink would have seen live). *)
+  let rec replay_hook node =
+    List.iter replay_hook (List.rev node.children);
+    fire_hook node
+
   let reset () =
-    roots := [];
-    stack := []
+    let st = state () in
+    st.roots <- [];
+    st.stack <- []
 
   let attach node =
-    match !stack with
+    let st = state () in
+    match st.stack with
     | top :: rest when top == node ->
-      stack := rest;
+      st.stack <- rest;
       (match rest with
       | parent :: _ -> parent.children <- node :: parent.children
-      | [] -> roots := node :: !roots);
-      (match !completion_hook with
-      | Some f -> ( try f node with _ -> ())
-      | None -> ())
+      | [] -> st.roots <- node :: st.roots);
+      fire_hook node
     | _ -> () (* unbalanced exit (e.g. reset inside a span): drop the span *)
 
   let with_ ?(attrs = []) name f =
@@ -226,7 +352,8 @@ module Span = struct
       let node =
         { span_name = name; start = t0; duration = 0.0; attrs = List.rev attrs; children = [] }
       in
-      stack := node :: !stack;
+      let st = state () in
+      st.stack <- node :: st.stack;
       Fun.protect
         ~finally:(fun () ->
           node.duration <- !clock () -. t0;
@@ -239,7 +366,7 @@ module Span = struct
      span is open, so callers need no guards. *)
   let set_attr key value =
     if !on then
-      match !stack with
+      match (state ()).stack with
       | top :: _ -> top.attrs <- (key, value) :: List.remove_assoc key top.attrs
       | [] -> ()
 end
@@ -254,12 +381,19 @@ end
    delta).  Cost is O(#registered counters) per scope — paid only when
    observability is enabled. *)
 module Scope = struct
-  let captured : profile list ref = ref []  (* reversed *)
+  (* per-domain, like span state: a worker's scopes collect into its own
+     list, drained into the active {!Shard} when the task ends *)
+  let captured_key : profile list ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref [])
 
-  let reset () = captured := []
+  let captured () = Domain.DLS.get captured_key  (* reversed *)
 
+  let reset () = captured () := []
+
+  (* [Counter.read], not [.value]: inside a worker's shard the snapshot
+     must include the shard contribution or every delta would be zero *)
   let snapshot_values () =
-    List.map (fun (c : Counter.t) -> (c, c.Counter.value)) !Counter.registry
+    List.map (fun (c : Counter.t) -> (c, Counter.read c)) !Counter.registry
 
   let deltas before =
     !Counter.registry
@@ -269,7 +403,7 @@ module Scope = struct
              | Some (_, v) -> v
              | None -> 0 (* counter registered inside the scope *)
            in
-           let d = c.Counter.value - b in
+           let d = Counter.read c - b in
            if d <> 0 then Some (c.Counter.name, d) else None)
     |> List.sort compare
 
@@ -300,22 +434,108 @@ module Scope = struct
       let before = snapshot_values () in
       let t0 = !clock () in
       let finish () =
-        captured :=
+        let cap = captured () in
+        cap :=
           { profile_label = label;
             profile_attrs = attrs;
             profile_counters = deltas before;
             profile_duration = !clock () -. t0 }
-          :: !captured
+          :: !cap
       in
       Fun.protect ~finally:finish f
     end
 
-  let recorded () = List.rev !captured
+  let recorded () = List.rev !(captured ())
 
   (* Append an externally-collected profile (from {!collect}) to the
      recorded list — lets a caller look at a profile (e.g. to feed a
      telemetry store) and still have {!Report.capture} pick it up. *)
-  let note p = if !on then captured := p :: !captured
+  let note p =
+    if !on then begin
+      let cap = captured () in
+      cap := p :: !cap
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+
+(* Domain-local observability shards.  A parallel executor creates one
+   shard per task, runs the task under {!Shard.run} (on whatever domain
+   picks it up), and — once the task has completed and its results are
+   back on the publishing domain — folds the shard into the global state
+   with {!Shard.merge}.  While a shard is installed:
+
+   - counter bumps go to the shard's per-index arrays (sum-merged;
+     [record_max] gauges max-merged);
+   - histogram observations go to private unregistered twins (merged
+     bucket-wise with {!Histogram.merge});
+   - spans and scope profiles collect in the running domain's own DLS
+     state and are drained into the shard when [run] returns.
+
+   Merging in task order on one domain makes the merged totals, profile
+   order and span order deterministic regardless of how tasks were
+   scheduled across domains.  [run] touches no shared mutable state, so
+   it is also safe (and useful in tests) on the main domain. *)
+module Shard = struct
+  type t = {
+    counters : Cshard.t;
+    hists : (string, Histogram.t) Hashtbl.t;
+    mutable roots : Span.node list;  (* completed worker spans, oldest first *)
+    mutable profiles : profile list;  (* oldest first *)
+  }
+
+  let create () =
+    { counters = Cshard.create (); hists = Hashtbl.create 8; roots = []; profiles = [] }
+
+  let run sh f =
+    let st = Span.state () in
+    let saved_roots = st.Span.roots and saved_stack = st.Span.stack in
+    st.Span.roots <- [];
+    st.Span.stack <- [];
+    let cap = Scope.captured () in
+    let saved_cap = !cap in
+    cap := [];
+    let saved_csh = Domain.DLS.get Cshard.key in
+    let saved_hsh = Domain.DLS.get Histogram.shard_key in
+    Domain.DLS.set Cshard.key (Some sh.counters);
+    Domain.DLS.set Histogram.shard_key (Some sh.hists);
+    Fun.protect
+      ~finally:(fun () ->
+        sh.roots <- sh.roots @ List.rev st.Span.roots;
+        sh.profiles <- sh.profiles @ List.rev !cap;
+        st.Span.roots <- saved_roots;
+        st.Span.stack <- saved_stack;
+        cap := saved_cap;
+        Domain.DLS.set Cshard.key saved_csh;
+        Domain.DLS.set Histogram.shard_key saved_hsh)
+      f
+
+  let merge sh =
+    (* counters: additive deltas sum into the global cells, gauge maxes
+       max into them.  O(#registered counters) per shard. *)
+    List.iter
+      (fun (c : Counter.t) ->
+        let d = Cshard.get_add sh.counters c.Counter.idx in
+        if d <> 0 then c.Counter.value <- c.Counter.value + d;
+        let m = Cshard.get_max sh.counters c.Counter.idx in
+        if m > c.Counter.value then c.Counter.value <- m)
+      !Counter.registry;
+    Hashtbl.iter
+      (fun name twin -> Histogram.merge ~into:(Histogram.make name) twin)
+      sh.hists;
+    (* spans: graft under the innermost span open on this domain (the
+       executor's enclosing span, if any), replaying the streaming hook
+       children-before-parents so exported traces include worker spans *)
+    let st = Span.state () in
+    List.iter
+      (fun n ->
+        Span.replay_hook n;
+        match st.Span.stack with
+        | parent :: _ -> parent.Span.children <- n :: parent.Span.children
+        | [] -> st.Span.roots <- n :: st.Span.roots)
+      sh.roots;
+    let cap = Scope.captured () in
+    List.iter (fun p -> cap := p :: !cap) sh.profiles
 end
 
 let reset () =
@@ -594,7 +814,7 @@ module Report = struct
 
   let capture () =
     {
-      spans = List.rev_map freeze !Span.roots;
+      spans = List.rev_map freeze (Span.state ()).Span.roots;
       counters = Counter.snapshot ();
       histograms = Histogram.snapshot ();
       profiles = Scope.recorded ();
@@ -907,19 +1127,19 @@ module Trace = struct
 
   let start_stream () =
     let s = { events = []; t0 = 0.0 } in
-    Span.completion_hook :=
-      Some
+    Span.set_completion_hook
+      (Some
         (fun (n : Span.node) ->
           if s.t0 = 0.0 || n.Span.start < s.t0 then s.t0 <- n.Span.start;
           s.events <-
             (* t0 is normalised at [stop_stream]; record absolute µs here *)
             event ~t0:0.0 ~name:n.Span.span_name ~start:n.Span.start
               ~duration:n.Span.duration ~attrs:(List.rev n.Span.attrs)
-            :: s.events);
+            :: s.events));
     s
 
   let stop_stream s =
-    Span.completion_hook := None;
+    Span.set_completion_hook None;
     let shift = s.t0 *. 1e6 in
     let rebase = function
       | Json.Obj kvs ->

@@ -129,6 +129,14 @@ module Histogram : sig
 
   val name : t -> string
 
+  val merge : into:t -> t -> unit
+  (** [merge ~into src] folds [src] into [into]: bucket-wise count
+      addition (every histogram shares the one fixed √2-ratio bucket
+      layout, so this is total — no interpolation, no failure case),
+      [count] and [sum] add, [max] takes the larger.  [src] is left
+      unchanged.  This is how domain-local shards fold their private
+      twins into the registered histogram at {!Shard.merge} time. *)
+
   val clear : t -> unit
   (** Zero this histogram only (e.g. between serving runs in one
       process). *)
@@ -177,6 +185,47 @@ module Scope : sig
       for callers that need to inspect a profile (e.g. to feed a
       telemetry store) {e and} have {!Report.capture} pick it up.
       No-op when disabled. *)
+end
+
+(** Domain-local observability shards, the race-freedom mechanism behind
+    parallel serving: a parallel executor creates one shard per task,
+    wraps the task in {!Shard.run} (on whichever domain picks it up),
+    and folds the completed shard into the global state with
+    {!Shard.merge} on the publishing domain.
+
+    While a shard is installed in a domain, that domain's counter bumps
+    go to the shard's private arrays (additive counters sum-merged,
+    {!Counter.record_max} gauges max-merged), histogram observations go
+    to private twins (bucket-wise {!Histogram.merge}d), and spans /
+    scope profiles collect in the domain's own state and drain into the
+    shard when [run] returns — no instrumented code ever writes memory
+    another domain is writing.
+
+    Merging shards in task order on one domain makes the merged counter
+    totals, profile order and span order deterministic regardless of how
+    tasks were scheduled.  The protocol relies on the publishing domain
+    quiescing the workers before merging (a pool's [run] returns only
+    after every task finished), so the global cells are stable while
+    workers run. *)
+module Shard : sig
+  type t
+
+  val create : unit -> t
+  (** A fresh, empty shard.  Cheap — intended per task, not per domain. *)
+
+  val run : t -> (unit -> 'a) -> 'a
+  (** Run the thunk with this shard installed in the current domain,
+      restoring the domain's previous observability state after (also on
+      exception).  Safe on any domain, including the main one (useful
+      for deterministic tests without spawning domains). *)
+
+  val merge : t -> unit
+  (** Fold the shard into the global counters, histograms, span forest
+      (grafting worker spans under the innermost span currently open on
+      the calling domain, and replaying them through a live streaming
+      trace sink children-before-parents) and recorded profiles.  Call
+      on the publishing domain, after the task completed, at most once
+      per shard. *)
 end
 
 (** Minimal JSON values — enough to serialise reports and read them back

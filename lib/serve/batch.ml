@@ -103,7 +103,7 @@ let stream_prune tree (reps : Engine.prepared array) =
 
 (* ------------------------------------------------------------------ *)
 
-let run_prepared ?(stream_prefilter = false) ?on_profile tree
+let run_prepared ?pool ?(stream_prefilter = false) ?on_profile tree
     (prepared : Engine.prepared array) =
   Obs.Span.with_ "serve:batch" @@ fun () ->
   let n = Array.length prepared in
@@ -141,25 +141,51 @@ let run_prepared ?(stream_prefilter = false) ?on_profile tree
        is per representative: the shared evaluation is attributed once,
        and the per-rep profile counters sum to at most the global
        snapshot (aliased requests ride along for free) *)
-    Array.mapi
-      (fun i (p : Engine.prepared) ->
-        let answer, profile =
-          Obs.Scope.collect
-            ~attrs:
-              [
-                ("fingerprint", Obs.Str p.Engine.fp);
-                ("strategy", Obs.Str (Engine.strategy_name p.Engine.strategy));
-                ("aliased", Obs.Int (n - Array.length reps));
-              ]
-            (Printf.sprintf "rep-%d" i)
-            (fun () ->
-              if pruned_empty.(i) then Nodeset.create (Tree.size tree)
-              else p.Engine.exec tree)
-        in
-        Obs.Scope.note profile;
-        (match on_profile with Some f -> f p profile | None -> ());
-        answer)
-      reps
+    let exec_rep i (p : Engine.prepared) =
+      Obs.Scope.collect
+        ~attrs:
+          [
+            ("fingerprint", Obs.Str p.Engine.fp);
+            ("strategy", Obs.Str (Engine.strategy_name p.Engine.strategy));
+            ("aliased", Obs.Int (n - Array.length reps));
+          ]
+        (Printf.sprintf "rep-%d" i)
+        (fun () ->
+          if pruned_empty.(i) then Nodeset.create (Tree.size tree)
+          else p.Engine.exec tree)
+    in
+    match pool with
+    | Some pool when Pool.size pool > 1 && Array.length reps > 1 ->
+      (* parallel: each rep is one pool task under its own Obs shard;
+         shards merge on this domain in rep order once the job drained,
+         so counter totals and profile order match the sequential path *)
+      let tasks =
+        Array.mapi
+          (fun i (p : Engine.prepared) () ->
+            let sh = Obs.Shard.create () in
+            let answer, profile = Obs.Shard.run sh (fun () ->
+                let answer, profile = exec_rep i p in
+                Obs.Scope.note profile;
+                (answer, profile))
+            in
+            (answer, profile, sh))
+          reps
+      in
+      let results = Pool.run pool tasks in
+      Array.mapi
+        (fun i (answer, profile, sh) ->
+          Obs.Shard.merge sh;
+          (match on_profile with Some f -> f reps.(i) profile | None -> ());
+          answer)
+        results
+    | _ ->
+      Array.mapi
+        (fun i (p : Engine.prepared) ->
+          let answer, profile = exec_rep i p in
+          Obs.Scope.note profile;
+          (match on_profile with Some f -> f p profile | None -> ());
+          answer)
+        reps
   in
   {
     answers = Array.map (fun s -> rep_answers.(s)) slot;

@@ -32,6 +32,7 @@ type result = {
 }
 
 val run_prepared :
+  ?pool:Pool.t ->
   ?stream_prefilter:bool ->
   ?on_profile:(Treequery.Engine.prepared -> Obs.profile -> unit) ->
   Treekit.Tree.t ->
@@ -42,7 +43,16 @@ val run_prepared :
     per distinct plan with its execution's {!Obs.Scope} profile (empty
     when observability is disabled) — the serving layer's telemetry feed
     in share mode; the profile is also recorded for
-    {!Obs.Report.capture} either way. *)
+    {!Obs.Report.capture} either way.
+
+    [pool] (with size > 1) evaluates the distinct representatives in
+    parallel across the pool's domains, one {!Obs.Shard} per rep, merged
+    (and [on_profile] called) in rep order on the calling domain after
+    the job drains — answers, counter totals and profile order are
+    identical to the sequential path.  Seal the tree
+    ({!Treekit.Tree.seal}) before passing a pool; dedup, prewarm and the
+    stream prefilter stay on the calling domain (prewarm doubles as the
+    label-index seal point for the batch's labels). *)
 
 val run :
   ?stream_prefilter:bool ->

@@ -28,6 +28,14 @@ type t = {
   capacity : int;
   ttl : float option;
   clock : unit -> float;
+  (* One mutex for the whole cache, not a striped lock: the LRU recency
+     list is a single doubly-linked chain, and every hit mutates it
+     ([touch]), so stripes would still contend on the list and buy
+     nothing.  The parallel server keeps all lookups on the admitting
+     domain anyway (workers receive already-prepared plans), so in
+     practice this lock is uncontended — it exists so the API stays safe
+     if a future front-end looks plans up from several domains. *)
+  lock : Mutex.t;
   mutable head : entry option;
   mutable tail : entry option;
   mutable hits : int;
@@ -43,6 +51,7 @@ let create ?(capacity = 128) ?ttl ?(clock = Obs.now) () =
     capacity;
     ttl;
     clock;
+    lock = Mutex.create ();
     head = None;
     tail = None;
     hits = 0;
@@ -50,6 +59,10 @@ let create ?(capacity = 128) ?ttl ?(clock = Obs.now) () =
     evictions = 0;
     expirations = 0;
   }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let unlink t e =
   (match e.prev with Some p -> p.next <- e.next | None -> t.head <- e.next);
@@ -94,6 +107,7 @@ let insert t key prepared =
 
 let find t query =
   let key = Engine.canonical query in
+  locked t @@ fun () ->
   match Hashtbl.find_opt t.table key with
   | Some e when not (expired t e) ->
     t.hits <- t.hits + 1;
@@ -113,13 +127,14 @@ let find t query =
     insert t key prepared;
     (`Miss, prepared)
 
-let size t = Hashtbl.length t.table
+let size t = locked t @@ fun () -> Hashtbl.length t.table
 
 type entry_stats = { fingerprint : string; canon : string; entry_hits : int }
 
 (* walk the recency list head→tail so the result is MRU-first — the
    fingerprint stats hook the telemetry layer reads *)
 let entries t =
+  locked t @@ fun () ->
   let rec go acc = function
     | None -> List.rev acc
     | Some e ->
@@ -135,16 +150,18 @@ let entries t =
   go [] t.head
 
 let stats t =
+  locked t @@ fun () ->
   {
     hits = t.hits;
     misses = t.misses;
     evictions = t.evictions;
     expirations = t.expirations;
-    size = size t;
+    size = Hashtbl.length t.table;
     capacity = t.capacity;
   }
 
 let clear t =
+  locked t @@ fun () ->
   Hashtbl.reset t.table;
   t.head <- None;
   t.tail <- None

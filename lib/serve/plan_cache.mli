@@ -13,7 +13,14 @@
     carry a TTL after which a lookup re-plans (and counts as a miss).
     Lookups bump the [plan_cache_hit] / [plan_cache_miss] /
     [plan_cache_evict] observability counters when tracing is enabled;
-    {!stats} is always counted. *)
+    {!stats} is always counted.
+
+    Every operation takes the cache's internal mutex (a single lock, not
+    a striped one: the LRU recency chain is one doubly-linked list that
+    every hit mutates, so stripes would contend on it anyway), making
+    the API safe to call from any domain.  The parallel server keeps
+    lookups on the admitting domain, so the lock is uncontended there —
+    it exists so sharing the cache across domains stays correct. *)
 
 type t
 

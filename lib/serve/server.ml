@@ -15,12 +15,26 @@ type config = {
   inject_overbudget : bool;
   tick_every : float option;
   on_tick : (int -> float -> unit) option;
+  (* [pool]: admitted requests of a chunk (or batch reps in share mode)
+     execute in parallel on its domains; the tree must be sealed
+     ({!Treekit.Tree.seal}) before [run].  [None] keeps the sequential
+     path bit-identical to pre-pool behaviour. *)
+  pool : Pool.t option;
+  (* [wall_clock]: open-loop arrivals are honoured in real time — the
+     loop sleeps until each chunk's last arrival instead of advancing
+     the virtual clock, so throughput/latency come from [clock] itself *)
+  wall_clock : bool;
+  (* how to wait for the next arrival in wall-clock mode; the library
+     does not link [unix], so the CLI injects [Unix.sleepf] (default:
+     no-op, i.e. arrivals are treated as already due) *)
+  sleep : float -> unit;
 }
 
 let config ?cache ?(concurrency = 1) ?(share = false)
     ?(stream_prefilter = false) ?deadline ?(ops_per_second = 5e7)
     ?(clock = Obs.now) ?telemetry ?recorder ?(inject_overbudget = false)
-    ?tick_every ?on_tick () =
+    ?tick_every ?on_tick ?pool ?(wall_clock = false) ?(sleep = fun _ -> ())
+    () =
   if concurrency < 1 then invalid_arg "Server.config: concurrency must be >= 1";
   (match tick_every with
   | Some e when e <= 0.0 -> invalid_arg "Server.config: tick_every must be > 0"
@@ -28,6 +42,7 @@ let config ?cache ?(concurrency = 1) ?(share = false)
   {
     cache; concurrency; share; stream_prefilter; deadline; ops_per_second;
     clock; telemetry; recorder; inject_overbudget; tick_every; on_tick;
+    pool; wall_clock; sleep;
   }
 
 let reject_reason = "degraded: naive bound exceeded"
@@ -90,6 +105,9 @@ let run cfg tree (shapes : Workload.shape array) (reqs : Workload.request list) 
         ("concurrency", Obs.Int cfg.concurrency);
         ("share", Obs.Str (string_of_bool cfg.share));
       ]
+      @ (match cfg.pool with
+        | Some p -> [ ("domains", Obs.Int (Pool.size p)) ]
+        | None -> [])
     else []
   in
   Obs.Span.with_ ~attrs:serve_attrs "serve" @@ fun () ->
@@ -171,11 +189,22 @@ let run cfg tree (shapes : Workload.shape array) (reqs : Workload.request list) 
       in
       let chunk, rest = take cfg.concurrency [] reqs in
       (* the batch is admitted when its last request has arrived *)
-      let vstart =
+      let arrival_max =
         List.fold_left
           (fun v (r : Workload.request) ->
             match r.arrival with Some a -> Float.max v a | None -> v)
           !vnow chunk
+      in
+      let vstart =
+        if cfg.wall_clock then begin
+          (* honour the arrival schedule in real time: wait out the gap
+             when the server is ahead; when it is behind, the backlog is
+             real queueing delay and shows up in the open-loop latency *)
+          let now = cfg.clock () -. t_start in
+          if arrival_max > now then cfg.sleep (arrival_max -. now);
+          Float.max arrival_max (cfg.clock () -. t_start)
+        end
+        else arrival_max
       in
       let admitted =
         List.filter_map
@@ -269,6 +298,30 @@ let run cfg tree (shapes : Workload.shape array) (reqs : Workload.request list) 
       | [] -> vnow := vstart
       | _ -> (
         let plans = Array.of_list (List.map (fun (_, p, _) -> p) admitted) in
+        (* one scope per request, so the counters each evaluation bumps
+           are attributed to that request's profile *)
+        let exec_one ((r : Workload.request), (p : Engine.prepared), bound) =
+          let t0 = cfg.clock () in
+          let answer, profile =
+            Obs.Scope.collect
+              ~attrs:
+                [
+                  ("fingerprint", Obs.Str p.Engine.fp);
+                  ("strategy", Obs.Str (strategy_of p));
+                ]
+              (Printf.sprintf "request-%d" r.Workload.id)
+              (fun () ->
+                let a = p.Engine.exec tree in
+                if cfg.inject_overbudget then
+                  (* un-priced work: double the admission
+                     bound, so observed/predicted ≥ 2 *)
+                  Obs.Counter.add c_injected
+                    (2 * max 1 (int_of_float (Float.min bound 1e8)));
+                a)
+          in
+          Obs.Scope.note profile;
+          (answer, profile, cfg.clock () -. t0)
+        in
         let execute () =
           if cfg.share then
             (* per-rep telemetry: the hook re-prices the rep (same bound
@@ -278,39 +331,47 @@ let run cfg tree (shapes : Workload.shape array) (reqs : Workload.request list) 
               record_telemetry ~id:(-1) ~p ~bound:(naive_bound p tree) ~profile
                 ~wall:profile.Obs.profile_duration
             in
-            Batch.run_prepared ~stream_prefilter:cfg.stream_prefilter ~on_profile
-              tree plans
+            Batch.run_prepared ?pool:cfg.pool
+              ~stream_prefilter:cfg.stream_prefilter ~on_profile tree plans
           else
-            {
-              (* one scope per request, so the counters each evaluation
-                 bumps are attributed to that request's profile *)
-              Batch.answers =
+            let answers =
+              match cfg.pool with
+              | Some pool when Pool.size pool > 1 && List.length admitted > 1 ->
+                (* each admitted request is one pool task under its own
+                   Obs shard; shards merge (and telemetry records) here
+                   on the admitting domain in admission order once the
+                   job drains, so counters, flight-recorder entries and
+                   answers match the sequential path *)
+                let adm = Array.of_list admitted in
+                let tasks =
+                  Array.map
+                    (fun item () ->
+                      let sh = Obs.Shard.create () in
+                      let out = Obs.Shard.run sh (fun () -> exec_one item) in
+                      (out, sh))
+                    adm
+                in
+                let results = Pool.run pool tasks in
+                Array.mapi
+                  (fun i ((answer, profile, wall), sh) ->
+                    Obs.Shard.merge sh;
+                    let (r : Workload.request), p, bound = adm.(i) in
+                    record_telemetry ~id:r.Workload.id ~p ~bound ~profile
+                      ~wall;
+                    answer)
+                  results
+              | _ ->
                 Array.of_list
                   (List.map
-                     (fun ((r : Workload.request), (p : Engine.prepared), bound) ->
-                       let t0 = cfg.clock () in
-                       let answer, profile =
-                         Obs.Scope.collect
-                           ~attrs:
-                             [
-                               ("fingerprint", Obs.Str p.Engine.fp);
-                               ("strategy", Obs.Str (strategy_of p));
-                             ]
-                           (Printf.sprintf "request-%d" r.Workload.id)
-                           (fun () ->
-                             let a = p.Engine.exec tree in
-                             if cfg.inject_overbudget then
-                               (* un-priced work: double the admission
-                                  bound, so observed/predicted ≥ 2 *)
-                               Obs.Counter.add c_injected
-                                 (2 * max 1 (int_of_float (Float.min bound 1e8)));
-                             a)
-                       in
-                       Obs.Scope.note profile;
+                     (fun (((r : Workload.request), p, bound) as item) ->
+                       let answer, profile, wall = exec_one item in
                        record_telemetry ~id:r.Workload.id ~p ~bound ~profile
-                         ~wall:(cfg.clock () -. t0);
+                         ~wall;
                        answer)
-                     admitted);
+                     admitted)
+            in
+            {
+              Batch.answers;
               distinct = Array.length plans;
               stream_pruned = 0;
             }
@@ -319,10 +380,14 @@ let run cfg tree (shapes : Workload.shape array) (reqs : Workload.request list) 
         match execute () with
         | exception _ ->
           errors := !errors + List.length admitted;
-          vnow := vstart +. (cfg.clock () -. t0)
+          vnow :=
+            if cfg.wall_clock then cfg.clock () -. t_start
+            else vstart +. (cfg.clock () -. t0)
         | result ->
           let dt = cfg.clock () -. t0 in
-          let vdone = vstart +. dt in
+          let vdone =
+            if cfg.wall_clock then cfg.clock () -. t_start else vstart +. dt
+          in
           vnow := vdone;
           distinct := !distinct + result.Batch.distinct;
           pruned := !pruned + result.Batch.stream_pruned;

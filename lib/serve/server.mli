@@ -56,6 +56,25 @@ type config = {
           passed tick [i]'s deadline [vt = (i+1)·tick_every] — the
           driver's periodic OpenMetrics snapshot hook, deterministic
           under a fake clock because it is driven by virtual time *)
+  pool : Pool.t option;
+      (** execute each chunk's admitted requests (batch reps in [share]
+          mode) in parallel on the pool's domains, one {!Obs.Shard} per
+          task, merged on the admitting domain in admission order —
+          answers, counter totals, telemetry feed and flight-recorder
+          entries are identical to the sequential path.  The caller must
+          {!Treekit.Tree.seal} the tree first and keeps ownership of the
+          pool ({!Pool.shutdown}).  [None] (the default) preserves the
+          sequential loop exactly. *)
+  wall_clock : bool;
+      (** honour open-loop arrival times in real time: the loop [sleep]s
+          until each chunk's last arrival instead of advancing a virtual
+          clock, and latency/throughput are measured against [clock]
+          itself.  [false] (the default) keeps the deterministic
+          discrete-event twin. *)
+  sleep : float -> unit;
+      (** how to wait in [wall_clock] mode.  The library does not link
+          [unix], so the CLI injects [Unix.sleepf]; the default no-op
+          treats every arrival as already due (pure back-pressure). *)
 }
 
 val config :
@@ -71,12 +90,16 @@ val config :
   ?inject_overbudget:bool ->
   ?tick_every:float ->
   ?on_tick:(int -> float -> unit) ->
+  ?pool:Pool.t ->
+  ?wall_clock:bool ->
+  ?sleep:(float -> unit) ->
   unit ->
   config
 (** Defaults: no cache, [concurrency = 1], [share = false],
     [stream_prefilter = false], no deadline, [ops_per_second = 5e7],
     [clock = Obs.now], no telemetry, no recorder,
-    [inject_overbudget = false], no ticks. *)
+    [inject_overbudget = false], no ticks, no pool,
+    [wall_clock = false], [sleep] a no-op. *)
 
 val reject_reason : string
 (** ["degraded: naive bound exceeded"] — the message attached to

@@ -94,3 +94,27 @@ let requests ~rng ~shapes ~count kind =
           | Closed_loop -> None
           | Open_loop { rate } -> Some (float_of_int i /. rate));
       })
+
+(* Seed-split streams for parallel runs: request [i]'s shape comes from
+   its own RNG state derived from [(seed, i, salt)] — the same stable
+   salt-hash idiom as [Check.Gen.rng_for] — instead of one sequentially
+   threaded state.  Any partition of the id range (across chunks,
+   domains, or replayed subranges) then draws exactly the same stream,
+   so parallel runs are replayable and independent of domain count. *)
+let salt_hash s =
+  String.fold_left (fun h c -> ((h * 131) + Char.code c) land 0x3FFFFFFF) 7 s
+
+let split_salt = salt_hash "workload-request"
+
+let request_rng ~seed i = Random.State.make [| seed; i; split_salt |]
+
+let requests_split ~seed ~shapes ~count kind =
+  List.init count (fun i ->
+      {
+        id = i;
+        shape = Random.State.int (request_rng ~seed i) shapes;
+        arrival =
+          (match kind with
+          | Closed_loop -> None
+          | Open_loop { rate } -> Some (float_of_int i /. rate));
+      })

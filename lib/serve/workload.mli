@@ -40,3 +40,13 @@ val requests :
   rng:Random.State.t -> shapes:int -> count:int -> kind -> request list
 (** [count] requests with uniformly drawn shape indices, in arrival
     order. *)
+
+val requests_split :
+  seed:int -> shapes:int -> count:int -> kind -> request list
+(** Like {!requests}, but request [i]'s shape is drawn from its own RNG
+    state derived by splitting [(seed, i)] under a stable salt (the
+    {!Check.Gen} idiom) instead of one sequentially threaded state.  The
+    stream is therefore a pure function of [(seed, shapes, count)] —
+    independent of evaluation order, chunking, or domain count — which is
+    what keeps parallel wall-clock runs replayable against sequential
+    ones. *)

@@ -250,6 +250,16 @@ let nodes_with_label t lbl = Array.to_list (occurrences t lbl)
 
 let label_set t lbl = Nodeset.of_sorted_array (size t) (occurrences t lbl)
 
+(* Publication protocol for sharing a tree read-only across domains: the
+   two lazily built caches ([label_index], [bflr]) are the only mutation
+   a read path can trigger.  Forcing them before handing the tree to
+   other domains makes every subsequent accessor a pure array read. *)
+let ensure_index t = ignore (compute_label_index t)
+
+let seal t =
+  ignore (compute_label_index t);
+  ignore (compute_bflr t)
+
 let pp fmt t =
   let buf = Buffer.create 64 in
   let rec go v =

@@ -125,6 +125,18 @@ val bflr_rank : t -> int array
 val node_of_bflr : t -> int array
 (** Inverse permutation of {!bflr_rank}. *)
 
+(** {1 Cross-domain publication} *)
+
+val ensure_index : t -> unit
+(** Force the lazily built label inverted index now.  See {!seal}. *)
+
+val seal : t -> unit
+(** Force every lazily built cache (the label inverted index and the
+    [<bflr] ranks) so the tree can be shared read-only across OCaml 5
+    domains: after [seal], no accessor mutates the structure, so
+    concurrent readers are race-free.  Idempotent and cheap to repeat
+    (forced caches are just returned). *)
+
 (** {1 Ancestry tests} *)
 
 val is_ancestor : t -> int -> int -> bool

@@ -435,6 +435,119 @@ let test_bound_fit_slope () =
   close "nonpositive points skipped" 1.0
     (Obs.Bound.fit_slope [ (0., 7.); (10., 30.); (20., 60.); (-3., 9.); (40., 120.) ])
 
+(* -------------------------------------------------------------------- *)
+(* Histogram.merge: total over every bucket-population combination        *)
+
+let test_histogram_merge () =
+  let mk name = let h = Obs.Histogram.make name in Obs.Histogram.clear h; h in
+  (* empty into empty, and empty into populated: no-ops *)
+  let a = mk "test_merge_a" and b = mk "test_merge_b" in
+  Obs.Histogram.merge ~into:a b;
+  Alcotest.(check int) "empty into empty" 0 (Obs.Histogram.count a);
+  Obs.Histogram.observe a 0.004;
+  Obs.Histogram.observe a 0.008;
+  Obs.Histogram.merge ~into:a b;
+  Alcotest.(check int) "empty src is a no-op" 2 (Obs.Histogram.count a);
+  let s = Obs.Histogram.summary a in
+  Alcotest.(check (float 1e-9)) "max untouched" 0.008 s.Obs.max;
+  (* populated into empty: the target becomes a copy *)
+  Obs.Histogram.merge ~into:b a;
+  Alcotest.(check int) "populated into empty: count" 2 (Obs.Histogram.count b);
+  Alcotest.(check (float 1e-9)) "populated into empty: max" 0.008
+    (Obs.Histogram.summary b).Obs.max;
+  (* disjoint buckets: small samples into a large-sample target *)
+  let c = mk "test_merge_c" and d = mk "test_merge_d" in
+  for _ = 1 to 10 do Obs.Histogram.observe c 0.001 done;
+  for _ = 1 to 10 do Obs.Histogram.observe d 1.0 done;
+  Obs.Histogram.merge ~into:c d;
+  Alcotest.(check int) "disjoint: counts add" 20 (Obs.Histogram.count c);
+  let s = Obs.Histogram.summary c in
+  Alcotest.(check (float 1e-9)) "disjoint: max from src" 1.0 s.Obs.max;
+  Alcotest.(check bool) "disjoint: p25 from target side" true (Obs.Histogram.percentile c 0.25 < 0.01);
+  Alcotest.(check bool) "disjoint: p99 from src side" true (Obs.Histogram.percentile c 0.99 > 0.5);
+  (* overlapping buckets: same samples both sides, counts double *)
+  let e = mk "test_merge_e" and f = mk "test_merge_f" in
+  for i = 1 to 50 do
+    Obs.Histogram.observe e (float_of_int i /. 1000.0);
+    Obs.Histogram.observe f (float_of_int i /. 1000.0)
+  done;
+  let p50_before = Obs.Histogram.percentile e 0.5 in
+  Obs.Histogram.merge ~into:e f;
+  Alcotest.(check int) "overlapping: counts add" 100 (Obs.Histogram.count e);
+  Alcotest.(check (float 1e-9)) "overlapping: quantiles unchanged"
+    p50_before (Obs.Histogram.percentile e 0.5);
+  (* merge is cumulative with further observations *)
+  Obs.Histogram.observe e 2.0;
+  Alcotest.(check (float 1e-9)) "observe after merge" 2.0
+    (Obs.Histogram.summary e).Obs.max
+
+(* -------------------------------------------------------------------- *)
+(* Obs.Shard: deferred counters/histograms/spans/profiles, merged on the
+   installing side — exercised here on the main domain (Shard.run is
+   pure DLS bookkeeping, no spawn required) *)
+
+let test_shard_counters_merge () =
+  with_clean_obs @@ fun () ->
+  Obs.set_enabled true;
+  let c = Obs.Counter.make "test_shard_counter" in
+  let g = Obs.Counter.make "test_shard_gauge" in
+  Obs.Counter.add c 5;
+  Obs.Counter.record_max g 10;
+  let sh = Obs.Shard.create () in
+  Obs.Shard.run sh (fun () ->
+      Obs.Counter.add c 7;
+      Obs.Counter.incr c;
+      Obs.Counter.record_max g 3 (* below the global max: must not win *));
+  Alcotest.(check int) "global cell untouched before merge" 5
+    (Obs.Counter.value c);
+  let sh2 = Obs.Shard.create () in
+  Obs.Shard.run sh2 (fun () ->
+      Obs.Counter.add c 2;
+      Obs.Counter.record_max g 42);
+  Obs.Shard.merge sh;
+  Obs.Shard.merge sh2;
+  Alcotest.(check int) "adds sum across shards" 15 (Obs.Counter.value c);
+  Alcotest.(check int) "gauge merges by max" 42 (Obs.Counter.value g)
+
+let test_shard_spans_profiles_merge () =
+  with_clean_obs @@ fun () ->
+  Obs.set_enabled true;
+  let c = Obs.Counter.make "test_shard_scope_counter" in
+  let h = Obs.Histogram.make "test_shard_hist" in
+  Obs.Histogram.clear h;
+  let sh = Obs.Shard.create () in
+  Obs.Span.with_ "enclosing" (fun () ->
+      let (), profile =
+        Obs.Shard.run sh (fun () ->
+            Obs.Scope.collect "worker-task" (fun () ->
+                Obs.Span.with_ "worker-span" (fun () -> Obs.Counter.add c 9);
+                Obs.Histogram.observe h 0.002))
+      in
+      Obs.Shard.run sh (fun () -> Obs.Scope.note profile);
+      Alcotest.(check int) "shard histogram deferred" 0 (Obs.Histogram.count h);
+      Obs.Shard.merge sh);
+  Alcotest.(check int) "counter merged" 9 (Obs.Counter.value c);
+  Alcotest.(check int) "histogram merged" 1 (Obs.Histogram.count h);
+  let r = Obs.Report.capture () in
+  let enclosing = List.hd r.Obs.Report.spans in
+  Alcotest.(check string) "root is the enclosing span" "enclosing"
+    enclosing.Obs.Report.name;
+  let child_names =
+    List.map (fun (s : Obs.Report.span) -> s.name) enclosing.children
+  in
+  Alcotest.(check bool) "worker spans grafted under it" true
+    (List.mem "worker-span" child_names);
+  let profiles = r.Obs.Report.profiles in
+  Alcotest.(check bool) "worker profile captured" true
+    (List.exists (fun (p : Obs.profile) -> p.Obs.profile_label = "worker-task") profiles);
+  (* the profile's own counter delta survived the shard indirection *)
+  let p =
+    List.find (fun (p : Obs.profile) -> p.Obs.profile_label = "worker-task") profiles
+  in
+  Alcotest.(check bool) "scope saw the shard-routed delta" true
+    (List.mem_assoc "test_shard_scope_counter" p.Obs.profile_counters
+    && List.assoc "test_shard_scope_counter" p.Obs.profile_counters = 9)
+
 let suite =
   [
     Alcotest.test_case "span nesting" `Quick test_span_nesting;
@@ -460,4 +573,8 @@ let suite =
       test_histogram_ungated_and_registered;
     Alcotest.test_case "explain appends observed counters" `Quick
       test_explain_appends_observed;
+    Alcotest.test_case "histogram merge is total" `Quick test_histogram_merge;
+    Alcotest.test_case "shard counters merge" `Quick test_shard_counters_merge;
+    Alcotest.test_case "shard spans and profiles merge" `Quick
+      test_shard_spans_profiles_merge;
   ]

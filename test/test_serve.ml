@@ -457,11 +457,180 @@ let test_degrade_logs_fingerprint () =
     stats.Serve.Server.degraded
 
 (* ------------------------------------------------------------------ *)
+(* domain pool *)
+
+let test_pool_basics () =
+  let pool = Serve.Pool.create ~domains:3 () in
+  Fun.protect ~finally:(fun () -> Serve.Pool.shutdown pool) @@ fun () ->
+  Alcotest.(check int) "size" 3 (Serve.Pool.size pool);
+  let results =
+    Serve.Pool.run pool (Array.init 20 (fun i () -> i * i))
+  in
+  Alcotest.(check (array int)) "results in submission order"
+    (Array.init 20 (fun i -> i * i))
+    results;
+  (* back-to-back jobs reuse the same workers *)
+  let again = Serve.Pool.run pool (Array.init 5 (fun i () -> -i)) in
+  Alcotest.(check (array int)) "second job" [| 0; -1; -2; -3; -4 |] again
+
+let test_pool_exception_drains () =
+  let pool = Serve.Pool.create ~domains:2 () in
+  Fun.protect ~finally:(fun () -> Serve.Pool.shutdown pool) @@ fun () ->
+  let ran = Array.make 8 false in
+  (match
+     Serve.Pool.run pool
+       (Array.init 8 (fun i () ->
+            ran.(i) <- true;
+            if i = 3 then failwith "task-3"))
+   with
+  | _ -> Alcotest.fail "expected the task exception to re-raise"
+  | exception Failure m -> Alcotest.(check string) "first exception" "task-3" m);
+  Alcotest.(check bool) "every task still ran" true (Array.for_all Fun.id ran);
+  (* the pool survives a failed job *)
+  Alcotest.(check (array int)) "usable afterwards" [| 7 |]
+    (Serve.Pool.run pool [| (fun () -> 7) |])
+
+let test_pool_size_one_and_shutdown () =
+  let pool = Serve.Pool.create () in
+  Alcotest.(check int) "default size" 1 (Serve.Pool.size pool);
+  Alcotest.(check (array int)) "sequential execution" [| 1; 2 |]
+    (Serve.Pool.run pool [| (fun () -> 1); (fun () -> 2) |]);
+  Serve.Pool.shutdown pool;
+  Serve.Pool.shutdown pool (* idempotent *);
+  (match Serve.Pool.run pool [| (fun () -> 0) |] with
+  | _ -> Alcotest.fail "run after shutdown must raise"
+  | exception Invalid_argument _ -> ());
+  (match Serve.Pool.create ~domains:0 () with
+  | _ -> Alcotest.fail "create ~domains:0 must raise"
+  | exception Invalid_argument _ -> ())
+
+(* pool-executed batches agree with the sequential executor and the
+   engine, for each domain count, duplicates included *)
+let prop_parallel_batch_equals_sequential =
+  qtest ~count:30 "parallel batch = sequential batch = engine"
+    (tree_gen ())
+    (fun t ->
+      Tree.seal t;
+      let queries =
+        Array.init 12 (fun i ->
+            E.parse_xpath (List.nth batch_pool (i mod List.length batch_pool)))
+      in
+      let prepared = Array.map (fun q -> E.prepare q) queries in
+      let seq = Serve.Batch.run_prepared t prepared in
+      List.for_all
+        (fun domains ->
+          let pool = Serve.Pool.create ~domains () in
+          Fun.protect ~finally:(fun () -> Serve.Pool.shutdown pool)
+          @@ fun () ->
+          let par = Serve.Batch.run_prepared ~pool t prepared in
+          par.Serve.Batch.distinct = seq.Serve.Batch.distinct
+          && Array.for_all2 Nodeset.equal par.Serve.Batch.answers
+               seq.Serve.Batch.answers
+          && Array.for_all2
+               (fun ans q -> Nodeset.equal ans (E.eval q t))
+               par.Serve.Batch.answers queries)
+        [ 1; 2; 4 ])
+
+(* shard-merged counters across a real multi-domain server run equal the
+   single-threaded totals, and the answers agree *)
+let test_parallel_server_counters_match () =
+  with_clean_obs @@ fun () ->
+  let t = fig2_tree () in
+  Tree.seal t;
+  let shapes = mini_shapes [ "//mail[date]"; "//item"; "//person/name" ] in
+  let run ?pool () =
+    Obs.reset ();
+    let cfg = Serve.Server.config ~concurrency:8 ?pool () in
+    let stats =
+      Obs.with_enabled true (fun () ->
+          Serve.Server.run cfg t shapes (closed_requests 60 3))
+    in
+    let r = Obs.Report.capture () in
+    (stats, r.Obs.Report.counters, List.length r.Obs.Report.profiles)
+  in
+  let s1, c1, p1 = run () in
+  let pool = Serve.Pool.create ~domains:4 () in
+  let s4, c4, p4 =
+    Fun.protect ~finally:(fun () -> Serve.Pool.shutdown pool) (fun () ->
+        run ~pool ())
+  in
+  Alcotest.(check int) "served" s1.Serve.Server.served s4.Serve.Server.served;
+  Alcotest.(check int) "result nodes" s1.Serve.Server.result_nodes
+    s4.Serve.Server.result_nodes;
+  Alcotest.(check int) "profile count" p1 p4;
+  List.iter
+    (fun (k, v) ->
+      Alcotest.(check int)
+        (Printf.sprintf "counter %s" k)
+        v
+        (Option.value ~default:0 (List.assoc_opt k c4)))
+    c1;
+  Alcotest.(check int) "no extra counters" (List.length c1) (List.length c4)
+
+(* ------------------------------------------------------------------ *)
+(* wall-clock mode and seed-split request streams *)
+
+let test_wall_clock_smoke () =
+  let t = fig2_tree () in
+  let shapes = mini_shapes [ "//a"; "//a[b]" ] in
+  let slept = ref 0.0 in
+  let cfg =
+    Serve.Server.config ~concurrency:4 ~wall_clock:true
+      ~sleep:(fun d -> slept := !slept +. d)
+      ()
+  in
+  (* arrivals far in the future force the sleep path; the injected sleep
+     records the waits instead of blocking the test *)
+  let reqs =
+    List.init 8 (fun i ->
+        { Serve.Workload.id = i; shape = i mod 2; arrival = Some 0.0 })
+  in
+  let stats = Serve.Server.run cfg t shapes reqs in
+  Alcotest.(check int) "all served" 8 stats.Serve.Server.served;
+  Alcotest.(check bool) "elapsed is wall time" true
+    (stats.Serve.Server.elapsed >= 0.0);
+  Alcotest.(check int) "latency samples" 8 stats.Serve.Server.latency.Obs.count
+
+let test_requests_split_replayable () =
+  let sig_of rs =
+    List.map (fun (r : Serve.Workload.request) -> (r.id, r.shape, r.arrival)) rs
+  in
+  let a =
+    Serve.Workload.requests_split ~seed:42 ~shapes:7 ~count:100
+      (Serve.Workload.Open_loop { rate = 500.0 })
+  in
+  let b =
+    Serve.Workload.requests_split ~seed:42 ~shapes:7 ~count:100
+      (Serve.Workload.Open_loop { rate = 500.0 })
+  in
+  Alcotest.(check bool) "same seed, same stream" true (sig_of a = sig_of b);
+  (* prefix property: the stream is per-request, so a shorter run is a
+     prefix of a longer one — independent of consumption or domains *)
+  let short =
+    Serve.Workload.requests_split ~seed:42 ~shapes:7 ~count:40
+      (Serve.Workload.Open_loop { rate = 500.0 })
+  in
+  let prefix = List.filteri (fun i _ -> i < 40) a in
+  Alcotest.(check bool) "count-40 stream is the count-100 prefix" true
+    (sig_of short = sig_of prefix);
+  let c =
+    Serve.Workload.requests_split ~seed:43 ~shapes:7 ~count:100
+      (Serve.Workload.Open_loop { rate = 500.0 })
+  in
+  Alcotest.(check bool) "different seed, different stream" true
+    (sig_of a <> sig_of c);
+  (* shape indices stay in range and hit more than one shape *)
+  Alcotest.(check bool) "shapes in range" true
+    (List.for_all (fun (r : Serve.Workload.request) -> r.shape >= 0 && r.shape < 7) a);
+  Alcotest.(check bool) "not constant" true
+    (List.exists (fun (r : Serve.Workload.request) -> r.shape <> (List.hd a).shape) a)
+
+(* ------------------------------------------------------------------ *)
 (* the acceptance bar: cached-vs-cold differential oracle over 1k cases *)
 
-let test_oracle_1k () =
+let oracle_1k name () =
   let oracle =
-    List.find (fun (o : Check.Oracles.t) -> o.name = "plan-cache") Check.Oracles.all
+    List.find (fun (o : Check.Oracles.t) -> o.name = name) Check.Oracles.all
   in
   let stats =
     Check.Runner.run { Check.Runner.default with cases = 1_000; oracles = [ oracle ] }
@@ -472,6 +641,9 @@ let test_oracle_1k () =
       Alcotest.(check int) "no fails" 0 fails;
       Alcotest.(check bool) "mostly applicable" true (passes >= 900))
     stats.Check.Runner.per_oracle
+
+let test_oracle_1k = oracle_1k "plan-cache"
+let test_parallel_oracle_1k = oracle_1k "parallel-batch"
 
 let suite =
   [
@@ -495,5 +667,18 @@ let suite =
       test_share_mode_profiles_per_rep;
     Alcotest.test_case "degrade logs priced fingerprint" `Quick
       test_degrade_logs_fingerprint;
+    Alcotest.test_case "pool basics" `Quick test_pool_basics;
+    Alcotest.test_case "pool drains after exception" `Quick
+      test_pool_exception_drains;
+    Alcotest.test_case "pool size one and shutdown" `Quick
+      test_pool_size_one_and_shutdown;
+    prop_parallel_batch_equals_sequential;
+    Alcotest.test_case "parallel server counters match sequential" `Quick
+      test_parallel_server_counters_match;
+    Alcotest.test_case "wall-clock smoke" `Quick test_wall_clock_smoke;
+    Alcotest.test_case "seed-split request streams replay" `Quick
+      test_requests_split_replayable;
     Alcotest.test_case "plan-cache oracle x1000" `Slow test_oracle_1k;
+    Alcotest.test_case "parallel-batch oracle x1000" `Slow
+      test_parallel_oracle_1k;
   ]
