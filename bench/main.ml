@@ -28,6 +28,7 @@ let experiments =
     ("yannakakis-relational", Exp_updates.relational_yannakakis);
     ("serving", Exp_serving.serving);
     ("serving-parallel", Exp_serving.parallel);
+    ("serving-auto", Exp_serving.auto_vs_fixed);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -170,6 +171,7 @@ let () =
   let check_file, args = extract_opt "--check" args in
   let serving_file, args = extract_opt "--serving-json" args in
   let pr7_file, args = extract_opt "--pr7-json" args in
+  let pr8_file, args = extract_opt "--pr8-json" args in
   Obs.set_clock Unix.gettimeofday;
   (match baseline_file with Some f -> Baseline.run_baseline f | None -> ());
   (match check_file with Some f -> Baseline.check f | None -> ());
@@ -183,9 +185,14 @@ let () =
     Obs.with_enabled true (fun () -> Exp_serving.write_pr7_json f);
     if List.exists (fun (_, ok) -> not ok) !Bench_util.checks then exit 1
   | None -> ());
+  (match pr8_file with
+  | Some f ->
+    Obs.with_enabled true (fun () -> Exp_serving.write_pr8_json f);
+    if List.exists (fun (_, ok) -> not ok) !Bench_util.checks then exit 1
+  | None -> ());
   if
     baseline_file <> None || check_file <> None || serving_file <> None
-    || pr7_file <> None
+    || pr7_file <> None || pr8_file <> None
   then exit 0;
   let selected = if args = [] then List.map fst experiments else args in
   Obs.set_enabled true;

@@ -196,7 +196,8 @@ let eval_cmd =
        $ labels_arg $ common_term))
 
 let explain_cmd =
-  let run xpath cq datalog positive axis_datalog common =
+  let run xpath cq datalog positive axis_datalog strategy xml_file xml random
+      xmark common =
     handle_errors @@ fun () ->
     let text =
       observe common (fun () ->
@@ -204,17 +205,41 @@ let explain_cmd =
             Obs.Span.with_ "parse-query" (fun () ->
                 parse_query ~xpath ~cq ~datalog ~positive ~axis_datalog)
           in
-          Engine.explain q)
+          match strategy with
+          | "default" -> Engine.explain q
+          | "auto" ->
+            (* the adaptive pick needs document statistics; a generated
+               1024-node document stands in when none is given *)
+            let doc =
+              if xml_file = None && xml = None && random = None && xmark = None
+              then
+                Treekit.Generator.random ~seed:common.seed ~n:1024
+                  ~labels:Treekit.Generator.labels_abc ()
+              else load_document ~xml_file ~xml ~random ~xmark ~seed:common.seed
+            in
+            let opt = Optimizer.create ~epsilon:0.0 ~seed:common.seed () in
+            let d = Optimizer.seeded_decision opt doc (Engine.prepare q) in
+            Engine.explain
+              ~auto:(d.Optimizer.d_strategy, Optimizer.explain_decision d)
+              q
+          | s -> failwith (Printf.sprintf "--strategy must be \"default\" or \"auto\" (got %S)" s))
     in
     print_string text;
     `Ok ()
+  in
+  let strategy_arg =
+    Arg.(
+      value & opt string "default"
+      & info [ "strategy" ] ~docv:"MODE"
+          ~doc:"\"default\" shows the planner's pick; \"auto\" additionally runs the adaptive optimizer's seeded decision (against the given document, or a generated 1024-node one) and reports the candidate arms, the pick and why.")
   in
   Cmd.v
     (Cmd.info "explain" ~doc:"Show the evaluation plan and complexity bound")
     Term.(
       ret
         (const run $ xpath_arg $ cq_arg $ datalog_arg $ positive_arg
-       $ axis_datalog_arg $ common_term))
+       $ axis_datalog_arg $ strategy_arg $ xml_file_arg $ xml_arg $ random_arg
+       $ xmark_arg $ common_term))
 
 let filter_cmd =
   let run patterns xml_file xml random xmark common =
@@ -252,9 +277,9 @@ let filter_cmd =
 
 let serve_cmd =
   let run xml_file xml random xmark requests concurrency shapes cache_size ttl
-      deadline_ms batch stream_prefilter workload domains wall_clock
-      metrics_out metrics_every telemetry_out residual_threshold flight_out
-      dump_flight inject_overbudget common =
+      deadline_ms batch stream_prefilter workload domains wall_clock strategy
+      optimizer_out metrics_out metrics_every telemetry_out residual_threshold
+      flight_out dump_flight inject_overbudget common =
     handle_errors @@ fun () ->
     let kind =
       match Serve.Workload.kind_of_string workload with
@@ -264,12 +289,32 @@ let serve_cmd =
     if domains < 1 then failwith "--domains must be >= 1";
     if metrics_every <> None && metrics_out = None then
       failwith "--metrics-every requires --metrics-out";
+    (* --strategy: "default" (the planner's static pick), "auto" (the
+       adaptive optimizer) or a fixed strategy name to pin *)
+    let strategy_mode =
+      match strategy with
+      | "default" -> `Default
+      | "auto" -> `Auto
+      | name -> (
+        match Engine.strategy_of_name name with
+        | Some s -> `Fixed s
+        | None ->
+          failwith
+            (Printf.sprintf
+               "unknown --strategy %S (use \"default\", \"auto\" or a strategy name)"
+               name))
+    in
+    if optimizer_out <> None && strategy_mode <> `Auto then
+      failwith "--optimizer-out requires --strategy auto";
     (* per-fingerprint telemetry rides along whenever a sink wants it:
        any telemetry flag, or --stats-json (which then carries the
        per-fingerprint summaries) *)
     let telemetry_on =
       telemetry_out <> None || flight_out <> None || dump_flight
       || inject_overbudget || metrics_every <> None || common.stats_json <> None
+      (* auto-routing reads the cost store's latency EWMAs, so the
+         adaptive optimizer always rides with telemetry *)
+      || strategy_mode = `Auto
     in
     let store =
       if telemetry_on then
@@ -278,6 +323,11 @@ let serve_cmd =
     in
     let recorder =
       if telemetry_on then Some (Telemetry.Flight_recorder.create ()) else None
+    in
+    let optimizer =
+      match strategy_mode with
+      | `Auto -> Some (Optimizer.create ~seed:common.seed ?store ())
+      | `Default | `Fixed _ -> None
     in
     let snapshots = ref 0 in
     let metrics_extra () =
@@ -292,9 +342,15 @@ let serve_cmd =
         Obs.Json.write_raw path (Obs.Openmetrics.render ~extra:(metrics_extra ()) report)
     in
     let augment j =
-      match (store, j) with
-      | Some s, Obs.Json.Obj kvs when not (Telemetry.Cost_store.is_empty s) ->
-        Obs.Json.Obj (kvs @ [ ("telemetry", Telemetry.Cost_store.to_json s) ])
+      let j =
+        match (store, j) with
+        | Some s, Obs.Json.Obj kvs when not (Telemetry.Cost_store.is_empty s) ->
+          Obs.Json.Obj (kvs @ [ ("telemetry", Telemetry.Cost_store.to_json s) ])
+        | _ -> j
+      in
+      match (optimizer, j) with
+      | Some o, Obs.Json.Obj kvs ->
+        Obs.Json.Obj (kvs @ [ ("optimizer", Optimizer.to_json o) ])
       | _ -> j
     in
     let doc, stats =
@@ -335,7 +391,10 @@ let serve_cmd =
             Serve.Server.config ?cache ~concurrency ~share:batch
               ~stream_prefilter
               ?deadline:(Option.map (fun ms -> ms /. 1000.0) deadline_ms)
-              ?telemetry:store ?recorder ~inject_overbudget
+              ?telemetry:store ?recorder ?optimizer
+              ?force_strategy:
+                (match strategy_mode with `Fixed s -> Some s | _ -> None)
+              ~inject_overbudget
               ?tick_every:metrics_every
               ?on_tick:
                 (Option.map
@@ -356,7 +415,39 @@ let serve_cmd =
     if domains > 1 || wall_clock then
       Printf.printf "domains:     %d%s\n" domains
         (if wall_clock then " (wall-clock)" else "");
+    (match strategy_mode with
+    | `Fixed s -> Printf.printf "strategy:    %s (pinned)\n" (Engine.strategy_name s)
+    | `Default | `Auto -> ());
     print_string (Serve.Server.to_text ?telemetry:store stats);
+    (* the adaptive run's routing summary: per-fingerprint convergence
+       and the strategies it settled on *)
+    (match optimizer with
+    | None -> ()
+    | Some o ->
+      let os = Optimizer.stats o in
+      Printf.printf
+        "optimizer:   %d shapes, %d converged, %d decisions (%d exploratory)\n"
+        os.Optimizer.entries os.Optimizer.converged os.Optimizer.decisions
+        os.Optimizer.explorations;
+      let settled =
+        List.filter_map
+          (fun (r : Optimizer.entry_report) ->
+            match r.Optimizer.r_choice with
+            | Some c when r.Optimizer.r_converged ->
+              Some (r.Optimizer.r_fingerprint, c)
+            | _ -> None)
+          (Optimizer.report o)
+      in
+      List.iteri
+        (fun i (fp, c) ->
+          if i < 8 then Printf.printf "  %-28s -> %s\n" fp c)
+        settled;
+      if List.length settled > 8 then
+        Printf.printf "  ... and %d more (see --optimizer-out)\n"
+          (List.length settled - 8);
+      match optimizer_out with
+      | None -> ()
+      | Some path -> Obs.Json.write_file path (Optimizer.to_json o));
     if metrics_every <> None then
       Printf.printf "metrics:     %d periodic snapshots (every %gs virtual)\n"
         !snapshots
@@ -443,6 +534,12 @@ let serve_cmd =
   let wall_clock_arg =
     Arg.(value & flag & info [ "wall-clock" ] ~doc:"Honour open-loop arrival times in real time (sleeping between arrivals) instead of the deterministic virtual clock, and draw the request stream by seed-splitting so it is identical for every --domains count.")
   in
+  let strategy_arg =
+    Arg.(value & opt string "default" & info [ "strategy" ] ~docv:"MODE" ~doc:"\"default\" uses the planner's static pick per query; \"auto\" routes each shape through the adaptive optimizer (seeded cost estimates refined online by observed latency, converged picks persisted in the plan cache); a strategy name (e.g. \"bottom-up-xpath\") pins every shape that strategy can evaluate.")
+  in
+  let optimizer_out_arg =
+    Arg.(value & opt (some string) None & info [ "optimizer-out" ] ~docv:"FILE" ~doc:"With --strategy auto: write the optimizer's per-fingerprint arm table (seeded estimates, trials, latency EWMAs, converged choices) as JSON to $(docv); '-' for stdout.")
+  in
   let metrics_out_arg =
     Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc:"Write an OpenMetrics text exposition of the run's counters, latency histograms and per-fingerprint latency summaries to $(docv).")
   in
@@ -472,10 +569,10 @@ let serve_cmd =
         (const run $ xml_file_arg $ xml_arg $ random_arg $ xmark_arg
        $ requests_arg $ concurrency_arg $ shapes_arg $ cache_size_arg
        $ ttl_arg $ deadline_arg $ batch_arg $ stream_prefilter_arg
-       $ workload_arg $ domains_arg $ wall_clock_arg
-       $ metrics_out_arg $ metrics_every_arg $ telemetry_out_arg
-       $ residual_threshold_arg $ flight_out_arg $ dump_flight_arg
-       $ inject_overbudget_arg $ common_term))
+       $ workload_arg $ domains_arg $ wall_clock_arg $ strategy_arg
+       $ optimizer_out_arg $ metrics_out_arg $ metrics_every_arg
+       $ telemetry_out_arg $ residual_threshold_arg $ flight_out_arg
+       $ dump_flight_arg $ inject_overbudget_arg $ common_term))
 
 let check_cmd =
   let run cases from max_nodes oracle_names list_oracles inject failures_out common =

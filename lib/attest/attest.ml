@@ -51,6 +51,11 @@ let b_xpath =
     ~claim:"Figure 7: Core XPath bottom-up has linear data complexity"
     ~counter:"nodes_visited" ~term:"|D|" ~exponent:1.0
 
+let b_optimizer =
+  Obs.Bound.register ~id:"optimizer-pick"
+    ~claim:"adaptive optimizer: the converged pick's cost is never worse than the best strategy's linear bound"
+    ~counter:"optimizer_picked_cost" ~term:"|D|" ~exponent:1.0
+
 (* ------------------------------------------------------------------ *)
 (* Sweeps.  Each returns (term, counter) points measured on fresh
    observability state; [read c] is the counter's value after the traced
@@ -175,6 +180,65 @@ let sweep_xpath ~seed =
       (float_of_int n, v))
     sizes
 
+(* the adaptive optimizer's never-worse gate: converge an optimizer on a
+   multi-arm XPath shape at each document size, then execute its
+   converged pick and charge the elementary operations that execution
+   burned to [optimizer_picked_cost].  Every plausible arm of the shape
+   is linear in |D| (the quadratic FO² embedding prices itself out of
+   the plausible set), so whichever arm the observed latencies crown,
+   the fitted slope must stay linear. *)
+let c_picked_cost = Obs.Counter.make "optimizer_picked_cost"
+
+let counter_delta before after =
+  List.fold_left
+    (fun acc (k, v) ->
+      let b = Option.value ~default:0 (List.assoc_opt k before) in
+      if v > b then acc + (v - b) else acc)
+    0 after
+
+let sweep_optimizer_with ~invert ~sizes ~seed =
+  List.map
+    (fun n ->
+      let t = tree_of ~seed n in
+      (* [following]: the bottom-up/Yannakakis arms stay linear per axis
+         image, but the FO² embedding materialises the axis {e relation}
+         — ~n²/2 Following pairs — so a forced bad pick is provably
+         quadratic while the honest pick stays linear *)
+      let q = Treequery.Engine.parse_xpath "//a/following::b" in
+      let default = Treequery.Engine.prepare q in
+      let opt = Optimizer.create ~epsilon:0.0 ~invert ~seed () in
+      traced (fun () ->
+          (* explore until the entry converges; the inverted optimizer
+             never converges — its every decision is already the forced
+             worst arm, which is exactly what the fault injects *)
+          let converged = ref invert and guard = ref 0 in
+          while (not !converged) && !guard < 32 do
+            incr guard;
+            let d = Optimizer.decide opt t default in
+            let t0 = Obs.now () in
+            ignore (d.Optimizer.d_prepared.Treequery.Engine.exec t);
+            let dt = Obs.now () -. t0 in
+            match
+              Optimizer.observe opt ~canon:default.Treequery.Engine.canon
+                ~strategy:
+                  (Treequery.Engine.strategy_name d.Optimizer.d_strategy)
+                ~latency:dt ~cost:dt
+            with
+            | Some _ -> converged := true
+            | None -> ()
+          done;
+          let d = Optimizer.decide opt t default in
+          let before = Obs.Counter.snapshot () in
+          ignore (d.Optimizer.d_prepared.Treequery.Engine.exec t);
+          let after = Obs.Counter.snapshot () in
+          Obs.Counter.add c_picked_cost (counter_delta before after));
+      let v = read "optimizer_picked_cost" in
+      Obs.reset ();
+      (float_of_int n, v))
+    sizes
+
+let sweep_optimizer ~seed = sweep_optimizer_with ~invert:false ~sizes ~seed
+
 (* --inject: a deliberately superlinear counter, proving the gate has
    teeth — its fitted slope is ~2 against a claimed exponent of 1 *)
 let c_injected = Obs.Counter.make "attest_injected_work"
@@ -192,6 +256,18 @@ let sweep_injected ~seed:_ =
       Obs.reset ();
       (float_of_int n, v))
     sizes
+
+(* --inject, second fault: an optimizer whose every decision routes to
+   the worst-estimated arm — on XPath that is the O(n²·|Q|) FO²
+   embedding, so the same never-worse gate must fail.  Smaller sizes:
+   the whole point is that the forced arm does quadratic work. *)
+let injected_pick_bound () =
+  Obs.Bound.register ~id:"injected-bad-pick"
+    ~claim:"(fault injection) optimizer forced onto the quadratic FO2 arm"
+    ~counter:"optimizer_picked_cost" ~term:"|D|" ~exponent:1.0
+
+let sweep_injected_pick ~seed =
+  sweep_optimizer_with ~invert:true ~sizes:[ 250; 500; 1_000; 2_000 ] ~seed
 
 (* ------------------------------------------------------------------ *)
 
@@ -214,6 +290,7 @@ let specs =
       envelope = Some (fun depth -> depth) };
     { bound = b_plan_cache; sweep = sweep_plan_cache; envelope = None };
     { bound = b_xpath; sweep = sweep_xpath; envelope = None };
+    { bound = b_optimizer; sweep = sweep_optimizer; envelope = None };
   ]
 
 type outcome = {
@@ -230,7 +307,12 @@ let run ?(inject = false) ~seed ~tolerance () =
   let was = Obs.enabled () in
   let specs =
     if inject then
-      specs @ [ { bound = injected_bound (); sweep = sweep_injected; envelope = None } ]
+      specs
+      @ [
+          { bound = injected_bound (); sweep = sweep_injected; envelope = None };
+          { bound = injected_pick_bound (); sweep = sweep_injected_pick;
+            envelope = None };
+        ]
     else specs
   in
   Fun.protect

@@ -23,10 +23,14 @@ type outcome = {
 val outcome_ok : outcome -> bool
 
 val run : ?inject:bool -> seed:int -> tolerance:float -> unit -> outcome list
-(** Sweep every registered bound (seven paper claims; [inject] adds a
-    deliberately superlinear fault bound that must FAIL, proving the gate
-    has teeth).  Runs with observability enabled internally and restores
-    the previous enabled state and counters afterwards. *)
+(** Sweep every registered bound — eight claims, including the adaptive
+    optimizer's never-worse gate (its converged pick's observed cost
+    must scale no worse than the best strategy's linear bound).
+    [inject] adds two fault bounds that must FAIL, proving the gate has
+    teeth: a deliberately superlinear counter, and an inverted optimizer
+    whose every decision routes to the quadratic FO² arm.  Runs with
+    observability enabled internally and restores the previous enabled
+    state and counters afterwards. *)
 
 val all_ok : outcome list -> bool
 

@@ -514,6 +514,90 @@ let plan_cache =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Adaptive optimizer routing *)
+
+(* Whichever arm the optimizer routes a query to — cold (seeded
+   estimates, round-robin exploration) or warm (a pick persisted on the
+   plan-cache entry) — the answers must be indistinguishable from every
+   fixed strategy the query admits, node set and boolean alike.  The
+   optimizer and cache are shared across cases so repeated shapes hit
+   warm entries with stored picks: one sweep exercises both states.
+   Observations are fed back with the seeded estimate as a deterministic
+   pseudo-latency, so convergence (and hence the routing sequence) is a
+   pure function of the case stream — seed-replayable. *)
+let optimizer_pick =
+  let shared =
+    lazy
+      ( Serve.Plan_cache.create ~capacity:64 (),
+        Optimizer.create ~epsilon:0.25 ~min_trials:1 ~seed:0 () )
+  in
+  {
+    name = "optimizer-pick";
+    theorem = "adaptive optimizer: auto-picked strategy = every fixed strategy";
+    cap_nodes = 16;
+    gen =
+      (fun cfg rng ->
+        if Random.State.bool rng then Gen.xpath cfg rng
+        else Gen.cq_arbitrary cfg rng);
+    run =
+      (fun c ->
+        let module E = Treequery.Engine in
+        let query =
+          match c.Case.query with
+          | Case.Xpath p -> Some (E.Xpath_query p)
+          | Case.Cq q -> Some (E.Cq_query q)
+          | _ -> None
+        in
+        match query with
+        | None -> wrong_query "optimizer-pick" c
+        | Some q ->
+          let cache, opt = Lazy.force shared in
+          let _, default = Serve.Plan_cache.find cache q in
+          let canon = default.E.canon in
+          let pinned =
+            Option.map
+              (fun pk -> pk.Serve.Plan_cache.pick_strategy)
+              (Serve.Plan_cache.pick cache ~canon)
+          in
+          let d = Optimizer.decide opt ?pinned c.tree default in
+          let auto = d.Optimizer.d_prepared in
+          let auto_set = auto.E.exec c.tree in
+          let auto_bool = auto.E.exec_boolean c.tree in
+          (* close the loop the way the serving layer does, with the
+             estimate standing in for latency so routing stays
+             deterministic; a convergence persists the pick *)
+          (match
+             Optimizer.observe opt ~canon
+               ~strategy:(E.strategy_name d.Optimizer.d_strategy)
+               ~latency:(d.Optimizer.d_estimate /. 5e7)
+               ~cost:d.Optimizer.d_estimate
+           with
+          | Some (strategy, cost) ->
+            Serve.Plan_cache.set_pick cache ~canon ~strategy ~cost
+          | None -> ());
+          List.fold_left
+            (fun acc s ->
+              match acc with
+              | Pass -> (
+                let p = E.prepare_with s q in
+                let what =
+                  Printf.sprintf "auto(%s) vs %s"
+                    (E.strategy_name d.Optimizer.d_strategy)
+                    (E.strategy_name s)
+                in
+                match sets_equal what auto_set (p.E.exec c.tree) with
+                | Pass ->
+                  let b = p.E.exec_boolean c.tree in
+                  if auto_bool = b then Pass
+                  else
+                    Fail
+                      (Printf.sprintf "%s: boolean %b vs %b" what auto_bool b)
+                | v -> v)
+              | v -> v)
+            Pass (E.strategies q));
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Parallel batch execution                                             *)
 
 (* Pool-executed batch answers must be indistinguishable from the
@@ -812,6 +896,7 @@ let all =
     law_order;
     law_setops;
     plan_cache;
+    optimizer_pick;
     parallel_batch;
     obs_roundtrip;
     sketch_quantile;

@@ -5,6 +5,12 @@ module R = Relkit.Relation
 module Ops = Relkit.Ops
 open Formula
 
+(* the elementary-operation witness of the FO² embedding's O(n²·|Q|)
+   bound: every row a subformula table materialises counts once, so the
+   cost model (and the serving layer's observed-cost telemetry) sees the
+   quadratic intermediates that make this strategy a last resort *)
+let c_rows = Obs.Counter.make "fo2_rows_materialised"
+
 (* tables: satisfying assignments with named columns *)
 type table = { cols : var list; rel : R.t }
 
@@ -21,6 +27,7 @@ let domain_rel n =
   for v = 0 to n - 1 do
     R.add r [| v |]
   done;
+  Obs.Counter.add c_rows n;
   r
 
 (* natural join of two tables *)
@@ -31,6 +38,7 @@ let join t1 t2 =
     |> List.filter_map (fun (i, j) -> Option.map (fun j -> (i, j)) j)
   in
   let joined = if on = [] then Ops.product t1.rel t2.rel else Ops.equijoin ~on t1.rel t2.rel in
+  Obs.Counter.add c_rows (R.cardinality joined);
   let n1 = List.length t1.cols in
   let fresh_positions =
     List.filteri
@@ -62,6 +70,7 @@ let rec eval_table tree phi =
   | Lab (l, x) ->
     let r = R.create ~arity:1 () in
     List.iter (fun v -> R.add r [| v |]) (Tree.nodes_with_label tree l);
+    Obs.Counter.add c_rows (R.cardinality r);
     { cols = [ x ]; rel = r }
   | Eq (x, y) when x = y -> { cols = [ x ]; rel = domain_rel n }
   | Eq (x, y) ->
@@ -69,18 +78,21 @@ let rec eval_table tree phi =
     for v = 0 to n - 1 do
       R.add r [| v; v |]
     done;
+    Obs.Counter.add c_rows n;
     { cols = [ x; y ]; rel = r }
   | Axis (a, x, y) when x = y ->
     let r = R.create ~arity:1 () in
     for v = 0 to n - 1 do
       if Axis.mem tree a v v then R.add r [| v |]
     done;
+    Obs.Counter.add c_rows n;
     { cols = [ x ]; rel = r }
   | Axis (a, x, y) ->
     let r = R.create ~arity:2 () in
     for u = 0 to n - 1 do
       Axis.fold tree a u (fun v () -> R.add r [| u; v |]) ()
     done;
+    Obs.Counter.add c_rows (R.cardinality r);
     { cols = [ x; y ]; rel = r }
   | And (f, g) -> join (eval_table tree f) (eval_table tree g)
   | Or (f, g) ->

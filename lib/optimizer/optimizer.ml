@@ -1,0 +1,511 @@
+(* Cost-based adaptive strategy selection.  See optimizer.mli. *)
+
+module Engine = Treequery.Engine
+module Tree = Treekit.Tree
+
+let c_decisions = Obs.Counter.make "optimizer_decisions"
+let c_explorations = Obs.Counter.make "optimizer_explorations"
+let c_converged = Obs.Counter.make "optimizer_converged"
+let c_cached_picks = Obs.Counter.make "optimizer_cached_picks"
+
+(* ------------------------------------------------------------------ *)
+(* Tree statistics: the |D|-side inputs of the seeded estimates.        *)
+
+module Stats = struct
+  type t = {
+    nodes : int;
+    height : int;
+    branching : float;
+    tree : Tree.t;  (* for lazy label-frequency lookups *)
+  }
+
+  let of_tree tree =
+    let nodes = Tree.size tree in
+    let height = max 1 (Tree.height tree) in
+    {
+      nodes;
+      height;
+      (* mean fan-out b solving b^height ≈ nodes: cheap, and enough to
+         tell a skinny chain from a bushy document *)
+      branching = Float.pow (float_of_int (max 1 nodes)) (1.0 /. float_of_int height);
+      tree;
+    }
+
+  let label_frequency t l =
+    if t.nodes = 0 then 0.0
+    else
+      float_of_int (Array.length (Tree.occurrences t.tree l))
+      /. float_of_int t.nodes
+end
+
+(* labels the query tests positively: the seed scans of a label-driven
+   strategy touch only their occurrence buckets, so the rarest mentioned
+   label bounds its working set.  Labels under [Not] do not narrow
+   anything and are skipped. *)
+let rec xpath_labels acc = function
+  | Xpath.Ast.Step { Xpath.Ast.quals; _ } ->
+    List.fold_left xpath_qual_labels acc quals
+  | Xpath.Ast.Seq (a, b) | Xpath.Ast.Union (a, b) ->
+    xpath_labels (xpath_labels acc a) b
+
+and xpath_qual_labels acc = function
+  | Xpath.Ast.Lab l -> l :: acc
+  | Xpath.Ast.Exists p -> xpath_labels acc p
+  | Xpath.Ast.And (a, b) | Xpath.Ast.Or (a, b) ->
+    xpath_qual_labels (xpath_qual_labels acc a) b
+  | Xpath.Ast.Not _ -> acc
+
+let query_labels = function
+  | Engine.Xpath_query p -> xpath_labels [] p
+  | Engine.Cq_query q ->
+    List.filter_map
+      (function Cqtree.Query.U (Cqtree.Query.Lab l, _) -> Some l | _ -> None)
+      q.Cqtree.Query.atoms
+  | Engine.Datalog_query _ | Engine.Positive_query _
+  | Engine.Axis_datalog_query _ -> []
+
+let selectivity stats query =
+  match query_labels query with
+  | [] -> 1.0
+  | ls ->
+    let sel =
+      List.fold_left
+        (fun acc l -> Float.min acc (Stats.label_frequency stats l))
+        1.0 ls
+    in
+    (* an absent label still costs one bucket probe; clamp away 0 *)
+    Float.max sel (1.0 /. float_of_int (max 1 stats.Stats.nodes))
+
+(* The seeded per-arm estimate: the paper's per-strategy bound (the same
+   shapes [Serve.Server.naive_bound] prices admission with) with the
+   data term narrowed by label selectivity for the label-driven engines.
+   FO² stays label-blind — its intermediates are n² cylinders no matter
+   how rare the labels. *)
+let estimate stats (p : Engine.prepared) =
+  let n = float_of_int stats.Stats.nodes in
+  let q = float_of_int (Engine.query_size p.Engine.source) in
+  let sel = selectivity stats p.Engine.source in
+  (* a label-driven pass always pays an O(n) skeleton walk; only the
+     per-|Q| re-traversals shrink with selectivity *)
+  let eff = n *. (0.25 +. (0.75 *. sel)) in
+  match p.Engine.strategy with
+  | Engine.Xpath_bottom_up -> eff *. q *. q
+  | Engine.Cq_yannakakis | Engine.Cq_arc_consistency -> eff *. q
+  | Engine.Datalog_hornsat ->
+    (* grounding touches all of Dom per rule; the Section 3 translation
+       inflates |P| by a small constant *)
+    n *. q *. 2.0
+  | Engine.Datalog_fixpoint -> n *. q
+  | Engine.Cq_rewrite | Engine.Positive_rewrite ->
+    eff *. q *. Float.pow 2.0 (Float.min q 24.0)
+  | Engine.Xpath_fo2 -> n *. n *. q
+
+(* ------------------------------------------------------------------ *)
+(* Bandit state                                                         *)
+
+type arm = {
+  strategy : Engine.strategy;
+  name : string;
+  prepared : Engine.prepared;
+  arm_estimate : float;
+  explorable : bool;  (* estimate within [explore_span] of the best *)
+  mutable trials : int;
+  mutable ewma_latency : float;  (* seconds; own estimate, store-refreshed *)
+  mutable cost_total : float;  (* observed profile counter ops *)
+}
+
+type entry = {
+  canon : string;
+  fp : string;
+  arms : arm array;
+  mutable decisions : int;
+  mutable converged : bool;
+}
+
+type t = {
+  epsilon : float;
+  min_trials : int;
+  explore_span : float;
+  ops_per_second : float;
+  invert : bool;
+  rng : Random.State.t;
+  store : Telemetry.Cost_store.t option;
+  lock : Mutex.t;
+  entries : (string, entry) Hashtbl.t;
+  mutable total_decisions : int;
+  mutable total_explorations : int;
+}
+
+let create ?(epsilon = 0.1) ?(min_trials = 2) ?(explore_span = 16.0)
+    ?(ops_per_second = 5e7) ?(seed = 0) ?(invert = false) ?store () =
+  if epsilon < 0.0 || epsilon > 1.0 then
+    invalid_arg "Optimizer.create: epsilon must be in [0, 1]";
+  if min_trials < 1 then
+    invalid_arg "Optimizer.create: min_trials must be >= 1";
+  if explore_span < 1.0 then
+    invalid_arg "Optimizer.create: explore_span must be >= 1";
+  {
+    epsilon;
+    min_trials;
+    explore_span;
+    ops_per_second;
+    invert;
+    rng = Random.State.make [| seed; 0x0b71 |];
+    store;
+    lock = Mutex.create ();
+    entries = Hashtbl.create 64;
+    total_decisions = 0;
+    total_explorations = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let entry_of t tree (default : Engine.prepared) =
+  match Hashtbl.find_opt t.entries default.Engine.canon with
+  | Some e -> e
+  | None ->
+    let stats = Stats.of_tree tree in
+    let strategies = Engine.strategies default.Engine.source in
+    let prepared_for s =
+      if s = default.Engine.strategy then default
+      else Engine.prepare_with s default.Engine.source
+    in
+    let with_estimates =
+      List.map
+        (fun s ->
+          let p = prepared_for s in
+          (s, p, estimate stats p))
+        strategies
+    in
+    let best =
+      List.fold_left (fun acc (_, _, e) -> Float.min acc e) infinity
+        with_estimates
+    in
+    let arms =
+      Array.of_list
+        (List.map
+           (fun (s, p, est) ->
+             {
+               strategy = s;
+               name = Engine.strategy_name s;
+               prepared = p;
+               arm_estimate = est;
+               explorable = est <= best *. t.explore_span;
+               trials = 0;
+               ewma_latency = 0.0;
+               cost_total = 0.0;
+             })
+           with_estimates)
+    in
+    let e =
+      {
+        canon = default.Engine.canon;
+        fp = default.Engine.fp;
+        arms;
+        decisions = 0;
+        converged = Array.length arms <= 1;
+      }
+    in
+    Hashtbl.add t.entries default.Engine.canon e;
+    e
+
+(* an arm's current score, as (pseudo-)latency: the cost store's EWMA
+   when telemetry saw the cell, the optimizer's own EWMA otherwise, and
+   the seeded estimate converted at [ops_per_second] before any trial *)
+let score t (e : entry) (a : arm) =
+  let from_store =
+    match t.store with
+    | Some store ->
+      Telemetry.Cost_store.ewma_latency store ~fingerprint:e.fp
+        ~strategy:a.name
+    | None -> None
+  in
+  match from_store with
+  | Some l -> l
+  | None ->
+    if a.trials > 0 then a.ewma_latency
+    else a.arm_estimate /. t.ops_per_second
+
+let argmin_by f arms =
+  let best = ref arms.(0) and best_v = ref (f arms.(0)) in
+  Array.iter
+    (fun a ->
+      let v = f a in
+      if v < !best_v then begin
+        best := a;
+        best_v := v
+      end)
+    arms;
+  !best
+
+type reason =
+  | Only_candidate
+  | Cached_pick
+  | Exploring
+  | Converged
+  | Seeded
+  | Injected_worst
+
+let reason_to_string = function
+  | Only_candidate -> "only candidate"
+  | Cached_pick -> "plan-cache pick, exploration skipped"
+  | Exploring -> "exploring"
+  | Converged -> "converged argmin"
+  | Seeded -> "seeded estimate argmin, no observations yet"
+  | Injected_worst -> "fault injection: worst arm forced"
+
+type decision = {
+  d_prepared : Engine.prepared;
+  d_strategy : Engine.strategy;
+  d_reason : reason;
+  d_estimate : float;
+  d_candidates : (string * float) list;
+}
+
+let explain_decision d =
+  Printf.sprintf "%s; seeded estimate %.3g ops; candidates: %s"
+    (reason_to_string d.d_reason)
+    d.d_estimate
+    (String.concat ", "
+       (List.map (fun (n, e) -> Printf.sprintf "%s=%.3g" n e) d.d_candidates))
+
+let decide t ?pinned tree (default : Engine.prepared) =
+  locked t @@ fun () ->
+  let e = entry_of t tree default in
+  e.decisions <- e.decisions + 1;
+  t.total_decisions <- t.total_decisions + 1;
+  Obs.Counter.incr c_decisions;
+  let pick_arm, reason =
+    if Array.length e.arms = 1 then (e.arms.(0), Only_candidate)
+    else if t.invert then
+      (* attestation fault injection: route to the most expensive
+         estimate so the never-worse gate provably fires *)
+      (argmin_by (fun a -> -.a.arm_estimate) e.arms, Injected_worst)
+    else
+      match
+        Option.bind pinned (fun name ->
+            Array.find_opt (fun a -> a.name = name) e.arms)
+      with
+      | Some a ->
+        (* a warm fleet's persisted pick: trust it and stop exploring *)
+        e.converged <- true;
+        Obs.Counter.incr c_cached_picks;
+        (a, Cached_pick)
+      | None ->
+        let explorable = Array.of_list
+            (List.filter (fun a -> a.explorable)
+               (Array.to_list e.arms))
+        in
+        let explorable = if Array.length explorable = 0 then e.arms else explorable in
+        let under =
+          List.filter (fun a -> a.trials < t.min_trials)
+            (Array.to_list explorable)
+        in
+        if under <> [] then begin
+          t.total_explorations <- t.total_explorations + 1;
+          Obs.Counter.incr c_explorations;
+          (* epsilon-greedy while warming up: mostly round-robin the
+             under-tried arms (fewest trials first), an epsilon of
+             uniform draws across the plausible set *)
+          if t.epsilon > 0.0 && Random.State.float t.rng 1.0 < t.epsilon then
+            (explorable.(Random.State.int t.rng (Array.length explorable)),
+             Exploring)
+          else
+            ( List.fold_left
+                (fun acc a -> if a.trials < acc.trials then a else acc)
+                (List.hd under) (List.tl under),
+              Exploring )
+        end
+        else begin
+          if not e.converged then begin
+            e.converged <- true;
+            Obs.Counter.incr c_converged
+          end;
+          (argmin_by (score t e) explorable, Converged)
+        end
+  in
+  (match t.store with
+  | Some store ->
+    Telemetry.Cost_store.record_pick store ~fingerprint:e.fp
+      ~strategy:pick_arm.name
+  | None -> ());
+  {
+    d_prepared = pick_arm.prepared;
+    d_strategy = pick_arm.strategy;
+    d_reason = reason;
+    d_estimate = pick_arm.arm_estimate;
+    d_candidates =
+      Array.to_list (Array.map (fun a -> (a.name, a.arm_estimate)) e.arms);
+  }
+
+(* the decision the optimizer would converge to from estimates alone —
+   what [treequery explain --strategy auto] reports without serving *)
+let seeded_decision t tree (default : Engine.prepared) =
+  locked t @@ fun () ->
+  let e = entry_of t tree default in
+  let best =
+    if Array.length e.arms = 1 then e.arms.(0)
+    else argmin_by (fun a -> a.arm_estimate) e.arms
+  in
+  {
+    d_prepared = best.prepared;
+    d_strategy = best.strategy;
+    d_reason = (if Array.length e.arms = 1 then Only_candidate else Seeded);
+    d_estimate = best.arm_estimate;
+    d_candidates =
+      Array.to_list (Array.map (fun a -> (a.name, a.arm_estimate)) e.arms);
+  }
+
+(* EWMA weight for the optimizer's own latency estimate (used when no
+   cost store refreshes the arm): recent-biased but stable *)
+let alpha = 0.3
+
+let observe t ~canon ~strategy ~latency ~cost =
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.entries canon with
+  | None -> None
+  | Some e -> (
+    (match Array.find_opt (fun a -> a.name = strategy) e.arms with
+    | None -> ()
+    | Some a ->
+      a.trials <- a.trials + 1;
+      a.cost_total <- a.cost_total +. cost;
+      a.ewma_latency <-
+        (if a.trials = 1 then latency
+         else (alpha *. latency) +. ((1.0 -. alpha) *. a.ewma_latency)));
+    let explorable = List.filter (fun a -> a.explorable) (Array.to_list e.arms) in
+    let explorable = if explorable = [] then Array.to_list e.arms else explorable in
+    if List.for_all (fun a -> a.trials >= t.min_trials) explorable then begin
+      if not e.converged then begin
+        e.converged <- true;
+        Obs.Counter.incr c_converged
+      end;
+      let best = argmin_by (score t e) (Array.of_list explorable) in
+      let mean_cost =
+        if best.trials > 0 then best.cost_total /. float_of_int best.trials
+        else best.arm_estimate
+      in
+      Some (best.name, mean_cost)
+    end
+    else None)
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                            *)
+
+type arm_report = {
+  r_strategy : string;
+  r_estimate : float;
+  r_trials : int;
+  r_ewma_latency : float;
+  r_mean_cost : float;
+  r_explorable : bool;
+}
+
+type entry_report = {
+  r_fingerprint : string;
+  r_canon : string;
+  r_decisions : int;
+  r_converged : bool;
+  r_choice : string option;  (* current argmin, when converged *)
+  r_arms : arm_report list;
+}
+
+let report t =
+  locked t @@ fun () ->
+  Hashtbl.fold
+    (fun _ (e : entry) acc ->
+      let explorable = List.filter (fun a -> a.explorable) (Array.to_list e.arms) in
+      let explorable = if explorable = [] then Array.to_list e.arms else explorable in
+      let choice =
+        if e.converged || Array.length e.arms = 1 then
+          Some (argmin_by (score t e) (Array.of_list explorable)).name
+        else None
+      in
+      {
+        r_fingerprint = e.fp;
+        r_canon = e.canon;
+        r_decisions = e.decisions;
+        r_converged = e.converged;
+        r_choice = choice;
+        r_arms =
+          Array.to_list
+            (Array.map
+               (fun a ->
+                 {
+                   r_strategy = a.name;
+                   r_estimate = a.arm_estimate;
+                   r_trials = a.trials;
+                   r_ewma_latency = a.ewma_latency;
+                   r_mean_cost =
+                     (if a.trials > 0 then
+                        a.cost_total /. float_of_int a.trials
+                      else 0.0);
+                   r_explorable = a.explorable;
+                 })
+               e.arms);
+      }
+      :: acc)
+    t.entries []
+  |> List.sort (fun a b -> compare a.r_fingerprint b.r_fingerprint)
+
+type stats = {
+  entries : int;
+  converged : int;
+  decisions : int;
+  explorations : int;
+}
+
+let stats t =
+  locked t @@ fun () ->
+  {
+    entries = Hashtbl.length t.entries;
+    converged =
+      Hashtbl.fold
+        (fun _ (e : entry) acc -> if e.converged then acc + 1 else acc)
+        t.entries 0;
+    decisions = t.total_decisions;
+    explorations = t.total_explorations;
+  }
+
+let to_json t =
+  let s = stats t in
+  Obs.Json.Obj
+    [
+      ("entries", Obs.Json.Num (float_of_int s.entries));
+      ("converged", Obs.Json.Num (float_of_int s.converged));
+      ("decisions", Obs.Json.Num (float_of_int s.decisions));
+      ("explorations", Obs.Json.Num (float_of_int s.explorations));
+      ( "fingerprints",
+        Obs.Json.Arr
+          (List.map
+             (fun r ->
+               Obs.Json.Obj
+                 [
+                   ("fingerprint", Obs.Json.Str r.r_fingerprint);
+                   ("canon", Obs.Json.Str r.r_canon);
+                   ("decisions", Obs.Json.Num (float_of_int r.r_decisions));
+                   ("converged", Obs.Json.Bool r.r_converged);
+                   ( "choice",
+                     match r.r_choice with
+                     | Some c -> Obs.Json.Str c
+                     | None -> Obs.Json.Null );
+                   ( "arms",
+                     Obs.Json.Arr
+                       (List.map
+                          (fun a ->
+                            Obs.Json.Obj
+                              [
+                                ("strategy", Obs.Json.Str a.r_strategy);
+                                ("estimate", Obs.Json.Num a.r_estimate);
+                                ("trials", Obs.Json.Num (float_of_int a.r_trials));
+                                ( "ewma_latency_ms",
+                                  Obs.Json.Num (a.r_ewma_latency *. 1000.0) );
+                                ("mean_cost", Obs.Json.Num a.r_mean_cost);
+                                ("explorable", Obs.Json.Bool a.r_explorable);
+                              ])
+                          r.r_arms) );
+                 ])
+             (report t)) );
+    ]

@@ -4,12 +4,15 @@ let c_hit = Obs.Counter.make "plan_cache_hit"
 let c_miss = Obs.Counter.make "plan_cache_miss"
 let c_evict = Obs.Counter.make "plan_cache_evict"
 
+type pick = { pick_strategy : string; pick_cost : float }
+
 (* intrusive doubly-linked recency list; [head] is most recent *)
 type entry = {
   key : string;
   prepared : Engine.prepared;
   mutable stamp : float;  (* insertion time, for TTL *)
   mutable hits : int;  (* lookups served by this entry *)
+  mutable pick : pick option;  (* converged optimizer decision, if any *)
   mutable prev : entry option;
   mutable next : entry option;
 }
@@ -100,7 +103,10 @@ let insert t key prepared =
     while Hashtbl.length t.table >= t.capacity do
       evict_lru t
     done;
-    let e = { key; prepared; stamp = t.clock (); hits = 0; prev = None; next = None } in
+    let e =
+      { key; prepared; stamp = t.clock (); hits = 0; pick = None;
+        prev = None; next = None }
+    in
     Hashtbl.replace t.table key e;
     push_front t e
   end
@@ -129,7 +135,30 @@ let find t query =
 
 let size t = locked t @@ fun () -> Hashtbl.length t.table
 
-type entry_stats = { fingerprint : string; canon : string; entry_hits : int }
+(* Optimizer-state persistence.  The pick rides the entry: eviction and
+   TTL expiry drop it with the entry, so a re-planned shape re-explores
+   — exactly the forget-on-churn semantics the optimizer wants.  Both
+   accessors tolerate a missing (evicted) entry: a decide/observe pair
+   may straddle an eviction. *)
+let pick t ~canon =
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.table canon with
+  | Some e when not (expired t e) -> e.pick
+  | _ -> None
+
+let set_pick t ~canon ~strategy ~cost =
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.table canon with
+  | Some e when not (expired t e) ->
+    e.pick <- Some { pick_strategy = strategy; pick_cost = cost }
+  | _ -> ()
+
+type entry_stats = {
+  fingerprint : string;
+  canon : string;
+  entry_hits : int;
+  entry_pick : pick option;
+}
 
 (* walk the recency list head→tail so the result is MRU-first — the
    fingerprint stats hook the telemetry layer reads *)
@@ -143,6 +172,7 @@ let entries t =
            fingerprint = e.prepared.Engine.fp;
            canon = e.key;
            entry_hits = e.hits;
+           entry_pick = e.pick;
          }
          :: acc)
         e.next

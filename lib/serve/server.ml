@@ -12,6 +12,17 @@ type config = {
   clock : unit -> float;
   telemetry : Telemetry.Cost_store.t option;
   recorder : Telemetry.Flight_recorder.t option;
+  (* [optimizer]: adaptive strategy selection — each planned request is
+     re-routed through [Optimizer.decide] (seeded estimates, then online
+     argmin by observed latency), admission prices the *picked* arm's
+     bound, and converged picks persist in the plan cache so a warm
+     fleet skips exploration *)
+  optimizer : Optimizer.t option;
+  (* [force_strategy]: route every request whose query the strategy can
+     evaluate through it (re-prepared once per canonical shape); shapes
+     it cannot evaluate keep the planner default.  Wins over
+     [optimizer].  The fixed arms of the auto-vs-fixed bench use this. *)
+  force_strategy : Engine.strategy option;
   inject_overbudget : bool;
   tick_every : float option;
   on_tick : (int -> float -> unit) option;
@@ -32,17 +43,17 @@ type config = {
 
 let config ?cache ?(concurrency = 1) ?(share = false)
     ?(stream_prefilter = false) ?deadline ?(ops_per_second = 5e7)
-    ?(clock = Obs.now) ?telemetry ?recorder ?(inject_overbudget = false)
-    ?tick_every ?on_tick ?pool ?(wall_clock = false) ?(sleep = fun _ -> ())
-    () =
+    ?(clock = Obs.now) ?telemetry ?recorder ?optimizer ?force_strategy
+    ?(inject_overbudget = false) ?tick_every ?on_tick ?pool
+    ?(wall_clock = false) ?(sleep = fun _ -> ()) () =
   if concurrency < 1 then invalid_arg "Server.config: concurrency must be >= 1";
   (match tick_every with
   | Some e when e <= 0.0 -> invalid_arg "Server.config: tick_every must be > 0"
   | _ -> ());
   {
     cache; concurrency; share; stream_prefilter; deadline; ops_per_second;
-    clock; telemetry; recorder; inject_overbudget; tick_every; on_tick;
-    pool; wall_clock; sleep;
+    clock; telemetry; recorder; optimizer; force_strategy; inject_overbudget;
+    tick_every; on_tick; pool; wall_clock; sleep;
   }
 
 let reject_reason = "degraded: naive bound exceeded"
@@ -70,6 +81,7 @@ let naive_bound (p : Engine.prepared) tree =
     (* union of up to exp(|Q|) acyclic queries, each O(‖A‖·|Q|) *)
     n *. q *. (2.0 ** Float.min q 24.0)
   | Engine.Datalog_hornsat | Engine.Datalog_fixpoint -> n *. q
+  | Engine.Xpath_fo2 -> n *. n *. q (* O(n²·|Q|), Marx / Section 4 *)
 
 type stats = {
   requests : int;
@@ -140,6 +152,24 @@ let run cfg tree (shapes : Workload.shape array) (reqs : Workload.request list) 
     | None -> ()
   in
   let strategy_of (p : Engine.prepared) = Engine.strategy_name p.Engine.strategy in
+  (* forced-strategy plans, compiled once per canonical shape (the plan
+     cache holds the planner default; re-preparing per request would pay
+     the rewrite strategy's exponential compile on every hit) *)
+  let forced_memo : (string, Engine.prepared) Hashtbl.t = Hashtbl.create 8 in
+  let apply_force s (p : Engine.prepared) =
+    if p.Engine.strategy = s then p
+    else
+      match Hashtbl.find_opt forced_memo p.Engine.canon with
+      | Some fp -> fp
+      | None ->
+        let fp =
+          if List.mem s (Engine.strategies p.Engine.source) then
+            Engine.prepare_with s p.Engine.source
+          else p
+        in
+        Hashtbl.add forced_memo p.Engine.canon fp;
+        fp
+  in
   (* feed the cost store and flight recorder with one served request's
      (or batch rep's) profile; returns nothing but counts violations *)
   let record_telemetry ~id ~(p : Engine.prepared) ~bound ~(profile : Obs.profile)
@@ -161,6 +191,21 @@ let run cfg tree (shapes : Workload.shape array) (reqs : Workload.request list) 
       incr residual_violations;
       Obs.Counter.incr c_residual
     end;
+    (* close the optimizer's loop after the cost store has absorbed the
+       observation, so the EWMA the next decision reads is fresh; a
+       convergence result is persisted on the plan-cache entry *)
+    (match cfg.optimizer with
+    | None -> ()
+    | Some opt -> (
+      match
+        Optimizer.observe opt ~canon:p.Engine.canon ~strategy:(strategy_of p)
+          ~latency ~cost:observed
+      with
+      | Some (strategy, cost) -> (
+        match cfg.cache with
+        | Some c -> Plan_cache.set_pick c ~canon:p.Engine.canon ~strategy ~cost
+        | None -> ())
+      | None -> ()));
     match cfg.recorder with
     | None -> ()
     | Some rec_ ->
@@ -252,6 +297,23 @@ let run cfg tree (shapes : Workload.shape array) (reqs : Workload.request list) 
                 match cfg.cache with
                 | Some c -> snd (Plan_cache.find c shapes.(r.shape).Workload.query)
                 | None -> Engine.prepare shapes.(r.shape).Workload.query
+              in
+              (* adaptive routing: re-pick the strategy (honouring a
+                 pick persisted on the cache entry), so admission prices
+                 — and execution runs — the arm the optimizer chose *)
+              let prepared =
+                match (cfg.force_strategy, cfg.optimizer) with
+                | Some s, _ -> apply_force s prepared
+                | None, None -> prepared
+                | None, Some opt ->
+                  let pinned =
+                    Option.bind cfg.cache (fun c ->
+                        Option.map
+                          (fun pk -> pk.Plan_cache.pick_strategy)
+                          (Plan_cache.pick c ~canon:prepared.Engine.canon))
+                  in
+                  (Optimizer.decide opt ?pinned tree prepared)
+                    .Optimizer.d_prepared
               in
               let bound = naive_bound prepared tree in
               let over_bound =

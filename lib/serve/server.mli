@@ -44,6 +44,21 @@ type config = {
       (** flight recorder pushed one entry per request outcome (served,
           shed, rejected, residual violation); shed/degrade/violation
           also {!Telemetry.Flight_recorder.trigger} it *)
+  optimizer : Optimizer.t option;
+      (** adaptive strategy selection: every planned request is
+          re-routed through {!Optimizer.decide} — a pick persisted on
+          the plan-cache entry is honoured (exploration skipped), and
+          admission control prices the {e picked} arm's bound, not the
+          planner default's.  Each served request's latency and observed
+          cost feed {!Optimizer.observe} (after the cost store, so the
+          EWMAs decisions read are fresh); on convergence the winning
+          strategy and its observed mean cost are stored with
+          {!Plan_cache.set_pick}. *)
+  force_strategy : Treequery.Engine.strategy option;
+      (** pin every request to one strategy (re-prepared once per
+          canonical shape; shapes the strategy cannot evaluate keep the
+          planner default).  Wins over [optimizer] — the fixed arms of
+          the auto-vs-fixed serving benchmark are exactly this. *)
   inject_overbudget : bool;
       (** fault injection for the telemetry smoke tests: bump the
           [serve_injected_work] counter by twice each request's
@@ -87,6 +102,8 @@ val config :
   ?clock:(unit -> float) ->
   ?telemetry:Telemetry.Cost_store.t ->
   ?recorder:Telemetry.Flight_recorder.t ->
+  ?optimizer:Optimizer.t ->
+  ?force_strategy:Treequery.Engine.strategy ->
   ?inject_overbudget:bool ->
   ?tick_every:float ->
   ?on_tick:(int -> float -> unit) ->
@@ -97,7 +114,7 @@ val config :
   config
 (** Defaults: no cache, [concurrency = 1], [share = false],
     [stream_prefilter = false], no deadline, [ops_per_second = 5e7],
-    [clock = Obs.now], no telemetry, no recorder,
+    [clock = Obs.now], no telemetry, no recorder, no optimizer,
     [inject_overbudget = false], no ticks, no pool,
     [wall_clock = false], [sleep] a no-op. *)
 

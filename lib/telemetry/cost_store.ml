@@ -11,6 +11,7 @@ type cell = {
   mutable observed_total : float;
   mutable max_ratio : float;
   mutable violations : int;
+  mutable picks : int; (* optimizer decisions routed to this cell *)
   counters : (string, int) Hashtbl.t; (* cumulative deltas *)
 }
 
@@ -40,6 +41,7 @@ type summary = {
   residual : float;
   max_ratio : float;
   violations : int;
+  picks : int;
   counters : (string * int) list;
 }
 
@@ -71,6 +73,7 @@ let cell t ~fingerprint ~strategy =
         observed_total = 0.0;
         max_ratio = 0.0;
         violations = 0;
+        picks = 0;
         counters = Hashtbl.create 16;
       }
     in
@@ -102,6 +105,19 @@ let threshold t = t.threshold
 let violations t = t.total_violations
 let is_empty t = Hashtbl.length t.cells = 0
 
+(* the adaptive optimizer's telemetry hooks: pick counters per cell
+   (surfaced in summaries, JSON and the OpenMetrics exposition) and an
+   O(1) read of a cell's latency EWMA so decisions track the same online
+   estimate the sketches feed *)
+let record_pick t ~fingerprint ~strategy =
+  let c = cell t ~fingerprint ~strategy in
+  c.picks <- c.picks + 1
+
+let ewma_latency t ~fingerprint ~strategy =
+  match Hashtbl.find_opt t.cells (fingerprint, strategy) with
+  | Some c when c.served > 0 -> Some (Sketch.Ewma.mean c.ewma)
+  | _ -> None
+
 let summary_of_cell (c : cell) : summary =
   let q = Sketch.Quantile.quantile c.latency in
   {
@@ -123,6 +139,7 @@ let summary_of_cell (c : cell) : summary =
        else 0.0);
     max_ratio = c.max_ratio;
     violations = c.violations;
+    picks = c.picks;
     counters =
       Hashtbl.fold (fun k v acc -> (k, v) :: acc) c.counters []
       |> List.sort compare;
@@ -161,6 +178,7 @@ let json_of_summary (s : summary) =
       ("residual", Obs.Json.Num s.residual);
       ("max_ratio", Obs.Json.Num s.max_ratio);
       ("violations", Obs.Json.Num (float_of_int s.violations));
+      ("picks", Obs.Json.Num (float_of_int s.picks));
       ( "counters",
         Obs.Json.Obj
           (List.map
@@ -177,17 +195,37 @@ let to_json t =
     ]
 
 let openmetrics t =
-  List.map
-    (fun (s : summary) ->
-      {
-        Obs.Openmetrics.metric = "serve_fp_latency";
-        labels = [ ("fingerprint", s.fingerprint); ("strategy", s.strategy) ];
-        quantiles =
-          [ ("0.5", s.p50); ("0.9", s.p90); ("0.95", s.p95); ("0.99", s.p99) ];
-        sum = s.mean_latency *. float_of_int s.served;
-        count = s.served;
-      })
-    (summaries t)
+  let latency =
+    List.map
+      (fun (s : summary) ->
+        {
+          Obs.Openmetrics.metric = "serve_fp_latency";
+          labels = [ ("fingerprint", s.fingerprint); ("strategy", s.strategy) ];
+          quantiles =
+            [ ("0.5", s.p50); ("0.9", s.p90); ("0.95", s.p95); ("0.99", s.p99) ];
+          sum = s.mean_latency *. float_of_int s.served;
+          count = s.served;
+        })
+      (summaries t)
+  in
+  (* one pick-count series per cell the optimizer actually routed to *)
+  let picks =
+    List.filter_map
+      (fun (s : summary) ->
+        if s.picks = 0 then None
+        else
+          Some
+            {
+              Obs.Openmetrics.metric = "serve_fp_picks";
+              labels =
+                [ ("fingerprint", s.fingerprint); ("strategy", s.strategy) ];
+              quantiles = [];
+              sum = 0.0;
+              count = s.picks;
+            })
+      (summaries t)
+  in
+  latency @ picks
 
 let to_table ?(k = 5) t =
   if is_empty t then ""

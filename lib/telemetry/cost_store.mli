@@ -12,8 +12,11 @@
     counters the bounds are claimed against — so with observability
     disabled the gate never fires (observed = 0).
 
-    PR 7+ optimizer work reads {!summaries} to refine the static
-    {!Obs.Bound} priors with live per-shape statistics. *)
+    The adaptive optimizer reads {!ewma_latency} (and {!summaries}) to
+    refine the static {!Obs.Bound} priors with live per-shape
+    statistics, and reports every routing decision through
+    {!record_pick}, so the exposition shows which strategy each
+    fingerprint converged on. *)
 
 type t
 
@@ -34,6 +37,7 @@ type summary = {
   residual : float;  (** observed_total / predicted_total; 0 when unpriced *)
   max_ratio : float;  (** worst single-request observed/predicted *)
   violations : int;  (** requests whose ratio exceeded the threshold *)
+  picks : int;  (** optimizer decisions routed to this cell *)
   counters : (string * int) list;  (** cumulative counter deltas, sorted *)
 }
 
@@ -69,6 +73,17 @@ val violations : t -> int
 
 val is_empty : t -> bool
 
+val record_pick : t -> fingerprint:string -> strategy:string -> unit
+(** Count one optimizer routing decision against the cell (creating it
+    if needed).  Surfaced as [picks] in summaries/JSON and as a
+    [serve_fp_picks] series in {!openmetrics}. *)
+
+val ewma_latency : t -> fingerprint:string -> strategy:string -> float option
+(** The cell's time-decayed latency mean, in O(1) — [None] until the
+    cell has served at least one observation.  The adaptive optimizer
+    scores its arms with this, so routing tracks the same online
+    estimate the sketches export. *)
+
 val summaries : t -> summary list
 (** All keys, sorted by (fingerprint, strategy). *)
 
@@ -85,8 +100,10 @@ val to_json : t -> Obs.Json.t
     ["telemetry"] member spliced into [--stats-json]. *)
 
 val openmetrics : t -> Obs.Openmetrics.summary list
-(** One labelled summary series per (fingerprint × strategy), for
-    {!Obs.Openmetrics.render}'s [extra]. *)
+(** One labelled [serve_fp_latency] summary series per
+    (fingerprint × strategy), plus one [serve_fp_picks] count series per
+    cell the optimizer routed to, for {!Obs.Openmetrics.render}'s
+    [extra]. *)
 
 val to_table : ?k:int -> t -> string
 (** The [treequery top]-style end-of-run table: top-[k] (default 5)

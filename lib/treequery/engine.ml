@@ -22,6 +22,7 @@ type strategy =
   | Datalog_hornsat
   | Positive_rewrite
   | Datalog_fixpoint
+  | Xpath_fo2
 
 let strategy_name = function
   | Xpath_bottom_up -> "xpath-bottom-up"
@@ -31,6 +32,15 @@ let strategy_name = function
   | Datalog_hornsat -> "datalog-hornsat"
   | Positive_rewrite -> "positive-union-rewrite"
   | Datalog_fixpoint -> "datalog-yannakakis-fixpoint"
+  | Xpath_fo2 -> "xpath-fo2"
+
+let strategy_of_name s =
+  List.find_opt
+    (fun st -> strategy_name st = s)
+    [
+      Xpath_bottom_up; Cq_yannakakis; Cq_arc_consistency; Cq_rewrite;
+      Datalog_hornsat; Positive_rewrite; Datalog_fixpoint; Xpath_fo2;
+    ]
 
 let plan = function
   | Xpath_query _ -> Xpath_bottom_up
@@ -41,6 +51,34 @@ let plan = function
     if Cqtree.Join_tree.is_acyclic q then Cq_yannakakis
     else if Actree.Xeval.supported q <> None then Cq_arc_consistency
     else Cq_rewrite
+
+(* Every strategy able to answer the query, planner default first.  An
+   XPath query has up to four interchangeable engines (the optimizer's
+   arms): the bottom-up evaluator, monadic datalog via the Section 3
+   translation, Yannakakis when the path is conjunctive (Prop. 4.2), and
+   FO² (Marx / Section 4, O(n²·|Q|) — dominated on large documents, but
+   a genuine candidate on small ones).  A CQ has the three Section 4–6
+   engines where applicable; the remaining languages have exactly one
+   evaluator. *)
+let strategies query =
+  let default = plan query in
+  let extras =
+    match query with
+    | Xpath_query p ->
+      (match Xpath.To_cq.to_query p with
+      | Some cq when Cqtree.Join_tree.is_acyclic cq -> [ Cq_yannakakis ]
+      | _ -> [])
+      @ [ Datalog_hornsat; Xpath_fo2 ]
+    | Cq_query q ->
+      List.filter
+        (fun s -> s <> default)
+        ((if Cqtree.Join_tree.is_acyclic q then [ Cq_yannakakis ] else [])
+        @ (if Actree.Xeval.supported q <> None then [ Cq_arc_consistency ]
+           else [])
+        @ [ Cq_rewrite ])
+    | Datalog_query _ | Positive_query _ | Axis_datalog_query _ -> []
+  in
+  default :: extras
 
 (* the |Q| term of the paper's bounds: syntactic size of the query *)
 let query_size = function
@@ -178,7 +216,7 @@ let fingerprint q =
   let lang = String.sub c 0 (String.index c '|') in
   Printf.sprintf "%s:%016Lx" lang (fnv1a64 c)
 
-let explain ?observed ?plan_cache query =
+let explain ?auto ?observed ?plan_cache query =
   let buf = Buffer.create 256 in
   let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   (match query with
@@ -235,8 +273,17 @@ let explain ?observed ?plan_cache query =
       | Cq_arc_consistency -> "O(||A|| * |Q|) Boolean/unary (Theorem 6.5)"
       | Cq_rewrite ->
         "exponential in |Q| to rewrite (Theorem 5.1), then O(||A|| * |Q'|) per branch"
-      | Xpath_bottom_up | Datalog_hornsat | Positive_rewrite | Datalog_fixpoint ->
+      | Xpath_bottom_up | Datalog_hornsat | Positive_rewrite | Datalog_fixpoint
+      | Xpath_fo2 ->
         assert false));
+  (* the interchangeable engines an adaptive (`Auto`) run may pick from *)
+  (match strategies query with
+  | [] | [ _ ] -> ()
+  | cands ->
+    pr "candidates:  %s\n" (String.concat ", " (List.map strategy_name cands)));
+  (match auto with
+  | None -> ()
+  | Some (picked, why) -> pr "auto-pick:   %s (%s)\n" (strategy_name picked) why);
   pr "fingerprint: %s\n" (fingerprint query);
   (match plan_cache with
   | None -> ()
@@ -303,7 +350,7 @@ let strategy_counter =
       (fun s -> (s, counter_of (strategy_name s)))
       [
         Xpath_bottom_up; Cq_yannakakis; Cq_arc_consistency; Cq_rewrite;
-        Datalog_hornsat; Positive_rewrite; Datalog_fixpoint;
+        Datalog_hornsat; Positive_rewrite; Datalog_fixpoint; Xpath_fo2;
       ]
   in
   fun strategy -> List.assq strategy counters
@@ -364,7 +411,8 @@ let eval_cq_with strategy q tree =
       List.iter (fun t -> Nodeset.add s t.(0)) (Cqtree.Rewrite.solutions q tree);
       s
     end
-  | Xpath_bottom_up | Datalog_hornsat | Positive_rewrite | Datalog_fixpoint ->
+  | Xpath_bottom_up | Datalog_hornsat | Positive_rewrite | Datalog_fixpoint
+  | Xpath_fo2 ->
     assert false
 
 let eval_cq q tree = eval_cq_with (plan (Cq_query q)) q tree
@@ -398,7 +446,8 @@ let boolean_cq_with strategy q tree =
   | Cq_arc_consistency -> (
     match Actree.Xeval.boolean q tree with Some b -> b | None -> assert false)
   | Cq_rewrite -> Cqtree.Rewrite.boolean q tree
-  | Xpath_bottom_up | Datalog_hornsat | Positive_rewrite | Datalog_fixpoint ->
+  | Xpath_bottom_up | Datalog_hornsat | Positive_rewrite | Datalog_fixpoint
+  | Xpath_fo2 ->
     assert false
 
 let eval_boolean query tree =
@@ -418,7 +467,8 @@ let solutions query tree =
     | Cq_arc_consistency -> (
       match Actree.Xeval.solutions q tree with Some s -> s | None -> assert false)
     | Cq_rewrite -> Cqtree.Rewrite.solutions q tree
-    | Xpath_bottom_up | Datalog_hornsat | Positive_rewrite | Datalog_fixpoint ->
+    | Xpath_bottom_up | Datalog_hornsat | Positive_rewrite | Datalog_fixpoint
+    | Xpath_fo2 ->
       assert false)
   | Positive_query u -> Cqtree.Positive.solutions u tree
   | Xpath_query _ | Datalog_query _ | Axis_datalog_query _ ->
@@ -438,8 +488,11 @@ type prepared = {
   exec_boolean : Tree.t -> bool;
 }
 
-let prepare query =
-  let strategy = plan query in
+let prepare_with strategy query =
+  if not (List.mem strategy (strategies query)) then
+    invalid_arg
+      (Printf.sprintf "Engine.prepare_with: %s cannot evaluate %s"
+         (strategy_name strategy) (fingerprint query));
   let span f tree =
     Obs.Span.with_
       ~attrs:(strategy_attrs ~tree query strategy)
@@ -478,6 +531,23 @@ let prepare query =
       in
       (exec, sat)
     | Cq_query q, _ -> (eval_cq_with strategy q, boolean_cq_with strategy q)
+    | Xpath_query p, Cq_yannakakis ->
+      (* conjunctive path → acyclic CQ (Prop. 4.2): [strategies] only
+         offers this arm when the translation exists *)
+      let cq =
+        match Xpath.To_cq.to_query p with Some cq -> cq | None -> assert false
+      in
+      (eval_cq_with Cq_yannakakis cq, boolean_cq_with Cq_yannakakis cq)
+    | Xpath_query p, Datalog_hornsat ->
+      let exec tree = Xpath.To_datalog.eval_via_datalog tree p in
+      (exec, fun tree -> not (Nodeset.is_empty (exec tree)))
+    | Xpath_query p, Xpath_fo2 ->
+      (* translate once at prepare time (linear, Marx); evaluation is the
+         O(n²·|Q|) naive FO² pass *)
+      let phi = Folang.Of_xpath.unary p in
+      let psi = Folang.Of_xpath.boolean p in
+      ( (fun tree -> Folang.Eval.unary tree phi),
+        fun tree -> Folang.Eval.holds tree psi )
     | Positive_query u, _ -> (eval_inner query, Cqtree.Positive.boolean u)
     | (Xpath_query _ | Datalog_query _ | Axis_datalog_query _), _ ->
       ( eval_inner query,
@@ -491,3 +561,5 @@ let prepare query =
     exec = span exec;
     exec_boolean = span exec_boolean;
   }
+
+let prepare query = prepare_with (plan query) query

@@ -51,11 +51,28 @@ type strategy =
   | Datalog_hornsat
   | Positive_rewrite
   | Datalog_fixpoint
+  | Xpath_fo2
+      (** Core XPath via the FO² embedding (Marx / Section 4): translate
+          in linear time, evaluate naively in O(n²·|Q|).  Never the
+          planner default — an optimizer arm that only wins on small
+          documents. *)
 
 val strategy_name : strategy -> string
 
+val strategy_of_name : string -> strategy option
+(** Inverse of {!strategy_name} (the CLI's [--strategy] parser). *)
+
 val plan : query -> strategy
 (** The strategy {!eval} will use. *)
+
+val strategies : query -> strategy list
+(** Every strategy able to answer the query, {!plan}'s default first:
+    the candidate set an adaptive optimizer picks from.  XPath queries
+    offer the bottom-up evaluator, monadic datalog via the Section 3
+    translation, Yannakakis when the path is conjunctive (Prop. 4.2) and
+    FO²; conjunctive queries offer Yannakakis (acyclic), arc-consistency
+    (X-property signature) and the acyclic-union rewrite; the remaining
+    languages have exactly one evaluator. *)
 
 val query_size : query -> int
 (** The |Q| term of the paper's bounds: syntactic size of the query
@@ -106,11 +123,28 @@ val prepare : query -> prepared
 (** Plan and compile once.  Raises whatever {!plan} would on malformed
     queries. *)
 
-val explain : ?observed:Obs.Report.t -> ?plan_cache:[ `Hit | `Miss ] -> query -> string
+val prepare_with : strategy -> query -> prepared
+(** Compile with a caller-chosen strategy instead of {!plan}'s default —
+    the hook the adaptive optimizer (and a fixed [--strategy] serve run)
+    uses to force an arm.  [exec]/[exec_boolean] agree with {!prepare}'s
+    for every strategy in {!strategies} (property-tested by the
+    [optimizer-pick] differential oracle).
+    @raise Invalid_argument when the strategy is not in
+    [strategies query]. *)
+
+val explain :
+  ?auto:strategy * string ->
+  ?observed:Obs.Report.t ->
+  ?plan_cache:[ `Hit | `Miss ] ->
+  query ->
+  string
 (** A human-readable account of the plan: language, fragment properties
     (conjunctive/positive/forward, acyclicity, signature class, estimated
     tree-width), chosen strategy, the complexity bound the paper gives
-    for it, and the query's {!fingerprint}.  [plan_cache] (supplied by the
+    for it, the candidate strategy set ({!strategies}, when more than
+    one), and the query's {!fingerprint}.  [auto] (supplied by the
+    adaptive optimizer) adds an "auto-pick:" line reporting the picked
+    strategy and why.  [plan_cache] (supplied by the
     serving layer) adds a "plan-cache:" line with the lookup outcome.  If
     [observed] (default: the counters recorded since the last [Obs.reset],
     i.e. of the preceding traced run) is nonempty, an "observed:" section

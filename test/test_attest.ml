@@ -20,7 +20,7 @@ let test_registry () =
     [
       "datalog-grounding"; "hornsat-unit-props"; "semijoin-passes";
       "structural-join-merge"; "stream-buffer-depth"; "plan-cache-lookup";
-      "xpath-bottom-up";
+      "xpath-bottom-up"; "optimizer-pick";
     ];
   (match Obs.Bound.find "plan-cache-lookup" with
   | Some b ->
@@ -42,7 +42,7 @@ let test_registry () =
 let test_clean_sweep () =
   with_clean_obs @@ fun () ->
   let outcomes = Attest.run ~seed:7 ~tolerance:0.15 () in
-  Alcotest.(check int) "seven bounds swept" 7 (List.length outcomes);
+  Alcotest.(check int) "eight bounds swept" 8 (List.length outcomes);
   List.iter
     (fun (o : Attest.outcome) ->
       Alcotest.(check bool)
@@ -63,7 +63,7 @@ let test_clean_sweep () =
 let test_injected_fault_caught () =
   with_clean_obs @@ fun () ->
   let outcomes = Attest.run ~inject:true ~seed:7 ~tolerance:0.15 () in
-  Alcotest.(check int) "eight bounds with the fault injected" 8
+  Alcotest.(check int) "ten bounds with the faults injected" 10
     (List.length outcomes);
   Alcotest.(check bool) "gate fails overall" false (Attest.all_ok outcomes);
   let faulty =
@@ -77,11 +77,23 @@ let test_injected_fault_caught () =
        faulty.Attest.slope)
     true
     (faulty.Attest.slope > 1.5);
-  Alcotest.(check bool) "only the injected bound fails" true
+  let bad_pick =
+    List.find
+      (fun (o : Attest.outcome) ->
+        o.Attest.bound.Obs.Bound.id = "injected-bad-pick")
+      outcomes
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "inverted routing slope %.2f overshoots its claim"
+       bad_pick.Attest.slope)
+    false
+    (Attest.outcome_ok bad_pick);
+  Alcotest.(check bool) "only the injected bounds fail" true
     (List.for_all
        (fun (o : Attest.outcome) ->
          Attest.outcome_ok o
-         || o.Attest.bound.Obs.Bound.id = "injected-superlinear")
+         || o.Attest.bound.Obs.Bound.id = "injected-superlinear"
+         || o.Attest.bound.Obs.Bound.id = "injected-bad-pick")
        outcomes)
 
 let test_json_document () =
@@ -95,7 +107,7 @@ let test_json_document () =
   | _ -> Alcotest.fail "ok field missing or false");
   (match Obs.Json.member "bounds" parsed with
   | Some (Obs.Json.Arr bs) ->
-    Alcotest.(check int) "seven bound records" 7 (List.length bs);
+    Alcotest.(check int) "eight bound records" 8 (List.length bs);
     List.iter
       (fun b ->
         match (Obs.Json.member "fitted_slope" b, Obs.Json.member "points" b) with

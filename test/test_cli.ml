@@ -1,0 +1,107 @@
+(* Binary-level CLI regressions.
+
+   These run the real executable (dune wires ../bin/main.exe as a test
+   dep), because the bugs they pin live in argument handling — cmdliner
+   wiring and the handle_errors exit path — which no library test
+   reaches.
+
+   The --domains validation: 0 and negative values must fail with a
+   clean one-line error and the CLI failure status (124), never a
+   Division_by_zero or a hung pool spawn. *)
+
+let exe = Filename.concat (Filename.dirname Sys.argv.(0)) "../bin/main.exe"
+
+(* run a command line, return (exit_code, combined output) *)
+let run_cli args =
+  let cmd = Filename.quote_command exe args ^ " 2>&1" in
+  let ic = Unix.open_process_in cmd in
+  let buf = Buffer.create 256 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  let code =
+    match status with
+    | Unix.WEXITED c -> c
+    | Unix.WSIGNALED s -> 128 + s
+    | Unix.WSTOPPED s -> 128 + s
+  in
+  (code, Buffer.contents buf)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let serve_args rest = [ "serve"; "--random"; "50"; "--requests"; "5" ] @ rest
+
+let check_rejects name args ~expect_msg =
+  let code, out = run_cli (serve_args args) in
+  Alcotest.(check int) (name ^ ": exit code") 124 code;
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: message mentions the constraint (got %S)" name out)
+    true
+    (contains out expect_msg)
+
+let test_domains_zero_rejected () =
+  check_rejects "--domains 0" [ "--domains"; "0" ]
+    ~expect_msg:"--domains must be >= 1"
+
+let test_domains_negative_rejected () =
+  check_rejects "--domains=-2" [ "--domains=-2" ]
+    ~expect_msg:"--domains must be >= 1"
+
+let test_domains_dangling_negative_rejected () =
+  (* `--domains -2` parses -2 as an unknown option: cmdliner usage error,
+     same failure status, no partial serve run *)
+  let code, out = run_cli (serve_args [ "--domains"; "-2" ]) in
+  Alcotest.(check int) "bare -2: exit code" 124 code;
+  Alcotest.(check bool) "bare -2: no serve output" true
+    (not (contains out "served"))
+
+let test_domains_one_accepted () =
+  let code, _ = run_cli (serve_args [ "--domains"; "1" ]) in
+  Alcotest.(check int) "--domains 1 serves" 0 code
+
+let test_strategy_unknown_rejected () =
+  let code, out = run_cli (serve_args [ "--strategy"; "bogus" ]) in
+  Alcotest.(check int) "unknown strategy: exit code" 124 code;
+  Alcotest.(check bool)
+    (Printf.sprintf "unknown strategy named in error (got %S)" out)
+    true (contains out "bogus")
+
+let test_optimizer_out_requires_auto () =
+  let code, out = run_cli (serve_args [ "--optimizer-out"; "/dev/null" ]) in
+  Alcotest.(check int) "--optimizer-out without auto: exit code" 124 code;
+  Alcotest.(check bool)
+    (Printf.sprintf "error names the missing flag (got %S)" out)
+    true
+    (contains out "--strategy auto")
+
+let test_strategy_auto_serves () =
+  let code, out = run_cli (serve_args [ "--strategy"; "auto" ]) in
+  Alcotest.(check int) "--strategy auto serves" 0 code;
+  Alcotest.(check bool)
+    (Printf.sprintf "summary reports the optimizer (got %S)" out)
+    true
+    (contains out "optimizer:")
+
+let suite =
+  [
+    Alcotest.test_case "serve --domains 0 fails cleanly" `Quick
+      test_domains_zero_rejected;
+    Alcotest.test_case "serve --domains=-2 fails cleanly" `Quick
+      test_domains_negative_rejected;
+    Alcotest.test_case "serve --domains -2 is a usage error" `Quick
+      test_domains_dangling_negative_rejected;
+    Alcotest.test_case "serve --domains 1 still works" `Quick
+      test_domains_one_accepted;
+    Alcotest.test_case "serve --strategy rejects unknown names" `Quick
+      test_strategy_unknown_rejected;
+    Alcotest.test_case "--optimizer-out requires --strategy auto" `Quick
+      test_optimizer_out_requires_auto;
+    Alcotest.test_case "serve --strategy auto end-to-end" `Quick
+      test_strategy_auto_serves;
+  ]

@@ -23,6 +23,8 @@ let () =
       ("engine", Test_engine.suite);
       ("obs", Test_obs.suite);
       ("serve", Test_serve.suite);
+      ("optimizer", Test_optimizer.suite);
+      ("cli", Test_cli.suite);
       ("telemetry", Test_telemetry.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("laws", Test_laws.suite);

@@ -644,6 +644,7 @@ let oracle_1k name () =
 
 let test_oracle_1k = oracle_1k "plan-cache"
 let test_parallel_oracle_1k = oracle_1k "parallel-batch"
+let test_optimizer_oracle_1k = oracle_1k "optimizer-pick"
 
 let suite =
   [
@@ -681,4 +682,6 @@ let suite =
     Alcotest.test_case "plan-cache oracle x1000" `Slow test_oracle_1k;
     Alcotest.test_case "parallel-batch oracle x1000" `Slow
       test_parallel_oracle_1k;
+    Alcotest.test_case "optimizer-pick oracle x1000" `Slow
+      test_optimizer_oracle_1k;
   ]
