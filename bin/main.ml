@@ -6,6 +6,7 @@
      explain   show the engine's plan and the paper's complexity bound
      filter    stream a document through forward path subscriptions
      serve     run a request workload through the serving layer
+     subscribe stream documents past a registered standing-query population
      generate  emit a synthetic XML document *)
 
 open Cmdliner
@@ -574,6 +575,95 @@ let serve_cmd =
        $ telemetry_out_arg $ residual_threshold_arg $ flight_out_arg
        $ dump_flight_arg $ inject_overbudget_arg $ common_term))
 
+(* ------------------------------------------------------------------ *)
+(* subscribe: the serving model inverted — a churning population of
+   registered standing queries, a stream of generated documents, one SAX
+   pass per document through the shared Subscribe.Index *)
+
+let subscribe_cmd =
+  let run registrations docs churn scale domains one_at_a_time common =
+    handle_errors @@ fun () ->
+    if registrations < 1 then failwith "--registrations must be >= 1";
+    if docs < 1 then failwith "--docs must be >= 1";
+    if churn < 0.0 || churn >= 1.0 then failwith "--churn must be in [0, 1)";
+    if domains < 1 then failwith "--domains must be >= 1";
+    let pool =
+      if domains > 1 then Some (Serve.Pool.create ~domains ()) else None
+    in
+    let summary = ref None in
+    let augment j =
+      match (!summary, j) with
+      | Some s, Obs.Json.Obj kvs ->
+        Obs.Json.Obj (kvs @ [ ("subscribe", Serve.Ingest.summary_json s) ])
+      | _ -> j
+    in
+    let s =
+      observe ~augment common (fun () ->
+          Fun.protect
+            ~finally:(fun () -> Option.iter Serve.Pool.shutdown pool)
+            (fun () ->
+              let s =
+                Serve.Ingest.run
+                  {
+                    Serve.Ingest.seed = common.seed;
+                    registrations;
+                    docs;
+                    churn;
+                    scale;
+                    pool;
+                    one_at_a_time;
+                  }
+              in
+              summary := Some s;
+              s))
+    in
+    let open Serve.Ingest in
+    Printf.printf "registrations: %d events (%d register, %d unregister, %d live)\n"
+      s.events s.registered s.unregistered s.live;
+    Printf.printf "index:       %d entries (dedup %d ids), %d trie states%s\n"
+      s.entries s.live s.trie_states
+      (if one_at_a_time then " [one-at-a-time twin]" else "");
+    List.iter
+      (fun (cls, n) -> if n > 0 then Printf.printf "  class %-10s %d\n" cls n)
+      s.class_counts;
+    if domains > 1 then Printf.printf "domains:     %d\n" domains;
+    Printf.printf "documents:   %d matched (xmark scale %d)\n" s.docs_matched scale;
+    Printf.printf "fired:       %d subscription firings (%.1f per doc)\n"
+      s.fired_total
+      (float_of_int s.fired_total /. float_of_int (max 1 s.docs_matched));
+    if not one_at_a_time then
+      Printf.printf "active work: %d trie state activations (%.1f per doc)\n"
+        s.active_work
+        (float_of_int s.active_work /. float_of_int (max 1 s.docs_matched));
+    Printf.printf "elapsed:     %.3fs\n" s.elapsed;
+    `Ok ()
+  in
+  let registrations_arg =
+    Arg.(value & opt int 1000 & info [ "registrations" ] ~docv:"N" ~doc:"Length of the registration event stream (register/unregister events; the live population is about $(docv)·(1-churn)).")
+  in
+  let docs_arg =
+    Arg.(value & opt int 100 & info [ "docs" ] ~docv:"M" ~doc:"Number of generated documents streamed past the index.")
+  in
+  let churn_arg =
+    Arg.(value & opt float 0.0 & info [ "churn" ] ~docv:"R" ~doc:"Probability in [0,1) that a registration event is an unregistration of an earlier subscription; with $(docv) > 0 the event stream is interleaved between document chunks (mid-stream churn).")
+  in
+  let scale_arg =
+    Arg.(value & opt int 2 & info [ "scale" ] ~docv:"SCALE" ~doc:"XMark scale of each generated document (about 36·$(docv) nodes).")
+  in
+  let domains_arg =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc:"Match each chunk of documents in parallel on $(docv) OCaml domains, one index session per slot; 1 keeps the sequential loop.")
+  in
+  let one_at_a_time_arg =
+    Arg.(value & flag & info [ "one-at-a-time" ] ~doc:"Differential twin: evaluate every live registration's compiled plan against each document instead of the shared index (same fired counts, per-document cost proportional to registrations).")
+  in
+  Cmd.v
+    (Cmd.info "subscribe"
+       ~doc:"Stream generated documents past a churning population of registered standing queries (pub/sub matching through the shared subscription index)")
+    Term.(
+      ret
+        (const run $ registrations_arg $ docs_arg $ churn_arg $ scale_arg
+       $ domains_arg $ one_at_a_time_arg $ common_term))
+
 let check_cmd =
   let run cases from max_nodes oracle_names list_oracles inject failures_out common =
     handle_errors @@ fun () ->
@@ -719,6 +809,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            eval_cmd; explain_cmd; filter_cmd; serve_cmd; generate_cmd; check_cmd;
-            attest_cmd;
+            eval_cmd; explain_cmd; filter_cmd; serve_cmd; subscribe_cmd;
+            generate_cmd; check_cmd; attest_cmd;
           ]))

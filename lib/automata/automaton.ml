@@ -60,6 +60,40 @@ let run_events_stats a events =
 
 let run_events a events = fst (run_events_stats a events)
 
+(* Reusable push-based stepper: the standing-query index advances many
+   registered automata through ONE shared SAX pass, so the run state must
+   be a value it can hold per subscription and reset per document —
+   [run_events]'s Seq-pull shape cannot interleave like that. *)
+type stepper = {
+  auto : t;
+  mutable sstack : int list;  (** monoid accumulators, innermost first *)
+  mutable outcome : bool option;
+}
+
+let stepper auto = { auto; sstack = []; outcome = None }
+
+let reset_stepper s =
+  s.sstack <- [];
+  s.outcome <- None
+
+let step s ev =
+  let a = s.auto in
+  match ev with
+  | Event.Open _ -> s.sstack <- a.one :: s.sstack
+  | Event.Close { label; _ } -> (
+    match s.sstack with
+    | [] -> invalid_arg "Automaton.step: unbalanced stream"
+    | acc :: rest ->
+      let st = a.up label acc in
+      Obs.Counter.incr c_transitions;
+      (match rest with
+      | [] ->
+        s.outcome <- Some (a.accept st);
+        s.sstack <- []
+      | parent :: rest' -> s.sstack <- a.mul parent (a.embed st) :: rest'))
+
+let accepted s = if s.sstack = [] then s.outcome else None
+
 let check_monoid a ~labels =
   let err fmt = Format.kasprintf (fun s -> Error s) fmt in
   let m = a.monoid_size in

@@ -46,6 +46,30 @@ val run_events : t -> Treekit.Event.t Seq.t -> bool
 val run_events_stats : t -> Treekit.Event.t Seq.t -> bool * int
 (** Like {!run_events} but also reports the peak stack depth. *)
 
+(** {1 Push-based streaming run}
+
+    {!run_events} pulls from a [Seq.t], so two automata cannot share one
+    traversal.  A {!stepper} inverts control: the caller pushes each event
+    to any number of steppers, which is how the standing-query index
+    advances every registered automaton in a single SAX pass.  Memory per
+    stepper is the same O(depth) accumulator stack. *)
+
+type stepper
+(** Reusable run state for one automaton. *)
+
+val stepper : t -> stepper
+
+val reset_stepper : stepper -> unit
+(** Forget the current document; ready for a fresh stream. *)
+
+val step : stepper -> Treekit.Event.t -> unit
+(** @raise Invalid_argument on a [Close] with no matching [Open]. *)
+
+val accepted : stepper -> bool option
+(** [Some b] once the root element has closed ([b] = acceptance, equal to
+    {!run_events} on the same stream — property-tested); [None]
+    mid-stream or before any event. *)
+
 val check_monoid : t -> labels:string list -> (unit, string) result
 (** Sanity check used by tests: associativity of [mul], neutrality of
     [one], and range checks of [embed]/[up] over the given labels. *)

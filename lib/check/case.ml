@@ -30,6 +30,12 @@ type query =
   | Setops of setop list
   | Obs_report of Obs.Report.t
   | Sketch_sample of float list
+  | Standing of standing_op list
+
+and standing_op =
+  | S_register of query
+  | S_unregister of int
+  | S_match
 
 type t = { tree : Treekit.Tree.t; query : query }
 
@@ -71,7 +77,7 @@ let setop_to_string = function
   | Diff_label l -> Printf.sprintf "diff lab(%s)" l
   | Complement -> "complement"
 
-let query_size = function
+let rec query_size = function
   | Xpath p -> Xpath.Ast.size p
   | Cq q -> Cqtree.Query.atom_count q
   | Pattern p -> Streamq.Path_pattern.length p
@@ -84,8 +90,14 @@ let query_size = function
     + List.length r.Obs.Report.histograms
     + List.length r.Obs.Report.profiles
   | Sketch_sample xs -> List.length xs
+  | Standing ops ->
+    List.fold_left
+      (fun acc op ->
+        acc
+        + match op with S_register q -> 1 + query_size q | S_unregister _ | S_match -> 1)
+      0 ops
 
-let query_to_string = function
+let rec query_to_string = function
   | Xpath p -> "xpath: " ^ Xpath.Ast.to_string p
   | Cq q -> "cq: " ^ Cqtree.Query.to_string q
   | Pattern p -> "pattern: " ^ Streamq.Path_pattern.to_string p
@@ -96,6 +108,12 @@ let query_to_string = function
   | Obs_report r -> "obs-report: " ^ Obs.Report.to_json r
   | Sketch_sample xs ->
     "sketch-sample: " ^ String.concat " " (List.map (Printf.sprintf "%g") xs)
+  | Standing ops -> "standing: " ^ String.concat "; " (List.map standing_op_to_string ops)
+
+and standing_op_to_string = function
+  | S_register q -> Printf.sprintf "register(%s)" (query_to_string q)
+  | S_unregister k -> Printf.sprintf "unregister %d" k
+  | S_match -> "match"
 
 let size c = Treekit.Tree.size c.tree + query_size c.query
 

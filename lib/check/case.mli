@@ -48,6 +48,21 @@ type query =
       (** a sample for the telemetry quantile sketch; the tree is ignored
           and the oracle compares sketch quantiles (single and merged in
           several association orders) with exact sorted-array quantiles *)
+  | Standing of standing_op list
+      (** a standing-query script against one document: registrations
+          (nested queries, including composed automata), unregistrations
+          and match points, interpreted against both the shared
+          {!Subscribe.Index} and one-at-a-time evaluation *)
+
+(** One step of a standing-query script.  [S_register] at script
+    position [i] registers under subscription ID [i]; [S_unregister k]
+    unregisters ID [k] (a no-op when [k] is not live, so scripts survive
+    shrinking); [S_match] matches the case tree and compares fired
+    sets. *)
+and standing_op =
+  | S_register of query
+  | S_unregister of int
+  | S_match
 
 type t = { tree : Treekit.Tree.t; query : query }
 
@@ -62,6 +77,8 @@ val query_size : query -> int
 val query_to_string : query -> string
 
 val setop_to_string : setop -> string
+
+val standing_op_to_string : standing_op -> string
 
 val to_string : t -> string
 (** The serialized repro: the tree as one-line XML plus the query. *)

@@ -213,6 +213,36 @@ let sketch_sample _cfg rng =
   in
   Case.Sketch_sample xs
 
+(* standing-query scripts: a churn of registrations (across all four
+   index classes — spines, twigs via qualified XPath, general CQs,
+   automata), unregistrations of earlier script positions, and match
+   points.  Always ends on a match so every script exercises the index;
+   unregistrations between matches exercise churn mid-stream. *)
+let standing cfg rng =
+  let registered q = Case.S_register q in
+  let gen_registration () =
+    match Random.State.int rng 5 with
+    | 0 -> registered (pattern cfg rng)
+    | 1 | 2 ->
+      registered
+        (xpath
+           ~axes:[ Axis.Child; Axis.Descendant; Axis.Descendant_or_self ]
+           ~allow_negation:false ~allow_union:false cfg rng)
+    | 3 -> registered (xpath cfg rng)
+    | _ -> if Random.State.bool rng then registered (cq_arbitrary cfg rng)
+           else registered (auto cfg rng)
+  in
+  let n = 2 + Random.State.int rng 7 in
+  let ops =
+    List.init n (fun i ->
+        match Random.State.int rng 10 with
+        | 0 | 1 | 2 | 3 | 4 -> gen_registration ()
+        | 5 when i > 0 -> Case.S_unregister (Random.State.int rng i)
+        | 5 -> gen_registration ()
+        | _ -> Case.S_match)
+  in
+  Case.Standing (ops @ [ Case.S_match ])
+
 let setops cfg rng =
   let lab () = cfg.labels.(Random.State.int rng (Array.length cfg.labels)) in
   let op () =

@@ -62,6 +62,12 @@ val order_law : config -> Random.State.t -> Case.query
 val setops : config -> Random.State.t -> Case.query
 (** A node-set algebra script of 1–12 operations. *)
 
+val standing : config -> Random.State.t -> Case.query
+(** A standing-query script of 3–9 operations: registrations drawn
+    across all four index classes (path spines, qualified forward XPath,
+    general XPath, CQs, composed automata), unregistrations of earlier
+    script positions, match points; always ends on a match. *)
+
 val obs_report : config -> Random.State.t -> Case.query
 (** A synthetic {!Obs.Report.t}: nested spans with typed attributes,
     counters, histogram summaries and scope profiles.  Durations are

@@ -256,11 +256,21 @@ let automata_stream =
           let streamed =
             Automata.Automaton.run_events a (Treekit.Event.to_seq c.tree)
           in
+          let stepper = Automata.Automaton.stepper a in
+          Treekit.Event.iter c.tree (Automata.Automaton.step stepper);
+          let pushed = Automata.Automaton.accepted stepper in
           let states = Automata.Automaton.state_at a c.tree in
           let at_root = a.Automata.Automaton.accept states.(0) in
           if bottom_up <> streamed then
             Fail
               (Printf.sprintf "bottom-up %b vs streaming %b" bottom_up streamed)
+          else if pushed <> Some bottom_up then
+            Fail
+              (Printf.sprintf "push-stepper %s vs bottom-up %b"
+                 (match pushed with
+                 | None -> "None"
+                 | Some b -> Printf.sprintf "Some %b" b)
+                 bottom_up)
           else if bottom_up <> at_root then
             Fail
               (Printf.sprintf "run %b vs accept(state_at root) %b" bottom_up
@@ -694,6 +704,96 @@ let parallel_batch =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Standing-query index *)
+
+(* A standing-query script (register / unregister / match) interpreted
+   twice: against the shared Subscribe.Index — spines in the merged trie,
+   twigs as pooled streaming matchers, automata as push steppers, the
+   rest as compiled Boolean plans, all fed by ONE SAX pass per match —
+   and against the reference, one-at-a-time evaluation of every live
+   registration.  Fired ID sets must be identical at every match point,
+   including after mid-script churn.  The session is reused across match
+   points, so churn-triggered session refresh is exercised too. *)
+let standing_match =
+  {
+    name = "standing-match";
+    theorem =
+      "standing-query index: fired subscriptions = one-at-a-time \
+       evaluation of every live registration";
+    cap_nodes = 25;
+    gen = Gen.standing;
+    run =
+      (fun c ->
+        match c.Case.query with
+        | Case.Standing ops ->
+          let module E = Treequery.Engine in
+          let index = Subscribe.Index.create () in
+          let session = Subscribe.Index.session index in
+          let live = ref [] in
+          let show ids = String.concat "," (List.map string_of_int ids) in
+          let step (i, verdict) op =
+            let verdict =
+              match verdict with
+              | Pass -> (
+                match op with
+                | Case.S_register q -> (
+                  let payload =
+                    match q with
+                    | Case.Xpath p -> Some (`Q (E.Xpath_query p))
+                    | Case.Cq cq -> Some (`Q (E.Cq_query cq))
+                    | Case.Pattern p ->
+                      Some (`Q (E.Xpath_query (Streamq.Path_pattern.to_xpath p)))
+                    | Case.Auto e -> Some (`A (Case.automaton e))
+                    | _ -> None
+                  in
+                  match payload with
+                  | None -> Skip "unsupported registered query kind"
+                  | Some (`Q q) ->
+                    let (_ : Subscribe.Index.query_class) =
+                      Subscribe.Index.register index ~id:i q
+                    in
+                    live := (i, `Q q) :: !live;
+                    Pass
+                  | Some (`A a) ->
+                    let (_ : Subscribe.Index.query_class) =
+                      Subscribe.Index.register_automaton index ~id:i a
+                    in
+                    live := (i, `A a) :: !live;
+                    Pass)
+                | Case.S_unregister k ->
+                  let (_ : bool) = Subscribe.Index.unregister index ~id:k in
+                  live := List.filter (fun (id, _) -> id <> k) !live;
+                  Pass
+                | Case.S_match ->
+                  let fired = Subscribe.Index.match_tree session c.tree in
+                  let expected =
+                    List.filter_map
+                      (fun (id, p) ->
+                        let b =
+                          match p with
+                          | `Q q -> E.eval_boolean q c.tree
+                          | `A a -> Automata.Automaton.run a c.tree
+                        in
+                        if b then Some id else None)
+                      !live
+                    |> List.sort compare
+                  in
+                  if fired = expected then Pass
+                  else
+                    Fail
+                      (Printf.sprintf
+                         "match at op %d: index fired {%s} vs one-at-a-time \
+                          {%s} (%d live)"
+                         i (show fired) (show expected) (List.length !live)))
+              | v -> v
+            in
+            (i + 1, verdict)
+          in
+          snd (List.fold_left step (0, Pass) ops)
+        | _ -> wrong_query "standing-match" c);
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Observability serialisation                                          *)
 
 (* [Report.to_json] output must be a fixpoint of parse-then-reserialise:
@@ -898,6 +998,7 @@ let all =
     plan_cache;
     optimizer_pick;
     parallel_batch;
+    standing_match;
     obs_roundtrip;
     sketch_quantile;
   ]

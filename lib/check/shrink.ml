@@ -202,7 +202,7 @@ let shrink_setops ops =
   in
   drop_one @ simplify
 
-let query_candidates = function
+let rec query_candidates = function
   | Case.Xpath p -> List.map (fun p' -> Case.Xpath p') (shrink_path p)
   | Case.Cq q -> List.map (fun q' -> Case.Cq q') (shrink_cq q)
   | Case.Pattern p -> List.map (fun p' -> Case.Pattern p') (shrink_pattern p)
@@ -218,6 +218,31 @@ let query_candidates = function
         (fun i _ -> Case.Sketch_sample (List.filteri (fun j _ -> j <> i) xs))
         xs
     else []
+  | Case.Standing ops ->
+    (* drop one op (unregister IDs are script positions, resolved
+       leniently at interpretation, so dropped registrations leave the
+       script valid), then shrink registered queries in place *)
+    let drop_one =
+      if List.length ops > 1 then
+        List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) ops) ops
+      else []
+    in
+    let shrink_in_place =
+      List.concat
+        (List.mapi
+           (fun i op ->
+             match op with
+             | Case.S_register q ->
+               List.map
+                 (fun q' ->
+                   List.mapi
+                     (fun j o -> if j = i then Case.S_register q' else o)
+                     ops)
+                 (query_candidates q)
+             | Case.S_unregister _ | Case.S_match -> [])
+           ops)
+    in
+    List.map (fun o -> Case.Standing o) (drop_one @ shrink_in_place)
 
 let candidates (c : Case.t) =
   let queries =

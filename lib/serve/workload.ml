@@ -118,3 +118,45 @@ let requests_split ~seed ~shapes ~count kind =
           | Closed_loop -> None
           | Open_loop { rate } -> Some (float_of_int i /. rate));
       })
+
+(* ------------------------------------------------------------------ *)
+(* Standing-query churn streams *)
+
+type registration_event =
+  | Register of { id : int; shape : int }
+  | Unregister of { id : int }
+
+let registration_salt = salt_hash "workload-registration"
+
+let registration_rng ~seed i = Random.State.make [| seed; i; registration_salt |]
+
+(* Event [i]'s coin flips come from its own split RNG (the
+   [requests_split] idiom), so the stream is prefix-stable: the [count=k]
+   stream is exactly the first k events of any longer stream with the
+   same seed.  Register events consume shape indices in order (0, 1, 2,
+   …), so every registered query has a distinct canonical form whenever
+   the backing shape array does ([Workload.shapes] guarantees that). *)
+let registrations_split ~seed ~shapes ~count ~churn =
+  if churn < 0.0 || churn >= 1.0 then
+    invalid_arg "Workload.registrations_split: churn must be in [0, 1)";
+  let rec build i registered acc =
+    if i = count then List.rev acc
+    else
+      let rng = registration_rng ~seed i in
+      let unregister = i > 0 && Random.State.float rng 1.0 < churn in
+      if unregister then
+        (* a uniformly drawn earlier event index; applying it is a no-op
+           when that event was itself an unregistration or the target is
+           already gone — churn application must be idempotent *)
+        build (i + 1) registered (Unregister { id = Random.State.int rng i } :: acc)
+      else begin
+        if registered >= shapes then
+          failwith
+            (Printf.sprintf
+               "Workload.registrations_split: %d register events need more \
+                than the %d available shapes"
+               (registered + 1) shapes);
+        build (i + 1) (registered + 1) (Register { id = i; shape = registered } :: acc)
+      end
+  in
+  build 0 0 []

@@ -50,3 +50,29 @@ val requests_split :
     independent of evaluation order, chunking, or domain count — which is
     what keeps parallel wall-clock runs replayable against sequential
     ones. *)
+
+(** {1 Standing-query churn streams} *)
+
+type registration_event =
+  | Register of { id : int; shape : int }
+      (** register shape [shape] under subscription ID [id] (= the event
+          index, so IDs are strictly increasing and unique) *)
+  | Unregister of { id : int }
+      (** unregister the subscription registered by event [id]; may be a
+          no-op if that event was not a registration or was already
+          unregistered *)
+
+val registrations_split :
+  seed:int -> shapes:int -> count:int -> churn:float -> registration_event list
+(** A seeded register/unregister churn stream for the standing-query
+    index: [count] events, each an unregistration with probability
+    [churn] (event 0 always registers).  Event [i]'s coin flips come
+    from its own [(seed, i, salt)]-derived RNG (the {!requests_split}
+    idiom), so the stream is deterministic and prefix-stable: the
+    [count=k] stream equals the first k events of any longer stream.
+    Register events take shape indices [0, 1, 2, …] in order, so the
+    registered queries have pairwise-distinct canonicals whenever the
+    backing {!shapes} array does; an unregistration targets a uniformly
+    drawn earlier event index.
+    @raise Invalid_argument when [churn] is outside [0, 1)
+    @raise Failure when the register events outnumber [shapes] *)

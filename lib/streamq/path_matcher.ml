@@ -84,6 +84,23 @@ let push_event st ev =
 
 let stats_of st = { matches = st.matches; peak_depth = st.peak; events = st.events }
 
+(* reusable interface: one matcher allocation amortised over many
+   documents (the standing-query index pools these per pass) *)
+type t = state
+
+let create pattern ~on_match = make pattern ~on_match
+
+let reset st =
+  st.stack <- [];
+  st.depth <- 0;
+  st.peak <- 0;
+  st.matches <- 0;
+  st.events <- 0
+
+let push = push_event
+
+let stats = stats_of
+
 let feed pattern =
   let st = make pattern ~on_match:(fun _ -> ()) in
   ((fun ev -> push_event st ev), fun () -> stats_of st)

@@ -35,3 +35,26 @@ val feed :
 (** Incremental interface: [let push, finish = feed p in …] — push events
     one at a time (from any source), then read the statistics.  Matched
     nodes are counted in the stats. *)
+
+(** {1 Reusable matcher state}
+
+    [run]/[feed] allocate a fresh matcher per document.  A standing-query
+    index matching every incoming document against the same pattern pools
+    one matcher instead: [create] once, then [reset] + [push] per
+    document.  [reset] restores exactly the post-[create] state
+    (property-tested: reset ≡ fresh construction). *)
+
+type t
+(** Matcher state for one pattern; reusable across documents. *)
+
+val create : Path_pattern.t -> on_match:(int -> unit) -> t
+(** @raise Invalid_argument on an empty pattern or more than 61 steps. *)
+
+val reset : t -> unit
+(** Forget all per-document state (stack, counts, peak depth); the
+    pattern and [on_match] callback are kept. *)
+
+val push : t -> Treekit.Event.t -> unit
+(** @raise Invalid_argument on unbalanced event streams. *)
+
+val stats : t -> stats

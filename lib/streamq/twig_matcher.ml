@@ -105,6 +105,24 @@ let push_event st ev =
 let stats_of st =
   { matched = st.count > 0; match_count = st.count; peak_depth = st.peak; events = st.events }
 
+(* reusable interface: the pattern indexing ([index_pattern]) is paid once
+   and one matcher is pooled across documents by the standing-query
+   index *)
+type t = state
+
+let create ?anchored pattern = make ?anchored pattern
+
+let reset st =
+  st.stack <- [];
+  st.depth <- 0;
+  st.peak <- 0;
+  st.count <- 0;
+  st.events <- 0
+
+let push = push_event
+
+let stats = stats_of
+
 let feed ?anchored pattern =
   let st = make ?anchored pattern in
   ((fun ev -> push_event st ev), fun () -> stats_of st)

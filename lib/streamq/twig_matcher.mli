@@ -24,3 +24,24 @@ val matches : ?anchored:bool -> Treekit.Tree.t -> Actree.Twigjoin.node -> bool
 val feed :
   ?anchored:bool -> Actree.Twigjoin.node -> (Treekit.Event.t -> unit) * (unit -> stats)
 (** Incremental interface for external event sources. *)
+
+(** {1 Reusable matcher state}
+
+    Pattern indexing is paid once at [create]; [reset] + [push] then
+    match any number of documents with the one allocation (the
+    standing-query index pools these per matching pass).  [reset]
+    restores exactly the post-[create] state (property-tested). *)
+
+type t
+(** Matcher state for one twig pattern; reusable across documents. *)
+
+val create : ?anchored:bool -> Actree.Twigjoin.node -> t
+(** @raise Invalid_argument on patterns with more than 62 nodes. *)
+
+val reset : t -> unit
+(** Forget all per-document state; pattern index and [anchored] kept. *)
+
+val push : t -> Treekit.Event.t -> unit
+(** @raise Invalid_argument on unbalanced event streams. *)
+
+val stats : t -> stats

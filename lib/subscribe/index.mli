@@ -1,0 +1,88 @@
+(** The standing-query registry: pub/sub matching of registered queries
+    against a stream of incoming documents (ROADMAP item 2 — the serving
+    model inverted).
+
+    Subscriptions are registered by integer ID and deduplicated through
+    {!Treequery.Engine.canonical}: identical queries share one index
+    entry whose ID list fans out on firing, so a million copies of a
+    popular query cost one matcher.  Each distinct entry is routed to a
+    class:
+
+    - {e Spine} — the query is a forward path spine
+      ({!Streamq.Path_pattern.of_xpath}); merged into the shared
+      prefix-sharing {!Trie}, where all spines are matched at once.
+    - {e Twig} — conjunctive forward path with qualifiers
+      ({!Streamq.Xpath_filter.twig_of}); a pooled streaming
+      {!Streamq.Twig_matcher} (created once per session, [reset] per
+      document) fed in the same SAX pass.
+    - {e Auto} — a registered {!Automata.Automaton} (MSO property),
+      advanced through the same pass by its push {!Automata.Automaton.stepper}.
+    - {e General} — everything else (CQs, datalog, non-forward XPath):
+      compiled once with {!Treequery.Engine.prepare} and evaluated as a
+      Boolean plan on the materialised tree per document.
+
+    One {!match_tree} call therefore streams the document's SAX events
+    exactly once through trie + twig matchers + automata, and fires every
+    matching subscription; Boolean semantics in every class agree with
+    one-at-a-time [Engine.eval_boolean] (the [standing-match] differential
+    oracle).
+
+    Registration/unregistration must not run concurrently with matching;
+    sessions are single-threaded and parallel document matching uses one
+    session per domain ([Serve.Ingest]). *)
+
+type query_class = Spine | Twig | General | Auto
+
+val class_name : query_class -> string
+
+type t
+
+val create : unit -> t
+
+val register : t -> id:int -> Treequery.Engine.query -> query_class
+(** Register a subscription; returns the class its canonical entry lives
+    in.  @raise Invalid_argument on a duplicate live ID. *)
+
+val register_automaton : t -> id:int -> Automata.Automaton.t -> query_class
+(** Register a standing automaton (deduplicated by automaton name);
+    always returns {!Auto}.  @raise Invalid_argument on a duplicate live
+    ID. *)
+
+val unregister : t -> id:int -> bool
+(** Remove a subscription; [false] if the ID is not live (idempotent —
+    churn streams may target already-dead IDs).  When an entry's fan-out
+    drops to zero the entry is dropped and its trie handle detached. *)
+
+val live : t -> int
+(** Live subscription IDs. *)
+
+val entries : t -> int
+(** Distinct canonical entries ([entries <= live]; the gap is dedup
+    fan-out). *)
+
+val trie_states : t -> int
+
+val class_counts : t -> (string * int) list
+(** Live entries per class, as [(class name, count)]. *)
+
+(** {1 Matching sessions}
+
+    A session owns the pooled per-pass state (trie pass, twig matchers,
+    automaton steppers).  It lazily rebuilds when the entry set has
+    churned (version counter).  One session per domain. *)
+
+type session
+
+val session : t -> session
+
+val match_tree : session -> Treekit.Tree.t -> int list
+(** Match one document: the sorted list of fired subscription IDs.
+    Cost: one SAX pass (trie active states + twig/automaton steps) plus
+    the compiled Boolean plans of the [General] entries plus the fired
+    set. *)
+
+val doc_active_work : session -> int
+(** Trie active-state work of the last {!match_tree} (the scaling
+    witness). *)
+
+val doc_peak_depth : session -> int

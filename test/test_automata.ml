@@ -55,6 +55,23 @@ let prop_streaming_equals_in_memory =
         (A.disj (A.adjacent_children "a" "b") (A.count_label_mod "c" ~modulus:2 ~residue:0)
         :: example_automata))
 
+(* the push-based stepper (used by the subscription index, which owns
+   the SAX loop) must agree with the pull-based run_events, and a reset
+   stepper must behave like a fresh one *)
+let prop_stepper_equals_run =
+  qtest ~count:200 "push stepper = bottom-up run (and reset = fresh)"
+    (tree_gen ~max_n:40 ()) (fun t ->
+      List.for_all
+        (fun auto ->
+          let s = A.stepper auto in
+          Event.iter t (A.step s);
+          let first = A.accepted s in
+          A.reset_stepper s;
+          Event.iter t (A.step s);
+          first = Some (A.run auto t) && A.accepted s = first)
+        (A.disj (A.adjacent_children "a" "b") (A.count_label_mod "c" ~modulus:2 ~residue:0)
+        :: example_automata))
+
 let prop_boolean_combinators =
   qtest ~count:150 "product/complement respect boolean semantics"
     (tree_gen ~max_n:30 ()) (fun t ->
@@ -133,6 +150,7 @@ let suite =
     Alcotest.test_case "monoid laws" `Quick test_monoid_laws;
     prop_examples_match_direct_semantics;
     prop_streaming_equals_in_memory;
+    prop_stepper_equals_run;
     prop_boolean_combinators;
     Alcotest.test_case "streaming memory = depth" `Quick test_streaming_memory_is_depth;
     Alcotest.test_case "modular counting (MSO, not FO)" `Quick test_mso_counting_not_fo;

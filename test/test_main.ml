@@ -23,6 +23,7 @@ let () =
       ("engine", Test_engine.suite);
       ("obs", Test_obs.suite);
       ("serve", Test_serve.suite);
+      ("subscribe", Test_subscribe.suite);
       ("optimizer", Test_optimizer.suite);
       ("cli", Test_cli.suite);
       ("telemetry", Test_telemetry.suite);

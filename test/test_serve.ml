@@ -625,6 +625,47 @@ let test_requests_split_replayable () =
   Alcotest.(check bool) "not constant" true
     (List.exists (fun (r : Serve.Workload.request) -> r.shape <> (List.hd a).shape) a)
 
+let test_registrations_split () =
+  let module W = Serve.Workload in
+  let stream ?(seed = 42) ?(count = 200) ?(churn = 0.25) () =
+    W.registrations_split ~seed ~shapes:count ~count ~churn
+  in
+  let a = stream () and b = stream () in
+  Alcotest.(check bool) "same seed, same stream" true (a = b);
+  Alcotest.(check bool) "different seed, different stream" true
+    (a <> stream ~seed:43 ());
+  (* prefix-stable: each event is a pure function of (seed, index) *)
+  let short = stream ~count:80 () in
+  Alcotest.(check bool) "count-80 stream is the count-200 prefix" true
+    (short = List.filteri (fun i _ -> i < 80) a);
+  (* churn invariants: ids are script positions, unregistrations always
+     target an earlier position, register events consume shape ordinals
+     0,1,2,... so every registration has a distinct canonical query *)
+  let next_shape = ref 0 in
+  List.iteri
+    (fun i ev ->
+      match ev with
+      | W.Register { id; shape } ->
+        Alcotest.(check int) "id is the event index" i id;
+        Alcotest.(check int) "shapes consumed in order" !next_shape shape;
+        incr next_shape
+      | W.Unregister { id } ->
+        Alcotest.(check bool) "unregister targets an earlier event" true
+          (id >= 0 && id < i))
+    a;
+  let unregs =
+    List.length (List.filter (function W.Unregister _ -> true | _ -> false) a)
+  in
+  Alcotest.(check bool) "churn 0.25 produces some unregistrations" true
+    (unregs > 10 && unregs < 100);
+  Alcotest.(check bool) "churn 0 is all registrations" true
+    (List.for_all
+       (function W.Register _ -> true | W.Unregister _ -> false)
+       (stream ~churn:0.0 ()));
+  Alcotest.check_raises "churn out of range rejected"
+    (Invalid_argument "Workload.registrations_split: churn must be in [0, 1)")
+    (fun () -> ignore (stream ~churn:1.0 ()))
+
 (* ------------------------------------------------------------------ *)
 (* the acceptance bar: cached-vs-cold differential oracle over 1k cases *)
 
@@ -679,6 +720,8 @@ let suite =
     Alcotest.test_case "wall-clock smoke" `Quick test_wall_clock_smoke;
     Alcotest.test_case "seed-split request streams replay" `Quick
       test_requests_split_replayable;
+    Alcotest.test_case "seed-split registration churn streams" `Quick
+      test_registrations_split;
     Alcotest.test_case "plan-cache oracle x1000" `Slow test_oracle_1k;
     Alcotest.test_case "parallel-batch oracle x1000" `Slow
       test_parallel_oracle_1k;

@@ -142,6 +142,63 @@ let prop_xpath_filter =
       | None -> QCheck2.assume_fail ()
       | Some got -> got = not (Nodeset.is_empty (Xpath.Eval.query t p)))
 
+(* reusable matcher state: a matcher reset between documents must behave
+   exactly like a freshly constructed one (the subscription index keeps
+   pooled matchers alive across an unbounded document stream) *)
+let reuse_gen =
+  QCheck2.Gen.(
+    let* seed = int_range 0 50_000 in
+    let* len = int_range 1 4 in
+    let* ts1 = int_range 0 50_000 in
+    let* ts2 = int_range 0 50_000 in
+    let* n1 = int_range 1 40 in
+    let* n2 = int_range 1 40 in
+    return
+      ( PP.random ~seed ~length:len ~labels:Generator.labels_abc (),
+        random_tree ~seed:ts1 ~n:n1 (),
+        random_tree ~seed:ts2 ~n:n2 () ))
+
+let prop_path_matcher_reset =
+  qtest ~count:200 "path matcher: reset = fresh construction" reuse_gen
+    (fun (p, t1, t2) ->
+      let fired = ref [] in
+      let m = PM.create p ~on_match:(fun i -> fired := i :: !fired) in
+      Event.iter t1 (PM.push m);
+      PM.reset m;
+      fired := [];
+      Event.iter t2 (PM.push m);
+      let reused = (List.rev !fired, PM.stats m) in
+      let fired' = ref [] in
+      let m' = PM.create p ~on_match:(fun i -> fired' := i :: !fired') in
+      Event.iter t2 (PM.push m');
+      reused = (List.rev !fired', PM.stats m'))
+
+let prop_twig_matcher_reset =
+  qtest ~count:200 "twig matcher: reset = fresh construction"
+    QCheck2.Gen.(
+      let* qseed = int_range 0 50_000 in
+      let* nvars = int_range 1 4 in
+      let* ts1 = int_range 0 50_000 in
+      let* ts2 = int_range 0 50_000 in
+      let* n1 = int_range 1 40 in
+      let* n2 = int_range 1 40 in
+      let q =
+        Cqtree.Generator.acyclic ~seed:qseed ~nvars
+          ~axes:[ Axis.Child; Axis.Descendant ] ~labels:Generator.labels_abc ()
+      in
+      return (q, random_tree ~seed:ts1 ~n:n1 (), random_tree ~seed:ts2 ~n:n2 ()))
+    (fun (q, t1, t2) ->
+      match Actree.Twigjoin.of_query q with
+      | None -> QCheck2.assume_fail ()
+      | Some twig ->
+        let m = TM.create twig in
+        Event.iter t1 (TM.push m);
+        TM.reset m;
+        Event.iter t2 (TM.push m);
+        let m' = TM.create twig in
+        Event.iter t2 (TM.push m');
+        TM.stats m = TM.stats m')
+
 (* filter engine *)
 let test_filter_engine () =
   let eng = FE.create () in
@@ -197,6 +254,8 @@ let suite =
     Alcotest.test_case "incremental feed" `Quick test_feed_incremental;
     prop_twig_matcher;
     Alcotest.test_case "twig match count" `Quick test_twig_match_count;
+    prop_path_matcher_reset;
+    prop_twig_matcher_reset;
     Alcotest.test_case "qualified streaming filter examples" `Quick
       test_xpath_filter_examples;
     prop_xpath_filter;

@@ -1,0 +1,210 @@
+(* The standing-query index: the merged spine trie against individual
+   Path_matchers, registry dedup/churn semantics, session refresh, and
+   the standing-match differential oracle at the 1000-case acceptance
+   bar. *)
+open Treekit
+open Helpers
+module PP = Streamq.Path_pattern
+module PM = Streamq.Path_matcher
+module Trie = Subscribe.Trie
+module Index = Subscribe.Index
+module E = Treequery.Engine
+
+(* ------------------------------------------------------------------ *)
+(* trie vs individual matchers *)
+
+let trie_match trie handles t =
+  let p = Trie.pass trie in
+  Trie.begin_doc p;
+  Event.iter t (Trie.push p);
+  ignore handles;
+  List.sort compare (Trie.fired p)
+
+let prop_trie_equals_matchers =
+  qtest ~count:300 "merged trie = one Path_matcher per pattern"
+    QCheck2.Gen.(
+      let* seed = int_range 0 50_000 in
+      let* tseed = int_range 0 50_000 in
+      let* k = int_range 1 10 in
+      let* n = int_range 1 50 in
+      let pats =
+        List.init k (fun i ->
+            PP.random ~seed:(seed + i) ~length:(1 + (i mod 4))
+              ~labels:Generator.labels_abc ())
+      in
+      return (pats, random_tree ~seed:tseed ~n ()))
+    (fun (pats, t) ->
+      let trie = Trie.create () in
+      List.iteri
+        (fun i p -> Trie.attach trie ~state:(Trie.add trie p) ~handle:i)
+        pats;
+      let got = trie_match trie pats t in
+      let want =
+        List.concat (List.mapi (fun i p -> if PM.matches t p then [ i ] else []) pats)
+      in
+      got = List.sort compare want)
+
+let test_trie_prefix_sharing () =
+  let trie = Trie.create () in
+  let s1 = Trie.add trie (PP.of_string "//a/b/c") in
+  let s2 = Trie.add trie (PP.of_string "//a/b/d") in
+  let s3 = Trie.add trie (PP.of_string "//a/b/c") in
+  Alcotest.(check int) "identical spines share a terminal" s1 s3;
+  Alcotest.(check bool) "distinct suffixes diverge" true (s1 <> s2);
+  (* root + a + b + c + d: prefixes //a/b shared *)
+  Alcotest.(check int) "states bounded by distinct prefixes" 5 (Trie.states trie)
+
+let test_trie_pass_reuse_across_growth () =
+  (* a pooled pass must survive trie growth between documents *)
+  let trie = Trie.create () in
+  Trie.attach trie ~state:(Trie.add trie (PP.of_string "//a")) ~handle:0;
+  let p = Trie.pass trie in
+  let t = Xml.parse "<r><a><b/></a></r>" in
+  Trie.begin_doc p;
+  Event.iter t (Trie.push p);
+  Alcotest.(check (list int)) "first doc" [ 0 ] (List.sort compare (Trie.fired p));
+  Trie.attach trie ~state:(Trie.add trie (PP.of_string "//a/b")) ~handle:1;
+  Trie.begin_doc p;
+  Event.iter t (Trie.push p);
+  Alcotest.(check (list int)) "after growth" [ 0; 1 ]
+    (List.sort compare (Trie.fired p))
+
+(* ------------------------------------------------------------------ *)
+(* registry semantics *)
+
+let xq s = E.parse_xpath s
+
+let test_index_dedup_fanout () =
+  let idx = Index.create () in
+  let c1 = Index.register idx ~id:1 (xq "//a/b") in
+  let c2 = Index.register idx ~id:2 (xq "//a/b") in
+  Alcotest.(check bool) "both spine" true (c1 = Index.Spine && c2 = Index.Spine);
+  Alcotest.(check int) "one entry" 1 (Index.entries idx);
+  Alcotest.(check int) "two live ids" 2 (Index.live idx);
+  let s = Index.session idx in
+  let t = Xml.parse "<r><a><b/></a></r>" in
+  Tree.seal t;
+  Alcotest.(check (list int)) "fan-out fires both ids" [ 1; 2 ]
+    (Index.match_tree s t);
+  Alcotest.(check bool) "unregister live id" true (Index.unregister idx ~id:1);
+  Alcotest.(check bool) "unregister dead id is idempotent" false
+    (Index.unregister idx ~id:1);
+  Alcotest.(check int) "entry survives while an id remains" 1 (Index.entries idx);
+  Alcotest.(check (list int)) "remaining id still fires" [ 2 ]
+    (Index.match_tree s t);
+  Alcotest.(check bool) "last id out" true (Index.unregister idx ~id:2);
+  Alcotest.(check int) "entry dropped" 0 (Index.entries idx);
+  Alcotest.(check (list int)) "nothing fires" [] (Index.match_tree s t);
+  Alcotest.check_raises "duplicate live id rejected"
+    (Invalid_argument "Subscribe.Index.register: duplicate id 5")
+    (fun () ->
+      ignore (Index.register idx ~id:5 (xq "//a"));
+      ignore (Index.register idx ~id:5 (xq "//b")))
+
+let test_index_classes () =
+  let idx = Index.create () in
+  Alcotest.(check bool) "spine" true
+    (Index.register idx ~id:0 (xq "//a/b") = Index.Spine);
+  Alcotest.(check bool) "twig" true
+    (Index.register idx ~id:1 (xq "//a[child::b]") = Index.Twig);
+  Alcotest.(check bool) "general (reverse axis)" true
+    (Index.register idx ~id:2 (xq "//a/parent::b") = Index.General);
+  Alcotest.(check bool) "auto" true
+    (Index.register_automaton idx ~id:3
+       (Automata.Automaton.exists_label "c")
+     = Index.Auto);
+  let counts = Index.class_counts idx in
+  List.iter
+    (fun cls -> Alcotest.(check int) cls 1 (List.assoc cls counts))
+    [ "spine"; "twig"; "general"; "auto" ];
+  let s = Index.session idx in
+  let t = Xml.parse "<r><a><b/><c/></a></r>" in
+  Tree.seal t;
+  (* //a/b matches, //a[child::b] anchored at root matches, parent
+     query empty, automaton sees the c leaf *)
+  Alcotest.(check (list int)) "all classes fire in one pass" [ 0; 1; 3 ]
+    (Index.match_tree s t)
+
+let test_session_refresh_on_churn () =
+  let idx = Index.create () in
+  let s = Index.session idx in
+  let t = Xml.parse "<r><a><b/></a></r>" in
+  Tree.seal t;
+  Alcotest.(check (list int)) "empty index" [] (Index.match_tree s t);
+  ignore (Index.register idx ~id:7 (xq "//b"));
+  Alcotest.(check (list int)) "sees registration" [ 7 ] (Index.match_tree s t);
+  ignore (Index.register idx ~id:8 (xq "//a[child::b]"));
+  ignore (Index.unregister idx ~id:7);
+  Alcotest.(check (list int)) "sees churn" [ 8 ] (Index.match_tree s t)
+
+(* fired sets must agree with one-at-a-time evaluation on generated
+   documents as the population churns — the oracle in miniature, but
+   through Workload-shaped queries and a reused session *)
+let prop_index_equals_one_at_a_time =
+  qtest ~count:60 "index = one-at-a-time over churning workload shapes"
+    QCheck2.Gen.(
+      let* seed = int_range 0 20_000 in
+      let* nshapes = int_range 1 12 in
+      let* tseed = int_range 0 20_000 in
+      return (seed, nshapes, tseed))
+    (fun (seed, nshapes, tseed) ->
+      let shapes =
+        Serve.Workload.shapes ~rng:(Random.State.make [| seed |]) ~count:nshapes
+      in
+      let idx = Index.create () in
+      Array.iteri
+        (fun i (sh : Serve.Workload.shape) ->
+          ignore (Index.register idx ~id:i sh.query))
+        shapes;
+      let s = Index.session idx in
+      let check_tree t =
+        Tree.seal t;
+        let fired = Index.match_tree s t in
+        let want =
+          Array.to_list shapes
+          |> List.mapi (fun i (sh : Serve.Workload.shape) ->
+                 if E.eval_boolean sh.query t then [ i ] else [])
+          |> List.concat
+        in
+        fired = want
+      in
+      let t1 = random_tree ~seed:tseed ~n:30 () in
+      let t2 = Generator.xmark ~seed:tseed ~scale:1 () in
+      check_tree t1 && check_tree t2)
+
+(* ------------------------------------------------------------------ *)
+(* the acceptance bar: standing-match oracle over 1k cases *)
+
+let test_oracle_1k () =
+  let oracle =
+    List.find
+      (fun (o : Check.Oracles.t) -> o.name = "standing-match")
+      Check.Oracles.all
+  in
+  let stats =
+    Check.Runner.run
+      { Check.Runner.default with cases = 1_000; oracles = [ oracle ] }
+  in
+  Alcotest.(check int) "no discrepancies" 0
+    (Check.Runner.discrepancy_count stats);
+  List.iter
+    (fun (_, passes, _, fails) ->
+      Alcotest.(check int) "no fails" 0 fails;
+      Alcotest.(check bool) "mostly applicable" true (passes >= 900))
+    stats.Check.Runner.per_oracle
+
+let suite =
+  [
+    prop_trie_equals_matchers;
+    Alcotest.test_case "trie prefix sharing" `Quick test_trie_prefix_sharing;
+    Alcotest.test_case "pooled pass survives trie growth" `Quick
+      test_trie_pass_reuse_across_growth;
+    Alcotest.test_case "dedup fan-out and unregister" `Quick
+      test_index_dedup_fanout;
+    Alcotest.test_case "class routing, one pass fires all" `Quick
+      test_index_classes;
+    Alcotest.test_case "session refresh on churn" `Quick
+      test_session_refresh_on_churn;
+    prop_index_equals_one_at_a_time;
+    Alcotest.test_case "standing-match oracle x1000" `Slow test_oracle_1k;
+  ]
