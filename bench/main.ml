@@ -30,6 +30,7 @@ let experiments =
     ("serving-parallel", Exp_serving.parallel);
     ("serving-auto", Exp_serving.auto_vs_fixed);
     ("subscribe", fun () -> ignore (Exp_subscribe.run ()));
+    ("serving-ops", Exp_serving.ops_plane);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -174,6 +175,7 @@ let () =
   let pr7_file, args = extract_opt "--pr7-json" args in
   let pr8_file, args = extract_opt "--pr8-json" args in
   let pr9_file, args = extract_opt "--pr9-json" args in
+  let pr10_file, args = extract_opt "--pr10-json" args in
   Obs.set_clock Unix.gettimeofday;
   (match baseline_file with Some f -> Baseline.run_baseline f | None -> ());
   (match check_file with Some f -> Baseline.check f | None -> ());
@@ -197,9 +199,15 @@ let () =
     Obs.with_enabled true (fun () -> Exp_subscribe.write_pr9_json f);
     if List.exists (fun (_, ok) -> not ok) !Bench_util.checks then exit 1
   | None -> ());
+  (match pr10_file with
+  | Some f ->
+    Obs.with_enabled true (fun () -> Exp_serving.write_pr10_json f);
+    if List.exists (fun (_, ok) -> not ok) !Bench_util.checks then exit 1
+  | None -> ());
   if
     baseline_file <> None || check_file <> None || serving_file <> None
     || pr7_file <> None || pr8_file <> None || pr9_file <> None
+    || pr10_file <> None
   then exit 0;
   let selected = if args = [] then List.map fst experiments else args in
   Obs.set_enabled true;

@@ -156,6 +156,38 @@ let handle_errors f =
   | Mdatalog.Parser.Syntax_error m -> `Error (false, "datalog: " ^ m)
 
 (* ------------------------------------------------------------------ *)
+(* --ops-listen: the live ops plane.  A publisher holds the latest
+   immutable observability snapshot (published by the admitting domain
+   with a single atomic swap); the HTTP listener serves /metrics,
+   /healthz, /readyz, /statusz, /tracez and /flightz from a dedicated
+   domain without ever touching serving-path state. *)
+
+let all_strategy_names =
+  String.concat ","
+    (List.map Engine.strategy_name
+       [
+         Engine.Xpath_bottom_up; Engine.Cq_yannakakis;
+         Engine.Cq_arc_consistency; Engine.Cq_rewrite;
+         Engine.Datalog_hornsat; Engine.Positive_rewrite;
+         Engine.Datalog_fixpoint; Engine.Xpath_fo2;
+       ])
+
+let ops_publisher () =
+  Opsplane.Snapshot.create ~version:"1.0.0" ~strategies:all_strategy_names ()
+
+let start_ops_listener ~publisher port =
+  let router = Opsplane.Router.make publisher in
+  let l =
+    Opsplane.Listener.start ~port ~handler:(Opsplane.Router.handle router) ()
+  in
+  Printf.printf
+    "ops:         listening on http://127.0.0.1:%d (/metrics /healthz /readyz \
+     /statusz /tracez /flightz)\n\
+     %!"
+    (Opsplane.Listener.port l);
+  l
+
+(* ------------------------------------------------------------------ *)
 
 let eval_cmd =
   let run xpath cq datalog positive axis_datalog xml_file xml random xmark show_labels common =
@@ -280,7 +312,7 @@ let serve_cmd =
   let run xml_file xml random xmark requests concurrency shapes cache_size ttl
       deadline_ms batch stream_prefilter workload domains wall_clock strategy
       optimizer_out metrics_out metrics_every telemetry_out residual_threshold
-      flight_out dump_flight inject_overbudget common =
+      flight_out dump_flight inject_overbudget ops_listen common =
     handle_errors @@ fun () ->
     let kind =
       match Serve.Workload.kind_of_string workload with
@@ -288,8 +320,8 @@ let serve_cmd =
       | Error m -> failwith m
     in
     if domains < 1 then failwith "--domains must be >= 1";
-    if metrics_every <> None && metrics_out = None then
-      failwith "--metrics-every requires --metrics-out";
+    if metrics_every <> None && metrics_out = None && ops_listen = None then
+      failwith "--metrics-every requires --metrics-out or --ops-listen";
     (* --strategy: "default" (the planner's static pick), "auto" (the
        adaptive optimizer) or a fixed strategy name to pin *)
     let strategy_mode =
@@ -313,6 +345,7 @@ let serve_cmd =
     let telemetry_on =
       telemetry_out <> None || flight_out <> None || dump_flight
       || inject_overbudget || metrics_every <> None || common.stats_json <> None
+      || ops_listen <> None
       (* auto-routing reads the cost store's latency EWMAs, so the
          adaptive optimizer always rides with telemetry *)
       || strategy_mode = `Auto
@@ -331,16 +364,80 @@ let serve_cmd =
       | `Default | `Fixed _ -> None
     in
     let snapshots = ref 0 in
-    let metrics_extra () =
-      match store with
-      | Some s -> Telemetry.Cost_store.openmetrics s
+    (* one publisher feeds every exposition: the --metrics-out file and
+       the HTTP /metrics endpoint render the identical snapshot *)
+    let publisher =
+      if ops_listen <> None || metrics_out <> None then Some (ops_publisher ())
+      else None
+    in
+    let live_cache : Serve.Plan_cache.t option ref = ref None in
+    let live_gauges () =
+      let g = Obs.Openmetrics.gauge in
+      (match !live_cache with
+      | Some c ->
+        let st = Serve.Plan_cache.stats c in
+        [
+          g ~help:"Plans currently cached." "serve_plan_cache_size"
+            (float_of_int st.Serve.Plan_cache.size);
+          g ~help:"Plan-cache capacity." "serve_plan_cache_capacity"
+            (float_of_int st.Serve.Plan_cache.capacity);
+        ]
+      | None -> [])
+      @ (match optimizer with
+        | Some o ->
+          let os = Optimizer.stats o in
+          [
+            g ~help:"Query shapes tracked by the adaptive optimizer."
+              "serve_optimizer_entries" (float_of_int os.Optimizer.entries);
+            g ~help:"Query shapes whose strategy choice has converged."
+              "serve_optimizer_converged" (float_of_int os.Optimizer.converged);
+          ]
+        | None -> [])
+      @ [ g ~help:"Serving domains (work-stealing pool size)." "serve_domains"
+            (float_of_int domains) ]
+    in
+    let live_status () =
+      [
+        ("domains", string_of_int domains);
+        ("workload", workload);
+        ("strategy", strategy);
+      ]
+      @ (match !live_cache with
+        | Some c ->
+          let st = Serve.Plan_cache.stats c in
+          let looked = st.Serve.Plan_cache.hits + st.Serve.Plan_cache.misses in
+          [
+            ( "cache",
+              Printf.sprintf "%d/%d entries, %.1f%% hit rate"
+                st.Serve.Plan_cache.size st.Serve.Plan_cache.capacity
+                (100.0 *. float_of_int st.Serve.Plan_cache.hits
+                /. float_of_int (max 1 looked)) );
+          ]
+        | None -> [])
+      @
+      match optimizer with
+      | Some o ->
+        let os = Optimizer.stats o in
+        [
+          ( "optimizer",
+            Printf.sprintf "%d shapes, %d converged" os.Optimizer.entries
+              os.Optimizer.converged );
+        ]
       | None -> []
     in
+    let publish ?report () =
+      match publisher with
+      | None -> None
+      | Some p ->
+        Some
+          (Opsplane.Snapshot.publish ?report ?telemetry:store ?recorder
+             ~gauges:(live_gauges ()) ~status:(live_status ()) p)
+    in
     let write_metrics report =
-      match metrics_out with
-      | None -> ()
-      | Some path ->
-        Obs.Json.write_raw path (Obs.Openmetrics.render ~extra:(metrics_extra ()) report)
+      match (publish ~report (), publisher, metrics_out) with
+      | Some snap, Some p, Some path ->
+        Obs.Json.write_raw path (Opsplane.Snapshot.to_openmetrics p snap)
+      | _ -> ()
     in
     let augment j =
       let j =
@@ -354,6 +451,23 @@ let serve_cmd =
         Obs.Json.Obj (kvs @ [ ("optimizer", Optimizer.to_json o) ])
       | _ -> j
     in
+    (* ops scrapes want fresh snapshots even without --metrics-every:
+       default a 1s publication cadence when only --ops-listen is given *)
+    let tick_every =
+      match metrics_every with
+      | Some e -> Some e
+      | None -> if ops_listen <> None then Some 1.0 else None
+    in
+    let listener =
+      match (ops_listen, publisher) with
+      | Some port, Some p ->
+        (* publish seq 1 before any request so /readyz flips and early
+           scrapes see the build identity over an empty report *)
+        ignore (publish ());
+        Some (start_ops_listener ~publisher:p port)
+      | _ -> None
+    in
+    let run_and_report () =
     let doc, stats =
       observe
         ~extra:(metrics_out <> None || telemetry_on)
@@ -382,6 +496,7 @@ let serve_cmd =
               Some (Serve.Plan_cache.create ~capacity:cache_size ?ttl ())
             else None
           in
+          live_cache := cache;
           let pool =
             if domains > 1 then Some (Serve.Pool.create ~domains ()) else None
           in
@@ -396,13 +511,13 @@ let serve_cmd =
               ?force_strategy:
                 (match strategy_mode with `Fixed s -> Some s | _ -> None)
               ~inject_overbudget
-              ?tick_every:metrics_every
+              ?tick_every
               ?on_tick:
                 (Option.map
                    (fun _ _i _vt ->
                      incr snapshots;
                      write_metrics (Obs.Report.capture ()))
-                   metrics_every)
+                   tick_every)
               ?pool ~wall_clock
               ?sleep:(if wall_clock then Some Unix.sleepf else None)
               ()
@@ -501,6 +616,11 @@ let serve_cmd =
     if stats.Serve.Server.errors > 0 then
       `Error (false, Printf.sprintf "%d requests failed" stats.Serve.Server.errors)
     else `Ok ()
+    in
+    (match listener with
+    | None -> run_and_report ()
+    | Some l ->
+      Fun.protect ~finally:(fun () -> Opsplane.Listener.stop l) run_and_report)
   in
   let requests_arg =
     Arg.(value & opt int 1000 & info [ "requests" ] ~docv:"N" ~doc:"Number of requests to serve.")
@@ -562,6 +682,9 @@ let serve_cmd =
   let inject_overbudget_arg =
     Arg.(value & flag & info [ "inject-overbudget" ] ~doc:"Fault injection: burn un-priced counter work inside every served request so its observed cost exceeds the admission bound; the run must then trip the residual gate (used by the telemetry smoke tests).")
   in
+  let ops_listen_arg =
+    Arg.(value & opt (some int) None & info [ "ops-listen" ] ~docv:"PORT" ~doc:"Serve the live ops plane on http://127.0.0.1:$(docv) for the duration of the run: /metrics (OpenMetrics), /healthz, /readyz, /statusz, /tracez and /flightz, fed by lock-free snapshots published on the --metrics-every cadence (default 1s). 0 binds an ephemeral port (printed at startup).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve a query workload against one document through the plan cache and batch executor")
@@ -573,7 +696,8 @@ let serve_cmd =
        $ workload_arg $ domains_arg $ wall_clock_arg $ strategy_arg
        $ optimizer_out_arg $ metrics_out_arg $ metrics_every_arg
        $ telemetry_out_arg $ residual_threshold_arg $ flight_out_arg
-       $ dump_flight_arg $ inject_overbudget_arg $ common_term))
+       $ dump_flight_arg $ inject_overbudget_arg $ ops_listen_arg
+       $ common_term))
 
 (* ------------------------------------------------------------------ *)
 (* subscribe: the serving model inverted — a churning population of
@@ -581,7 +705,8 @@ let serve_cmd =
    pass per document through the shared Subscribe.Index *)
 
 let subscribe_cmd =
-  let run registrations docs churn scale domains one_at_a_time common =
+  let run registrations docs churn scale domains one_at_a_time ops_listen
+      common =
     handle_errors @@ fun () ->
     if registrations < 1 then failwith "--registrations must be >= 1";
     if docs < 1 then failwith "--docs must be >= 1";
@@ -597,8 +722,46 @@ let subscribe_cmd =
         Obs.Json.Obj (kvs @ [ ("subscribe", Serve.Ingest.summary_json s) ])
       | _ -> j
     in
+    let publisher = Option.map (fun _ -> ops_publisher ()) ops_listen in
+    (* publish from the ingest loop's on_chunk hook, rate-limited so a
+       small-document run doesn't spend its time freezing reports *)
+    let last_pub = ref neg_infinity in
+    let publish ?(force = false) ~docs_done ~fired () =
+      match publisher with
+      | None -> ()
+      | Some p ->
+        let now = Unix.gettimeofday () in
+        if force || now -. !last_pub >= 0.25 then begin
+          last_pub := now;
+          ignore
+            (Opsplane.Snapshot.publish
+               ~gauges:
+                 [
+                   Obs.Openmetrics.gauge ~help:"Documents matched so far."
+                     "subscribe_docs_matched" (float_of_int docs_done);
+                   Obs.Openmetrics.gauge
+                     ~help:"Subscription firings so far." "subscribe_fired"
+                     (float_of_int fired);
+                 ]
+               ~status:
+                 [
+                   ("domains", string_of_int domains);
+                   ("registrations", string_of_int registrations);
+                   ("docs", Printf.sprintf "%d/%d matched" docs_done docs);
+                   ("fired", string_of_int fired);
+                 ]
+               p)
+        end
+    in
+    let listener =
+      match (ops_listen, publisher) with
+      | Some port, Some p ->
+        publish ~force:true ~docs_done:0 ~fired:0 ();
+        Some (start_ops_listener ~publisher:p port)
+      | _ -> None
+    in
     let s =
-      observe ~augment common (fun () ->
+      observe ~extra:(ops_listen <> None) ~augment common (fun () ->
           Fun.protect
             ~finally:(fun () -> Option.iter Serve.Pool.shutdown pool)
             (fun () ->
@@ -612,11 +775,19 @@ let subscribe_cmd =
                     scale;
                     pool;
                     one_at_a_time;
+                    on_chunk =
+                      (match publisher with
+                      | Some _ ->
+                        Some (fun d f -> publish ~docs_done:d ~fired:f ())
+                      | None -> None);
                   }
               in
               summary := Some s;
               s))
     in
+    publish ~force:true ~docs_done:s.Serve.Ingest.docs_matched
+      ~fired:s.Serve.Ingest.fired_total ();
+    Option.iter Opsplane.Listener.stop listener;
     let open Serve.Ingest in
     Printf.printf "registrations: %d events (%d register, %d unregister, %d live)\n"
       s.events s.registered s.unregistered s.live;
@@ -656,13 +827,16 @@ let subscribe_cmd =
   let one_at_a_time_arg =
     Arg.(value & flag & info [ "one-at-a-time" ] ~doc:"Differential twin: evaluate every live registration's compiled plan against each document instead of the shared index (same fired counts, per-document cost proportional to registrations).")
   in
+  let ops_listen_arg =
+    Arg.(value & opt (some int) None & info [ "ops-listen" ] ~docv:"PORT" ~doc:"Serve the live ops plane on http://127.0.0.1:$(docv) for the duration of the run (snapshots published per matched document chunk). 0 binds an ephemeral port.")
+  in
   Cmd.v
     (Cmd.info "subscribe"
        ~doc:"Stream generated documents past a churning population of registered standing queries (pub/sub matching through the shared subscription index)")
     Term.(
       ret
         (const run $ registrations_arg $ docs_arg $ churn_arg $ scale_arg
-       $ domains_arg $ one_at_a_time_arg $ common_term))
+       $ domains_arg $ one_at_a_time_arg $ ops_listen_arg $ common_term))
 
 let check_cmd =
   let run cases from max_nodes oracle_names list_oracles inject failures_out common =

@@ -980,6 +980,279 @@ let sketch_quantile =
         | _ -> wrong_query "sketch-quantile" c);
   }
 
+(* ------------------------------------------------------------------ *)
+(* Ops-plane scrape fidelity                                            *)
+
+(* The /metrics exposition must be a faithful, parseable projection of
+   the report it snapshots: every counter appears as an exact _total
+   sample, every histogram's _count matches, labelled telemetry-style
+   summaries survive with their (escape-heavy) label values intact, and
+   the whole body is line-parseable ending in # EOF.  This is the law
+   that makes a live scrape ≡ the run's final --stats-json accounting. *)
+let ops_scrape =
+  let unescape v =
+    let buf = Buffer.create (String.length v) in
+    let n = String.length v in
+    let rec go i =
+      if i < n then
+        if v.[i] = '\\' && i + 1 < n then begin
+          (match v.[i + 1] with
+          | 'n' -> Buffer.add_char buf '\n'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '"' -> Buffer.add_char buf '"'
+          | c ->
+            Buffer.add_char buf '\\';
+            Buffer.add_char buf c);
+          go (i + 2)
+        end
+        else begin
+          Buffer.add_char buf v.[i];
+          go (i + 1)
+        end
+    in
+    go 0;
+    Buffer.contents buf
+  in
+  (* one exposition sample: name, labels (unescaped), value text *)
+  let parse_sample line =
+    match String.index_opt line ' ' with
+    | None -> Error "sample without value"
+    | Some _ -> (
+      let name_end =
+        match String.index_opt line '{' with
+        | Some i -> i
+        | None -> String.index line ' '
+      in
+      let name = String.sub line 0 name_end in
+      let rest = String.sub line name_end (String.length line - name_end) in
+      if rest = "" || rest.[0] <> '{' then
+        match String.split_on_char ' ' (String.trim rest) with
+        | [ v ] -> Ok (name, [], v)
+        | _ -> Error ("malformed unlabelled sample: " ^ line)
+      else begin
+        (* scan k="v" pairs with escape awareness *)
+        let n = String.length rest in
+        let labels = ref [] in
+        let i = ref 1 in
+        let ok = ref true in
+        let err = ref "" in
+        let fail m =
+          ok := false;
+          err := m;
+          i := n
+        in
+        while !ok && !i < n && rest.[!i] <> '}' do
+          match String.index_from_opt rest !i '=' with
+          | None -> fail "label without ="
+          | Some eq ->
+            if eq + 1 >= n || rest.[eq + 1] <> '"' then fail "unquoted label"
+            else begin
+              let k = String.sub rest !i (eq - !i) in
+              let buf = Buffer.create 16 in
+              let j = ref (eq + 2) in
+              let closed = ref false in
+              while (not !closed) && !j < n do
+                if rest.[!j] = '\\' && !j + 1 < n then begin
+                  Buffer.add_char buf rest.[!j];
+                  Buffer.add_char buf rest.[!j + 1];
+                  j := !j + 2
+                end
+                else if rest.[!j] = '"' then closed := true
+                else begin
+                  Buffer.add_char buf rest.[!j];
+                  incr j
+                end
+              done;
+              if not !closed then fail "unterminated label value"
+              else begin
+                labels := (k, unescape (Buffer.contents buf)) :: !labels;
+                i := !j + 1;
+                if !i < n && rest.[!i] = ',' then incr i
+              end
+            end
+        done;
+        if not !ok then Error (!err ^ ": " ^ line)
+        else if !i >= n || rest.[!i] <> '}' then
+          Error ("unterminated label set: " ^ line)
+        else
+          match String.split_on_char ' ' (String.trim (String.sub rest (!i + 1) (n - !i - 1))) with
+          | [ v ] -> Ok (name, List.rev !labels, v)
+          | _ -> Error ("malformed labelled sample: " ^ line)
+      end)
+  in
+  {
+    name = "ops-scrape";
+    theorem =
+      "ops plane: the OpenMetrics exposition is a faithful, parseable \
+       projection of the snapshot report (scraped counters = stats-json \
+       counters, labelled summaries survive escaping)";
+    cap_nodes = 4;
+    gen = Gen.obs_report;
+    run =
+      (fun c ->
+        match c.Case.query with
+        | Case.Obs_report r ->
+          (* adversarial labelled summaries derived deterministically
+             from the report: span names carry every escape class *)
+          let span_name i =
+            match List.nth_opt r.Obs.Report.spans i with
+            | Some s -> s.Obs.Report.name
+            | None -> Printf.sprintf "fp\"\\\n%d" i
+          in
+          let summaries =
+            List.mapi
+              (fun i (_, (h : Obs.histogram_summary)) ->
+                {
+                  Obs.Openmetrics.metric = "fp_latency";
+                  (* distinct report spans can share a name; suffix the
+                     index so each derived series stays unique *)
+                  labels =
+                    [ ("fingerprint", Printf.sprintf "%s#%d" (span_name i) i) ];
+                  quantiles = [ ("0.5", h.Obs.p50); ("0.99", h.Obs.p99) ];
+                  sum = h.Obs.mean *. float_of_int h.Obs.count;
+                  count = h.Obs.count;
+                })
+              r.Obs.Report.histograms
+          in
+          let publisher =
+            Opsplane.Snapshot.create ~version:"check" ~strategies:"s\"1,s\\2"
+              ~start_time:12345.0 ()
+          in
+          let snap =
+            Opsplane.Snapshot.publish ~report:r ~summaries
+              ~gauges:
+                [
+                  Obs.Openmetrics.gauge
+                    ~labels:[ ("mode", span_name 0) ]
+                    "ops_scrape_case" 1.0;
+                ]
+              ~at:12346.0 publisher
+          in
+          let body = Opsplane.Snapshot.to_openmetrics publisher snap in
+          let lines = String.split_on_char '\n' body in
+          (* structure: parseable lines, # EOF terminal *)
+          let rec structure acc = function
+            | [] | [ "" ] -> (
+              match acc with
+              | "# EOF" :: _ -> Ok ()
+              | l :: _ -> Error ("last line is not # EOF: " ^ l)
+              | [] -> Error "empty exposition")
+            | l :: rest -> structure (l :: acc) rest
+          in
+          let samples = ref [] in
+          let parse_all () =
+            List.fold_left
+              (fun acc l ->
+                match acc with
+                | Error _ -> acc
+                | Ok () ->
+                  if l = "" || (String.length l >= 1 && l.[0] = '#') then Ok ()
+                  else (
+                    match parse_sample l with
+                    | Ok s ->
+                      samples := s :: !samples;
+                      Ok ()
+                    | Error m -> Error m))
+              (Ok ()) lines
+          in
+          let find_sample name labels =
+            List.find_opt
+              (fun (n, ls, _) -> n = name && ls = labels)
+              !samples
+          in
+          let sanitize = Obs.Openmetrics.sanitize in
+          let check_counters () =
+            List.find_map
+              (fun (name, v) ->
+                let m = "treequery_" ^ sanitize name ^ "_total" in
+                match find_sample m [] with
+                | Some (_, _, txt) when txt = string_of_int v -> None
+                | Some (_, _, txt) ->
+                  Some
+                    (Printf.sprintf "counter %s scraped %s, report says %d" m
+                       txt v)
+                | None -> Some (Printf.sprintf "counter %s missing" m))
+              r.Obs.Report.counters
+          in
+          let check_histograms () =
+            List.find_map
+              (fun (name, (h : Obs.histogram_summary)) ->
+                let m = "treequery_" ^ sanitize name ^ "_seconds_count" in
+                match find_sample m [] with
+                | Some (_, _, txt) when txt = string_of_int h.Obs.count -> None
+                | Some (_, _, txt) ->
+                  Some
+                    (Printf.sprintf "histogram %s scraped %s, report says %d"
+                       m txt h.Obs.count)
+                | None -> Some (Printf.sprintf "histogram %s missing" m))
+              r.Obs.Report.histograms
+          in
+          let check_summaries () =
+            List.find_map
+              (fun (s : Obs.Openmetrics.summary) ->
+                let m = "treequery_fp_latency_seconds_count" in
+                match find_sample m s.Obs.Openmetrics.labels with
+                | Some (_, _, txt)
+                  when txt = string_of_int s.Obs.Openmetrics.count ->
+                  None
+                | Some (_, _, txt) ->
+                  Some
+                    (Printf.sprintf
+                       "summary %s{%s} scraped %s, expected %d" m
+                       (String.concat ","
+                          (List.map fst s.Obs.Openmetrics.labels))
+                       txt s.Obs.Openmetrics.count)
+                | None ->
+                  Some
+                    (Printf.sprintf
+                       "summary series lost its label value %S (parsed: %s)"
+                       (String.concat ","
+                          (List.map snd s.Obs.Openmetrics.labels))
+                       (String.concat "; "
+                          (List.filter_map
+                             (fun (n, ls, _) ->
+                               if n = m then
+                                 Some
+                                   (String.concat ","
+                                      (List.map
+                                         (fun (k, v) ->
+                                           Printf.sprintf "%s=%S" k v)
+                                         ls))
+                               else None)
+                             !samples))))
+              summaries
+          in
+          let check_build () =
+            match
+              ( find_sample "treequery_build_info"
+                  [ ("version", "check"); ("strategies", "s\"1,s\\2") ],
+                find_sample "treequery_process_start_time_seconds" [] )
+            with
+            | Some (_, _, "1"), Some (_, _, "12345") -> None
+            | Some (_, _, "1"), Some (_, _, t) ->
+              Some ("process_start_time_seconds scraped " ^ t)
+            | Some (_, _, v), _ -> Some ("build_info scraped value " ^ v)
+            | None, _ -> Some "build_info missing or labels mangled"
+          in
+          (match structure [] lines with
+          | Error m -> Fail m
+          | Ok () -> (
+            match parse_all () with
+            | Error m -> Fail ("unparseable exposition: " ^ m)
+            | Ok () -> (
+              match
+                List.find_map
+                  (fun f -> f ())
+                  [
+                    check_counters; check_histograms; check_summaries;
+                    check_build;
+                  ]
+              with
+              | Some m -> Fail m
+              | None -> Pass)))
+        | _ -> wrong_query "ops-scrape" c);
+  }
+
 let all =
   [
     xpath_spec;
@@ -1001,6 +1274,7 @@ let all =
     standing_match;
     obs_roundtrip;
     sketch_quantile;
+    ops_scrape;
   ]
 
 let find name = List.find_opt (fun o -> o.name = name) all

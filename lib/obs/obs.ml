@@ -1194,6 +1194,47 @@ module Openmetrics = struct
     String.concat ","
       (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" (sanitize k) (escape_label v)) labels)
 
+  (* # HELP text shares the label-value escapes minus the quote (help is
+     not quoted in the exposition format). *)
+  let escape_help v =
+    let buf = Buffer.create (String.length v) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      v;
+    Buffer.contents buf
+
+  let family buf m kind help =
+    Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" m (escape_help help));
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" m kind)
+
+  type gauge = {
+    gname : string;
+    ghelp : string;
+    glabels : (string * string) list;
+    gvalue : float;
+  }
+
+  let gauge ?(labels = []) ?help name v =
+    let help =
+      match help with Some h -> h | None -> Printf.sprintf "Gauge %s." name
+    in
+    { gname = name; ghelp = help; glabels = labels; gvalue = v }
+
+  let render_gauges buf gauges =
+    List.iter
+      (fun g ->
+        let m = "treequery_" ^ sanitize g.gname in
+        family buf m "gauge" g.ghelp;
+        let ls = render_labels g.glabels in
+        let braces = if ls = "" then "" else "{" ^ ls ^ "}" in
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %s\n" m braces (float_str g.gvalue)))
+      gauges
+
   (* labelled summaries (the telemetry layer's per-fingerprint sketches);
      one # TYPE line per metric name, then a series per label set *)
   let render_extra buf extras =
@@ -1203,7 +1244,8 @@ module Openmetrics = struct
         let m = "treequery_" ^ sanitize s.metric ^ "_seconds" in
         if not (Hashtbl.mem typed m) then begin
           Hashtbl.add typed m ();
-          Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" m)
+          family buf m "summary"
+            (Printf.sprintf "Per-series latency summary %s (seconds)." s.metric)
         end;
         let ls = render_labels s.labels in
         List.iter
@@ -1217,18 +1259,21 @@ module Openmetrics = struct
         Buffer.add_string buf (Printf.sprintf "%s_sum%s %s\n" m braces (float_str s.sum)))
       extras
 
-  let render ?(extra = []) (r : Report.t) =
+  let render ?(gauges = []) ?(extra = []) (r : Report.t) =
     let buf = Buffer.create 1024 in
+    render_gauges buf gauges;
     List.iter
       (fun (name, v) ->
         let m = "treequery_" ^ sanitize name in
-        Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" m);
+        family buf m "counter"
+          (Printf.sprintf "Cumulative count of %s events." name);
         Buffer.add_string buf (Printf.sprintf "%s_total %d\n" m v))
       r.Report.counters;
     List.iter
       (fun (name, (h : histogram_summary)) ->
         let m = "treequery_" ^ sanitize name ^ "_seconds" in
-        Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" m);
+        family buf m "summary"
+          (Printf.sprintf "Latency summary %s (seconds)." name);
         List.iter
           (fun (q, v) ->
             Buffer.add_string buf

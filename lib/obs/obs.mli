@@ -348,9 +348,34 @@ module Openmetrics : sig
       [treequery_<metric>_seconds{labels,quantile="q"} v] lines plus
       [_count]/[_sum]. *)
 
-  val render : ?extra:summary list -> Report.t -> string
-  (** [extra] (default none) appends labelled summaries after the
-      report's counters and histograms, before [# EOF]. *)
+  type gauge = {
+    gname : string;  (** unprefixed metric name, e.g. ["build_info"] *)
+    ghelp : string;  (** [# HELP] text (escaped on render) *)
+    glabels : (string * string) list;
+    gvalue : float;
+  }
+  (** A labelled gauge sample, rendered as
+      [treequery_<gname>{labels} v] with [# TYPE .. gauge]/[# HELP]
+      header lines. *)
+
+  val gauge :
+    ?labels:(string * string) list -> ?help:string -> string -> float -> gauge
+  (** [gauge name v] with optional labels and help text. *)
+
+  val escape_label : string -> string
+  (** Escape a label value per the exposition format: backslash, double
+      quote, and newline become two-character escape sequences. *)
+
+  val sanitize : string -> string
+  (** Map a name onto the metric-name alphabet
+      ([[a-zA-Z0-9_:]]; anything else becomes [_]). *)
+
+  val render : ?gauges:gauge list -> ?extra:summary list -> Report.t -> string
+  (** [gauges] (default none) prepends gauge samples before the
+      report's counters; [extra] (default none) appends labelled
+      summaries after the report's counters and histograms, before
+      [# EOF].  Every metric family carries [# HELP] and [# TYPE]
+      lines. *)
 end
 
 (** Declarative complexity attestation: bounds tie a witnessing counter

@@ -1,0 +1,184 @@
+(* Minimal HTTP/1.1: just enough for a scrape endpoint, with the
+   parsing kept pure (string in, result out) so the error paths are
+   property-testable without sockets. *)
+
+type request = {
+  meth : string;
+  path : string;
+  query : string;
+  headers : (string * string) list;
+}
+
+let header req name =
+  List.assoc_opt (String.lowercase_ascii name) req.headers
+
+type response = {
+  status : int;
+  content_type : string;
+  body : string;
+}
+
+let response ?(content_type = "text/plain; charset=utf-8") status body =
+  { status; content_type; body }
+
+let reason_phrase = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 431 -> "Request Header Fields Too Large"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Unknown"
+
+let serialize ?(head_only = false) r =
+  let head =
+    Printf.sprintf
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+       Connection: close\r\n\r\n"
+      r.status (reason_phrase r.status) r.content_type
+      (String.length r.body)
+  in
+  if head_only then head else head ^ r.body
+
+type limits = {
+  max_request_line : int;
+  max_header_count : int;
+  max_head_bytes : int;
+}
+
+let default_limits =
+  { max_request_line = 4096; max_header_count = 64; max_head_bytes = 16384 }
+
+type parse_result =
+  | Complete of request * int
+  | Incomplete
+  | Reject of int * string
+
+(* End of the request head: the first blank line.  We accept CRLF CRLF
+   and bare LF LF (and the mixed forms a hand-typed client produces). *)
+let find_head_end s =
+  let n = String.length s in
+  let rec go i =
+    if i >= n then None
+    else if s.[i] = '\n' then
+      let j = i + 1 in
+      if j < n && s.[j] = '\n' then Some (j + 1)
+      else if j + 1 < n && s.[j] = '\r' && s.[j + 1] = '\n' then Some (j + 2)
+      else go (i + 1)
+    else go (i + 1)
+  in
+  go 0
+
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let parse ?(limits = default_limits) buf =
+  match find_head_end buf with
+  | None ->
+    if String.length buf > limits.max_head_bytes then
+      Reject (431, "request head too large")
+    else Incomplete
+  | Some consumed ->
+    if consumed > limits.max_head_bytes then
+      Reject (431, "request head too large")
+    else begin
+      let head = String.sub buf 0 consumed in
+      let lines = String.split_on_char '\n' head in
+      let lines = List.filter_map
+          (fun l -> let l = strip_cr l in if l = "" then None else Some l)
+          lines
+      in
+      match lines with
+      | [] -> Reject (400, "empty request")
+      | request_line :: header_lines ->
+        if String.length request_line > limits.max_request_line then
+          Reject (431, "request line too long")
+        else if List.length header_lines > limits.max_header_count then
+          Reject (431, "too many headers")
+        else begin
+          match String.split_on_char ' ' request_line with
+          | [ meth; target; version ]
+            when meth <> "" && target <> ""
+                 && String.length version >= 5
+                 && String.sub version 0 5 = "HTTP/" ->
+            let path, query =
+              match String.index_opt target '?' with
+              | None -> (target, "")
+              | Some i ->
+                ( String.sub target 0 i,
+                  String.sub target (i + 1) (String.length target - i - 1) )
+            in
+            if String.length path = 0 || path.[0] <> '/' then
+              Reject (400, "bad request target")
+            else begin
+              let exception Bad of string in
+              match
+                List.map
+                  (fun line ->
+                    match String.index_opt line ':' with
+                    | None | Some 0 -> raise (Bad "malformed header")
+                    | Some i ->
+                      let name =
+                        String.lowercase_ascii (String.sub line 0 i)
+                      in
+                      let value =
+                        String.trim
+                          (String.sub line (i + 1)
+                             (String.length line - i - 1))
+                      in
+                      (name, value))
+                  header_lines
+              with
+              | headers ->
+                Complete
+                  ( { meth = String.uppercase_ascii meth;
+                      path;
+                      query;
+                      headers },
+                    consumed )
+              | exception Bad msg -> Reject (400, msg)
+            end
+          | _ -> Reject (400, "malformed request line")
+        end
+    end
+
+module type TRANSPORT = sig
+  type conn
+
+  val read : conn -> bytes -> int -> int -> int
+  val write : conn -> string -> unit
+end
+
+module Make (T : TRANSPORT) = struct
+  let serve_connection ?(limits = default_limits) ~handler conn =
+    let chunk = Bytes.create 4096 in
+    let buf = Buffer.create 512 in
+    let respond ?(head_only = false) r =
+      try T.write conn (serialize ~head_only r) with _ -> ()
+    in
+    let rec step () =
+      match parse ~limits (Buffer.contents buf) with
+      | Complete (req, _consumed) ->
+        let resp =
+          try handler req
+          with _ -> response 500 "internal error\n"
+        in
+        respond ~head_only:(req.meth = "HEAD") resp
+      | Reject (status, msg) -> respond (response status (msg ^ "\n"))
+      | Incomplete ->
+        let n = try T.read conn chunk 0 (Bytes.length chunk) with _ -> 0 in
+        if n <= 0 then begin
+          (* peer closed before completing a request head; answer 400
+             only if it sent something *)
+          if Buffer.length buf > 0 then
+            respond (response 400 "truncated request\n")
+        end
+        else begin
+          Buffer.add_subbytes buf chunk 0 n;
+          step ()
+        end
+    in
+    step ()
+end

@@ -1,0 +1,74 @@
+(** Minimal HTTP/1.1 for the ops plane: request parsing, response
+    serialisation, and a connection loop functorized over a read/write
+    transport so the whole path — including partial reads, malformed
+    request lines, and header limits — is unit-testable without
+    sockets.
+
+    Scope is deliberately tiny: one request per connection
+    ([Connection: close]), no request bodies, GET/HEAD only (other
+    methods reach the handler, which answers 405). *)
+
+type request = {
+  meth : string;  (** uppercase, e.g. ["GET"] *)
+  path : string;  (** request target without the query string *)
+  query : string;  (** raw query string ([""] when absent) *)
+  headers : (string * string) list;  (** names lowercased, values trimmed *)
+}
+
+val header : request -> string -> string option
+(** Case-insensitive header lookup. *)
+
+type response = {
+  status : int;
+  content_type : string;
+  body : string;
+}
+
+val response : ?content_type:string -> int -> string -> response
+(** [response status body]; [content_type] defaults to
+    ["text/plain; charset=utf-8"]. *)
+
+val reason_phrase : int -> string
+
+val serialize : ?head_only:bool -> response -> string
+(** Wire form with [Content-Length] and [Connection: close] headers;
+    [head_only] (for HEAD requests) drops the body but keeps its
+    [Content-Length]. *)
+
+type limits = {
+  max_request_line : int;  (** bytes; longer request lines answer 431 *)
+  max_header_count : int;
+  max_head_bytes : int;  (** total head size before the blank line *)
+}
+
+val default_limits : limits
+(** 4096-byte request line, 64 headers, 16 KiB head. *)
+
+type parse_result =
+  | Complete of request * int
+      (** parsed request and the number of bytes consumed *)
+  | Incomplete  (** head terminator not seen yet; read more *)
+  | Reject of int * string  (** status code and diagnostic *)
+
+val parse : ?limits:limits -> string -> parse_result
+(** Parse one request head from the start of the accumulated buffer.
+    Tolerates both CRLF and bare-LF line endings.  Never raises. *)
+
+module type TRANSPORT = sig
+  type conn
+
+  val read : conn -> bytes -> int -> int -> int
+  (** [read c buf off len] returns the number of bytes read; [<= 0]
+      means end-of-stream. *)
+
+  val write : conn -> string -> unit
+end
+
+module Make (T : TRANSPORT) : sig
+  val serve_connection :
+    ?limits:limits -> handler:(request -> response) -> T.conn -> unit
+  (** Read one request (accumulating across partial reads), invoke
+      [handler], and write the response.  Parse rejections write the
+      matching error response; handler exceptions write a 500.  Never
+      raises on malformed input. *)
+end

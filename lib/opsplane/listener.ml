@@ -1,0 +1,117 @@
+(* Accept loop on a dedicated domain.  Stopping closes the listening
+   socket, which makes the blocked accept fail; the loop also checks an
+   atomic flag so a racing accept exits cleanly. *)
+
+module Fd_transport = struct
+  type conn = Unix.file_descr
+
+  let read fd buf off len = try Unix.read fd buf off len with _ -> 0
+
+  let write fd s =
+    let b = Bytes.of_string s in
+    let n = Bytes.length b in
+    let rec go off =
+      if off < n then
+        let w = Unix.write fd b off (n - off) in
+        if w > 0 then go (off + w)
+    in
+    go 0
+end
+
+module Conn = Http.Make (Fd_transport)
+
+type t = {
+  sock : Unix.file_descr;
+  bound_port : int;
+  stopping : bool Atomic.t;
+  accepted : int Atomic.t;
+  domain : unit Domain.t;
+}
+
+let start ?(host = "127.0.0.1") ?(port = 0) ?limits ~handler () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  (try
+     Unix.setsockopt sock Unix.SO_REUSEADDR true;
+     Unix.bind sock addr;
+     Unix.listen sock 16
+   with e ->
+     Unix.close sock;
+     raise e);
+  let bound_port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let stopping = Atomic.make false in
+  let accepted = Atomic.make 0 in
+  let domain =
+    Domain.spawn (fun () ->
+        let rec loop () =
+          match Unix.accept sock with
+          | exception _ -> if not (Atomic.get stopping) then loop ()
+          | conn, _peer ->
+            Atomic.incr accepted;
+            (* bound a stalled client: the loop is single-threaded *)
+            (try Unix.setsockopt_float conn Unix.SO_RCVTIMEO 5.0
+             with _ -> ());
+            (try Conn.serve_connection ?limits ~handler conn with _ -> ());
+            (try Unix.close conn with _ -> ());
+            if not (Atomic.get stopping) then loop ()
+        in
+        loop ())
+  in
+  { sock; bound_port; stopping; accepted; domain }
+
+let port t = t.bound_port
+
+let connections t = Atomic.get t.accepted
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (try Unix.shutdown t.sock Unix.SHUTDOWN_ALL with _ -> ());
+    (try Unix.close t.sock with _ -> ());
+    Domain.join t.domain
+  end
+
+(* Minimal blocking client for tests and the bench scraper. *)
+let get ?(host = "127.0.0.1") ~port path =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with _ -> ())
+    (fun () ->
+      Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+      Fd_transport.write sock
+        (Printf.sprintf
+           "GET %s HTTP/1.1\r\nHost: %s\r\nAccept: \
+            application/openmetrics-text\r\n\r\n"
+           path host);
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        let n = Fd_transport.read sock chunk 0 (Bytes.length chunk) in
+        if n > 0 then begin
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+        end
+      in
+      drain ();
+      let raw = Buffer.contents buf in
+      let status =
+        match String.split_on_char ' ' raw with
+        | _ :: code :: _ -> ( try int_of_string code with _ -> 0)
+        | _ -> 0
+      in
+      let body =
+        (* head/body split: first blank line *)
+        let rec find i =
+          if i + 3 < String.length raw then
+            if String.sub raw i 4 = "\r\n\r\n" then Some (i + 4)
+            else find (i + 1)
+          else None
+        in
+        match find 0 with
+        | Some i -> String.sub raw i (String.length raw - i)
+        | None -> ""
+      in
+      (status, body))

@@ -1,0 +1,37 @@
+(** TCP front-end for the ops plane: a loopback listener running its
+    accept loop on a dedicated domain, serving one request per
+    connection through {!Http.Make} over Unix file descriptors.
+
+    Connections are handled sequentially on the listener domain — ops
+    traffic is a scraper every few seconds, and keeping it
+    single-threaded means a scrape can never contend with serving for
+    anything but the snapshot atomic.  A per-connection receive timeout
+    bounds how long a stalled client can hold the loop. *)
+
+type t
+
+val start :
+  ?host:string ->
+  ?port:int ->
+  ?limits:Http.limits ->
+  handler:(Http.request -> Http.response) ->
+  unit ->
+  t
+(** Bind [host] (default ["127.0.0.1"]) on [port] (default [0] =
+    ephemeral), start the accept domain, return the running listener.
+    @raise Unix.Unix_error when the bind fails (e.g. port in use). *)
+
+val port : t -> int
+(** The bound port (useful with [port:0]). *)
+
+val connections : t -> int
+(** Connections accepted so far. *)
+
+val stop : t -> unit
+(** Close the listening socket and join the accept domain.
+    Idempotent. *)
+
+val get : ?host:string -> port:int -> string -> int * string
+(** Minimal test/bench client: open a connection, send
+    [GET <path> HTTP/1.1], return (status, body).  Blocks until the
+    server closes the connection. *)

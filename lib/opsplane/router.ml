@@ -1,0 +1,66 @@
+type state = {
+  publisher : Snapshot.publisher;
+  extra_status : unit -> (string * string) list;
+}
+
+let make ?(extra_status = fun () -> []) publisher =
+  { publisher; extra_status }
+
+let openmetrics_content_type =
+  "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+let text_metrics_content_type = "text/plain; version=0.0.4; charset=utf-8"
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let with_snapshot st f =
+  match Snapshot.latest st.publisher with
+  | Some snap -> f snap
+  | None -> Http.response 503 "no snapshot published yet\n"
+
+let handle st (req : Http.request) =
+  if req.meth <> "GET" && req.meth <> "HEAD" then
+    Http.response 405 "method not allowed\n"
+  else
+    match req.path with
+    | "/healthz" -> Http.response 200 "ok\n"
+    | "/readyz" ->
+      if Snapshot.seq st.publisher > 0 then Http.response 200 "ready\n"
+      else Http.response 503 "starting\n"
+    | "/metrics" ->
+      with_snapshot st (fun snap ->
+          let accept =
+            Option.value ~default:"" (Http.header req "accept")
+          in
+          let content_type =
+            if contains_substring accept "application/openmetrics-text" then
+              openmetrics_content_type
+            else text_metrics_content_type
+          in
+          Http.response ~content_type 200
+            (Snapshot.to_openmetrics st.publisher snap))
+    | "/statusz" ->
+      with_snapshot st (fun snap ->
+          let body =
+            Snapshot.to_statusz st.publisher snap
+            ^ String.concat ""
+                (List.map
+                   (fun (k, v) -> Printf.sprintf "%-28s %s\n" k v)
+                   (st.extra_status ()))
+          in
+          Http.response 200 body)
+    | "/tracez" ->
+      with_snapshot st (fun snap ->
+          Http.response ~content_type:"application/json" 200
+            (Obs.Json.to_string (Snapshot.tracez snap)))
+    | "/flightz" ->
+      with_snapshot st (fun snap ->
+          match snap.Snapshot.flight with
+          | Some j ->
+            Http.response ~content_type:"application/json" 200
+              (Obs.Json.to_string j)
+          | None -> Http.response 404 "flight recorder not enabled\n")
+    | _ -> Http.response 404 "not found\n"

@@ -1,0 +1,28 @@
+(** Ops-plane request routing over the latest published snapshot.
+
+    Endpoints:
+    - [GET /metrics]  OpenMetrics exposition of the latest snapshot
+      (content-negotiated: [application/openmetrics-text] when the
+      [Accept] header asks for it, [text/plain] otherwise)
+    - [GET /healthz]  liveness ("ok" as soon as the process serves HTTP)
+    - [GET /readyz]   readiness (503 until the first snapshot publishes)
+    - [GET /statusz]  human-readable status (uptime, snapshot age,
+      driver status lines)
+    - [GET /tracez]   the snapshot's span forest as Chrome trace JSON
+    - [GET /flightz]  flight-recorder dump (404 when no recorder is
+      attached)
+
+    All handlers read the snapshot with a single [Atomic.get] and never
+    touch serving-path state. *)
+
+type state = {
+  publisher : Snapshot.publisher;
+  extra_status : unit -> (string * string) list;
+      (** appended live to /statusz (e.g. listener connection count) *)
+}
+
+val make : ?extra_status:(unit -> (string * string) list) ->
+  Snapshot.publisher -> state
+
+val handle : state -> Http.request -> Http.response
+(** Total: unknown paths answer 404, non-GET/HEAD methods 405. *)

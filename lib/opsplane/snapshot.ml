@@ -1,0 +1,87 @@
+(* Immutable observability snapshots published with a single Atomic.set.
+
+   The admitting domain is the only writer: it captures the merged Obs
+   state (shards are merged into the globals before `on_tick` fires, so
+   a capture here sees a consistent, monotone view), renders anything
+   backed by mutable state (the flight-recorder ring), and swaps the
+   atomic.  Readers (the HTTP listener domain) only ever Atomic.get and
+   walk immutable structure. *)
+
+type t = {
+  seq : int;
+  at : float;
+  report : Obs.Report.t;
+  summaries : Obs.Openmetrics.summary list;
+  gauges : Obs.Openmetrics.gauge list;
+  status : (string * string) list;
+  flight : Obs.Json.t option;
+}
+
+type publisher = {
+  cell : t option Atomic.t;
+  version : string;
+  strategies : string;
+  started : float;
+}
+
+let create ?(version = "dev") ?(strategies = "") ?start_time () =
+  let started =
+    match start_time with Some t -> t | None -> Unix.gettimeofday ()
+  in
+  { cell = Atomic.make None; version; strategies; started }
+
+let start_time p = p.started
+
+let publish ?report ?telemetry ?summaries ?recorder ?(gauges = [])
+    ?(status = []) ?at p =
+  let report =
+    match report with Some r -> r | None -> Obs.Report.capture ()
+  in
+  let summaries =
+    match (summaries, telemetry) with
+    | Some ss, _ -> ss
+    | None, Some store -> Telemetry.Cost_store.openmetrics store
+    | None, None -> []
+  in
+  let flight =
+    match recorder with
+    | Some r -> Some (Telemetry.Flight_recorder.to_json r)
+    | None -> None
+  in
+  let at = match at with Some t -> t | None -> Unix.gettimeofday () in
+  let seq = (match Atomic.get p.cell with Some s -> s.seq | None -> 0) + 1 in
+  let snap = { seq; at; report; summaries; gauges; status; flight } in
+  Atomic.set p.cell (Some snap);
+  snap
+
+let latest p = Atomic.get p.cell
+
+let seq p = match Atomic.get p.cell with Some s -> s.seq | None -> 0
+
+let build_gauges p =
+  [
+    Obs.Openmetrics.gauge ~help:"Build identity of this process (value 1)."
+      ~labels:[ ("version", p.version); ("strategies", p.strategies) ]
+      "build_info" 1.0;
+    Obs.Openmetrics.gauge
+      ~help:"Unix time this process started, in seconds."
+      "process_start_time_seconds" p.started;
+  ]
+
+let to_openmetrics p snap =
+  Obs.Openmetrics.render
+    ~gauges:(build_gauges p @ snap.gauges)
+    ~extra:snap.summaries snap.report
+
+let to_statusz ?now p snap =
+  let now = match now with Some t -> t | None -> Unix.gettimeofday () in
+  let buf = Buffer.create 512 in
+  let line k v = Buffer.add_string buf (Printf.sprintf "%-28s %s\n" k v) in
+  line "treequery" (Printf.sprintf "%s (strategies: %s)" p.version p.strategies);
+  line "uptime_seconds" (Printf.sprintf "%.1f" (now -. p.started));
+  line "snapshot_seq" (string_of_int snap.seq);
+  line "snapshot_age_seconds" (Printf.sprintf "%.1f" (now -. snap.at));
+  List.iter (fun (k, v) -> line k v) snap.status;
+  Buffer.contents buf
+
+let tracez snap = Obs.Trace.of_report snap.report

@@ -19,6 +19,8 @@ type config = {
   scale : int;  (** XMark scale of each generated document *)
   pool : Pool.t option;  (** [None] = sequential, chunk size 1 *)
   one_at_a_time : bool;  (** the differential twin: no shared index *)
+  on_chunk : (int -> int -> unit) option;
+      (** (docs so far, fired so far) after each merged chunk *)
 }
 
 type summary = {
@@ -127,6 +129,7 @@ let run cfg =
   if cfg.churn = 0.0 then apply_through e_total;
   let fired_per_doc = Array.make (max 1 cfg.docs) 0 in
   let active_work = ref 0 in
+  let fired_so_far = ref 0 in
   (* churn epochs partition the document stream independently of pool
      size: epoch [e] covers docs [e·docs/E, (e+1)·docs/E) *)
   let epochs = min cfg.docs 16 in
@@ -154,9 +157,13 @@ let run cfg =
       Array.iteri
         (fun k (fired, work) ->
           fired_per_doc.(!c + k) <- fired;
+          fired_so_far := !fired_so_far + fired;
           active_work := !active_work + work)
         results;
-      c := hi
+      c := hi;
+      (match cfg.on_chunk with
+      | Some f -> f hi !fired_so_far
+      | None -> ())
     done
   done;
   apply_through e_total;

@@ -32,6 +32,11 @@ type config = {
   one_at_a_time : bool;
       (** evaluate every live registration's compiled plan per document
           instead of the shared index — the differential twin *)
+  on_chunk : (int -> int -> unit) option;
+      (** fired after each matched chunk with (documents matched so far,
+          subscriptions fired so far), on the admitting domain after the
+          chunk's shard state has been merged — the publication hook the
+          ops plane hangs snapshots on ([None] = no-op) *)
 }
 
 type summary = {

@@ -27,6 +27,7 @@ let () =
       ("optimizer", Test_optimizer.suite);
       ("cli", Test_cli.suite);
       ("telemetry", Test_telemetry.suite);
+      ("opsplane", Test_opsplane.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("laws", Test_laws.suite);
       ("nodeset-edge", Test_nodeset_edge.suite);

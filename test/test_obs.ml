@@ -419,6 +419,95 @@ let test_openmetrics_render () =
           (String.length tail)
         = tail)
 
+(* OpenMetrics spec audit: every family carries # HELP and # TYPE,
+   label values escape backslash/quote/newline, and adversarial label
+   values can never break the line structure of the exposition *)
+let test_openmetrics_help_and_gauges () =
+  with_clean_obs @@ fun () ->
+  Obs.set_enabled true;
+  let c = Obs.Counter.make "test_om_help" in
+  Obs.Counter.incr c;
+  let r = Obs.Report.capture () in
+  let gauges =
+    [
+      Obs.Openmetrics.gauge ~help:"Build identity."
+        ~labels:[ ("version", "1.0.0"); ("strategies", "a,b") ]
+        "build_info" 1.0;
+      Obs.Openmetrics.gauge "process_start_time_seconds" 1234.5;
+    ]
+  in
+  let text = Obs.Openmetrics.render ~gauges r in
+  let lines = String.split_on_char '\n' text in
+  let has l = List.mem l lines in
+  Alcotest.(check bool) "gauge TYPE" true (has "# TYPE treequery_build_info gauge");
+  Alcotest.(check bool) "gauge HELP" true
+    (has "# HELP treequery_build_info Build identity.");
+  Alcotest.(check bool) "build info sample" true
+    (has "treequery_build_info{version=\"1.0.0\",strategies=\"a,b\"} 1");
+  Alcotest.(check bool) "start time sample" true
+    (has "treequery_process_start_time_seconds 1234.5");
+  Alcotest.(check bool) "counter HELP" true
+    (has "# HELP treequery_test_om_help Cumulative count of test_om_help events.");
+  Alcotest.(check bool) "counter TYPE still present" true
+    (has "# TYPE treequery_test_om_help counter")
+
+let test_openmetrics_label_escaping () =
+  let adversarial = "a\\b\"c\nd,e{f}g=h" in
+  Alcotest.(check string) "escape_label" "a\\\\b\\\"c\\nd,e{f}g=h"
+    (Obs.Openmetrics.escape_label adversarial);
+  let r = Obs.Report.empty in
+  let summary =
+    {
+      Obs.Openmetrics.metric = "adv latency!";
+      labels = [ ("finger print", adversarial); ("q\"k", "\\") ];
+      quantiles = [ ("0.5", 0.001) ];
+      sum = 0.002;
+      count = 2;
+    }
+  in
+  let gauge =
+    Obs.Openmetrics.gauge ~help:"multi\nline \\ help"
+      ~labels:[ ("v", adversarial) ]
+      "adv_gauge" 7.0
+  in
+  let text = Obs.Openmetrics.render ~gauges:[ gauge ] ~extra:[ summary ] r in
+  let lines = String.split_on_char '\n' text in
+  (* label names and metric names are sanitized, values escaped: every
+     sample line still has the shape name{labels} value *)
+  Alcotest.(check bool) "escaped summary line" true
+    (List.mem
+       ("treequery_adv_latency__seconds{finger_print=\"a\\\\b\\\"c\\nd,e{f}g=h\","
+      ^ "q_k=\"\\\\\",quantile=\"0.5\"} 0.001")
+       lines);
+  Alcotest.(check bool) "escaped gauge line" true
+    (List.mem "treequery_adv_gauge{v=\"a\\\\b\\\"c\\nd,e{f}g=h\"} 7" lines);
+  Alcotest.(check bool) "escaped help line" true
+    (List.mem "# HELP treequery_adv_gauge multi\\nline \\\\ help" lines);
+  (* no raw newline survives inside any line: every line is either a
+     comment, blank (the final split remnant), or starts with the
+     treequery_ prefix *)
+  List.iter
+    (fun l ->
+      Alcotest.(check bool)
+        (Printf.sprintf "well-formed line %S" l)
+        true
+        (l = "" || l.[0] = '#'
+        || (String.length l > 10 && String.sub l 0 10 = "treequery_")))
+    lines
+
+let prop_openmetrics_escaping_total =
+  Helpers.qtest ~count:300 "random label values never break line structure"
+    QCheck2.Gen.(string_size ~gen:(char_range '\000' '\255') (0 -- 30))
+    (fun v ->
+      let r = Obs.Report.empty in
+      let g = Obs.Openmetrics.gauge ~labels:[ ("k", v) ] "prop_gauge" 1.0 in
+      let text = Obs.Openmetrics.render ~gauges:[ g ] r in
+      List.for_all
+        (fun l ->
+          l = "" || l.[0] = '#'
+          || (String.length l > 10 && String.sub l 0 10 = "treequery_"))
+        (String.split_on_char '\n' text))
+
 let test_bound_fit_slope () =
   let close what expected actual =
     Alcotest.(check bool)
@@ -559,6 +648,11 @@ let suite =
     Alcotest.test_case "scoped collection deltas" `Quick test_scope_deltas;
     Alcotest.test_case "chrome trace export" `Quick test_trace_export;
     Alcotest.test_case "openmetrics exposition" `Quick test_openmetrics_render;
+    Alcotest.test_case "openmetrics HELP and gauges" `Quick
+      test_openmetrics_help_and_gauges;
+    Alcotest.test_case "openmetrics label escaping" `Quick
+      test_openmetrics_label_escaping;
+    prop_openmetrics_escaping_total;
     Alcotest.test_case "bound slope fitting" `Quick test_bound_fit_slope;
     Alcotest.test_case "span survives exception" `Quick test_span_survives_exception;
     Alcotest.test_case "counter reset between runs" `Quick test_counter_reset_between_runs;
