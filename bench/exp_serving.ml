@@ -625,11 +625,14 @@ let run_pr10 () =
     in
     let port = Opsplane.Listener.port listener in
     let stop = Atomic.make false in
+    (* shared so the main domain can wait for the scraper to observe
+       the final published totals before tearing down *)
+    let peak = Atomic.make 0 in
     let scraper =
       Domain.spawn (fun () ->
-          (* (scrape count, failures, non-monotone drops, peak served) *)
+          (* (scrape count, failures, non-monotone drops) *)
           let n = ref 0 and bad = ref 0 and drops = ref 0 in
-          let last = ref 0 and peak = ref 0 in
+          let last = ref 0 in
           while not (Atomic.get stop) do
             Unix.sleepf 0.1;
             match Opsplane.Listener.get ~port "/metrics" with
@@ -644,17 +647,25 @@ let run_pr10 () =
               let served = Stdlib.max 0 (served_of body) in
               if served < !last then incr drops;
               last := served;
-              if served > !peak then peak := served
+              if served > Atomic.get peak then Atomic.set peak served
             | _, _ -> incr bad
           done;
-          (!n, !bad, !drops, !peak))
+          (!n, !bad, !drops))
     in
     let wall, stats = Bench_util.time_once (fun () -> Serve.Server.run cfg_ops tree shapes reqs) in
     publish ();
-    (* let the scraper observe the final totals before tearing down *)
-    Unix.sleepf 0.25;
+    (* wait until one scrape has observed the final total (bounded, so
+       a broken run still terminates) rather than racing the scraper's
+       100 ms cadence against a fixed sleep on a loaded host *)
+    let deadline = Unix.gettimeofday () +. 10.0 in
+    while
+      Atomic.get peak < requests_total && Unix.gettimeofday () < deadline
+    do
+      Unix.sleepf 0.02
+    done;
     Atomic.set stop true;
-    let n, bad, drops, peak = Domain.join scraper in
+    let n, bad, drops = Domain.join scraper in
+    let peak = Atomic.get peak in
     Opsplane.Listener.stop listener;
     scrapes := !scrapes + n;
     scrape_failures := !scrape_failures + bad;

@@ -1,6 +1,10 @@
-(* Accept loop on a dedicated domain.  Stopping closes the listening
-   socket, which makes the blocked accept fail; the loop also checks an
-   atomic flag so a racing accept exits cleanly. *)
+(* Accept loop on a dedicated domain.  The listening socket is
+   non-blocking and the loop waits in [Unix.select] with a short
+   timeout, re-checking the stopping flag between waits — portable
+   (shutdown on a *listening* socket is ENOTCONN on the BSDs, and close
+   does not wake a blocked accept there), and the fd is only closed
+   after the accept domain has exited, so there is no close/accept
+   fd-reuse race. *)
 
 module Fd_transport = struct
   type conn = Unix.file_descr
@@ -28,13 +32,22 @@ type t = {
   domain : unit Domain.t;
 }
 
+(* A disconnecting scrape client (scrape timeout, [curl -m]) turns the
+   response write into SIGPIPE, whose default disposition kills the
+   whole process; ignoring it makes [Unix.write] raise EPIPE instead,
+   which the serve/respond error paths already swallow. *)
+let ignore_sigpipe =
+  lazy (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ())
+
 let start ?(host = "127.0.0.1") ?(port = 0) ?limits ~handler () =
+  Lazy.force ignore_sigpipe;
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
   (try
      Unix.setsockopt sock Unix.SO_REUSEADDR true;
      Unix.bind sock addr;
-     Unix.listen sock 16
+     Unix.listen sock 16;
+     Unix.set_nonblock sock
    with e ->
      Unix.close sock;
      raise e);
@@ -48,16 +61,30 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?limits ~handler () =
   let domain =
     Domain.spawn (fun () ->
         let rec loop () =
-          match Unix.accept sock with
-          | exception _ -> if not (Atomic.get stopping) then loop ()
-          | conn, _peer ->
-            Atomic.incr accepted;
-            (* bound a stalled client: the loop is single-threaded *)
-            (try Unix.setsockopt_float conn Unix.SO_RCVTIMEO 5.0
-             with _ -> ());
-            (try Conn.serve_connection ?limits ~handler conn with _ -> ());
-            (try Unix.close conn with _ -> ());
-            if not (Atomic.get stopping) then loop ()
+          if not (Atomic.get stopping) then begin
+            let readable =
+              match Unix.select [ sock ] [] [] 0.05 with
+              | [ _ ], _, _ -> true
+              | _ -> false
+              | exception _ -> false
+            in
+            (if readable then
+               match Unix.accept sock with
+               | exception _ -> ()
+               | conn, _peer ->
+                 Atomic.incr accepted;
+                 (* accepted fds can inherit O_NONBLOCK on some systems *)
+                 (try Unix.clear_nonblock conn with _ -> ());
+                 (* bound a stalled client: the loop is single-threaded,
+                    and a well-formed scrape request arrives in one
+                    packet *)
+                 (try Unix.setsockopt_float conn Unix.SO_RCVTIMEO 1.0
+                  with _ -> ());
+                 (try Conn.serve_connection ?limits ~handler conn
+                  with _ -> ());
+                 (try Unix.close conn with _ -> ()));
+            loop ()
+          end
         in
         loop ())
   in
@@ -69,17 +96,22 @@ let connections t = Atomic.get t.accepted
 
 let stop t =
   if not (Atomic.exchange t.stopping true) then begin
-    (try Unix.shutdown t.sock Unix.SHUTDOWN_ALL with _ -> ());
-    (try Unix.close t.sock with _ -> ());
-    Domain.join t.domain
+    Domain.join t.domain;
+    try Unix.close t.sock with _ -> ()
   end
 
-(* Minimal blocking client for tests and the bench scraper. *)
-let get ?(host = "127.0.0.1") ~port path =
+(* Minimal blocking client for tests and the bench scraper.  Read and
+   write timeouts on the socket turn a stalled server into a failed
+   scrape (status 0) instead of a hung test. *)
+let get ?(host = "127.0.0.1") ?(timeout = 5.0) ~port path =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close sock with _ -> ())
     (fun () ->
+      (try
+         Unix.setsockopt_float sock Unix.SO_RCVTIMEO timeout;
+         Unix.setsockopt_float sock Unix.SO_SNDTIMEO timeout
+       with _ -> ());
       Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
       Fd_transport.write sock
         (Printf.sprintf

@@ -5,8 +5,15 @@
     Connections are handled sequentially on the listener domain — ops
     traffic is a scraper every few seconds, and keeping it
     single-threaded means a scrape can never contend with serving for
-    anything but the snapshot atomic.  A per-connection receive timeout
-    bounds how long a stalled client can hold the loop. *)
+    anything but the snapshot atomic.  The flip side is head-of-line
+    blocking: a slow or idle client stalls every endpoint (including
+    [/healthz]) until its per-connection 1 s receive timeout fires, so
+    point nothing but trusted loopback scrapers at it.
+
+    Starting a listener installs [Signal_ignore] for SIGPIPE
+    process-wide (once), so a client disconnecting mid-response
+    surfaces as EPIPE on write — swallowed by the connection error
+    path — rather than a process-killing signal. *)
 
 type t
 
@@ -28,10 +35,16 @@ val connections : t -> int
 (** Connections accepted so far. *)
 
 val stop : t -> unit
-(** Close the listening socket and join the accept domain.
-    Idempotent. *)
+(** Stop accepting, join the accept domain, then close the listening
+    socket — in that order: the accept loop polls a stopping flag
+    between short selects, so no shutdown-on-a-listening-socket or
+    close/accept fd-reuse race is involved (portable beyond Linux).
+    An in-flight connection finishes first; stopping waits at most the
+    50 ms poll interval plus that request.  Idempotent. *)
 
-val get : ?host:string -> port:int -> string -> int * string
+val get : ?host:string -> ?timeout:float -> port:int -> string -> int * string
 (** Minimal test/bench client: open a connection, send
     [GET <path> HTTP/1.1], return (status, body).  Blocks until the
-    server closes the connection. *)
+    server closes the connection or the socket-level [timeout]
+    (default 5 s, applied to both send and receive) fires; a timed-out
+    or refused connection surfaces as status [0]. *)
